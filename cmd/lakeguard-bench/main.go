@@ -1,0 +1,110 @@
+// lakeguard-bench regenerates the paper's evaluation tables and figures in
+// their published layout. See DESIGN.md §2 for the experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured results.
+//
+// Usage:
+//
+//	go run ./cmd/lakeguard-bench                      # run everything
+//	go run ./cmd/lakeguard-bench -experiment table2   # one experiment
+//	go run ./cmd/lakeguard-bench -quick               # reduced sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"lakeguard/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"which experiment to run: table1, table2, coldstart, membrane, efgac-modes, all")
+	quick := flag.Bool("quick", false, "reduced problem sizes for a fast smoke run")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		switch *experiment {
+		case "all", name:
+			fmt.Printf("==== %s ====\n\n", name)
+			start := time.Now()
+			if err := fn(); err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	ran := false
+	wrap := func(name string, fn func() error) {
+		if *experiment == "all" || *experiment == name {
+			ran = true
+		}
+		run(name, fn)
+	}
+
+	wrap("table1", func() error {
+		rows, err := bench.RunTable1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatTable1(rows))
+		return nil
+	})
+
+	wrap("table2", func() error {
+		cfg := bench.DefaultTable2Config()
+		if *quick {
+			cfg = bench.Table2Config{SimpleRows: 20_000, HashRows: 800, UDFCounts: []int{1, 2, 5, 10}, Repetitions: 3, Fuse: true}
+		}
+		rows, err := bench.RunTable2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatTable2(rows))
+		return nil
+	})
+
+	wrap("coldstart", func() error {
+		cfg := bench.DefaultColdStartConfig()
+		if *quick {
+			cfg.Provision = 100 * time.Millisecond
+			cfg.Rows = 2_000
+		}
+		res, err := bench.RunColdStart(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Sandbox startup (§5): simulated provisioning delay %v\n\n", cfg.Provision)
+		fmt.Printf("  first UDF query of the session: %v  (includes cold start)\n", res.FirstQuery.Round(time.Millisecond))
+		fmt.Printf("  warm queries (sandbox reused):  %v\n", res.WarmMedian().Round(time.Microsecond))
+		fmt.Printf("  sandbox provisions in session:  %d (paid once, then amortized)\n", res.ColdStarts)
+		return nil
+	})
+
+	wrap("membrane", func() error {
+		res := bench.RunMembraneComparison(bench.DefaultMembraneConfig())
+		fmt.Println(bench.FormatMembrane(res))
+		return nil
+	})
+
+	wrap("efgac-modes", func() error {
+		cfg := bench.DefaultEFGACModesConfig()
+		if *quick {
+			cfg = bench.EFGACModesConfig{RowCounts: []int{100, 2_000}, Repetitions: 2}
+		}
+		rows, err := bench.RunEFGACModes(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatEFGACModes(rows))
+		return nil
+	})
+
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,104 @@
+// lakeguard-server starts a complete Lakeguard deployment on one port: a
+// governance catalog, a serverless gateway fleet (Standard architecture,
+// multi-user), and the Connect protocol endpoint.
+//
+// Usage:
+//
+//	go run ./cmd/lakeguard-server -addr :8765 \
+//	    -token admin-token=admin@corp.com -token alice-token=alice@corp.com \
+//	    -admin admin@corp.com -demo
+//
+// Then connect with:
+//
+//	go run ./cmd/lakeguard-sql -addr http://localhost:8765 -token admin-token
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"lakeguard/internal/catalog"
+	"lakeguard/internal/connect"
+	"lakeguard/internal/core"
+	"lakeguard/internal/gateway"
+	"lakeguard/internal/proto"
+	"lakeguard/internal/storage"
+)
+
+type tokenFlags map[string]string
+
+func (t tokenFlags) String() string { return fmt.Sprint(map[string]string(t)) }
+
+func (t tokenFlags) Set(v string) error {
+	parts := strings.SplitN(v, "=", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("token flag must be token=user, got %q", v)
+	}
+	t[parts[0]] = parts[1]
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8765", "listen address")
+	admin := flag.String("admin", "admin@corp.com", "metastore admin user")
+	demo := flag.Bool("demo", false, "seed demo data (sales table with a row filter)")
+	maxSessions := flag.Int("max-sessions-per-cluster", 8, "gateway scale-out threshold")
+	tokens := tokenFlags{}
+	flag.Var(tokens, "token", "token=user mapping (repeatable)")
+	flag.Parse()
+
+	if len(tokens) == 0 {
+		tokens["admin-token"] = *admin
+		log.Printf("no -token flags given; using default admin-token=%s", *admin)
+	}
+
+	store := storage.NewStore()
+	cat := catalog.New(store, nil)
+	cat.AddAdmin(*admin)
+
+	gw := gateway.New(gateway.Config{
+		Provision: func(name string) *core.Server {
+			log.Printf("provisioning cluster %s", name)
+			return core.NewServer(core.Config{
+				Name: name, Catalog: cat, Compute: catalog.ComputeServerless,
+			})
+		},
+		MaxSessionsPerCluster: *maxSessions,
+	})
+	service := connect.NewService(gw, connect.TokenMap(tokens))
+	stopSweeper := service.StartSweeper(30*time.Second, 15*time.Minute)
+	defer stopSweeper()
+
+	if *demo {
+		seedDemo(cat, *admin)
+	}
+
+	log.Printf("lakeguard-server listening on %s (%d token(s))", *addr, len(tokens))
+	if err := http.ListenAndServe(*addr, service.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func seedDemo(cat *catalog.Catalog, admin string) {
+	srv := core.NewServer(core.Config{Name: "seed", Catalog: cat, Compute: catalog.ComputeStandard})
+	stmts := []string{
+		"CREATE TABLE sales (amount DOUBLE, date DATE, seller STRING, region STRING)",
+		`INSERT INTO sales VALUES
+			(100, CAST('2024-12-01' AS DATE), 'ann', 'US'),
+			(200, CAST('2024-12-01' AS DATE), 'ben', 'EU'),
+			(50,  CAST('2024-12-02' AS DATE), 'ann', 'US'),
+			(300, CAST('2024-12-02' AS DATE), 'ben', 'EU')`,
+		"ALTER TABLE sales SET ROW FILTER 'region = ''US'' OR IS_ACCOUNT_GROUP_MEMBER(''admins'')'",
+	}
+	for _, s := range stmts {
+		pl := &proto.Plan{Command: &proto.Command{SQL: s}}
+		if _, _, err := srv.Execute(admin+"/seed", admin, pl); err != nil {
+			log.Fatalf("demo seed %q: %v", s, err)
+		}
+	}
+	log.Println("demo data seeded: table `sales` with a row filter (region='US')")
+}

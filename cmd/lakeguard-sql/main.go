@@ -1,0 +1,94 @@
+// lakeguard-sql is an interactive SQL shell speaking the Connect protocol.
+//
+// Usage:
+//
+//	go run ./cmd/lakeguard-sql -addr http://localhost:8765 -token admin-token
+//
+// Commands:
+//
+//	<sql statement>;   execute (multi-line input until a trailing ';')
+//	\explain <query>   show the (policy-redacted) plan
+//	\q                 quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lakeguard/internal/connect"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8765", "Connect endpoint URL")
+	token := flag.String("token", "admin-token", "bearer token")
+	execute := flag.String("e", "", "execute one statement and exit")
+	flag.Parse()
+
+	client := connect.Dial(*addr, *token)
+	defer client.Close()
+
+	if *execute != "" {
+		runStatement(client, *execute)
+		return
+	}
+
+	fmt.Printf("lakeguard-sql connected to %s (session %s)\n", *addr, client.SessionID())
+	fmt.Println(`enter SQL terminated by ';', \explain <query>, or \q to quit`)
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "sql> "
+	for {
+		fmt.Print(prompt)
+		if !scanner.Scan() {
+			return
+		}
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 {
+			switch {
+			case trimmed == "":
+				continue
+			case trimmed == `\q`, trimmed == "exit", trimmed == "quit":
+				return
+			case strings.HasPrefix(trimmed, `\explain `):
+				explain(client, strings.TrimPrefix(trimmed, `\explain `))
+				continue
+			}
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			stmt := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
+			buf.Reset()
+			prompt = "sql> "
+			runStatement(client, stmt)
+		} else {
+			prompt = "  -> "
+		}
+	}
+}
+
+func runStatement(client *connect.Client, stmt string) {
+	start := time.Now()
+	b, err := client.ExecSQL(stmt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return
+	}
+	fmt.Print(b.String())
+	fmt.Printf("(%d row(s) in %v)\n", b.NumRows(), time.Since(start).Round(time.Millisecond))
+}
+
+func explain(client *connect.Client, query string) {
+	out, err := client.Sql(query).Explain()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return
+	}
+	fmt.Println(out)
+}

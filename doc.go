@@ -1,0 +1,9 @@
+// Package lakeguard is a from-scratch Go reproduction of "Databricks
+// Lakeguard: Supporting Fine-grained Access Control and Multi-user
+// Capabilities for Apache Spark Workloads" (SIGMOD-Companion '25).
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); runnable examples live under examples/; the root-level
+// bench_test.go regenerates every table and figure of the paper's
+// evaluation (see EXPERIMENTS.md).
+package lakeguard

@@ -1,0 +1,169 @@
+// Healthcare: the paper's motivating example (§2.1, Figures 1–3).
+//
+// A healthcare enterprise stores patient sensor data with PII in
+// raw_data_table. Data scientists must analyze sensor readings — including
+// running their own feature-extraction UDFs — but must never see PII. The
+// administrator expresses this once in the catalog (a dedicated sensor_view
+// plus a column mask), and Lakeguard enforces it for every workload: ad-hoc
+// SQL, DataFrame pipelines, and sandboxed user code.
+//
+// Run with: go run ./examples/healthcare
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"lakeguard/internal/catalog"
+	"lakeguard/internal/connect"
+	"lakeguard/internal/core"
+	"lakeguard/internal/sandbox"
+	"lakeguard/internal/storage"
+	"lakeguard/internal/types"
+)
+
+const (
+	adminUser = "admin@healthco.example"
+	scientist = "datasci@healthco.example"
+	clinician = "clinician@healthco.example"
+)
+
+func main() {
+	store := storage.NewStore()
+	cat := catalog.New(store, nil)
+	cat.AddAdmin(adminUser)
+	cat.CreateGroup("clinicians", clinician)
+	cat.CreateGroup("data_scientists", scientist)
+
+	// Standard multi-user compute; user code may call the (simulated)
+	// air-quality service but nothing else — the egress control of §3.3.
+	server := core.NewServer(core.Config{
+		Name:    "healthco",
+		Catalog: cat,
+		Compute: catalog.ComputeStandard,
+		Sandbox: sandbox.Config{
+			Egress: sandbox.EgressPolicy{
+				AllowedHosts: []string{"example.aqi.com"},
+				Resolver: func(url string) (string, error) {
+					// Simulated external service (paper Fig. 6).
+					return `{"yesterday": 41.5}`, nil
+				},
+			},
+		},
+	})
+	endpoint := httptest.NewServer(connect.NewService(server, connect.TokenMap{
+		"t-admin": adminUser, "t-ds": scientist, "t-md": clinician,
+	}).Handler())
+	defer endpoint.Close()
+
+	admin := connect.Dial(endpoint.URL, "t-admin")
+
+	// --- The administrator's one-time governance setup -------------------
+	mustExec(admin, `CREATE TABLE raw_data_table (
+		patient_id BIGINT,
+		patient_name STRING,
+		zip STRING,
+		ts TIMESTAMP,
+		heart_rate DOUBLE,
+		sensor_blob STRING
+	)`)
+	mustExec(admin, `INSERT INTO raw_data_table VALUES
+		(1, 'Ada Lovelace',  '94105', CAST('2026-07-01 08:00:00' AS TIMESTAMP), 62.0, '0.41;0.39;0.44'),
+		(1, 'Ada Lovelace',  '94105', CAST('2026-07-01 09:00:00' AS TIMESTAMP), 71.0, '0.52;0.49;0.57'),
+		(2, 'Grace Hopper',  '10001', CAST('2026-07-01 08:30:00' AS TIMESTAMP), 58.0, '0.33;0.30;0.31'),
+		(3, 'Alan Turing',   '94105', CAST('2026-07-01 10:00:00' AS TIMESTAMP), 80.0, '0.61;0.66;0.64')`)
+
+	// The dedicated view for the data-science team: PII filtered out.
+	mustExec(admin, `CREATE VIEW sensor_view AS
+		SELECT patient_id, zip, ts, heart_rate, sensor_blob FROM raw_data_table`)
+	mustExec(admin, "GRANT SELECT ON sensor_view TO data_scientists")
+
+	// Clinicians see the raw table, but patient names are masked unless
+	// the reader is a clinician (cell-level dynamic FGAC, Fig. 3).
+	mustExec(admin, `ALTER TABLE raw_data_table ALTER COLUMN patient_name
+		SET MASK 'CASE WHEN IS_ACCOUNT_GROUP_MEMBER(''clinicians'') THEN patient_name ELSE ''<redacted>'' END'`)
+	mustExec(admin, "GRANT SELECT ON raw_data_table TO clinicians")
+
+	// --- The data scientist's workload -----------------------------------
+	ds := connect.Dial(endpoint.URL, "t-ds")
+
+	fmt.Println("== Data scientist: raw table is off limits ==")
+	if _, err := ds.Table("raw_data_table").Collect(); err != nil {
+		fmt.Println("  denied as expected:", err)
+	}
+
+	fmt.Println("\n== Data scientist: sensor_view (no PII columns exist here) ==")
+	showDF(ds.Table("sensor_view").OrderBy(connect.Col("ts").Asc()))
+
+	// Feature extraction with user code: converts the binary-ish sensor
+	// blob into a feature (mean of the samples). Runs in a sandbox.
+	if err := ds.RegisterFunction("extract_feature",
+		[]types.Field{{Name: "blob", Kind: types.KindString}},
+		types.KindFloat64, featureExtractor); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Data scientist: UDF feature extraction over the view ==")
+	showDF(ds.Sql(`SELECT patient_id, extract_feature(sensor_blob) AS mean_amplitude
+		FROM sensor_view ORDER BY mean_amplitude DESC`))
+
+	// User code calling an external service — allowed host only (Fig. 6).
+	if err := ds.RegisterFunction("resolve_zip_to_air_quality",
+		[]types.Field{{Name: "zip", Kind: types.KindString}},
+		types.KindFloat64,
+		"resp = http_get('http://example.aqi.com/zip/' + zip)\nreturn 41.5"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Data scientist: UDF with governed egress ==")
+	showDF(ds.Sql(`SELECT DISTINCT zip, resolve_zip_to_air_quality(zip) AS aqi FROM sensor_view`))
+
+	// --- The clinician's workload -----------------------------------------
+	md := connect.Dial(endpoint.URL, "t-md")
+	fmt.Println("== Clinician: raw table with unmasked names ==")
+	showDF(md.Sql("SELECT patient_name, heart_rate FROM raw_data_table ORDER BY heart_rate"))
+
+	// --- Everything is audited --------------------------------------------
+	fmt.Println("== Audit trail (last 5 events) ==")
+	events := cat.Audit().Events(nil)
+	for _, e := range events[max(0, len(events)-5):] {
+		fmt.Println("  ", e.String())
+	}
+}
+
+// featureExtractor parses "v1;v2;v3" and returns the mean — domain logic as
+// untrusted PyLite code.
+const featureExtractor = `
+total = 0.0
+count = 0
+start = 0
+i = 0
+n = len(blob)
+while i <= n:
+    if i == n or substr(blob, i, i + 1) == ';':
+        total = total + float(substr(blob, start, i))
+        count = count + 1
+        start = i + 1
+    i = i + 1
+return total / count
+`
+
+func mustExec(c *connect.Client, sql string) {
+	if _, err := c.ExecSQL(sql); err != nil {
+		log.Fatalf("%s: %v", sql, err)
+	}
+}
+
+func showDF(df *connect.DataFrame) {
+	out, err := df.Show()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,83 @@
+// Quickstart: boot a governed single-cluster deployment, create a table,
+// and query it through the Connect protocol with SQL and the DataFrame API.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"lakeguard/internal/catalog"
+	"lakeguard/internal/connect"
+	"lakeguard/internal/core"
+	"lakeguard/internal/storage"
+	"lakeguard/internal/types"
+)
+
+func main() {
+	// 1. The substrate: an object store and the governance catalog.
+	store := storage.NewStore()
+	cat := catalog.New(store, nil)
+	cat.AddAdmin("admin@corp.com")
+
+	// 2. A Standard (multi-user) Lakeguard cluster behind a Connect endpoint.
+	server := core.NewServer(core.Config{
+		Name:    "quickstart",
+		Catalog: cat,
+		Compute: catalog.ComputeStandard,
+	})
+	endpoint := httptest.NewServer(connect.NewService(server, connect.TokenMap{
+		"admin-token": "admin@corp.com",
+	}).Handler())
+	defer endpoint.Close()
+
+	// 3. Connect like any Spark Connect client would.
+	client := connect.Dial(endpoint.URL, "admin-token")
+	defer client.Close()
+
+	mustExec(client, "CREATE TABLE trips (city STRING, distance_km DOUBLE, fare DOUBLE)")
+	mustExec(client, `INSERT INTO trips VALUES
+		('berlin', 3.2, 11.5), ('berlin', 8.0, 24.0),
+		('paris', 2.1, 9.0), ('paris', 15.5, 41.0), ('paris', 4.4, 13.5)`)
+
+	// 4. Query with SQL...
+	fmt.Println("== SQL ==")
+	show(client.Sql("SELECT city, COUNT(*) AS trips, AVG(fare) AS avg_fare FROM trips GROUP BY city ORDER BY trips DESC"))
+
+	// 5. ...or with the DataFrame API (same plans, same wire protocol).
+	fmt.Println("== DataFrame ==")
+	show(client.Table("trips").
+		Where(connect.Col("distance_km").Gt(connect.Lit(3.0))).
+		Select(connect.Col("city"),
+			connect.Col("fare").Div(connect.Col("distance_km")).As("fare_per_km")).
+		OrderBy(connect.Col("fare_per_km").Desc()))
+
+	// 6. User code runs isolated in sandboxes, never inside the engine.
+	if err := client.RegisterFunction("surge",
+		[]types.Field{{Name: "fare", Kind: types.KindFloat64}},
+		types.KindFloat64,
+		"return fare * 1.2 if fare > 20 else fare"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== PyLite UDF (sandboxed) ==")
+	show(client.Sql("SELECT city, surge(fare) AS surged FROM trips ORDER BY surged DESC LIMIT 3"))
+
+	st := server.Dispatcher().Stats()
+	fmt.Printf("sandboxes: %d cold start(s), %d warm reuse(s)\n", st.ColdStarts, st.Reuses)
+}
+
+func mustExec(c *connect.Client, sql string) {
+	if _, err := c.ExecSQL(sql); err != nil {
+		log.Fatalf("%s: %v", sql, err)
+	}
+}
+
+func show(df *connect.DataFrame) {
+	out, err := df.Show()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+}

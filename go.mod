@@ -1,0 +1,3 @@
+module lakeguard
+
+go 1.22

@@ -1,0 +1,234 @@
+package analyzer
+
+import (
+	"fmt"
+	"strings"
+
+	"lakeguard/internal/plan"
+	"lakeguard/internal/types"
+)
+
+// analyzeAggregate rewrites a parser-produced Aggregate (whose Aggs are raw
+// SELECT items) into the physical form:
+//
+//	Project(items over [groups..., aggCalls...])
+//	  [Filter(having)]
+//	    Aggregate(groupBy, aggCalls)
+//	      child
+//
+// Select items may mix grouped expressions, aggregate calls, and scalar
+// functions over both. HAVING (having != nil) is resolved with the same
+// machinery and may introduce aggregate calls not present in the select
+// list.
+func (a *Analyzer) analyzeAggregate(t *plan.Aggregate, having plan.Expr) (plan.Node, *scope, error) {
+	child, cs, err := a.analyzeNode(t.Child)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Resolve GROUP BY expressions against the child.
+	groups := make([]plan.Expr, len(t.GroupBy))
+	groupKeys := make([]string, len(t.GroupBy))
+	for i, g := range t.GroupBy {
+		r, err := a.resolveExpr(g, cs)
+		if err != nil {
+			return nil, nil, err
+		}
+		if containsAggCall(r) {
+			return nil, nil, fmt.Errorf("analyzer: aggregate functions are not allowed in GROUP BY")
+		}
+		groups[i] = r
+		groupKeys[i] = r.String()
+	}
+
+	st := &aggState{an: a, cs: cs, groups: groups, groupKeys: groupKeys}
+
+	// Rewrite each select item.
+	items := make([]plan.Expr, 0, len(t.Aggs))
+	for _, item := range t.Aggs {
+		if _, isStar := item.(*plan.Star); isStar {
+			return nil, nil, fmt.Errorf("analyzer: * is not allowed in an aggregate SELECT list")
+		}
+		rewritten, err := st.rewrite(item)
+		if err != nil {
+			return nil, nil, err
+		}
+		items = append(items, rewritten)
+	}
+
+	var havingResolved plan.Expr
+	if having != nil {
+		havingResolved, err = st.rewrite(having)
+		if err != nil {
+			return nil, nil, err
+		}
+		if havingResolved.Type() != types.KindBool {
+			return nil, nil, fmt.Errorf("analyzer: HAVING must be boolean, got %s", havingResolved.Type())
+		}
+	}
+
+	// Build the core aggregate's output schema: groups then agg calls.
+	coreSchema := &types.Schema{}
+	for i, g := range groups {
+		coreSchema.Fields = append(coreSchema.Fields, types.Field{
+			Name: groupFieldName(t.GroupBy[i], g), Kind: g.Type(), Nullable: true,
+		})
+	}
+	for _, c := range st.aggCalls {
+		coreSchema.Fields = append(coreSchema.Fields, types.Field{
+			Name: c.String(), Kind: c.Type(), Nullable: true,
+		})
+	}
+	aggExprs := make([]plan.Expr, len(st.aggCalls))
+	for i, c := range st.aggCalls {
+		aggExprs[i] = c
+	}
+	var node plan.Node = &plan.Aggregate{
+		GroupBy: groups, Aggs: aggExprs, Child: child, OutSchema: coreSchema,
+	}
+	if havingResolved != nil {
+		node = &plan.Filter{Cond: havingResolved, Child: node}
+	}
+
+	outSchema := &types.Schema{Fields: make([]types.Field, len(items))}
+	for i, item := range items {
+		outSchema.Fields[i] = types.Field{Name: plan.OutputName(item), Kind: item.Type(), Nullable: true}
+	}
+	p := &plan.Project{Exprs: items, Child: node, OutSchema: outSchema}
+	return p, scopeFromSchema("", outSchema, 0), nil
+}
+
+func groupFieldName(orig, resolved plan.Expr) string {
+	if c, ok := orig.(*plan.ColumnRef); ok {
+		return c.Name
+	}
+	if b, ok := resolved.(*plan.BoundRef); ok {
+		return b.Name
+	}
+	return resolved.String()
+}
+
+// aggState accumulates aggregate calls while rewriting select items.
+type aggState struct {
+	an        *Analyzer
+	cs        *scope
+	groups    []plan.Expr
+	groupKeys []string
+	aggCalls  []*plan.AggFunc
+}
+
+// rewrite maps an item expression over the aggregate output: grouped
+// sub-expressions become BoundRefs to group slots, aggregate calls become
+// BoundRefs to agg slots, and anything else must decompose into those.
+func (st *aggState) rewrite(e plan.Expr) (plan.Expr, error) {
+	switch t := e.(type) {
+	case *plan.Alias:
+		child, err := st.rewrite(t.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Alias{Child: child, Name: t.Name}, nil
+	case *plan.Literal, *plan.CurrentUser, *plan.GroupMember:
+		return e, nil
+	}
+
+	// Aggregate call?
+	if call, ok := asAggCall(e); ok {
+		if fc, isCall := e.(*plan.FuncCall); isCall && len(fc.Args) > 1 {
+			return nil, fmt.Errorf("analyzer: %s takes at most one argument, got %d", strings.ToUpper(call.name), len(fc.Args))
+		}
+		var arg plan.Expr
+		var err error
+		if call.arg != nil {
+			arg, err = st.an.resolveExpr(call.arg, st.cs)
+			if err != nil {
+				return nil, err
+			}
+			if containsAggCall(arg) {
+				return nil, fmt.Errorf("analyzer: nested aggregate in %s", e.String())
+			}
+		}
+		kind, err := aggResultKind(call.name, arg)
+		if err != nil {
+			return nil, fmt.Errorf("analyzer: %v", err)
+		}
+		af := &plan.AggFunc{Name: call.name, Arg: arg, Distinct: call.distinct, ResultKind: kind}
+		// Reuse an identical existing slot.
+		for i, existing := range st.aggCalls {
+			if existing.String() == af.String() {
+				return &plan.BoundRef{Index: len(st.groups) + i, Name: af.String(), Kind: existing.ResultKind}, nil
+			}
+		}
+		st.aggCalls = append(st.aggCalls, af)
+		return &plan.BoundRef{Index: len(st.groups) + len(st.aggCalls) - 1, Name: af.String(), Kind: kind}, nil
+	}
+
+	// Whole expression matches a GROUP BY expression?
+	if resolved, err := st.an.resolveExpr(e, st.cs); err == nil && !containsAggCall(resolved) {
+		key := resolved.String()
+		for i, gk := range st.groupKeys {
+			if gk == key {
+				return &plan.BoundRef{Index: i, Name: groupFieldName(e, resolved), Kind: st.groups[i].Type()}, nil
+			}
+		}
+		// A bare column that is not grouped is an error.
+		if _, isRef := e.(*plan.ColumnRef); isRef {
+			return nil, fmt.Errorf("analyzer: column %s must appear in GROUP BY or inside an aggregate function", e.String())
+		}
+	} else if _, isRef := e.(*plan.ColumnRef); isRef {
+		return nil, err
+	}
+
+	// Composite expression: rewrite children, then re-resolve the node
+	// against the aggregate output scope (children are now BoundRefs, so
+	// only type-level resolution remains).
+	children := e.ChildExprs()
+	if len(children) == 0 {
+		return nil, fmt.Errorf("analyzer: expression %s must appear in GROUP BY or inside an aggregate function", e.String())
+	}
+	newChildren := make([]plan.Expr, len(children))
+	for i, c := range children {
+		nc, err := st.rewrite(c)
+		if err != nil {
+			return nil, err
+		}
+		newChildren[i] = nc
+	}
+	composed := e.WithChildExprs(newChildren)
+	// Type-check the composed expression in a scope of its own leaves.
+	return st.an.resolveExpr(composed, st.aggOutScope())
+}
+
+// aggOutScope is the (group..., agg...) output scope of the core aggregate.
+func (st *aggState) aggOutScope() *scope {
+	sc := &scope{}
+	for i, g := range st.groups {
+		sc.cols = append(sc.cols, scopeCol{name: fmt.Sprintf("__group%d", i), kind: g.Type(), index: i})
+	}
+	for i, c := range st.aggCalls {
+		sc.cols = append(sc.cols, scopeCol{name: c.String(), kind: c.Type(), index: len(st.groups) + i})
+	}
+	return sc
+}
+
+type aggCallParts struct {
+	name     string
+	arg      plan.Expr
+	distinct bool
+}
+
+func asAggCall(e plan.Expr) (aggCallParts, bool) {
+	switch t := e.(type) {
+	case *plan.FuncCall:
+		if IsAggregateName(t.Name) {
+			var arg plan.Expr
+			if len(t.Args) > 0 {
+				arg = t.Args[0]
+			}
+			return aggCallParts{name: strings.ToLower(t.Name), arg: arg, distinct: t.Distinct}, true
+		}
+	case *plan.AggFunc:
+		return aggCallParts{name: t.Name, arg: t.Arg, distinct: t.Distinct}, true
+	}
+	return aggCallParts{}, false
+}

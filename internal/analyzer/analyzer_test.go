@@ -1,0 +1,577 @@
+package analyzer
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"lakeguard/internal/catalog"
+	"lakeguard/internal/plan"
+	"lakeguard/internal/sql"
+	"lakeguard/internal/storage"
+	"lakeguard/internal/types"
+)
+
+const (
+	admin = "admin@corp.com"
+	alice = "alice@corp.com"
+	bob   = "bob@corp.com"
+)
+
+func adminCtx() catalog.RequestContext {
+	return catalog.RequestContext{User: admin, Compute: catalog.ComputeStandard, SessionID: "s0"}
+}
+
+func ctxFor(user string, compute catalog.ComputeType) catalog.RequestContext {
+	return catalog.RequestContext{User: user, Compute: compute, SessionID: "s-" + user}
+}
+
+// newWorld builds a catalog with the sales table used throughout.
+func newWorld(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New(storage.NewStore(), nil)
+	cat.AddAdmin(admin)
+	schema := types.NewSchema(
+		types.Field{Name: "amount", Kind: types.KindFloat64},
+		types.Field{Name: "date", Kind: types.KindDate},
+		types.Field{Name: "seller", Kind: types.KindString},
+		types.Field{Name: "region", Kind: types.KindString},
+	)
+	if err := cat.CreateTable(adminCtx(), []string{"sales"}, schema, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func analyze(t *testing.T, cat *catalog.Catalog, ctx catalog.RequestContext, query string) plan.Node {
+	t.Helper()
+	a := New(cat, ctx)
+	q, err := sql.ParseQuery(query)
+	if err != nil {
+		t.Fatalf("parse %q: %v", query, err)
+	}
+	out, err := a.Analyze(q)
+	if err != nil {
+		t.Fatalf("analyze %q: %v", query, err)
+	}
+	return out
+}
+
+func analyzeErr(t *testing.T, cat *catalog.Catalog, ctx catalog.RequestContext, query string) error {
+	t.Helper()
+	a := New(cat, ctx)
+	q, err := sql.ParseQuery(query)
+	if err != nil {
+		t.Fatalf("parse %q: %v", query, err)
+	}
+	_, err = a.Analyze(q)
+	if err == nil {
+		t.Fatalf("analyze %q: expected error", query)
+	}
+	return err
+}
+
+func TestResolveSimpleSelect(t *testing.T) {
+	cat := newWorld(t)
+	out := analyze(t, cat, adminCtx(), "SELECT amount, seller FROM sales WHERE region = 'US'")
+	schema := out.Schema()
+	if schema.Len() != 2 || schema.Fields[0].Name != "amount" || schema.Fields[0].Kind != types.KindFloat64 {
+		t.Fatalf("schema = %s", schema)
+	}
+	// No unresolved nodes remain.
+	if plan.Contains(out, func(n plan.Node) bool { _, ok := n.(*plan.UnresolvedRelation); return ok }) {
+		t.Error("unresolved relation remains")
+	}
+	unresolvedExpr := false
+	plan.Walk(out, func(n plan.Node) bool {
+		if f, ok := n.(*plan.Filter); ok {
+			if plan.ExprContains(f.Cond, func(e plan.Expr) bool { _, ok := e.(*plan.ColumnRef); return ok }) {
+				unresolvedExpr = true
+			}
+		}
+		return true
+	})
+	if unresolvedExpr {
+		t.Error("unresolved column refs remain")
+	}
+}
+
+func TestStarExpansion(t *testing.T) {
+	cat := newWorld(t)
+	out := analyze(t, cat, adminCtx(), "SELECT * FROM sales")
+	if out.Schema().Len() != 4 {
+		t.Fatalf("star expanded to %d cols", out.Schema().Len())
+	}
+	out2 := analyze(t, cat, adminCtx(), "SELECT s.* FROM sales s")
+	if out2.Schema().Len() != 4 {
+		t.Fatalf("qualified star expanded to %d cols", out2.Schema().Len())
+	}
+}
+
+func TestUnknownColumnAndTable(t *testing.T) {
+	cat := newWorld(t)
+	if err := analyzeErr(t, cat, adminCtx(), "SELECT nope FROM sales"); !strings.Contains(err.Error(), "not found") {
+		t.Errorf("err = %v", err)
+	}
+	if err := analyzeErr(t, cat, adminCtx(), "SELECT 1 FROM nope"); !errors.Is(err, catalog.ErrNotFound) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPermissionDenied(t *testing.T) {
+	cat := newWorld(t)
+	err := analyzeErr(t, cat, ctxFor(alice, catalog.ComputeStandard), "SELECT * FROM sales")
+	if !errors.Is(err, catalog.ErrPermission) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDateLiteralCoercion(t *testing.T) {
+	cat := newWorld(t)
+	out := analyze(t, cat, adminCtx(), "SELECT amount FROM sales WHERE date = '2024-12-01'")
+	// The string literal must be cast to DATE.
+	foundCast := false
+	plan.Walk(out, func(n plan.Node) bool {
+		if f, ok := n.(*plan.Filter); ok {
+			plan.WalkExpr(f.Cond, func(e plan.Expr) bool {
+				if c, ok := e.(*plan.Cast); ok && c.To == types.KindDate {
+					foundCast = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	if !foundCast {
+		t.Error("date coercion cast not inserted")
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	cat := newWorld(t)
+	cases := []string{
+		"SELECT amount + seller FROM sales",
+		"SELECT * FROM sales WHERE amount",
+		"SELECT * FROM sales WHERE seller AND region",
+		"SELECT * FROM sales WHERE amount LIKE 'x%'",
+		"SELECT * FROM sales WHERE seller = amount",
+		"SELECT -seller FROM sales",
+		"SELECT NOT amount FROM sales",
+	}
+	for _, q := range cases {
+		analyzeErr(t, cat, adminCtx(), q)
+	}
+}
+
+func TestJoinResolution(t *testing.T) {
+	cat := newWorld(t)
+	schema := types.NewSchema(
+		types.Field{Name: "seller", Kind: types.KindString},
+		types.Field{Name: "quota", Kind: types.KindFloat64},
+	)
+	if err := cat.CreateTable(adminCtx(), []string{"quotas"}, schema, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := analyze(t, cat, adminCtx(),
+		"SELECT s.seller, q.quota FROM sales s JOIN quotas q ON s.seller = q.seller")
+	if out.Schema().Len() != 2 {
+		t.Fatalf("schema = %s", out.Schema())
+	}
+	// Unqualified ambiguous column errors.
+	err := analyzeErr(t, cat, adminCtx(),
+		"SELECT seller FROM sales s JOIN quotas q ON s.seller = q.seller")
+	if !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAggregateRewrite(t *testing.T) {
+	cat := newWorld(t)
+	out := analyze(t, cat, adminCtx(),
+		"SELECT region, SUM(amount) AS total, COUNT(*) AS n FROM sales GROUP BY region")
+	proj, ok := out.(*plan.Project)
+	if !ok {
+		t.Fatalf("root = %T", out)
+	}
+	agg, ok := proj.Child.(*plan.Aggregate)
+	if !ok {
+		t.Fatalf("child = %T", proj.Child)
+	}
+	if len(agg.GroupBy) != 1 || len(agg.Aggs) != 2 {
+		t.Fatalf("agg shape: %d groups %d aggs", len(agg.GroupBy), len(agg.Aggs))
+	}
+	if out.Schema().Fields[1].Name != "total" || out.Schema().Fields[1].Kind != types.KindFloat64 {
+		t.Errorf("schema = %s", out.Schema())
+	}
+	if out.Schema().Fields[2].Kind != types.KindInt64 {
+		t.Error("count should be BIGINT")
+	}
+}
+
+func TestAggregateExpressionOverAggs(t *testing.T) {
+	cat := newWorld(t)
+	out := analyze(t, cat, adminCtx(),
+		"SELECT region, SUM(amount) / COUNT(*) AS mean FROM sales GROUP BY region")
+	if out.Schema().Fields[1].Kind != types.KindFloat64 {
+		t.Errorf("mean kind = %v", out.Schema().Fields[1].Kind)
+	}
+	// Identical agg calls share one slot.
+	out2 := analyze(t, cat, adminCtx(),
+		"SELECT SUM(amount), SUM(amount) FROM sales")
+	var agg *plan.Aggregate
+	plan.Walk(out2, func(n plan.Node) bool {
+		if a, ok := n.(*plan.Aggregate); ok {
+			agg = a
+		}
+		return true
+	})
+	if len(agg.Aggs) != 1 {
+		t.Errorf("duplicate aggs not shared: %d slots", len(agg.Aggs))
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	cat := newWorld(t)
+	// Non-grouped column.
+	err := analyzeErr(t, cat, adminCtx(), "SELECT seller, SUM(amount) FROM sales GROUP BY region")
+	if !strings.Contains(err.Error(), "GROUP BY") {
+		t.Errorf("err = %v", err)
+	}
+	// Aggregate of non-numeric.
+	analyzeErr(t, cat, adminCtx(), "SELECT SUM(seller) FROM sales GROUP BY region")
+	// Nested aggregate.
+	analyzeErr(t, cat, adminCtx(), "SELECT SUM(COUNT(*)) FROM sales")
+	// Star in aggregate select.
+	analyzeErr(t, cat, adminCtx(), "SELECT *, COUNT(*) FROM sales")
+	// Aggregate in WHERE.
+	analyzeErr(t, cat, adminCtx(), "SELECT region FROM sales WHERE SUM(amount) > 1 GROUP BY region")
+}
+
+func TestHavingResolution(t *testing.T) {
+	cat := newWorld(t)
+	out := analyze(t, cat, adminCtx(),
+		"SELECT region FROM sales GROUP BY region HAVING SUM(amount) > 100 AND region <> 'EU'")
+	// HAVING introduces an agg slot not in the select list.
+	var agg *plan.Aggregate
+	var filter *plan.Filter
+	plan.Walk(out, func(n plan.Node) bool {
+		switch v := n.(type) {
+		case *plan.Aggregate:
+			agg = v
+		case *plan.Filter:
+			filter = v
+		}
+		return true
+	})
+	if agg == nil || filter == nil {
+		t.Fatal("missing aggregate or having filter")
+	}
+	if len(agg.Aggs) != 1 {
+		t.Errorf("agg slots = %d", len(agg.Aggs))
+	}
+	if out.Schema().Len() != 1 {
+		t.Errorf("final schema = %s", out.Schema())
+	}
+}
+
+func TestRowFilterInjection(t *testing.T) {
+	cat := newWorld(t)
+	if err := cat.SetRowFilter(adminCtx(), []string{"sales"},
+		"region = 'US' OR IS_ACCOUNT_GROUP_MEMBER('admins')", false); err != nil {
+		t.Fatal(err)
+	}
+	cat.Grant(adminCtx(), catalog.PrivSelect, []string{"sales"}, alice)
+	out := analyze(t, cat, ctxFor(alice, catalog.ComputeStandard), "SELECT amount FROM sales")
+
+	var sv *plan.SecureView
+	plan.Walk(out, func(n plan.Node) bool {
+		if v, ok := n.(*plan.SecureView); ok {
+			sv = v
+		}
+		return true
+	})
+	if sv == nil {
+		t.Fatal("no SecureView injected")
+	}
+	if sv.PolicyKinds[0] != "row_filter" {
+		t.Errorf("kinds = %v", sv.PolicyKinds)
+	}
+	// The filter lives under the barrier and references the group function.
+	foundGroupFn := plan.Contains(out, func(n plan.Node) bool {
+		f, ok := n.(*plan.Filter)
+		return ok && plan.ExprContains(f.Cond, func(e plan.Expr) bool {
+			_, ok := e.(*plan.GroupMember)
+			return ok
+		})
+	})
+	if !foundGroupFn {
+		t.Error("row filter predicate missing from plan")
+	}
+}
+
+func TestColumnMaskInjection(t *testing.T) {
+	cat := newWorld(t)
+	mask := "CASE WHEN IS_ACCOUNT_GROUP_MEMBER('hr') THEN seller ELSE '***' END"
+	if err := cat.SetColumnMask(adminCtx(), []string{"sales"}, "seller", mask, false); err != nil {
+		t.Fatal(err)
+	}
+	out := analyze(t, cat, adminCtx(), "SELECT seller FROM sales")
+	// Schema unchanged.
+	if out.Schema().Fields[0].Name != "seller" || out.Schema().Fields[0].Kind != types.KindString {
+		t.Fatalf("schema = %s", out.Schema())
+	}
+	// A masking projection with a CASE sits under a SecureView.
+	foundMask := plan.Contains(out, func(n plan.Node) bool {
+		p, ok := n.(*plan.Project)
+		if !ok {
+			return false
+		}
+		for _, e := range p.Exprs {
+			if plan.ExprContains(e, func(x plan.Expr) bool { _, ok := x.(*plan.Case); return ok }) {
+				return true
+			}
+		}
+		return false
+	})
+	if !foundMask {
+		t.Error("mask projection missing")
+	}
+}
+
+func TestDedicatedComputeGetsRemoteScan(t *testing.T) {
+	cat := newWorld(t)
+	cat.SetRowFilter(adminCtx(), []string{"sales"}, "region = 'US'", false)
+	cat.Grant(adminCtx(), catalog.PrivSelect, []string{"sales"}, alice)
+	out := analyze(t, cat, ctxFor(alice, catalog.ComputeDedicated),
+		"SELECT amount, date, seller FROM sales WHERE date = '2024-12-01'")
+	var rs *plan.RemoteScan
+	plan.Walk(out, func(n plan.Node) bool {
+		if r, ok := n.(*plan.RemoteScan); ok {
+			rs = r
+		}
+		return true
+	})
+	if rs == nil {
+		t.Fatal("expected RemoteScan for FGAC table on dedicated compute")
+	}
+	if rs.Relation != "main.default.sales" {
+		t.Errorf("relation = %q", rs.Relation)
+	}
+	// The policy internals must not appear anywhere in the plan.
+	if strings.Contains(plan.Explain(out), "US") {
+		t.Error("policy literal leaked into dedicated-compute plan")
+	}
+	// Plain tables on dedicated compute scan locally.
+	cat.SetRowFilter(adminCtx(), []string{"sales"}, "", true)
+	out2 := analyze(t, cat, ctxFor(alice, catalog.ComputeDedicated), "SELECT amount FROM sales")
+	if plan.Contains(out2, func(n plan.Node) bool { _, ok := n.(*plan.RemoteScan); return ok }) {
+		t.Error("plain table should not use RemoteScan")
+	}
+}
+
+func TestViewDefinerRights(t *testing.T) {
+	cat := newWorld(t)
+	vs := types.NewSchema(
+		types.Field{Name: "amount", Kind: types.KindFloat64},
+		types.Field{Name: "seller", Kind: types.KindString},
+	)
+	err := cat.CreateView(adminCtx(), []string{"sensor_view"},
+		"SELECT amount, seller FROM sales WHERE region <> 'CLASSIFIED'", false, false, vs, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alice can SELECT the view but not the base table.
+	cat.Grant(adminCtx(), catalog.PrivSelect, []string{"sensor_view"}, alice)
+	out := analyze(t, cat, ctxFor(alice, catalog.ComputeStandard), "SELECT * FROM sensor_view")
+	if out.Schema().Len() != 2 {
+		t.Fatalf("schema = %s", out.Schema())
+	}
+	if !plan.Contains(out, func(n plan.Node) bool {
+		sv, ok := n.(*plan.SecureView)
+		return ok && sv.PolicyKinds[0] == "view"
+	}) {
+		t.Error("view barrier missing")
+	}
+	// Direct base access still denied.
+	if err := analyzeErr(t, cat, ctxFor(alice, catalog.ComputeStandard), "SELECT * FROM sales"); !errors.Is(err, catalog.ErrPermission) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestViewCycleDetection(t *testing.T) {
+	cat := newWorld(t)
+	vs := types.NewSchema(types.Field{Name: "x", Kind: types.KindInt64})
+	// v1 -> v2 -> v1
+	if err := cat.CreateView(adminCtx(), []string{"v1"}, "SELECT x FROM v2", false, false, vs, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.CreateView(adminCtx(), []string{"v2"}, "SELECT x FROM v1", false, false, vs, ""); err != nil {
+		t.Fatal(err)
+	}
+	err := analyzeErr(t, cat, adminCtx(), "SELECT * FROM v1")
+	if !strings.Contains(err.Error(), "cycl") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMaterializedViewRequiresRefresh(t *testing.T) {
+	cat := newWorld(t)
+	vs := types.NewSchema(types.Field{Name: "amount", Kind: types.KindFloat64})
+	if err := cat.CreateView(adminCtx(), []string{"mv"}, "SELECT amount FROM sales", true, false, vs, ""); err != nil {
+		t.Fatal(err)
+	}
+	err := analyzeErr(t, cat, adminCtx(), "SELECT * FROM mv")
+	if !strings.Contains(err.Error(), "refresh") {
+		t.Errorf("err = %v", err)
+	}
+	if err := cat.RefreshMaterializedView(adminCtx(), []string{"mv"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := analyze(t, cat, adminCtx(), "SELECT * FROM mv")
+	if !plan.Contains(out, func(n plan.Node) bool { _, ok := n.(*plan.Scan); return ok }) {
+		t.Error("MV should scan its backing storage")
+	}
+}
+
+func TestTempViews(t *testing.T) {
+	cat := newWorld(t)
+	a := New(cat, adminCtx())
+	tv, err := sql.ParseQuery("SELECT amount FROM sales WHERE region = 'US'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.TempViews = map[string]plan.Node{"us_sales": tv}
+	q, _ := sql.ParseQuery("SELECT * FROM us_sales")
+	out, err := a.Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema().Len() != 1 || out.Schema().Fields[0].Name != "amount" {
+		t.Fatalf("schema = %s", out.Schema())
+	}
+	// Another analyzer (session) does not see the temp view.
+	b := New(cat, adminCtx())
+	q2, _ := sql.ParseQuery("SELECT * FROM us_sales")
+	if _, err := b.Analyze(q2); err == nil {
+		t.Error("temp view leaked across sessions")
+	}
+}
+
+func TestSessionAndCatalogUDFs(t *testing.T) {
+	cat := newWorld(t)
+	a := New(cat, adminCtx())
+	a.TempFuncs = map[string]TempFunc{
+		"boost": {
+			Params:  []types.Field{{Name: "x", Kind: types.KindFloat64}},
+			Returns: types.KindFloat64,
+			Body:    "return x * 1.1",
+			Owner:   admin,
+		},
+	}
+	q, _ := sql.ParseQuery("SELECT boost(amount) AS boosted FROM sales")
+	out, err := a.Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var call *plan.UDFCall
+	plan.Walk(out, func(n plan.Node) bool {
+		if p, ok := n.(*plan.Project); ok {
+			for _, e := range p.Exprs {
+				plan.WalkExpr(e, func(x plan.Expr) bool {
+					if u, ok := x.(*plan.UDFCall); ok {
+						call = u
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+	if call == nil {
+		t.Fatal("UDF call not resolved")
+	}
+	if call.Cataloged || call.Owner != admin || call.ResultKind != types.KindFloat64 {
+		t.Errorf("call = %+v", call)
+	}
+	// Wrong arity.
+	q2, _ := sql.ParseQuery("SELECT boost(amount, amount) FROM sales")
+	if _, err := a.Analyze(q2); err == nil {
+		t.Error("arity error missed")
+	}
+	// Cataloged UDF requires EXECUTE.
+	if err := cat.CreateFunction(adminCtx(), []string{"redact"},
+		[]types.Field{{Name: "s", Kind: types.KindString}}, types.KindString, "return '***'", false, ""); err != nil {
+		t.Fatal(err)
+	}
+	cat.Grant(adminCtx(), catalog.PrivSelect, []string{"sales"}, alice)
+	al := New(cat, ctxFor(alice, catalog.ComputeStandard))
+	q3, _ := sql.ParseQuery("SELECT redact(seller) FROM sales")
+	if _, err := al.Analyze(q3); !errors.Is(err, catalog.ErrPermission) {
+		t.Errorf("err = %v", err)
+	}
+	cat.Grant(adminCtx(), catalog.PrivExecute, []string{"redact"}, alice)
+	out3, err := al.Analyze(q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var call3 *plan.UDFCall
+	plan.Walk(out3, func(n plan.Node) bool {
+		if p, ok := n.(*plan.Project); ok {
+			plan.WalkExpr(p.Exprs[0], func(x plan.Expr) bool {
+				if u, ok := x.(*plan.UDFCall); ok {
+					call3 = u
+				}
+				return true
+			})
+		}
+		return true
+	})
+	if call3 == nil || !call3.Cataloged || call3.Owner != admin {
+		t.Errorf("cataloged call = %+v", call3)
+	}
+}
+
+func TestUnionTypeCheck(t *testing.T) {
+	cat := newWorld(t)
+	analyze(t, cat, adminCtx(), "SELECT amount FROM sales UNION ALL SELECT amount FROM sales")
+	analyzeErr(t, cat, adminCtx(), "SELECT amount FROM sales UNION ALL SELECT seller FROM sales")
+	analyzeErr(t, cat, adminCtx(), "SELECT amount, seller FROM sales UNION ALL SELECT amount FROM sales")
+}
+
+func TestScalarFunctionResolution(t *testing.T) {
+	cat := newWorld(t)
+	out := analyze(t, cat, adminCtx(), "SELECT upper(seller) AS u, length(region) AS l FROM sales")
+	if out.Schema().Fields[0].Kind != types.KindString || out.Schema().Fields[1].Kind != types.KindInt64 {
+		t.Errorf("schema = %s", out.Schema())
+	}
+	analyzeErr(t, cat, adminCtx(), "SELECT upper(seller, region) FROM sales")
+	analyzeErr(t, cat, adminCtx(), "SELECT nosuchfunc(seller) FROM sales")
+}
+
+func TestCaseCommonType(t *testing.T) {
+	cat := newWorld(t)
+	out := analyze(t, cat, adminCtx(),
+		"SELECT CASE WHEN amount > 10 THEN 1 ELSE 0.5 END AS x FROM sales")
+	if out.Schema().Fields[0].Kind != types.KindFloat64 {
+		t.Errorf("case kind = %v", out.Schema().Fields[0].Kind)
+	}
+	analyzeErr(t, cat, adminCtx(),
+		"SELECT CASE WHEN amount > 10 THEN 1 ELSE 'no' END FROM sales")
+	analyzeErr(t, cat, adminCtx(),
+		"SELECT CASE WHEN seller THEN 1 END FROM sales")
+}
+
+func TestTimeTravelVersionPropagates(t *testing.T) {
+	cat := newWorld(t)
+	out := analyze(t, cat, adminCtx(), "SELECT amount FROM sales VERSION AS OF 0")
+	found := false
+	plan.Walk(out, func(n plan.Node) bool {
+		if s, ok := n.(*plan.Scan); ok && s.Version == 0 {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Error("scan version not propagated")
+	}
+}

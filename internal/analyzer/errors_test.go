@@ -1,0 +1,153 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+
+	"lakeguard/internal/catalog"
+	"lakeguard/internal/plan"
+	"lakeguard/internal/sql"
+	"lakeguard/internal/types"
+)
+
+// TestAnalyzerErrorMessages pins a broad set of resolution failures: each
+// case must fail, and where a fragment is given the message must contain it
+// (users debug through these strings).
+func TestAnalyzerErrorMessages(t *testing.T) {
+	cat := newWorld(t)
+	cases := []struct {
+		query    string
+		fragment string
+	}{
+		{"SELECT nope FROM sales", "not found"},
+		{"SELECT s.amount FROM sales", "not found"}, // wrong qualifier
+		{"SELECT * FROM missing_table", "not found"},
+		{"SELECT amount FROM sales WHERE upper(amount) = 'X'", ""},
+		{"SELECT substr(seller) FROM sales", ""}, // arity (substr needs >= 2)
+		{"SELECT abs(seller) FROM sales", "numeric"},
+		{"SELECT sum(amount, amount) FROM sales", ""},
+		{"SELECT amount FROM sales WHERE amount IN ('x')", ""},
+		{"SELECT amount FROM sales WHERE seller LIKE amount", "LIKE"},
+		{"SELECT CASE WHEN amount THEN 1 END FROM sales", "boolean"},
+		{"SELECT amount FROM sales ORDER BY nosuch", ""},
+		{"SELECT seller FROM sales GROUP BY region", "GROUP BY"},
+		{"SELECT amount FROM sales CROSS JOIN sales WHERE amount > 0", "ambiguous"},
+		{"SELECT a.amount FROM sales a JOIN sales b ON amount = amount", "ambiguous"},
+		{"SELECT * FROM sales s JOIN sales q ON s.amount", "boolean"},
+	}
+	for _, c := range cases {
+		q, err := sql.ParseQuery(c.query)
+		if err != nil {
+			t.Errorf("parse %q unexpectedly failed: %v", c.query, err)
+			continue
+		}
+		_, err = New(cat, adminCtx()).Analyze(q)
+		if err == nil {
+			t.Errorf("%q: expected analysis error", c.query)
+			continue
+		}
+		if c.fragment != "" && !strings.Contains(err.Error(), c.fragment) {
+			t.Errorf("%q: error %q missing fragment %q", c.query, err.Error(), c.fragment)
+		}
+	}
+}
+
+func TestCorruptStoredPolicyFailsClosed(t *testing.T) {
+	// A syntactically valid but semantically broken stored policy must fail
+	// resolution (fail closed), never silently skip enforcement.
+	cat := newWorld(t)
+	// Valid syntax, unknown column.
+	if err := cat.SetRowFilter(adminCtx(), []string{"sales"}, "nonexistent_col = 'US'", false); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := sql.ParseQuery("SELECT amount FROM sales")
+	if _, err := New(cat, adminCtx()).Analyze(q); err == nil {
+		t.Fatal("broken row filter must fail the query, not skip enforcement")
+	}
+	// Non-boolean row filter.
+	cat.SetRowFilter(adminCtx(), []string{"sales"}, "amount + 1", false)
+	if _, err := New(cat, adminCtx()).Analyze(q); err == nil || !strings.Contains(err.Error(), "boolean") {
+		t.Fatal("non-boolean row filter must be rejected")
+	}
+	// Broken mask.
+	cat.SetRowFilter(adminCtx(), []string{"sales"}, "", true)
+	cat.SetColumnMask(adminCtx(), []string{"sales"}, "seller", "upper(nonexistent)", false)
+	if _, err := New(cat, adminCtx()).Analyze(q); err == nil {
+		t.Fatal("broken mask must fail the query")
+	}
+}
+
+func TestViewDepthLimit(t *testing.T) {
+	cat := newWorld(t)
+	vs := types.NewSchema(types.Field{Name: "amount", Kind: types.KindFloat64})
+	// Chain of views v0 <- v1 <- ... deeper than MaxViewDepth.
+	prev := "sales"
+	for i := 0; i <= MaxViewDepth; i++ {
+		name := "v" + itoa(i)
+		if err := cat.CreateView(adminCtx(), []string{name},
+			"SELECT amount FROM "+prev, false, false, vs, ""); err != nil {
+			t.Fatal(err)
+		}
+		prev = name
+	}
+	q, _ := sql.ParseQuery("SELECT * FROM " + prev)
+	_, err := New(cat, adminCtx()).Analyze(q)
+	if err == nil || !strings.Contains(err.Error(), "nesting") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	digits := ""
+	for n > 0 {
+		digits = string(rune('0'+n%10)) + digits
+		n /= 10
+	}
+	return digits
+}
+
+func TestAnalyzeExprAgainstSchema(t *testing.T) {
+	cat := newWorld(t)
+	a := New(cat, adminCtx())
+	schema := types.NewSchema(
+		types.Field{Name: "x", Kind: types.KindInt64},
+		types.Field{Name: "s", Kind: types.KindString},
+	)
+	e, err := sql.ParseExpr("x > 1 AND upper(s) = 'A'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolved, err := a.AnalyzeExpr(e, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolved.Type() != types.KindBool {
+		t.Errorf("type = %v", resolved.Type())
+	}
+	if plan.ExprContains(resolved, func(x plan.Expr) bool {
+		_, ok := x.(*plan.ColumnRef)
+		return ok
+	}) {
+		t.Error("unresolved refs remain")
+	}
+}
+
+func TestRemoteScanOnViewForDedicated(t *testing.T) {
+	// Views (even without explicit FGAC) are governed objects: untrusted
+	// compute must not see their bodies and resolves them to RemoteScan.
+	cat := newWorld(t)
+	vs := types.NewSchema(types.Field{Name: "amount", Kind: types.KindFloat64})
+	cat.CreateView(adminCtx(), []string{"v"}, "SELECT amount FROM sales", false, false, vs, "")
+	cat.Grant(adminCtx(), catalog.PrivSelect, []string{"v"}, alice)
+	q, _ := sql.ParseQuery("SELECT * FROM v")
+	out, err := New(cat, ctxFor(alice, catalog.ComputeDedicated)).Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Contains(out, func(n plan.Node) bool { _, ok := n.(*plan.RemoteScan); return ok }) {
+		t.Error("view on dedicated compute should resolve to RemoteScan")
+	}
+}

@@ -1,0 +1,362 @@
+package analyzer
+
+import (
+	"fmt"
+	"strings"
+
+	"lakeguard/internal/plan"
+	"lakeguard/internal/types"
+)
+
+// resolveExpr resolves column references, functions, and types within an
+// expression against a scope, inserting implicit casts where SQL requires
+// them.
+func (a *Analyzer) resolveExpr(e plan.Expr, sc *scope) (plan.Expr, error) {
+	switch t := e.(type) {
+	case *plan.Literal, *plan.BoundRef, *plan.CurrentUser, *plan.GroupMember:
+		return e, nil
+
+	case *plan.ColumnRef:
+		c, err := sc.resolve(t.Qualifier, t.Name)
+		if err != nil {
+			return nil, fmt.Errorf("analyzer: %v", err)
+		}
+		return &plan.BoundRef{Index: c.index, Name: c.name, Kind: c.kind}, nil
+
+	case *plan.Star:
+		return nil, fmt.Errorf("analyzer: * is only allowed as a top-level SELECT item")
+
+	case *plan.Alias:
+		child, err := a.resolveExpr(t.Child, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Alias{Child: child, Name: t.Name}, nil
+
+	case *plan.Binary:
+		return a.resolveBinary(t, sc)
+
+	case *plan.Unary:
+		child, err := a.resolveExpr(t.Child, sc)
+		if err != nil {
+			return nil, err
+		}
+		if t.Op == plan.OpNot {
+			if child.Type() != types.KindBool {
+				return nil, fmt.Errorf("analyzer: NOT requires a boolean, got %s", child.Type())
+			}
+			return &plan.Unary{Op: plan.OpNot, Child: child}, nil
+		}
+		if !child.Type().Numeric() {
+			return nil, fmt.Errorf("analyzer: cannot negate %s", child.Type())
+		}
+		return &plan.Unary{Op: plan.OpNeg, Child: child, ResultKind: child.Type()}, nil
+
+	case *plan.IsNull:
+		child, err := a.resolveExpr(t.Child, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.IsNull{Child: child, Negated: t.Negated}, nil
+
+	case *plan.InList:
+		child, err := a.resolveExpr(t.Child, sc)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]plan.Expr, len(t.List))
+		for i, item := range t.List {
+			r, err := a.resolveExpr(item, sc)
+			if err != nil {
+				return nil, err
+			}
+			r, err = coerceTo(r, child.Type())
+			if err != nil {
+				return nil, fmt.Errorf("analyzer: IN list item %d: %v", i+1, err)
+			}
+			list[i] = r
+		}
+		return &plan.InList{Child: child, List: list, Negated: t.Negated}, nil
+
+	case *plan.Like:
+		child, err := a.resolveExpr(t.Child, sc)
+		if err != nil {
+			return nil, err
+		}
+		pat, err := a.resolveExpr(t.Pattern, sc)
+		if err != nil {
+			return nil, err
+		}
+		if child.Type() != types.KindString || pat.Type() != types.KindString {
+			return nil, fmt.Errorf("analyzer: LIKE requires string operands")
+		}
+		return &plan.Like{Child: child, Pattern: pat, Negated: t.Negated}, nil
+
+	case *plan.Case:
+		return a.resolveCase(t, sc)
+
+	case *plan.Cast:
+		child, err := a.resolveExpr(t.Child, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Cast{Child: child, To: t.To}, nil
+
+	case *plan.FuncCall:
+		return a.resolveFuncCall(t, sc)
+
+	case *plan.AggFunc:
+		// Already-resolved aggregates only appear in contexts the aggregate
+		// analyzer constructs; reaching here means misuse.
+		return nil, fmt.Errorf("analyzer: aggregate %s is not allowed here", t.String())
+
+	case *plan.ScalarFunc:
+		args := make([]plan.Expr, len(t.Args))
+		for i, arg := range t.Args {
+			r, err := a.resolveExpr(arg, sc)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = r
+		}
+		return &plan.ScalarFunc{Name: t.Name, Args: args, ResultKind: t.ResultKind}, nil
+
+	case *plan.UDFCall:
+		args := make([]plan.Expr, len(t.Args))
+		for i, arg := range t.Args {
+			r, err := a.resolveExpr(arg, sc)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = r
+		}
+		cp := *t
+		cp.Args = args
+		return &cp, nil
+	}
+	return nil, fmt.Errorf("analyzer: unsupported expression %T", e)
+}
+
+func (a *Analyzer) resolveBinary(t *plan.Binary, sc *scope) (plan.Expr, error) {
+	l, err := a.resolveExpr(t.L, sc)
+	if err != nil {
+		return nil, err
+	}
+	r, err := a.resolveExpr(t.R, sc)
+	if err != nil {
+		return nil, err
+	}
+	lk, rk := l.Type(), r.Type()
+	switch {
+	case t.Op == plan.OpAnd || t.Op == plan.OpOr:
+		if lk != types.KindBool || rk != types.KindBool {
+			return nil, fmt.Errorf("analyzer: %s requires boolean operands, got %s and %s", t.Op, lk, rk)
+		}
+		return &plan.Binary{Op: t.Op, L: l, R: r, ResultKind: types.KindBool}, nil
+
+	case t.Op == plan.OpConcat:
+		l = castIfNeeded(l, types.KindString)
+		r = castIfNeeded(r, types.KindString)
+		return &plan.Binary{Op: t.Op, L: l, R: r, ResultKind: types.KindString}, nil
+
+	case t.Op.IsArithmetic():
+		if !lk.Numeric() || !rk.Numeric() {
+			return nil, fmt.Errorf("analyzer: %s requires numeric operands, got %s and %s", t.Op, lk, rk)
+		}
+		result := types.KindInt64
+		if lk == types.KindFloat64 || rk == types.KindFloat64 || t.Op == plan.OpDiv {
+			result = types.KindFloat64
+			l = castIfNeeded(l, types.KindFloat64)
+			r = castIfNeeded(r, types.KindFloat64)
+		}
+		return &plan.Binary{Op: t.Op, L: l, R: r, ResultKind: result}, nil
+
+	case t.Op.IsComparison():
+		l2, r2, err := unifyComparison(l, r)
+		if err != nil {
+			return nil, fmt.Errorf("analyzer: %v", err)
+		}
+		return &plan.Binary{Op: t.Op, L: l2, R: r2, ResultKind: types.KindBool}, nil
+	}
+	return nil, fmt.Errorf("analyzer: unsupported operator %s", t.Op)
+}
+
+// unifyComparison makes two comparison operands comparable, casting string
+// literals to temporal kinds and widening numerics.
+func unifyComparison(l, r plan.Expr) (plan.Expr, plan.Expr, error) {
+	lk, rk := l.Type(), r.Type()
+	switch {
+	case lk == rk:
+		return l, r, nil
+	case lk.Numeric() && rk.Numeric():
+		return l, r, nil
+	case lk == types.KindNull || rk == types.KindNull:
+		// NULL literal comparisons resolve at runtime.
+		return l, r, nil
+	case (lk == types.KindDate || lk == types.KindTimestamp) && rk == types.KindString:
+		return l, &plan.Cast{Child: r, To: lk}, nil
+	case (rk == types.KindDate || rk == types.KindTimestamp) && lk == types.KindString:
+		return &plan.Cast{Child: l, To: rk}, r, nil
+	}
+	return nil, nil, fmt.Errorf("cannot compare %s and %s", lk, rk)
+}
+
+func castIfNeeded(e plan.Expr, to types.Kind) plan.Expr {
+	if e.Type() == to {
+		return e
+	}
+	return &plan.Cast{Child: e, To: to}
+}
+
+// coerceTo inserts a cast when kinds differ and are compatible.
+func coerceTo(e plan.Expr, to types.Kind) (plan.Expr, error) {
+	k := e.Type()
+	if k == to || to == types.KindNull || k == types.KindNull {
+		return e, nil
+	}
+	if k.Numeric() && to.Numeric() {
+		return e, nil // runtime compares numerics cross-kind
+	}
+	if (to == types.KindDate || to == types.KindTimestamp) && k == types.KindString {
+		return &plan.Cast{Child: e, To: to}, nil
+	}
+	return nil, fmt.Errorf("cannot coerce %s to %s", k, to)
+}
+
+func (a *Analyzer) resolveCase(t *plan.Case, sc *scope) (plan.Expr, error) {
+	out := &plan.Case{Whens: make([]plan.WhenClause, len(t.Whens))}
+	var resultKinds []types.Kind
+	for i, w := range t.Whens {
+		cond, err := a.resolveExpr(w.Cond, sc)
+		if err != nil {
+			return nil, err
+		}
+		if cond.Type() != types.KindBool {
+			return nil, fmt.Errorf("analyzer: CASE WHEN condition must be boolean, got %s", cond.Type())
+		}
+		then, err := a.resolveExpr(w.Then, sc)
+		if err != nil {
+			return nil, err
+		}
+		out.Whens[i] = plan.WhenClause{Cond: cond, Then: then}
+		resultKinds = append(resultKinds, then.Type())
+	}
+	if t.Else != nil {
+		els, err := a.resolveExpr(t.Else, sc)
+		if err != nil {
+			return nil, err
+		}
+		out.Else = els
+		resultKinds = append(resultKinds, els.Type())
+	}
+	common, err := commonKind(resultKinds)
+	if err != nil {
+		return nil, fmt.Errorf("analyzer: CASE branches: %v", err)
+	}
+	out.ResultKind = common
+	// Cast all branches to the common kind.
+	for i := range out.Whens {
+		out.Whens[i].Then = castIfNeeded(out.Whens[i].Then, common)
+	}
+	if out.Else != nil {
+		out.Else = castIfNeeded(out.Else, common)
+	}
+	return out, nil
+}
+
+// commonKind finds the unified kind of a set of expression kinds.
+func commonKind(kinds []types.Kind) (types.Kind, error) {
+	result := types.KindNull
+	for _, k := range kinds {
+		switch {
+		case k == types.KindNull:
+			// NULL adapts to anything.
+		case result == types.KindNull:
+			result = k
+		case result == k:
+		case result.Numeric() && k.Numeric():
+			result = types.KindFloat64
+		default:
+			return 0, fmt.Errorf("incompatible types %s and %s", result, k)
+		}
+	}
+	if result == types.KindNull {
+		result = types.KindString
+	}
+	return result, nil
+}
+
+// resolveFuncCall dispatches a FuncCall to a builtin, session UDF, or
+// cataloged UDF.
+func (a *Analyzer) resolveFuncCall(t *plan.FuncCall, sc *scope) (plan.Expr, error) {
+	name := strings.ToLower(t.Name)
+	args := make([]plan.Expr, len(t.Args))
+	for i, arg := range t.Args {
+		r, err := a.resolveExpr(arg, sc)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = r
+	}
+
+	if sig, ok := scalarBuiltins[name]; ok {
+		if len(args) < sig.minArgs || len(args) > sig.maxArgs {
+			return nil, fmt.Errorf("analyzer: %s expects %d..%d arguments, got %d",
+				strings.ToUpper(name), sig.minArgs, sig.maxArgs, len(args))
+		}
+		kind, err := sig.result(args)
+		if err != nil {
+			return nil, fmt.Errorf("analyzer: %s: %v", strings.ToUpper(name), err)
+		}
+		return &plan.ScalarFunc{Name: name, Args: args, ResultKind: kind}, nil
+	}
+
+	if IsAggregateName(name) {
+		// Reached outside aggregate context; Project rejects it later with a
+		// clear error, but catch bare misuse here too.
+		if len(args) > 1 {
+			return nil, fmt.Errorf("analyzer: %s takes at most one argument, got %d", strings.ToUpper(name), len(args))
+		}
+		var arg plan.Expr
+		if len(args) > 0 {
+			arg = args[0]
+		}
+		kind, err := aggResultKind(name, arg)
+		if err != nil {
+			return nil, fmt.Errorf("analyzer: %v", err)
+		}
+		return &plan.AggFunc{Name: name, Arg: arg, Distinct: t.Distinct, ResultKind: kind}, nil
+	}
+
+	// Session (ephemeral) UDF.
+	if tf, ok := a.TempFuncs[name]; ok {
+		return a.buildUDFCall(name, tf.Owner, tf.Body, tf.Resources, tf.Params, tf.Returns, false, args)
+	}
+
+	// Cataloged UDF (EXECUTE privilege checked by the catalog).
+	fn, err := a.Cat.ResolveFunction(a.Ctx, strings.Split(t.Name, "."))
+	if err != nil {
+		if strings.Contains(err.Error(), "permission") {
+			return nil, err
+		}
+		return nil, fmt.Errorf("analyzer: unknown function %q", t.Name)
+	}
+	return a.buildUDFCall(fn.FullName, fn.Owner, fn.Body, fn.Resources, fn.Params, fn.Returns, true, args)
+}
+
+func (a *Analyzer) buildUDFCall(name, owner, body, resources string, params []types.Field, returns types.Kind, cataloged bool, args []plan.Expr) (plan.Expr, error) {
+	if len(args) != len(params) {
+		return nil, fmt.Errorf("analyzer: function %s expects %d arguments, got %d", name, len(params), len(args))
+	}
+	argNames := make([]string, len(params))
+	for i, p := range params {
+		argNames[i] = p.Name
+		if args[i].Type() != p.Kind && args[i].Type() != types.KindNull {
+			args[i] = &plan.Cast{Child: args[i], To: p.Kind}
+		}
+	}
+	return &plan.UDFCall{
+		Name: name, Owner: owner, Body: body, ArgNames: argNames,
+		Args: args, ResultKind: returns, Cataloged: cataloged, Resources: resources,
+	}, nil
+}

@@ -1,0 +1,168 @@
+package analyzer
+
+import (
+	"fmt"
+	"strings"
+
+	"lakeguard/internal/catalog"
+	"lakeguard/internal/plan"
+	"lakeguard/internal/sql"
+	"lakeguard/internal/types"
+)
+
+// resolveRelation turns an UnresolvedRelation into one of:
+//
+//   - a session temp view's plan,
+//   - a Scan with injected policies under a SecureView (tables on trusted
+//     compute),
+//   - a re-analyzed view body under a SecureView (views, definer rights),
+//   - a Scan of a materialized view's backing storage,
+//   - a RemoteScan leaf when the catalog marks the relation as not locally
+//     processable (external FGAC, paper §3.4).
+func (a *Analyzer) resolveRelation(r *plan.UnresolvedRelation) (plan.Node, *scope, error) {
+	// Session temp views shadow catalog objects for single-part names.
+	if len(r.Parts) == 1 {
+		if tv, ok := a.TempViews[strings.ToLower(r.Parts[0])]; ok {
+			node, sc, err := a.analyzeNode(tv)
+			if err != nil {
+				return nil, nil, fmt.Errorf("analyzer: temp view %q: %w", r.Parts[0], err)
+			}
+			return &plan.SubqueryAlias{Name: r.Parts[0], Child: node}, sc.withQualifier(r.Parts[0]), nil
+		}
+	}
+
+	meta, err := a.Cat.ResolveTable(a.Ctx, r.Parts)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if !meta.LocalProcessingAllowed {
+		rs := &plan.RemoteScan{
+			Relation:    meta.FullName,
+			OutSchema:   meta.Schema,
+			PushedLimit: -1,
+		}
+		return rs, scopeFromSchema(lastPart(meta.FullName), meta.Schema, 0), nil
+	}
+
+	switch meta.Type {
+	case catalog.TypeTable:
+		return a.resolveTable(r, meta)
+	case catalog.TypeView:
+		return a.resolveView(meta)
+	case catalog.TypeMaterializedView:
+		return a.resolveMaterializedView(r, meta)
+	}
+	return nil, nil, fmt.Errorf("analyzer: unsupported object type %s for %s", meta.Type, meta.FullName)
+}
+
+// resolveTable builds Scan → [Filter rowFilter] → [Project masks] →
+// [SecureView]. Row filters see unmasked values; masks rewrite the output.
+func (a *Analyzer) resolveTable(r *plan.UnresolvedRelation, meta *catalog.TableMeta) (plan.Node, *scope, error) {
+	scan := &plan.Scan{Table: meta.FullName, TableSchema: meta.Schema, Version: r.AsOfVersion, RunAsUser: a.Ctx.User}
+	tableScope := scopeFromSchema(lastPart(meta.FullName), meta.Schema, 0)
+	var node plan.Node = scan
+	var kinds []string
+
+	if meta.RowFilterSQL != "" {
+		filterExpr, err := a.parsePolicyExpr(meta.RowFilterSQL, meta.FullName, "row filter")
+		if err != nil {
+			return nil, nil, err
+		}
+		resolved, err := a.resolveExpr(filterExpr, tableScope)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analyzer: row filter on %s: %w", meta.FullName, err)
+		}
+		if resolved.Type() != types.KindBool {
+			return nil, nil, fmt.Errorf("analyzer: row filter on %s must be boolean", meta.FullName)
+		}
+		node = &plan.Filter{Cond: resolved, Child: node}
+		kinds = append(kinds, "row_filter")
+	}
+
+	if len(meta.ColumnMasks) > 0 {
+		exprs := make([]plan.Expr, meta.Schema.Len())
+		for i, f := range meta.Schema.Fields {
+			ref := &plan.BoundRef{Index: i, Name: f.Name, Kind: f.Kind}
+			maskSQL, masked := meta.ColumnMasks[strings.ToLower(f.Name)]
+			if !masked {
+				exprs[i] = ref
+				continue
+			}
+			maskExpr, err := a.parsePolicyExpr(maskSQL, meta.FullName, "column mask")
+			if err != nil {
+				return nil, nil, err
+			}
+			resolved, err := a.resolveExpr(maskExpr, tableScope)
+			if err != nil {
+				return nil, nil, fmt.Errorf("analyzer: column mask on %s.%s: %w", meta.FullName, f.Name, err)
+			}
+			exprs[i] = &plan.Alias{Child: castIfNeeded(resolved, f.Kind), Name: f.Name}
+		}
+		node = &plan.Project{Exprs: exprs, Child: node, OutSchema: meta.Schema}
+		kinds = append(kinds, "column_mask")
+	}
+
+	if len(kinds) > 0 {
+		node = &plan.SecureView{Name: meta.FullName, PolicyKinds: kinds, Child: node}
+	}
+	return node, tableScope, nil
+}
+
+func (a *Analyzer) parsePolicyExpr(src, securable, what string) (plan.Expr, error) {
+	e, err := sql.ParseExpr(src)
+	if err != nil {
+		return nil, fmt.Errorf("analyzer: invalid %s stored on %s: %w", what, securable, err)
+	}
+	return e, nil
+}
+
+// resolveView expands a view definition with definer rights: the body is
+// analyzed under the view owner's identity (so the querying user needs no
+// permission on underlying tables), while dynamic functions like
+// CURRENT_USER still evaluate as the *querying* user at runtime.
+func (a *Analyzer) resolveView(meta *catalog.TableMeta) (plan.Node, *scope, error) {
+	if len(a.viewStack) >= MaxViewDepth {
+		return nil, nil, fmt.Errorf("analyzer: view nesting exceeds %d (cycle through %s?)", MaxViewDepth, meta.FullName)
+	}
+	for _, v := range a.viewStack {
+		if v == meta.FullName {
+			return nil, nil, fmt.Errorf("analyzer: cyclic view reference through %s", meta.FullName)
+		}
+	}
+	body, err := sql.ParseQuery(meta.ViewText)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analyzer: view %s has invalid definition: %w", meta.FullName, err)
+	}
+	ownerCtx := a.Ctx
+	ownerCtx.User = meta.Owner
+	sub := &Analyzer{
+		Cat:       a.Cat,
+		Ctx:       ownerCtx,
+		viewStack: append(a.viewStack, meta.FullName),
+		// Deliberately no TempViews/TempFuncs: views cannot capture session
+		// state.
+	}
+	resolved, _, err := sub.analyzeNode(body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analyzer: expanding view %s: %w", meta.FullName, err)
+	}
+	name := lastPart(meta.FullName)
+	node := &plan.SubqueryAlias{
+		Name: name,
+		Child: &plan.SecureView{
+			Name: meta.FullName, PolicyKinds: []string{"view"}, Child: resolved,
+		},
+	}
+	return node, scopeFromSchema("", resolved.Schema(), 0).withQualifier(name), nil
+}
+
+// resolveMaterializedView scans the MV's precomputed backing storage.
+func (a *Analyzer) resolveMaterializedView(r *plan.UnresolvedRelation, meta *catalog.TableMeta) (plan.Node, *scope, error) {
+	if !meta.MVFresh {
+		return nil, nil, fmt.Errorf("analyzer: materialized view %s has never been refreshed; run REFRESH MATERIALIZED VIEW", meta.FullName)
+	}
+	scan := &plan.Scan{Table: meta.FullName, TableSchema: meta.Schema, Version: r.AsOfVersion, RunAsUser: a.Ctx.User}
+	node := &plan.SecureView{Name: meta.FullName, PolicyKinds: []string{"materialized_view"}, Child: scan}
+	return node, scopeFromSchema(lastPart(meta.FullName), meta.Schema, 0), nil
+}

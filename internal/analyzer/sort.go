@@ -1,0 +1,100 @@
+package analyzer
+
+import (
+	"fmt"
+
+	"lakeguard/internal/plan"
+	"lakeguard/internal/types"
+)
+
+// analyzeSort resolves ORDER BY terms. Terms resolve against the child's
+// output first (so projection aliases work); a qualified name whose
+// qualifier was erased by a projection falls back to unqualified resolution;
+// and a term referencing a column the projection dropped is supported by
+// temporarily extending the projection with hidden sort columns:
+//
+//	Project(visible)          -- drops hidden columns again
+//	  Sort(orders)
+//	    Project(visible + hidden)
+//	      child
+func (a *Analyzer) analyzeSort(t *plan.Sort) (plan.Node, *scope, error) {
+	child, cs, err := a.analyzeNode(t.Child)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	resolveWithFallback := func(e plan.Expr, sc *scope) (plan.Expr, error) {
+		r, err := a.resolveExpr(e, sc)
+		if err == nil {
+			return r, nil
+		}
+		// Retry with qualifiers stripped (projections erase them).
+		stripped := plan.TransformExpr(e, func(x plan.Expr) plan.Expr {
+			if c, ok := x.(*plan.ColumnRef); ok && c.Qualifier != "" {
+				return &plan.ColumnRef{Name: c.Name}
+			}
+			return x
+		})
+		if stripped != e {
+			if r2, err2 := a.resolveExpr(stripped, sc); err2 == nil {
+				return r2, nil
+			}
+		}
+		return nil, err
+	}
+
+	orders := make([]plan.SortOrder, len(t.Orders))
+	var missing []int // order terms that did not resolve against the output
+	for i, o := range t.Orders {
+		e, err := resolveWithFallback(o.Expr, cs)
+		if err != nil {
+			missing = append(missing, i)
+			orders[i] = plan.SortOrder{Expr: nil, Desc: o.Desc}
+			continue
+		}
+		if !e.Type().Orderable() {
+			return nil, nil, fmt.Errorf("analyzer: cannot ORDER BY %s of type %s", e.String(), e.Type())
+		}
+		orders[i] = plan.SortOrder{Expr: e, Desc: o.Desc}
+	}
+	if len(missing) == 0 {
+		return &plan.Sort{Orders: orders, Child: child}, cs, nil
+	}
+
+	// Hidden-column path: only possible when the child is a projection whose
+	// input still has the referenced columns.
+	proj, ok := child.(*plan.Project)
+	if !ok {
+		e := t.Orders[missing[0]].Expr
+		return nil, nil, fmt.Errorf("analyzer: ORDER BY %s does not resolve against the select list", e.String())
+	}
+	innerScope := scopeFromSchema("", proj.Child.Schema(), 0)
+	extended := append([]plan.Expr{}, proj.Exprs...)
+	extSchema := proj.OutSchema.Clone()
+	for _, mi := range missing {
+		e, err := resolveWithFallback(t.Orders[mi].Expr, innerScope)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analyzer: ORDER BY %s: %w", t.Orders[mi].Expr.String(), err)
+		}
+		if !e.Type().Orderable() {
+			return nil, nil, fmt.Errorf("analyzer: cannot ORDER BY %s of type %s", e.String(), e.Type())
+		}
+		hiddenIdx := len(extended)
+		name := fmt.Sprintf("__sort%d", mi)
+		extended = append(extended, &plan.Alias{Child: e, Name: name})
+		extSchema.Fields = append(extSchema.Fields, types.Field{Name: name, Kind: e.Type(), Nullable: true})
+		orders[mi] = plan.SortOrder{
+			Expr: &plan.BoundRef{Index: hiddenIdx, Name: name, Kind: e.Type()},
+			Desc: t.Orders[mi].Desc,
+		}
+	}
+	extProj := &plan.Project{Exprs: extended, Child: proj.Child, OutSchema: extSchema}
+	sorted := &plan.Sort{Orders: orders, Child: extProj}
+	// Drop the hidden columns again.
+	visible := make([]plan.Expr, proj.OutSchema.Len())
+	for i, f := range proj.OutSchema.Fields {
+		visible[i] = &plan.BoundRef{Index: i, Name: f.Name, Kind: f.Kind}
+	}
+	final := &plan.Project{Exprs: visible, Child: sorted, OutSchema: proj.OutSchema}
+	return final, scopeFromSchema("", proj.OutSchema, 0), nil
+}

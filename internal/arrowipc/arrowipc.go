@@ -1,0 +1,433 @@
+// Package arrowipc implements a compact columnar record-batch wire format in
+// the spirit of Arrow IPC. A stream is a schema message followed by zero or
+// more record-batch messages and an end marker; each message is a
+// length-prefixed frame. The format is used for Connect query results, Delta
+// data files, and sandbox IPC, so encode/decode must be an exact identity on
+// every batch (property-tested).
+//
+// Frame layout (all integers little-endian):
+//
+//	frame     := u32 length | u8 msgType | payload
+//	msgType   := 0 schema | 1 batch | 2 end
+//	schema    := u16 nFields | field*
+//	field     := u16 nameLen | name | u8 kind | u8 nullable
+//	batch     := u32 nRows | column*
+//	column    := u8 hasNulls | [bitmapBytes] | buffer
+//	buffer    := ints: 8*n bytes | floats: 8*n bytes
+//	           | strings: u32 offsets[n+1] | bytes
+package arrowipc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"lakeguard/internal/types"
+)
+
+// Message types.
+const (
+	msgSchema byte = 0
+	msgBatch  byte = 1
+	msgEnd    byte = 2
+)
+
+// MaxFrameSize bounds a single frame to guard against corrupted length
+// prefixes (64 MiB).
+const MaxFrameSize = 64 << 20
+
+// ErrClosed is returned when reading past the end marker.
+var ErrClosed = errors.New("arrowipc: stream closed")
+
+// Writer encodes a stream of batches sharing one schema.
+type Writer struct {
+	w      io.Writer
+	schema *types.Schema
+	buf    []byte
+	closed bool
+}
+
+// NewWriter starts a stream by writing the schema message.
+func NewWriter(w io.Writer, schema *types.Schema) (*Writer, error) {
+	wr := &Writer{w: w, schema: schema}
+	payload := appendSchema(nil, schema)
+	if err := wr.writeFrame(msgSchema, payload); err != nil {
+		return nil, err
+	}
+	return wr, nil
+}
+
+// WriteBatch appends one record batch to the stream.
+func (wr *Writer) WriteBatch(b *types.Batch) error {
+	if wr.closed {
+		return ErrClosed
+	}
+	if !b.Schema.Equal(wr.schema) {
+		return fmt.Errorf("arrowipc: batch schema %s does not match stream schema %s", b.Schema, wr.schema)
+	}
+	wr.buf = appendBatch(wr.buf[:0], b)
+	return wr.writeFrame(msgBatch, wr.buf)
+}
+
+// Close writes the end marker. The underlying writer is not closed.
+func (wr *Writer) Close() error {
+	if wr.closed {
+		return nil
+	}
+	wr.closed = true
+	return wr.writeFrame(msgEnd, nil)
+}
+
+func (wr *Writer) writeFrame(msgType byte, payload []byte) error {
+	if len(payload)+1 > MaxFrameSize {
+		return fmt.Errorf("arrowipc: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = msgType
+	if _, err := wr.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := wr.w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reader decodes a stream written by Writer.
+type Reader struct {
+	r      io.Reader
+	schema *types.Schema
+	done   bool
+}
+
+// NewReader consumes the schema message and prepares to read batches.
+func NewReader(r io.Reader) (*Reader, error) {
+	rd := &Reader{r: r}
+	msgType, payload, err := rd.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	if msgType != msgSchema {
+		return nil, fmt.Errorf("arrowipc: expected schema message, got type %d", msgType)
+	}
+	schema, _, err := decodeSchema(payload)
+	if err != nil {
+		return nil, err
+	}
+	rd.schema = schema
+	return rd, nil
+}
+
+// Schema returns the stream schema.
+func (rd *Reader) Schema() *types.Schema { return rd.schema }
+
+// Next returns the next batch, or io.EOF after the end marker.
+func (rd *Reader) Next() (*types.Batch, error) {
+	if rd.done {
+		return nil, io.EOF
+	}
+	msgType, payload, err := rd.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	switch msgType {
+	case msgBatch:
+		return decodeBatch(payload, rd.schema)
+	case msgEnd:
+		rd.done = true
+		return nil, io.EOF
+	}
+	return nil, fmt.Errorf("arrowipc: unexpected message type %d", msgType)
+}
+
+// ReadAll drains the stream into a slice of batches.
+func (rd *Reader) ReadAll() ([]*types.Batch, error) {
+	var out []*types.Batch
+	for {
+		b, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+}
+
+func (rd *Reader) readFrame() (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(rd.r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrameSize {
+		return 0, nil, fmt.Errorf("arrowipc: invalid frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(rd.r, body); err != nil {
+		return 0, nil, err
+	}
+	return body[0], body[1:], nil
+}
+
+// --- payload encoding ---
+
+func appendSchema(buf []byte, s *types.Schema) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s.Fields)))
+	for _, f := range s.Fields {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(f.Name)))
+		buf = append(buf, f.Name...)
+		buf = append(buf, byte(f.Kind))
+		if f.Nullable {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return buf
+}
+
+func decodeSchema(buf []byte) (*types.Schema, int, error) {
+	if len(buf) < 2 {
+		return nil, 0, errors.New("arrowipc: truncated schema")
+	}
+	n := int(binary.LittleEndian.Uint16(buf))
+	pos := 2
+	s := &types.Schema{Fields: make([]types.Field, 0, n)}
+	for i := 0; i < n; i++ {
+		if pos+2 > len(buf) {
+			return nil, 0, errors.New("arrowipc: truncated schema field")
+		}
+		nameLen := int(binary.LittleEndian.Uint16(buf[pos:]))
+		pos += 2
+		if pos+nameLen+2 > len(buf) {
+			return nil, 0, errors.New("arrowipc: truncated schema field body")
+		}
+		name := string(buf[pos : pos+nameLen])
+		pos += nameLen
+		kind := types.Kind(buf[pos])
+		nullable := buf[pos+1] == 1
+		pos += 2
+		if !kind.Valid() {
+			return nil, 0, fmt.Errorf("arrowipc: invalid kind %d for field %q", kind, name)
+		}
+		s.Fields = append(s.Fields, types.Field{Name: name, Kind: kind, Nullable: nullable})
+	}
+	return s, pos, nil
+}
+
+func appendBatch(buf []byte, b *types.Batch) []byte {
+	n := b.NumRows()
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	for _, col := range b.Cols {
+		buf = appendColumn(buf, col, n)
+	}
+	return buf
+}
+
+func appendColumn(buf []byte, col *types.Column, n int) []byte {
+	hasNulls := col.HasNulls()
+	if hasNulls {
+		buf = append(buf, 1)
+		bitmap := make([]byte, (n+7)/8)
+		for i := 0; i < n; i++ {
+			if col.IsNull(i) {
+				bitmap[i/8] |= 1 << (i % 8)
+			}
+		}
+		buf = append(buf, bitmap...)
+	} else {
+		buf = append(buf, 0)
+	}
+	switch col.Kind() {
+	case types.KindBool, types.KindInt64, types.KindDate, types.KindTimestamp:
+		for i := 0; i < n; i++ {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(col.Int64(i)))
+		}
+	case types.KindFloat64:
+		for i := 0; i < n; i++ {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(col.Float64(i)))
+		}
+	case types.KindString, types.KindBinary:
+		off := uint32(0)
+		buf = binary.LittleEndian.AppendUint32(buf, off)
+		for i := 0; i < n; i++ {
+			off += uint32(len(col.StringAt(i)))
+			buf = binary.LittleEndian.AppendUint32(buf, off)
+		}
+		for i := 0; i < n; i++ {
+			buf = append(buf, col.StringAt(i)...)
+		}
+	}
+	return buf
+}
+
+func decodeBatch(buf []byte, schema *types.Schema) (*types.Batch, error) {
+	if len(buf) < 4 {
+		return nil, errors.New("arrowipc: truncated batch")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	pos := 4
+	cols := make([]*types.Column, schema.Len())
+	for ci, f := range schema.Fields {
+		col, next, err := decodeColumn(buf, pos, f.Kind, n)
+		if err != nil {
+			return nil, fmt.Errorf("arrowipc: column %q: %w", f.Name, err)
+		}
+		cols[ci] = col
+		pos = next
+	}
+	return types.NewBatch(schema, cols)
+}
+
+func decodeColumn(buf []byte, pos int, kind types.Kind, n int) (*types.Column, int, error) {
+	if pos >= len(buf) {
+		return nil, 0, errors.New("truncated column header")
+	}
+	hasNulls := buf[pos] == 1
+	pos++
+	var bitmap []byte
+	if hasNulls {
+		bl := (n + 7) / 8
+		if pos+bl > len(buf) {
+			return nil, 0, errors.New("truncated null bitmap")
+		}
+		bitmap = buf[pos : pos+bl]
+		pos += bl
+	}
+	isNull := func(i int) bool {
+		return bitmap != nil && bitmap[i/8]&(1<<(i%8)) != 0
+	}
+	b := types.NewBuilder(kind, n)
+	switch kind {
+	case types.KindBool, types.KindInt64, types.KindDate, types.KindTimestamp:
+		if pos+8*n > len(buf) {
+			return nil, 0, errors.New("truncated int buffer")
+		}
+		for i := 0; i < n; i++ {
+			if isNull(i) {
+				b.AppendNull()
+			} else {
+				b.AppendInt64(int64(binary.LittleEndian.Uint64(buf[pos+8*i:])))
+			}
+		}
+		pos += 8 * n
+	case types.KindFloat64:
+		if pos+8*n > len(buf) {
+			return nil, 0, errors.New("truncated float buffer")
+		}
+		for i := 0; i < n; i++ {
+			if isNull(i) {
+				b.AppendNull()
+			} else {
+				b.AppendFloat64(math.Float64frombits(binary.LittleEndian.Uint64(buf[pos+8*i:])))
+			}
+		}
+		pos += 8 * n
+	case types.KindString, types.KindBinary:
+		if pos+4*(n+1) > len(buf) {
+			return nil, 0, errors.New("truncated offsets")
+		}
+		offsets := make([]uint32, n+1)
+		for i := range offsets {
+			offsets[i] = binary.LittleEndian.Uint32(buf[pos+4*i:])
+		}
+		pos += 4 * (n + 1)
+		total := int(offsets[n])
+		if pos+total > len(buf) {
+			return nil, 0, errors.New("truncated string data")
+		}
+		data := buf[pos : pos+total]
+		for i := 0; i < n; i++ {
+			if isNull(i) {
+				b.AppendNull()
+				continue
+			}
+			lo, hi := offsets[i], offsets[i+1]
+			if lo > hi || int(hi) > total {
+				return nil, 0, errors.New("invalid string offsets")
+			}
+			b.AppendString(string(data[lo:hi]))
+		}
+		pos += total
+	default:
+		return nil, 0, fmt.Errorf("unsupported kind %v", kind)
+	}
+	return b.Build(), pos, nil
+}
+
+// EncodeBatch serializes a single batch (schema included) to bytes.
+func EncodeBatch(b *types.Batch) ([]byte, error) {
+	var buf sliceWriter
+	w, err := NewWriter(&buf, b.Schema)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.WriteBatch(b); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.data, nil
+}
+
+// DecodeBatch reverses EncodeBatch. Multiple batches in the stream are
+// concatenated into one.
+func DecodeBatch(data []byte) (*types.Batch, error) {
+	rd, err := NewReader(&sliceReader{data: data})
+	if err != nil {
+		return nil, err
+	}
+	batches, err := rd.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	return ConcatBatches(rd.Schema(), batches)
+}
+
+// ConcatBatches merges batches sharing a schema into one batch. An empty
+// input yields an empty batch of the given schema.
+func ConcatBatches(schema *types.Schema, batches []*types.Batch) (*types.Batch, error) {
+	total := 0
+	for _, b := range batches {
+		total += b.NumRows()
+	}
+	bb := types.NewBatchBuilder(schema, total)
+	for _, b := range batches {
+		if !b.Schema.Equal(schema) {
+			return nil, fmt.Errorf("arrowipc: cannot concat mismatched schema %s vs %s", b.Schema, schema)
+		}
+		for i := 0; i < b.NumRows(); i++ {
+			bb.AppendRow(b.Row(i))
+		}
+	}
+	return bb.Build(), nil
+}
+
+type sliceWriter struct{ data []byte }
+
+func (s *sliceWriter) Write(p []byte) (int, error) {
+	s.data = append(s.data, p...)
+	return len(p), nil
+}
+
+type sliceReader struct {
+	data []byte
+	pos  int
+}
+
+func (s *sliceReader) Read(p []byte) (int, error) {
+	if s.pos >= len(s.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, s.data[s.pos:])
+	s.pos += n
+	return n, nil
+}

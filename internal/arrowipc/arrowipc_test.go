@@ -1,0 +1,265 @@
+package arrowipc
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lakeguard/internal/types"
+)
+
+func sampleSchema() *types.Schema {
+	return types.NewSchema(
+		types.Field{Name: "id", Kind: types.KindInt64},
+		types.Field{Name: "name", Kind: types.KindString, Nullable: true},
+		types.Field{Name: "score", Kind: types.KindFloat64, Nullable: true},
+		types.Field{Name: "ok", Kind: types.KindBool, Nullable: true},
+		types.Field{Name: "day", Kind: types.KindDate, Nullable: true},
+		types.Field{Name: "blob", Kind: types.KindBinary, Nullable: true},
+	)
+}
+
+func sampleBatch(n int, seed int64) *types.Batch {
+	rng := rand.New(rand.NewSource(seed))
+	bb := types.NewBatchBuilder(sampleSchema(), n)
+	for i := 0; i < n; i++ {
+		row := []types.Value{
+			types.Int64(rng.Int63()),
+			types.String(string(rune('a' + i%26))),
+			types.Float64(rng.NormFloat64()),
+			types.Bool(i%2 == 0),
+			types.Date(int64(20000 + i)),
+			types.Binary([]byte{byte(i), 0xff, 0x00}),
+		}
+		// Sprinkle NULLs into nullable columns.
+		for c := 1; c < 6; c++ {
+			if rng.Intn(5) == 0 {
+				row[c] = types.Null(sampleSchema().Fields[c].Kind)
+			}
+		}
+		bb.AppendRow(row)
+	}
+	return bb.Build()
+}
+
+func batchesEqual(a, b *types.Batch) bool {
+	if !a.Schema.Equal(b.Schema) || a.NumRows() != b.NumRows() {
+		return false
+	}
+	for i := 0; i < a.NumRows(); i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for c := range ra {
+			if ra[c].Null != rb[c].Null {
+				return false
+			}
+			if !ra[c].Null {
+				// NaN-safe float comparison.
+				if ra[c].Kind == types.KindFloat64 && math.IsNaN(ra[c].F) && math.IsNaN(rb[c].F) {
+					continue
+				}
+				if !ra[c].Equal(rb[c]) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	schema := sampleSchema()
+	w, err := NewWriter(&buf, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b2 := sampleBatch(100, 1), sampleBatch(3, 2)
+	if err := w.WriteBatch(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBatch(b2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rd.Schema().Equal(schema) {
+		t.Fatalf("schema mismatch: %s", rd.Schema())
+	}
+	got, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !batchesEqual(got[0], b1) || !batchesEqual(got[1], b2) {
+		t.Fatal("round trip mismatch")
+	}
+	// Reading past EOF keeps returning EOF.
+	if _, err := rd.Next(); err != io.EOF {
+		t.Errorf("post-end read err = %v", err)
+	}
+}
+
+func TestEmptyBatchAndEmptyStream(t *testing.T) {
+	schema := sampleSchema()
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, schema)
+	empty := types.NewBatchBuilder(schema, 0).Build()
+	if err := w.WriteBatch(empty); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].NumRows() != 0 {
+		t.Fatal("empty batch round trip failed")
+	}
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, sampleSchema())
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBatch(sampleBatch(1, 3)); err != ErrClosed {
+		t.Errorf("want ErrClosed, got %v", err)
+	}
+	// Double close is fine.
+	if err := w.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestSchemaMismatchRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, sampleSchema())
+	other := types.NewBatchBuilder(types.NewSchema(types.Field{Name: "x", Kind: types.KindInt64}), 0).Build()
+	if err := w.WriteBatch(other); err == nil {
+		t.Error("expected schema mismatch error")
+	}
+}
+
+func TestEncodeDecodeBatch(t *testing.T) {
+	b := sampleBatch(57, 4)
+	data, err := EncodeBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !batchesEqual(b, got) {
+		t.Fatal("EncodeBatch/DecodeBatch mismatch")
+	}
+}
+
+func TestCorruptInput(t *testing.T) {
+	b := sampleBatch(10, 5)
+	data, _ := EncodeBatch(b)
+	// Truncations at every prefix must error, never panic.
+	for cut := 0; cut < len(data); cut += 7 {
+		if _, err := DecodeBatch(data[:cut]); err == nil {
+			t.Errorf("truncation at %d: expected error", cut)
+		}
+	}
+	// Corrupt the length prefix.
+	bad := append([]byte{}, data...)
+	bad[0], bad[1], bad[2], bad[3] = 0xff, 0xff, 0xff, 0xff
+	if _, err := DecodeBatch(bad); err == nil {
+		t.Error("corrupt length accepted")
+	}
+}
+
+func TestConcatBatches(t *testing.T) {
+	schema := types.NewSchema(types.Field{Name: "n", Kind: types.KindInt64})
+	mk := func(vals ...int64) *types.Batch {
+		bb := types.NewBatchBuilder(schema, len(vals))
+		for _, v := range vals {
+			bb.AppendRow([]types.Value{types.Int64(v)})
+		}
+		return bb.Build()
+	}
+	got, err := ConcatBatches(schema, []*types.Batch{mk(1, 2), mk(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 3 || got.Cols[0].Int64(2) != 3 {
+		t.Fatal("concat wrong")
+	}
+	empty, err := ConcatBatches(schema, nil)
+	if err != nil || empty.NumRows() != 0 {
+		t.Fatal("empty concat wrong")
+	}
+}
+
+// Property: round trip is identity for arbitrary int/string/null content.
+func TestPropertyRoundTrip(t *testing.T) {
+	schema := types.NewSchema(
+		types.Field{Name: "a", Kind: types.KindInt64, Nullable: true},
+		types.Field{Name: "b", Kind: types.KindString, Nullable: true},
+	)
+	f := func(ints []int64, strs []string, nullEvery uint8) bool {
+		n := len(ints)
+		if len(strs) < n {
+			n = len(strs)
+		}
+		bb := types.NewBatchBuilder(schema, n)
+		for i := 0; i < n; i++ {
+			row := []types.Value{types.Int64(ints[i]), types.String(strs[i])}
+			if nullEvery > 0 && i%int(nullEvery+1) == 0 {
+				row[i%2] = types.Null(schema.Fields[i%2].Kind)
+			}
+			bb.AppendRow(row)
+		}
+		b := bb.Build()
+		data, err := EncodeBatch(b)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeBatch(data)
+		if err != nil {
+			return false
+		}
+		return batchesEqual(b, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatSpecialsRoundTrip(t *testing.T) {
+	schema := types.NewSchema(types.Field{Name: "f", Kind: types.KindFloat64, Nullable: true})
+	bb := types.NewBatchBuilder(schema, 4)
+	for _, f := range []float64{math.Inf(1), math.Inf(-1), math.NaN(), math.Copysign(0, -1)} {
+		bb.AppendRow([]types.Value{types.Float64(f)})
+	}
+	b := bb.Build()
+	data, _ := EncodeBatch(b)
+	got, err := DecodeBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got.Cols[0].Float64(0), 1) || !math.IsInf(got.Cols[0].Float64(1), -1) || !math.IsNaN(got.Cols[0].Float64(2)) {
+		t.Fatal("float specials mangled")
+	}
+	if math.Signbit(got.Cols[0].Float64(3)) != true {
+		t.Fatal("-0.0 sign lost")
+	}
+}

@@ -1,0 +1,30 @@
+package arrowipc
+
+import "testing"
+
+func BenchmarkEncodeBatch(b *testing.B) {
+	batch := sampleBatch(8192, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(8192 * 40)) // rough row width
+}
+
+func BenchmarkDecodeBatch(b *testing.B) {
+	data, err := EncodeBatch(sampleBatch(8192, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeBatch(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(data)))
+}

@@ -1,0 +1,76 @@
+package audit
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecordAndFilter(t *testing.T) {
+	l := NewLog()
+	now := time.Unix(1000, 0)
+	l.SetClock(func() time.Time { return now })
+	l.Record(Event{User: "alice", Action: "SELECT", Securable: "t1", Decision: DecisionAllow})
+	now = now.Add(time.Second)
+	l.Record(Event{User: "bob", Action: "SELECT", Securable: "t1", Decision: DecisionDeny, Reason: "missing SELECT"})
+	l.Record(Event{User: "alice", Action: "GRANT", Securable: "t2", Decision: DecisionAllow})
+
+	if n := l.Count(nil); n != 3 {
+		t.Fatalf("count = %d", n)
+	}
+	if got := len(l.ByUser("alice")); got != 2 {
+		t.Errorf("alice events = %d", got)
+	}
+	denials := l.Denials()
+	if len(denials) != 1 || denials[0].User != "bob" {
+		t.Errorf("denials = %v", denials)
+	}
+	// Timestamps are stamped by the log, not the caller.
+	events := l.Events(nil)
+	if !events[0].Time.Equal(time.Unix(1000, 0)) || !events[1].Time.Equal(time.Unix(1001, 0)) {
+		t.Error("clock stamping wrong")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{
+		Time: time.Unix(0, 0), User: "alice", Compute: "STANDARD", SessionID: "s1",
+		Action: "VEND_CREDENTIAL", Securable: "main.default.t", Decision: DecisionDeny, Reason: "requires eFGAC",
+	}
+	s := e.String()
+	for _, want := range []string{"user=alice", "compute=STANDARD", "session=s1", "action=VEND_CREDENTIAL", "decision=DENY", `reason="requires eFGAC"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("event string missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	l := NewLog()
+	l.Record(Event{User: "alice"})
+	events := l.Events(nil)
+	events[0].User = "mallory"
+	if l.Events(nil)[0].User != "alice" {
+		t.Error("Events aliased internal storage")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	l := NewLog()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Record(Event{User: "u", Decision: DecisionAllow})
+				_ = l.Count(nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := l.Count(nil); n != 1600 {
+		t.Errorf("count = %d", n)
+	}
+}

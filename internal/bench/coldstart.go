@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"time"
+
+	"lakeguard/internal/analyzer"
+	"lakeguard/internal/optimizer"
+	"lakeguard/internal/sandbox"
+	"lakeguard/internal/types"
+)
+
+// ColdStartConfig parametrizes the sandbox startup experiment (paper §5,
+// last paragraph).
+type ColdStartConfig struct {
+	// Provision is the simulated sandbox provisioning delay. The paper
+	// observed ≈2 s maximum in production; the harness default is scaled to
+	// keep runs fast while preserving the cold ≫ warm shape.
+	Provision time.Duration
+	// Rows per query.
+	Rows int
+	// WarmQueries measures amortization across a session.
+	WarmQueries int
+}
+
+// DefaultColdStartConfig uses a scaled provisioning delay.
+func DefaultColdStartConfig() ColdStartConfig {
+	return ColdStartConfig{Provision: 400 * time.Millisecond, Rows: 20_000, WarmQueries: 5}
+}
+
+// ColdStartResult reports first-query vs steady-state latency.
+type ColdStartResult struct {
+	// FirstQuery includes sandbox provisioning (cold start).
+	FirstQuery time.Duration
+	// WarmQueries are the subsequent per-query latencies in the same
+	// session (sandbox reused).
+	WarmQueries []time.Duration
+	// ColdStarts is the number of sandbox provisions observed (must be 1:
+	// the cost is paid once per session).
+	ColdStarts int64
+}
+
+// WarmMedian returns the steady-state latency.
+func (r ColdStartResult) WarmMedian() time.Duration {
+	cp := append([]time.Duration{}, r.WarmQueries...)
+	return median(cp)
+}
+
+// RunColdStart measures the first Python-UDF query of a session (which pays
+// sandbox provisioning) against subsequent queries that reuse the warm
+// sandbox.
+func RunColdStart(cfg ColdStartConfig) (ColdStartResult, error) {
+	if cfg.Rows == 0 {
+		cfg = DefaultColdStartConfig()
+	}
+	w := NewWorld(sandbox.Config{ColdStart: cfg.Provision})
+	if err := w.SeedPairs(cfg.Rows); err != nil {
+		return ColdStartResult{}, err
+	}
+	pl, err := w.PreparePlan(UDFQuery(udfNames(1)), func(a *analyzer.Analyzer) {
+		RegisterBenchUDFs(a, 1, SimpleUDFBody, types.KindInt64, Admin)
+	}, optimizer.DefaultOptions())
+	if err != nil {
+		return ColdStartResult{}, err
+	}
+	var res ColdStartResult
+	start := time.Now()
+	if _, err := w.Run(pl); err != nil {
+		return ColdStartResult{}, err
+	}
+	res.FirstQuery = time.Since(start)
+	for i := 0; i < cfg.WarmQueries; i++ {
+		start = time.Now()
+		if _, err := w.Run(pl); err != nil {
+			return ColdStartResult{}, err
+		}
+		res.WarmQueries = append(res.WarmQueries, time.Since(start))
+	}
+	res.ColdStarts = w.Dispatcher.Stats().ColdStarts
+	return res, nil
+}

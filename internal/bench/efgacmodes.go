@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"lakeguard/internal/catalog"
+	"lakeguard/internal/connect"
+	"lakeguard/internal/core"
+	"lakeguard/internal/storage"
+)
+
+// EFGACModesConfig parametrizes the E8 result-mode experiment: eFGAC results
+// returned inline with the query vs spilled to cloud storage and fetched in
+// parallel (paper §3.4, "two result aggregation modes ... chosen, for
+// example, based on the size of the result set").
+type EFGACModesConfig struct {
+	// RowCounts sweeps the result size.
+	RowCounts []int
+	// Repetitions per point.
+	Repetitions int
+}
+
+// DefaultEFGACModesConfig sweeps small to large results.
+func DefaultEFGACModesConfig() EFGACModesConfig {
+	return EFGACModesConfig{RowCounts: []int{100, 1_000, 10_000, 50_000}, Repetitions: 3}
+}
+
+// EFGACModeRow is one sweep point.
+type EFGACModeRow struct {
+	Rows   int
+	Inline time.Duration
+	Spill  time.Duration
+}
+
+// RunEFGACModes measures inline vs spilled result handling across result
+// sizes on the full dedicated→serverless path.
+func RunEFGACModes(cfg EFGACModesConfig) ([]EFGACModeRow, error) {
+	if len(cfg.RowCounts) == 0 {
+		cfg = DefaultEFGACModesConfig()
+	}
+	var out []EFGACModeRow
+	for _, rows := range cfg.RowCounts {
+		inline, err := measureEFGAC(rows, 1<<30, cfg.Repetitions) // threshold never reached
+		if err != nil {
+			return nil, err
+		}
+		spill, err := measureEFGAC(rows, 1, cfg.Repetitions) // always spill
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, EFGACModeRow{Rows: rows, Inline: inline, Spill: spill})
+	}
+	return out, nil
+}
+
+func measureEFGAC(rows, spillThreshold, reps int) (time.Duration, error) {
+	cat := catalog.New(storage.NewStore(), nil)
+	cat.AddAdmin(Admin)
+	serverless := core.NewServer(core.Config{
+		Name: "sl", Catalog: cat, Compute: catalog.ComputeServerless, SpillThreshold: spillThreshold,
+	})
+	slHTTP := httptest.NewServer(connect.NewService(serverless, connect.TokenMap{"t": Admin, "t-u": "u1"}).Handler())
+	defer slHTTP.Close()
+	efgac := &core.EFGACClient{
+		Dial: func(user, sessionID string) *connect.Client {
+			if user == Admin {
+				return connect.Dial(slHTTP.URL, "t")
+			}
+			return connect.Dial(slHTTP.URL, "t-u")
+		},
+		Cat: cat, Store: cat.Store(),
+	}
+	dedicated := core.NewServer(core.Config{
+		Name: "ded", Catalog: cat, Compute: catalog.ComputeDedicated, Remote: efgac,
+	})
+	dedHTTP := httptest.NewServer(connect.NewService(dedicated, connect.TokenMap{"t-u": "u1"}).Handler())
+	defer dedHTTP.Close()
+
+	// Seed through a standard cluster and attach a row filter so the
+	// dedicated cluster is forced onto the eFGAC path.
+	std := core.NewServer(core.Config{Name: "std", Catalog: cat, Compute: catalog.ComputeStandard})
+	stdHTTP := httptest.NewServer(connect.NewService(std, connect.TokenMap{"t": Admin}).Handler())
+	defer stdHTTP.Close()
+	adminC := connect.Dial(stdHTTP.URL, "t")
+	if _, err := adminC.ExecSQL("CREATE TABLE wide (id BIGINT, payload STRING)"); err != nil {
+		return 0, err
+	}
+	const chunk = 500
+	for start := 0; start < rows; start += chunk {
+		end := start + chunk
+		if end > rows {
+			end = rows
+		}
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO wide VALUES ")
+		for i := start; i < end; i++ {
+			if i > start {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, 'payload-%032d')", i, i)
+		}
+		if _, err := adminC.ExecSQL(sb.String()); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := adminC.ExecSQL("ALTER TABLE wide SET ROW FILTER 'id >= 0'"); err != nil {
+		return 0, err
+	}
+	if _, err := adminC.ExecSQL("GRANT SELECT ON wide TO 'u1'"); err != nil {
+		return 0, err
+	}
+
+	user := connect.Dial(dedHTTP.URL, "t-u")
+	// Warm up.
+	if _, err := user.Sql("SELECT id, payload FROM wide").Collect(); err != nil {
+		return 0, err
+	}
+	times := make([]time.Duration, reps)
+	for i := range times {
+		start := time.Now()
+		b, err := user.Sql("SELECT id, payload FROM wide").Collect()
+		if err != nil {
+			return 0, err
+		}
+		if b.NumRows() != rows {
+			return 0, fmt.Errorf("bench: expected %d rows, got %d", rows, b.NumRows())
+		}
+		times[i] = time.Since(start)
+	}
+	return median(times), nil
+}
+
+// FormatEFGACModes renders the sweep.
+func FormatEFGACModes(rows []EFGACModeRow) string {
+	var b strings.Builder
+	b.WriteString("E8: eFGAC result modes — inline return vs cloud-storage spill.\n\n")
+	b.WriteString("| Result rows | Inline | Spill |\n")
+	b.WriteString("|-------------|--------|-------|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "| %11d | %6s | %5s |\n", r.Rows, r.Inline.Round(time.Microsecond), r.Spill.Round(time.Microsecond))
+	}
+	return b.String()
+}

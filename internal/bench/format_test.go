@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFormatTable2Layout(t *testing.T) {
+	rows := []Table2Row{
+		{NumUDFs: 1, SimpleOverheadPct: 9.53, HashOverheadPct: 3.37,
+			SimpleIsolated: 100 * time.Millisecond, SimpleUnisolated: 91 * time.Millisecond,
+			HashIsolated: 200 * time.Millisecond, HashUnisolated: 193 * time.Millisecond},
+		{NumUDFs: 10, SimpleOverheadPct: 12.02, HashOverheadPct: 4.15},
+	}
+	out := FormatTable2(rows)
+	for _, want := range []string{"Num UDF", "Sum(a+b)", "100x SHA256", "9.53%", "12.02%", "Raw timings"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatTable2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatMembraneLayout(t *testing.T) {
+	out := FormatMembrane(MembraneResult{
+		LakeguardUtilization: 0.965, MembraneUtilization: 0.957,
+		LakeguardBacklog: 94.6, MembraneBacklog: 231.5,
+	})
+	for _, want := range []string{"96.5%", "95.7%", "231.5", "static two-domain"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatMembrane missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatEFGACModesLayout(t *testing.T) {
+	out := FormatEFGACModes([]EFGACModeRow{
+		{Rows: 100, Inline: 409 * time.Microsecond, Spill: 512 * time.Microsecond},
+		{Rows: 50_000, Inline: 70 * time.Millisecond, Spill: 53 * time.Millisecond},
+	})
+	for _, want := range []string{"Result rows", "100", "50000", "Inline", "Spill"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatEFGACModes missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOverheadPct(t *testing.T) {
+	if got := overheadPct(110*time.Millisecond, 100*time.Millisecond); got < 9.9 || got > 10.1 {
+		t.Errorf("overhead = %f", got)
+	}
+	if overheadPct(1, 0) != 0 {
+		t.Error("zero baseline should yield 0")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	ts := []time.Duration{5, 1, 3}
+	if median(ts) != 3 {
+		t.Errorf("median = %v", median(ts))
+	}
+	if median([]time.Duration{7}) != 7 {
+		t.Error("single median")
+	}
+}
+
+func TestUDFQueryRendering(t *testing.T) {
+	q := UDFQuery([]string{"udf0", "udf1"})
+	want := "SELECT udf0(a, b) AS r0, udf1(a, b) AS r1 FROM pairs"
+	if q != want {
+		t.Errorf("q = %q", q)
+	}
+}

@@ -1,0 +1,110 @@
+package catalog
+
+import (
+	"fmt"
+	"strings"
+
+	"lakeguard/internal/audit"
+)
+
+// Attribute-based access control (ABAC, paper §2.3): instead of attaching a
+// mask to each column individually, administrators tag columns with
+// attributes ("pii", "financial") and attach one policy per tag at the
+// metastore level. Every column carrying the tag inherits the policy — on
+// every table, present and future. An explicit per-column mask overrides a
+// tag-derived one.
+
+// TagMaskColumnPlaceholder is substituted with the protected column's name
+// when a tag mask template is instantiated.
+const TagMaskColumnPlaceholder = "__col__"
+
+// SetColumnTags replaces the attribute tags on one column (owner or admin).
+// Empty tags clears them.
+func (c *Catalog) SetColumnTags(ctx RequestContext, parts []string, column string, tags []string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, full, err := c.lookupTable(parts)
+	if err != nil {
+		return err
+	}
+	if t.owner != ctx.User && !c.admins[ctx.User] {
+		c.record(ctx, "SET TAGS", full, audit.DecisionDeny, "not owner")
+		return fmt.Errorf("%w: only the owner may tag columns of %s", ErrPermission, full)
+	}
+	col := strings.ToLower(column)
+	if t.schema.IndexOf(col) < 0 {
+		return fmt.Errorf("%w: column %q of %s", ErrNotFound, column, full)
+	}
+	if t.colTags == nil {
+		t.colTags = map[string][]string{}
+	}
+	if len(tags) == 0 {
+		delete(t.colTags, col)
+	} else {
+		normalized := make([]string, len(tags))
+		for i, tag := range tags {
+			normalized[i] = strings.ToLower(tag)
+		}
+		t.colTags[col] = normalized
+	}
+	c.record(ctx, "SET TAGS", full+"."+col, audit.DecisionAllow, strings.Join(tags, ","))
+	return nil
+}
+
+// ColumnTags returns the tags on one column.
+func (c *Catalog) ColumnTags(ctx RequestContext, parts []string, column string) ([]string, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, _, err := c.lookupTable(parts)
+	if err != nil {
+		return nil, err
+	}
+	return append([]string{}, t.colTags[strings.ToLower(column)]...), nil
+}
+
+// SetTagMask attaches a metastore-level mask policy to a tag (admin only).
+// The template may use __col__ to reference the protected column; an empty
+// template removes the policy.
+func (c *Catalog) SetTagMask(ctx RequestContext, tag, maskTemplate string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.admins[ctx.User] {
+		c.record(ctx, "SET TAG MASK", tag, audit.DecisionDeny, "not admin")
+		return fmt.Errorf("%w: only metastore admins may set tag policies", ErrPermission)
+	}
+	if c.tagMasks == nil {
+		c.tagMasks = map[string]string{}
+	}
+	key := strings.ToLower(tag)
+	if maskTemplate == "" {
+		delete(c.tagMasks, key)
+	} else {
+		c.tagMasks[key] = maskTemplate
+	}
+	c.record(ctx, "SET TAG MASK", tag, audit.DecisionAllow, "")
+	return nil
+}
+
+// effectiveMasks merges explicit column masks with tag-derived ABAC masks
+// (explicit wins). Caller must hold at least a read lock.
+func (c *Catalog) effectiveMasks(t *table) map[string]string {
+	if len(t.colMasks) == 0 && (len(t.colTags) == 0 || len(c.tagMasks) == 0) {
+		return copyMasks(t.colMasks)
+	}
+	out := map[string]string{}
+	for col, tags := range t.colTags {
+		for _, tag := range tags {
+			if tpl, ok := c.tagMasks[tag]; ok {
+				out[col] = strings.ReplaceAll(tpl, TagMaskColumnPlaceholder, col)
+				break // first tagged policy wins
+			}
+		}
+	}
+	for col, mask := range t.colMasks {
+		out[col] = mask // explicit masks override tag policies
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package catalog
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"lakeguard/internal/storage"
+	"lakeguard/internal/types"
+)
+
+func abacCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c := New(storage.NewStore(), nil)
+	c.AddAdmin(admin)
+	schema := types.NewSchema(
+		types.Field{Name: "id", Kind: types.KindInt64},
+		types.Field{Name: "ssn", Kind: types.KindString},
+		types.Field{Name: "email", Kind: types.KindString},
+	)
+	if err := c.CreateTable(adminCtx(), []string{"people"}, schema, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSetColumnTagsAuthorization(t *testing.T) {
+	c := abacCatalog(t)
+	if err := c.SetColumnTags(userCtx(alice, ComputeStandard), []string{"people"}, "ssn", []string{"pii"}); !errors.Is(err, ErrPermission) {
+		t.Fatalf("non-owner tagging: %v", err)
+	}
+	if err := c.SetColumnTags(adminCtx(), []string{"people"}, "nope", []string{"pii"}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing column: %v", err)
+	}
+	if err := c.SetColumnTags(adminCtx(), []string{"people"}, "ssn", []string{"PII", "Sensitive"}); err != nil {
+		t.Fatal(err)
+	}
+	tags, err := c.ColumnTags(adminCtx(), []string{"people"}, "SSN")
+	if err != nil || len(tags) != 2 || tags[0] != "pii" {
+		t.Fatalf("tags = %v, %v (should be normalized lower-case)", tags, err)
+	}
+	// Clearing.
+	if err := c.SetColumnTags(adminCtx(), []string{"people"}, "ssn", nil); err != nil {
+		t.Fatal(err)
+	}
+	tags, _ = c.ColumnTags(adminCtx(), []string{"people"}, "ssn")
+	if len(tags) != 0 {
+		t.Errorf("tags not cleared: %v", tags)
+	}
+}
+
+func TestTagMaskResolution(t *testing.T) {
+	c := abacCatalog(t)
+	c.Grant(adminCtx(), PrivSelect, []string{"people"}, alice)
+	if err := c.SetColumnTags(adminCtx(), []string{"people"}, "ssn", []string{"pii"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetColumnTags(adminCtx(), []string{"people"}, "email", []string{"pii"}); err != nil {
+		t.Fatal(err)
+	}
+	// Before any tag policy: no masks, no FGAC.
+	meta, _ := c.ResolveTable(userCtx(alice, ComputeStandard), []string{"people"})
+	if meta.HasPolicies || len(meta.ColumnMasks) != 0 {
+		t.Fatal("tags without a policy must not create masks")
+	}
+	// One policy covers both tagged columns, with the placeholder expanded.
+	if err := c.SetTagMask(adminCtx(), "pii", "sha256("+TagMaskColumnPlaceholder+")"); err != nil {
+		t.Fatal(err)
+	}
+	meta, _ = c.ResolveTable(userCtx(alice, ComputeStandard), []string{"people"})
+	if !meta.HasPolicies || len(meta.ColumnMasks) != 2 {
+		t.Fatalf("masks = %v", meta.ColumnMasks)
+	}
+	if meta.ColumnMasks["ssn"] != "sha256(ssn)" || meta.ColumnMasks["email"] != "sha256(email)" {
+		t.Fatalf("placeholder expansion wrong: %v", meta.ColumnMasks)
+	}
+	// Untagged column unaffected.
+	if _, ok := meta.ColumnMasks["id"]; ok {
+		t.Error("untagged column masked")
+	}
+	// Removing the policy removes the masks.
+	if err := c.SetTagMask(adminCtx(), "pii", ""); err != nil {
+		t.Fatal(err)
+	}
+	meta, _ = c.ResolveTable(userCtx(alice, ComputeStandard), []string{"people"})
+	if meta.HasPolicies {
+		t.Error("policy removal did not propagate")
+	}
+}
+
+func TestTagMaskAdminOnly(t *testing.T) {
+	c := abacCatalog(t)
+	err := c.SetTagMask(userCtx(alice, ComputeStandard), "pii", "'x'")
+	if !errors.Is(err, ErrPermission) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOverwriteTableGuards(t *testing.T) {
+	c := abacCatalog(t)
+	c.Grant(adminCtx(), PrivAll, []string{"people"}, alice)
+	// Plain table: MODIFY holder can overwrite.
+	if _, err := c.OverwriteTable(userCtx(alice, ComputeStandard), []string{"people"}, nil); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	// Policy-protected: non-owner refused even with MODIFY.
+	if err := c.SetRowFilter(adminCtx(), []string{"people"}, "id > 0", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.OverwriteTable(userCtx(alice, ComputeStandard), []string{"people"}, nil); !errors.Is(err, ErrPermission) {
+		t.Fatalf("err = %v", err)
+	}
+	// Views cannot be overwritten.
+	vs := types.NewSchema(types.Field{Name: "id", Kind: types.KindInt64})
+	c.CreateView(adminCtx(), []string{"v"}, "SELECT id FROM people", false, false, vs, "")
+	if _, err := c.OverwriteTable(adminCtx(), []string{"v"}, nil); !errors.Is(err, ErrPermission) {
+		t.Fatalf("view overwrite err = %v", err)
+	}
+}
+
+func TestVendResultCredentialScoping(t *testing.T) {
+	c := abacCatalog(t)
+	ctx := userCtx(alice, ComputeStandard)
+	good := ResultPrefix(alice, ctx.SessionID)
+	cred, err := c.VendResultCredential(ctx, good, storage.ModeReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store().Put(cred, good+"x", []byte("1")); err != nil {
+		t.Fatalf("own-prefix write: %v", err)
+	}
+	// Another user's spill area is out of reach.
+	if _, err := c.VendResultCredential(ctx, ResultPrefix(bob, "s"), storage.ModeRead); !errors.Is(err, ErrPermission) {
+		t.Fatalf("cross-user spill err = %v", err)
+	}
+	// Arbitrary prefixes are out of reach.
+	if _, err := c.VendResultCredential(ctx, "tables/", storage.ModeRead); !errors.Is(err, ErrPermission) {
+		t.Fatalf("table-prefix err = %v", err)
+	}
+}
+
+func TestTableHistory(t *testing.T) {
+	c := abacCatalog(t)
+	bb := types.NewBatchBuilder(types.NewSchema(
+		types.Field{Name: "id", Kind: types.KindInt64},
+		types.Field{Name: "ssn", Kind: types.KindString},
+		types.Field{Name: "email", Kind: types.KindString},
+	), 1)
+	bb.AppendRow([]types.Value{types.Int64(1), types.String("s"), types.String("e")})
+	if _, err := c.AppendToTable(adminCtx(), []string{"people"}, []*types.Batch{bb.Build()}); err != nil {
+		t.Fatal(err)
+	}
+	history, err := c.TableHistory(adminCtx(), []string{"people"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(history) != 2 {
+		t.Fatalf("history = %d entries", len(history))
+	}
+	if history[0].Version != 1 || history[0].Operation != "WRITE" || history[0].NumFiles != 1 {
+		t.Errorf("newest = %+v", history[0])
+	}
+	if history[1].Operation != "CREATE TABLE" || history[1].Timestamp.IsZero() {
+		t.Errorf("oldest = %+v", history[1])
+	}
+	// SELECT required.
+	if _, err := c.TableHistory(userCtx(bob, ComputeStandard), []string{"people"}); !errors.Is(err, ErrPermission) {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(history[1].Timestamp.String(), "20") {
+		t.Error("timestamp not stamped")
+	}
+}

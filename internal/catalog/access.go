@@ -1,0 +1,426 @@
+package catalog
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lakeguard/internal/audit"
+	"lakeguard/internal/delta"
+	"lakeguard/internal/storage"
+	"lakeguard/internal/types"
+)
+
+// TableMeta is the metadata the catalog returns for a resolved relation. For
+// compute types that cannot enforce FGAC locally (privilege scopes, paper
+// §3.4), policy internals and view bodies are withheld and
+// LocalProcessingAllowed is false — the engine must rewrite the relation
+// into a RemoteScan.
+type TableMeta struct {
+	FullName string
+	Type     ObjectType
+	Schema   *types.Schema
+	Owner    string
+	Comment  string
+
+	// ViewText is the SQL body for views; withheld when processing is not
+	// allowed locally.
+	ViewText string
+	// RowFilterSQL is the row-filter predicate; withheld for untrusted
+	// compute.
+	RowFilterSQL string
+	// ColumnMasks maps column name to mask SQL; withheld for untrusted
+	// compute.
+	ColumnMasks map[string]string
+
+	// HasPolicies reports that FGAC policies exist, even when their
+	// content is withheld.
+	HasPolicies bool
+	// LocalProcessingAllowed is false when this relation must be executed
+	// via external fine-grained access control.
+	LocalProcessingAllowed bool
+	// StoragePrefix locates table data (tables and materialized views,
+	// trusted compute only).
+	StoragePrefix string
+	// MVFresh reports whether a materialized view has data.
+	MVFresh bool
+}
+
+// FunctionMeta describes a cataloged UDF. The body ships to the engine for
+// sandboxed execution; Owner defines the trust domain it runs in.
+type FunctionMeta struct {
+	FullName string
+	Owner    string
+	Params   []types.Field
+	Returns  types.Kind
+	Body     string
+	// Resources names the specialized execution environment the function
+	// requires ("gpu", ...); empty runs on standard executors.
+	Resources string
+}
+
+// hasPrivilege checks the effective privilege of a caller on a securable:
+// admin, owner, direct user grant, or group grant; ALL implies everything.
+// With a GroupScope, the caller's permissions are down-scoped to exactly the
+// named group's grants — admin and ownership shortcuts do not apply.
+// Caller must hold at least a read lock.
+func (c *Catalog) hasPrivilege(ctx RequestContext, priv Privilege, full string, owner string) bool {
+	byPriv := c.grants[full]
+	if ctx.GroupScope != "" {
+		if byPriv == nil {
+			return false
+		}
+		scope := strings.ToLower(ctx.GroupScope)
+		for _, p := range []Privilege{priv, PrivAll} {
+			if byPriv[p] != nil && (byPriv[p][scope] || byPriv[p][ctx.GroupScope]) {
+				return true
+			}
+		}
+		return false
+	}
+	user := ctx.User
+	if c.admins[user] || owner == user {
+		return true
+	}
+	if byPriv == nil {
+		return false
+	}
+	for _, p := range []Privilege{priv, PrivAll} {
+		principals := byPriv[p]
+		if principals == nil {
+			continue
+		}
+		if principals[user] {
+			return true
+		}
+		for g, members := range c.groups {
+			if principals[g] && members[user] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// lookupTable fetches the stored table object. Caller must hold a lock.
+func (c *Catalog) lookupTable(parts []string) (*table, string, error) {
+	cat, sch, name, err := normalize(parts)
+	if err != nil {
+		return nil, "", err
+	}
+	full := cat + "." + sch + "." + name
+	so, err := c.schemaFor(cat, sch, false)
+	if err != nil {
+		return nil, full, err
+	}
+	t, ok := so.tables[name]
+	if !ok {
+		return nil, full, fmt.Errorf("%w: %s", ErrNotFound, full)
+	}
+	return t, full, nil
+}
+
+// ResolveTable authorizes and returns relation metadata for a query. It is
+// the analyzer's entry point for every table/view reference.
+func (c *Catalog) ResolveTable(ctx RequestContext, parts []string) (*TableMeta, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, full, err := c.lookupTable(parts)
+	if err != nil {
+		c.record(ctx, "RESOLVE", full, audit.DecisionDeny, err.Error())
+		return nil, err
+	}
+	if !c.hasPrivilege(ctx, PrivSelect, full, t.owner) {
+		c.record(ctx, "SELECT", full, audit.DecisionDeny, "missing SELECT")
+		return nil, fmt.Errorf("%w: user %q lacks SELECT on %s", ErrPermission, ctx.User, full)
+	}
+	meta := &TableMeta{
+		FullName: full,
+		Type:     t.objType,
+		Schema:   t.schema.Clone(),
+		Owner:    t.owner,
+		Comment:  t.comment,
+		MVFresh:  t.mvFresh,
+	}
+	masks := c.effectiveMasks(t)
+	hasPolicies := t.rowFilter != "" || len(masks) > 0 || t.objType == TypeView || t.objType == TypeMaterializedView
+	meta.HasPolicies = t.rowFilter != "" || len(masks) > 0
+	trusted := ctx.Compute.TrustedForFGAC()
+	meta.LocalProcessingAllowed = trusted || !hasPolicies
+	if meta.LocalProcessingAllowed {
+		meta.ViewText = t.viewText
+		meta.RowFilterSQL = t.rowFilter
+		meta.ColumnMasks = masks
+		meta.StoragePrefix = t.prefix
+	}
+	// Owners on privileged compute still cannot bypass: the catalog only
+	// annotates; enforcement is the engine's job on trusted compute.
+	c.record(ctx, "RESOLVE", full, audit.DecisionAllow, fmt.Sprintf("local=%v policies=%v", meta.LocalProcessingAllowed, hasPolicies))
+	return meta, nil
+}
+
+func copyMasks(m map[string]string) map[string]string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// ResolveFunction authorizes EXECUTE and returns UDF metadata.
+func (c *Catalog) ResolveFunction(ctx RequestContext, parts []string) (*FunctionMeta, error) {
+	cat, sch, name, err := normalize(parts)
+	if err != nil {
+		return nil, err
+	}
+	full := cat + "." + sch + "." + name
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	so, err := c.schemaFor(cat, sch, false)
+	if err != nil {
+		return nil, err
+	}
+	f, ok := so.functions[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: function %s", ErrNotFound, full)
+	}
+	if !c.hasPrivilege(ctx, PrivExecute, full, f.owner) {
+		c.record(ctx, "EXECUTE", full, audit.DecisionDeny, "missing EXECUTE")
+		return nil, fmt.Errorf("%w: user %q lacks EXECUTE on %s", ErrPermission, ctx.User, full)
+	}
+	c.record(ctx, "EXECUTE", full, audit.DecisionAllow, "")
+	return &FunctionMeta{
+		FullName: full, Owner: f.owner, Params: append([]types.Field(nil), f.params...),
+		Returns: f.returns, Body: f.body, Resources: f.resources,
+	}, nil
+}
+
+// VendCredential issues a temporary storage credential for a table's data.
+// This is where cluster-bound access became user-bound (paper §2.2): every
+// vend is authorized against the requesting user and compute scope, and
+// FGAC-protected tables never yield credentials to untrusted compute.
+func (c *Catalog) VendCredential(ctx RequestContext, parts []string, mode storage.AccessMode) (*storage.Credential, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, full, err := c.lookupTable(parts)
+	if err != nil {
+		c.record(ctx, "VEND_CREDENTIAL", full, audit.DecisionDeny, err.Error())
+		return nil, err
+	}
+	priv := PrivSelect
+	if mode == storage.ModeReadWrite {
+		priv = PrivModify
+	}
+	if !c.hasPrivilege(ctx, priv, full, t.owner) {
+		c.record(ctx, "VEND_CREDENTIAL", full, audit.DecisionDeny, "missing "+string(priv))
+		return nil, fmt.Errorf("%w: user %q lacks %s on %s", ErrPermission, ctx.User, priv, full)
+	}
+	if t.objType == TypeView {
+		c.record(ctx, "VEND_CREDENTIAL", full, audit.DecisionDeny, "views have no storage")
+		return nil, fmt.Errorf("%w: %s is a view; no direct storage access", ErrPermission, full)
+	}
+	hasFGAC := t.rowFilter != "" || len(c.effectiveMasks(t)) > 0
+	if hasFGAC && !ctx.Compute.TrustedForFGAC() {
+		c.record(ctx, "VEND_CREDENTIAL", full, audit.DecisionDeny, "requires eFGAC")
+		return nil, fmt.Errorf("%w (%s)", ErrRequiresEFGAC, full)
+	}
+	cred := c.signer.Issue(t.prefix, mode, c.credTTL)
+	c.record(ctx, "VEND_CREDENTIAL", full, audit.DecisionAllow, mode.String())
+	return &cred, nil
+}
+
+// ResultPrefix is where eFGAC spill results live for one (user, session).
+func ResultPrefix(user, sessionID string) string {
+	return "results/" + user + "/" + sessionID + "/"
+}
+
+// VendResultCredential issues a credential over a result spill prefix. The
+// prefix must lie inside the caller's own spill area ("results/<user>/..."),
+// so one user can never read another's spilled results.
+func (c *Catalog) VendResultCredential(ctx RequestContext, prefix string, mode storage.AccessMode) (*storage.Credential, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if !strings.HasPrefix(prefix, "results/"+ctx.User+"/") {
+		c.record(ctx, "VEND_RESULT_CREDENTIAL", prefix, audit.DecisionDeny, "outside caller's result area")
+		return nil, fmt.Errorf("%w: result prefix %q does not belong to %q", ErrPermission, prefix, ctx.User)
+	}
+	cred := c.signer.Issue(prefix, mode, c.credTTL)
+	c.record(ctx, "VEND_RESULT_CREDENTIAL", prefix, audit.DecisionAllow, mode.String())
+	return &cred, nil
+}
+
+// OpenTableLog returns the Delta log plus a read credential for scanning.
+func (c *Catalog) OpenTableLog(ctx RequestContext, parts []string) (*delta.Log, *storage.Credential, error) {
+	cred, err := c.VendCredential(ctx, parts, storage.ModeRead)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.mu.RLock()
+	t, _, err := c.lookupTable(parts)
+	c.mu.RUnlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	log, err := delta.Open(c.store, cred, t.prefix)
+	if err != nil {
+		return nil, nil, err
+	}
+	return log, cred, nil
+}
+
+// AppendToTable writes batches into a managed table (engine-side DML).
+func (c *Catalog) AppendToTable(ctx RequestContext, parts []string, batches []*types.Batch) (int64, error) {
+	cred, err := c.VendCredential(ctx, parts, storage.ModeReadWrite)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.RLock()
+	t, full, err := c.lookupTable(parts)
+	c.mu.RUnlock()
+	if err != nil {
+		return 0, err
+	}
+	if t.objType != TypeTable {
+		return 0, fmt.Errorf("%w: cannot insert into %s of type %s", ErrPermission, full, t.objType)
+	}
+	log, err := delta.Open(c.store, cred, t.prefix)
+	if err != nil {
+		return 0, err
+	}
+	v, err := log.Append(cred, batches)
+	if err != nil {
+		return 0, err
+	}
+	c.record(ctx, "INSERT", full, audit.DecisionAllow, fmt.Sprintf("version %d", v))
+	return v, nil
+}
+
+// OverwriteTable replaces a managed table's contents (DML DELETE path). The
+// caller needs MODIFY; tables carrying FGAC policies refuse DML from
+// non-owners because a row filter would make the rewrite partial-blind.
+func (c *Catalog) OverwriteTable(ctx RequestContext, parts []string, batches []*types.Batch) (int64, error) {
+	c.mu.RLock()
+	t, full, err := c.lookupTable(parts)
+	if err != nil {
+		c.mu.RUnlock()
+		return 0, err
+	}
+	if t.objType != TypeTable {
+		c.mu.RUnlock()
+		return 0, fmt.Errorf("%w: cannot modify %s of type %s", ErrPermission, full, t.objType)
+	}
+	hasFGAC := t.rowFilter != "" || len(c.effectiveMasks(t)) > 0
+	owner := t.owner
+	c.mu.RUnlock()
+	if hasFGAC && ctx.User != owner && !c.isAdmin(ctx.User) {
+		c.record(ctx, "DELETE", full, audit.DecisionDeny, "DML on policy-protected table requires ownership")
+		return 0, fmt.Errorf("%w: only the owner may run DML on the policy-protected table %s", ErrPermission, full)
+	}
+	cred, err := c.VendCredential(ctx, parts, storage.ModeReadWrite)
+	if err != nil {
+		return 0, err
+	}
+	log, err := delta.Open(c.store, cred, t.prefix)
+	if err != nil {
+		return 0, err
+	}
+	v, err := log.Overwrite(cred, batches)
+	if err != nil {
+		return 0, err
+	}
+	c.record(ctx, "DELETE", full, audit.DecisionAllow, fmt.Sprintf("version %d", v))
+	return v, nil
+}
+
+func (c *Catalog) isAdmin(user string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.admins[user]
+}
+
+// TableHistory returns a table's commit history (SELECT required).
+func (c *Catalog) TableHistory(ctx RequestContext, parts []string) ([]delta.HistoryEntry, error) {
+	log, cred, err := c.OpenTableLog(ctx, parts)
+	if err != nil {
+		return nil, err
+	}
+	return log.History(cred)
+}
+
+// Describe returns per-column metadata plus governance annotations for a
+// relation the caller can read.
+func (c *Catalog) Describe(ctx RequestContext, parts []string) (*TableMeta, error) {
+	return c.ResolveTable(ctx, parts)
+}
+
+// RefreshMaterializedView overwrites the MV's backing storage with fresh
+// data computed by the engine. Only the owner or an admin may refresh.
+func (c *Catalog) RefreshMaterializedView(ctx RequestContext, parts []string, data []*types.Batch) error {
+	c.mu.Lock()
+	t, full, err := c.lookupTable(parts)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	if t.objType != TypeMaterializedView {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotMateralized, full)
+	}
+	if t.owner != ctx.User && !c.admins[ctx.User] {
+		c.record(ctx, "REFRESH", full, audit.DecisionDeny, "not owner")
+		c.mu.Unlock()
+		return fmt.Errorf("%w: only the owner may refresh %s", ErrPermission, full)
+	}
+	prefix := t.prefix
+	t.mvFresh = true
+	c.mu.Unlock()
+
+	cred := c.signer.Issue(prefix, storage.ModeReadWrite, time.Minute)
+	log, err := delta.Open(c.store, &cred, prefix)
+	if err != nil {
+		return err
+	}
+	if _, err := log.Overwrite(&cred, data); err != nil {
+		return err
+	}
+	c.record(ctx, "REFRESH", full, audit.DecisionAllow, "")
+	return nil
+}
+
+// ViewTextForRefresh returns a materialized view's definition for the
+// refresh path (owner/admin only).
+func (c *Catalog) ViewTextForRefresh(ctx RequestContext, parts []string) (string, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, full, err := c.lookupTable(parts)
+	if err != nil {
+		return "", err
+	}
+	if t.objType != TypeMaterializedView {
+		return "", fmt.Errorf("%w: %s", ErrNotMateralized, full)
+	}
+	if t.owner != ctx.User && !c.admins[ctx.User] {
+		return "", fmt.Errorf("%w: only the owner may refresh %s", ErrPermission, full)
+	}
+	return t.viewText, nil
+}
+
+// ListTables returns the full names of tables/views the user can SELECT.
+func (c *Catalog) ListTables(ctx RequestContext) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []string
+	for _, co := range c.catalogs {
+		for _, so := range co.schemas {
+			for _, t := range so.tables {
+				if c.hasPrivilege(ctx, PrivSelect, t.fullName, t.owner) {
+					out = append(out, t.fullName)
+				}
+			}
+		}
+	}
+	return out
+}

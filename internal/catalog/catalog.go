@@ -1,0 +1,278 @@
+// Package catalog implements the Unity Catalog analog: a three-level
+// namespace of governed securables (catalog.schema.{table,view,function})
+// with ownership, privilege grants, account groups, fine-grained policies
+// (row filters and column masks), temporary credential vending, and privilege
+// scopes that make the catalog reason about the *compute type* a request
+// comes from — the mechanism behind external FGAC in the paper (§3.4, §4).
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"lakeguard/internal/audit"
+	"lakeguard/internal/storage"
+	"lakeguard/internal/types"
+)
+
+// Privilege is a grantable permission.
+type Privilege string
+
+// Privileges.
+const (
+	PrivSelect  Privilege = "SELECT"
+	PrivModify  Privilege = "MODIFY"
+	PrivExecute Privilege = "EXECUTE"
+	PrivUse     Privilege = "USE"
+	PrivAll     Privilege = "ALL"
+)
+
+// ParsePrivilege validates a privilege name.
+func ParsePrivilege(s string) (Privilege, error) {
+	p := Privilege(strings.ToUpper(s))
+	switch p {
+	case PrivSelect, PrivModify, PrivExecute, PrivUse, PrivAll:
+		return p, nil
+	}
+	return "", fmt.Errorf("catalog: unknown privilege %q", s)
+}
+
+// ComputeType classifies the requesting compute's isolation capabilities.
+type ComputeType string
+
+// Compute types (paper §4).
+const (
+	// ComputeStandard is the multi-user cluster type with full user-code
+	// isolation; the engine is trusted to enforce FGAC locally.
+	ComputeStandard ComputeType = "STANDARD"
+	// ComputeDedicated gives users privileged machine access; FGAC cannot be
+	// enforced locally and must be offloaded (eFGAC).
+	ComputeDedicated ComputeType = "DEDICATED"
+	// ComputeServerless is the Databricks-managed standard-architecture
+	// fleet that serves eFGAC subqueries.
+	ComputeServerless ComputeType = "SERVERLESS"
+	// ComputeExternal is a non-Databricks engine (Presto/Trino); like
+	// Dedicated, it can only use eFGAC for governed relations.
+	ComputeExternal ComputeType = "EXTERNAL"
+)
+
+// TrustedForFGAC reports whether the compute type may receive policy
+// internals and raw-table credentials for FGAC-protected relations.
+func (c ComputeType) TrustedForFGAC() bool {
+	return c == ComputeStandard || c == ComputeServerless
+}
+
+// RequestContext identifies a catalog caller: the user identity plus the
+// credential scope of the compute the request originates from.
+type RequestContext struct {
+	User      string
+	Compute   ComputeType
+	ClusterID string
+	SessionID string
+	// GroupScope, when non-empty, down-scopes the caller's effective
+	// permissions to exactly the named group's grants while retaining the
+	// user identity for auditing and CURRENT_USER (dedicated group
+	// clusters, paper §4.2).
+	GroupScope string
+}
+
+// ObjectType classifies securables.
+type ObjectType string
+
+// Object types.
+const (
+	TypeTable            ObjectType = "TABLE"
+	TypeView             ObjectType = "VIEW"
+	TypeMaterializedView ObjectType = "MATERIALIZED_VIEW"
+	TypeFunction         ObjectType = "FUNCTION"
+)
+
+// Errors.
+var (
+	ErrNotFound       = errors.New("catalog: object not found")
+	ErrAlreadyExists  = errors.New("catalog: object already exists")
+	ErrPermission     = errors.New("catalog: permission denied")
+	ErrRequiresEFGAC  = errors.New("catalog: relation has fine-grained policies; this compute must use external fine-grained access control")
+	ErrInvalidName    = errors.New("catalog: invalid object name")
+	ErrNotMateralized = errors.New("catalog: not a materialized view")
+)
+
+// Table is the stored definition of a table, view, or materialized view.
+type table struct {
+	fullName  string
+	objType   ObjectType
+	schema    *types.Schema
+	owner     string
+	comment   string
+	prefix    string // storage prefix for TABLE and MATERIALIZED_VIEW
+	viewText  string // SQL body for VIEW and MATERIALIZED_VIEW
+	rowFilter string // SQL predicate, "" if none
+	colMasks  map[string]string
+	colTags   map[string][]string // column -> attribute tags (ABAC)
+	mvFresh   bool                // materialized view has been refreshed at least once
+}
+
+// function is a cataloged UDF.
+type function struct {
+	fullName  string
+	owner     string
+	params    []types.Field
+	returns   types.Kind
+	body      string
+	comment   string
+	resources string // specialized execution environment requirement
+}
+
+type schemaObj struct {
+	tables    map[string]*table
+	functions map[string]*function
+}
+
+type catalogObj struct {
+	schemas map[string]*schemaObj
+}
+
+// Catalog is the metastore. All methods are safe for concurrent use.
+type Catalog struct {
+	mu       sync.RWMutex
+	catalogs map[string]*catalogObj
+	grants   map[string]map[Privilege]map[string]bool // securable -> priv -> principals
+	groups   map[string]map[string]bool               // group -> members
+	tagMasks map[string]string                        // ABAC: tag -> mask template
+	admins   map[string]bool
+	store    *storage.Store
+	signer   *storage.Signer
+	audit    *audit.Log
+	credTTL  time.Duration
+}
+
+// New creates a catalog bound to an object store. The catalog holds the
+// store's signing secret; it is the only credential issuer in the system.
+func New(store *storage.Store, auditLog *audit.Log) *Catalog {
+	if auditLog == nil {
+		auditLog = audit.NewLog()
+	}
+	c := &Catalog{
+		catalogs: map[string]*catalogObj{},
+		grants:   map[string]map[Privilege]map[string]bool{},
+		groups:   map[string]map[string]bool{},
+		admins:   map[string]bool{},
+		store:    store,
+		signer:   store.Signer(),
+		audit:    auditLog,
+		credTTL:  15 * time.Minute,
+	}
+	c.catalogs["main"] = &catalogObj{schemas: map[string]*schemaObj{
+		"default": {tables: map[string]*table{}, functions: map[string]*function{}},
+	}}
+	return c
+}
+
+// Audit returns the audit log.
+func (c *Catalog) Audit() *audit.Log { return c.audit }
+
+// Store returns the object store (engine side only).
+func (c *Catalog) Store() *storage.Store { return c.store }
+
+// AddAdmin marks a user as a metastore admin.
+func (c *Catalog) AddAdmin(user string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.admins[user] = true
+}
+
+// CreateGroup creates an account group.
+func (c *Catalog) CreateGroup(name string, members ...string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := c.groups[strings.ToLower(name)]
+	if g == nil {
+		g = map[string]bool{}
+		c.groups[strings.ToLower(name)] = g
+	}
+	for _, m := range members {
+		g[m] = true
+	}
+}
+
+// RemoveFromGroup removes a member from a group.
+func (c *Catalog) RemoveFromGroup(name, member string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g := c.groups[strings.ToLower(name)]; g != nil {
+		delete(g, member)
+	}
+}
+
+// IsGroupMember reports whether user belongs to group.
+func (c *Catalog) IsGroupMember(user, group string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.groups[strings.ToLower(group)][user]
+}
+
+// GroupsOf returns the groups a user belongs to.
+func (c *Catalog) GroupsOf(user string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []string
+	for g, members := range c.groups {
+		if members[user] {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// normalize resolves name parts to (catalog, schema, object) applying the
+// default catalog/schema for short names.
+func normalize(parts []string) (string, string, string, error) {
+	switch len(parts) {
+	case 1:
+		return "main", "default", strings.ToLower(parts[0]), nil
+	case 2:
+		return "main", strings.ToLower(parts[0]), strings.ToLower(parts[1]), nil
+	case 3:
+		return strings.ToLower(parts[0]), strings.ToLower(parts[1]), strings.ToLower(parts[2]), nil
+	}
+	return "", "", "", fmt.Errorf("%w: %v", ErrInvalidName, parts)
+}
+
+// FullName renders normalized parts as catalog.schema.name.
+func FullName(parts []string) string {
+	cat, sch, obj, err := normalize(parts)
+	if err != nil {
+		return strings.Join(parts, ".")
+	}
+	return cat + "." + sch + "." + obj
+}
+
+func (c *Catalog) schemaFor(cat, sch string, create bool) (*schemaObj, error) {
+	co := c.catalogs[cat]
+	if co == nil {
+		if !create {
+			return nil, fmt.Errorf("%w: catalog %q", ErrNotFound, cat)
+		}
+		co = &catalogObj{schemas: map[string]*schemaObj{}}
+		c.catalogs[cat] = co
+	}
+	so := co.schemas[sch]
+	if so == nil {
+		if !create {
+			return nil, fmt.Errorf("%w: schema %q.%q", ErrNotFound, cat, sch)
+		}
+		so = &schemaObj{tables: map[string]*table{}, functions: map[string]*function{}}
+		co.schemas[sch] = so
+	}
+	return so, nil
+}
+
+func (c *Catalog) record(ctx RequestContext, action, securable string, decision audit.Decision, reason string) {
+	c.audit.Record(audit.Event{
+		User: ctx.User, Compute: string(ctx.Compute), SessionID: ctx.SessionID,
+		Action: action, Securable: securable, Decision: decision, Reason: reason,
+	})
+}

@@ -1,0 +1,467 @@
+package catalog
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"lakeguard/internal/storage"
+	"lakeguard/internal/types"
+)
+
+const (
+	admin = "admin@corp.com"
+	alice = "alice@corp.com"
+	bob   = "bob@corp.com"
+)
+
+func newTestCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c := New(storage.NewStore(), nil)
+	c.AddAdmin(admin)
+	return c
+}
+
+func adminCtx() RequestContext {
+	return RequestContext{User: admin, Compute: ComputeStandard, SessionID: "s0"}
+}
+
+func userCtx(user string, compute ComputeType) RequestContext {
+	return RequestContext{User: user, Compute: compute, SessionID: "s-" + user}
+}
+
+func salesSchema() *types.Schema {
+	return types.NewSchema(
+		types.Field{Name: "amount", Kind: types.KindFloat64},
+		types.Field{Name: "date", Kind: types.KindString},
+		types.Field{Name: "seller", Kind: types.KindString},
+		types.Field{Name: "region", Kind: types.KindString},
+	)
+}
+
+func createSales(t *testing.T, c *Catalog) {
+	t.Helper()
+	if err := c.CreateTable(adminCtx(), []string{"sales"}, salesSchema(), false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateAndResolveTable(t *testing.T) {
+	c := newTestCatalog(t)
+	createSales(t, c)
+	meta, err := c.ResolveTable(adminCtx(), []string{"sales"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.FullName != "main.default.sales" || meta.Type != TypeTable {
+		t.Fatalf("meta = %+v", meta)
+	}
+	if !meta.LocalProcessingAllowed || meta.HasPolicies {
+		t.Error("plain table should be locally processable without policies")
+	}
+	// Same table via qualified names.
+	for _, parts := range [][]string{{"default", "sales"}, {"main", "default", "sales"}} {
+		if _, err := c.ResolveTable(adminCtx(), parts); err != nil {
+			t.Errorf("resolve %v: %v", parts, err)
+		}
+	}
+}
+
+func TestCreateDuplicate(t *testing.T) {
+	c := newTestCatalog(t)
+	createSales(t, c)
+	err := c.CreateTable(adminCtx(), []string{"sales"}, salesSchema(), false, "")
+	if !errors.Is(err, ErrAlreadyExists) {
+		t.Errorf("err = %v", err)
+	}
+	if err := c.CreateTable(adminCtx(), []string{"sales"}, salesSchema(), true, ""); err != nil {
+		t.Errorf("if-not-exists: %v", err)
+	}
+}
+
+func TestSelectRequiresGrant(t *testing.T) {
+	c := newTestCatalog(t)
+	createSales(t, c)
+	if _, err := c.ResolveTable(userCtx(alice, ComputeStandard), []string{"sales"}); !errors.Is(err, ErrPermission) {
+		t.Fatalf("expected permission error, got %v", err)
+	}
+	if err := c.Grant(adminCtx(), PrivSelect, []string{"sales"}, alice); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ResolveTable(userCtx(alice, ComputeStandard), []string{"sales"}); err != nil {
+		t.Fatalf("after grant: %v", err)
+	}
+	if err := c.Revoke(adminCtx(), PrivSelect, []string{"sales"}, alice); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ResolveTable(userCtx(alice, ComputeStandard), []string{"sales"}); !errors.Is(err, ErrPermission) {
+		t.Fatalf("after revoke: %v", err)
+	}
+}
+
+func TestGroupGrants(t *testing.T) {
+	c := newTestCatalog(t)
+	createSales(t, c)
+	c.CreateGroup("data_scientists", alice)
+	if err := c.Grant(adminCtx(), PrivSelect, []string{"sales"}, "data_scientists"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ResolveTable(userCtx(alice, ComputeStandard), []string{"sales"}); err != nil {
+		t.Fatalf("group member: %v", err)
+	}
+	if _, err := c.ResolveTable(userCtx(bob, ComputeStandard), []string{"sales"}); !errors.Is(err, ErrPermission) {
+		t.Fatalf("non-member: %v", err)
+	}
+	c.RemoveFromGroup("data_scientists", alice)
+	if _, err := c.ResolveTable(userCtx(alice, ComputeStandard), []string{"sales"}); !errors.Is(err, ErrPermission) {
+		t.Fatalf("after removal: %v", err)
+	}
+}
+
+func TestAllPrivilegeImpliesSelect(t *testing.T) {
+	c := newTestCatalog(t)
+	createSales(t, c)
+	if err := c.Grant(adminCtx(), PrivAll, []string{"sales"}, alice); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ResolveTable(userCtx(alice, ComputeStandard), []string{"sales"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.VendCredential(userCtx(alice, ComputeStandard), []string{"sales"}, storage.ModeReadWrite); err != nil {
+		t.Fatalf("ALL should imply MODIFY: %v", err)
+	}
+}
+
+func TestOnlyOwnerGrants(t *testing.T) {
+	c := newTestCatalog(t)
+	createSales(t, c)
+	c.Grant(adminCtx(), PrivSelect, []string{"sales"}, alice)
+	// Alice (not owner) cannot grant to Bob.
+	if err := c.Grant(userCtx(alice, ComputeStandard), PrivSelect, []string{"sales"}, bob); !errors.Is(err, ErrPermission) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPolicyWithholdingByComputeType(t *testing.T) {
+	c := newTestCatalog(t)
+	createSales(t, c)
+	if err := c.SetRowFilter(adminCtx(), []string{"sales"}, "region = 'US'", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetColumnMask(adminCtx(), []string{"sales"}, "seller", "'***'", false); err != nil {
+		t.Fatal(err)
+	}
+	c.Grant(adminCtx(), PrivSelect, []string{"sales"}, alice)
+
+	std, err := c.ResolveTable(userCtx(alice, ComputeStandard), []string{"sales"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !std.LocalProcessingAllowed || std.RowFilterSQL != "region = 'US'" || std.ColumnMasks["seller"] != "'***'" {
+		t.Errorf("standard compute should see policies: %+v", std)
+	}
+
+	ded, err := c.ResolveTable(userCtx(alice, ComputeDedicated), []string{"sales"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ded.LocalProcessingAllowed {
+		t.Error("dedicated compute must not process FGAC tables locally")
+	}
+	if ded.RowFilterSQL != "" || len(ded.ColumnMasks) != 0 || ded.StoragePrefix != "" {
+		t.Errorf("policy internals leaked to dedicated compute: %+v", ded)
+	}
+	if !ded.HasPolicies {
+		t.Error("HasPolicies must still be annotated")
+	}
+
+	ext, err := c.ResolveTable(userCtx(alice, ComputeExternal), []string{"sales"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.LocalProcessingAllowed {
+		t.Error("external engines must use eFGAC too")
+	}
+}
+
+func TestCredentialVendingScopes(t *testing.T) {
+	c := newTestCatalog(t)
+	createSales(t, c)
+	c.Grant(adminCtx(), PrivSelect, []string{"sales"}, alice)
+
+	// No policies: any compute may get a read credential.
+	if _, err := c.VendCredential(userCtx(alice, ComputeDedicated), []string{"sales"}, storage.ModeRead); err != nil {
+		t.Fatalf("plain table on dedicated: %v", err)
+	}
+
+	// With a row filter, dedicated compute is refused.
+	c.SetRowFilter(adminCtx(), []string{"sales"}, "region = 'US'", false)
+	if _, err := c.VendCredential(userCtx(alice, ComputeDedicated), []string{"sales"}, storage.ModeRead); !errors.Is(err, ErrRequiresEFGAC) {
+		t.Fatalf("err = %v", err)
+	}
+	// Standard compute still allowed (engine enforces the filter).
+	if _, err := c.VendCredential(userCtx(alice, ComputeStandard), []string{"sales"}, storage.ModeRead); err != nil {
+		t.Fatalf("standard: %v", err)
+	}
+	// Serverless allowed.
+	if _, err := c.VendCredential(userCtx(alice, ComputeServerless), []string{"sales"}, storage.ModeRead); err != nil {
+		t.Fatalf("serverless: %v", err)
+	}
+	// Write requires MODIFY.
+	if _, err := c.VendCredential(userCtx(alice, ComputeStandard), []string{"sales"}, storage.ModeReadWrite); !errors.Is(err, ErrPermission) {
+		t.Fatalf("modify err = %v", err)
+	}
+}
+
+func TestVendedCredentialWorksOnStore(t *testing.T) {
+	c := newTestCatalog(t)
+	createSales(t, c)
+	cred, err := c.VendCredential(adminCtx(), []string{"sales"}, storage.ModeRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Store().List(cred, cred.Prefix); err != nil {
+		t.Fatalf("vended credential rejected by store: %v", err)
+	}
+	// And it is scoped: cannot read another table's prefix.
+	if err := c.CreateTable(adminCtx(), []string{"other"}, salesSchema(), false, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Store().List(cred, "tables/main/default/other/"); err == nil {
+		t.Error("credential escaped its prefix")
+	}
+}
+
+func TestViewsHaveNoDirectStorage(t *testing.T) {
+	c := newTestCatalog(t)
+	createSales(t, c)
+	vs := types.NewSchema(types.Field{Name: "amount", Kind: types.KindFloat64})
+	if err := c.CreateView(adminCtx(), []string{"v"}, "SELECT amount FROM sales", false, false, vs, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.VendCredential(adminCtx(), []string{"v"}, storage.ModeRead); !errors.Is(err, ErrPermission) {
+		t.Fatalf("err = %v", err)
+	}
+	meta, err := c.ResolveTable(adminCtx(), []string{"v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.ViewText != "SELECT amount FROM sales" {
+		t.Errorf("view text = %q", meta.ViewText)
+	}
+}
+
+func TestViewTextWithheldFromUntrustedCompute(t *testing.T) {
+	c := newTestCatalog(t)
+	createSales(t, c)
+	vs := types.NewSchema(types.Field{Name: "amount", Kind: types.KindFloat64})
+	c.CreateView(adminCtx(), []string{"v"}, "SELECT amount FROM sales WHERE region='US'", false, false, vs, "")
+	c.Grant(adminCtx(), PrivSelect, []string{"v"}, alice)
+	meta, err := c.ResolveTable(userCtx(alice, ComputeDedicated), []string{"v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.LocalProcessingAllowed || meta.ViewText != "" {
+		t.Errorf("view internals leaked to dedicated compute: %+v", meta)
+	}
+}
+
+func TestFunctionLifecycle(t *testing.T) {
+	c := newTestCatalog(t)
+	params := []types.Field{{Name: "a", Kind: types.KindInt64}, {Name: "b", Kind: types.KindInt64}}
+	if err := c.CreateFunction(adminCtx(), []string{"fns", "add2"}, params, types.KindInt64, "return a + b", false, ""); err != nil {
+		// fns schema doesn't exist yet
+		if !errors.Is(err, ErrNotFound) {
+			t.Fatal(err)
+		}
+	}
+	if err := c.CreateSchema(adminCtx(), []string{"fns"}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateFunction(adminCtx(), []string{"fns", "add2"}, params, types.KindInt64, "return a + b", false, ""); err != nil {
+		t.Fatal(err)
+	}
+	// EXECUTE required.
+	if _, err := c.ResolveFunction(userCtx(alice, ComputeStandard), []string{"fns", "add2"}); !errors.Is(err, ErrPermission) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := c.Grant(adminCtx(), PrivExecute, []string{"fns", "add2"}, alice); err != nil {
+		t.Fatal(err)
+	}
+	fn, err := c.ResolveFunction(userCtx(alice, ComputeStandard), []string{"fns", "add2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn.Owner != admin || fn.Body != "return a + b" || fn.Returns != types.KindInt64 {
+		t.Errorf("fn = %+v", fn)
+	}
+}
+
+func TestOnlyOwnerSetsPolicies(t *testing.T) {
+	c := newTestCatalog(t)
+	createSales(t, c)
+	c.Grant(adminCtx(), PrivSelect, []string{"sales"}, alice)
+	if err := c.SetRowFilter(userCtx(alice, ComputeStandard), []string{"sales"}, "1=1", false); !errors.Is(err, ErrPermission) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := c.SetColumnMask(userCtx(alice, ComputeStandard), []string{"sales"}, "seller", "'x'", false); !errors.Is(err, ErrPermission) {
+		t.Fatalf("err = %v", err)
+	}
+	// Mask on missing column rejected.
+	if err := c.SetColumnMask(adminCtx(), []string{"sales"}, "nope", "'x'", false); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	// Dropping policies restores local processing on any compute.
+	c.SetRowFilter(adminCtx(), []string{"sales"}, "region='US'", false)
+	c.SetRowFilter(adminCtx(), []string{"sales"}, "", true)
+	meta, _ := c.ResolveTable(userCtx(alice, ComputeDedicated), []string{"sales"})
+	if !meta.LocalProcessingAllowed {
+		t.Error("dropping the filter should restore local processing")
+	}
+}
+
+func TestDropSemantics(t *testing.T) {
+	c := newTestCatalog(t)
+	createSales(t, c)
+	c.Grant(adminCtx(), PrivSelect, []string{"sales"}, alice)
+	if err := c.Drop(userCtx(alice, ComputeStandard), []string{"sales"}, false); !errors.Is(err, ErrPermission) {
+		t.Fatalf("non-owner drop: %v", err)
+	}
+	if err := c.Drop(adminCtx(), []string{"sales"}, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ResolveTable(adminCtx(), []string{"sales"}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after drop: %v", err)
+	}
+	if err := c.Drop(adminCtx(), []string{"sales"}, true); err != nil {
+		t.Errorf("if-exists drop: %v", err)
+	}
+	// Grants on a dropped table do not survive re-creation.
+	createSales(t, c)
+	if _, err := c.ResolveTable(userCtx(alice, ComputeStandard), []string{"sales"}); !errors.Is(err, ErrPermission) {
+		t.Fatalf("stale grant survived drop: %v", err)
+	}
+}
+
+func TestInsertAndReadBack(t *testing.T) {
+	c := newTestCatalog(t)
+	createSales(t, c)
+	bb := types.NewBatchBuilder(salesSchema(), 2)
+	bb.AppendRow([]types.Value{types.Float64(10), types.String("2024-12-01"), types.String("ann"), types.String("US")})
+	bb.AppendRow([]types.Value{types.Float64(20), types.String("2024-12-01"), types.String("ben"), types.String("EU")})
+	if _, err := c.AppendToTable(adminCtx(), []string{"sales"}, []*types.Batch{bb.Build()}); err != nil {
+		t.Fatal(err)
+	}
+	log, cred, err := c.OpenTableLog(adminCtx(), []string{"sales"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := log.Snapshot(cred, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumRecords() != 2 {
+		t.Fatalf("rows = %d", snap.NumRecords())
+	}
+	// Insert into a view fails.
+	vs := types.NewSchema(types.Field{Name: "amount", Kind: types.KindFloat64})
+	c.CreateView(adminCtx(), []string{"v"}, "SELECT amount FROM sales", false, false, vs, "")
+	if _, err := c.AppendToTable(adminCtx(), []string{"v"}, nil); err == nil {
+		t.Error("insert into view should fail")
+	}
+}
+
+func TestMaterializedViewRefresh(t *testing.T) {
+	c := newTestCatalog(t)
+	createSales(t, c)
+	vs := types.NewSchema(types.Field{Name: "amount", Kind: types.KindFloat64})
+	if err := c.CreateView(adminCtx(), []string{"mv"}, "SELECT amount FROM sales", true, false, vs, ""); err != nil {
+		t.Fatal(err)
+	}
+	meta, _ := c.ResolveTable(adminCtx(), []string{"mv"})
+	if meta.Type != TypeMaterializedView || meta.MVFresh {
+		t.Fatalf("meta = %+v", meta)
+	}
+	bb := types.NewBatchBuilder(vs, 1)
+	bb.AppendRow([]types.Value{types.Float64(42)})
+	if err := c.RefreshMaterializedView(adminCtx(), []string{"mv"}, []*types.Batch{bb.Build()}); err != nil {
+		t.Fatal(err)
+	}
+	meta, _ = c.ResolveTable(adminCtx(), []string{"mv"})
+	if !meta.MVFresh || meta.StoragePrefix == "" {
+		t.Errorf("after refresh: %+v", meta)
+	}
+	// Non-owner cannot refresh.
+	if err := c.RefreshMaterializedView(userCtx(alice, ComputeStandard), []string{"mv"}, nil); !errors.Is(err, ErrPermission) {
+		t.Fatalf("err = %v", err)
+	}
+	// Refreshing a non-MV fails.
+	if err := c.RefreshMaterializedView(adminCtx(), []string{"sales"}, nil); !errors.Is(err, ErrNotMateralized) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAuditTrail(t *testing.T) {
+	c := newTestCatalog(t)
+	createSales(t, c)
+	c.Grant(adminCtx(), PrivSelect, []string{"sales"}, alice)
+	_, _ = c.ResolveTable(userCtx(alice, ComputeStandard), []string{"sales"})
+	_, _ = c.ResolveTable(userCtx(bob, ComputeStandard), []string{"sales"})
+
+	aliceEvents := c.Audit().ByUser(alice)
+	if len(aliceEvents) == 0 {
+		t.Fatal("no audit events for alice")
+	}
+	denials := c.Audit().Denials()
+	foundBob := false
+	for _, e := range denials {
+		if e.User == bob && e.Securable == "main.default.sales" {
+			foundBob = true
+		}
+	}
+	if !foundBob {
+		t.Error("bob's denial not audited")
+	}
+	// Every event carries a session attribution.
+	for _, e := range c.Audit().Events(nil) {
+		if e.User != "" && e.SessionID == "" {
+			t.Errorf("event missing session: %+v", e)
+		}
+	}
+}
+
+func TestListTables(t *testing.T) {
+	c := newTestCatalog(t)
+	createSales(t, c)
+	c.CreateTable(adminCtx(), []string{"secret"}, salesSchema(), false, "")
+	c.Grant(adminCtx(), PrivSelect, []string{"sales"}, alice)
+	got := c.ListTables(userCtx(alice, ComputeStandard))
+	if len(got) != 1 || got[0] != "main.default.sales" {
+		t.Errorf("alice sees %v", got)
+	}
+	if n := len(c.ListTables(adminCtx())); n != 2 {
+		t.Errorf("admin sees %d", n)
+	}
+}
+
+func TestParsePrivilege(t *testing.T) {
+	if p, err := ParsePrivilege("select"); err != nil || p != PrivSelect {
+		t.Error("parse select")
+	}
+	if _, err := ParsePrivilege("FLY"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestInvalidNames(t *testing.T) {
+	c := newTestCatalog(t)
+	if err := c.CreateTable(adminCtx(), []string{"a", "b", "c", "d"}, salesSchema(), false, ""); !errors.Is(err, ErrInvalidName) {
+		t.Errorf("err = %v", err)
+	}
+	if FullName([]string{"X"}) != "main.default.x" {
+		t.Errorf("FullName = %q", FullName([]string{"X"}))
+	}
+	if !strings.Contains(FullName([]string{"a", "b", "c", "d"}), "a.b.c.d") {
+		t.Error("overlong name should join as-is")
+	}
+}

@@ -1,0 +1,335 @@
+package catalog
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lakeguard/internal/audit"
+	"lakeguard/internal/delta"
+	"lakeguard/internal/storage"
+	"lakeguard/internal/types"
+)
+
+// CreateSchema creates a namespace. Any authenticated user may create
+// schemas in this simplified model; the creator becomes owner of objects
+// they create inside it.
+func (c *Catalog) CreateSchema(ctx RequestContext, parts []string, ifNotExists bool) error {
+	var cat, sch string
+	switch len(parts) {
+	case 1:
+		cat, sch = "main", strings.ToLower(parts[0])
+	case 2:
+		cat, sch = strings.ToLower(parts[0]), strings.ToLower(parts[1])
+	default:
+		return fmt.Errorf("%w: schema name %v", ErrInvalidName, parts)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	co := c.catalogs[cat]
+	if co == nil {
+		co = &catalogObj{schemas: map[string]*schemaObj{}}
+		c.catalogs[cat] = co
+	}
+	if _, ok := co.schemas[sch]; ok {
+		if ifNotExists {
+			return nil
+		}
+		return fmt.Errorf("%w: schema %s.%s", ErrAlreadyExists, cat, sch)
+	}
+	co.schemas[sch] = &schemaObj{tables: map[string]*table{}, functions: map[string]*function{}}
+	c.record(ctx, "CREATE SCHEMA", cat+"."+sch, audit.DecisionAllow, "")
+	return nil
+}
+
+// CreateTable creates a managed Delta table and returns its version-0 log.
+func (c *Catalog) CreateTable(ctx RequestContext, parts []string, schema *types.Schema, ifNotExists bool, comment string) error {
+	cat, sch, name, err := normalize(parts)
+	if err != nil {
+		return err
+	}
+	full := cat + "." + sch + "." + name
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	so, err := c.schemaFor(cat, sch, false)
+	if err != nil {
+		return err
+	}
+	if _, ok := so.tables[name]; ok {
+		if ifNotExists {
+			return nil
+		}
+		return fmt.Errorf("%w: %s", ErrAlreadyExists, full)
+	}
+	prefix := fmt.Sprintf("tables/%s/%s/%s/", cat, sch, name)
+	cred := c.signer.Issue(prefix, storage.ModeReadWrite, time.Minute)
+	if _, err := delta.Create(c.store, &cred, prefix, schema); err != nil {
+		return err
+	}
+	so.tables[name] = &table{
+		fullName: full, objType: TypeTable, schema: schema.Clone(),
+		owner: ctx.User, comment: comment, prefix: prefix,
+		colMasks: map[string]string{},
+	}
+	c.record(ctx, "CREATE TABLE", full, audit.DecisionAllow, "")
+	return nil
+}
+
+// CreateView creates a view or materialized view. The body is stored as SQL
+// text; for materialized views a backing table prefix is allocated and the
+// caller must refresh it before first read.
+func (c *Catalog) CreateView(ctx RequestContext, parts []string, query string, materialized, orReplace bool, viewSchema *types.Schema, comment string) error {
+	cat, sch, name, err := normalize(parts)
+	if err != nil {
+		return err
+	}
+	full := cat + "." + sch + "." + name
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	so, err := c.schemaFor(cat, sch, false)
+	if err != nil {
+		return err
+	}
+	if existing, ok := so.tables[name]; ok {
+		if !orReplace {
+			return fmt.Errorf("%w: %s", ErrAlreadyExists, full)
+		}
+		if existing.owner != ctx.User && !c.admins[ctx.User] {
+			c.record(ctx, "CREATE OR REPLACE VIEW", full, audit.DecisionDeny, "not owner")
+			return fmt.Errorf("%w: only the owner may replace %s", ErrPermission, full)
+		}
+	}
+	t := &table{
+		fullName: full, objType: TypeView, schema: viewSchema,
+		owner: ctx.User, comment: comment, viewText: query,
+		colMasks: map[string]string{},
+	}
+	if materialized {
+		t.objType = TypeMaterializedView
+		t.prefix = fmt.Sprintf("tables/%s/%s/%s_mv/", cat, sch, name)
+		cred := c.signer.Issue(t.prefix, storage.ModeReadWrite, time.Minute)
+		if _, err := delta.Create(c.store, &cred, t.prefix, viewSchema); err != nil {
+			return err
+		}
+	}
+	so.tables[name] = t
+	c.record(ctx, t.objType.createAction(), full, audit.DecisionAllow, "")
+	return nil
+}
+
+func (ot ObjectType) createAction() string {
+	switch ot {
+	case TypeMaterializedView:
+		return "CREATE MATERIALIZED VIEW"
+	case TypeView:
+		return "CREATE VIEW"
+	}
+	return "CREATE TABLE"
+}
+
+// CreateFunction catalogs a UDF owned by the creating user.
+func (c *Catalog) CreateFunction(ctx RequestContext, parts []string, params []types.Field, returns types.Kind, body string, orReplace bool, comment string) error {
+	return c.CreateFunctionResources(ctx, parts, params, returns, body, orReplace, comment, "")
+}
+
+// CreateFunctionResources is CreateFunction with a specialized execution
+// environment requirement (paper §3.3: requests with specific resource
+// requirements route to specialized environments).
+func (c *Catalog) CreateFunctionResources(ctx RequestContext, parts []string, params []types.Field, returns types.Kind, body string, orReplace bool, comment, resources string) error {
+	cat, sch, name, err := normalize(parts)
+	if err != nil {
+		return err
+	}
+	full := cat + "." + sch + "." + name
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	so, err := c.schemaFor(cat, sch, false)
+	if err != nil {
+		return err
+	}
+	if existing, ok := so.functions[name]; ok {
+		if !orReplace {
+			return fmt.Errorf("%w: %s", ErrAlreadyExists, full)
+		}
+		if existing.owner != ctx.User && !c.admins[ctx.User] {
+			c.record(ctx, "CREATE OR REPLACE FUNCTION", full, audit.DecisionDeny, "not owner")
+			return fmt.Errorf("%w: only the owner may replace %s", ErrPermission, full)
+		}
+	}
+	so.functions[name] = &function{
+		fullName: full, owner: ctx.User, params: params, returns: returns,
+		body: body, comment: comment, resources: resources,
+	}
+	c.record(ctx, "CREATE FUNCTION", full, audit.DecisionAllow, "")
+	return nil
+}
+
+// Drop removes a table or view. Only the owner or an admin may drop.
+func (c *Catalog) Drop(ctx RequestContext, parts []string, ifExists bool) error {
+	cat, sch, name, err := normalize(parts)
+	if err != nil {
+		return err
+	}
+	full := cat + "." + sch + "." + name
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	so, err := c.schemaFor(cat, sch, false)
+	if err != nil {
+		if ifExists {
+			return nil
+		}
+		return err
+	}
+	t, ok := so.tables[name]
+	if !ok {
+		if ifExists {
+			return nil
+		}
+		return fmt.Errorf("%w: %s", ErrNotFound, full)
+	}
+	if t.owner != ctx.User && !c.admins[ctx.User] {
+		c.record(ctx, "DROP", full, audit.DecisionDeny, "not owner")
+		return fmt.Errorf("%w: only the owner may drop %s", ErrPermission, full)
+	}
+	delete(so.tables, name)
+	delete(c.grants, full)
+	if t.prefix != "" {
+		cred := c.signer.Issue(t.prefix, storage.ModeReadWrite, time.Minute)
+		if paths, err := c.store.List(&cred, t.prefix); err == nil {
+			for _, p := range paths {
+				_ = c.store.Delete(&cred, p)
+			}
+		}
+	}
+	c.record(ctx, "DROP", full, audit.DecisionAllow, "")
+	return nil
+}
+
+// SetRowFilter attaches (or drops) a row-filter policy. Owner or admin only.
+func (c *Catalog) SetRowFilter(ctx RequestContext, parts []string, filterSQL string, drop bool) error {
+	cat, sch, name, err := normalize(parts)
+	if err != nil {
+		return err
+	}
+	full := cat + "." + sch + "." + name
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	so, err := c.schemaFor(cat, sch, false)
+	if err != nil {
+		return err
+	}
+	t, ok := so.tables[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, full)
+	}
+	if t.owner != ctx.User && !c.admins[ctx.User] {
+		c.record(ctx, "SET ROW FILTER", full, audit.DecisionDeny, "not owner")
+		return fmt.Errorf("%w: only the owner may set policies on %s", ErrPermission, full)
+	}
+	if drop {
+		t.rowFilter = ""
+	} else {
+		t.rowFilter = filterSQL
+	}
+	c.record(ctx, "SET ROW FILTER", full, audit.DecisionAllow, "")
+	return nil
+}
+
+// SetColumnMask attaches (or drops) a column mask. Owner or admin only.
+func (c *Catalog) SetColumnMask(ctx RequestContext, parts []string, column, maskSQL string, drop bool) error {
+	cat, sch, name, err := normalize(parts)
+	if err != nil {
+		return err
+	}
+	full := cat + "." + sch + "." + name
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	so, err := c.schemaFor(cat, sch, false)
+	if err != nil {
+		return err
+	}
+	t, ok := so.tables[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, full)
+	}
+	if t.owner != ctx.User && !c.admins[ctx.User] {
+		c.record(ctx, "SET COLUMN MASK", full, audit.DecisionDeny, "not owner")
+		return fmt.Errorf("%w: only the owner may set policies on %s", ErrPermission, full)
+	}
+	col := strings.ToLower(column)
+	if t.schema.IndexOf(col) < 0 {
+		return fmt.Errorf("%w: column %q of %s", ErrNotFound, column, full)
+	}
+	if drop {
+		delete(t.colMasks, col)
+	} else {
+		t.colMasks[col] = maskSQL
+	}
+	c.record(ctx, "SET COLUMN MASK", full+"."+col, audit.DecisionAllow, "")
+	return nil
+}
+
+// Grant grants a privilege to a principal (user or group). Owner/admin only.
+func (c *Catalog) Grant(ctx RequestContext, priv Privilege, parts []string, principal string) error {
+	full, err := c.checkGrantAuthority(ctx, parts, "GRANT")
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	byPriv := c.grants[full]
+	if byPriv == nil {
+		byPriv = map[Privilege]map[string]bool{}
+		c.grants[full] = byPriv
+	}
+	if byPriv[priv] == nil {
+		byPriv[priv] = map[string]bool{}
+	}
+	byPriv[priv][principal] = true
+	c.record(ctx, "GRANT "+string(priv), full, audit.DecisionAllow, "to "+principal)
+	return nil
+}
+
+// Revoke removes a privilege grant.
+func (c *Catalog) Revoke(ctx RequestContext, priv Privilege, parts []string, principal string) error {
+	full, err := c.checkGrantAuthority(ctx, parts, "REVOKE")
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if byPriv := c.grants[full]; byPriv != nil && byPriv[priv] != nil {
+		delete(byPriv[priv], principal)
+	}
+	c.record(ctx, "REVOKE "+string(priv), full, audit.DecisionAllow, "from "+principal)
+	return nil
+}
+
+// checkGrantAuthority verifies the caller owns the securable (or is admin)
+// and returns its full name. Works for tables, views, and functions.
+func (c *Catalog) checkGrantAuthority(ctx RequestContext, parts []string, action string) (string, error) {
+	cat, sch, name, err := normalize(parts)
+	if err != nil {
+		return "", err
+	}
+	full := cat + "." + sch + "." + name
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	so, err := c.schemaFor(cat, sch, false)
+	if err != nil {
+		return "", err
+	}
+	var owner string
+	if t, ok := so.tables[name]; ok {
+		owner = t.owner
+	} else if f, ok := so.functions[name]; ok {
+		owner = f.owner
+	} else {
+		return "", fmt.Errorf("%w: %s", ErrNotFound, full)
+	}
+	if owner != ctx.User && !c.admins[ctx.User] {
+		c.record(ctx, action, full, audit.DecisionDeny, "not owner")
+		return "", fmt.Errorf("%w: only the owner may %s on %s", ErrPermission, strings.ToLower(action), full)
+	}
+	return full, nil
+}

@@ -1,0 +1,187 @@
+// Package cluster models the Databricks host architecture (paper Fig. 7): a
+// cluster of hosts, each provisioned into a runtime environment reachable by
+// the engine and a decoupled, protected cluster-management plane that
+// provisions sandboxes on request. The manager is the sandbox.Factory the
+// dispatcher calls into; Spark processes never create sandboxes themselves.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"lakeguard/internal/catalog"
+	"lakeguard/internal/sandbox"
+)
+
+// Host is one machine in the cluster.
+type Host struct {
+	ID string
+
+	mu        sync.Mutex
+	sandboxes map[string]*sandbox.Sandbox
+}
+
+// SandboxCount reports how many sandboxes run on the host.
+func (h *Host) SandboxCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.sandboxes)
+}
+
+// Config parametrizes a cluster.
+type Config struct {
+	// Name labels the cluster (audit attribution).
+	Name string
+	// Compute is the cluster's compute type, which drives the catalog's
+	// privilege scoping.
+	Compute catalog.ComputeType
+	// Hosts is the number of machines (minimum 1).
+	Hosts int
+	// MaxSandboxesPerHost caps density (0 = unlimited).
+	MaxSandboxesPerHost int
+	// Sandbox is the per-sandbox configuration (cold start, fuel, egress).
+	Sandbox sandbox.Config
+	// ResourcePools defines specialized execution environments outside the
+	// standard executor hosts (paper §3.3), e.g. "gpu" or "highmem". UDFs
+	// declaring a resource requirement are routed here.
+	ResourcePools map[string]PoolConfig
+}
+
+// PoolConfig describes one specialized resource pool.
+type PoolConfig struct {
+	// Hosts is the pool size (minimum 1).
+	Hosts int
+	// Sandbox overrides the sandbox configuration for this pool; nil
+	// inherits the cluster default.
+	Sandbox *sandbox.Config
+}
+
+// ErrCapacity is returned when every host is at its sandbox cap.
+var ErrCapacity = errors.New("cluster: no host has sandbox capacity")
+
+// Manager is the protected cluster-management plane.
+type Manager struct {
+	cfg       Config
+	hosts     []*Host
+	poolHosts map[string][]*Host
+
+	mu              sync.Mutex
+	provisioned     int64
+	poolProvisioned map[string]int64
+}
+
+// NewManager provisions a cluster.
+func NewManager(cfg Config) *Manager {
+	if cfg.Hosts < 1 {
+		cfg.Hosts = 1
+	}
+	m := &Manager{cfg: cfg, poolHosts: map[string][]*Host{}, poolProvisioned: map[string]int64{}}
+	for i := 0; i < cfg.Hosts; i++ {
+		m.hosts = append(m.hosts, &Host{
+			ID:        fmt.Sprintf("%s-host-%d", cfg.Name, i),
+			sandboxes: map[string]*sandbox.Sandbox{},
+		})
+	}
+	for pool, pc := range cfg.ResourcePools {
+		n := pc.Hosts
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			m.poolHosts[pool] = append(m.poolHosts[pool], &Host{
+				ID:        fmt.Sprintf("%s-%s-host-%d", cfg.Name, pool, i),
+				sandboxes: map[string]*sandbox.Sandbox{},
+			})
+		}
+	}
+	return m
+}
+
+// Name returns the cluster name.
+func (m *Manager) Name() string { return m.cfg.Name }
+
+// Compute returns the cluster's compute type.
+func (m *Manager) Compute() catalog.ComputeType { return m.cfg.Compute }
+
+// Hosts returns the cluster's hosts.
+func (m *Manager) Hosts() []*Host { return m.hosts }
+
+// Provisioned reports how many sandboxes the manager has created in total.
+func (m *Manager) Provisioned() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.provisioned
+}
+
+// CreateSandbox implements sandbox.Factory: it picks the least-loaded host
+// and provisions a sandbox there. MultiUser isolation holds regardless of
+// placement: the sandbox boundary, not the host boundary, is the security
+// boundary, which is why standard clusters can share hosts between users
+// (unlike the Membrane-style static split).
+func (m *Manager) CreateSandbox(trustDomain string) (*sandbox.Sandbox, error) {
+	return m.CreateSandboxResources(trustDomain, "")
+}
+
+// CreateSandboxResources implements sandbox.ResourceFactory: a non-empty
+// resource class routes to that specialized pool's hosts with the pool's
+// sandbox configuration.
+func (m *Manager) CreateSandboxResources(trustDomain, resources string) (*sandbox.Sandbox, error) {
+	hosts := m.hosts
+	cfg := m.cfg.Sandbox
+	if resources != "" {
+		pc, ok := m.cfg.ResourcePools[resources]
+		if !ok {
+			return nil, fmt.Errorf("cluster: no resource pool %q on cluster %s", resources, m.cfg.Name)
+		}
+		hosts = m.poolHosts[resources]
+		if pc.Sandbox != nil {
+			cfg = *pc.Sandbox
+		}
+	}
+	host := pickLeastLoaded(hosts, m.cfg.MaxSandboxesPerHost)
+	if host == nil {
+		return nil, ErrCapacity
+	}
+	sb := sandbox.New(trustDomain, cfg)
+	sb.Resources = resources
+	host.mu.Lock()
+	host.sandboxes[sb.ID] = sb
+	host.mu.Unlock()
+	m.mu.Lock()
+	m.provisioned++
+	if resources != "" {
+		m.poolProvisioned[resources]++
+	}
+	m.mu.Unlock()
+	return sb, nil
+}
+
+// PoolProvisioned reports how many sandboxes a resource pool has created.
+func (m *Manager) PoolProvisioned(resources string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.poolProvisioned[resources]
+}
+
+// PoolHosts returns a resource pool's hosts.
+func (m *Manager) PoolHosts(resources string) []*Host { return m.poolHosts[resources] }
+
+func pickLeastLoaded(hosts []*Host, maxPerHost int) *Host {
+	var best *Host
+	bestCount := -1
+	for _, h := range hosts {
+		c := h.SandboxCount()
+		if maxPerHost > 0 && c >= maxPerHost {
+			continue
+		}
+		if best == nil || c < bestCount {
+			best, bestCount = h, c
+		}
+	}
+	return best
+}
+
+// ColdStartDelay returns the configured sandbox provisioning latency.
+func (m *Manager) ColdStartDelay() time.Duration { return m.cfg.Sandbox.ColdStart }

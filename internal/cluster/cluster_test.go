@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"lakeguard/internal/catalog"
+	"lakeguard/internal/sandbox"
+)
+
+func TestLeastLoadedPlacement(t *testing.T) {
+	m := NewManager(Config{Name: "std", Compute: catalog.ComputeStandard, Hosts: 3})
+	for i := 0; i < 6; i++ {
+		if _, err := m.CreateSandbox("alice"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, h := range m.Hosts() {
+		if h.SandboxCount() != 2 {
+			t.Errorf("host %s has %d sandboxes, want 2", h.ID, h.SandboxCount())
+		}
+	}
+	if m.Provisioned() != 6 {
+		t.Errorf("provisioned = %d", m.Provisioned())
+	}
+}
+
+func TestCapacityLimit(t *testing.T) {
+	m := NewManager(Config{Name: "small", Compute: catalog.ComputeStandard, Hosts: 2, MaxSandboxesPerHost: 1})
+	for i := 0; i < 2; i++ {
+		if _, err := m.CreateSandbox("u"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.CreateSandbox("u"); !errors.Is(err, ErrCapacity) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestManagerImplementsFactory(t *testing.T) {
+	var _ sandbox.Factory = NewManager(Config{Name: "x", Hosts: 1})
+}
+
+func TestDefaultsToOneHost(t *testing.T) {
+	m := NewManager(Config{Name: "d"})
+	if len(m.Hosts()) != 1 {
+		t.Errorf("hosts = %d", len(m.Hosts()))
+	}
+	if m.Compute() != "" && m.Compute() != catalog.ComputeStandard {
+		t.Logf("compute defaults to %q", m.Compute())
+	}
+	if m.Name() != "d" {
+		t.Error("name")
+	}
+}

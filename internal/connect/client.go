@@ -1,0 +1,265 @@
+package connect
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"lakeguard/internal/arrowipc"
+	"lakeguard/internal/plan"
+	"lakeguard/internal/proto"
+	"lakeguard/internal/types"
+)
+
+var clientSeq atomic.Int64
+
+// Client is the Connect protocol client: it holds a session against an
+// endpoint and lowers DataFrame operations into serialized plans.
+type Client struct {
+	baseURL     string
+	token       string
+	sessionID   string
+	workloadEnv string
+	http        *http.Client
+}
+
+// Dial creates a client with a fresh session id.
+func Dial(baseURL, token string) *Client {
+	return &Client{
+		baseURL:   baseURL,
+		token:     token,
+		sessionID: fmt.Sprintf("sess-%d", clientSeq.Add(1)),
+		http:      &http.Client{},
+	}
+}
+
+// DialSession attaches with an explicit session id (session resumption).
+func DialSession(baseURL, token, sessionID string) *Client {
+	c := Dial(baseURL, token)
+	c.sessionID = sessionID
+	return c
+}
+
+// SessionID returns the client's session id.
+func (c *Client) SessionID() string { return c.sessionID }
+
+// SetWorkloadEnv pins all subsequent executions to a versioned Workload
+// Environment (paper §6.3). Empty selects the server default.
+func (c *Client) SetWorkloadEnv(env string) { c.workloadEnv = env }
+
+func (c *Client) newRequest(method, path string, body []byte) (*http.Request, error) {
+	req, err := http.NewRequest(method, c.baseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Authorization", "Bearer "+c.token)
+	req.Header.Set("X-Session-Id", c.sessionID)
+	return req, nil
+}
+
+func decodeHTTPError(resp *http.Response) error {
+	var payload struct {
+		Error string `json:"error"`
+	}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if json.Unmarshal(data, &payload) == nil && payload.Error != "" {
+		return errors.New(payload.Error)
+	}
+	return fmt.Errorf("connect: HTTP %d", resp.StatusCode)
+}
+
+// ExecutePlan sends a root plan and collects the streamed result. If the
+// stream is interrupted mid-read, the client reattaches to the operation and
+// resumes from the last received batch.
+func (c *Client) ExecutePlan(pl *proto.Plan) (*types.Batch, error) {
+	if pl.WorkloadEnv == "" {
+		pl.WorkloadEnv = c.workloadEnv
+	}
+	body, err := proto.EncodeRootPlan(pl)
+	if err != nil {
+		return nil, err
+	}
+	req, err := c.newRequest(http.MethodPost, "/v1/execute", body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	opID := resp.Header.Get("X-Operation-Id")
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeHTTPError(resp)
+	}
+	schema, batches, streamErr := readBatchStream(resp.Body)
+	if streamErr != nil && opID != "" {
+		// Reattach once from where we left off (idle-connection
+		// termination tolerance, §3.2.2).
+		schema2, rest, err2 := c.reattach(opID, len(batches))
+		if err2 != nil {
+			return nil, fmt.Errorf("connect: stream interrupted (%v) and reattach failed: %w", streamErr, err2)
+		}
+		if schema == nil {
+			schema = schema2
+		}
+		batches = append(batches, rest...)
+	} else if streamErr != nil {
+		return nil, streamErr
+	}
+	defer c.release(opID)
+	if schema == nil {
+		schema = &types.Schema{}
+	}
+	return arrowipc.ConcatBatches(schema, batches)
+}
+
+func (c *Client) reattach(opID string, start int) (*types.Schema, []*types.Batch, error) {
+	req, err := c.newRequest(http.MethodGet,
+		"/v1/reattach?operation="+opID+"&start="+strconv.Itoa(start), nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, decodeHTTPError(resp)
+	}
+	return readBatchStream(resp.Body)
+}
+
+func (c *Client) release(opID string) {
+	if opID == "" {
+		return
+	}
+	req, err := c.newRequest(http.MethodPost, "/v1/release?operation="+opID, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := c.http.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}
+
+// readBatchStream decodes an arrowipc stream, returning whatever was
+// received plus the error that interrupted it (nil on clean end).
+func readBatchStream(r io.Reader) (*types.Schema, []*types.Batch, error) {
+	rd, err := arrowipc.NewReader(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	var batches []*types.Batch
+	for {
+		b, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			return rd.Schema(), batches, nil
+		}
+		if err != nil {
+			return rd.Schema(), batches, err
+		}
+		batches = append(batches, b)
+	}
+}
+
+// AnalyzePlan returns the schema and (redacted) EXPLAIN text of a relation.
+func (c *Client) AnalyzePlan(rel plan.Node) (*types.Schema, string, error) {
+	body, err := proto.EncodePlan(rel)
+	if err != nil {
+		return nil, "", err
+	}
+	req, err := c.newRequest(http.MethodPost, "/v1/analyze", body)
+	if err != nil {
+		return nil, "", err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", decodeHTTPError(resp)
+	}
+	var payload struct {
+		Fields []struct {
+			Name     string `json:"name"`
+			Kind     uint8  `json:"kind"`
+			Nullable bool   `json:"nullable"`
+		} `json:"fields"`
+		Explain string `json:"explain"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return nil, "", err
+	}
+	schema := &types.Schema{}
+	for _, f := range payload.Fields {
+		schema.Fields = append(schema.Fields, types.Field{
+			Name: f.Name, Kind: types.Kind(f.Kind), Nullable: f.Nullable,
+		})
+	}
+	return schema, payload.Explain, nil
+}
+
+// Close ends the session server-side.
+func (c *Client) Close() error {
+	req, err := c.newRequest(http.MethodPost, "/v1/closeSession", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// --- convenience entry points ---
+
+// Sql builds a DataFrame over a SQL query (composable relation).
+func (c *Client) Sql(query string) *DataFrame {
+	return &DataFrame{client: c, node: &plan.SQLRelation{Query: query}}
+}
+
+// Table builds a DataFrame over a catalog table or view ("t", "schema.t",
+// or "catalog.schema.t").
+func (c *Client) Table(name string) *DataFrame {
+	return &DataFrame{client: c, node: plan.NewUnresolvedRelation(strings.Split(name, ".")...)}
+}
+
+// CreateDataFrame builds a DataFrame from local rows.
+func (c *Client) CreateDataFrame(schema *types.Schema, rows [][]types.Value) *DataFrame {
+	bb := types.NewBatchBuilder(schema, len(rows))
+	for _, r := range rows {
+		bb.AppendRow(r)
+	}
+	return &DataFrame{client: c, node: &plan.LocalRelation{Data: bb.Build()}}
+}
+
+// ExecSQL runs a SQL statement as a command (DDL, DML, GRANT...).
+func (c *Client) ExecSQL(statement string) (*types.Batch, error) {
+	return c.ExecutePlan(&proto.Plan{Command: &proto.Command{SQL: statement}})
+}
+
+// RegisterFunction registers a session-scoped PyLite UDF owned by the
+// session user.
+func (c *Client) RegisterFunction(name string, params []types.Field, returns types.Kind, body string) error {
+	return c.RegisterResourceFunction(name, params, returns, "", body)
+}
+
+// RegisterResourceFunction registers a session UDF that must execute in a
+// specialized environment (e.g. "gpu") — paper §3.3.
+func (c *Client) RegisterResourceFunction(name string, params []types.Field, returns types.Kind, resources, body string) error {
+	_, err := c.ExecutePlan(&proto.Plan{Command: &proto.Command{
+		RegisterFunction: &proto.RegisterFunction{Name: name, Params: params, Returns: returns, Body: body, Resources: resources},
+	}})
+	return err
+}

@@ -1,0 +1,226 @@
+package connect
+
+import (
+	"fmt"
+
+	"lakeguard/internal/plan"
+	"lakeguard/internal/proto"
+	"lakeguard/internal/types"
+)
+
+// DataFrame is a lazy, immutable description of a computation. Transform
+// methods capture operations into an unresolved plan; actions (Collect,
+// Count, Show, Write) serialize the plan and execute it remotely — the
+// Connect flow of paper Figure 5.
+type DataFrame struct {
+	client *Client
+	node   plan.Node
+}
+
+// Plan exposes the captured unresolved plan.
+func (df *DataFrame) Plan() plan.Node { return df.node }
+
+func (df *DataFrame) with(node plan.Node) *DataFrame {
+	return &DataFrame{client: df.client, node: node}
+}
+
+// Select projects columns. Arguments may be Column values or plain column
+// name strings.
+func (df *DataFrame) Select(cols ...any) *DataFrame {
+	exprs := make([]plan.Expr, len(cols))
+	for i, c := range cols {
+		switch t := c.(type) {
+		case Column:
+			exprs[i] = t.expr
+		case string:
+			if t == "*" {
+				exprs[i] = &plan.Star{}
+			} else {
+				exprs[i] = plan.Col(t)
+			}
+		default:
+			panic(fmt.Sprintf("connect: Select argument %T (want Column or string)", c))
+		}
+	}
+	return df.with(&plan.Project{Exprs: exprs, Child: df.node})
+}
+
+// Where filters rows.
+func (df *DataFrame) Where(cond Column) *DataFrame {
+	return df.with(&plan.Filter{Cond: cond.expr, Child: df.node})
+}
+
+// Filter is an alias of Where.
+func (df *DataFrame) Filter(cond Column) *DataFrame { return df.Where(cond) }
+
+// WithColumn appends a computed column to the current columns.
+func (df *DataFrame) WithColumn(name string, col Column) *DataFrame {
+	return df.with(&plan.Project{
+		Exprs: []plan.Expr{&plan.Star{}, plan.As(col.expr, name)},
+		Child: df.node,
+	})
+}
+
+// Alias names the relation for qualified references.
+func (df *DataFrame) Alias(name string) *DataFrame {
+	return df.with(&plan.SubqueryAlias{Name: name, Child: df.node})
+}
+
+// Join combines with another DataFrame. how is one of "inner", "left",
+// "right", "full", "cross", "semi", "anti".
+func (df *DataFrame) Join(other *DataFrame, on Column, how string) *DataFrame {
+	var jt plan.JoinType
+	switch how {
+	case "inner", "":
+		jt = plan.JoinInner
+	case "left":
+		jt = plan.JoinLeft
+	case "right":
+		jt = plan.JoinRight
+	case "full":
+		jt = plan.JoinFull
+	case "cross":
+		jt = plan.JoinCross
+	case "semi":
+		jt = plan.JoinLeftSemi
+	case "anti":
+		jt = plan.JoinLeftAnti
+	default:
+		panic("connect: unknown join type " + how)
+	}
+	var cond plan.Expr
+	if jt != plan.JoinCross {
+		cond = on.expr
+	}
+	return df.with(&plan.Join{Type: jt, Cond: cond, L: df.node, R: other.node})
+}
+
+// GroupBy starts a grouped aggregation.
+func (df *DataFrame) GroupBy(cols ...any) *GroupedData {
+	exprs := make([]plan.Expr, len(cols))
+	for i, c := range cols {
+		switch t := c.(type) {
+		case Column:
+			exprs[i] = t.expr
+		case string:
+			exprs[i] = plan.Col(t)
+		default:
+			panic(fmt.Sprintf("connect: GroupBy argument %T", c))
+		}
+	}
+	return &GroupedData{df: df, groupBy: exprs}
+}
+
+// GroupedData is a pending aggregation.
+type GroupedData struct {
+	df      *DataFrame
+	groupBy []plan.Expr
+}
+
+// Agg completes the aggregation with output expressions; group columns must
+// be included explicitly if wanted in the output.
+func (g *GroupedData) Agg(cols ...Column) *DataFrame {
+	items := make([]plan.Expr, 0, len(g.groupBy)+len(cols))
+	items = append(items, g.groupBy...)
+	for _, c := range cols {
+		items = append(items, c.expr)
+	}
+	return g.df.with(&plan.Aggregate{GroupBy: g.groupBy, Aggs: items, Child: g.df.node})
+}
+
+// OrderBy sorts the result.
+func (df *DataFrame) OrderBy(keys ...SortKey) *DataFrame {
+	orders := make([]plan.SortOrder, len(keys))
+	for i, k := range keys {
+		orders[i] = plan.SortOrder{Expr: k.expr, Desc: k.desc}
+	}
+	return df.with(&plan.Sort{Orders: orders, Child: df.node})
+}
+
+// Limit truncates the result.
+func (df *DataFrame) Limit(n int64) *DataFrame {
+	return df.with(&plan.Limit{N: n, Child: df.node})
+}
+
+// Distinct removes duplicate rows.
+func (df *DataFrame) Distinct() *DataFrame {
+	return df.with(&plan.Distinct{Child: df.node})
+}
+
+// Union appends another DataFrame's rows (UNION ALL).
+func (df *DataFrame) Union(other *DataFrame) *DataFrame {
+	return df.with(&plan.Union{L: df.node, R: other.node})
+}
+
+// --- actions ---
+
+// Collect executes the plan and returns the full result.
+func (df *DataFrame) Collect() (*types.Batch, error) {
+	return df.client.ExecutePlan(&proto.Plan{Relation: df.node})
+}
+
+// Count executes and returns the row count.
+func (df *DataFrame) Count() (int64, error) {
+	agg := df.with(&plan.Aggregate{
+		Aggs:  []plan.Expr{plan.As(&plan.FuncCall{Name: "count"}, "count")},
+		Child: df.node,
+	})
+	b, err := agg.Collect()
+	if err != nil {
+		return 0, err
+	}
+	if b.NumRows() != 1 {
+		return 0, fmt.Errorf("connect: count returned %d rows", b.NumRows())
+	}
+	return b.Cols[0].Int64(0), nil
+}
+
+// Show executes and renders the result as a text table.
+func (df *DataFrame) Show() (string, error) {
+	b, err := df.Collect()
+	if err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// Schema resolves the plan remotely and returns the result schema.
+func (df *DataFrame) Schema() (*types.Schema, error) {
+	schema, _, err := df.client.AnalyzePlan(df.node)
+	return schema, err
+}
+
+// Explain resolves the plan remotely and returns the (policy-redacted)
+// EXPLAIN rendering.
+func (df *DataFrame) Explain() (string, error) {
+	_, explain, err := df.client.AnalyzePlan(df.node)
+	return explain, err
+}
+
+// CreateTempView registers the DataFrame as a session-scoped view.
+func (df *DataFrame) CreateTempView(name string) error {
+	_, err := df.client.ExecutePlan(&proto.Plan{Command: &proto.Command{
+		CreateTempView: &proto.CreateTempView{Name: name, Input: df.node},
+	}})
+	return err
+}
+
+// InsertInto appends the DataFrame's rows into a table.
+func (df *DataFrame) InsertInto(table string) error {
+	_, err := df.client.ExecutePlan(&proto.Plan{Command: &proto.Command{
+		InsertInto: &proto.InsertInto{Table: splitTableName(table), Input: df.node},
+	}})
+	return err
+}
+
+func splitTableName(name string) []string {
+	var parts []string
+	start := 0
+	for i := 0; i <= len(name); i++ {
+		if i == len(name) || name[i] == '.' {
+			parts = append(parts, name[start:i])
+			start = i + 1
+		}
+	}
+	return parts
+}

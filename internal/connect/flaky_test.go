@@ -1,0 +1,157 @@
+package connect
+
+import (
+	"net"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// flakyProxy forwards TCP bytes to a backend but cuts the connection after a
+// byte budget — modeling the idle-connection terminations and dropped
+// connections §3.2.2 says cloud load balancers inflict on long streams.
+type flakyProxy struct {
+	listener net.Listener
+	backend  string
+	// cutAfter is the per-connection byte budget for backend->client data;
+	// 0 disables cutting. Only the first connection is cut (the retry must
+	// succeed).
+	cutAfter int64
+	cuts     atomic.Int64
+	first    atomic.Bool
+}
+
+func newFlakyProxy(t *testing.T, backend string, cutAfter int64) *flakyProxy {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &flakyProxy{listener: l, backend: backend, cutAfter: cutAfter}
+	p.first.Store(true)
+	go p.serve()
+	t.Cleanup(func() { l.Close() })
+	return p
+}
+
+func (p *flakyProxy) addr() string { return "http://" + p.listener.Addr().String() }
+
+func (p *flakyProxy) serve() {
+	for {
+		client, err := p.listener.Accept()
+		if err != nil {
+			return
+		}
+		go p.handle(client)
+	}
+}
+
+func (p *flakyProxy) handle(client net.Conn) {
+	defer client.Close()
+	server, err := net.Dial("tcp", p.backend)
+	if err != nil {
+		return
+	}
+	defer server.Close()
+	// client -> server: unlimited.
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			n, err := client.Read(buf)
+			if n > 0 {
+				if _, werr := server.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	// server -> client: cut the first connection after the byte budget.
+	cut := p.cutAfter > 0 && p.first.CompareAndSwap(true, false)
+	var sent int64
+	buf := make([]byte, 4096)
+	for {
+		n, err := server.Read(buf)
+		if n > 0 {
+			chunk := buf[:n]
+			if cut && sent+int64(n) > p.cutAfter {
+				chunk = buf[:p.cutAfter-sent]
+			}
+			if len(chunk) > 0 {
+				if _, werr := client.Write(chunk); werr != nil {
+					return
+				}
+				sent += int64(len(chunk))
+			}
+			if cut && sent >= p.cutAfter {
+				p.cuts.Add(1)
+				return // drop the connection mid-stream
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// TestClientSurvivesDroppedStream runs a large result through a proxy that
+// drops the first response mid-stream; the client must reattach and deliver
+// the complete result.
+func TestClientSurvivesDroppedStream(t *testing.T) {
+	// Many batches so the stream is large enough to cut partway.
+	groups := make([][]int64, 40)
+	for i := range groups {
+		vals := make([]int64, 64)
+		for j := range vals {
+			vals[j] = int64(i*64 + j)
+		}
+		groups[i] = vals
+	}
+	schema, batches := intBatches(groups...)
+	fb := &fakeBackend{schema: schema, batches: batches}
+	svc := NewService(fb, TokenMap{"tok": "user@x"})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	backendAddr := strings.TrimPrefix(ts.URL, "http://")
+	proxy := newFlakyProxy(t, backendAddr, 6000) // cut the first response early
+
+	// The client dials through the proxy for execute; its reattach request
+	// opens a NEW connection (the proxy only cuts the first), so recovery
+	// succeeds.
+	c := Dial(proxy.addr(), "tok")
+	b, err := c.Sql("SELECT n FROM t").Collect()
+	if err != nil {
+		t.Fatalf("collect through flaky proxy: %v", err)
+	}
+	if b.NumRows() != 40*64 {
+		t.Fatalf("rows = %d, want %d", b.NumRows(), 40*64)
+	}
+	for i := 0; i < b.NumRows(); i++ {
+		if b.Cols[0].Int64(i) != int64(i) {
+			t.Fatalf("row %d corrupted after reattach: %d", i, b.Cols[0].Int64(i))
+		}
+	}
+	if proxy.cuts.Load() == 0 {
+		t.Fatal("proxy never cut the stream; test exercised nothing")
+	}
+}
+
+// TestClientFailsCleanlyWithoutReattachTarget drops the stream before the
+// operation header arrives, so no reattach is possible; the client must
+// return an error, not a truncated result.
+func TestClientFailsCleanlyWhenHeadersLost(t *testing.T) {
+	schema, batches := intBatches([]int64{1, 2, 3})
+	fb := &fakeBackend{schema: schema, batches: batches}
+	svc := NewService(fb, TokenMap{"tok": "user@x"})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	proxy := newFlakyProxy(t, strings.TrimPrefix(ts.URL, "http://"), 10) // cut inside the header
+	c := Dial(proxy.addr(), "tok")
+	if _, err := c.Sql("SELECT n FROM t").Collect(); err == nil {
+		t.Fatal("expected an error when the response is cut before headers")
+	}
+}

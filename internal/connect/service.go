@@ -1,0 +1,378 @@
+package connect
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"lakeguard/internal/arrowipc"
+	"lakeguard/internal/plan"
+	"lakeguard/internal/proto"
+	"lakeguard/internal/types"
+)
+
+// Backend executes decoded plans. Implemented by the Lakeguard core (single
+// cluster) and by the serverless gateway (fleet routing).
+type Backend interface {
+	// Execute runs a root plan for (session, user) and returns the result
+	// schema and batches.
+	Execute(sessionID, user string, pl *proto.Plan) (*types.Schema, []*types.Batch, error)
+	// Analyze resolves a relation and returns its schema and an EXPLAIN
+	// rendering (redacted across SecureView barriers).
+	Analyze(sessionID, user string, rel plan.Node) (*types.Schema, string, error)
+	// CloseSession releases session state (temp views, sandboxes).
+	CloseSession(sessionID string)
+}
+
+// Authenticator maps bearer tokens to user identities.
+type Authenticator interface {
+	Authenticate(token string) (user string, err error)
+}
+
+// TokenMap is a static token table (tests and examples).
+type TokenMap map[string]string
+
+// Authenticate implements Authenticator.
+func (m TokenMap) Authenticate(token string) (string, error) {
+	if user, ok := m[token]; ok {
+		return user, nil
+	}
+	return "", errors.New("connect: invalid token")
+}
+
+// OperationState tracks one execution's lifecycle.
+type OperationState string
+
+// Operation states.
+const (
+	OpRunning    OperationState = "RUNNING"
+	OpDone       OperationState = "DONE"
+	OpFailed     OperationState = "FAILED"
+	OpTombstoned OperationState = "TOMBSTONED"
+)
+
+type operation struct {
+	id         string
+	sessionID  string
+	state      OperationState
+	schema     *types.Schema
+	batches    []*types.Batch
+	errMsg     string
+	lastAccess time.Time
+}
+
+// Service is the Connect endpoint: it terminates HTTP, authenticates,
+// manages sessions and operations, and delegates plan execution to the
+// Backend.
+type Service struct {
+	backend Backend
+	auth    Authenticator
+	clock   func() time.Time
+
+	mu         sync.Mutex
+	operations map[string]*operation
+	sessions   map[string]time.Time // last activity
+	opSeq      int64
+}
+
+// NewService creates a Connect service.
+func NewService(backend Backend, auth Authenticator) *Service {
+	return &Service{
+		backend: backend, auth: auth, clock: time.Now,
+		operations: map[string]*operation{},
+		sessions:   map[string]time.Time{},
+	}
+}
+
+// SetClock overrides the time source (tests).
+func (s *Service) SetClock(clock func() time.Time) { s.clock = clock }
+
+// Handler returns the HTTP handler implementing the protocol.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/execute", s.handleExecute)
+	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("/v1/reattach", s.handleReattach)
+	mux.HandleFunc("/v1/release", s.handleRelease)
+	mux.HandleFunc("/v1/closeSession", s.handleCloseSession)
+	return mux
+}
+
+func (s *Service) authenticate(r *http.Request) (user, sessionID string, err error) {
+	token := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if token == "" {
+		return "", "", errors.New("connect: missing bearer token")
+	}
+	user, err = s.auth.Authenticate(token)
+	if err != nil {
+		return "", "", err
+	}
+	sessionID = r.Header.Get("X-Session-Id")
+	if sessionID == "" {
+		return "", "", errors.New("connect: missing X-Session-Id")
+	}
+	// Sessions are bound to the authenticating user: one user cannot attach
+	// to another user's session id, because session state keys include the
+	// user identity.
+	return user, user + "/" + sessionID, nil
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (s *Service) touchSession(sessionID string) {
+	s.mu.Lock()
+	s.sessions[sessionID] = s.clock()
+	s.mu.Unlock()
+}
+
+func (s *Service) handleExecute(w http.ResponseWriter, r *http.Request) {
+	user, sessionID, err := s.authenticate(r)
+	if err != nil {
+		writeError(w, http.StatusUnauthorized, err)
+		return
+	}
+	s.touchSession(sessionID)
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pl, err := proto.DecodeRootPlan(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	s.mu.Lock()
+	s.opSeq++
+	op := &operation{
+		id:         fmt.Sprintf("op-%d", s.opSeq),
+		sessionID:  sessionID,
+		state:      OpRunning,
+		lastAccess: s.clock(),
+	}
+	s.operations[op.id] = op
+	s.mu.Unlock()
+
+	schema, batches, err := s.backend.Execute(sessionID, user, pl)
+	s.mu.Lock()
+	if err != nil {
+		op.state = OpFailed
+		op.errMsg = err.Error()
+		s.mu.Unlock()
+		w.Header().Set("X-Operation-Id", op.id)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	op.state = OpDone
+	op.schema = schema
+	op.batches = batches
+	s.mu.Unlock()
+
+	w.Header().Set("X-Operation-Id", op.id)
+	s.streamBatches(w, op, 0)
+}
+
+// streamBatches writes an arrowipc stream of the operation's batches
+// starting at batch index `start`.
+func (s *Service) streamBatches(w http.ResponseWriter, op *operation, start int) {
+	w.Header().Set("Content-Type", "application/x-lakeguard-arrow")
+	schema := op.schema
+	if schema == nil {
+		schema = &types.Schema{}
+	}
+	wr, err := arrowipc.NewWriter(w, schema)
+	if err != nil {
+		return
+	}
+	for i := start; i < len(op.batches); i++ {
+		if err := wr.WriteBatch(op.batches[i]); err != nil {
+			return
+		}
+	}
+	_ = wr.Close()
+}
+
+func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	user, sessionID, err := s.authenticate(r)
+	if err != nil {
+		writeError(w, http.StatusUnauthorized, err)
+		return
+	}
+	s.touchSession(sessionID)
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rel, err := proto.DecodePlan(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	schema, explain, err := s.backend.Analyze(sessionID, user, rel)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	type fieldJSON struct {
+		Name     string `json:"name"`
+		Kind     uint8  `json:"kind"`
+		Nullable bool   `json:"nullable"`
+	}
+	resp := struct {
+		Fields  []fieldJSON `json:"fields"`
+		Explain string      `json:"explain"`
+	}{Explain: explain}
+	for _, f := range schema.Fields {
+		resp.Fields = append(resp.Fields, fieldJSON{Name: f.Name, Kind: uint8(f.Kind), Nullable: f.Nullable})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Service) handleReattach(w http.ResponseWriter, r *http.Request) {
+	_, sessionID, err := s.authenticate(r)
+	if err != nil {
+		writeError(w, http.StatusUnauthorized, err)
+		return
+	}
+	opID := r.URL.Query().Get("operation")
+	start, _ := strconv.Atoi(r.URL.Query().Get("start"))
+	s.mu.Lock()
+	op := s.operations[opID]
+	if op != nil {
+		op.lastAccess = s.clock()
+	}
+	s.mu.Unlock()
+	switch {
+	case op == nil:
+		writeError(w, http.StatusNotFound, fmt.Errorf("connect: unknown operation %q", opID))
+		return
+	case op.sessionID != sessionID:
+		// Cross-session operation access is an isolation violation.
+		writeError(w, http.StatusForbidden, errors.New("connect: operation belongs to another session"))
+		return
+	case op.state == OpTombstoned:
+		writeError(w, http.StatusGone, errors.New("connect: operation tombstoned after client disappeared"))
+		return
+	case op.state == OpFailed:
+		writeError(w, http.StatusBadRequest, errors.New(op.errMsg))
+		return
+	}
+	if start < 0 || start > len(op.batches) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("connect: invalid start %d", start))
+		return
+	}
+	w.Header().Set("X-Operation-Id", op.id)
+	s.streamBatches(w, op, start)
+}
+
+func (s *Service) handleRelease(w http.ResponseWriter, r *http.Request) {
+	_, sessionID, err := s.authenticate(r)
+	if err != nil {
+		writeError(w, http.StatusUnauthorized, err)
+		return
+	}
+	opID := r.URL.Query().Get("operation")
+	s.mu.Lock()
+	if op := s.operations[opID]; op != nil && op.sessionID == sessionID {
+		delete(s.operations, opID)
+	}
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusOK)
+}
+
+func (s *Service) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	_, sessionID, err := s.authenticate(r)
+	if err != nil {
+		writeError(w, http.StatusUnauthorized, err)
+		return
+	}
+	s.mu.Lock()
+	delete(s.sessions, sessionID)
+	for id, op := range s.operations {
+		if op.sessionID == sessionID {
+			delete(s.operations, id)
+		}
+	}
+	s.mu.Unlock()
+	s.backend.CloseSession(sessionID)
+	w.WriteHeader(http.StatusOK)
+}
+
+// SweepIdle tombstones operations and closes sessions idle longer than
+// maxAge — the lifecycle management §3.2.3 describes (abandon and tombstone
+// executions whose clients disappeared). It returns how many operations were
+// tombstoned and sessions closed.
+func (s *Service) SweepIdle(maxAge time.Duration) (ops, sessions int) {
+	now := s.clock()
+	var closed []string
+	s.mu.Lock()
+	for _, op := range s.operations {
+		if op.state != OpTombstoned && now.Sub(op.lastAccess) > maxAge {
+			op.state = OpTombstoned
+			op.batches = nil // free buffered results
+			ops++
+		}
+	}
+	for id, last := range s.sessions {
+		if now.Sub(last) > maxAge {
+			delete(s.sessions, id)
+			closed = append(closed, id)
+		}
+	}
+	s.mu.Unlock()
+	for _, id := range closed {
+		s.backend.CloseSession(id)
+	}
+	return ops, len(closed)
+}
+
+// StartSweeper runs SweepIdle on a fixed interval until the returned stop
+// function is called (production servers run one per endpoint).
+func (s *Service) StartSweeper(interval, maxAge time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				s.SweepIdle(maxAge)
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// OperationStateOf reports an operation's state (test/diagnostic hook).
+func (s *Service) OperationStateOf(opID string) (OperationState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	op, ok := s.operations[opID]
+	if !ok {
+		return "", false
+	}
+	return op.state, true
+}
+
+// ActiveSessions reports the number of live sessions.
+func (s *Service) ActiveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"lakeguard/internal/catalog"
+)
+
+// ABAC (paper §2.3): one metastore-level policy per attribute tag governs
+// every column carrying the tag, across all tables.
+
+func setupABAC(t *testing.T) (*env, *catalog.Catalog) {
+	t.Helper()
+	e := newEnv(t, Config{Name: "std"})
+	c := e.client("tok-admin")
+	seedSales(t, c)
+	mustExec(t, c, "CREATE TABLE contacts (name STRING, email STRING, phone STRING)")
+	mustExec(t, c, "INSERT INTO contacts VALUES ('ann', 'ann@x.com', '555-0001'), ('ben', 'ben@x.com', '555-0002')")
+	mustExec(t, c, "GRANT SELECT ON sales TO 'alice@corp.com'")
+	mustExec(t, c, "GRANT SELECT ON contacts TO 'alice@corp.com'")
+	// Tag PII columns on two different tables.
+	mustExec(t, c, "ALTER TABLE sales ALTER COLUMN seller SET TAGS ('pii')")
+	mustExec(t, c, "ALTER TABLE contacts ALTER COLUMN email SET TAGS ('pii')")
+	mustExec(t, c, "ALTER TABLE contacts ALTER COLUMN phone SET TAGS ('pii', 'contact_info')")
+	return e, e.cat
+}
+
+func adminRC() catalog.RequestContext {
+	return catalog.RequestContext{User: admin, Compute: catalog.ComputeStandard, SessionID: "abac"}
+}
+
+func TestABACTagPolicyGovernsAllTaggedColumns(t *testing.T) {
+	e, cat := setupABAC(t)
+	// One policy: PII columns are masked for everyone outside 'pii_readers'.
+	err := cat.SetTagMask(adminRC(), "pii",
+		"CASE WHEN IS_ACCOUNT_GROUP_MEMBER('pii_readers') THEN "+catalog.TagMaskColumnPlaceholder+" ELSE '<pii>' END")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliceC := e.client("tok-alice")
+	// sales.seller masked.
+	b, err := aliceC.Sql("SELECT DISTINCT seller FROM sales").Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumRows() != 1 || b.Cols[0].StringAt(0) != "<pii>" {
+		t.Fatalf("sales.seller not governed by tag policy:\n%s", b.String())
+	}
+	// contacts.email masked too — same single policy.
+	b2, err := aliceC.Sql("SELECT email, phone FROM contacts").Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < b2.NumRows(); i++ {
+		if b2.Cols[0].StringAt(i) != "<pii>" || b2.Cols[1].StringAt(i) != "<pii>" {
+			t.Fatalf("contacts PII leaked:\n%s", b2.String())
+		}
+	}
+	// Group members see raw values (dynamic evaluation per user).
+	cat.CreateGroup("pii_readers", alice)
+	b3, _ := aliceC.Sql("SELECT DISTINCT seller FROM sales ORDER BY seller").Collect()
+	if b3.NumRows() != 4 {
+		t.Fatalf("group member should see raw values:\n%s", b3.String())
+	}
+}
+
+func TestABACExplicitMaskOverridesTagPolicy(t *testing.T) {
+	e, cat := setupABAC(t)
+	if err := cat.SetTagMask(adminRC(), "pii", "'<pii>'"); err != nil {
+		t.Fatal(err)
+	}
+	adminC := e.client("tok-admin")
+	mustExec(t, adminC, "ALTER TABLE contacts ALTER COLUMN email SET MASK '''explicit***'''")
+	aliceC := e.client("tok-alice")
+	b, err := aliceC.Sql("SELECT email, phone FROM contacts LIMIT 1").Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cols[0].StringAt(0) != "explicit***" {
+		t.Errorf("explicit mask should win: %q", b.Cols[0].StringAt(0))
+	}
+	if b.Cols[1].StringAt(0) != "<pii>" {
+		t.Errorf("tag mask should still cover phone: %q", b.Cols[1].StringAt(0))
+	}
+}
+
+func TestABACForcesEFGACOnDedicated(t *testing.T) {
+	_, cat := setupABAC(t)
+	if err := cat.SetTagMask(adminRC(), "pii", "'<pii>'"); err != nil {
+		t.Fatal(err)
+	}
+	// Tag-derived policies count as FGAC: dedicated compute without eFGAC is
+	// refused, exactly like explicit masks.
+	meta, err := cat.ResolveTable(catalog.RequestContext{
+		User: alice, Compute: catalog.ComputeDedicated, SessionID: "d",
+	}, []string{"contacts"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.LocalProcessingAllowed {
+		t.Error("tag-masked table must not be locally processable on dedicated compute")
+	}
+	if len(meta.ColumnMasks) != 0 {
+		t.Error("tag mask internals leaked to dedicated compute")
+	}
+}
+
+func TestABACDropTagsRestoresAccess(t *testing.T) {
+	e, cat := setupABAC(t)
+	if err := cat.SetTagMask(adminRC(), "pii", "'<pii>'"); err != nil {
+		t.Fatal(err)
+	}
+	adminC := e.client("tok-admin")
+	mustExec(t, adminC, "ALTER TABLE sales ALTER COLUMN seller DROP TAGS")
+	aliceC := e.client("tok-alice")
+	b, _ := aliceC.Sql("SELECT DISTINCT seller FROM sales ORDER BY seller").Collect()
+	if b.NumRows() != 4 || b.Cols[0].StringAt(0) != "ann" {
+		t.Fatalf("drop tags did not restore access:\n%s", b.String())
+	}
+}
+
+func TestABACOnlyAdminsSetTagPolicies(t *testing.T) {
+	_, cat := setupABAC(t)
+	err := cat.SetTagMask(catalog.RequestContext{User: alice, Compute: catalog.ComputeStandard}, "pii", "'x'")
+	if err == nil || !strings.Contains(err.Error(), "admin") {
+		t.Fatalf("err = %v", err)
+	}
+	// Non-owner cannot tag columns.
+	e2 := newEnv(t, Config{Name: "std2"})
+	c := e2.client("tok-admin")
+	seedSales(t, c)
+	mustExec(t, c, "GRANT SELECT ON sales TO 'alice@corp.com'")
+	aliceC := e2.client("tok-alice")
+	if _, err := aliceC.ExecSQL("ALTER TABLE sales ALTER COLUMN seller SET TAGS ('x')"); err == nil {
+		t.Error("non-owner tagged a column")
+	}
+}

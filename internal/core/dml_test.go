@@ -1,0 +1,178 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCTAS(t *testing.T) {
+	e := newEnv(t, Config{Name: "std"})
+	c := e.client("tok-admin")
+	seedSales(t, c)
+	mustExec(t, c, "CREATE TABLE us_summary AS SELECT seller, SUM(amount) AS total FROM sales WHERE region = 'US' GROUP BY seller")
+	b, err := c.Sql("SELECT * FROM us_summary ORDER BY total DESC").Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumRows() != 2 || b.Cols[1].Float64(0) != 150 {
+		t.Fatalf("ctas result:\n%s", b.String())
+	}
+	// The new table is a plain governed table: grants work on it.
+	mustExec(t, c, "GRANT SELECT ON us_summary TO 'alice@corp.com'")
+	alice := e.client("tok-alice")
+	if _, err := alice.Table("us_summary").Collect(); err != nil {
+		t.Fatalf("grant on CTAS table: %v", err)
+	}
+	// Duplicate CTAS fails without IF NOT EXISTS.
+	if _, err := c.ExecSQL("CREATE TABLE us_summary AS SELECT 1 AS x"); err == nil {
+		t.Error("duplicate CTAS should fail")
+	}
+	mustExec(t, c, "CREATE TABLE IF NOT EXISTS us_summary AS SELECT 1 AS x")
+}
+
+func TestDeleteFrom(t *testing.T) {
+	e := newEnv(t, Config{Name: "std"})
+	c := e.client("tok-admin")
+	seedSales(t, c)
+	b := mustExec(t, c, "DELETE FROM sales WHERE region = 'EU'")
+	if !strings.Contains(b.Cols[0].StringAt(0), "deleted 2 rows") {
+		t.Fatalf("delete result: %s", b.Cols[0].StringAt(0))
+	}
+	n, err := c.Table("sales").Count()
+	if err != nil || n != 4 {
+		t.Fatalf("after delete count = %d, %v", n, err)
+	}
+	// Remaining rows contain no EU.
+	left, _ := c.Sql("SELECT DISTINCT region FROM sales ORDER BY region").Collect()
+	for i := 0; i < left.NumRows(); i++ {
+		if left.Cols[0].StringAt(i) == "EU" {
+			t.Fatal("EU rows survived delete")
+		}
+	}
+	// Time travel still sees the old state.
+	old, err := c.Sql("SELECT COUNT(*) AS n FROM sales VERSION AS OF 1").Collect()
+	if err != nil || old.Cols[0].Int64(0) != 6 {
+		t.Fatalf("pre-delete version: %v rows=%v", err, old)
+	}
+	// DELETE without WHERE empties the table.
+	mustExec(t, c, "DELETE FROM sales")
+	n2, _ := c.Table("sales").Count()
+	if n2 != 0 {
+		t.Fatalf("after full delete count = %d", n2)
+	}
+}
+
+func TestDeleteRequiresModify(t *testing.T) {
+	e := newEnv(t, Config{Name: "std"})
+	c := e.client("tok-admin")
+	seedSales(t, c)
+	mustExec(t, c, "GRANT SELECT ON sales TO 'alice@corp.com'")
+	alice := e.client("tok-alice")
+	if _, err := alice.ExecSQL("DELETE FROM sales WHERE region = 'US'"); err == nil {
+		t.Fatal("delete without MODIFY should fail")
+	}
+	mustExec(t, c, "GRANT MODIFY ON sales TO 'alice@corp.com'")
+	if _, err := alice.ExecSQL("DELETE FROM sales WHERE region = 'APAC'"); err != nil {
+		t.Fatalf("delete with MODIFY: %v", err)
+	}
+}
+
+func TestDeleteRefusedOnPolicyProtectedTable(t *testing.T) {
+	e := newEnv(t, Config{Name: "std"})
+	c := e.client("tok-admin")
+	seedSales(t, c)
+	mustExec(t, c, "ALTER TABLE sales SET ROW FILTER 'region = ''US'''")
+	_, err := c.ExecSQL("DELETE FROM sales WHERE amount > 0")
+	if err == nil || !strings.Contains(err.Error(), "row filters") {
+		t.Fatalf("err = %v", err)
+	}
+	// Hidden rows are intact after dropping the policy.
+	mustExec(t, c, "ALTER TABLE sales DROP ROW FILTER")
+	n, _ := c.Table("sales").Count()
+	if n != 6 {
+		t.Fatalf("rows lost: %d", n)
+	}
+}
+
+func TestShowTablesRespectsGrants(t *testing.T) {
+	e := newEnv(t, Config{Name: "std"})
+	c := e.client("tok-admin")
+	seedSales(t, c)
+	mustExec(t, c, "CREATE TABLE hidden (x BIGINT)")
+	mustExec(t, c, "GRANT SELECT ON sales TO 'alice@corp.com'")
+	alice := e.client("tok-alice")
+	b, err := alice.ExecSQL("SHOW TABLES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumRows() != 1 || b.Cols[0].StringAt(0) != "main.default.sales" {
+		t.Fatalf("alice sees:\n%s", b.String())
+	}
+	all, _ := c.ExecSQL("SHOW TABLES")
+	if all.NumRows() != 2 {
+		t.Fatalf("admin sees %d tables", all.NumRows())
+	}
+}
+
+func TestDescribeTable(t *testing.T) {
+	e := newEnv(t, Config{Name: "std"})
+	c := e.client("tok-admin")
+	seedSales(t, c)
+	mustExec(t, c, "ALTER TABLE sales ALTER COLUMN seller SET MASK '''***'''")
+	b, err := c.ExecSQL("DESCRIBE sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"amount", "DOUBLE", "seller", "MASKED", "# owner", "# governance"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("describe missing %q:\n%s", want, out)
+		}
+	}
+	// DESCRIBE requires SELECT.
+	bob := e.client("tok-bob")
+	if _, err := bob.ExecSQL("DESCRIBE sales"); err == nil {
+		t.Error("describe without SELECT should fail")
+	}
+}
+
+func TestDMLOverDataFrameInsertThenDelete(t *testing.T) {
+	e := newEnv(t, Config{Name: "std"})
+	c := e.client("tok-admin")
+	seedSales(t, c)
+	mustExec(t, c, "CREATE TABLE log (seller STRING)")
+	if err := c.Table("sales").Select("seller").InsertInto("log"); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, c, "DELETE FROM log WHERE seller LIKE 'a%'")
+	b, _ := c.Sql("SELECT COUNT(*) AS n FROM log").Collect()
+	if b.Cols[0].Int64(0) != 4 { // 6 - ann(2)
+		t.Fatalf("log rows = %d", b.Cols[0].Int64(0))
+	}
+}
+
+func TestDescribeHistory(t *testing.T) {
+	e := newEnv(t, Config{Name: "std"})
+	c := e.client("tok-admin")
+	seedSales(t, c)
+	mustExec(t, c, "DELETE FROM sales WHERE region = 'APAC'")
+	b, err := c.ExecSQL("DESCRIBE HISTORY sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v0 CREATE TABLE, v1 WRITE, v2 OVERWRITE (delete) — newest first.
+	if b.NumRows() != 3 {
+		t.Fatalf("history rows = %d:\n%s", b.NumRows(), b.String())
+	}
+	if b.Cols[0].Int64(0) != 2 || b.Cols[2].StringAt(0) != "OVERWRITE" {
+		t.Errorf("newest entry wrong:\n%s", b.String())
+	}
+	if b.Cols[2].StringAt(2) != "CREATE TABLE" {
+		t.Errorf("oldest entry wrong:\n%s", b.String())
+	}
+	// History requires SELECT.
+	bob := e.client("tok-bob")
+	if _, err := bob.ExecSQL("DESCRIBE HISTORY sales"); err == nil {
+		t.Error("history without SELECT should fail")
+	}
+}

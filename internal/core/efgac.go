@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"path"
+	"strings"
+
+	"lakeguard/internal/arrowipc"
+	"lakeguard/internal/catalog"
+	"lakeguard/internal/connect"
+	"lakeguard/internal/exec"
+	"lakeguard/internal/plan"
+	"lakeguard/internal/proto"
+	"lakeguard/internal/storage"
+	"lakeguard/internal/types"
+)
+
+// SpillPathColumn is the single column of a spill manifest batch.
+const SpillPathColumn = "__spill_path"
+
+// spillSchema marks a response as a manifest of spilled result files.
+func spillSchema() *types.Schema {
+	return types.NewSchema(types.Field{Name: SpillPathColumn, Kind: types.KindString})
+}
+
+// isSpillManifest detects the marker schema.
+func isSpillManifest(schema *types.Schema) bool {
+	return schema != nil && schema.Len() == 1 && schema.Fields[0].Name == SpillPathColumn
+}
+
+// RenderRemoteSQL converts a RemoteScan (relation + pushed refinements) into
+// the SQL text submitted to serverless compute. The rewrite operates purely
+// at the unresolved level (paper §3.4): the text names the governed relation
+// and the pushed filters/projections/partial aggregations, and the remote
+// side re-resolves it against the catalog, re-injecting the policies there.
+func RenderRemoteSQL(rs *plan.RemoteScan) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	switch {
+	case rs.PushedAggregate != nil:
+		items := append([]string{}, rs.PushedAggregate.GroupBy...)
+		items = append(items, rs.PushedAggregate.Aggs...)
+		b.WriteString(strings.Join(items, ", "))
+	case len(rs.PushedProjection) > 0:
+		b.WriteString(strings.Join(rs.PushedProjection, ", "))
+	default:
+		b.WriteString("*")
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(rs.Relation)
+	if len(rs.PushedFilters) > 0 {
+		parts := make([]string, len(rs.PushedFilters))
+		for i, f := range rs.PushedFilters {
+			parts[i] = f.String()
+		}
+		b.WriteString(" WHERE ")
+		b.WriteString(strings.Join(parts, " AND "))
+	}
+	if rs.PushedAggregate != nil && len(rs.PushedAggregate.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		b.WriteString(strings.Join(rs.PushedAggregate.GroupBy, ", "))
+	}
+	if rs.PushedLimit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", rs.PushedLimit)
+	}
+	return b.String()
+}
+
+// EFGACClient executes RemoteScan leaves on serverless compute through the
+// Connect protocol, as the requesting user (it implements
+// exec.RemoteExecutor). For large results, the serverless side spills
+// batches to cloud storage and the client reads them back in parallel with a
+// result credential scoped to the user's own spill area.
+type EFGACClient struct {
+	// Dial opens a Connect client to the serverless endpoint authenticated
+	// as the given user.
+	Dial func(user, sessionID string) *connect.Client
+	// Cat vends result-spill credentials on the origin side.
+	Cat *catalog.Catalog
+	// Store is the shared object store spilled results live in.
+	Store *storage.Store
+
+	// RemoteQueries counts eFGAC subqueries (bench instrumentation).
+	remoteQueries int64
+	spilledReads  int64
+}
+
+var _ exec.RemoteExecutor = (*EFGACClient)(nil)
+
+// ExecuteRemote implements exec.RemoteExecutor.
+func (c *EFGACClient) ExecuteRemote(qc *exec.QueryContext, rs *plan.RemoteScan) ([]*types.Batch, error) {
+	if c.Dial == nil {
+		return nil, fmt.Errorf("core: eFGAC endpoint not configured")
+	}
+	sqlText := RenderRemoteSQL(rs)
+	client := c.Dial(qc.Ctx.User, qc.SessionID)
+	defer func() { _ = client.Close() }()
+	c.remoteQueries++
+
+	batch, err := client.ExecutePlan(&proto.Plan{
+		Relation:   &plan.SQLRelation{Query: sqlText},
+		AllowSpill: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: eFGAC subquery %q: %w", sqlText, err)
+	}
+	if !isSpillManifest(batch.Schema) {
+		return []*types.Batch{batch}, nil
+	}
+
+	// Spilled result mode: fetch the manifest's files from cloud storage.
+	if batch.NumRows() == 0 {
+		return nil, nil
+	}
+	first := batch.Cols[0].StringAt(0)
+	prefix := path.Dir(first) + "/"
+	cred, err := c.Cat.VendResultCredential(qc.Ctx, prefix, storage.ModeRead)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*types.Batch, batch.NumRows())
+	for i := 0; i < batch.NumRows(); i++ {
+		data, err := c.Store.Get(cred, batch.Cols[0].StringAt(i))
+		if err != nil {
+			return nil, fmt.Errorf("core: reading spilled result: %w", err)
+		}
+		out[i], err = arrowipc.DecodeBatch(data)
+		if err != nil {
+			return nil, err
+		}
+		c.spilledReads++
+	}
+	return out, nil
+}
+
+// Stats reports eFGAC activity.
+func (c *EFGACClient) Stats() (remoteQueries, spilledReads int64) {
+	return c.remoteQueries, c.spilledReads
+}
+
+// maybeSpill implements the serverless side of the two result-aggregation
+// modes (§3.4): small results return inline; larger ones are persisted to
+// cloud storage in parallel-readable files and replaced by a manifest.
+func (s *Server) maybeSpill(ctx catalog.RequestContext, schema *types.Schema, batches []*types.Batch) (*types.Schema, []*types.Batch, error) {
+	encoded := make([][]byte, len(batches))
+	total := 0
+	for i, b := range batches {
+		data, err := arrowipc.EncodeBatch(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		encoded[i] = data
+		total += len(data)
+	}
+	if total <= s.cfg.SpillThreshold {
+		return schema, batches, nil
+	}
+	prefix := catalog.ResultPrefix(ctx.User, ctx.SessionID)
+	cred, err := s.cat.VendResultCredential(ctx, prefix, storage.ModeReadWrite)
+	if err != nil {
+		return nil, nil, err
+	}
+	manifest := types.NewBatchBuilder(spillSchema(), len(encoded))
+	for i, data := range encoded {
+		p := fmt.Sprintf("%spart-%05d.arrow", prefix, i)
+		if err := s.cat.Store().Put(cred, p, data); err != nil {
+			return nil, nil, err
+		}
+		manifest.AppendRow([]types.Value{types.String(p)})
+	}
+	return spillSchema(), []*types.Batch{manifest.Build()}, nil
+}

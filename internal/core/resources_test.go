@@ -1,0 +1,142 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"lakeguard/internal/cluster"
+	"lakeguard/internal/sandbox"
+	"lakeguard/internal/types"
+)
+
+// sandboxConfig aliases sandbox.Config for terse fixtures.
+type sandboxConfig = sandbox.Config
+
+// Specialized execution environments (paper §3.3): UDFs declaring a
+// resource requirement ("gpu") route to a dedicated pool outside the
+// standard executor hosts; resource classes are fusion barriers.
+
+func newResourceEnv(t *testing.T) *env {
+	t.Helper()
+	return newEnv(t, Config{
+		Name: "std",
+		ResourcePools: map[string]cluster.PoolConfig{
+			"gpu": {Hosts: 2},
+		},
+	})
+}
+
+func TestResourceUDFRoutesToSpecializedPool(t *testing.T) {
+	e := newResourceEnv(t)
+	c := e.client("tok-admin")
+	seedSales(t, c)
+	mustExec(t, c, "CREATE FUNCTION embed(s STRING) RETURNS STRING RESOURCE 'gpu' AS 'return sha256(s)'")
+	b, err := c.Sql("SELECT embed(seller) AS v FROM sales LIMIT 1").Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Cols[0].StringAt(0)) != 64 {
+		t.Fatalf("gpu udf result: %q", b.Cols[0].StringAt(0))
+	}
+	mgr := e.server.ClusterManager()
+	if mgr.PoolProvisioned("gpu") != 1 {
+		t.Errorf("gpu pool provisions = %d, want 1", mgr.PoolProvisioned("gpu"))
+	}
+	// The sandbox landed on a gpu host, not a standard host.
+	gpuCount := 0
+	for _, h := range mgr.PoolHosts("gpu") {
+		gpuCount += h.SandboxCount()
+	}
+	if gpuCount != 1 {
+		t.Errorf("gpu hosts hold %d sandboxes", gpuCount)
+	}
+	for _, h := range mgr.Hosts() {
+		if h.SandboxCount() != 0 {
+			t.Errorf("standard host %s holds a gpu sandbox", h.ID)
+		}
+	}
+}
+
+func TestResourceClassIsFusionBarrier(t *testing.T) {
+	e := newResourceEnv(t)
+	c := e.client("tok-admin")
+	seedSales(t, c)
+	// Same owner, different resource classes: must not share a crossing.
+	if err := c.RegisterResourceFunction("on_gpu", []types.Field{{Name: "x", Kind: types.KindFloat64}},
+		types.KindFloat64, "gpu", "return x * 2.0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterFunction("on_cpu", []types.Field{{Name: "x", Kind: types.KindFloat64}},
+		types.KindFloat64, "return x + 1.0"); err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Sql("SELECT on_gpu(amount) AS g, on_cpu(amount) AS p FROM sales ORDER BY g LIMIT 1").Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cols[0].Float64(0) != 50 || b.Cols[1].Float64(0) != 26 {
+		t.Fatalf("results:\n%s", b.String())
+	}
+	mgr := e.server.ClusterManager()
+	if mgr.PoolProvisioned("gpu") != 1 {
+		t.Errorf("gpu provisions = %d", mgr.PoolProvisioned("gpu"))
+	}
+	// The cpu UDF used a standard sandbox (total provisions >= 2).
+	if mgr.Provisioned() < 2 {
+		t.Errorf("total provisions = %d, want >= 2 (no cross-pool fusion)", mgr.Provisioned())
+	}
+}
+
+func TestUnknownResourcePoolFailsClearly(t *testing.T) {
+	e := newEnv(t, Config{Name: "nopools"})
+	c := e.client("tok-admin")
+	seedSales(t, c)
+	if err := c.RegisterResourceFunction("needs_tpu", nil, types.KindInt64, "tpu", "return 1"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Sql("SELECT needs_tpu() AS r FROM sales LIMIT 1").Collect()
+	if err == nil || !strings.Contains(err.Error(), "tpu") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestResourcePoolCustomSandboxConfig(t *testing.T) {
+	// The gpu pool can carry its own sandbox configuration (e.g. a larger
+	// interpreter budget for heavy kernels).
+	tiny := 2_000
+	e := newEnv(t, Config{
+		Name:    "mixed",
+		Sandbox: sandboxCfgFuel(tiny),
+		ResourcePools: map[string]cluster.PoolConfig{
+			"gpu": {Hosts: 1, Sandbox: sandboxCfgFuelPtr(5_000_000)},
+		},
+	})
+	c := e.client("tok-admin")
+	seedSales(t, c)
+	heavy := "total = 0\nfor i in range(500):\n    total = total + i\nreturn total"
+	// On standard executors the tiny budget kills it...
+	if err := c.RegisterFunction("heavy_cpu", nil, types.KindInt64, heavy); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Sql("SELECT heavy_cpu() AS r FROM sales LIMIT 1").Collect(); err == nil {
+		t.Fatal("tiny default budget should kill the heavy kernel")
+	}
+	// ...but the gpu pool's budget accommodates it.
+	if err := c.RegisterResourceFunction("heavy_gpu", nil, types.KindInt64, "gpu", heavy); err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Sql("SELECT heavy_gpu() AS r FROM sales LIMIT 1").Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cols[0].Int64(0) != 499*500/2 {
+		t.Fatalf("r = %d", b.Cols[0].Int64(0))
+	}
+}
+
+func sandboxCfgFuel(fuel int) sandboxConfig { return sandboxConfig{Fuel: fuel} }
+
+func sandboxCfgFuelPtr(fuel int) *sandboxConfig {
+	c := sandboxCfgFuel(fuel)
+	return &c
+}

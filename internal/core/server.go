@@ -1,0 +1,417 @@
+// Package core is the Lakeguard layer: it ties the catalog, analyzer,
+// optimizer, executor, sandbox dispatcher, and cluster manager into one
+// governed multi-user server that implements the Connect backend interface.
+// It owns per-session state (temp views, ephemeral UDFs, sandbox pools),
+// dispatches commands, enforces the compute-type capability model (Standard
+// vs Dedicated, paper §4), and performs external fine-grained access control
+// (eFGAC, §3.4) when governed relations cannot be processed locally.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"lakeguard/internal/analyzer"
+	"lakeguard/internal/catalog"
+	"lakeguard/internal/cluster"
+	"lakeguard/internal/connect"
+	"lakeguard/internal/exec"
+	"lakeguard/internal/optimizer"
+	"lakeguard/internal/plan"
+	"lakeguard/internal/proto"
+	"lakeguard/internal/sandbox"
+	"lakeguard/internal/sql"
+	"lakeguard/internal/types"
+)
+
+// Config parametrizes a Lakeguard server (one cluster).
+type Config struct {
+	// Catalog is the shared governance catalog.
+	Catalog *catalog.Catalog
+	// Name labels the cluster.
+	Name string
+	// Compute is the cluster's compute type; it drives privilege scoping
+	// and whether user code isolation is available.
+	Compute catalog.ComputeType
+	// Hosts is the cluster size.
+	Hosts int
+	// Sandbox configures user-code isolation (cold start, fuel, egress).
+	Sandbox sandbox.Config
+	// ResourcePools defines specialized execution environments (paper §3.3)
+	// that UDFs can target via RESOURCE declarations.
+	ResourcePools map[string]cluster.PoolConfig
+	// Optimizer selects rule toggles; zero value means DefaultOptions.
+	Optimizer *optimizer.Options
+	// Remote executes eFGAC subqueries (required for Dedicated compute to
+	// read governed relations).
+	Remote exec.RemoteExecutor
+	// SpillThreshold switches large results to cloud-spill mode when the
+	// client allows it (0 = never spill).
+	SpillThreshold int
+	// GroupScope, when set on a Dedicated cluster, allows every member of
+	// the group to attach, with all permissions down-scoped to the group's
+	// grants (paper §4.2).
+	GroupScope string
+	// Environments are the versioned Workload Environments clients may pin
+	// user code to (paper §6.3): each version carries its own sandbox
+	// configuration (interpreter fuel, egress policy, cold start). The
+	// default environment is Config.Sandbox.
+	Environments map[string]sandbox.Config
+	// UnsafeInProcessUDFs runs user code without isolation (benchmark
+	// baseline only).
+	UnsafeInProcessUDFs bool
+}
+
+// sessionState is the server-side state of one Connect session.
+type sessionState struct {
+	user      string
+	tempViews map[string]plan.Node
+	tempFuncs map[string]analyzer.TempFunc
+}
+
+// Server is one Lakeguard cluster.
+type Server struct {
+	cfg        Config
+	cat        *catalog.Catalog
+	clusterMgr *cluster.Manager
+	dispatcher *sandbox.Dispatcher
+	engine     *exec.Engine
+	opts       optimizer.Options
+
+	mu       sync.Mutex
+	sessions map[string]*sessionState
+	// envEngines are lazily built per Workload Environment.
+	envEngines map[string]*exec.Engine
+	// pinnedUser enforces single-identity semantics on Dedicated clusters
+	// without a group scope.
+	pinnedUser string
+}
+
+// ErrDedicatedSharing is returned when a second identity attaches to a
+// dedicated cluster.
+var ErrDedicatedSharing = errors.New("core: dedicated clusters cannot be shared by multiple identities")
+
+// NewServer builds a Lakeguard cluster server.
+func NewServer(cfg Config) *Server {
+	if cfg.Name == "" {
+		cfg.Name = "cluster"
+	}
+	if cfg.Hosts < 1 {
+		cfg.Hosts = 2
+	}
+	if cfg.Compute == "" {
+		cfg.Compute = catalog.ComputeStandard
+	}
+	mgr := cluster.NewManager(cluster.Config{
+		Name: cfg.Name, Compute: cfg.Compute, Hosts: cfg.Hosts, Sandbox: cfg.Sandbox,
+		ResourcePools: cfg.ResourcePools,
+	})
+	dispatcher := sandbox.NewDispatcher(mgr)
+	opts := optimizer.DefaultOptions()
+	if cfg.Optimizer != nil {
+		opts = *cfg.Optimizer
+	}
+	s := &Server{
+		cfg:        cfg,
+		cat:        cfg.Catalog,
+		clusterMgr: mgr,
+		dispatcher: dispatcher,
+		opts:       opts,
+		sessions:   map[string]*sessionState{},
+		envEngines: map[string]*exec.Engine{},
+	}
+	s.engine = &exec.Engine{
+		Cat:                 cfg.Catalog,
+		Dispatcher:          dispatcher,
+		Remote:              cfg.Remote,
+		FuseUDFs:            opts.FuseUDFs,
+		UnsafeInProcessUDFs: cfg.UnsafeInProcessUDFs,
+	}
+	return s
+}
+
+// Catalog returns the governance catalog.
+func (s *Server) Catalog() *catalog.Catalog { return s.cat }
+
+// Dispatcher exposes sandbox statistics.
+func (s *Server) Dispatcher() *sandbox.Dispatcher { return s.dispatcher }
+
+// ClusterManager exposes the cluster plane.
+func (s *Server) ClusterManager() *cluster.Manager { return s.clusterMgr }
+
+// Compute returns the server's compute type.
+func (s *Server) Compute() catalog.ComputeType { return s.cfg.Compute }
+
+// ActiveSessions reports how many sessions hold state on this server.
+func (s *Server) ActiveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// session returns (creating if needed) the state for a session, enforcing
+// the compute type's identity rules.
+func (s *Server) session(sessionID, user string) (*sessionState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.sessions[sessionID]; ok {
+		if st.user != user {
+			return nil, fmt.Errorf("core: session %q belongs to %q", sessionID, st.user)
+		}
+		return st, nil
+	}
+	if s.cfg.Compute == catalog.ComputeDedicated {
+		switch {
+		case s.cfg.GroupScope != "":
+			if !s.cat.IsGroupMember(user, s.cfg.GroupScope) {
+				return nil, fmt.Errorf("core: user %q is not a member of this dedicated cluster's group %q", user, s.cfg.GroupScope)
+			}
+		case s.pinnedUser == "":
+			s.pinnedUser = user
+		case s.pinnedUser != user:
+			return nil, fmt.Errorf("%w (cluster pinned to %q)", ErrDedicatedSharing, s.pinnedUser)
+		}
+	}
+	st := &sessionState{
+		user:      user,
+		tempViews: map[string]plan.Node{},
+		tempFuncs: map[string]analyzer.TempFunc{},
+	}
+	s.sessions[sessionID] = st
+	return st, nil
+}
+
+// requestContext builds the catalog context for a session, applying
+// dedicated-group down-scoping.
+func (s *Server) requestContext(sessionID, user string) catalog.RequestContext {
+	return catalog.RequestContext{
+		User:       user,
+		Compute:    s.cfg.Compute,
+		ClusterID:  s.cfg.Name,
+		SessionID:  sessionID,
+		GroupScope: s.dedicatedGroupScope(),
+	}
+}
+
+func (s *Server) dedicatedGroupScope() string {
+	if s.cfg.Compute == catalog.ComputeDedicated {
+		return s.cfg.GroupScope
+	}
+	return ""
+}
+
+// newAnalyzer builds an analyzer bound to a session's temp state.
+func (s *Server) newAnalyzer(ctx catalog.RequestContext, st *sessionState) *analyzer.Analyzer {
+	a := analyzer.New(s.cat, ctx)
+	a.TempViews = st.tempViews
+	a.TempFuncs = st.tempFuncs
+	return a
+}
+
+// engineFor returns the execution engine for a Workload Environment. Each
+// named environment gets its own sandbox fleet (own cluster-manager plane
+// and dispatcher), so user code pinned to "v1" executes exactly in v1's
+// interpreter configuration regardless of the server's default (§6.3).
+func (s *Server) engineFor(env string) (*exec.Engine, error) {
+	if env == "" {
+		return s.engine, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.envEngines[env]; ok {
+		return e, nil
+	}
+	spec, ok := s.cfg.Environments[env]
+	if !ok {
+		available := make([]string, 0, len(s.cfg.Environments))
+		for name := range s.cfg.Environments {
+			available = append(available, name)
+		}
+		return nil, fmt.Errorf("core: unknown workload environment %q (available: %v)", env, available)
+	}
+	mgr := cluster.NewManager(cluster.Config{
+		Name: s.cfg.Name + "-env-" + env, Compute: s.cfg.Compute,
+		Hosts: s.cfg.Hosts, Sandbox: spec,
+	})
+	e := &exec.Engine{
+		Cat:                 s.cat,
+		Dispatcher:          sandbox.NewDispatcher(mgr),
+		Remote:              s.cfg.Remote,
+		FuseUDFs:            s.opts.FuseUDFs,
+		UnsafeInProcessUDFs: s.cfg.UnsafeInProcessUDFs,
+	}
+	s.envEngines[env] = e
+	return e, nil
+}
+
+// substituteSQL replaces SQLRelation nodes with their parsed plans.
+func substituteSQL(n plan.Node) (plan.Node, error) {
+	var firstErr error
+	out := plan.Transform(n, func(x plan.Node) plan.Node {
+		if sr, ok := x.(*plan.SQLRelation); ok {
+			q, err := sql.ParseQuery(sr.Query)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return x
+			}
+			return q
+		}
+		return x
+	})
+	return out, firstErr
+}
+
+// Execute implements connect.Backend.
+func (s *Server) Execute(sessionID, user string, pl *proto.Plan) (*types.Schema, []*types.Batch, error) {
+	st, err := s.session(sessionID, user)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx := s.requestContext(sessionID, user)
+	if pl.Command != nil {
+		schema, batch, err := s.executeCommand(ctx, st, pl.Command)
+		if err != nil {
+			return nil, nil, err
+		}
+		return schema, []*types.Batch{batch}, nil
+	}
+	schema, batches, err := s.runQueryEnv(ctx, st, pl.Relation, pl.WorkloadEnv)
+	if err != nil {
+		return nil, nil, err
+	}
+	if pl.AllowSpill && s.cfg.SpillThreshold > 0 {
+		return s.maybeSpill(ctx, schema, batches)
+	}
+	return schema, batches, nil
+}
+
+// runQuery analyzes, optimizes, and executes a relation in the default
+// environment.
+func (s *Server) runQuery(ctx catalog.RequestContext, st *sessionState, rel plan.Node) (*types.Schema, []*types.Batch, error) {
+	return s.runQueryEnv(ctx, st, rel, "")
+}
+
+// runQueryEnv is runQuery pinned to a Workload Environment.
+func (s *Server) runQueryEnv(ctx catalog.RequestContext, st *sessionState, rel plan.Node, env string) (*types.Schema, []*types.Batch, error) {
+	engine, err := s.engineFor(env)
+	if err != nil {
+		return nil, nil, err
+	}
+	rel, err = substituteSQL(rel)
+	if err != nil {
+		return nil, nil, err
+	}
+	resolved, err := s.newAnalyzer(ctx, st).Analyze(rel)
+	if err != nil {
+		return nil, nil, err
+	}
+	optimized := optimizer.Optimize(resolved, s.opts)
+	qc := exec.NewQueryContext(s.cat, ctx)
+	batches, err := engine.Execute(qc, optimized)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resolved.Schema(), batches, nil
+}
+
+// Analyze implements connect.Backend: schema plus policy-redacted EXPLAIN.
+func (s *Server) Analyze(sessionID, user string, rel plan.Node) (*types.Schema, string, error) {
+	st, err := s.session(sessionID, user)
+	if err != nil {
+		return nil, "", err
+	}
+	ctx := s.requestContext(sessionID, user)
+	rel, err = substituteSQL(rel)
+	if err != nil {
+		return nil, "", err
+	}
+	resolved, err := s.newAnalyzer(ctx, st).Analyze(rel)
+	if err != nil {
+		return nil, "", err
+	}
+	optimized := optimizer.Optimize(resolved, s.opts)
+	return resolved.Schema(), plan.ExplainRedacted(optimized), nil
+}
+
+// CloseSession implements connect.Backend.
+func (s *Server) CloseSession(sessionID string) {
+	s.mu.Lock()
+	delete(s.sessions, sessionID)
+	envs := make([]*exec.Engine, 0, len(s.envEngines))
+	for _, e := range s.envEngines {
+		envs = append(envs, e)
+	}
+	s.mu.Unlock()
+	s.dispatcher.EndSession(sessionID)
+	for _, e := range envs {
+		e.Dispatcher.EndSession(sessionID)
+	}
+}
+
+// ExportSession snapshots a session's replayable state for migration to
+// another backend (paper §6.2: seamless session migration).
+func (s *Server) ExportSession(sessionID string) (*SessionSnapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.sessions[sessionID]
+	if !ok {
+		return nil, false
+	}
+	snap := &SessionSnapshot{User: st.user}
+	for name, node := range st.tempViews {
+		snap.TempViews = append(snap.TempViews, TempViewSnapshot{Name: name, Plan: node})
+	}
+	for name, fn := range st.tempFuncs {
+		snap.TempFuncs = append(snap.TempFuncs, TempFuncSnapshot{Name: name, Func: fn})
+	}
+	return snap, true
+}
+
+// ImportSession installs a migrated session's state.
+func (s *Server) ImportSession(sessionID string, snap *SessionSnapshot) error {
+	st, err := s.session(sessionID, snap.User)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, tv := range snap.TempViews {
+		st.tempViews[tv.Name] = tv.Plan
+	}
+	for _, tf := range snap.TempFuncs {
+		st.tempFuncs[tf.Name] = tf.Func
+	}
+	return nil
+}
+
+// SessionSnapshot is the replayable state of one session.
+type SessionSnapshot struct {
+	User      string
+	TempViews []TempViewSnapshot
+	TempFuncs []TempFuncSnapshot
+}
+
+// TempViewSnapshot is one temp view's definition.
+type TempViewSnapshot struct {
+	Name string
+	Plan plan.Node
+}
+
+// TempFuncSnapshot is one ephemeral UDF's definition.
+type TempFuncSnapshot struct {
+	Name string
+	Func analyzer.TempFunc
+}
+
+var _ connect.Backend = (*Server)(nil)
+
+// okBatch is the conventional result of a successful command.
+func okBatch(message string) (*types.Schema, *types.Batch) {
+	schema := types.NewSchema(types.Field{Name: "result", Kind: types.KindString})
+	bb := types.NewBatchBuilder(schema, 1)
+	bb.AppendRow([]types.Value{types.String(message)})
+	return schema, bb.Build()
+}

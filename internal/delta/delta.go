@@ -1,0 +1,355 @@
+// Package delta implements a Delta-Lake-style table format over the object
+// store: an ordered JSON transaction log plus immutable columnar data files.
+// Commits use PutIfAbsent on the next log entry for optimistic concurrency,
+// and snapshots support time travel (VERSION AS OF n).
+package delta
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"lakeguard/internal/arrowipc"
+	"lakeguard/internal/storage"
+	"lakeguard/internal/types"
+)
+
+// Action is one entry in a commit file. Exactly one field is set.
+type Action struct {
+	MetaData   *MetaData   `json:"metaData,omitempty"`
+	Add        *AddFile    `json:"add,omitempty"`
+	Remove     *Remove     `json:"remove,omitempty"`
+	CommitInfo *CommitInfo `json:"commitInfo,omitempty"`
+}
+
+// CommitInfo records provenance for one commit (DESCRIBE HISTORY).
+type CommitInfo struct {
+	TimestampMicros int64  `json:"timestamp"`
+	Operation       string `json:"operation"`
+}
+
+// MetaData records the table schema.
+type MetaData struct {
+	SchemaFields []SchemaField `json:"schemaFields"`
+}
+
+// SchemaField is the JSON form of a types.Field.
+type SchemaField struct {
+	Name     string `json:"name"`
+	Kind     uint8  `json:"kind"`
+	Nullable bool   `json:"nullable"`
+	Comment  string `json:"comment,omitempty"`
+}
+
+// AddFile registers a data file in the table.
+type AddFile struct {
+	Path       string `json:"path"`
+	NumRecords int64  `json:"numRecords"`
+	SizeBytes  int64  `json:"sizeBytes"`
+}
+
+// Remove unregisters a data file.
+type Remove struct {
+	Path string `json:"path"`
+}
+
+// Log is a handle to one table's transaction log.
+type Log struct {
+	store   *storage.Store
+	prefix  string
+	fileSeq atomic.Int64
+	clock   func() time.Time
+}
+
+// ErrConcurrentCommit is returned when another writer won the commit race;
+// callers should re-read the snapshot and retry.
+var ErrConcurrentCommit = errors.New("delta: concurrent commit, retry")
+
+// ErrVersionNotFound is returned for time travel to a missing version.
+var ErrVersionNotFound = errors.New("delta: version not found")
+
+func logPath(prefix string, version int64) string {
+	return fmt.Sprintf("%s_delta_log/%020d.json", prefix, version)
+}
+
+// Create initializes a new table at prefix with the given schema, writing
+// commit 0. The credential must grant read-write under prefix.
+func Create(store *storage.Store, cred *storage.Credential, prefix string, schema *types.Schema) (*Log, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, fmt.Errorf("delta: invalid schema: %w", err)
+	}
+	l := &Log{store: store, prefix: prefix, clock: time.Now}
+	actions := []Action{
+		{MetaData: schemaToMeta(schema)},
+		{CommitInfo: &CommitInfo{TimestampMicros: time.Now().UnixMicro(), Operation: "CREATE TABLE"}},
+	}
+	data, err := encodeActions(actions)
+	if err != nil {
+		return nil, err
+	}
+	if err := store.PutIfAbsent(cred, logPath(prefix, 0), data); err != nil {
+		if errors.Is(err, storage.ErrAlreadyExists) {
+			return nil, fmt.Errorf("delta: table already exists at %s", prefix)
+		}
+		return nil, err
+	}
+	return l, nil
+}
+
+// Open attaches to an existing table, verifying commit 0 exists.
+func Open(store *storage.Store, cred *storage.Credential, prefix string) (*Log, error) {
+	if _, err := store.Get(cred, logPath(prefix, 0)); err != nil {
+		return nil, fmt.Errorf("delta: no table at %s: %w", prefix, err)
+	}
+	return &Log{store: store, prefix: prefix, clock: time.Now}, nil
+}
+
+// SetClock overrides the commit timestamp source (tests).
+func (l *Log) SetClock(clock func() time.Time) { l.clock = clock }
+
+// Prefix returns the table's storage prefix.
+func (l *Log) Prefix() string { return l.prefix }
+
+// Snapshot reconstructs table state at a version (-1 = latest).
+func (l *Log) Snapshot(cred *storage.Credential, version int64) (*Snapshot, error) {
+	snap := &Snapshot{Version: -1, prefix: l.prefix}
+	live := map[string]AddFile{}
+	var order []string
+	for v := int64(0); ; v++ {
+		if version >= 0 && v > version {
+			break
+		}
+		data, err := l.store.Get(cred, logPath(l.prefix, v))
+		if err != nil {
+			if errors.Is(err, storage.ErrNotFound) {
+				break
+			}
+			return nil, err
+		}
+		actions, err := decodeActions(data)
+		if err != nil {
+			return nil, fmt.Errorf("delta: corrupt commit %d: %w", v, err)
+		}
+		for _, a := range actions {
+			switch {
+			case a.CommitInfo != nil:
+				// provenance only; History reads these
+			case a.MetaData != nil:
+				snap.Schema = metaToSchema(a.MetaData)
+			case a.Add != nil:
+				if _, seen := live[a.Add.Path]; !seen {
+					order = append(order, a.Add.Path)
+				}
+				live[a.Add.Path] = *a.Add
+			case a.Remove != nil:
+				delete(live, a.Remove.Path)
+			}
+		}
+		snap.Version = v
+	}
+	if snap.Version < 0 || (version >= 0 && snap.Version != version) {
+		return nil, fmt.Errorf("%w: %d (latest %d)", ErrVersionNotFound, version, snap.Version)
+	}
+	for _, p := range order {
+		if f, ok := live[p]; ok {
+			snap.Files = append(snap.Files, f)
+		}
+	}
+	return snap, nil
+}
+
+// Append commits new data files containing the given batches.
+func (l *Log) Append(cred *storage.Credential, batches []*types.Batch) (int64, error) {
+	return l.commit(cred, batches, false, "WRITE")
+}
+
+// Overwrite replaces the table's entire contents with the given batches
+// (used by materialized-view refresh and INSERT OVERWRITE semantics).
+func (l *Log) Overwrite(cred *storage.Credential, batches []*types.Batch) (int64, error) {
+	return l.commit(cred, batches, true, "OVERWRITE")
+}
+
+func (l *Log) commit(cred *storage.Credential, batches []*types.Batch, overwrite bool, operation string) (int64, error) {
+	const maxRetries = 16
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		snap, err := l.Snapshot(cred, -1)
+		if err != nil {
+			return 0, err
+		}
+		actions := []Action{{CommitInfo: &CommitInfo{TimestampMicros: l.clock().UnixMicro(), Operation: operation}}}
+		if overwrite {
+			for _, f := range snap.Files {
+				f := f
+				actions = append(actions, Action{Remove: &Remove{Path: f.Path}})
+			}
+		}
+		for _, b := range batches {
+			if b.NumRows() == 0 {
+				continue
+			}
+			if !b.Schema.Equal(snap.Schema) {
+				return 0, fmt.Errorf("delta: batch schema %s does not match table schema %s", b.Schema, snap.Schema)
+			}
+			data, err := arrowipc.EncodeBatch(b)
+			if err != nil {
+				return 0, err
+			}
+			path := fmt.Sprintf("%sdata/%06d-%06d.arrow", l.prefix, snap.Version+1, l.fileSeq.Add(1))
+			if err := l.store.Put(cred, path, data); err != nil {
+				return 0, err
+			}
+			actions = append(actions, Action{Add: &AddFile{
+				Path: path, NumRecords: int64(b.NumRows()), SizeBytes: int64(len(data)),
+			}})
+		}
+		payload, err := encodeActions(actions)
+		if err != nil {
+			return 0, err
+		}
+		next := snap.Version + 1
+		err = l.store.PutIfAbsent(cred, logPath(l.prefix, next), payload)
+		if err == nil {
+			return next, nil
+		}
+		if !errors.Is(err, storage.ErrAlreadyExists) {
+			return 0, err
+		}
+		// Lost the race: re-read and retry.
+	}
+	return 0, ErrConcurrentCommit
+}
+
+// HistoryEntry describes one commit for DESCRIBE HISTORY.
+type HistoryEntry struct {
+	Version   int64
+	Timestamp time.Time
+	Operation string
+	NumFiles  int // files added in this commit
+}
+
+// History returns the commit log, newest first.
+func (l *Log) History(cred *storage.Credential) ([]HistoryEntry, error) {
+	var out []HistoryEntry
+	for v := int64(0); ; v++ {
+		data, err := l.store.Get(cred, logPath(l.prefix, v))
+		if err != nil {
+			if errors.Is(err, storage.ErrNotFound) {
+				break
+			}
+			return nil, err
+		}
+		actions, err := decodeActions(data)
+		if err != nil {
+			return nil, err
+		}
+		entry := HistoryEntry{Version: v, Operation: "UNKNOWN"}
+		for _, a := range actions {
+			switch {
+			case a.CommitInfo != nil:
+				entry.Timestamp = time.UnixMicro(a.CommitInfo.TimestampMicros).UTC()
+				entry.Operation = a.CommitInfo.Operation
+			case a.Add != nil:
+				entry.NumFiles++
+			}
+		}
+		out = append(out, entry)
+	}
+	// Newest first.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out, nil
+}
+
+// Snapshot is an immutable view of the table at one version.
+type Snapshot struct {
+	Version int64
+	Schema  *types.Schema
+	Files   []AddFile
+	prefix  string
+}
+
+// NumRecords returns the total row count across live files.
+func (s *Snapshot) NumRecords() int64 {
+	var n int64
+	for _, f := range s.Files {
+		n += f.NumRecords
+	}
+	return n
+}
+
+// Read streams the snapshot's data files as batches through fn. Returning a
+// non-nil error from fn stops the scan.
+func (s *Snapshot) Read(store *storage.Store, cred *storage.Credential, fn func(*types.Batch) error) error {
+	for _, f := range s.Files {
+		data, err := store.Get(cred, f.Path)
+		if err != nil {
+			return fmt.Errorf("delta: reading %s: %w", f.Path, err)
+		}
+		b, err := arrowipc.DecodeBatch(data)
+		if err != nil {
+			return fmt.Errorf("delta: decoding %s: %w", f.Path, err)
+		}
+		if err := fn(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadAll materializes the snapshot into one batch.
+func (s *Snapshot) ReadAll(store *storage.Store, cred *storage.Credential) (*types.Batch, error) {
+	var batches []*types.Batch
+	if err := s.Read(store, cred, func(b *types.Batch) error {
+		batches = append(batches, b)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return arrowipc.ConcatBatches(s.Schema, batches)
+}
+
+func schemaToMeta(s *types.Schema) *MetaData {
+	m := &MetaData{SchemaFields: make([]SchemaField, len(s.Fields))}
+	for i, f := range s.Fields {
+		m.SchemaFields[i] = SchemaField{Name: f.Name, Kind: uint8(f.Kind), Nullable: f.Nullable, Comment: f.Comment}
+	}
+	return m
+}
+
+func metaToSchema(m *MetaData) *types.Schema {
+	s := &types.Schema{Fields: make([]types.Field, len(m.SchemaFields))}
+	for i, f := range m.SchemaFields {
+		s.Fields[i] = types.Field{Name: f.Name, Kind: types.Kind(f.Kind), Nullable: f.Nullable, Comment: f.Comment}
+	}
+	return s
+}
+
+func encodeActions(actions []Action) ([]byte, error) {
+	var out []byte
+	for _, a := range actions {
+		line, err := json.Marshal(a)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, line...)
+		out = append(out, '\n')
+	}
+	return out, nil
+}
+
+func decodeActions(data []byte) ([]Action, error) {
+	var actions []Action
+	dec := json.NewDecoder(bytes.NewReader(data))
+	for dec.More() {
+		var a Action
+		if err := dec.Decode(&a); err != nil {
+			return nil, err
+		}
+		actions = append(actions, a)
+	}
+	return actions, nil
+}

@@ -1,0 +1,215 @@
+package delta
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"lakeguard/internal/storage"
+	"lakeguard/internal/types"
+)
+
+func testEnv(t *testing.T) (*storage.Store, *storage.Credential) {
+	t.Helper()
+	store := storage.NewStore()
+	cred := store.Signer().Issue("tables/", storage.ModeReadWrite, time.Hour)
+	return store, &cred
+}
+
+func intBatch(schema *types.Schema, vals ...int64) *types.Batch {
+	bb := types.NewBatchBuilder(schema, len(vals))
+	for _, v := range vals {
+		bb.AppendRow([]types.Value{types.Int64(v)})
+	}
+	return bb.Build()
+}
+
+func intSchema() *types.Schema {
+	return types.NewSchema(types.Field{Name: "n", Kind: types.KindInt64})
+}
+
+func TestCreateAppendRead(t *testing.T) {
+	store, cred := testEnv(t)
+	schema := intSchema()
+	log, err := Create(store, cred, "tables/t1/", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := log.Append(cred, []*types.Batch{intBatch(schema, 1, 2, 3)})
+	if err != nil || v1 != 1 {
+		t.Fatalf("append v=%d err=%v", v1, err)
+	}
+	v2, err := log.Append(cred, []*types.Batch{intBatch(schema, 4)})
+	if err != nil || v2 != 2 {
+		t.Fatalf("append v=%d err=%v", v2, err)
+	}
+	snap, err := log.Snapshot(cred, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != 2 || snap.NumRecords() != 4 {
+		t.Fatalf("snapshot v=%d rows=%d", snap.Version, snap.NumRecords())
+	}
+	all, err := snap.ReadAll(store, cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.NumRows() != 4 || all.Cols[0].Int64(3) != 4 {
+		t.Fatal("read content wrong")
+	}
+}
+
+func TestTimeTravel(t *testing.T) {
+	store, cred := testEnv(t)
+	schema := intSchema()
+	log, _ := Create(store, cred, "tables/tt/", schema)
+	if _, err := log.Append(cred, []*types.Batch{intBatch(schema, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Append(cred, []*types.Batch{intBatch(schema, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	snap1, err := log.Snapshot(cred, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap1.NumRecords() != 1 {
+		t.Fatalf("v1 rows = %d", snap1.NumRecords())
+	}
+	b, _ := snap1.ReadAll(store, cred)
+	if b.Cols[0].Int64(0) != 1 {
+		t.Fatal("v1 content wrong")
+	}
+	if _, err := log.Snapshot(cred, 99); !errors.Is(err, ErrVersionNotFound) {
+		t.Errorf("missing version err = %v", err)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	store, cred := testEnv(t)
+	schema := intSchema()
+	log, _ := Create(store, cred, "tables/ow/", schema)
+	if _, err := log.Append(cred, []*types.Batch{intBatch(schema, 1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Overwrite(cred, []*types.Batch{intBatch(schema, 9)}); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := log.Snapshot(cred, -1)
+	if snap.NumRecords() != 1 {
+		t.Fatalf("after overwrite rows = %d", snap.NumRecords())
+	}
+	b, _ := snap.ReadAll(store, cred)
+	if b.Cols[0].Int64(0) != 9 {
+		t.Fatal("overwrite content wrong")
+	}
+	// Old version still readable (time travel across overwrite).
+	old, err := log.Snapshot(cred, 1)
+	if err != nil || old.NumRecords() != 2 {
+		t.Fatalf("old snapshot rows=%d err=%v", old.NumRecords(), err)
+	}
+}
+
+func TestCreateTwiceFails(t *testing.T) {
+	store, cred := testEnv(t)
+	schema := intSchema()
+	if _, err := Create(store, cred, "tables/dup/", schema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Create(store, cred, "tables/dup/", schema); err == nil {
+		t.Error("expected duplicate-create error")
+	}
+}
+
+func TestOpenMissingFails(t *testing.T) {
+	store, cred := testEnv(t)
+	if _, err := Open(store, cred, "tables/missing/"); err == nil {
+		t.Error("expected open error")
+	}
+}
+
+func TestSchemaMismatchRejected(t *testing.T) {
+	store, cred := testEnv(t)
+	log, _ := Create(store, cred, "tables/sm/", intSchema())
+	other := types.NewSchema(types.Field{Name: "s", Kind: types.KindString})
+	bb := types.NewBatchBuilder(other, 1)
+	bb.AppendRow([]types.Value{types.String("x")})
+	if _, err := log.Append(cred, []*types.Batch{bb.Build()}); err == nil {
+		t.Error("expected schema mismatch error")
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	store, cred := testEnv(t)
+	schema := intSchema()
+	log, _ := Create(store, cred, "tables/cc/", schema)
+	const writers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Each writer needs its own Log handle (like separate engines),
+			// sharing only the store.
+			l, err := Open(store, cred, "tables/cc/")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			_, errs[i] = l.Append(cred, []*types.Batch{intBatch(schema, int64(i))})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	snap, err := log.Snapshot(cred, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != writers || snap.NumRecords() != writers {
+		t.Fatalf("after race: v=%d rows=%d", snap.Version, snap.NumRecords())
+	}
+	// All writer values present exactly once.
+	all, _ := snap.ReadAll(store, cred)
+	seen := map[int64]int{}
+	for i := 0; i < all.NumRows(); i++ {
+		seen[all.Cols[0].Int64(i)]++
+	}
+	for i := int64(0); i < writers; i++ {
+		if seen[i] != 1 {
+			t.Errorf("value %d seen %d times", i, seen[i])
+		}
+	}
+}
+
+func TestEmptyBatchesSkipped(t *testing.T) {
+	store, cred := testEnv(t)
+	schema := intSchema()
+	log, _ := Create(store, cred, "tables/e/", schema)
+	v, err := log.Append(cred, []*types.Batch{intBatch(schema)})
+	if err != nil || v != 1 {
+		t.Fatalf("v=%d err=%v", v, err)
+	}
+	snap, _ := log.Snapshot(cred, -1)
+	if len(snap.Files) != 0 {
+		t.Error("empty batch should produce no files")
+	}
+}
+
+func TestReadRequiresCredentialPrefix(t *testing.T) {
+	store, cred := testEnv(t)
+	schema := intSchema()
+	log, _ := Create(store, cred, "tables/sec/", schema)
+	if _, err := log.Append(cred, []*types.Batch{intBatch(schema, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	otherCred := store.Signer().Issue("tables/other/", storage.ModeRead, time.Hour)
+	if _, err := log.Snapshot(&otherCred, -1); err == nil {
+		t.Error("snapshot with wrong-prefix credential should fail")
+	}
+}

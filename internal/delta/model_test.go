@@ -1,0 +1,88 @@
+package delta
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"lakeguard/internal/storage"
+	"lakeguard/internal/types"
+)
+
+// TestLogModelProperty drives the transaction log with random sequences of
+// Append/Overwrite operations and checks every version's snapshot against a
+// simple in-memory model — including historical versions (time travel must
+// reconstruct exactly the model state at that version).
+func TestLogModelProperty(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		t.Run("", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			store := storage.NewStore()
+			cred := store.Signer().Issue("tables/", storage.ModeReadWrite, time.Hour)
+			schema := types.NewSchema(types.Field{Name: "n", Kind: types.KindInt64})
+			log, err := Create(store, &cred, "tables/m/", schema)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// model[v] = table contents (multiset of ints) at version v.
+			model := [][]int64{{}}
+			next := int64(0)
+			ops := 12 + rng.Intn(10)
+			for i := 0; i < ops; i++ {
+				var vals []int64
+				for j := rng.Intn(4); j >= 0; j-- {
+					vals = append(vals, next)
+					next++
+				}
+				batch := intBatch(schema, vals...)
+				if rng.Intn(4) == 0 {
+					if _, err := log.Overwrite(&cred, []*types.Batch{batch}); err != nil {
+						t.Fatal(err)
+					}
+					model = append(model, append([]int64{}, vals...))
+				} else {
+					if _, err := log.Append(&cred, []*types.Batch{batch}); err != nil {
+						t.Fatal(err)
+					}
+					prev := model[len(model)-1]
+					cur := append(append([]int64{}, prev...), vals...)
+					model = append(model, cur)
+				}
+			}
+
+			// Every historical version matches the model.
+			for v, want := range model {
+				snap, err := log.Snapshot(&cred, int64(v))
+				if err != nil {
+					t.Fatalf("seed %d version %d: %v", seed, v, err)
+				}
+				got, err := snap.ReadAll(store, &cred)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.NumRows() != len(want) {
+					t.Fatalf("seed %d version %d: %d rows, want %d", seed, v, got.NumRows(), len(want))
+				}
+				seen := map[int64]int{}
+				for i := 0; i < got.NumRows(); i++ {
+					seen[got.Cols[0].Int64(i)]++
+				}
+				for _, w := range want {
+					if seen[w] == 0 {
+						t.Fatalf("seed %d version %d: missing value %d", seed, v, w)
+					}
+					seen[w]--
+				}
+			}
+			// Latest == last model state.
+			latest, err := log.Snapshot(&cred, -1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if latest.Version != int64(len(model)-1) {
+				t.Fatalf("latest version %d, want %d", latest.Version, len(model)-1)
+			}
+		})
+	}
+}

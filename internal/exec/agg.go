@@ -1,0 +1,210 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+
+	"lakeguard/internal/arrowipc"
+	"lakeguard/internal/plan"
+	"lakeguard/internal/types"
+)
+
+func decodeDataFile(data []byte) (*types.Batch, error) {
+	return arrowipc.DecodeBatch(data)
+}
+
+// aggOp is a hash aggregate over group keys with collision-checked buckets.
+type aggOp struct {
+	child    operator
+	qc       *QueryContext
+	node     *plan.Aggregate
+	groupRun *exprRunner // evaluates GROUP BY expressions (may contain UDFs)
+	argRun   *exprRunner // evaluates aggregate argument expressions
+	aggs     []*plan.AggFunc
+	done     bool
+}
+
+func (e *Engine) newAggOp(qc *QueryContext, node *plan.Aggregate, child operator) (operator, error) {
+	aggs := make([]*plan.AggFunc, len(node.Aggs))
+	argExprs := make([]plan.Expr, 0, len(node.Aggs))
+	for i, a := range node.Aggs {
+		af, ok := a.(*plan.AggFunc)
+		if !ok {
+			return nil, fmt.Errorf("exec: aggregate slot %d is %T, expected AggFunc", i, a)
+		}
+		aggs[i] = af
+		if af.Arg != nil {
+			argExprs = append(argExprs, af.Arg)
+		} else {
+			argExprs = append(argExprs, plan.Lit(types.Int64(1))) // COUNT(*)
+		}
+	}
+	groupRun, err := e.newExprRunner(qc, node.GroupBy)
+	if err != nil {
+		return nil, err
+	}
+	argRun, err := e.newExprRunner(qc, argExprs)
+	if err != nil {
+		return nil, err
+	}
+	return &aggOp{child: child, qc: qc, node: node, groupRun: groupRun, argRun: argRun, aggs: aggs}, nil
+}
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	count    int64
+	sumI     int64
+	sumF     float64
+	min, max types.Value
+	seen     map[uint64][]types.Value // DISTINCT tracking
+	nonNull  bool
+}
+
+type groupEntry struct {
+	key    []types.Value
+	states []aggState
+}
+
+func (o *aggOp) Next() (*types.Batch, error) {
+	if o.done {
+		return nil, io.EOF
+	}
+	o.done = true
+	groups := map[uint64][]*groupEntry{}
+	var order []*groupEntry
+
+	for {
+		b, err := o.child.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		keyCols, err := o.groupRun.run(b)
+		if err != nil {
+			return nil, err
+		}
+		argCols, err := o.argRun.run(b)
+		if err != nil {
+			return nil, err
+		}
+		n := b.NumRows()
+		for i := 0; i < n; i++ {
+			key := make([]types.Value, len(keyCols))
+			for k, col := range keyCols {
+				key[k] = col.Value(i)
+			}
+			h := hashRow(key)
+			var entry *groupEntry
+			for _, g := range groups[h] {
+				if rowsEqual(g.key, key) {
+					entry = g
+					break
+				}
+			}
+			if entry == nil {
+				entry = &groupEntry{key: key, states: make([]aggState, len(o.aggs))}
+				groups[h] = append(groups[h], entry)
+				order = append(order, entry)
+			}
+			for ai, af := range o.aggs {
+				v := argCols[ai].Value(i)
+				o.accumulate(&entry.states[ai], af, v)
+			}
+		}
+	}
+
+	// Global aggregation (no GROUP BY) always yields one row, even over
+	// empty input (COUNT(*) = 0); grouped aggregation yields no rows.
+	if len(order) == 0 && len(o.node.GroupBy) == 0 {
+		entry := &groupEntry{key: nil, states: make([]aggState, len(o.aggs))}
+		order = append(order, entry)
+	}
+
+	schema := o.node.Schema()
+	bb := types.NewBatchBuilder(schema, len(order))
+	for _, g := range order {
+		row := make([]types.Value, 0, schema.Len())
+		row = append(row, g.key...)
+		for ai, af := range o.aggs {
+			row = append(row, o.finalize(&g.states[ai], af))
+		}
+		bb.AppendRow(row)
+	}
+	return bb.Build(), nil
+}
+
+func (o *aggOp) accumulate(st *aggState, af *plan.AggFunc, v types.Value) {
+	if af.Arg != nil && v.Null {
+		return // SQL aggregates skip NULLs
+	}
+	if af.Distinct {
+		if st.seen == nil {
+			st.seen = map[uint64][]types.Value{}
+		}
+		h := v.Hash()
+		for _, prev := range st.seen[h] {
+			if prev.Equal(v) {
+				return
+			}
+		}
+		st.seen[h] = append(st.seen[h], v)
+	}
+	st.nonNull = true
+	switch af.Name {
+	case "count":
+		st.count++
+	case "sum", "avg":
+		st.count++
+		if v.Kind == types.KindInt64 {
+			st.sumI += v.I
+		}
+		st.sumF += v.AsFloat64()
+	case "min":
+		if st.count == 0 {
+			st.min = v
+		} else if cmp, ok := v.Compare(st.min); ok && cmp < 0 {
+			st.min = v
+		}
+		st.count++
+	case "max":
+		if st.count == 0 {
+			st.max = v
+		} else if cmp, ok := v.Compare(st.max); ok && cmp > 0 {
+			st.max = v
+		}
+		st.count++
+	}
+}
+
+func (o *aggOp) finalize(st *aggState, af *plan.AggFunc) types.Value {
+	switch af.Name {
+	case "count":
+		return types.Int64(st.count)
+	case "sum":
+		if !st.nonNull {
+			return types.Null(af.ResultKind)
+		}
+		if af.ResultKind == types.KindInt64 {
+			return types.Int64(st.sumI)
+		}
+		return types.Float64(st.sumF)
+	case "avg":
+		if st.count == 0 {
+			return types.Null(types.KindFloat64)
+		}
+		return types.Float64(st.sumF / float64(st.count))
+	case "min":
+		if !st.nonNull {
+			return types.Null(af.ResultKind)
+		}
+		return st.min
+	case "max":
+		if !st.nonNull {
+			return types.Null(af.ResultKind)
+		}
+		return st.max
+	}
+	return types.Null(af.ResultKind)
+}

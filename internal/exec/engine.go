@@ -1,0 +1,234 @@
+// Package exec compiles optimized logical plans into physical operators and
+// runs them. Operators are pull-based batch iterators. UDF evaluation never
+// happens in-process: projection and filter expressions containing UDF calls
+// are split by the optimizer's fusion planner into sandbox crossings, routed
+// through the dispatcher (paper §3.3). RemoteScan leaves delegate to a
+// pluggable remote executor (eFGAC, §3.4).
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"lakeguard/internal/catalog"
+	"lakeguard/internal/eval"
+	"lakeguard/internal/plan"
+	"lakeguard/internal/sandbox"
+	"lakeguard/internal/types"
+)
+
+// RemoteExecutor runs an eFGAC subquery on external compute and returns the
+// result batches. Implemented by the Lakeguard core (Serverless Spark path).
+type RemoteExecutor interface {
+	ExecuteRemote(qc *QueryContext, rs *plan.RemoteScan) ([]*types.Batch, error)
+}
+
+// Engine executes plans against a catalog with sandboxed user code.
+type Engine struct {
+	// Cat is the governance catalog (credential vending, table logs).
+	Cat *catalog.Catalog
+	// Dispatcher provides sandboxes for UDF execution. Nil engines can run
+	// UDF-free plans only.
+	Dispatcher *sandbox.Dispatcher
+	// Remote serves RemoteScan leaves; nil means eFGAC is unavailable.
+	Remote RemoteExecutor
+	// FuseUDFs mirrors the optimizer option at execution time.
+	FuseUDFs bool
+	// Parallelism is the number of executor workers for sandboxed UDF
+	// execution (0 or 1 = serial). Large batches split into partitions that
+	// run on separate sandboxes of the same trust domain concurrently.
+	Parallelism int
+	// UnsafeInProcessUDFs executes user code directly in the engine without
+	// isolation. It exists ONLY as the pre-Lakeguard baseline for the
+	// Table 2 benchmark; never enable it in a governed deployment.
+	UnsafeInProcessUDFs bool
+}
+
+// QueryContext carries the identity and session a query runs under.
+type QueryContext struct {
+	// Ctx is the catalog request context (user identity + compute scope).
+	Ctx catalog.RequestContext
+	// Eval supplies session functions (CURRENT_USER, group membership).
+	Eval *eval.Context
+	// SessionID keys sandbox pooling.
+	SessionID string
+}
+
+// NewQueryContext builds a query context wiring group membership to the
+// catalog.
+func NewQueryContext(cat *catalog.Catalog, ctx catalog.RequestContext) *QueryContext {
+	return &QueryContext{
+		Ctx: ctx,
+		Eval: &eval.Context{
+			User:          ctx.User,
+			IsGroupMember: func(g string) bool { return cat.IsGroupMember(ctx.User, g) },
+		},
+		SessionID: ctx.SessionID,
+	}
+}
+
+// operator is a pull-based batch iterator.
+type operator interface {
+	// Next returns the next batch or io.EOF.
+	Next() (*types.Batch, error)
+}
+
+// Execute runs a plan to completion and returns all result batches.
+func (e *Engine) Execute(qc *QueryContext, p plan.Node) ([]*types.Batch, error) {
+	op, err := e.build(qc, p)
+	if err != nil {
+		return nil, err
+	}
+	var out []*types.Batch
+	for {
+		b, err := op.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if b.NumRows() > 0 || len(out) == 0 {
+			out = append(out, b)
+		}
+	}
+}
+
+// ExecuteToBatch runs a plan and concatenates the result into one batch.
+func (e *Engine) ExecuteToBatch(qc *QueryContext, p plan.Node) (*types.Batch, error) {
+	batches, err := e.Execute(qc, p)
+	if err != nil {
+		return nil, err
+	}
+	return concat(p.Schema(), batches)
+}
+
+func concat(schema *types.Schema, batches []*types.Batch) (*types.Batch, error) {
+	total := 0
+	for _, b := range batches {
+		total += b.NumRows()
+	}
+	bb := types.NewBatchBuilder(schema, total)
+	for _, b := range batches {
+		for i := 0; i < b.NumRows(); i++ {
+			bb.AppendRow(b.Row(i))
+		}
+	}
+	return bb.Build(), nil
+}
+
+// build compiles a plan node into an operator tree.
+func (e *Engine) build(qc *QueryContext, p plan.Node) (operator, error) {
+	switch t := p.(type) {
+	case *plan.LocalRelation:
+		return &localOp{batch: t.Data}, nil
+
+	case *plan.Scan:
+		return e.buildScan(qc, t)
+
+	case *plan.RemoteScan:
+		if e.Remote == nil {
+			return nil, fmt.Errorf("exec: plan requires external FGAC but no remote executor is configured (relation %s)", t.Relation)
+		}
+		batches, err := e.Remote.ExecuteRemote(qc, t)
+		if err != nil {
+			return nil, fmt.Errorf("exec: remote scan %s: %w", t.Relation, err)
+		}
+		return &batchesOp{batches: batches}, nil
+
+	case *plan.SecureView:
+		return e.build(qc, t.Child)
+
+	case *plan.SubqueryAlias:
+		return e.build(qc, t.Child)
+
+	case *plan.Filter:
+		child, err := e.build(qc, t.Child)
+		if err != nil {
+			return nil, err
+		}
+		runner, err := e.newExprRunner(qc, []plan.Expr{t.Cond})
+		if err != nil {
+			return nil, err
+		}
+		return &filterOp{child: child, runner: runner}, nil
+
+	case *plan.Project:
+		child, err := e.build(qc, t.Child)
+		if err != nil {
+			return nil, err
+		}
+		runner, err := e.newExprRunner(qc, t.Exprs)
+		if err != nil {
+			return nil, err
+		}
+		return &projectOp{child: child, runner: runner, schema: t.OutSchema}, nil
+
+	case *plan.Aggregate:
+		child, err := e.build(qc, t.Child)
+		if err != nil {
+			return nil, err
+		}
+		return e.newAggOp(qc, t, child)
+
+	case *plan.Join:
+		return e.buildJoin(qc, t)
+
+	case *plan.Sort:
+		child, err := e.build(qc, t.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &sortOp{child: child, orders: t.Orders, qc: qc, schema: t.Schema()}, nil
+
+	case *plan.Limit:
+		child, err := e.build(qc, t.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &limitOp{child: child, n: t.N, offset: t.Offset}, nil
+
+	case *plan.Distinct:
+		child, err := e.build(qc, t.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &distinctOp{child: child, schema: t.Schema()}, nil
+
+	case *plan.Union:
+		l, err := e.build(qc, t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.build(qc, t.R)
+		if err != nil {
+			return nil, err
+		}
+		return &unionOp{children: []operator{l, r}}, nil
+	}
+	return nil, fmt.Errorf("exec: unsupported plan node %T", p)
+}
+
+func (e *Engine) buildScan(qc *QueryContext, t *plan.Scan) (operator, error) {
+	parts := strings.Split(t.Table, ".")
+	// Definer rights: views resolve (and therefore read) their underlying
+	// tables as the view owner; the analyzer recorded that identity.
+	ctx := qc.Ctx
+	if t.RunAsUser != "" {
+		ctx.User = t.RunAsUser
+	}
+	log, cred, err := e.Cat.OpenTableLog(ctx, parts)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := log.Snapshot(cred, t.Version)
+	if err != nil {
+		return nil, err
+	}
+	return &scanOp{
+		engine: e, qc: qc, scan: t,
+		snap: snap, cred: cred,
+	}, nil
+}

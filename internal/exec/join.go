@@ -1,0 +1,322 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+
+	"lakeguard/internal/eval"
+	"lakeguard/internal/plan"
+	"lakeguard/internal/types"
+)
+
+// buildJoin compiles a join: hash join when the condition contains
+// equi-predicates between the two sides, nested-loop otherwise.
+func (e *Engine) buildJoin(qc *QueryContext, t *plan.Join) (operator, error) {
+	l, err := e.build(qc, t.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.build(qc, t.R)
+	if err != nil {
+		return nil, err
+	}
+	if t.Cond != nil && plan.ExprContains(t.Cond, func(x plan.Expr) bool {
+		_, ok := x.(*plan.UDFCall)
+		return ok
+	}) {
+		return nil, fmt.Errorf("exec: UDF calls are not supported in join conditions")
+	}
+	leftLen := t.L.Schema().Len()
+	leftKeys, rightKeys, residual := extractEquiKeys(t.Cond, leftLen)
+	return &joinOp{
+		qc: qc, node: t, left: l, right: r,
+		leftLen: leftLen, rightLen: t.R.Schema().Len(),
+		leftKeys: leftKeys, rightKeys: rightKeys, residual: residual,
+	}, nil
+}
+
+// extractEquiKeys splits a join condition into equi-key pairs
+// (left expr, right expr with right-relative ordinals) and a residual
+// predicate over the concatenated row.
+func extractEquiKeys(cond plan.Expr, leftLen int) (leftKeys, rightKeys []plan.Expr, residual []plan.Expr) {
+	if cond == nil {
+		return nil, nil, nil
+	}
+	for _, c := range splitAnd(cond) {
+		b, ok := c.(*plan.Binary)
+		if ok && b.Op == plan.OpEq {
+			lLo, lHi := refRange(b.L)
+			rLo, rHi := refRange(b.R)
+			switch {
+			case lHi < leftLen && lLo >= 0 && rLo >= leftLen:
+				leftKeys = append(leftKeys, b.L)
+				rightKeys = append(rightKeys, shiftExprRefs(b.R, -leftLen))
+				continue
+			case rHi < leftLen && rLo >= 0 && lLo >= leftLen:
+				leftKeys = append(leftKeys, b.R)
+				rightKeys = append(rightKeys, shiftExprRefs(b.L, -leftLen))
+				continue
+			}
+		}
+		residual = append(residual, c)
+	}
+	return leftKeys, rightKeys, residual
+}
+
+func splitAnd(e plan.Expr) []plan.Expr {
+	if b, ok := e.(*plan.Binary); ok && b.Op == plan.OpAnd {
+		return append(splitAnd(b.L), splitAnd(b.R)...)
+	}
+	return []plan.Expr{e}
+}
+
+// refRange returns (min, max) BoundRef ordinals in e; (-1, -1) when none.
+func refRange(e plan.Expr) (int, int) {
+	lo, hi := -1, -1
+	plan.WalkExpr(e, func(x plan.Expr) bool {
+		if b, ok := x.(*plan.BoundRef); ok {
+			if lo == -1 || b.Index < lo {
+				lo = b.Index
+			}
+			if b.Index > hi {
+				hi = b.Index
+			}
+		}
+		return true
+	})
+	return lo, hi
+}
+
+func shiftExprRefs(e plan.Expr, delta int) plan.Expr {
+	return plan.TransformExpr(e, func(x plan.Expr) plan.Expr {
+		if b, ok := x.(*plan.BoundRef); ok {
+			return &plan.BoundRef{Index: b.Index + delta, Name: b.Name, Kind: b.Kind}
+		}
+		return x
+	})
+}
+
+// joinOp materializes the right side into a hash table (or row list) and
+// streams the left.
+type joinOp struct {
+	qc                  *QueryContext
+	node                *plan.Join
+	left, right         operator
+	leftLen, rightLen   int
+	leftKeys, rightKeys []plan.Expr
+	residual            []plan.Expr
+
+	built     bool
+	rightRows [][]types.Value
+	hash      map[uint64][]int // key hash -> right row indices
+	rightUsed []bool           // for RIGHT/FULL outer
+	done      bool
+	pending   []*types.Batch
+}
+
+func (o *joinOp) buildRight() error {
+	o.hash = map[uint64][]int{}
+	for {
+		b, err := o.right.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		for i := 0; i < b.NumRows(); i++ {
+			row := b.Row(i)
+			idx := len(o.rightRows)
+			o.rightRows = append(o.rightRows, row)
+			if len(o.rightKeys) > 0 {
+				key, err := o.evalKeys(o.rightKeys, row)
+				if err != nil {
+					return err
+				}
+				o.hash[hashRow(key)] = append(o.hash[hashRow(key)], idx)
+			}
+		}
+	}
+	o.rightUsed = make([]bool, len(o.rightRows))
+	o.built = true
+	return nil
+}
+
+func (o *joinOp) evalKeys(keys []plan.Expr, row []types.Value) ([]types.Value, error) {
+	rowFn := func(c int) types.Value { return row[c] }
+	out := make([]types.Value, len(keys))
+	for i, k := range keys {
+		v, err := eval.Eval(k, rowFn, o.qc.Eval)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// matchRight returns candidate right-row indices for a left row.
+func (o *joinOp) matchRight(leftRow []types.Value) ([]int, error) {
+	if len(o.leftKeys) == 0 {
+		// No equi keys: all right rows are candidates (nested loop).
+		all := make([]int, len(o.rightRows))
+		for i := range all {
+			all[i] = i
+		}
+		return all, nil
+	}
+	key, err := o.evalKeys(o.leftKeys, leftRow)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range key {
+		if v.Null {
+			return nil, nil // NULL keys never match
+		}
+	}
+	return o.hash[hashRow(key)], nil
+}
+
+// residualOK checks the non-equi part of the condition on a combined row.
+func (o *joinOp) residualOK(combined []types.Value) (bool, error) {
+	rowFn := func(c int) types.Value { return combined[c] }
+	for _, res := range o.residual {
+		ok, err := eval.EvalPredicate(res, rowFn, o.qc.Eval)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// equiOK verifies equi keys for nested-loop candidates (hash collisions are
+// also re-checked here).
+func (o *joinOp) equiOK(leftRow, rightRow []types.Value) (bool, error) {
+	if len(o.leftKeys) == 0 {
+		return true, nil
+	}
+	lk, err := o.evalKeys(o.leftKeys, leftRow)
+	if err != nil {
+		return false, err
+	}
+	rk, err := o.evalKeys(o.rightKeys, rightRow)
+	if err != nil {
+		return false, err
+	}
+	for i := range lk {
+		if lk[i].Null || rk[i].Null {
+			return false, nil
+		}
+		cmp, ok := lk[i].Compare(rk[i])
+		if !ok || cmp != 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (o *joinOp) Next() (*types.Batch, error) {
+	if !o.built {
+		if err := o.buildRight(); err != nil {
+			return nil, err
+		}
+	}
+	if len(o.pending) > 0 {
+		b := o.pending[0]
+		o.pending = o.pending[1:]
+		return b, nil
+	}
+	if o.done {
+		return nil, io.EOF
+	}
+	schema := o.node.Schema()
+	for {
+		lb, err := o.left.Next()
+		if err == io.EOF {
+			o.done = true
+			// RIGHT/FULL: emit unmatched right rows padded with NULLs.
+			if o.node.Type == plan.JoinRight || o.node.Type == plan.JoinFull {
+				bb := types.NewBatchBuilder(schema, 16)
+				for ri, used := range o.rightUsed {
+					if used {
+						continue
+					}
+					row := make([]types.Value, 0, schema.Len())
+					for c := 0; c < o.leftLen; c++ {
+						row = append(row, types.Null(schema.Fields[c].Kind))
+					}
+					row = append(row, o.rightRows[ri]...)
+					bb.AppendRow(row)
+				}
+				if bb.Len() > 0 {
+					return bb.Build(), nil
+				}
+			}
+			return nil, io.EOF
+		}
+		if err != nil {
+			return nil, err
+		}
+		bb := types.NewBatchBuilder(schema, lb.NumRows())
+		for i := 0; i < lb.NumRows(); i++ {
+			leftRow := lb.Row(i)
+			candidates, err := o.matchRight(leftRow)
+			if err != nil {
+				return nil, err
+			}
+			matched := false
+			for _, ri := range candidates {
+				rightRow := o.rightRows[ri]
+				ok, err := o.equiOK(leftRow, rightRow)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+				combined := append(append([]types.Value{}, leftRow...), rightRow...)
+				ok, err = o.residualOK(combined)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+				matched = true
+				o.rightUsed[ri] = true
+				switch o.node.Type {
+				case plan.JoinLeftSemi:
+					// emit left row once; stop scanning candidates
+				case plan.JoinLeftAnti:
+					// matched anti rows are dropped below
+				default:
+					bb.AppendRow(combined)
+				}
+				if o.node.Type == plan.JoinLeftSemi {
+					break
+				}
+			}
+			switch o.node.Type {
+			case plan.JoinLeftSemi:
+				if matched {
+					bb.AppendRow(leftRow)
+				}
+			case plan.JoinLeftAnti:
+				if !matched {
+					bb.AppendRow(leftRow)
+				}
+			case plan.JoinLeft, plan.JoinFull:
+				if !matched {
+					row := append([]types.Value{}, leftRow...)
+					for c := o.leftLen; c < schema.Len(); c++ {
+						row = append(row, types.Null(schema.Fields[c].Kind))
+					}
+					bb.AppendRow(row)
+				}
+			}
+		}
+		if bb.Len() > 0 {
+			return bb.Build(), nil
+		}
+	}
+}

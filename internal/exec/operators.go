@@ -1,0 +1,347 @@
+package exec
+
+import (
+	"io"
+	"sort"
+
+	"lakeguard/internal/delta"
+	"lakeguard/internal/eval"
+	"lakeguard/internal/plan"
+	"lakeguard/internal/storage"
+	"lakeguard/internal/types"
+)
+
+// localOp yields one in-memory batch.
+type localOp struct {
+	batch *types.Batch
+	done  bool
+}
+
+func (o *localOp) Next() (*types.Batch, error) {
+	if o.done {
+		return nil, io.EOF
+	}
+	o.done = true
+	return o.batch, nil
+}
+
+// batchesOp yields a fixed list of batches (remote results).
+type batchesOp struct {
+	batches []*types.Batch
+	pos     int
+}
+
+func (o *batchesOp) Next() (*types.Batch, error) {
+	if o.pos >= len(o.batches) {
+		return nil, io.EOF
+	}
+	b := o.batches[o.pos]
+	o.pos++
+	return b, nil
+}
+
+// scanOp reads a table snapshot file by file, applying pushed filters and
+// the column projection.
+type scanOp struct {
+	engine *Engine
+	qc     *QueryContext
+	scan   *plan.Scan
+	snap   *delta.Snapshot
+	cred   *storage.Credential
+	file   int
+}
+
+func (o *scanOp) Next() (*types.Batch, error) {
+	for o.file < len(o.snap.Files) {
+		f := o.snap.Files[o.file]
+		o.file++
+		data, err := o.engine.Cat.Store().Get(o.cred, f.Path)
+		if err != nil {
+			return nil, err
+		}
+		b, err := decodeDataFile(data)
+		if err != nil {
+			return nil, err
+		}
+		out, err := o.applyScanOps(b)
+		if err != nil {
+			return nil, err
+		}
+		if out.NumRows() == 0 {
+			continue
+		}
+		return out, nil
+	}
+	return nil, io.EOF
+}
+
+func (o *scanOp) applyScanOps(b *types.Batch) (*types.Batch, error) {
+	// Projection first: when the optimizer prunes columns it remaps the
+	// pushed-filter ordinals to the projected layout.
+	if o.scan.ProjectedCols != nil {
+		cols := make([]*types.Column, len(o.scan.ProjectedCols))
+		for i, c := range o.scan.ProjectedCols {
+			cols[i] = b.Cols[c]
+		}
+		b = types.MustBatch(o.scan.Schema(), cols)
+	}
+	if len(o.scan.PushedFilters) > 0 {
+		var keep []int
+		n := b.NumRows()
+		for i := 0; i < n; i++ {
+			row := func(c int) types.Value { return b.Cols[c].Value(i) }
+			ok := true
+			for _, f := range o.scan.PushedFilters {
+				pass, err := eval.EvalPredicate(f, row, o.qc.Eval)
+				if err != nil {
+					return nil, err
+				}
+				if !pass {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				keep = append(keep, i)
+			}
+		}
+		b = b.Gather(keep)
+	}
+	return b, nil
+}
+
+// filterOp evaluates a predicate (possibly UDF-bearing) per batch.
+type filterOp struct {
+	child  operator
+	runner *exprRunner
+}
+
+func (o *filterOp) Next() (*types.Batch, error) {
+	for {
+		b, err := o.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		cols, err := o.runner.run(b)
+		if err != nil {
+			return nil, err
+		}
+		pred := cols[0]
+		var keep []int
+		for i := 0; i < b.NumRows(); i++ {
+			if !pred.IsNull(i) && pred.Int64(i) != 0 {
+				keep = append(keep, i)
+			}
+		}
+		if len(keep) == 0 {
+			continue
+		}
+		return b.Gather(keep), nil
+	}
+}
+
+// projectOp computes output expressions per batch.
+type projectOp struct {
+	child  operator
+	runner *exprRunner
+	schema *types.Schema
+}
+
+func (o *projectOp) Next() (*types.Batch, error) {
+	b, err := o.child.Next()
+	if err != nil {
+		return nil, err
+	}
+	cols, err := o.runner.run(b)
+	if err != nil {
+		return nil, err
+	}
+	return types.NewBatch(o.schema, cols)
+}
+
+// sortOp materializes and sorts its input.
+type sortOp struct {
+	child  operator
+	orders []plan.SortOrder
+	qc     *QueryContext
+	schema *types.Schema
+	sorted *types.Batch
+	done   bool
+}
+
+func (o *sortOp) Next() (*types.Batch, error) {
+	if o.done {
+		return nil, io.EOF
+	}
+	o.done = true
+	var rows [][]types.Value
+	var keys [][]types.Value
+	for {
+		b, err := o.child.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < b.NumRows(); i++ {
+			row := b.Row(i)
+			rowFn := func(c int) types.Value { return row[c] }
+			key := make([]types.Value, len(o.orders))
+			for ki, ord := range o.orders {
+				v, err := eval.Eval(ord.Expr, rowFn, o.qc.Eval)
+				if err != nil {
+					return nil, err
+				}
+				key[ki] = v
+			}
+			rows = append(rows, row)
+			keys = append(keys, key)
+		}
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for ki, ord := range o.orders {
+			cmp, ok := ka[ki].Compare(kb[ki])
+			if !ok {
+				continue
+			}
+			if cmp != 0 {
+				if ord.Desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	bb := types.NewBatchBuilder(o.schema, len(rows))
+	for _, i := range idx {
+		bb.AppendRow(rows[i])
+	}
+	return bb.Build(), nil
+}
+
+// limitOp truncates the stream.
+type limitOp struct {
+	child   operator
+	n       int64
+	offset  int64
+	skipped int64
+	emitted int64
+}
+
+func (o *limitOp) Next() (*types.Batch, error) {
+	for {
+		if o.emitted >= o.n {
+			return nil, io.EOF
+		}
+		b, err := o.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		start := 0
+		if o.skipped < o.offset {
+			need := o.offset - o.skipped
+			if int64(b.NumRows()) <= need {
+				o.skipped += int64(b.NumRows())
+				continue
+			}
+			start = int(need)
+			o.skipped = o.offset
+		}
+		remaining := o.n - o.emitted
+		end := b.NumRows()
+		if int64(end-start) > remaining {
+			end = start + int(remaining)
+		}
+		if start == 0 && end == b.NumRows() {
+			o.emitted += int64(b.NumRows())
+			return b, nil
+		}
+		o.emitted += int64(end - start)
+		return b.Slice(start, end), nil
+	}
+}
+
+// distinctOp removes duplicate rows via hashing with collision checks.
+type distinctOp struct {
+	child  operator
+	schema *types.Schema
+	seen   map[uint64][][]types.Value
+}
+
+func (o *distinctOp) Next() (*types.Batch, error) {
+	if o.seen == nil {
+		o.seen = map[uint64][][]types.Value{}
+	}
+	for {
+		b, err := o.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		bb := types.NewBatchBuilder(o.schema, b.NumRows())
+		for i := 0; i < b.NumRows(); i++ {
+			row := b.Row(i)
+			h := hashRow(row)
+			dup := false
+			for _, prev := range o.seen[h] {
+				if rowsEqual(prev, row) {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			o.seen[h] = append(o.seen[h], row)
+			bb.AppendRow(row)
+		}
+		if bb.Len() == 0 {
+			continue
+		}
+		return bb.Build(), nil
+	}
+}
+
+// unionOp concatenates child streams.
+type unionOp struct {
+	children []operator
+	pos      int
+}
+
+func (o *unionOp) Next() (*types.Batch, error) {
+	for o.pos < len(o.children) {
+		b, err := o.children[o.pos].Next()
+		if err == io.EOF {
+			o.pos++
+			continue
+		}
+		return b, err
+	}
+	return nil, io.EOF
+}
+
+func hashRow(row []types.Value) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, v := range row {
+		h = (h ^ v.Hash()) * 1099511628211
+	}
+	return h
+}
+
+func rowsEqual(a, b []types.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}

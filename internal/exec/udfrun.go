@@ -1,0 +1,282 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"lakeguard/internal/eval"
+	"lakeguard/internal/optimizer"
+	"lakeguard/internal/plan"
+	"lakeguard/internal/sandbox"
+	"lakeguard/internal/types"
+	"lakeguard/internal/udf"
+)
+
+// exprRunner evaluates a fixed list of expressions over batches. UDF calls
+// are lifted out by the fusion planner and executed through the sandbox
+// dispatcher (one crossing per trust-domain group per wave); the residual
+// expression tree is evaluated in-process.
+type exprRunner struct {
+	engine *Engine
+	qc     *QueryContext
+	// exprs are the original expressions; the UDF plan is built lazily on
+	// the first batch, which fixes the input width.
+	exprs []plan.Expr
+	plan  *optimizer.UDFPlan
+	// inProcessPrograms caches compiled UDFs for the unsafe baseline.
+	inProcessPrograms map[string]*udf.Program
+}
+
+func (e *Engine) newExprRunner(qc *QueryContext, exprs []plan.Expr) (*exprRunner, error) {
+	return &exprRunner{engine: e, qc: qc, exprs: exprs}, nil
+}
+
+// ensurePlan builds the UDF extraction plan against the real batch width.
+func (r *exprRunner) ensurePlan(inputWidth int) error {
+	if r.plan != nil {
+		return nil
+	}
+	p, err := optimizer.PlanUDFs(r.exprs, inputWidth, r.engine.FuseUDFs)
+	if err != nil {
+		return err
+	}
+	if p.HasUDFs() && r.engine.Dispatcher == nil && !r.engine.UnsafeInProcessUDFs {
+		return fmt.Errorf("exec: plan contains user code but the engine has no sandbox dispatcher")
+	}
+	r.plan = p
+	return nil
+}
+
+// run evaluates the expressions over one batch, returning one column per
+// expression.
+func (r *exprRunner) run(batch *types.Batch) ([]*types.Column, error) {
+	if err := r.ensurePlan(batch.NumCols()); err != nil {
+		return nil, err
+	}
+	cols := append([]*types.Column{}, batch.Cols...)
+	n := batch.NumRows()
+
+	for _, wave := range r.plan.Waves {
+		for _, group := range wave {
+			var err error
+			cols, err = r.runGroup(group, cols, n)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	rowFn := func(i int) eval.RowFn {
+		return func(c int) types.Value { return cols[c].Value(i) }
+	}
+	out := make([]*types.Column, len(r.plan.Exprs))
+	for ei, ex := range r.plan.Exprs {
+		b := types.NewBuilder(ex.Type(), n)
+		for i := 0; i < n; i++ {
+			v, err := eval.Eval(ex, rowFn(i), r.qc.Eval)
+			if err != nil {
+				return nil, err
+			}
+			if v.Null {
+				b.AppendNull()
+				continue
+			}
+			if v.Kind != ex.Type() && ex.Type() != types.KindNull {
+				cast, cerr := v.Cast(ex.Type())
+				if cerr != nil {
+					return nil, cerr
+				}
+				v = cast
+			}
+			b.Append(v)
+		}
+		out[ei] = b.Build()
+	}
+	return out, nil
+}
+
+// runGroup executes one fused sandbox crossing (or the unsafe in-process
+// baseline) and appends the result columns.
+func (r *exprRunner) runGroup(group optimizer.UDFGroup, cols []*types.Column, n int) ([]*types.Column, error) {
+	// Materialize argument columns by evaluating arg expressions over the
+	// current (extended) layout.
+	rowFn := func(i int) eval.RowFn {
+		return func(c int) types.Value { return cols[c].Value(i) }
+	}
+	argSchema := &types.Schema{}
+	var argCols []*types.Column
+	specs := make([]sandbox.UDFSpec, len(group.Calls))
+	for ci, call := range group.Calls {
+		spec := sandbox.UDFSpec{
+			Name:       call.Call.Name,
+			Body:       call.Call.Body,
+			ArgNames:   call.Call.ArgNames,
+			ResultKind: call.Call.ResultKind,
+		}
+		for ai, argExpr := range call.Call.Args {
+			kind := argExpr.Type()
+			if kind == types.KindNull {
+				kind = types.KindString
+			}
+			b := types.NewBuilder(kind, n)
+			for i := 0; i < n; i++ {
+				v, err := eval.Eval(argExpr, rowFn(i), r.qc.Eval)
+				if err != nil {
+					return nil, err
+				}
+				b.Append(v)
+			}
+			spec.ArgCols = append(spec.ArgCols, len(argCols))
+			argCols = append(argCols, b.Build())
+			argSchema.Fields = append(argSchema.Fields, types.Field{
+				Name:     fmt.Sprintf("a%d_%d", ci, ai),
+				Kind:     kind,
+				Nullable: true,
+			})
+		}
+		specs[ci] = spec
+	}
+	if len(argCols) == 0 {
+		// Zero-argument UDFs still evaluate once per input row: carry the
+		// row count with a constant column.
+		argSchema.Fields = append(argSchema.Fields, types.Field{Name: "__rowid", Kind: types.KindInt64})
+		argCols = append(argCols, types.ConstColumn(types.Int64(0), n))
+	}
+	argBatch := types.MustBatch(argSchema, argCols)
+
+	if r.engine.UnsafeInProcessUDFs {
+		results, err := r.runInProcess(specs, argBatch)
+		if err != nil {
+			return nil, err
+		}
+		return append(cols, results...), nil
+	}
+
+	result, err := r.executeSandboxed(specs, argBatch, group.TrustDomain, group.Resources)
+	if err != nil {
+		return nil, err
+	}
+	return append(cols, result...), nil
+}
+
+// executeSandboxed runs one fused request through the dispatcher. With
+// Engine.Parallelism > 1 and a large enough batch, the rows are split into
+// partitions executed concurrently on separate sandboxes of the same trust
+// domain — the executor-worker parallelism of a multi-node Spark cluster.
+func (r *exprRunner) executeSandboxed(specs []sandbox.UDFSpec, argBatch *types.Batch, trustDomain, resources string) ([]*types.Column, error) {
+	workers := r.engine.Parallelism
+	n := argBatch.NumRows()
+	const minRowsPerWorker = 256
+	if workers <= 1 || n < 2*minRowsPerWorker {
+		return r.executeOnePartition(specs, argBatch, trustDomain, resources)
+	}
+	if max := n / minRowsPerWorker; workers > max {
+		workers = max
+	}
+
+	type part struct {
+		cols []*types.Column
+		err  error
+	}
+	parts := make([]part, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			cols, err := r.executeOnePartition(specs, argBatch.Slice(lo, hi), trustDomain, resources)
+			parts[w] = part{cols: cols, err: err}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	// Stitch partition results back together in order.
+	builders := make([]*types.Builder, len(specs))
+	for i, spec := range specs {
+		builders[i] = types.NewBuilder(spec.ResultKind, n)
+	}
+	for w := range parts {
+		if parts[w].err != nil {
+			return nil, parts[w].err
+		}
+		if parts[w].cols == nil {
+			continue
+		}
+		for ci, col := range parts[w].cols {
+			for i := 0; i < col.Len(); i++ {
+				builders[ci].Append(col.Value(i))
+			}
+		}
+	}
+	out := make([]*types.Column, len(builders))
+	for i, b := range builders {
+		out[i] = b.Build()
+	}
+	return out, nil
+}
+
+func (r *exprRunner) executeOnePartition(specs []sandbox.UDFSpec, args *types.Batch, trustDomain, resources string) ([]*types.Column, error) {
+	sb, err := r.engine.Dispatcher.AcquireResources(r.qc.SessionID, trustDomain, resources)
+	if err != nil {
+		return nil, err
+	}
+	defer r.engine.Dispatcher.Release(r.qc.SessionID, sb)
+	result, err := sb.Execute(&sandbox.Request{Specs: specs, Args: args})
+	if err != nil {
+		return nil, err
+	}
+	return result.Cols, nil
+}
+
+// runInProcess is the pre-Lakeguard baseline: user code interpreted directly
+// in the engine process with ambient capabilities and no serialization
+// boundary. Benchmark use only.
+func (r *exprRunner) runInProcess(specs []sandbox.UDFSpec, args *types.Batch) ([]*types.Column, error) {
+	if r.inProcessPrograms == nil {
+		r.inProcessPrograms = map[string]*udf.Program{}
+	}
+	n := args.NumRows()
+	out := make([]*types.Column, len(specs))
+	env := make(map[string]types.Value, 4)
+	for si, spec := range specs {
+		prog, ok := r.inProcessPrograms[spec.Body]
+		if !ok {
+			var err error
+			prog, err = udf.Compile(spec.Body)
+			if err != nil {
+				return nil, err
+			}
+			r.inProcessPrograms[spec.Body] = prog
+		}
+		b := types.NewBuilder(spec.ResultKind, n)
+		for i := 0; i < n; i++ {
+			clear(env)
+			for ai, col := range spec.ArgCols {
+				env[spec.ArgNames[ai]] = args.Cols[col].Value(i)
+			}
+			v, err := prog.Call(env, nil)
+			if err != nil {
+				return nil, fmt.Errorf("exec: in-process udf %s: %w", spec.Name, err)
+			}
+			if v.Null {
+				b.AppendNull()
+				continue
+			}
+			cast, err := v.Cast(spec.ResultKind)
+			if err != nil {
+				return nil, err
+			}
+			b.Append(cast)
+		}
+		out[si] = b.Build()
+	}
+	return out, nil
+}

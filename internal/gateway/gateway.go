@@ -1,0 +1,190 @@
+// Package gateway implements the Serverless Spark control plane (paper §6.2,
+// Fig. 10): a workspace-wide Connect endpoint behind which a regional
+// gateway tracks utilization, routes each session to a Standard-architecture
+// cluster, provisions new clusters under load, and migrates sessions between
+// backends without user-visible downtime.
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"lakeguard/internal/connect"
+	"lakeguard/internal/core"
+	"lakeguard/internal/plan"
+	"lakeguard/internal/proto"
+	"lakeguard/internal/types"
+)
+
+// Provisioner creates a new serverless cluster on demand.
+type Provisioner func(name string) *core.Server
+
+// Config parametrizes the gateway.
+type Config struct {
+	// Provision creates backend clusters (required).
+	Provision Provisioner
+	// MaxSessionsPerCluster triggers scale-out when every cluster is at the
+	// limit (default 8).
+	MaxSessionsPerCluster int
+	// MaxClusters bounds the fleet (0 = unlimited).
+	MaxClusters int
+}
+
+// Gateway routes Connect sessions across a fleet of clusters. It implements
+// connect.Backend, so a single Connect endpoint serves the whole workspace.
+type Gateway struct {
+	cfg Config
+
+	mu         sync.Mutex
+	clusters   []*core.Server
+	assignment map[string]*core.Server // sessionID -> cluster
+	provisions int
+}
+
+// ErrFleetFull is returned when MaxClusters is reached and all are at
+// capacity.
+var ErrFleetFull = errors.New("gateway: no cluster capacity and fleet limit reached")
+
+// New creates a gateway with one initial cluster.
+func New(cfg Config) *Gateway {
+	if cfg.MaxSessionsPerCluster <= 0 {
+		cfg.MaxSessionsPerCluster = 8
+	}
+	g := &Gateway{cfg: cfg, assignment: map[string]*core.Server{}}
+	g.clusters = append(g.clusters, cfg.Provision("serverless-0"))
+	g.provisions = 1
+	return g
+}
+
+// route returns the cluster owning a session, assigning or provisioning as
+// needed. Routing is load-based: the least-loaded cluster wins; when all are
+// at the session cap, a new cluster is provisioned.
+func (g *Gateway) route(sessionID string) (*core.Server, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if srv, ok := g.assignment[sessionID]; ok {
+		return srv, nil
+	}
+	var best *core.Server
+	bestLoad := -1
+	for _, c := range g.clusters {
+		load := g.assignedTo(c)
+		if load >= g.cfg.MaxSessionsPerCluster {
+			continue
+		}
+		if best == nil || load < bestLoad {
+			best, bestLoad = c, load
+		}
+	}
+	if best == nil {
+		if g.cfg.MaxClusters > 0 && len(g.clusters) >= g.cfg.MaxClusters {
+			return nil, ErrFleetFull
+		}
+		best = g.cfg.Provision(fmt.Sprintf("serverless-%d", len(g.clusters)))
+		g.clusters = append(g.clusters, best)
+		g.provisions++
+	}
+	g.assignment[sessionID] = best
+	return best, nil
+}
+
+// assignedTo counts sessions routed to a cluster. Caller holds g.mu.
+func (g *Gateway) assignedTo(c *core.Server) int {
+	n := 0
+	for _, srv := range g.assignment {
+		if srv == c {
+			n++
+		}
+	}
+	return n
+}
+
+// Execute implements connect.Backend.
+func (g *Gateway) Execute(sessionID, user string, pl *proto.Plan) (*types.Schema, []*types.Batch, error) {
+	srv, err := g.route(sessionID)
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv.Execute(sessionID, user, pl)
+}
+
+// Analyze implements connect.Backend.
+func (g *Gateway) Analyze(sessionID, user string, rel plan.Node) (*types.Schema, string, error) {
+	srv, err := g.route(sessionID)
+	if err != nil {
+		return nil, "", err
+	}
+	return srv.Analyze(sessionID, user, rel)
+}
+
+// CloseSession implements connect.Backend.
+func (g *Gateway) CloseSession(sessionID string) {
+	g.mu.Lock()
+	srv := g.assignment[sessionID]
+	delete(g.assignment, sessionID)
+	g.mu.Unlock()
+	if srv != nil {
+		srv.CloseSession(sessionID)
+	}
+}
+
+// Drain migrates every session off the given cluster (by index) onto the
+// rest of the fleet and removes it — the session-migration mechanism behind
+// seamless backend replacement (§6.2).
+func (g *Gateway) Drain(clusterIdx int) (migrated int, err error) {
+	g.mu.Lock()
+	if clusterIdx < 0 || clusterIdx >= len(g.clusters) {
+		g.mu.Unlock()
+		return 0, fmt.Errorf("gateway: no cluster %d", clusterIdx)
+	}
+	victim := g.clusters[clusterIdx]
+	g.clusters = append(g.clusters[:clusterIdx], g.clusters[clusterIdx+1:]...)
+	var moving []string
+	for sid, srv := range g.assignment {
+		if srv == victim {
+			moving = append(moving, sid)
+			delete(g.assignment, sid)
+		}
+	}
+	g.mu.Unlock()
+
+	for _, sid := range moving {
+		snap, ok := victim.ExportSession(sid)
+		if !ok {
+			continue
+		}
+		target, err := g.route(sid)
+		if err != nil {
+			return migrated, err
+		}
+		if err := target.ImportSession(sid, snap); err != nil {
+			return migrated, err
+		}
+		victim.CloseSession(sid)
+		migrated++
+	}
+	return migrated, nil
+}
+
+// Stats reports fleet state.
+type Stats struct {
+	Clusters   int
+	Sessions   int
+	Provisions int
+	// PerCluster maps cluster name to assigned session count.
+	PerCluster map[string]int
+}
+
+// FleetStats returns a snapshot.
+func (g *Gateway) FleetStats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := Stats{Clusters: len(g.clusters), Sessions: len(g.assignment), Provisions: g.provisions, PerCluster: map[string]int{}}
+	for _, c := range g.clusters {
+		st.PerCluster[c.ClusterManager().Name()] = g.assignedTo(c)
+	}
+	return st
+}
+
+var _ connect.Backend = (*Gateway)(nil)

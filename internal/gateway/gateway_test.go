@@ -1,0 +1,206 @@
+package gateway
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"lakeguard/internal/catalog"
+	"lakeguard/internal/connect"
+	"lakeguard/internal/core"
+	"lakeguard/internal/storage"
+)
+
+const admin = "admin@corp.com"
+
+func newFleet(t *testing.T, maxSessions, maxClusters int) (*Gateway, *catalog.Catalog, *httptest.Server) {
+	t.Helper()
+	cat := catalog.New(storage.NewStore(), nil)
+	cat.AddAdmin(admin)
+	g := New(Config{
+		Provision: func(name string) *core.Server {
+			return core.NewServer(core.Config{
+				Name: name, Catalog: cat, Compute: catalog.ComputeServerless,
+			})
+		},
+		MaxSessionsPerCluster: maxSessions,
+		MaxClusters:           maxClusters,
+	})
+	svc := connect.NewService(g, connect.TokenMap{"tok": admin})
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return g, cat, ts
+}
+
+func TestSingleEndpointServesQueries(t *testing.T) {
+	_, _, ts := newFleet(t, 4, 0)
+	c := connect.Dial(ts.URL, "tok")
+	if _, err := c.ExecSQL("CREATE TABLE t (x BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExecSQL("INSERT INTO t VALUES (1), (2), (3)"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Table("t").Count()
+	if err != nil || n != 3 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+}
+
+func TestScaleOutUnderLoad(t *testing.T) {
+	g, _, ts := newFleet(t, 2, 0)
+	// 5 concurrent sessions with a cap of 2 per cluster -> 3 clusters.
+	for i := 0; i < 5; i++ {
+		c := connect.Dial(ts.URL, "tok")
+		if _, err := c.Sql("SELECT 1 AS one").Collect(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := g.FleetStats()
+	if st.Clusters != 3 || st.Sessions != 5 {
+		t.Fatalf("fleet = %+v", st)
+	}
+	// Load is balanced: no cluster exceeds the cap.
+	for name, n := range st.PerCluster {
+		if n > 2 {
+			t.Errorf("cluster %s overloaded: %d", name, n)
+		}
+	}
+}
+
+func TestFleetLimit(t *testing.T) {
+	_, _, ts := newFleet(t, 1, 2)
+	for i := 0; i < 2; i++ {
+		c := connect.Dial(ts.URL, "tok")
+		if _, err := c.Sql("SELECT 1").Collect(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := connect.Dial(ts.URL, "tok")
+	if _, err := c.Sql("SELECT 1").Collect(); err == nil {
+		t.Fatal("expected fleet-full error")
+	}
+}
+
+func TestSessionStickiness(t *testing.T) {
+	g, _, ts := newFleet(t, 4, 0)
+	c := connect.Dial(ts.URL, "tok")
+	if _, err := c.ExecSQL("CREATE TABLE s (x BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	// Temp view lives on one backend; repeated queries must route there.
+	if err := c.Table("s").CreateTempView("tv"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Table("tv").Collect(); err != nil {
+			t.Fatalf("query %d lost session state: %v", i, err)
+		}
+	}
+	if g.FleetStats().Sessions != 1 {
+		t.Errorf("sessions = %d", g.FleetStats().Sessions)
+	}
+}
+
+func TestDrainMigratesSessions(t *testing.T) {
+	g, _, ts := newFleet(t, 2, 0)
+	clients := make([]*connect.Client, 3)
+	for i := range clients {
+		clients[i] = connect.Dial(ts.URL, "tok")
+		if _, err := clients[i].ExecSQL(fmt.Sprintf("CREATE TABLE IF NOT EXISTS d%d (x BIGINT)", i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := clients[i].Sql("SELECT 1 AS one").CreateTempView("mine"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := g.FleetStats()
+	if before.Clusters < 2 {
+		t.Fatalf("expected scale-out, got %+v", before)
+	}
+	migrated, err := g.Drain(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if migrated == 0 {
+		t.Fatal("nothing migrated")
+	}
+	// Every session still sees its temp view (no user-visible downtime).
+	for i, c := range clients {
+		if _, err := c.Table("mine").Collect(); err != nil {
+			t.Errorf("client %d lost state after drain: %v", i, err)
+		}
+	}
+}
+
+func TestCloseSessionFreesCapacity(t *testing.T) {
+	_, _, ts := newFleet(t, 1, 1)
+	c := connect.Dial(ts.URL, "tok")
+	if _, err := c.Sql("SELECT 1").Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Capacity freed: a new session fits in the single-cluster fleet.
+	c2 := connect.Dial(ts.URL, "tok")
+	if _, err := c2.Sql("SELECT 1").Collect(); err != nil {
+		t.Fatalf("capacity not freed: %v", err)
+	}
+}
+
+// TestEFGACThroughServerlessGateway composes Fig. 10 with §3.4: a dedicated
+// cluster's eFGAC subqueries are submitted to the workspace endpoint, where
+// the gateway routes (and provisions) serverless clusters to serve them.
+func TestEFGACThroughServerlessGateway(t *testing.T) {
+	cat := catalog.New(storage.NewStore(), nil)
+	cat.AddAdmin(admin)
+	const alice = "alice@corp.com"
+	toks := connect.TokenMap{"tok": admin, "tok-alice": alice}
+	gw := New(Config{
+		Provision: func(name string) *core.Server {
+			return core.NewServer(core.Config{Name: name, Catalog: cat, Compute: catalog.ComputeServerless})
+		},
+		MaxSessionsPerCluster: 1,
+	})
+	gwHTTP := httptest.NewServer(connect.NewService(gw, toks).Handler())
+	defer gwHTTP.Close()
+
+	efgac := &core.EFGACClient{
+		Dial: func(user, sessionID string) *connect.Client {
+			return connect.Dial(gwHTTP.URL, "tok-alice")
+		},
+		Cat: cat, Store: cat.Store(),
+	}
+	dedicated := core.NewServer(core.Config{
+		Name: "ded", Catalog: cat, Compute: catalog.ComputeDedicated, Remote: efgac,
+	})
+	dedHTTP := httptest.NewServer(connect.NewService(dedicated, toks).Handler())
+	defer dedHTTP.Close()
+	std := core.NewServer(core.Config{Name: "std", Catalog: cat})
+	stdHTTP := httptest.NewServer(connect.NewService(std, toks).Handler())
+	defer stdHTTP.Close()
+
+	adminC := connect.Dial(stdHTTP.URL, "tok")
+	for _, stmt := range []string{
+		"CREATE TABLE sales (seller STRING, region STRING)",
+		"INSERT INTO sales VALUES ('ann', 'US'), ('ben', 'EU'), ('cat', 'US')",
+		"ALTER TABLE sales SET ROW FILTER 'region = ''US'''",
+		"GRANT SELECT ON sales TO 'alice@corp.com'",
+	} {
+		if _, err := adminC.ExecSQL(stmt); err != nil {
+			t.Fatalf("%s: %v", stmt, err)
+		}
+	}
+	aliceC := connect.Dial(dedHTTP.URL, "tok-alice")
+	b, err := aliceC.Sql("SELECT seller FROM sales ORDER BY seller").Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumRows() != 2 || b.Cols[0].StringAt(0) != "ann" {
+		t.Fatalf("eFGAC via gateway:\n%s", b.String())
+	}
+	if gw.FleetStats().Provisions < 1 {
+		t.Error("gateway never provisioned for the eFGAC subquery")
+	}
+}

@@ -1,0 +1,381 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"lakeguard/internal/plan"
+	"lakeguard/internal/types"
+)
+
+func ref(i int, name string, k types.Kind) *plan.BoundRef {
+	return &plan.BoundRef{Index: i, Name: name, Kind: k}
+}
+
+func salesScan() *plan.Scan {
+	return &plan.Scan{
+		Table: "main.default.sales",
+		TableSchema: types.NewSchema(
+			types.Field{Name: "amount", Kind: types.KindFloat64},
+			types.Field{Name: "date", Kind: types.KindString},
+			types.Field{Name: "seller", Kind: types.KindString},
+			types.Field{Name: "region", Kind: types.KindString},
+		),
+		Version: -1,
+	}
+}
+
+func eqStr(e plan.Expr, val string) *plan.Binary {
+	return &plan.Binary{Op: plan.OpEq, L: e, R: plan.Lit(types.String(val)), ResultKind: types.KindBool}
+}
+
+func TestConstantFolding(t *testing.T) {
+	// 1 + 2 * 3 folds to 7.
+	e := &plan.Binary{Op: plan.OpAdd,
+		L:          plan.Lit(types.Int64(1)),
+		R:          &plan.Binary{Op: plan.OpMul, L: plan.Lit(types.Int64(2)), R: plan.Lit(types.Int64(3)), ResultKind: types.KindInt64},
+		ResultKind: types.KindInt64,
+	}
+	p := &plan.Project{Exprs: []plan.Expr{e}, Child: salesScan(), OutSchema: types.NewSchema(types.Field{Name: "x", Kind: types.KindInt64})}
+	out := Optimize(p, Options{FoldConstants: true})
+	folded := out.(*plan.Project).Exprs[0]
+	lit, ok := folded.(*plan.Literal)
+	if !ok || lit.Value.I != 7 {
+		t.Fatalf("folded = %s", folded.String())
+	}
+	// CURRENT_USER() must NOT fold.
+	p2 := &plan.Project{Exprs: []plan.Expr{&plan.CurrentUser{}}, Child: salesScan(), OutSchema: types.NewSchema(types.Field{Name: "u", Kind: types.KindString})}
+	out2 := Optimize(p2, Options{FoldConstants: true})
+	if _, ok := out2.(*plan.Project).Exprs[0].(*plan.CurrentUser); !ok {
+		t.Error("CURRENT_USER was folded")
+	}
+}
+
+func TestFilterPushdownIntoScan(t *testing.T) {
+	f := &plan.Filter{
+		Cond:  eqStr(ref(3, "region", types.KindString), "US"),
+		Child: salesScan(),
+	}
+	out := Optimize(f, Options{PushFilters: true})
+	sc, ok := out.(*plan.Scan)
+	if !ok {
+		t.Fatalf("root = %T:\n%s", out, plan.Explain(out))
+	}
+	if len(sc.PushedFilters) != 1 {
+		t.Fatalf("pushed = %v", sc.PushedFilters)
+	}
+}
+
+func TestFilterPushdownThroughProject(t *testing.T) {
+	proj := &plan.Project{
+		Exprs: []plan.Expr{
+			ref(3, "region", types.KindString),
+			&plan.Binary{Op: plan.OpMul, L: ref(0, "amount", types.KindFloat64), R: plan.Lit(types.Float64(2)), ResultKind: types.KindFloat64},
+		},
+		Child: salesScan(),
+		OutSchema: types.NewSchema(
+			types.Field{Name: "region", Kind: types.KindString},
+			types.Field{Name: "double", Kind: types.KindFloat64},
+		),
+	}
+	// Filter on the pass-through column pushes; filter on the computed one stays.
+	f := &plan.Filter{
+		Cond: &plan.Binary{Op: plan.OpAnd,
+			L:          eqStr(ref(0, "region", types.KindString), "US"),
+			R:          &plan.Binary{Op: plan.OpGt, L: ref(1, "double", types.KindFloat64), R: plan.Lit(types.Float64(10)), ResultKind: types.KindBool},
+			ResultKind: types.KindBool},
+		Child: proj,
+	}
+	out := Optimize(f, Options{PushFilters: true})
+	// region filter should reach the scan.
+	pushedToScan := false
+	plan.Walk(out, func(n plan.Node) bool {
+		if sc, ok := n.(*plan.Scan); ok && len(sc.PushedFilters) == 1 {
+			pushedToScan = strings.Contains(sc.PushedFilters[0].String(), "region")
+		}
+		return true
+	})
+	if !pushedToScan {
+		t.Errorf("region filter not pushed:\n%s", plan.Explain(out))
+	}
+	// computed filter stays above the project.
+	if _, ok := out.(*plan.Filter); !ok {
+		t.Errorf("computed filter vanished:\n%s", plan.Explain(out))
+	}
+}
+
+func TestFilterPushdownThroughJoin(t *testing.T) {
+	left, right := salesScan(), salesScan()
+	j := &plan.Join{Type: plan.JoinInner,
+		Cond: &plan.Binary{Op: plan.OpEq, L: ref(2, "seller", types.KindString), R: ref(6, "seller", types.KindString), ResultKind: types.KindBool},
+		L:    left, R: right}
+	f := &plan.Filter{
+		Cond: &plan.Binary{Op: plan.OpAnd,
+			L:          eqStr(ref(3, "region", types.KindString), "US"), // left side
+			R:          eqStr(ref(7, "region", types.KindString), "EU"), // right side
+			ResultKind: types.KindBool},
+		Child: j,
+	}
+	out := Optimize(f, Options{PushFilters: true})
+	join, ok := out.(*plan.Join)
+	if !ok {
+		t.Fatalf("root = %T", out)
+	}
+	lscan, lok := join.L.(*plan.Scan)
+	rscan, rok := join.R.(*plan.Scan)
+	if !lok || !rok {
+		t.Fatalf("children not scans:\n%s", plan.Explain(out))
+	}
+	if len(lscan.PushedFilters) != 1 || !strings.Contains(lscan.PushedFilters[0].String(), "US") {
+		t.Errorf("left pushed = %v", lscan.PushedFilters)
+	}
+	// Right-side ref 7 remaps to local ordinal 3.
+	if len(rscan.PushedFilters) != 1 || !strings.Contains(rscan.PushedFilters[0].String(), "region#3") {
+		t.Errorf("right pushed = %v", rscan.PushedFilters)
+	}
+}
+
+func TestSecureViewBlocksPushdown(t *testing.T) {
+	sv := &plan.SecureView{Name: "main.default.sales", PolicyKinds: []string{"column_mask"}, Child: salesScan()}
+	f := &plan.Filter{Cond: eqStr(ref(2, "seller", types.KindString), "ann"), Child: sv}
+	out := Optimize(f, DefaultOptions())
+	// The filter must remain above the SecureView; the scan stays clean.
+	root, ok := out.(*plan.Filter)
+	if !ok {
+		t.Fatalf("filter moved through SecureView:\n%s", plan.Explain(out))
+	}
+	if _, ok := root.Child.(*plan.SecureView); !ok {
+		t.Fatalf("SecureView displaced:\n%s", plan.Explain(out))
+	}
+	plan.Walk(out, func(n plan.Node) bool {
+		if sc, ok := n.(*plan.Scan); ok && len(sc.PushedFilters) > 0 {
+			t.Errorf("filter leaked through barrier: %v", sc.PushedFilters)
+		}
+		return true
+	})
+}
+
+func remoteScan() *plan.RemoteScan {
+	return &plan.RemoteScan{
+		Relation: "main.default.sales",
+		OutSchema: types.NewSchema(
+			types.Field{Name: "amount", Kind: types.KindFloat64},
+			types.Field{Name: "date", Kind: types.KindString},
+			types.Field{Name: "seller", Kind: types.KindString},
+			types.Field{Name: "region", Kind: types.KindString},
+		),
+		PushedLimit: -1,
+	}
+}
+
+func TestRemoteFilterPushdown(t *testing.T) {
+	f := &plan.Filter{Cond: eqStr(ref(1, "date", types.KindString), "2024-12-01"), Child: remoteScan()}
+	out := Optimize(f, Options{PushIntoRemote: true})
+	rs, ok := out.(*plan.RemoteScan)
+	if !ok {
+		t.Fatalf("root = %T", out)
+	}
+	if len(rs.PushedFilters) != 1 {
+		t.Fatalf("pushed = %v", rs.PushedFilters)
+	}
+	// Pushed filters are name-based for remote re-resolution.
+	if rs.PushedFilters[0].String() != "(date = '2024-12-01')" {
+		t.Errorf("pushed filter = %s", rs.PushedFilters[0].String())
+	}
+}
+
+func TestRemoteProjectionPushdown(t *testing.T) {
+	p := &plan.Project{
+		Exprs:     []plan.Expr{ref(0, "amount", types.KindFloat64), ref(2, "seller", types.KindString)},
+		Child:     remoteScan(),
+		OutSchema: types.NewSchema(types.Field{Name: "amount", Kind: types.KindFloat64}, types.Field{Name: "seller", Kind: types.KindString}),
+	}
+	out := Optimize(p, Options{PruneColumns: true})
+	proj := out.(*plan.Project)
+	rs := proj.Child.(*plan.RemoteScan)
+	if len(rs.PushedProjection) != 2 || rs.PushedProjection[0] != "amount" || rs.PushedProjection[1] != "seller" {
+		t.Fatalf("projection = %v", rs.PushedProjection)
+	}
+	// Refs remapped to the narrowed schema.
+	if proj.Exprs[1].(*plan.BoundRef).Index != 1 {
+		t.Errorf("ref not remapped: %s", proj.Exprs[1].String())
+	}
+}
+
+func TestScanColumnPruning(t *testing.T) {
+	p := &plan.Project{
+		Exprs:     []plan.Expr{ref(2, "seller", types.KindString)},
+		Child:     &plan.Filter{Cond: eqStr(ref(3, "region", types.KindString), "US"), Child: salesScan()},
+		OutSchema: types.NewSchema(types.Field{Name: "seller", Kind: types.KindString}),
+	}
+	out := Optimize(p, Options{PruneColumns: true})
+	var sc *plan.Scan
+	plan.Walk(out, func(n plan.Node) bool {
+		if s, ok := n.(*plan.Scan); ok {
+			sc = s
+		}
+		return true
+	})
+	if sc == nil || len(sc.ProjectedCols) != 2 {
+		t.Fatalf("scan cols = %v\n%s", sc.ProjectedCols, plan.Explain(out))
+	}
+	// seller(2) and region(3) kept; new ordinals 0,1.
+	if sc.ProjectedCols[0] != 2 || sc.ProjectedCols[1] != 3 {
+		t.Errorf("projected = %v", sc.ProjectedCols)
+	}
+	if out.(*plan.Project).Exprs[0].(*plan.BoundRef).Index != 0 {
+		t.Error("project ref not remapped")
+	}
+}
+
+func TestRemotePartialAggregatePushdown(t *testing.T) {
+	agg := &plan.Aggregate{
+		GroupBy: []plan.Expr{ref(3, "region", types.KindString)},
+		Aggs: []plan.Expr{
+			&plan.AggFunc{Name: "sum", Arg: ref(0, "amount", types.KindFloat64), ResultKind: types.KindFloat64},
+			&plan.AggFunc{Name: "count", ResultKind: types.KindInt64},
+		},
+		Child: remoteScan(),
+		OutSchema: types.NewSchema(
+			types.Field{Name: "region", Kind: types.KindString},
+			types.Field{Name: "SUM(amount#0)", Kind: types.KindFloat64},
+			types.Field{Name: "COUNT(*)", Kind: types.KindInt64},
+		),
+	}
+	out := Optimize(agg, Options{PushIntoRemote: true})
+	top, ok := out.(*plan.Aggregate)
+	if !ok {
+		t.Fatalf("root = %T", out)
+	}
+	rs, ok := top.Child.(*plan.RemoteScan)
+	if !ok || rs.PushedAggregate == nil {
+		t.Fatalf("no pushed aggregate:\n%s", plan.Explain(out))
+	}
+	if rs.PushedAggregate.GroupBy[0] != "region" {
+		t.Errorf("group = %v", rs.PushedAggregate.GroupBy)
+	}
+	if !strings.Contains(rs.PushedAggregate.Aggs[0], "SUM(amount)") {
+		t.Errorf("aggs = %v", rs.PushedAggregate.Aggs)
+	}
+	// Local COUNT partial recombines via SUM.
+	if top.Aggs[1].(*plan.AggFunc).Name != "sum" {
+		t.Errorf("count should recombine as sum, got %s", top.Aggs[1].String())
+	}
+	// AVG stays local.
+	avgAgg := &plan.Aggregate{
+		GroupBy:   []plan.Expr{ref(3, "region", types.KindString)},
+		Aggs:      []plan.Expr{&plan.AggFunc{Name: "avg", Arg: ref(0, "amount", types.KindFloat64), ResultKind: types.KindFloat64}},
+		Child:     remoteScan(),
+		OutSchema: types.NewSchema(types.Field{Name: "region", Kind: types.KindString}, types.Field{Name: "avg", Kind: types.KindFloat64}),
+	}
+	out2 := Optimize(avgAgg, Options{PushIntoRemote: true})
+	if rs2, ok := out2.(*plan.Aggregate).Child.(*plan.RemoteScan); !ok || rs2.PushedAggregate != nil {
+		t.Error("AVG must not push down")
+	}
+}
+
+func TestRemoteLimitPushdown(t *testing.T) {
+	l := &plan.Limit{N: 10, Child: remoteScan()}
+	out := Optimize(l, Options{PushIntoRemote: true})
+	lim := out.(*plan.Limit)
+	rs := lim.Child.(*plan.RemoteScan)
+	if rs.PushedLimit != 10 {
+		t.Errorf("pushed limit = %d", rs.PushedLimit)
+	}
+}
+
+func TestPlanUDFsFusion(t *testing.T) {
+	mkCall := func(name, owner string) *plan.UDFCall {
+		return &plan.UDFCall{
+			Name: name, Owner: owner, Body: "return x",
+			ArgNames: []string{"x"}, Args: []plan.Expr{ref(0, "a", types.KindInt64)},
+			ResultKind: types.KindInt64,
+		}
+	}
+	exprs := []plan.Expr{mkCall("f1", "alice"), mkCall("f2", "alice"), mkCall("g1", "bob")}
+	p, err := PlanUDFs(exprs, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalCalls != 3 || len(p.Waves) != 1 {
+		t.Fatalf("plan = %+v", p)
+	}
+	if len(p.Waves[0]) != 2 {
+		t.Fatalf("fusion groups = %d, want 2 (trust-domain barrier)", len(p.Waves[0]))
+	}
+	for _, g := range p.Waves[0] {
+		for _, c := range g.Calls {
+			if c.Call.Owner != g.TrustDomain {
+				t.Error("call in wrong trust domain group")
+			}
+		}
+	}
+	// All exprs replaced by refs to appended columns 4..6.
+	for i, e := range p.Exprs {
+		b, ok := e.(*plan.BoundRef)
+		if !ok || b.Index != 4+i {
+			t.Errorf("expr %d = %s", i, e.String())
+		}
+	}
+	// Without fusion: 3 singleton groups.
+	p2, _ := PlanUDFs(exprs, 4, false)
+	if len(p2.Waves[0]) != 3 {
+		t.Errorf("no-fusion groups = %d", len(p2.Waves[0]))
+	}
+}
+
+func TestPlanUDFsNestedWaves(t *testing.T) {
+	inner := &plan.UDFCall{
+		Name: "inner", Owner: "alice", Body: "return x + 1",
+		ArgNames: []string{"x"}, Args: []plan.Expr{ref(0, "a", types.KindInt64)},
+		ResultKind: types.KindInt64,
+	}
+	outer := &plan.UDFCall{
+		Name: "outer", Owner: "alice", Body: "return x * 2",
+		ArgNames: []string{"x"}, Args: []plan.Expr{inner},
+		ResultKind: types.KindInt64,
+	}
+	p, err := PlanUDFs([]plan.Expr{outer}, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Waves) != 2 || p.TotalCalls != 2 {
+		t.Fatalf("waves = %d calls = %d", len(p.Waves), p.TotalCalls)
+	}
+	// Wave 2's call consumes wave 1's output column.
+	w2call := p.Waves[1][0].Calls[0]
+	argRef, ok := w2call.Call.Args[0].(*plan.BoundRef)
+	if !ok || argRef.Index != 1 {
+		t.Errorf("outer arg = %s", w2call.Call.Args[0].String())
+	}
+	if p.Width != 3 {
+		t.Errorf("width = %d", p.Width)
+	}
+}
+
+func TestPlanUDFsNoUDFs(t *testing.T) {
+	p, err := PlanUDFs([]plan.Expr{ref(0, "a", types.KindInt64)}, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.HasUDFs() || len(p.Waves) != 0 {
+		t.Error("phantom UDFs")
+	}
+}
+
+func TestStripAliases(t *testing.T) {
+	p := &plan.SubqueryAlias{Name: "t", Child: salesScan()}
+	out := Optimize(p, Options{})
+	if _, ok := out.(*plan.Scan); !ok {
+		t.Errorf("alias not stripped: %T", out)
+	}
+}
+
+func TestOptimizeDoesNotMutateInput(t *testing.T) {
+	f := &plan.Filter{Cond: eqStr(ref(3, "region", types.KindString), "US"), Child: salesScan()}
+	before := plan.Explain(f)
+	_ = Optimize(f, DefaultOptions())
+	if plan.Explain(f) != before {
+		t.Error("input plan mutated")
+	}
+}

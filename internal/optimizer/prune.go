@@ -1,0 +1,144 @@
+package optimizer
+
+import (
+	"sort"
+
+	"lakeguard/internal/plan"
+)
+
+// pruneColumns narrows Scan and RemoteScan leaves to the columns actually
+// referenced above them, descending through intervening filters. For remote
+// scans this becomes the pushed projection of the eFGAC subquery.
+func pruneColumns(n plan.Node) plan.Node {
+	return plan.Transform(n, func(x plan.Node) plan.Node {
+		switch t := x.(type) {
+		case *plan.Project:
+			used := map[int]bool{}
+			collectRefs(t.Exprs, used)
+			child, remap := tryPrune(t.Child, used)
+			if remap == nil {
+				return x
+			}
+			return &plan.Project{Exprs: remapExprs(t.Exprs, remap), Child: child, OutSchema: t.OutSchema}
+		case *plan.Aggregate:
+			used := map[int]bool{}
+			collectRefs(t.GroupBy, used)
+			collectRefs(t.Aggs, used)
+			child, remap := tryPrune(t.Child, used)
+			if remap == nil {
+				return x
+			}
+			return &plan.Aggregate{
+				GroupBy:   remapExprs(t.GroupBy, remap),
+				Aggs:      remapExprs(t.Aggs, remap),
+				Child:     child,
+				OutSchema: t.OutSchema,
+			}
+		}
+		return x
+	})
+}
+
+func collectRefs(exprs []plan.Expr, used map[int]bool) {
+	for _, e := range exprs {
+		plan.WalkExpr(e, func(x plan.Expr) bool {
+			if b, ok := x.(*plan.BoundRef); ok {
+				used[b.Index] = true
+			}
+			return true
+		})
+	}
+}
+
+func remapExprs(exprs []plan.Expr, remap map[int]int) []plan.Expr {
+	out := make([]plan.Expr, len(exprs))
+	for i, e := range exprs {
+		out[i] = plan.TransformExpr(e, func(x plan.Expr) plan.Expr {
+			if b, ok := x.(*plan.BoundRef); ok {
+				if ni, ok := remap[b.Index]; ok {
+					return &plan.BoundRef{Index: ni, Name: b.Name, Kind: b.Kind}
+				}
+			}
+			return x
+		})
+	}
+	return out
+}
+
+// tryPrune descends through Filter nodes to a Scan or RemoteScan leaf and
+// narrows it to the used columns, returning the rewritten subtree and the
+// old→new ordinal mapping. A nil map means "no change".
+func tryPrune(n plan.Node, used map[int]bool) (plan.Node, map[int]int) {
+	switch t := n.(type) {
+	case *plan.Filter:
+		inner := map[int]bool{}
+		for k := range used {
+			inner[k] = true
+		}
+		collectRefs([]plan.Expr{t.Cond}, inner)
+		child, remap := tryPrune(t.Child, inner)
+		if remap == nil {
+			return n, nil
+		}
+		cond := remapExprs([]plan.Expr{t.Cond}, remap)[0]
+		return &plan.Filter{Cond: cond, Child: child}, remap
+
+	case *plan.Scan:
+		if t.ProjectedCols != nil {
+			return n, nil
+		}
+		collectRefs(t.PushedFilters, used)
+		total := t.TableSchema.Len()
+		keep := sortedKeys(used, total)
+		if len(keep) == total {
+			return n, nil
+		}
+		remap := make(map[int]int, len(keep))
+		for ni, oi := range keep {
+			remap[oi] = ni
+		}
+		sc := *t
+		sc.ProjectedCols = keep
+		sc.PushedFilters = remapExprs(sc.PushedFilters, remap)
+		return &sc, remap
+
+	case *plan.RemoteScan:
+		if t.PushedAggregate != nil || t.PushedProjection != nil {
+			return n, nil
+		}
+		total := t.OutSchema.Len()
+		keep := sortedKeys(used, total)
+		if len(keep) == total {
+			return n, nil
+		}
+		remap := make(map[int]int, len(keep))
+		names := make([]string, len(keep))
+		for ni, oi := range keep {
+			remap[oi] = ni
+			names[ni] = t.OutSchema.Fields[oi].Name
+		}
+		rs := *t
+		rs.PushedProjection = names
+		rs.OutSchema = t.OutSchema.Project(keep)
+		// PushedFilters are name-based and re-resolved remotely against the
+		// full relation, so they survive projection unchanged.
+		return &rs, remap
+	}
+	return n, nil
+}
+
+// sortedKeys returns the used ordinals sorted ascending, clamped to the
+// schema and never empty (a scan must produce row counts even for COUNT(*)).
+func sortedKeys(used map[int]bool, total int) []int {
+	var keep []int
+	for k := range used {
+		if k >= 0 && k < total {
+			keep = append(keep, k)
+		}
+	}
+	if len(keep) == 0 {
+		keep = []int{0}
+	}
+	sort.Ints(keep)
+	return keep
+}

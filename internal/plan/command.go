@@ -1,0 +1,284 @@
+package plan
+
+import (
+	"strings"
+
+	"lakeguard/internal/types"
+)
+
+// Command is a side-effecting statement (DDL, DML, grants). Commands are not
+// composable: in the Connect protocol, the root of an execution is either a
+// relation (pure) or a command (side effects), mirroring Spark Connect's
+// Relation/Command split.
+type Command interface {
+	// CommandName identifies the command for auditing and dispatch.
+	CommandName() string
+	// String renders the command for EXPLAIN/audit output.
+	String() string
+}
+
+// CreateTable creates a managed table.
+type CreateTable struct {
+	Name        []string
+	TableSchema *types.Schema
+	IfNotExists bool
+	Comment     string
+}
+
+// CommandName implements Command.
+func (c *CreateTable) CommandName() string { return "CREATE TABLE" }
+
+// String implements Command.
+func (c *CreateTable) String() string {
+	return "CreateTable " + strings.Join(c.Name, ".") + " " + c.TableSchema.String()
+}
+
+// CreateView creates a (possibly materialized) view over a SQL text body.
+type CreateView struct {
+	Name         []string
+	Query        string // original SQL text, re-analyzed per querying user
+	Materialized bool
+	OrReplace    bool
+	Comment      string
+}
+
+// CommandName implements Command.
+func (c *CreateView) CommandName() string {
+	if c.Materialized {
+		return "CREATE MATERIALIZED VIEW"
+	}
+	return "CREATE VIEW"
+}
+
+// String implements Command.
+func (c *CreateView) String() string {
+	return c.CommandName() + " " + strings.Join(c.Name, ".") + " AS " + c.Query
+}
+
+// CreateFunction catalogs a PyLite UDF as a governed securable.
+type CreateFunction struct {
+	Name      []string
+	Params    []types.Field
+	Returns   types.Kind
+	Body      string // PyLite source
+	OrReplace bool
+	Comment   string
+	// Resources names a specialized execution environment ("gpu", ...).
+	Resources string
+}
+
+// CommandName implements Command.
+func (c *CreateFunction) CommandName() string { return "CREATE FUNCTION" }
+
+// String implements Command.
+func (c *CreateFunction) String() string {
+	return "CreateFunction " + strings.Join(c.Name, ".")
+}
+
+// InsertInto appends the result of Query (or literal Rows) into a table.
+type InsertInto struct {
+	Table []string
+	// Query is the source relation; nil when Rows are given inline.
+	Query Node
+	// Rows holds literal VALUES tuples when Query is nil.
+	Rows [][]types.Value
+}
+
+// CommandName implements Command.
+func (c *InsertInto) CommandName() string { return "INSERT" }
+
+// String implements Command.
+func (c *InsertInto) String() string { return "InsertInto " + strings.Join(c.Table, ".") }
+
+// Grant grants a privilege on a securable to a principal (user or group).
+type Grant struct {
+	Privilege string // SELECT, MODIFY, EXECUTE, USE, ALL
+	Securable []string
+	Principal string
+}
+
+// CommandName implements Command.
+func (c *Grant) CommandName() string { return "GRANT" }
+
+// String implements Command.
+func (c *Grant) String() string {
+	return "Grant " + c.Privilege + " ON " + strings.Join(c.Securable, ".") + " TO " + c.Principal
+}
+
+// Revoke removes a privilege.
+type Revoke struct {
+	Privilege string
+	Securable []string
+	Principal string
+}
+
+// CommandName implements Command.
+func (c *Revoke) CommandName() string { return "REVOKE" }
+
+// String implements Command.
+func (c *Revoke) String() string {
+	return "Revoke " + c.Privilege + " ON " + strings.Join(c.Securable, ".") + " FROM " + c.Principal
+}
+
+// SetRowFilter attaches a row-filter policy to a table. FilterSQL is a
+// boolean SQL expression over the table's columns; it may reference
+// CURRENT_USER() and IS_ACCOUNT_GROUP_MEMBER(...).
+type SetRowFilter struct {
+	Table     []string
+	FilterSQL string
+	Drop      bool
+}
+
+// CommandName implements Command.
+func (c *SetRowFilter) CommandName() string { return "ALTER TABLE SET ROW FILTER" }
+
+// String implements Command.
+func (c *SetRowFilter) String() string {
+	if c.Drop {
+		return "DropRowFilter " + strings.Join(c.Table, ".")
+	}
+	return "SetRowFilter " + strings.Join(c.Table, ".") + " WHERE " + c.FilterSQL
+}
+
+// SetColumnMask attaches a column mask to one column of a table. MaskSQL is
+// an expression over the table's columns producing the masked value; it may
+// reference the protected column itself and session functions.
+type SetColumnMask struct {
+	Table   []string
+	Column  string
+	MaskSQL string
+	Drop    bool
+}
+
+// CommandName implements Command.
+func (c *SetColumnMask) CommandName() string { return "ALTER TABLE SET COLUMN MASK" }
+
+// String implements Command.
+func (c *SetColumnMask) String() string {
+	if c.Drop {
+		return "DropColumnMask " + strings.Join(c.Table, ".") + "." + c.Column
+	}
+	return "SetColumnMask " + strings.Join(c.Table, ".") + "." + c.Column + " USING " + c.MaskSQL
+}
+
+// CreateSchema creates a schema (namespace) in a catalog.
+type CreateSchema struct {
+	Name        []string
+	IfNotExists bool
+}
+
+// CommandName implements Command.
+func (c *CreateSchema) CommandName() string { return "CREATE SCHEMA" }
+
+// String implements Command.
+func (c *CreateSchema) String() string { return "CreateSchema " + strings.Join(c.Name, ".") }
+
+// DropTable removes a table or view.
+type DropTable struct {
+	Name     []string
+	IfExists bool
+	View     bool
+}
+
+// CommandName implements Command.
+func (c *DropTable) CommandName() string {
+	if c.View {
+		return "DROP VIEW"
+	}
+	return "DROP TABLE"
+}
+
+// String implements Command.
+func (c *DropTable) String() string { return c.CommandName() + " " + strings.Join(c.Name, ".") }
+
+// SetColumnTags replaces the ABAC attribute tags on one column.
+type SetColumnTags struct {
+	Table  []string
+	Column string
+	Tags   []string // empty = clear
+}
+
+// CommandName implements Command.
+func (c *SetColumnTags) CommandName() string { return "ALTER TABLE SET TAGS" }
+
+// String implements Command.
+func (c *SetColumnTags) String() string {
+	return "SetColumnTags " + strings.Join(c.Table, ".") + "." + c.Column + " = [" + strings.Join(c.Tags, ", ") + "]"
+}
+
+// CreateTableAs creates a table from a query's result (CTAS).
+type CreateTableAs struct {
+	Name        []string
+	Query       Node
+	IfNotExists bool
+}
+
+// CommandName implements Command.
+func (c *CreateTableAs) CommandName() string { return "CREATE TABLE AS SELECT" }
+
+// String implements Command.
+func (c *CreateTableAs) String() string {
+	return "CreateTableAs " + strings.Join(c.Name, ".")
+}
+
+// DeleteFrom removes rows matching a predicate (all rows when Where is nil).
+type DeleteFrom struct {
+	Table []string
+	Where Expr
+}
+
+// CommandName implements Command.
+func (c *DeleteFrom) CommandName() string { return "DELETE" }
+
+// String implements Command.
+func (c *DeleteFrom) String() string {
+	s := "DeleteFrom " + strings.Join(c.Table, ".")
+	if c.Where != nil {
+		s += " WHERE " + c.Where.String()
+	}
+	return s
+}
+
+// ShowTables lists the tables and views the caller can read.
+type ShowTables struct{}
+
+// CommandName implements Command.
+func (c *ShowTables) CommandName() string { return "SHOW TABLES" }
+
+// String implements Command.
+func (c *ShowTables) String() string { return "ShowTables" }
+
+// DescribeTable reports a relation's schema and governance annotations.
+type DescribeTable struct {
+	Name []string
+}
+
+// CommandName implements Command.
+func (c *DescribeTable) CommandName() string { return "DESCRIBE" }
+
+// String implements Command.
+func (c *DescribeTable) String() string { return "Describe " + strings.Join(c.Name, ".") }
+
+// DescribeHistory lists a table's commit history (time travel versions).
+type DescribeHistory struct {
+	Name []string
+}
+
+// CommandName implements Command.
+func (c *DescribeHistory) CommandName() string { return "DESCRIBE HISTORY" }
+
+// String implements Command.
+func (c *DescribeHistory) String() string { return "DescribeHistory " + strings.Join(c.Name, ".") }
+
+// RefreshMaterializedView recomputes a materialized view's stored data.
+type RefreshMaterializedView struct {
+	Name []string
+}
+
+// CommandName implements Command.
+func (c *RefreshMaterializedView) CommandName() string { return "REFRESH MATERIALIZED VIEW" }
+
+// String implements Command.
+func (c *RefreshMaterializedView) String() string {
+	return "RefreshMaterializedView " + strings.Join(c.Name, ".")
+}

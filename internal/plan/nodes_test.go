@@ -1,0 +1,178 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"lakeguard/internal/types"
+)
+
+// allNodes builds one instance of every relational operator.
+func allNodes() []Node {
+	scan := &Scan{
+		Table:       "main.d.t",
+		TableSchema: types.NewSchema(types.Field{Name: "a", Kind: types.KindInt64}),
+		Version:     -1,
+		RunAsUser:   "owner@x",
+	}
+	one := types.NewBatchBuilder(types.NewSchema(types.Field{Name: "x", Kind: types.KindInt64}), 0)
+	local := &LocalRelation{Data: one.Build()}
+	return []Node{
+		NewUnresolvedRelation("a", "b"),
+		scan,
+		local,
+		&SQLRelation{Query: "SELECT 1"},
+		&Filter{Cond: Col("a"), Child: scan},
+		&Project{Exprs: []Expr{Col("a")}, Child: scan, OutSchema: scan.TableSchema},
+		&Aggregate{GroupBy: []Expr{Col("a")}, Aggs: []Expr{Col("a")}, Child: scan, OutSchema: scan.TableSchema},
+		&Join{Type: JoinFull, Cond: Eq(Col("a"), Col("b")), L: scan, R: local},
+		&Sort{Orders: []SortOrder{{Expr: Col("a"), Desc: true}}, Child: scan},
+		&Limit{N: 5, Offset: 2, Child: scan},
+		&Distinct{Child: scan},
+		&Union{L: scan, R: scan},
+		&SubqueryAlias{Name: "s", Child: scan},
+		&SecureView{Name: "main.d.t", PolicyKinds: []string{"row_filter"}, Child: scan},
+		&RemoteScan{Relation: "main.d.t", OutSchema: scan.TableSchema, PushedLimit: -1},
+	}
+}
+
+// TestWithChildrenIdentity: for every node, WithChildren(Children()) must be
+// structurally equivalent (same Explain) and must not alias the original
+// when children change.
+func TestWithChildrenIdentity(t *testing.T) {
+	for _, n := range allNodes() {
+		children := n.Children()
+		rebuilt := n.WithChildren(children)
+		if Explain(rebuilt) != Explain(n) {
+			t.Errorf("%T: WithChildren(Children()) changed the plan:\n%s\nvs\n%s",
+				n, Explain(n), Explain(rebuilt))
+		}
+		if n.String() == "" {
+			t.Errorf("%T has empty String()", n)
+		}
+		// Schema must not panic on any node.
+		_ = n.Schema()
+	}
+}
+
+// TestWithChildrenReplacement verifies child replacement reaches the output.
+func TestWithChildrenReplacement(t *testing.T) {
+	replacement := &SQLRelation{Query: "SELECT 42"}
+	for _, n := range allNodes() {
+		children := n.Children()
+		if len(children) == 0 {
+			continue
+		}
+		newChildren := make([]Node, len(children))
+		for i := range newChildren {
+			newChildren[i] = replacement
+		}
+		rebuilt := n.WithChildren(newChildren)
+		if !Contains(rebuilt, func(x Node) bool {
+			sr, ok := x.(*SQLRelation)
+			return ok && sr.Query == "SELECT 42"
+		}) {
+			t.Errorf("%T: replaced child missing from rebuilt node", n)
+		}
+		// The original is untouched.
+		if Contains(n, func(x Node) bool {
+			sr, ok := x.(*SQLRelation)
+			return ok && sr.Query == "SELECT 42"
+		}) {
+			t.Errorf("%T: WithChildren mutated the receiver", n)
+		}
+	}
+}
+
+// TestWithChildExprsIdentity exercises expression tree reconstruction.
+func TestWithChildExprsIdentity(t *testing.T) {
+	exprs := []Expr{
+		Lit(types.Int64(1)),
+		Col("a"),
+		&BoundRef{Index: 0, Name: "a", Kind: types.KindInt64},
+		&Star{Qualifier: "t"},
+		As(Col("a"), "x"),
+		Eq(Col("a"), Col("b")),
+		&Unary{Op: OpNeg, Child: Col("a"), ResultKind: types.KindInt64},
+		&IsNull{Child: Col("a")},
+		&InList{Child: Col("a"), List: []Expr{Lit(types.Int64(1)), Lit(types.Int64(2))}, Negated: true},
+		&Like{Child: Col("s"), Pattern: Lit(types.String("%x"))},
+		&Case{Whens: []WhenClause{{Cond: Col("p"), Then: Col("q")}}, Else: Col("r"), ResultKind: types.KindString},
+		&Cast{Child: Col("a"), To: types.KindDate},
+		&FuncCall{Name: "upper", Args: []Expr{Col("s")}},
+		&ScalarFunc{Name: "upper", Args: []Expr{Col("s")}, ResultKind: types.KindString},
+		&AggFunc{Name: "sum", Arg: Col("a"), ResultKind: types.KindInt64},
+		&AggFunc{Name: "count", ResultKind: types.KindInt64},
+		&UDFCall{Name: "f", Owner: "u", Body: "return 1", Args: []Expr{Col("a")}, ArgNames: []string{"x"}, ResultKind: types.KindInt64},
+		&CurrentUser{},
+		&GroupMember{Group: "g"},
+	}
+	for _, e := range exprs {
+		rebuilt := e.WithChildExprs(e.ChildExprs())
+		if rebuilt.String() != e.String() {
+			t.Errorf("%T: WithChildExprs identity broke: %s vs %s", e, e.String(), rebuilt.String())
+		}
+		if e.Type() != rebuilt.Type() {
+			t.Errorf("%T: type changed across rebuild", e)
+		}
+	}
+}
+
+func TestScanStringForms(t *testing.T) {
+	s := &Scan{
+		Table:       "main.d.t",
+		TableSchema: types.NewSchema(types.Field{Name: "a", Kind: types.KindInt64}, types.Field{Name: "b", Kind: types.KindString}),
+		Version:     3,
+		PushedFilters: []Expr{
+			Eq(&BoundRef{Index: 0, Name: "a", Kind: types.KindInt64}, Lit(types.Int64(5))),
+		},
+		ProjectedCols: []int{0},
+	}
+	out := s.String()
+	for _, want := range []string{"@v3", "cols=a", "pushed=[(a#0 = 5)]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scan string missing %q: %s", want, out)
+		}
+	}
+	if s.Schema().Len() != 1 {
+		t.Error("projected scan schema wrong")
+	}
+}
+
+func TestJoinTypeNames(t *testing.T) {
+	names := map[JoinType]string{
+		JoinInner: "INNER", JoinLeft: "LEFT", JoinRight: "RIGHT",
+		JoinFull: "FULL", JoinCross: "CROSS", JoinLeftSemi: "LEFT SEMI", JoinLeftAnti: "LEFT ANTI",
+	}
+	for jt, want := range names {
+		if jt.String() != want {
+			t.Errorf("JoinType(%d) = %q", jt, jt.String())
+		}
+	}
+}
+
+func TestBinOpProperties(t *testing.T) {
+	for op := OpAdd; op <= OpConcat; op++ {
+		if op.String() == "" {
+			t.Errorf("op %d has no name", op)
+		}
+	}
+	if !OpEq.IsComparison() || OpAdd.IsComparison() {
+		t.Error("IsComparison wrong")
+	}
+	if !OpMod.IsArithmetic() || OpEq.IsArithmetic() {
+		t.Error("IsArithmetic wrong")
+	}
+}
+
+func TestWalkEarlyStopOnPlan(t *testing.T) {
+	p := &Filter{Cond: Col("a"), Child: &Filter{Cond: Col("b"), Child: allNodes()[1]}}
+	count := 0
+	Walk(p, func(Node) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("early stop visited %d", count)
+	}
+}

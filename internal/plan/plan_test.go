@@ -1,0 +1,231 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"lakeguard/internal/types"
+)
+
+func scanNode() *Scan {
+	return &Scan{
+		Table: "main.default.t",
+		TableSchema: types.NewSchema(
+			types.Field{Name: "a", Kind: types.KindInt64},
+			types.Field{Name: "b", Kind: types.KindString},
+		),
+		Version: -1,
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{Lit(types.Int64(1)), "1"},
+		{Col("t.amount"), "t.amount"},
+		{Col("amount"), "amount"},
+		{Eq(Col("a"), Lit(types.Int64(5))), "(a = 5)"},
+		{And(Col("x"), Col("y")), "(x AND y)"},
+		{&Unary{Op: OpNot, Child: Col("p")}, "(NOT p)"},
+		{&IsNull{Child: Col("a")}, "(a IS NULL)"},
+		{&IsNull{Child: Col("a"), Negated: true}, "(a IS NOT NULL)"},
+		{&InList{Child: Col("a"), List: []Expr{Lit(types.Int64(1)), Lit(types.Int64(2))}}, "(a IN (1, 2))"},
+		{&Like{Child: Col("s"), Pattern: Lit(types.String("a%"))}, "(s LIKE 'a%')"},
+		{&Cast{Child: Col("a"), To: types.KindString}, "CAST(a AS STRING)"},
+		{&FuncCall{Name: "upper", Args: []Expr{Col("s")}}, "UPPER(s)"},
+		{&AggFunc{Name: "count"}, "COUNT(*)"},
+		{&AggFunc{Name: "sum", Arg: Col("a")}, "SUM(a)"},
+		{&CurrentUser{}, "CURRENT_USER()"},
+		{&GroupMember{Group: "hr"}, "IS_ACCOUNT_GROUP_MEMBER('hr')"},
+		{As(Col("a"), "x"), "a AS x"},
+		{&Case{Whens: []WhenClause{{Cond: Col("p"), Then: Lit(types.Int64(1))}}, Else: Lit(types.Int64(0))}, "CASE WHEN p THEN 1 ELSE 0 END"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestExprTypes(t *testing.T) {
+	if Eq(Col("a"), Col("b")).Type() != types.KindBool {
+		t.Error("comparison should be boolean")
+	}
+	if (&CurrentUser{}).Type() != types.KindString {
+		t.Error("CURRENT_USER is string")
+	}
+	if (&Cast{Child: Col("a"), To: types.KindDate}).Type() != types.KindDate {
+		t.Error("cast type")
+	}
+	if (&BoundRef{Index: 0, Name: "a", Kind: types.KindInt64}).Type() != types.KindInt64 {
+		t.Error("bound ref type")
+	}
+}
+
+func TestTransformExpr(t *testing.T) {
+	e := And(Eq(Col("a"), Lit(types.Int64(1))), Col("b"))
+	// Replace every ColumnRef with a BoundRef.
+	out := TransformExpr(e, func(x Expr) Expr {
+		if c, ok := x.(*ColumnRef); ok {
+			return &BoundRef{Index: 0, Name: c.Name, Kind: types.KindBool}
+		}
+		return x
+	})
+	if ExprContains(out, func(x Expr) bool { _, ok := x.(*ColumnRef); return ok }) {
+		t.Error("transform left unresolved refs")
+	}
+	// Original untouched.
+	if !ExprContains(e, func(x Expr) bool { _, ok := x.(*ColumnRef); return ok }) {
+		t.Error("transform mutated original")
+	}
+}
+
+func TestWalkExprEarlyStop(t *testing.T) {
+	e := And(Col("a"), And(Col("b"), Col("c")))
+	count := 0
+	WalkExpr(e, func(Expr) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop visited %d nodes", count)
+	}
+}
+
+func TestPlanSchemas(t *testing.T) {
+	s := scanNode()
+	if s.Schema().Len() != 2 {
+		t.Fatal("scan schema")
+	}
+	proj := &Scan{Table: s.Table, TableSchema: s.TableSchema, ProjectedCols: []int{1}}
+	if proj.Schema().Len() != 1 || proj.Schema().Fields[0].Name != "b" {
+		t.Error("projected scan schema")
+	}
+	f := &Filter{Cond: Eq(Col("a"), Lit(types.Int64(1))), Child: s}
+	if !f.Schema().Equal(s.Schema()) {
+		t.Error("filter passes schema through")
+	}
+	j := &Join{Type: JoinInner, L: s, R: proj}
+	if j.Schema().Len() != 3 {
+		t.Error("join concat schema")
+	}
+	semi := &Join{Type: JoinLeftSemi, L: s, R: proj}
+	if semi.Schema().Len() != 2 {
+		t.Error("semi join keeps left schema")
+	}
+	left := &Join{Type: JoinLeft, L: s, R: proj}
+	if !left.Schema().Fields[2].Nullable {
+		t.Error("left join right side should be nullable")
+	}
+}
+
+func TestTransformPlan(t *testing.T) {
+	p := &Filter{Cond: Col("a"), Child: &SubqueryAlias{Name: "t", Child: scanNode()}}
+	out := Transform(p, func(n Node) Node {
+		if sa, ok := n.(*SubqueryAlias); ok {
+			return sa.Child
+		}
+		return n
+	})
+	if Contains(out, func(n Node) bool { _, ok := n.(*SubqueryAlias); return ok }) {
+		t.Error("alias not removed")
+	}
+	if !Contains(p, func(n Node) bool { _, ok := n.(*SubqueryAlias); return ok }) {
+		t.Error("original plan mutated")
+	}
+}
+
+func TestExplainTree(t *testing.T) {
+	p := &Limit{N: 10, Child: &Filter{Cond: Eq(Col("a"), Lit(types.Int64(1))), Child: scanNode()}}
+	out := Explain(p)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("explain lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Limit 10") {
+		t.Errorf("line 0 = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "Filter") || !strings.Contains(lines[2], "Scan") {
+		t.Errorf("explain structure wrong:\n%s", out)
+	}
+}
+
+func TestExplainRedactedHidesSecureViewInterior(t *testing.T) {
+	secret := &Filter{
+		Cond:  Eq(Col("region"), Lit(types.String("US"))),
+		Child: scanNode(),
+	}
+	p := &Project{
+		Exprs: []Expr{Col("a")},
+		Child: &SecureView{Name: "main.default.t", PolicyKinds: []string{"row_filter"}, Child: secret},
+	}
+	full := Explain(p)
+	if !strings.Contains(full, "US") {
+		t.Fatal("full explain should contain the policy literal")
+	}
+	red := ExplainRedacted(p)
+	if strings.Contains(red, "US") {
+		t.Errorf("redacted explain leaked policy internals:\n%s", red)
+	}
+	if !strings.Contains(red, "<redacted>") {
+		t.Errorf("redacted explain missing marker:\n%s", red)
+	}
+}
+
+func TestRemoteScanString(t *testing.T) {
+	rs := &RemoteScan{
+		Relation:         "main.sales.sales",
+		OutSchema:        types.NewSchema(types.Field{Name: "amount", Kind: types.KindFloat64}),
+		PushedFilters:    []Expr{Eq(Col("date"), Lit(types.String("2024-12-01")))},
+		PushedProjection: []string{"amount", "date", "seller"},
+		PushedLimit:      -1,
+	}
+	s := rs.String()
+	for _, want := range []string{"RemoteScan main.sales.sales", "project=[amount, date, seller]", "filters=[(date = '2024-12-01')]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("RemoteScan string missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestCommandStrings(t *testing.T) {
+	cmds := []struct {
+		c    Command
+		name string
+	}{
+		{&CreateTable{Name: []string{"a", "b", "c"}, TableSchema: types.NewSchema()}, "CREATE TABLE"},
+		{&CreateView{Name: []string{"v"}, Query: "SELECT 1", Materialized: true}, "CREATE MATERIALIZED VIEW"},
+		{&CreateFunction{Name: []string{"f"}}, "CREATE FUNCTION"},
+		{&Grant{Privilege: "SELECT", Securable: []string{"t"}, Principal: "alice"}, "GRANT"},
+		{&Revoke{Privilege: "SELECT", Securable: []string{"t"}, Principal: "alice"}, "REVOKE"},
+		{&SetRowFilter{Table: []string{"t"}, FilterSQL: "region = 'US'"}, "ALTER TABLE SET ROW FILTER"},
+		{&SetColumnMask{Table: []string{"t"}, Column: "ssn", MaskSQL: "'***'"}, "ALTER TABLE SET COLUMN MASK"},
+		{&InsertInto{Table: []string{"t"}}, "INSERT"},
+		{&DropTable{Name: []string{"t"}}, "DROP TABLE"},
+		{&DropTable{Name: []string{"v"}, View: true}, "DROP VIEW"},
+		{&CreateSchema{Name: []string{"c", "s"}}, "CREATE SCHEMA"},
+		{&RefreshMaterializedView{Name: []string{"mv"}}, "REFRESH MATERIALIZED VIEW"},
+	}
+	for _, c := range cmds {
+		if c.c.CommandName() != c.name {
+			t.Errorf("CommandName = %q want %q", c.c.CommandName(), c.name)
+		}
+		if c.c.String() == "" {
+			t.Errorf("%s has empty String()", c.name)
+		}
+	}
+}
+
+func TestOutputName(t *testing.T) {
+	if OutputName(As(Col("a"), "x")) != "x" {
+		t.Error("alias name")
+	}
+	if OutputName(Col("t.a")) != "a" {
+		t.Error("column name")
+	}
+	if OutputName(&AggFunc{Name: "sum", Arg: Col("a")}) != "SUM(a)" {
+		t.Error("fallback name")
+	}
+}

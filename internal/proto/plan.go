@@ -1,0 +1,681 @@
+package proto
+
+import (
+	"fmt"
+
+	"lakeguard/internal/arrowipc"
+	"lakeguard/internal/plan"
+	"lakeguard/internal/types"
+)
+
+// Relation type tags on the wire.
+const (
+	relUnresolved = 1
+	relLocal      = 2
+	relFilter     = 3
+	relProject    = 4
+	relAggregate  = 5
+	relJoin       = 6
+	relSort       = 7
+	relLimit      = 8
+	relDistinct   = 9
+	relUnion      = 10
+	relAlias      = 11
+	relSQL        = 12
+	relExtension  = 15
+)
+
+// ExtensionNode is a relation the core protocol does not know: a type URL
+// plus opaque payload, preserved verbatim (the plugin mechanism of §3.2.2).
+type ExtensionNode struct {
+	TypeURL string
+	Payload []byte
+}
+
+// Schema implements plan.Node.
+func (x *ExtensionNode) Schema() *types.Schema { return &types.Schema{} }
+
+// Children implements plan.Node.
+func (x *ExtensionNode) Children() []plan.Node { return nil }
+
+// WithChildren implements plan.Node.
+func (x *ExtensionNode) WithChildren([]plan.Node) plan.Node { return x }
+
+// String implements plan.Node.
+func (x *ExtensionNode) String() string {
+	return fmt.Sprintf("Extension %s (%d bytes)", x.TypeURL, len(x.Payload))
+}
+
+// EncodePlan serializes an unresolved relation tree.
+func EncodePlan(n plan.Node) ([]byte, error) {
+	var e encoder
+	if err := encodeRelation(&e, n); err != nil {
+		return nil, err
+	}
+	return e.buf, nil
+}
+
+// DecodePlan reverses EncodePlan.
+func DecodePlan(data []byte) (plan.Node, error) {
+	return decodeRelation(&decoder{buf: data})
+}
+
+// Relation message: field 1 = type tag (varint), field 2 = body (bytes).
+func encodeRelation(e *encoder, n plan.Node) error {
+	var tag int
+	var body encoder
+	switch t := n.(type) {
+	case *plan.UnresolvedRelation:
+		tag = relUnresolved
+		for _, p := range t.Parts {
+			body.StringAlways(1, p)
+		}
+		if t.AsOfVersion >= 0 {
+			body.Varint(2, uint64(t.AsOfVersion)+1) // +1 so 0 is distinguishable
+		}
+	case *plan.LocalRelation:
+		tag = relLocal
+		data, err := arrowipc.EncodeBatch(t.Data)
+		if err != nil {
+			return err
+		}
+		body.Bytes(1, data)
+	case *plan.Filter:
+		tag = relFilter
+		if err := encodeExprField(&body, 1, t.Cond); err != nil {
+			return err
+		}
+		if err := encodeRelField(&body, 2, t.Child); err != nil {
+			return err
+		}
+	case *plan.Project:
+		tag = relProject
+		for _, ex := range t.Exprs {
+			if err := encodeExprField(&body, 1, ex); err != nil {
+				return err
+			}
+		}
+		if err := encodeRelField(&body, 2, t.Child); err != nil {
+			return err
+		}
+	case *plan.Aggregate:
+		tag = relAggregate
+		for _, g := range t.GroupBy {
+			if err := encodeExprField(&body, 1, g); err != nil {
+				return err
+			}
+		}
+		for _, a := range t.Aggs {
+			if err := encodeExprField(&body, 2, a); err != nil {
+				return err
+			}
+		}
+		if err := encodeRelField(&body, 3, t.Child); err != nil {
+			return err
+		}
+	case *plan.Join:
+		tag = relJoin
+		body.Varint(1, uint64(t.Type))
+		if t.Cond != nil {
+			if err := encodeExprField(&body, 2, t.Cond); err != nil {
+				return err
+			}
+		}
+		if err := encodeRelField(&body, 3, t.L); err != nil {
+			return err
+		}
+		if err := encodeRelField(&body, 4, t.R); err != nil {
+			return err
+		}
+	case *plan.Sort:
+		tag = relSort
+		for _, o := range t.Orders {
+			var sub encoder
+			if err := encodeExprField(&sub, 1, o.Expr); err != nil {
+				return err
+			}
+			sub.Bool(2, o.Desc)
+			body.Bytes(1, sub.buf)
+		}
+		if err := encodeRelField(&body, 2, t.Child); err != nil {
+			return err
+		}
+	case *plan.Limit:
+		tag = relLimit
+		body.Varint(1, uint64(t.N))
+		body.Varint(2, uint64(t.Offset))
+		if err := encodeRelField(&body, 3, t.Child); err != nil {
+			return err
+		}
+	case *plan.Distinct:
+		tag = relDistinct
+		if err := encodeRelField(&body, 1, t.Child); err != nil {
+			return err
+		}
+	case *plan.Union:
+		tag = relUnion
+		if err := encodeRelField(&body, 1, t.L); err != nil {
+			return err
+		}
+		if err := encodeRelField(&body, 2, t.R); err != nil {
+			return err
+		}
+	case *plan.SubqueryAlias:
+		tag = relAlias
+		body.StringAlways(1, t.Name)
+		if err := encodeRelField(&body, 2, t.Child); err != nil {
+			return err
+		}
+	case *plan.SQLRelation:
+		tag = relSQL
+		body.StringAlways(1, t.Query)
+	case *ExtensionNode:
+		tag = relExtension
+		body.StringAlways(1, t.TypeURL)
+		body.Bytes(2, t.Payload)
+	default:
+		return fmt.Errorf("proto: relation %T is not wire-encodable (only unresolved plans cross the protocol)", n)
+	}
+	e.Varint(1, uint64(tag))
+	e.Bytes(2, body.buf)
+	return nil
+}
+
+func encodeRelField(e *encoder, field int, n plan.Node) error {
+	var sub encoder
+	if err := encodeRelation(&sub, n); err != nil {
+		return err
+	}
+	e.Bytes(field, sub.buf)
+	return nil
+}
+
+func decodeRelation(d *decoder) (plan.Node, error) {
+	var tag uint64
+	var body []byte
+	for !d.done() {
+		f, wire, err := d.field()
+		if err != nil {
+			return nil, err
+		}
+		switch f {
+		case 1:
+			tag, err = d.varint()
+		case 2:
+			body, err = d.bytes()
+		default:
+			err = d.skip(wire)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if tag == 0 {
+		return nil, fmt.Errorf("proto: relation missing type tag")
+	}
+	return decodeRelationBody(int(tag), &decoder{buf: body})
+}
+
+func decodeRelField(b []byte) (plan.Node, error) {
+	return decodeRelation(&decoder{buf: b})
+}
+
+func decodeRelationBody(tag int, d *decoder) (plan.Node, error) {
+	switch tag {
+	case relUnresolved:
+		out := &plan.UnresolvedRelation{AsOfVersion: -1}
+		for !d.done() {
+			f, wire, err := d.field()
+			if err != nil {
+				return nil, err
+			}
+			switch f {
+			case 1:
+				b, err := d.bytes()
+				if err != nil {
+					return nil, err
+				}
+				out.Parts = append(out.Parts, string(b))
+			case 2:
+				v, err := d.varint()
+				if err != nil {
+					return nil, err
+				}
+				out.AsOfVersion = int64(v) - 1
+			default:
+				if err := d.skip(wire); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+
+	case relLocal:
+		var batch *types.Batch
+		for !d.done() {
+			f, wire, err := d.field()
+			if err != nil {
+				return nil, err
+			}
+			if f == 1 {
+				b, err := d.bytes()
+				if err != nil {
+					return nil, err
+				}
+				batch, err = arrowipc.DecodeBatch(b)
+				if err != nil {
+					return nil, err
+				}
+			} else if err := d.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+		if batch == nil {
+			return nil, fmt.Errorf("proto: local relation missing data")
+		}
+		return &plan.LocalRelation{Data: batch}, nil
+
+	case relFilter:
+		out := &plan.Filter{}
+		for !d.done() {
+			f, wire, err := d.field()
+			if err != nil {
+				return nil, err
+			}
+			switch f {
+			case 1:
+				b, err := d.bytes()
+				if err != nil {
+					return nil, err
+				}
+				out.Cond, err = decodeExprField(b)
+				if err != nil {
+					return nil, err
+				}
+			case 2:
+				b, err := d.bytes()
+				if err != nil {
+					return nil, err
+				}
+				out.Child, err = decodeRelField(b)
+				if err != nil {
+					return nil, err
+				}
+			default:
+				if err := d.skip(wire); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+
+	case relProject:
+		out := &plan.Project{}
+		for !d.done() {
+			f, wire, err := d.field()
+			if err != nil {
+				return nil, err
+			}
+			switch f {
+			case 1:
+				b, err := d.bytes()
+				if err != nil {
+					return nil, err
+				}
+				ex, err := decodeExprField(b)
+				if err != nil {
+					return nil, err
+				}
+				out.Exprs = append(out.Exprs, ex)
+			case 2:
+				b, err := d.bytes()
+				if err != nil {
+					return nil, err
+				}
+				out.Child, err = decodeRelField(b)
+				if err != nil {
+					return nil, err
+				}
+			default:
+				if err := d.skip(wire); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+
+	case relAggregate:
+		out := &plan.Aggregate{}
+		for !d.done() {
+			f, wire, err := d.field()
+			if err != nil {
+				return nil, err
+			}
+			switch f {
+			case 1, 2:
+				b, err := d.bytes()
+				if err != nil {
+					return nil, err
+				}
+				ex, err := decodeExprField(b)
+				if err != nil {
+					return nil, err
+				}
+				if f == 1 {
+					out.GroupBy = append(out.GroupBy, ex)
+				} else {
+					out.Aggs = append(out.Aggs, ex)
+				}
+			case 3:
+				b, err := d.bytes()
+				if err != nil {
+					return nil, err
+				}
+				out.Child, err = decodeRelField(b)
+				if err != nil {
+					return nil, err
+				}
+			default:
+				if err := d.skip(wire); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+
+	case relJoin:
+		out := &plan.Join{}
+		for !d.done() {
+			f, wire, err := d.field()
+			if err != nil {
+				return nil, err
+			}
+			switch f {
+			case 1:
+				v, err := d.varint()
+				if err != nil {
+					return nil, err
+				}
+				out.Type = plan.JoinType(v)
+			case 2:
+				b, err := d.bytes()
+				if err != nil {
+					return nil, err
+				}
+				out.Cond, err = decodeExprField(b)
+				if err != nil {
+					return nil, err
+				}
+			case 3:
+				b, err := d.bytes()
+				if err != nil {
+					return nil, err
+				}
+				out.L, err = decodeRelField(b)
+				if err != nil {
+					return nil, err
+				}
+			case 4:
+				b, err := d.bytes()
+				if err != nil {
+					return nil, err
+				}
+				out.R, err = decodeRelField(b)
+				if err != nil {
+					return nil, err
+				}
+			default:
+				if err := d.skip(wire); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+
+	case relSort:
+		out := &plan.Sort{}
+		for !d.done() {
+			f, wire, err := d.field()
+			if err != nil {
+				return nil, err
+			}
+			switch f {
+			case 1:
+				b, err := d.bytes()
+				if err != nil {
+					return nil, err
+				}
+				ord, err := decodeSortOrder(b)
+				if err != nil {
+					return nil, err
+				}
+				out.Orders = append(out.Orders, ord)
+			case 2:
+				b, err := d.bytes()
+				if err != nil {
+					return nil, err
+				}
+				out.Child, err = decodeRelField(b)
+				if err != nil {
+					return nil, err
+				}
+			default:
+				if err := d.skip(wire); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+
+	case relLimit:
+		out := &plan.Limit{}
+		for !d.done() {
+			f, wire, err := d.field()
+			if err != nil {
+				return nil, err
+			}
+			switch f {
+			case 1:
+				v, err := d.varint()
+				if err != nil {
+					return nil, err
+				}
+				out.N = int64(v)
+			case 2:
+				v, err := d.varint()
+				if err != nil {
+					return nil, err
+				}
+				out.Offset = int64(v)
+			case 3:
+				b, err := d.bytes()
+				if err != nil {
+					return nil, err
+				}
+				out.Child, err = decodeRelField(b)
+				if err != nil {
+					return nil, err
+				}
+			default:
+				if err := d.skip(wire); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+
+	case relDistinct:
+		out := &plan.Distinct{}
+		if err := decodeSingleChild(d, func(n plan.Node) { out.Child = n }); err != nil {
+			return nil, err
+		}
+		return out, nil
+
+	case relUnion:
+		out := &plan.Union{}
+		for !d.done() {
+			f, wire, err := d.field()
+			if err != nil {
+				return nil, err
+			}
+			switch f {
+			case 1, 2:
+				b, err := d.bytes()
+				if err != nil {
+					return nil, err
+				}
+				n, err := decodeRelField(b)
+				if err != nil {
+					return nil, err
+				}
+				if f == 1 {
+					out.L = n
+				} else {
+					out.R = n
+				}
+			default:
+				if err := d.skip(wire); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+
+	case relAlias:
+		out := &plan.SubqueryAlias{}
+		for !d.done() {
+			f, wire, err := d.field()
+			if err != nil {
+				return nil, err
+			}
+			switch f {
+			case 1:
+				b, err := d.bytes()
+				if err != nil {
+					return nil, err
+				}
+				out.Name = string(b)
+			case 2:
+				b, err := d.bytes()
+				if err != nil {
+					return nil, err
+				}
+				out.Child, err = decodeRelField(b)
+				if err != nil {
+					return nil, err
+				}
+			default:
+				if err := d.skip(wire); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+
+	case relSQL:
+		out := &plan.SQLRelation{}
+		for !d.done() {
+			f, wire, err := d.field()
+			if err != nil {
+				return nil, err
+			}
+			if f == 1 {
+				b, err := d.bytes()
+				if err != nil {
+					return nil, err
+				}
+				out.Query = string(b)
+			} else if err := d.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+
+	case relExtension:
+		out := &ExtensionNode{}
+		for !d.done() {
+			f, wire, err := d.field()
+			if err != nil {
+				return nil, err
+			}
+			switch f {
+			case 1:
+				b, err := d.bytes()
+				if err != nil {
+					return nil, err
+				}
+				out.TypeURL = string(b)
+			case 2:
+				b, err := d.bytes()
+				if err != nil {
+					return nil, err
+				}
+				out.Payload = append([]byte{}, b...)
+			default:
+				if err := d.skip(wire); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+	}
+	// Unknown relation types fail loudly: silently dropping a relation
+	// would corrupt query semantics.
+	return nil, fmt.Errorf("proto: unknown relation type %d (newer client?)", tag)
+}
+
+func decodeSingleChild(d *decoder, set func(plan.Node)) error {
+	for !d.done() {
+		f, wire, err := d.field()
+		if err != nil {
+			return err
+		}
+		if f == 1 {
+			b, err := d.bytes()
+			if err != nil {
+				return err
+			}
+			n, err := decodeRelField(b)
+			if err != nil {
+				return err
+			}
+			set(n)
+		} else if err := d.skip(wire); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeSortOrder(b []byte) (plan.SortOrder, error) {
+	d := &decoder{buf: b}
+	var out plan.SortOrder
+	for !d.done() {
+		f, wire, err := d.field()
+		if err != nil {
+			return out, err
+		}
+		switch f {
+		case 1:
+			eb, err := d.bytes()
+			if err != nil {
+				return out, err
+			}
+			out.Expr, err = decodeExprField(eb)
+			if err != nil {
+				return out, err
+			}
+		case 2:
+			v, err := d.varint()
+			if err != nil {
+				return out, err
+			}
+			out.Desc = v == 1
+		default:
+			if err := d.skip(wire); err != nil {
+				return out, err
+			}
+		}
+	}
+	return out, nil
+}

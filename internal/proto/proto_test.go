@@ -1,0 +1,290 @@
+package proto
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lakeguard/internal/plan"
+	"lakeguard/internal/types"
+)
+
+func roundTripPlan(t *testing.T, n plan.Node) plan.Node {
+	t.Helper()
+	data, err := EncodePlan(n)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	out, err := DecodePlan(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if plan.Explain(out) != plan.Explain(n) {
+		t.Fatalf("round trip mismatch:\nwant:\n%s\ngot:\n%s", plan.Explain(n), plan.Explain(out))
+	}
+	return out
+}
+
+func samplePlan() plan.Node {
+	return &plan.Limit{
+		N: 10,
+		Child: &plan.Sort{
+			Orders: []plan.SortOrder{{Expr: plan.Col("total"), Desc: true}},
+			Child: &plan.Aggregate{
+				GroupBy: []plan.Expr{plan.Col("region")},
+				Aggs: []plan.Expr{
+					plan.Col("region"),
+					plan.As(&plan.FuncCall{Name: "sum", Args: []plan.Expr{plan.Col("amount")}}, "total"),
+				},
+				Child: &plan.Filter{
+					Cond: plan.And(
+						plan.Eq(plan.Col("date"), plan.Lit(types.String("2024-12-01"))),
+						&plan.InList{Child: plan.Col("region"), List: []plan.Expr{plan.Lit(types.String("US")), plan.Lit(types.String("EU"))}},
+					),
+					Child: &plan.Join{
+						Type: plan.JoinLeft,
+						Cond: plan.Eq(plan.Col("s.seller"), plan.Col("q.seller")),
+						L:    &plan.SubqueryAlias{Name: "s", Child: plan.NewUnresolvedRelation("main", "default", "sales")},
+						R:    &plan.SubqueryAlias{Name: "q", Child: plan.NewUnresolvedRelation("quotas")},
+					},
+				},
+			},
+		},
+	}
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	roundTripPlan(t, samplePlan())
+}
+
+func TestRelationVariants(t *testing.T) {
+	bb := types.NewBatchBuilder(types.NewSchema(types.Field{Name: "x", Kind: types.KindInt64}), 2)
+	bb.AppendRow([]types.Value{types.Int64(1)})
+	bb.AppendRow([]types.Value{types.Int64(2)})
+	nodes := []plan.Node{
+		plan.NewUnresolvedRelation("t"),
+		&plan.UnresolvedRelation{Parts: []string{"t"}, AsOfVersion: 0},
+		&plan.UnresolvedRelation{Parts: []string{"t"}, AsOfVersion: 7},
+		&plan.LocalRelation{Data: bb.Build()},
+		&plan.Distinct{Child: plan.NewUnresolvedRelation("t")},
+		&plan.Union{L: plan.NewUnresolvedRelation("a"), R: plan.NewUnresolvedRelation("b")},
+		&plan.SQLRelation{Query: "SELECT 1"},
+		&plan.Limit{N: 5, Offset: 3, Child: plan.NewUnresolvedRelation("t")},
+	}
+	for _, n := range nodes {
+		roundTripPlan(t, n)
+	}
+	// LocalRelation data survives.
+	out := roundTripPlan(t, &plan.LocalRelation{Data: bb.Build()})
+	lr := out.(*plan.LocalRelation)
+	if lr.Data.NumRows() != 2 || lr.Data.Cols[0].Int64(1) != 2 {
+		t.Error("local relation data lost")
+	}
+}
+
+func TestExprVariants(t *testing.T) {
+	d, _ := types.DateFromString("2024-06-01")
+	exprs := []plan.Expr{
+		plan.Lit(types.Int64(42)),
+		plan.Lit(types.Float64(2.5)),
+		plan.Lit(types.String("hi")),
+		plan.Lit(types.Bool(true)),
+		plan.Lit(types.Null(types.KindString)),
+		plan.Lit(d),
+		plan.Col("a"),
+		plan.Col("t.a"),
+		&plan.Star{Qualifier: "t"},
+		&plan.Star{},
+		plan.As(plan.Col("x"), "y"),
+		&plan.Unary{Op: plan.OpNot, Child: plan.Col("p")},
+		&plan.Unary{Op: plan.OpNeg, Child: plan.Col("n")},
+		&plan.IsNull{Child: plan.Col("a"), Negated: true},
+		&plan.Like{Child: plan.Col("s"), Pattern: plan.Lit(types.String("%x%")), Negated: true},
+		&plan.Case{
+			Whens: []plan.WhenClause{{Cond: plan.Col("p"), Then: plan.Lit(types.Int64(1))}},
+			Else:  plan.Lit(types.Int64(0)),
+		},
+		&plan.Case{Whens: []plan.WhenClause{{Cond: plan.Col("p"), Then: plan.Col("q")}}},
+		&plan.Cast{Child: plan.Col("s"), To: types.KindDate},
+		&plan.FuncCall{Name: "count", Distinct: true, Args: []plan.Expr{plan.Col("x")}},
+		&plan.CurrentUser{},
+		&plan.GroupMember{Group: "hr"},
+	}
+	for _, ex := range exprs {
+		data, err := EncodeExpr(ex)
+		if err != nil {
+			t.Fatalf("encode %s: %v", ex.String(), err)
+		}
+		out, err := DecodeExpr(data)
+		if err != nil {
+			t.Fatalf("decode %s: %v", ex.String(), err)
+		}
+		if out.String() != ex.String() {
+			t.Errorf("round trip: got %s want %s", out.String(), ex.String())
+		}
+	}
+}
+
+func TestAllBinaryOps(t *testing.T) {
+	for op := plan.OpAdd; op <= plan.OpConcat; op++ {
+		ex := plan.NewBinary(op, plan.Col("a"), plan.Col("b"))
+		data, _ := EncodeExpr(ex)
+		out, err := DecodeExpr(data)
+		if err != nil || out.String() != ex.String() {
+			t.Errorf("op %v round trip failed: %v", op, err)
+		}
+	}
+}
+
+func TestCommandRoundTrip(t *testing.T) {
+	cmds := []*Command{
+		{SQL: "CREATE TABLE t (a BIGINT)"},
+		{CreateTempView: &CreateTempView{Name: "tv", Input: plan.NewUnresolvedRelation("t")}},
+		{RegisterFunction: &RegisterFunction{
+			Name:    "boost",
+			Params:  []types.Field{{Name: "x", Kind: types.KindFloat64}},
+			Returns: types.KindFloat64,
+			Body:    "return x * 1.1",
+		}},
+		{InsertInto: &InsertInto{Table: []string{"main", "default", "t"}, Input: plan.NewUnresolvedRelation("src")}},
+	}
+	for _, c := range cmds {
+		data, err := EncodeRootPlan(&Plan{Command: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := DecodeRootPlan(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := out.Command
+		switch {
+		case c.SQL != "":
+			if got.SQL != c.SQL {
+				t.Errorf("sql = %q", got.SQL)
+			}
+		case c.CreateTempView != nil:
+			if got.CreateTempView == nil || got.CreateTempView.Name != "tv" || got.CreateTempView.Input == nil {
+				t.Errorf("temp view = %+v", got.CreateTempView)
+			}
+		case c.RegisterFunction != nil:
+			rf := got.RegisterFunction
+			if rf == nil || rf.Name != "boost" || len(rf.Params) != 1 || rf.Params[0].Kind != types.KindFloat64 ||
+				rf.Returns != types.KindFloat64 || !strings.Contains(rf.Body, "1.1") {
+				t.Errorf("register = %+v", rf)
+			}
+		case c.InsertInto != nil:
+			if got.InsertInto == nil || len(got.InsertInto.Table) != 3 || got.InsertInto.Input == nil {
+				t.Errorf("insert = %+v", got.InsertInto)
+			}
+		}
+	}
+}
+
+func TestRootPlanRelation(t *testing.T) {
+	data, err := EncodeRootPlan(&Plan{Relation: samplePlan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeRootPlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Relation == nil || plan.Explain(out.Relation) != plan.Explain(samplePlan()) {
+		t.Error("relation root mismatch")
+	}
+	if _, err := EncodeRootPlan(&Plan{}); err == nil {
+		t.Error("empty plan should fail")
+	}
+	if _, err := DecodeRootPlan(nil); err == nil {
+		t.Error("empty bytes should fail")
+	}
+}
+
+// TestUnknownFieldTolerance verifies forward compatibility: a message with
+// extra fields (from a newer client) decodes cleanly, ignoring them.
+func TestUnknownFieldTolerance(t *testing.T) {
+	data, err := EncodePlan(plan.NewUnresolvedRelation("sales"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append an unknown varint field (field 9) and an unknown bytes field
+	// (field 10) at the top level.
+	var e encoder
+	e.buf = append(e.buf, data...)
+	e.Varint(9, 12345)
+	e.Bytes(10, []byte("future-extension"))
+	out, err := DecodePlan(e.buf)
+	if err != nil {
+		t.Fatalf("decode with unknown fields: %v", err)
+	}
+	rel, ok := out.(*plan.UnresolvedRelation)
+	if !ok || rel.Name() != "sales" {
+		t.Errorf("decoded = %v", out)
+	}
+}
+
+// TestUnknownRelationTypeFails verifies a genuinely unknown relation type is
+// an explicit error rather than silent corruption.
+func TestUnknownRelationTypeFails(t *testing.T) {
+	var e encoder
+	e.Varint(1, 999)
+	e.Bytes(2, nil)
+	if _, err := DecodePlan(e.buf); err == nil || !strings.Contains(err.Error(), "unknown relation") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestExtensionRoundTrip(t *testing.T) {
+	n := &plan.Filter{
+		Cond:  plan.Col("x"),
+		Child: &ExtensionNode{TypeURL: "type.example.com/delta.Vacuum", Payload: []byte{1, 2, 3}},
+	}
+	out := roundTripPlan(t, n)
+	ext := out.(*plan.Filter).Child.(*ExtensionNode)
+	if ext.TypeURL != "type.example.com/delta.Vacuum" || len(ext.Payload) != 3 {
+		t.Errorf("extension = %+v", ext)
+	}
+}
+
+func TestResolvedExpressionsRejected(t *testing.T) {
+	// BoundRefs never cross the wire: the protocol is unresolved-plan only.
+	if _, err := EncodeExpr(&plan.BoundRef{Index: 1, Name: "x", Kind: types.KindInt64}); err == nil {
+		t.Error("BoundRef should not encode")
+	}
+	if _, err := EncodePlan(&plan.SecureView{Name: "v", Child: plan.NewUnresolvedRelation("t")}); err == nil {
+		t.Error("SecureView should not encode")
+	}
+}
+
+func TestTruncationNeverPanics(t *testing.T) {
+	data, _ := EncodePlan(samplePlan())
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		cut := rng.Intn(len(data))
+		_, _ = DecodePlan(data[:cut]) // must not panic; errors are fine
+		// Also corrupt random bytes.
+		cp := append([]byte{}, data...)
+		cp[rng.Intn(len(cp))] ^= 0xff
+		_, _ = DecodePlan(cp)
+	}
+}
+
+func TestFloatValueRoundTrip(t *testing.T) {
+	for _, f := range []float64{0, 1.5, -2.25, 1e300} {
+		data, _ := EncodeExpr(plan.Lit(types.Float64(f)))
+		out, err := DecodeExpr(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.(*plan.Literal).Value.F != f {
+			t.Errorf("float %v mangled", f)
+		}
+	}
+	// Negative ints use zigzag.
+	data, _ := EncodeExpr(plan.Lit(types.Int64(-42)))
+	out, _ := DecodeExpr(data)
+	if out.(*plan.Literal).Value.I != -42 {
+		t.Error("negative int mangled")
+	}
+}

@@ -1,0 +1,94 @@
+package sandbox
+
+import (
+	"testing"
+
+	"lakeguard/internal/types"
+)
+
+// BenchmarkCrossing measures one isolation-boundary round trip: encode the
+// argument batch, hand it to the sandbox goroutine, interpret, encode
+// results, decode — the continuous overhead Table 2 quantifies at the query
+// level.
+func BenchmarkCrossing(b *testing.B) {
+	for _, rows := range []int{64, 1024, 8192} {
+		b.Run(sizeName(rows), func(b *testing.B) {
+			sb := New("bench", Config{})
+			defer sb.Close()
+			req := &Request{Specs: []UDFSpec{sumSpec()}, Args: argBatch(rows)}
+			if _, err := sb.Execute(req); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sb.Execute(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rows*b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkFusedVsSeparate compares one 4-UDF crossing to four 1-UDF
+// crossings over the same batch (the fusion win at the sandbox level).
+func BenchmarkFusedVsSeparate(b *testing.B) {
+	mkSpec := func(name string) UDFSpec {
+		return UDFSpec{Name: name, Body: "return a + b", ArgNames: []string{"a", "b"},
+			ArgCols: []int{0, 1}, ResultKind: types.KindInt64}
+	}
+	args := argBatch(4096)
+	b.Run("Fused4", func(b *testing.B) {
+		sb := New("bench", Config{})
+		defer sb.Close()
+		req := &Request{Specs: []UDFSpec{mkSpec("a"), mkSpec("b"), mkSpec("c"), mkSpec("d")}, Args: args}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sb.Execute(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Separate4", func(b *testing.B) {
+		sb := New("bench", Config{})
+		defer sb.Close()
+		reqs := []*Request{
+			{Specs: []UDFSpec{mkSpec("a")}, Args: args},
+			{Specs: []UDFSpec{mkSpec("b")}, Args: args},
+			{Specs: []UDFSpec{mkSpec("c")}, Args: args},
+			{Specs: []UDFSpec{mkSpec("d")}, Args: args},
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, req := range reqs {
+				if _, err := sb.Execute(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1024:
+		return itoa(n/1024) + "Ki"
+	default:
+		return itoa(n)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,133 @@
+package sandbox
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Factory provisions sandboxes; the cluster manager implements it.
+type Factory interface {
+	// CreateSandbox provisions a fresh sandbox for one trust domain.
+	CreateSandbox(trustDomain string) (*Sandbox, error)
+}
+
+// ResourceFactory is implemented by factories that can provision sandboxes
+// in specialized execution environments (GPU hosts, high-memory pools —
+// paper §3.3: "route these requests to specialized execution environments
+// outside of the cluster").
+type ResourceFactory interface {
+	Factory
+	// CreateSandboxResources provisions a sandbox in the named resource
+	// pool ("" = the standard pool).
+	CreateSandboxResources(trustDomain, resources string) (*Sandbox, error)
+}
+
+// FactoryFunc adapts a function to Factory.
+type FactoryFunc func(trustDomain string) (*Sandbox, error)
+
+// CreateSandbox implements Factory.
+func (f FactoryFunc) CreateSandbox(trustDomain string) (*Sandbox, error) { return f(trustDomain) }
+
+// Stats reports dispatcher activity.
+type Stats struct {
+	// ColdStarts counts sandbox provisions.
+	ColdStarts int64
+	// Reuses counts warm acquisitions.
+	Reuses int64
+	// Active counts currently provisioned sandboxes.
+	Active int
+}
+
+// Dispatcher manages the sandboxes of one query process (paper §3.3): it
+// pools warm sandboxes per (session, trust domain) so the cold start is paid
+// once per session, and guarantees code from different trust domains never
+// shares a sandbox.
+type Dispatcher struct {
+	factory Factory
+
+	mu    sync.Mutex
+	idle  map[string][]*Sandbox // key: session \x00 trustDomain
+	stats Stats
+}
+
+// NewDispatcher creates a dispatcher backed by a sandbox factory.
+func NewDispatcher(factory Factory) *Dispatcher {
+	return &Dispatcher{factory: factory, idle: map[string][]*Sandbox{}}
+}
+
+func poolKey(session, trustDomain, resources string) string {
+	return session + "\x00" + trustDomain + "\x00" + resources
+}
+
+// Acquire returns a standard-pool sandbox for the given session and trust
+// domain, reusing a warm one when available. The caller must Release it.
+func (d *Dispatcher) Acquire(session, trustDomain string) (*Sandbox, error) {
+	return d.AcquireResources(session, trustDomain, "")
+}
+
+// AcquireResources is Acquire with a resource-pool requirement ("gpu",
+// "highmem", ...). Sandboxes never migrate between pools: the pool is part
+// of the warm-reuse key.
+func (d *Dispatcher) AcquireResources(session, trustDomain, resources string) (*Sandbox, error) {
+	key := poolKey(session, trustDomain, resources)
+	d.mu.Lock()
+	if pool := d.idle[key]; len(pool) > 0 {
+		sb := pool[len(pool)-1]
+		d.idle[key] = pool[:len(pool)-1]
+		d.stats.Reuses++
+		d.mu.Unlock()
+		return sb, nil
+	}
+	d.mu.Unlock()
+
+	// Provision outside the lock: cold starts are slow by design.
+	var sb *Sandbox
+	var err error
+	if resources == "" {
+		sb, err = d.factory.CreateSandbox(trustDomain)
+	} else if rf, ok := d.factory.(ResourceFactory); ok {
+		sb, err = rf.CreateSandboxResources(trustDomain, resources)
+	} else {
+		return nil, fmt.Errorf("dispatcher: user code requires resources %q but this cluster has no specialized pools", resources)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dispatcher: provisioning sandbox for %q (resources %q): %w", trustDomain, resources, err)
+	}
+	d.mu.Lock()
+	d.stats.ColdStarts++
+	d.stats.Active++
+	d.mu.Unlock()
+	return sb, nil
+}
+
+// Release returns a sandbox to the warm pool of its session/domain/pool.
+func (d *Dispatcher) Release(session string, sb *Sandbox) {
+	key := poolKey(session, sb.TrustDomain, sb.Resources)
+	d.mu.Lock()
+	d.idle[key] = append(d.idle[key], sb)
+	d.mu.Unlock()
+}
+
+// EndSession tears down all warm sandboxes of a session.
+func (d *Dispatcher) EndSession(session string) {
+	d.mu.Lock()
+	var toClose []*Sandbox
+	for key, pool := range d.idle {
+		if len(key) > len(session) && key[:len(session)] == session && key[len(session)] == 0 {
+			toClose = append(toClose, pool...)
+			delete(d.idle, key)
+		}
+	}
+	d.stats.Active -= len(toClose)
+	d.mu.Unlock()
+	for _, sb := range toClose {
+		sb.Close()
+	}
+}
+
+// Stats returns a snapshot of dispatcher counters.
+func (d *Dispatcher) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}

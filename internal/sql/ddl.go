@@ -1,0 +1,459 @@
+package sql
+
+import (
+	"strings"
+
+	"lakeguard/internal/plan"
+	"lakeguard/internal/types"
+)
+
+// parseCreate handles CREATE TABLE / SCHEMA / [MATERIALIZED] VIEW / FUNCTION.
+func (p *parser) parseCreate() (*Statement, error) {
+	if err := p.expect("CREATE"); err != nil {
+		return nil, err
+	}
+	orReplace := false
+	if p.accept("OR") {
+		if err := p.expect("REPLACE"); err != nil {
+			return nil, err
+		}
+		orReplace = true
+	}
+	switch {
+	case p.accept("TABLE"):
+		return p.parseCreateTable()
+	case p.accept("SCHEMA"):
+		ifNotExists, err := p.parseIfNotExists()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.qualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		return &Statement{Cmd: &plan.CreateSchema{Name: name, IfNotExists: ifNotExists}}, nil
+	case p.accept("MATERIALIZED"):
+		if err := p.expect("VIEW"); err != nil {
+			return nil, err
+		}
+		return p.parseCreateView(true, orReplace)
+	case p.accept("VIEW"):
+		return p.parseCreateView(false, orReplace)
+	case p.accept("FUNCTION"):
+		return p.parseCreateFunction(orReplace)
+	}
+	return nil, p.errorf("unsupported CREATE target %q", p.cur.Text)
+}
+
+func (p *parser) parseIfNotExists() (bool, error) {
+	if p.accept("IF") {
+		if err := p.expect("NOT"); err != nil {
+			return false, err
+		}
+		if err := p.expect("EXISTS"); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+func (p *parser) parseCreateTable() (*Statement, error) {
+	ifNotExists, err := p.parseIfNotExists()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	// CTAS: CREATE TABLE t AS SELECT ...
+	if p.accept("AS") {
+		q, err := p.parseQueryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Statement{Cmd: &plan.CreateTableAs{Name: name, Query: q, IfNotExists: ifNotExists}}, nil
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	schema := &types.Schema{}
+	for {
+		colName, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		typeName, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		kind, ok := types.KindFromName(typeName)
+		if !ok {
+			return nil, p.errorf("unknown type %q for column %q", typeName, colName)
+		}
+		f := types.Field{Name: colName, Kind: kind, Nullable: true}
+		if p.peekKeyword("NOT") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expect("NULL"); err != nil {
+				return nil, err
+			}
+			f.Nullable = false
+		}
+		if p.accept("COMMENT") {
+			if p.cur.Kind != TokString {
+				return nil, p.errorf("COMMENT requires a string literal")
+			}
+			f.Comment = p.cur.Text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		schema.Fields = append(schema.Fields, f)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := schema.Validate(); err != nil {
+		return nil, p.errorf("%v", err)
+	}
+	return &Statement{Cmd: &plan.CreateTable{Name: name, TableSchema: schema, IfNotExists: ifNotExists}}, nil
+}
+
+func (p *parser) parseCreateView(materialized, orReplace bool) (*Statement, error) {
+	name, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("AS"); err != nil {
+		return nil, err
+	}
+	// Capture remaining source text as the view body and validate it parses.
+	startPos := p.cur.Pos
+	if _, err := p.parseQueryExpr(); err != nil {
+		return nil, err
+	}
+	end := p.cur.Pos
+	if p.cur.Kind == TokEOF {
+		end = len(p.lex.src)
+	}
+	body := strings.TrimRight(strings.TrimSpace(p.lex.src[startPos:end]), ";")
+	return &Statement{Cmd: &plan.CreateView{
+		Name: name, Query: body, Materialized: materialized, OrReplace: orReplace,
+	}}, nil
+}
+
+// parseCreateFunction parses:
+//
+//	CREATE [OR REPLACE] FUNCTION name(a BIGINT, b STRING) RETURNS DOUBLE
+//	  AS 'pylite source'
+func (p *parser) parseCreateFunction(orReplace bool) (*Statement, error) {
+	name, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var params []types.Field
+	if !(p.cur.Kind == TokOp && p.cur.Text == ")") {
+		for {
+			pn, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			tn, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			kind, ok := types.KindFromName(tn)
+			if !ok {
+				return nil, p.errorf("unknown parameter type %q", tn)
+			}
+			params = append(params, types.Field{Name: pn, Kind: kind, Nullable: true})
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("RETURNS"); err != nil {
+		return nil, err
+	}
+	rt, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	kind, ok := types.KindFromName(rt)
+	if !ok {
+		return nil, p.errorf("unknown return type %q", rt)
+	}
+	resources := ""
+	if p.accept("RESOURCE") {
+		if p.cur.Kind != TokString {
+			return nil, p.errorf("RESOURCE requires a string literal (e.g. RESOURCE 'gpu')")
+		}
+		resources = p.cur.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect("AS"); err != nil {
+		return nil, err
+	}
+	if p.cur.Kind != TokString {
+		return nil, p.errorf("function body must be a string literal")
+	}
+	body := p.cur.Text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return &Statement{Cmd: &plan.CreateFunction{
+		Name: name, Params: params, Returns: kind, Body: body, OrReplace: orReplace,
+		Resources: resources,
+	}}, nil
+}
+
+func (p *parser) parseDrop() (*Statement, error) {
+	if err := p.expect("DROP"); err != nil {
+		return nil, err
+	}
+	isView := false
+	switch {
+	case p.accept("TABLE"):
+	case p.accept("VIEW"):
+		isView = true
+	case p.accept("MATERIALIZED"):
+		if err := p.expect("VIEW"); err != nil {
+			return nil, err
+		}
+		isView = true
+	default:
+		return nil, p.errorf("unsupported DROP target %q", p.cur.Text)
+	}
+	ifExists := false
+	if p.accept("IF") {
+		if err := p.expect("EXISTS"); err != nil {
+			return nil, err
+		}
+		ifExists = true
+	}
+	name, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	return &Statement{Cmd: &plan.DropTable{Name: name, IfExists: ifExists, View: isView}}, nil
+}
+
+func (p *parser) parseInsert() (*Statement, error) {
+	if err := p.expect("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	if p.peekKeyword("VALUES") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rows, err := p.parseValuesRows()
+		if err != nil {
+			return nil, err
+		}
+		return &Statement{Cmd: &plan.InsertInto{Table: name, Rows: rows}}, nil
+	}
+	q, err := p.parseQueryExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Statement{Cmd: &plan.InsertInto{Table: name, Query: q}}, nil
+}
+
+func (p *parser) parseGrantRevoke() (*Statement, error) {
+	isGrant := p.peekKeyword("GRANT")
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	priv, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	priv = strings.ToUpper(priv)
+	switch priv {
+	case "SELECT", "MODIFY", "EXECUTE", "USE", "ALL":
+	default:
+		return nil, p.errorf("unknown privilege %q", priv)
+	}
+	if err := p.expect("ON"); err != nil {
+		return nil, err
+	}
+	// Optional securable-type keyword (TABLE, VIEW, FUNCTION, SCHEMA, CATALOG).
+	for _, kw := range []string{"TABLE", "VIEW", "FUNCTION", "SCHEMA", "CATALOG"} {
+		if p.accept(kw) {
+			break
+		}
+	}
+	securable, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	if isGrant {
+		if err := p.expect("TO"); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := p.expect("FROM"); err != nil {
+			return nil, err
+		}
+	}
+	principal, err := p.principalName()
+	if err != nil {
+		return nil, err
+	}
+	if isGrant {
+		return &Statement{Cmd: &plan.Grant{Privilege: priv, Securable: securable, Principal: principal}}, nil
+	}
+	return &Statement{Cmd: &plan.Revoke{Privilege: priv, Securable: securable, Principal: principal}}, nil
+}
+
+// principalName accepts an identifier or quoted string (user emails contain
+// characters like @ that don't lex as identifiers).
+func (p *parser) principalName() (string, error) {
+	if p.cur.Kind == TokString {
+		s := p.cur.Text
+		return s, p.advance()
+	}
+	return p.ident()
+}
+
+// parseAlter handles row-filter and column-mask DDL:
+//
+//	ALTER TABLE t SET ROW FILTER 'sql-bool-expr'
+//	ALTER TABLE t DROP ROW FILTER
+//	ALTER TABLE t ALTER COLUMN c SET MASK 'sql-expr'
+//	ALTER TABLE t ALTER COLUMN c DROP MASK
+func (p *parser) parseAlter() (*Statement, error) {
+	if err := p.expect("ALTER"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.accept("SET"):
+		if err := p.expect("ROW"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("FILTER"); err != nil {
+			return nil, err
+		}
+		if p.cur.Kind != TokString {
+			return nil, p.errorf("row filter must be a string literal containing a SQL predicate")
+		}
+		filter := p.cur.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := ParseExpr(filter); err != nil {
+			return nil, p.errorf("invalid row filter expression: %v", err)
+		}
+		return &Statement{Cmd: &plan.SetRowFilter{Table: name, FilterSQL: filter}}, nil
+	case p.accept("DROP"):
+		if err := p.expect("ROW"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("FILTER"); err != nil {
+			return nil, err
+		}
+		return &Statement{Cmd: &plan.SetRowFilter{Table: name, Drop: true}}, nil
+	case p.accept("ALTER"):
+		if err := p.expect("COLUMN"); err != nil {
+			return nil, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case p.accept("SET"):
+			if p.accept("TAGS") {
+				if err := p.expect("("); err != nil {
+					return nil, err
+				}
+				var tags []string
+				for {
+					if p.cur.Kind != TokString {
+						return nil, p.errorf("tags must be string literals")
+					}
+					tags = append(tags, p.cur.Text)
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+					if !p.accept(",") {
+						break
+					}
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				return &Statement{Cmd: &plan.SetColumnTags{Table: name, Column: col, Tags: tags}}, nil
+			}
+			if err := p.expect("MASK"); err != nil {
+				return nil, err
+			}
+			if p.cur.Kind != TokString {
+				return nil, p.errorf("column mask must be a string literal containing a SQL expression")
+			}
+			mask := p.cur.Text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if _, err := ParseExpr(mask); err != nil {
+				return nil, p.errorf("invalid mask expression: %v", err)
+			}
+			return &Statement{Cmd: &plan.SetColumnMask{Table: name, Column: col, MaskSQL: mask}}, nil
+		case p.accept("DROP"):
+			if p.accept("TAGS") {
+				return &Statement{Cmd: &plan.SetColumnTags{Table: name, Column: col}}, nil
+			}
+			if err := p.expect("MASK"); err != nil {
+				return nil, err
+			}
+			return &Statement{Cmd: &plan.SetColumnMask{Table: name, Column: col, Drop: true}}, nil
+		}
+		return nil, p.errorf("expected SET MASK, SET TAGS, DROP MASK, or DROP TAGS")
+	}
+	return nil, p.errorf("unsupported ALTER TABLE action %q", p.cur.Text)
+}
+
+func (p *parser) parseRefresh() (*Statement, error) {
+	if err := p.expect("REFRESH"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("MATERIALIZED"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("VIEW"); err != nil {
+		return nil, err
+	}
+	name, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	return &Statement{Cmd: &plan.RefreshMaterializedView{Name: name}}, nil
+}

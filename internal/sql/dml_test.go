@@ -1,0 +1,58 @@
+package sql
+
+import (
+	"testing"
+
+	"lakeguard/internal/plan"
+)
+
+func TestParseCTAS(t *testing.T) {
+	st := mustParse(t, "CREATE TABLE summary AS SELECT region, SUM(amount) AS t FROM sales GROUP BY region")
+	c, ok := st.Cmd.(*plan.CreateTableAs)
+	if !ok {
+		t.Fatalf("cmd = %T", st.Cmd)
+	}
+	if c.Name[0] != "summary" || c.Query == nil || c.IfNotExists {
+		t.Fatalf("ctas = %+v", c)
+	}
+	st2 := mustParse(t, "CREATE TABLE IF NOT EXISTS s2 AS SELECT 1 AS one")
+	if !st2.Cmd.(*plan.CreateTableAs).IfNotExists {
+		t.Error("if-not-exists flag lost")
+	}
+	// Plain create still works.
+	if _, ok := mustParse(t, "CREATE TABLE t (x BIGINT)").Cmd.(*plan.CreateTable); !ok {
+		t.Error("plain create broke")
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	st := mustParse(t, "DELETE FROM main.s.t WHERE region = 'EU' AND amount > 10")
+	d := st.Cmd.(*plan.DeleteFrom)
+	if len(d.Table) != 3 || d.Where == nil {
+		t.Fatalf("delete = %+v", d)
+	}
+	st2 := mustParse(t, "DELETE FROM t")
+	if st2.Cmd.(*plan.DeleteFrom).Where != nil {
+		t.Error("bare delete should have nil predicate")
+	}
+	if _, err := Parse("DELETE t"); err == nil {
+		t.Error("missing FROM should fail")
+	}
+}
+
+func TestParseShowAndDescribe(t *testing.T) {
+	if _, ok := mustParse(t, "SHOW TABLES").Cmd.(*plan.ShowTables); !ok {
+		t.Error("show tables")
+	}
+	d := mustParse(t, "DESCRIBE main.s.t").Cmd.(*plan.DescribeTable)
+	if len(d.Name) != 3 {
+		t.Errorf("describe = %+v", d)
+	}
+	d2 := mustParse(t, "DESC TABLE t").Cmd.(*plan.DescribeTable)
+	if len(d2.Name) != 1 {
+		t.Errorf("desc = %+v", d2)
+	}
+	if _, err := Parse("SHOW NONSENSE"); err == nil {
+		t.Error("expected error")
+	}
+}

@@ -1,0 +1,172 @@
+// Package sql implements the SQL frontend: a lexer and a recursive-descent
+// parser that lowers statements directly into unresolved logical plans
+// (plan.Node) and commands (plan.Command), mirroring how Spark's parser
+// produces unresolved plans for the analyzer.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokenKind classifies lexer tokens.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokQuotedIdent
+	TokString
+	TokNumber
+	TokOp // punctuation and operators
+)
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // keyword/ident text (original case), operator symbol, or literal payload
+	Pos  int    // byte offset in the input
+}
+
+// Lexer splits SQL text into tokens.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Next returns the next token or an error for malformed input.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return Token{Kind: TokIdent, Text: l.src[start:l.pos], Pos: start}, nil
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		seenDot := false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if isDigit(ch) {
+				l.pos++
+				continue
+			}
+			if ch == '.' && !seenDot {
+				seenDot = true
+				l.pos++
+				continue
+			}
+			if (ch == 'e' || ch == 'E') && l.pos+1 < len(l.src) && (isDigit(l.src[l.pos+1]) || l.src[l.pos+1] == '-' || l.src[l.pos+1] == '+') {
+				l.pos += 2
+				for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+					l.pos++
+				}
+				break
+			}
+			break
+		}
+		return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}, nil
+	case c == '\'':
+		return l.lexString('\'')
+	case c == '`' || c == '"':
+		tok, err := l.lexString(c)
+		if err != nil {
+			return tok, err
+		}
+		tok.Kind = TokQuotedIdent
+		return tok, nil
+	default:
+		// Multi-character operators first.
+		for _, op := range []string{"<=", ">=", "<>", "!=", "||"} {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.pos += len(op)
+				return Token{Kind: TokOp, Text: op, Pos: start}, nil
+			}
+		}
+		if strings.ContainsRune("+-*/%(),=<>.;", rune(c)) {
+			l.pos++
+			return Token{Kind: TokOp, Text: string(c), Pos: start}, nil
+		}
+		return Token{}, fmt.Errorf("unexpected character %q at position %d", c, l.pos)
+	}
+}
+
+// lexString reads a quoted token with doubled-quote escaping.
+func (l *Lexer) lexString(quote byte) (Token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == quote {
+				b.WriteByte(quote)
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Kind: TokString, Text: b.String(), Pos: start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return Token{}, fmt.Errorf("unterminated string starting at position %d", start)
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				l.pos++
+			}
+			l.pos += 2
+			if l.pos > len(l.src) {
+				l.pos = len(l.src)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Tokenize lexes the whole input (testing convenience).
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

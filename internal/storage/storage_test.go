@@ -1,0 +1,151 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := NewStore()
+	cred := s.Signer().Issue("tables/t1/", ModeReadWrite, time.Minute)
+	if err := s.Put(&cred, "tables/t1/data/0.bin", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(&cred, "tables/t1/data/0.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+	sz, err := s.Size(&cred, "tables/t1/data/0.bin")
+	if err != nil || sz != 5 {
+		t.Fatalf("size = %d, %v", sz, err)
+	}
+}
+
+func TestNoCredentialRejected(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Get(nil, "x"); !errors.Is(err, ErrNoCredential) {
+		t.Errorf("err = %v", err)
+	}
+	if err := s.Put(nil, "x", nil); !errors.Is(err, ErrNoCredential) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestForgedCredentialRejected(t *testing.T) {
+	s := NewStore()
+	forged := Credential{Prefix: "tables/", Mode: ModeReadWrite, Expiry: time.Now().Add(time.Hour), Signature: "deadbeef"}
+	if _, err := s.Get(&forged, "tables/x"); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("err = %v", err)
+	}
+	// A credential from a different store's signer is also forged here.
+	other := NewStore().Signer().Issue("tables/", ModeRead, time.Hour)
+	if _, err := s.Get(&other, "tables/x"); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("cross-store err = %v", err)
+	}
+}
+
+func TestTamperedCredentialRejected(t *testing.T) {
+	s := NewStore()
+	cred := s.Signer().Issue("tables/t1/", ModeRead, time.Hour)
+	// Widening the prefix invalidates the signature.
+	cred.Prefix = "tables/"
+	if _, err := s.Get(&cred, "tables/t2/secret"); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("err = %v", err)
+	}
+	// Upgrading the mode invalidates the signature.
+	cred2 := s.Signer().Issue("tables/t1/", ModeRead, time.Hour)
+	cred2.Mode = ModeReadWrite
+	if err := s.Put(&cred2, "tables/t1/x", nil); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestExpiredCredential(t *testing.T) {
+	s := NewStore()
+	now := time.Unix(1000, 0)
+	s.SetClock(func() time.Time { return now })
+	cred := s.Signer().Issue("p/", ModeReadWrite, time.Minute)
+	if err := s.Put(&cred, "p/x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Minute)
+	if _, err := s.Get(&cred, "p/x"); !errors.Is(err, ErrExpiredCredential) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPrefixEnforced(t *testing.T) {
+	s := NewStore()
+	rw := s.Signer().Issue("tables/", ModeReadWrite, time.Hour)
+	if err := s.Put(&rw, "tables/t2/secret", []byte("pii")); err != nil {
+		t.Fatal(err)
+	}
+	narrow := s.Signer().Issue("tables/t1/", ModeRead, time.Hour)
+	if _, err := s.Get(&narrow, "tables/t2/secret"); !errors.Is(err, ErrPrefixMismatch) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := s.List(&narrow, "tables/"); !errors.Is(err, ErrPrefixMismatch) {
+		t.Errorf("list err = %v", err)
+	}
+}
+
+func TestReadOnlyEnforced(t *testing.T) {
+	s := NewStore()
+	ro := s.Signer().Issue("p/", ModeRead, time.Hour)
+	if err := s.Put(&ro, "p/x", nil); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("err = %v", err)
+	}
+	if err := s.Delete(&ro, "p/x"); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("delete err = %v", err)
+	}
+}
+
+func TestListAndDelete(t *testing.T) {
+	s := NewStore()
+	cred := s.Signer().Issue("d/", ModeReadWrite, time.Hour)
+	for _, p := range []string{"d/b", "d/a", "d/c/x"} {
+		if err := s.Put(&cred, p, []byte("1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.List(&cred, "d/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != "d/a" || got[2] != "d/c/x" {
+		t.Fatalf("list = %v", got)
+	}
+	if err := s.Delete(&cred, "d/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(&cred, "d/b"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("get deleted err = %v", err)
+	}
+	// Idempotent delete.
+	if err := s.Delete(&cred, "d/b"); err != nil {
+		t.Errorf("re-delete err = %v", err)
+	}
+}
+
+func TestDataIsolatedFromCallerMutation(t *testing.T) {
+	s := NewStore()
+	cred := s.Signer().Issue("p/", ModeReadWrite, time.Hour)
+	data := []byte("abc")
+	if err := s.Put(&cred, "p/x", data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'Z'
+	got, _ := s.Get(&cred, "p/x")
+	if string(got) != "abc" {
+		t.Error("store aliased caller buffer on Put")
+	}
+	got[0] = 'Q'
+	got2, _ := s.Get(&cred, "p/x")
+	if string(got2) != "abc" {
+		t.Error("store aliased caller buffer on Get")
+	}
+}

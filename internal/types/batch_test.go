@@ -1,0 +1,208 @@
+package types
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testSchema() *Schema {
+	return NewSchema(
+		Field{Name: "id", Kind: KindInt64},
+		Field{Name: "name", Kind: KindString, Nullable: true},
+		Field{Name: "score", Kind: KindFloat64, Nullable: true},
+	)
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := testSchema()
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.IndexOf("NAME") != 1 {
+		t.Errorf("IndexOf case-insensitive failed: %d", s.IndexOf("NAME"))
+	}
+	if s.IndexOf("missing") != -1 {
+		t.Error("IndexOf missing should be -1")
+	}
+	p := s.Project([]int{2, 0})
+	if p.Fields[0].Name != "score" || p.Fields[1].Name != "id" {
+		t.Errorf("Project = %v", p.Names())
+	}
+	c := s.Concat(NewSchema(Field{Name: "x", Kind: KindBool}))
+	if c.Len() != 4 || c.Fields[3].Name != "x" {
+		t.Errorf("Concat = %v", c.Names())
+	}
+	if !s.Equal(s.Clone()) {
+		t.Error("clone should equal original")
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestSchemaValidateErrors(t *testing.T) {
+	dup := NewSchema(Field{Name: "a", Kind: KindInt64}, Field{Name: "A", Kind: KindString})
+	if err := dup.Validate(); err == nil {
+		t.Error("expected duplicate-name error")
+	}
+	empty := NewSchema(Field{Name: "", Kind: KindInt64})
+	if err := empty.Validate(); err == nil {
+		t.Error("expected empty-name error")
+	}
+	bad := NewSchema(Field{Name: "a", Kind: KindNull})
+	if err := bad.Validate(); err == nil {
+		t.Error("expected invalid-kind error")
+	}
+}
+
+func TestColumnBuilderRoundTrip(t *testing.T) {
+	vals := []Value{Int64(1), Null(KindInt64), Int64(3)}
+	col := ColumnFromValues(KindInt64, vals)
+	if col.Len() != 3 {
+		t.Fatalf("len = %d", col.Len())
+	}
+	if !col.IsNull(1) || col.IsNull(0) || col.IsNull(2) {
+		t.Error("null tracking wrong")
+	}
+	if col.Int64(2) != 3 {
+		t.Errorf("col[2] = %d", col.Int64(2))
+	}
+	if !col.HasNulls() {
+		t.Error("HasNulls should be true")
+	}
+	for i, want := range vals {
+		if got := col.Value(i); !got.Equal(want) {
+			t.Errorf("Value(%d) = %v want %v", i, got, want)
+		}
+	}
+}
+
+func TestColumnGatherSlice(t *testing.T) {
+	col := ColumnFromValues(KindString, []Value{String("a"), String("b"), Null(KindString), String("d")})
+	g := col.Gather([]int{3, 0})
+	if g.Len() != 2 || g.StringAt(0) != "d" || g.StringAt(1) != "a" {
+		t.Errorf("gather result wrong: %v %v", g.Value(0), g.Value(1))
+	}
+	s := col.Slice(1, 3)
+	if s.Len() != 2 || s.StringAt(0) != "b" || !s.IsNull(1) {
+		t.Errorf("slice result wrong")
+	}
+}
+
+func TestConstColumn(t *testing.T) {
+	c := ConstColumn(Float64(1.5), 5)
+	if c.Len() != 5 || c.Float64(4) != 1.5 {
+		t.Error("const column wrong")
+	}
+}
+
+func TestBatchShapeValidation(t *testing.T) {
+	s := NewSchema(Field{Name: "a", Kind: KindInt64}, Field{Name: "b", Kind: KindString})
+	good := []*Column{ColumnFromValues(KindInt64, []Value{Int64(1)}), ColumnFromValues(KindString, []Value{String("x")})}
+	if _, err := NewBatch(s, good); err != nil {
+		t.Errorf("valid batch rejected: %v", err)
+	}
+	if _, err := NewBatch(s, good[:1]); err == nil {
+		t.Error("expected column-count error")
+	}
+	ragged := []*Column{good[0], ColumnFromValues(KindString, []Value{String("x"), String("y")})}
+	if _, err := NewBatch(s, ragged); err == nil {
+		t.Error("expected ragged-length error")
+	}
+}
+
+func TestBatchBuilderAndRows(t *testing.T) {
+	s := testSchema()
+	bb := NewBatchBuilder(s, 4)
+	bb.AppendRow([]Value{Int64(1), String("alice"), Float64(0.5)})
+	bb.AppendRow([]Value{Int64(2), Null(KindString), Float64(0.7)})
+	if bb.Len() != 2 {
+		t.Fatalf("builder len = %d", bb.Len())
+	}
+	b := bb.Build()
+	if b.NumRows() != 2 || b.NumCols() != 3 {
+		t.Fatalf("batch shape %dx%d", b.NumRows(), b.NumCols())
+	}
+	row := b.Row(1)
+	if row[0].I != 2 || !row[1].Null {
+		t.Errorf("row 1 = %v", row)
+	}
+	out := b.String()
+	if !strings.Contains(out, "alice") || !strings.Contains(out, "NULL") {
+		t.Errorf("formatted table missing data:\n%s", out)
+	}
+}
+
+func TestBatchGatherSlice(t *testing.T) {
+	s := NewSchema(Field{Name: "n", Kind: KindInt64})
+	bb := NewBatchBuilder(s, 5)
+	for i := 0; i < 5; i++ {
+		bb.AppendRow([]Value{Int64(int64(i * 10))})
+	}
+	b := bb.Build()
+	g := b.Gather([]int{4, 2})
+	if g.NumRows() != 2 || g.Cols[0].Int64(0) != 40 || g.Cols[0].Int64(1) != 20 {
+		t.Error("batch gather wrong")
+	}
+	sl := b.Slice(1, 3)
+	if sl.NumRows() != 2 || sl.Cols[0].Int64(0) != 10 {
+		t.Error("batch slice wrong")
+	}
+}
+
+func TestColumnPropertyBuildReadIdentity(t *testing.T) {
+	// Property: appending arbitrary int64s and reading them back is identity.
+	f := func(vals []int64) bool {
+		b := NewBuilder(KindInt64, len(vals))
+		for _, v := range vals {
+			b.AppendInt64(v)
+		}
+		col := b.Build()
+		if col.Len() != len(vals) {
+			return false
+		}
+		for i, v := range vals {
+			if col.Int64(i) != v || col.IsNull(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColumnPropertyStringIdentity(t *testing.T) {
+	f := func(vals []string) bool {
+		b := NewBuilder(KindString, len(vals))
+		for _, v := range vals {
+			b.AppendString(v)
+		}
+		col := b.Build()
+		for i, v := range vals {
+			if col.StringAt(i) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuilderNullsInterleaved(t *testing.T) {
+	b := NewBuilder(KindFloat64, 4)
+	b.AppendFloat64(1)
+	b.AppendNull()
+	b.AppendFloat64(3)
+	col := b.Build()
+	if col.IsNull(0) || !col.IsNull(1) || col.IsNull(2) {
+		t.Error("interleaved null tracking broken")
+	}
+	if col.Float64(2) != 3 {
+		t.Error("value after null wrong")
+	}
+}

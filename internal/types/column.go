@@ -1,0 +1,198 @@
+package types
+
+import "fmt"
+
+// Column is a typed vector of values with validity tracking. Columns are
+// immutable once built; operators construct new columns via Builder.
+type Column struct {
+	kind  Kind
+	nulls []bool // nil means "no nulls"
+	ints  []int64
+	flts  []float64
+	strs  []string
+	n     int
+}
+
+// Kind returns the column's scalar kind.
+func (c *Column) Kind() Kind { return c.kind }
+
+// Len returns the number of rows.
+func (c *Column) Len() int { return c.n }
+
+// IsNull reports whether row i is NULL.
+func (c *Column) IsNull(i int) bool { return c.nulls != nil && c.nulls[i] }
+
+// HasNulls reports whether any row is NULL.
+func (c *Column) HasNulls() bool {
+	if c.nulls == nil {
+		return false
+	}
+	for _, b := range c.nulls {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// Int64 returns the integer payload of row i (valid for BOOLEAN, BIGINT,
+// DATE, TIMESTAMP columns).
+func (c *Column) Int64(i int) int64 { return c.ints[i] }
+
+// Float64 returns the float payload of row i.
+func (c *Column) Float64(i int) float64 { return c.flts[i] }
+
+// StringAt returns the string payload of row i.
+func (c *Column) StringAt(i int) string { return c.strs[i] }
+
+// Value materializes row i as a scalar Value.
+func (c *Column) Value(i int) Value {
+	if c.IsNull(i) {
+		return Null(c.kind)
+	}
+	switch c.kind {
+	case KindBool, KindInt64, KindDate, KindTimestamp:
+		return Value{Kind: c.kind, I: c.ints[i]}
+	case KindFloat64:
+		return Value{Kind: c.kind, F: c.flts[i]}
+	case KindString, KindBinary:
+		return Value{Kind: c.kind, S: c.strs[i]}
+	}
+	return Null(c.kind)
+}
+
+// Gather returns a new column with the rows at the given indices, in order.
+func (c *Column) Gather(indices []int) *Column {
+	b := NewBuilder(c.kind, len(indices))
+	for _, i := range indices {
+		b.Append(c.Value(i))
+	}
+	return b.Build()
+}
+
+// Slice returns a copy of rows [from, to).
+func (c *Column) Slice(from, to int) *Column {
+	b := NewBuilder(c.kind, to-from)
+	for i := from; i < to; i++ {
+		b.Append(c.Value(i))
+	}
+	return b.Build()
+}
+
+// Builder accumulates values into a Column.
+type Builder struct {
+	col Column
+}
+
+// NewBuilder creates a builder for the given kind with capacity hint n.
+func NewBuilder(kind Kind, n int) *Builder {
+	b := &Builder{col: Column{kind: kind}}
+	switch kind {
+	case KindBool, KindInt64, KindDate, KindTimestamp:
+		b.col.ints = make([]int64, 0, n)
+	case KindFloat64:
+		b.col.flts = make([]float64, 0, n)
+	case KindString, KindBinary:
+		b.col.strs = make([]string, 0, n)
+	}
+	return b
+}
+
+// Append adds a value, casting numerics if needed; mismatched kinds panic
+// because they indicate an analyzer bug, not bad user input.
+func (b *Builder) Append(v Value) {
+	if v.Null {
+		b.AppendNull()
+		return
+	}
+	k := b.col.kind
+	if v.Kind != k {
+		cast, err := v.Cast(k)
+		if err != nil {
+			panic(fmt.Sprintf("column builder: cannot append %s to %s column", v.Kind, k))
+		}
+		v = cast
+	}
+	switch k {
+	case KindBool, KindInt64, KindDate, KindTimestamp:
+		b.col.ints = append(b.col.ints, v.I)
+	case KindFloat64:
+		b.col.flts = append(b.col.flts, v.F)
+	case KindString, KindBinary:
+		b.col.strs = append(b.col.strs, v.S)
+	default:
+		panic(fmt.Sprintf("column builder: unsupported kind %v", k))
+	}
+	if b.col.nulls != nil {
+		b.col.nulls = append(b.col.nulls, false)
+	}
+	b.col.n++
+}
+
+// AppendNull adds a NULL row.
+func (b *Builder) AppendNull() {
+	if b.col.nulls == nil {
+		b.col.nulls = make([]bool, b.col.n, b.col.n+1)
+	}
+	b.col.nulls = append(b.col.nulls, true)
+	switch b.col.kind {
+	case KindBool, KindInt64, KindDate, KindTimestamp:
+		b.col.ints = append(b.col.ints, 0)
+	case KindFloat64:
+		b.col.flts = append(b.col.flts, 0)
+	case KindString, KindBinary:
+		b.col.strs = append(b.col.strs, "")
+	}
+	b.col.n++
+}
+
+// AppendInt64 is a fast path for integer-payload kinds.
+func (b *Builder) AppendInt64(v int64) {
+	b.col.ints = append(b.col.ints, v)
+	if b.col.nulls != nil {
+		b.col.nulls = append(b.col.nulls, false)
+	}
+	b.col.n++
+}
+
+// AppendFloat64 is a fast path for DOUBLE columns.
+func (b *Builder) AppendFloat64(v float64) {
+	b.col.flts = append(b.col.flts, v)
+	if b.col.nulls != nil {
+		b.col.nulls = append(b.col.nulls, false)
+	}
+	b.col.n++
+}
+
+// AppendString is a fast path for STRING/BINARY columns.
+func (b *Builder) AppendString(v string) {
+	b.col.strs = append(b.col.strs, v)
+	if b.col.nulls != nil {
+		b.col.nulls = append(b.col.nulls, false)
+	}
+	b.col.n++
+}
+
+// Len returns the number of rows appended so far.
+func (b *Builder) Len() int { return b.col.n }
+
+// Build finalizes and returns the column. The builder must not be reused.
+func (b *Builder) Build() *Column { return &b.col }
+
+// ColumnFromValues builds a column of the given kind from scalar values.
+func ColumnFromValues(kind Kind, vals []Value) *Column {
+	b := NewBuilder(kind, len(vals))
+	for _, v := range vals {
+		b.Append(v)
+	}
+	return b.Build()
+}
+
+// ConstColumn builds a column repeating v for n rows.
+func ConstColumn(v Value, n int) *Column {
+	b := NewBuilder(v.Kind, n)
+	for i := 0; i < n; i++ {
+		b.Append(v)
+	}
+	return b.Build()
+}

@@ -1,0 +1,98 @@
+// Package types defines the data model shared by every layer of the system:
+// scalar kinds, tagged-union values, schemas, and columnar record batches.
+//
+// The engine is columnar: data flows between operators as Batch values whose
+// columns are typed vectors with validity (null) tracking. Scalar expression
+// evaluation uses the Value tagged union to avoid per-cell interface
+// allocations.
+package types
+
+import "fmt"
+
+// Kind enumerates the scalar data types supported by the engine.
+type Kind uint8
+
+const (
+	// KindNull is the type of the untyped NULL literal.
+	KindNull Kind = iota
+	// KindBool is a boolean.
+	KindBool
+	// KindInt64 is a 64-bit signed integer.
+	KindInt64
+	// KindFloat64 is a 64-bit IEEE-754 float.
+	KindFloat64
+	// KindString is a UTF-8 string.
+	KindString
+	// KindBinary is an opaque byte sequence.
+	KindBinary
+	// KindDate is a calendar date stored as days since the Unix epoch.
+	KindDate
+	// KindTimestamp is an instant stored as microseconds since the Unix epoch.
+	KindTimestamp
+)
+
+var kindNames = [...]string{
+	KindNull:      "NULL",
+	KindBool:      "BOOLEAN",
+	KindInt64:     "BIGINT",
+	KindFloat64:   "DOUBLE",
+	KindString:    "STRING",
+	KindBinary:    "BINARY",
+	KindDate:      "DATE",
+	KindTimestamp: "TIMESTAMP",
+}
+
+// String returns the SQL name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is a defined kind.
+func (k Kind) Valid() bool { return int(k) < len(kindNames) }
+
+// Numeric reports whether the kind participates in arithmetic.
+func (k Kind) Numeric() bool { return k == KindInt64 || k == KindFloat64 }
+
+// Orderable reports whether values of this kind can be compared with </>.
+func (k Kind) Orderable() bool {
+	switch k {
+	case KindBool, KindInt64, KindFloat64, KindString, KindBinary, KindDate, KindTimestamp:
+		return true
+	}
+	return false
+}
+
+// KindFromName resolves a SQL type name (case-insensitive, with common
+// aliases) to a Kind. The second result is false for unknown names.
+func KindFromName(name string) (Kind, bool) {
+	switch upper(name) {
+	case "BOOLEAN", "BOOL":
+		return KindBool, true
+	case "BIGINT", "INT", "INTEGER", "LONG", "SMALLINT", "TINYINT":
+		return KindInt64, true
+	case "DOUBLE", "FLOAT", "REAL", "DECIMAL":
+		return KindFloat64, true
+	case "STRING", "VARCHAR", "TEXT", "CHAR":
+		return KindString, true
+	case "BINARY", "BYTES", "BLOB":
+		return KindBinary, true
+	case "DATE":
+		return KindDate, true
+	case "TIMESTAMP", "DATETIME":
+		return KindTimestamp, true
+	}
+	return KindNull, false
+}
+
+func upper(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'a' && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,55 @@
+package udf
+
+import (
+	"testing"
+
+	"lakeguard/internal/types"
+)
+
+func BenchmarkSimpleUDF(b *testing.B) {
+	p, err := Compile("return a + b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	args := map[string]value{"a": intVal(3), "b": intVal(4)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Call(args, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashUDF100Iterations(b *testing.B) {
+	p, err := Compile("h = s\nfor i in range(100):\n    h = sha256(h)\nreturn h")
+	if err != nil {
+		b.Fatal(err)
+	}
+	args := map[string]value{"s": types.String("seed")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Call(args, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompile(b *testing.B) {
+	src := `
+total = 0.0
+for i in range(10):
+    if i % 2 == 0:
+        total = total + i
+    else:
+        total = total - i
+return total
+`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

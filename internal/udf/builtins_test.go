@@ -1,0 +1,65 @@
+package udf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStringBuiltins(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"return startswith('lakeguard', 'lake')", "true"},
+		{"return startswith('lakeguard', 'guard')", "false"},
+		{"return endswith('lakeguard', 'guard')", "true"},
+		{"return contains('lakeguard', 'egu')", "true"},
+		{"return contains('lakeguard', 'xyz')", "false"},
+		{"return find('lakeguard', 'guard')", "4"},
+		{"return find('lakeguard', 'zz')", "-1"},
+		{"return replace('a-b-c', '-', '_')", "a_b_c"},
+		{"return strip('  pad  ')", "pad"},
+		{"return reversed('abc')", "cba"},
+		{"return ord('A')", "65"},
+		{"return chr(66)", "B"},
+	}
+	for _, c := range cases {
+		v := run(t, c.src, nil)
+		if got := v.String(); got != c.want {
+			t.Errorf("%q = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestMathBuiltins(t *testing.T) {
+	if v := run(t, "return pow(2, 10)", nil); v.F != 1024 {
+		t.Errorf("pow = %v", v)
+	}
+	if v := run(t, "return exp(0)", nil); v.F != 1 {
+		t.Errorf("exp = %v", v)
+	}
+	if v := run(t, "return log(exp(1.0))", nil); math.Abs(v.F-1) > 1e-12 {
+		t.Errorf("log = %v", v)
+	}
+	for _, src := range []string{"return log(0)", "return log(-1)", "return ord('')"} {
+		p, err := Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Call(nil, nil); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}
+
+func TestBuiltinsComposeInPrograms(t *testing.T) {
+	src := `
+s = strip('  lakeguard  ')
+if startswith(s, 'lake') and endswith(s, 'guard'):
+    return replace(s, 'lake', 'data')
+return 'nope'
+`
+	if v := run(t, src, nil); v.S != "dataguard" {
+		t.Errorf("got %q", v.S)
+	}
+}

@@ -1,0 +1,644 @@
+package udf
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"lakeguard/internal/types"
+)
+
+// value is the interpreter's runtime value; PyLite reuses the engine's
+// tagged-union scalar so results cross the sandbox boundary without
+// conversion.
+type value = types.Value
+
+func intVal(i int64) value     { return types.Int64(i) }
+func floatVal(f float64) value { return types.Float64(f) }
+func strVal(s string) value    { return types.String(s) }
+func boolVal(b bool) value     { return types.Bool(b) }
+
+// Capabilities is the authority a sandbox grants to user code. A nil
+// function means the capability is denied. This is the object-capability
+// boundary: PyLite has no ambient access to anything not listed here.
+type Capabilities struct {
+	// HTTPGet performs an outbound request, if egress is permitted.
+	HTTPGet func(url string) (string, error)
+}
+
+// Errors.
+var (
+	ErrFuelExhausted = errors.New("pylite: execution budget exhausted")
+	ErrNoReturn      = errors.New("pylite: function did not return a value")
+	ErrEgressDenied  = errors.New("pylite: network egress denied by sandbox policy")
+)
+
+// DefaultFuel bounds interpreter steps per invocation.
+const DefaultFuel = 1_000_000
+
+type interp struct {
+	vars map[string]value
+	caps *Capabilities
+	fuel int
+}
+
+type returnSignal struct{ val value }
+
+func (r returnSignal) Error() string { return "return" }
+
+// Call executes the program with the given arguments and capabilities.
+// The result is the value of the first `return`, or the value of the last
+// bare expression statement if no return executes.
+func (p *Program) Call(args map[string]value, caps *Capabilities) (value, error) {
+	return p.CallFuel(args, caps, DefaultFuel)
+}
+
+// CallFuel is Call with an explicit step budget.
+func (p *Program) CallFuel(args map[string]value, caps *Capabilities, fuel int) (value, error) {
+	in := &interp{vars: make(map[string]value, len(args)+4), caps: caps, fuel: fuel}
+	for k, v := range args {
+		in.vars[k] = v
+	}
+	last := value{}
+	hasLast := false
+	for _, s := range p.body {
+		v, isExpr, err := in.exec(s)
+		var ret returnSignal
+		if errors.As(err, &ret) {
+			return ret.val, nil
+		}
+		if err != nil {
+			return value{}, err
+		}
+		if isExpr {
+			last, hasLast = v, true
+		}
+	}
+	if hasLast {
+		return last, nil
+	}
+	return value{}, ErrNoReturn
+}
+
+func (in *interp) step() error {
+	in.fuel--
+	if in.fuel < 0 {
+		return ErrFuelExhausted
+	}
+	return nil
+}
+
+// exec runs one statement. The bool reports whether the statement was a bare
+// expression (its value may become the implicit result).
+func (in *interp) exec(s stmt) (value, bool, error) {
+	if err := in.step(); err != nil {
+		return value{}, false, err
+	}
+	switch t := s.(type) {
+	case assignStmt:
+		v, err := in.eval(t.expr)
+		if err != nil {
+			return value{}, false, err
+		}
+		in.vars[t.name] = v
+		return value{}, false, nil
+	case returnStmt:
+		v, err := in.eval(t.expr)
+		if err != nil {
+			return value{}, false, err
+		}
+		return value{}, false, returnSignal{val: v}
+	case exprStmt:
+		v, err := in.eval(t.expr)
+		return v, true, err
+	case ifStmt:
+		c, err := in.eval(t.cond)
+		if err != nil {
+			return value{}, false, err
+		}
+		body := t.then
+		if !truthy(c) {
+			body = t.els
+		}
+		return in.execBlock(body)
+	case forStmt:
+		n, err := in.eval(t.count)
+		if err != nil {
+			return value{}, false, err
+		}
+		count := n.I
+		if n.Kind == types.KindFloat64 {
+			count = int64(n.F)
+		}
+		var last value
+		isLast := false
+		for i := int64(0); i < count; i++ {
+			in.vars[t.varName] = intVal(i)
+			v, isExpr, err := in.execBlock(t.body)
+			if err != nil {
+				return value{}, false, err
+			}
+			if isExpr {
+				last, isLast = v, true
+			}
+		}
+		return last, isLast, nil
+	case whileStmt:
+		var last value
+		isLast := false
+		for {
+			if err := in.step(); err != nil {
+				return value{}, false, err
+			}
+			c, err := in.eval(t.cond)
+			if err != nil {
+				return value{}, false, err
+			}
+			if !truthy(c) {
+				return last, isLast, nil
+			}
+			v, isExpr, err := in.execBlock(t.body)
+			if err != nil {
+				return value{}, false, err
+			}
+			if isExpr {
+				last, isLast = v, true
+			}
+		}
+	}
+	return value{}, false, fmt.Errorf("pylite: unknown statement %T", s)
+}
+
+func (in *interp) execBlock(body []stmt) (value, bool, error) {
+	var last value
+	isLast := false
+	for _, s := range body {
+		v, isExpr, err := in.exec(s)
+		if err != nil {
+			return value{}, false, err
+		}
+		if isExpr {
+			last, isLast = v, true
+		}
+	}
+	return last, isLast, nil
+}
+
+func truthy(v value) bool {
+	if v.Null {
+		return false
+	}
+	switch v.Kind {
+	case types.KindBool, types.KindInt64:
+		return v.I != 0
+	case types.KindFloat64:
+		return v.F != 0
+	case types.KindString, types.KindBinary:
+		return v.S != ""
+	}
+	return false
+}
+
+func (in *interp) eval(n node) (value, error) {
+	if err := in.step(); err != nil {
+		return value{}, err
+	}
+	switch t := n.(type) {
+	case litNode:
+		return t.val, nil
+	case nameNode:
+		v, ok := in.vars[t.name]
+		if !ok {
+			return value{}, fmt.Errorf("pylite: name %q is not defined", t.name)
+		}
+		return v, nil
+	case unNode:
+		c, err := in.eval(t.child)
+		if err != nil {
+			return value{}, err
+		}
+		switch t.op {
+		case "not":
+			return boolVal(!truthy(c)), nil
+		case "-":
+			switch c.Kind {
+			case types.KindInt64:
+				return intVal(-c.I), nil
+			case types.KindFloat64:
+				return floatVal(-c.F), nil
+			}
+			return value{}, fmt.Errorf("pylite: cannot negate %s", c.Kind)
+		}
+	case condNode:
+		c, err := in.eval(t.cond)
+		if err != nil {
+			return value{}, err
+		}
+		if truthy(c) {
+			return in.eval(t.then)
+		}
+		return in.eval(t.els)
+	case binNode:
+		return in.evalBin(t)
+	case callNode:
+		return in.evalCall(t)
+	}
+	return value{}, fmt.Errorf("pylite: unknown expression %T", n)
+}
+
+func (in *interp) evalBin(t binNode) (value, error) {
+	// Short-circuit logic.
+	if t.op == "and" || t.op == "or" {
+		l, err := in.eval(t.l)
+		if err != nil {
+			return value{}, err
+		}
+		if t.op == "and" && !truthy(l) {
+			return l, nil
+		}
+		if t.op == "or" && truthy(l) {
+			return l, nil
+		}
+		return in.eval(t.r)
+	}
+	l, err := in.eval(t.l)
+	if err != nil {
+		return value{}, err
+	}
+	r, err := in.eval(t.r)
+	if err != nil {
+		return value{}, err
+	}
+	switch t.op {
+	case "+":
+		if l.Kind == types.KindString || r.Kind == types.KindString {
+			return strVal(toStr(l) + toStr(r)), nil
+		}
+		return arith(l, r, func(a, b int64) int64 { return a + b }, func(a, b float64) float64 { return a + b })
+	case "-":
+		return arith(l, r, func(a, b int64) int64 { return a - b }, func(a, b float64) float64 { return a - b })
+	case "*":
+		if l.Kind == types.KindString && r.Kind == types.KindInt64 {
+			return strVal(strings.Repeat(l.S, int(max64(0, r.I)))), nil
+		}
+		return arith(l, r, func(a, b int64) int64 { return a * b }, func(a, b float64) float64 { return a * b })
+	case "/":
+		lf, rf := toFloat(l), toFloat(r)
+		if rf == 0 {
+			return value{}, errors.New("pylite: division by zero")
+		}
+		return floatVal(lf / rf), nil
+	case "//":
+		if l.Kind == types.KindInt64 && r.Kind == types.KindInt64 {
+			if r.I == 0 {
+				return value{}, errors.New("pylite: division by zero")
+			}
+			return intVal(floorDiv(l.I, r.I)), nil
+		}
+		rf := toFloat(r)
+		if rf == 0 {
+			return value{}, errors.New("pylite: division by zero")
+		}
+		return floatVal(math.Floor(toFloat(l) / rf)), nil
+	case "%":
+		if l.Kind == types.KindInt64 && r.Kind == types.KindInt64 {
+			if r.I == 0 {
+				return value{}, errors.New("pylite: modulo by zero")
+			}
+			return intVal(pyMod(l.I, r.I)), nil
+		}
+		rf := toFloat(r)
+		if rf == 0 {
+			return value{}, errors.New("pylite: modulo by zero")
+		}
+		return floatVal(math.Mod(toFloat(l), rf)), nil
+	case "==", "!=", "<", "<=", ">", ">=":
+		cmp, ok := compareVals(l, r)
+		if !ok {
+			if t.op == "==" {
+				return boolVal(false), nil
+			}
+			if t.op == "!=" {
+				return boolVal(true), nil
+			}
+			return value{}, fmt.Errorf("pylite: cannot compare %s and %s", l.Kind, r.Kind)
+		}
+		switch t.op {
+		case "==":
+			return boolVal(cmp == 0), nil
+		case "!=":
+			return boolVal(cmp != 0), nil
+		case "<":
+			return boolVal(cmp < 0), nil
+		case "<=":
+			return boolVal(cmp <= 0), nil
+		case ">":
+			return boolVal(cmp > 0), nil
+		case ">=":
+			return boolVal(cmp >= 0), nil
+		}
+	}
+	return value{}, fmt.Errorf("pylite: unknown operator %q", t.op)
+}
+
+func compareVals(l, r value) (int, bool) {
+	if l.Null || r.Null {
+		if l.Null && r.Null {
+			return 0, true
+		}
+		return 0, false
+	}
+	return l.Compare(r)
+}
+
+func arith(l, r value, fi func(a, b int64) int64, ff func(a, b float64) float64) (value, error) {
+	if l.Kind == types.KindInt64 && r.Kind == types.KindInt64 {
+		return intVal(fi(l.I, r.I)), nil
+	}
+	if l.Kind.Numeric() && r.Kind.Numeric() || l.Kind == types.KindBool || r.Kind == types.KindBool {
+		return floatVal(ff(toFloat(l), toFloat(r))), nil
+	}
+	return value{}, fmt.Errorf("pylite: unsupported operands %s and %s", l.Kind, r.Kind)
+}
+
+func toFloat(v value) float64 {
+	switch v.Kind {
+	case types.KindInt64, types.KindBool:
+		return float64(v.I)
+	case types.KindFloat64:
+		return v.F
+	}
+	return 0
+}
+
+func toStr(v value) string {
+	if v.Null {
+		return "None"
+	}
+	switch v.Kind {
+	case types.KindString, types.KindBinary:
+		return v.S
+	case types.KindBool:
+		if v.I != 0 {
+			return "True"
+		}
+		return "False"
+	}
+	return v.String()
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+func pyMod(a, b int64) int64 {
+	m := a % b
+	if m != 0 && ((a < 0) != (b < 0)) {
+		m += b
+	}
+	return m
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (in *interp) evalCall(t callNode) (value, error) {
+	args := make([]value, len(t.args))
+	for i, a := range t.args {
+		v, err := in.eval(a)
+		if err != nil {
+			return value{}, err
+		}
+		args[i] = v
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("pylite: %s expects %d arguments, got %d", t.fn, n, len(args))
+		}
+		return nil
+	}
+	switch t.fn {
+	case "sha256":
+		if err := need(1); err != nil {
+			return value{}, err
+		}
+		sum := sha256.Sum256([]byte(toStr(args[0])))
+		return strVal(hex.EncodeToString(sum[:])), nil
+	case "len":
+		if err := need(1); err != nil {
+			return value{}, err
+		}
+		return intVal(int64(len(toStr(args[0])))), nil
+	case "upper":
+		if err := need(1); err != nil {
+			return value{}, err
+		}
+		return strVal(strings.ToUpper(toStr(args[0]))), nil
+	case "lower":
+		if err := need(1); err != nil {
+			return value{}, err
+		}
+		return strVal(strings.ToLower(toStr(args[0]))), nil
+	case "substr":
+		if err := need(3); err != nil {
+			return value{}, err
+		}
+		s := toStr(args[0])
+		lo, hi := int(args[1].I), int(args[2].I)
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(s) {
+			hi = len(s)
+		}
+		if lo > hi {
+			lo = hi
+		}
+		return strVal(s[lo:hi]), nil
+	case "str":
+		if err := need(1); err != nil {
+			return value{}, err
+		}
+		return strVal(toStr(args[0])), nil
+	case "int":
+		if err := need(1); err != nil {
+			return value{}, err
+		}
+		switch args[0].Kind {
+		case types.KindFloat64:
+			return intVal(int64(args[0].F)), nil
+		case types.KindInt64, types.KindBool:
+			return intVal(args[0].I), nil
+		case types.KindString:
+			i, err := strconv.ParseInt(strings.TrimSpace(args[0].S), 10, 64)
+			if err != nil {
+				return value{}, fmt.Errorf("pylite: int(%q): invalid literal", args[0].S)
+			}
+			return intVal(i), nil
+		}
+		return value{}, fmt.Errorf("pylite: cannot int() a %s", args[0].Kind)
+	case "float":
+		if err := need(1); err != nil {
+			return value{}, err
+		}
+		switch args[0].Kind {
+		case types.KindFloat64:
+			return args[0], nil
+		case types.KindInt64, types.KindBool:
+			return floatVal(float64(args[0].I)), nil
+		case types.KindString:
+			f, err := strconv.ParseFloat(strings.TrimSpace(args[0].S), 64)
+			if err != nil {
+				return value{}, fmt.Errorf("pylite: float(%q): invalid literal", args[0].S)
+			}
+			return floatVal(f), nil
+		}
+		return value{}, fmt.Errorf("pylite: cannot float() a %s", args[0].Kind)
+	case "abs":
+		if err := need(1); err != nil {
+			return value{}, err
+		}
+		switch args[0].Kind {
+		case types.KindInt64:
+			if args[0].I < 0 {
+				return intVal(-args[0].I), nil
+			}
+			return args[0], nil
+		case types.KindFloat64:
+			return floatVal(math.Abs(args[0].F)), nil
+		}
+		return value{}, fmt.Errorf("pylite: cannot abs() a %s", args[0].Kind)
+	case "min", "max":
+		if len(args) < 2 {
+			return value{}, fmt.Errorf("pylite: %s requires at least 2 arguments", t.fn)
+		}
+		best := args[0]
+		for _, a := range args[1:] {
+			c, ok := compareVals(a, best)
+			if !ok {
+				return value{}, fmt.Errorf("pylite: cannot compare %s and %s", a.Kind, best.Kind)
+			}
+			if (t.fn == "min" && c < 0) || (t.fn == "max" && c > 0) {
+				best = a
+			}
+		}
+		return best, nil
+	case "round":
+		if err := need(1); err != nil {
+			return value{}, err
+		}
+		return floatVal(math.Round(toFloat(args[0]))), nil
+	case "sqrt":
+		if err := need(1); err != nil {
+			return value{}, err
+		}
+		f := toFloat(args[0])
+		if f < 0 {
+			return value{}, errors.New("pylite: sqrt of negative")
+		}
+		return floatVal(math.Sqrt(f)), nil
+	case "http_get":
+		if err := need(1); err != nil {
+			return value{}, err
+		}
+		if in.caps == nil || in.caps.HTTPGet == nil {
+			return value{}, ErrEgressDenied
+		}
+		body, err := in.caps.HTTPGet(toStr(args[0]))
+		if err != nil {
+			return value{}, fmt.Errorf("pylite: http_get: %w", err)
+		}
+		return strVal(body), nil
+	case "is_null":
+		if err := need(1); err != nil {
+			return value{}, err
+		}
+		return boolVal(args[0].Null), nil
+	case "startswith":
+		if err := need(2); err != nil {
+			return value{}, err
+		}
+		return boolVal(strings.HasPrefix(toStr(args[0]), toStr(args[1]))), nil
+	case "endswith":
+		if err := need(2); err != nil {
+			return value{}, err
+		}
+		return boolVal(strings.HasSuffix(toStr(args[0]), toStr(args[1]))), nil
+	case "contains":
+		if err := need(2); err != nil {
+			return value{}, err
+		}
+		return boolVal(strings.Contains(toStr(args[0]), toStr(args[1]))), nil
+	case "find":
+		if err := need(2); err != nil {
+			return value{}, err
+		}
+		return intVal(int64(strings.Index(toStr(args[0]), toStr(args[1])))), nil
+	case "replace":
+		if err := need(3); err != nil {
+			return value{}, err
+		}
+		return strVal(strings.ReplaceAll(toStr(args[0]), toStr(args[1]), toStr(args[2]))), nil
+	case "strip":
+		if err := need(1); err != nil {
+			return value{}, err
+		}
+		return strVal(strings.TrimSpace(toStr(args[0]))), nil
+	case "reversed":
+		if err := need(1); err != nil {
+			return value{}, err
+		}
+		s := toStr(args[0])
+		b := []byte(s)
+		for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+			b[i], b[j] = b[j], b[i]
+		}
+		return strVal(string(b)), nil
+	case "ord":
+		if err := need(1); err != nil {
+			return value{}, err
+		}
+		s := toStr(args[0])
+		if len(s) == 0 {
+			return value{}, errors.New("pylite: ord of empty string")
+		}
+		return intVal(int64(s[0])), nil
+	case "chr":
+		if err := need(1); err != nil {
+			return value{}, err
+		}
+		return strVal(string(rune(args[0].I))), nil
+	case "pow":
+		if err := need(2); err != nil {
+			return value{}, err
+		}
+		return floatVal(math.Pow(toFloat(args[0]), toFloat(args[1]))), nil
+	case "log":
+		if err := need(1); err != nil {
+			return value{}, err
+		}
+		f := toFloat(args[0])
+		if f <= 0 {
+			return value{}, errors.New("pylite: log of non-positive value")
+		}
+		return floatVal(math.Log(f)), nil
+	case "exp":
+		if err := need(1); err != nil {
+			return value{}, err
+		}
+		return floatVal(math.Exp(toFloat(args[0]))), nil
+	}
+	return value{}, fmt.Errorf("pylite: unknown function %q", t.fn)
+}
