@@ -1,0 +1,80 @@
+// Command lakeguard-lint runs the Lakeguard architecture linter over the
+// enclosing module: import boundaries between governance and enforcement
+// layers, %w error wrapping, lock-by-value hygiene, and security-context
+// parameters on governance entry points. See internal/lint for the rules.
+//
+// Usage:
+//
+//	lakeguard-lint [-json] [./...]
+//
+// The package pattern is accepted for familiarity but the linter always
+// analyzes the whole module containing the working directory. Exit status is
+// 0 when clean, 1 when findings exist, 2 on operational errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"lakeguard/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	flag.Parse()
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lakeguard-lint:", err)
+		os.Exit(2)
+	}
+	runner, err := lint.NewRunner(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lakeguard-lint:", err)
+		os.Exit(2)
+	}
+	findings, err := runner.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lakeguard-lint:", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "lakeguard-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "lakeguard-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

@@ -8,7 +8,12 @@
 //
 //	<sql statement>;   execute (multi-line input until a trailing ';')
 //	\explain <query>   show the (policy-redacted) plan
+//	\explainv <query>  show the plan with sentinel verification annotations
 //	\q                 quit
+//
+// With -e, the -explain-verified flag prints the optimized plan annotated
+// with the static security invariant that cleared each policy operator,
+// instead of executing the statement.
 package main
 
 import (
@@ -26,18 +31,32 @@ func main() {
 	addr := flag.String("addr", "http://localhost:8765", "Connect endpoint URL")
 	token := flag.String("token", "admin-token", "bearer token")
 	execute := flag.String("e", "", "execute one statement and exit")
+	explainVerified := flag.Bool("explain-verified", false, "with -e: print the sentinel-verified plan instead of executing")
 	flag.Parse()
 
 	client := connect.Dial(*addr, *token)
 	defer client.Close()
 
 	if *execute != "" {
-		runStatement(client, *execute)
+		ok := false
+		if *explainVerified {
+			ok = explain(client, *execute, true)
+		} else {
+			ok = runStatement(client, *execute)
+		}
+		if !ok {
+			client.Close()
+			os.Exit(1)
+		}
 		return
+	}
+	if *explainVerified {
+		fmt.Fprintln(os.Stderr, "error: -explain-verified requires -e <query>")
+		os.Exit(2)
 	}
 
 	fmt.Printf("lakeguard-sql connected to %s (session %s)\n", *addr, client.SessionID())
-	fmt.Println(`enter SQL terminated by ';', \explain <query>, or \q to quit`)
+	fmt.Println(`enter SQL terminated by ';', \explain <query>, \explainv <query>, or \q to quit`)
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -55,8 +74,11 @@ func main() {
 				continue
 			case trimmed == `\q`, trimmed == "exit", trimmed == "quit":
 				return
+			case strings.HasPrefix(trimmed, `\explainv `):
+				explain(client, strings.TrimPrefix(trimmed, `\explainv `), true)
+				continue
 			case strings.HasPrefix(trimmed, `\explain `):
-				explain(client, strings.TrimPrefix(trimmed, `\explain `))
+				explain(client, strings.TrimPrefix(trimmed, `\explain `), false)
 				continue
 			}
 		}
@@ -73,22 +95,31 @@ func main() {
 	}
 }
 
-func runStatement(client *connect.Client, stmt string) {
+func runStatement(client *connect.Client, stmt string) bool {
 	start := time.Now()
 	b, err := client.ExecSQL(stmt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
-		return
+		return false
 	}
 	fmt.Print(b.String())
 	fmt.Printf("(%d row(s) in %v)\n", b.NumRows(), time.Since(start).Round(time.Millisecond))
+	return true
 }
 
-func explain(client *connect.Client, query string) {
-	out, err := client.Sql(query).Explain()
+func explain(client *connect.Client, query string, verified bool) bool {
+	df := client.Sql(query)
+	var out string
+	var err error
+	if verified {
+		out, err = df.ExplainVerified()
+	} else {
+		out, err = df.Explain()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
-		return
+		return false
 	}
 	fmt.Println(out)
+	return true
 }

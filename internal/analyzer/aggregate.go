@@ -150,7 +150,7 @@ func (st *aggState) rewrite(e plan.Expr) (plan.Expr, error) {
 		}
 		kind, err := aggResultKind(call.name, arg)
 		if err != nil {
-			return nil, fmt.Errorf("analyzer: %v", err)
+			return nil, fmt.Errorf("analyzer: %w", err)
 		}
 		af := &plan.AggFunc{Name: call.name, Arg: arg, Distinct: call.distinct, ResultKind: kind}
 		// Reuse an identical existing slot.

@@ -19,7 +19,7 @@ func (a *Analyzer) resolveExpr(e plan.Expr, sc *scope) (plan.Expr, error) {
 	case *plan.ColumnRef:
 		c, err := sc.resolve(t.Qualifier, t.Name)
 		if err != nil {
-			return nil, fmt.Errorf("analyzer: %v", err)
+			return nil, fmt.Errorf("analyzer: %w", err)
 		}
 		return &plan.BoundRef{Index: c.index, Name: c.name, Kind: c.kind}, nil
 
@@ -72,7 +72,7 @@ func (a *Analyzer) resolveExpr(e plan.Expr, sc *scope) (plan.Expr, error) {
 			}
 			r, err = coerceTo(r, child.Type())
 			if err != nil {
-				return nil, fmt.Errorf("analyzer: IN list item %d: %v", i+1, err)
+				return nil, fmt.Errorf("analyzer: IN list item %d: %w", i+1, err)
 			}
 			list[i] = r
 		}
@@ -174,7 +174,7 @@ func (a *Analyzer) resolveBinary(t *plan.Binary, sc *scope) (plan.Expr, error) {
 	case t.Op.IsComparison():
 		l2, r2, err := unifyComparison(l, r)
 		if err != nil {
-			return nil, fmt.Errorf("analyzer: %v", err)
+			return nil, fmt.Errorf("analyzer: %w", err)
 		}
 		return &plan.Binary{Op: t.Op, L: l2, R: r2, ResultKind: types.KindBool}, nil
 	}
@@ -251,7 +251,7 @@ func (a *Analyzer) resolveCase(t *plan.Case, sc *scope) (plan.Expr, error) {
 	}
 	common, err := commonKind(resultKinds)
 	if err != nil {
-		return nil, fmt.Errorf("analyzer: CASE branches: %v", err)
+		return nil, fmt.Errorf("analyzer: CASE branches: %w", err)
 	}
 	out.ResultKind = common
 	// Cast all branches to the common kind.
@@ -306,7 +306,7 @@ func (a *Analyzer) resolveFuncCall(t *plan.FuncCall, sc *scope) (plan.Expr, erro
 		}
 		kind, err := sig.result(args)
 		if err != nil {
-			return nil, fmt.Errorf("analyzer: %s: %v", strings.ToUpper(name), err)
+			return nil, fmt.Errorf("analyzer: %s: %w", strings.ToUpper(name), err)
 		}
 		return &plan.ScalarFunc{Name: name, Args: args, ResultKind: kind}, nil
 	}
@@ -323,7 +323,7 @@ func (a *Analyzer) resolveFuncCall(t *plan.FuncCall, sc *scope) (plan.Expr, erro
 		}
 		kind, err := aggResultKind(name, arg)
 		if err != nil {
-			return nil, fmt.Errorf("analyzer: %v", err)
+			return nil, fmt.Errorf("analyzer: %w", err)
 		}
 		return &plan.AggFunc{Name: name, Arg: arg, Distinct: t.Distinct, ResultKind: kind}, nil
 	}

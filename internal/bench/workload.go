@@ -39,7 +39,7 @@ func NewWorld(sandboxCfg sandbox.Config) *World {
 	return &World{
 		Cat:        cat,
 		Dispatcher: dispatcher,
-		Engine:     &exec.Engine{Cat: cat, Dispatcher: dispatcher, FuseUDFs: true},
+		Engine:     &exec.Engine{Tables: cat, Dispatcher: dispatcher, FuseUDFs: true},
 	}
 }
 

@@ -271,6 +271,26 @@ func (c *Catalog) OpenTableLog(ctx RequestContext, parts []string) (*delta.Log, 
 	return log, cred, nil
 }
 
+// OpenSnapshot resolves a table by its fully qualified name, vends a read
+// credential, and returns the requested snapshot together with a file reader
+// bound to that credential. It is the execution engine's only route to table
+// data (it satisfies exec.TableProvider structurally): the engine never
+// handles raw storage paths or credentials itself, so every byte it reads is
+// covered by a vended, audited credential.
+func (c *Catalog) OpenSnapshot(ctx RequestContext, table string, version int64) (*delta.Snapshot, func(path string) ([]byte, error), error) {
+	parts := strings.Split(table, ".")
+	log, cred, err := c.OpenTableLog(ctx, parts)
+	if err != nil {
+		return nil, nil, err
+	}
+	snap, err := log.Snapshot(cred, version)
+	if err != nil {
+		return nil, nil, err
+	}
+	read := func(path string) ([]byte, error) { return c.store.Get(cred, path) }
+	return snap, read, nil
+}
+
 // AppendToTable writes batches into a managed table (engine-side DML).
 func (c *Catalog) AppendToTable(ctx RequestContext, parts []string, batches []*types.Batch) (int64, error) {
 	cred, err := c.VendCredential(ctx, parts, storage.ModeReadWrite)

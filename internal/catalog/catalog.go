@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"lakeguard/internal/audit"
+	"lakeguard/internal/security"
 	"lakeguard/internal/storage"
 	"lakeguard/internal/types"
 )
@@ -40,44 +41,23 @@ func ParsePrivilege(s string) (Privilege, error) {
 	return "", fmt.Errorf("catalog: unknown privilege %q", s)
 }
 
-// ComputeType classifies the requesting compute's isolation capabilities.
-type ComputeType string
+// ComputeType aliases the shared security model's compute classification
+// (paper §4) so existing catalog callers keep compiling.
+type ComputeType = security.ComputeType
 
-// Compute types (paper §4).
+// Compute types, re-exported from the security package.
 const (
-	// ComputeStandard is the multi-user cluster type with full user-code
-	// isolation; the engine is trusted to enforce FGAC locally.
-	ComputeStandard ComputeType = "STANDARD"
-	// ComputeDedicated gives users privileged machine access; FGAC cannot be
-	// enforced locally and must be offloaded (eFGAC).
-	ComputeDedicated ComputeType = "DEDICATED"
-	// ComputeServerless is the Databricks-managed standard-architecture
-	// fleet that serves eFGAC subqueries.
-	ComputeServerless ComputeType = "SERVERLESS"
-	// ComputeExternal is a non-Databricks engine (Presto/Trino); like
-	// Dedicated, it can only use eFGAC for governed relations.
-	ComputeExternal ComputeType = "EXTERNAL"
+	ComputeStandard   = security.ComputeStandard
+	ComputeDedicated  = security.ComputeDedicated
+	ComputeServerless = security.ComputeServerless
+	ComputeExternal   = security.ComputeExternal
 )
 
-// TrustedForFGAC reports whether the compute type may receive policy
-// internals and raw-table credentials for FGAC-protected relations.
-func (c ComputeType) TrustedForFGAC() bool {
-	return c == ComputeStandard || c == ComputeServerless
-}
-
 // RequestContext identifies a catalog caller: the user identity plus the
-// credential scope of the compute the request originates from.
-type RequestContext struct {
-	User      string
-	Compute   ComputeType
-	ClusterID string
-	SessionID string
-	// GroupScope, when non-empty, down-scopes the caller's effective
-	// permissions to exactly the named group's grants while retaining the
-	// user identity for auditing and CURRENT_USER (dedicated group
-	// clusters, paper §4.2).
-	GroupScope string
-}
+// credential scope of the compute the request originates from. It aliases
+// the shared security model so enforcement layers (exec, sentinel) can name
+// the same type without importing the catalog.
+type RequestContext = security.RequestContext
 
 // ObjectType classifies securables.
 type ObjectType string

@@ -172,11 +172,21 @@ func readBatchStream(r io.Reader) (*types.Schema, []*types.Batch, error) {
 
 // AnalyzePlan returns the schema and (redacted) EXPLAIN text of a relation.
 func (c *Client) AnalyzePlan(rel plan.Node) (*types.Schema, string, error) {
+	return c.analyzePlan("/v1/analyze", rel)
+}
+
+// AnalyzePlanVerified returns the schema and the sentinel-annotated EXPLAIN
+// showing which static security invariant cleared each policy operator.
+func (c *Client) AnalyzePlanVerified(rel plan.Node) (*types.Schema, string, error) {
+	return c.analyzePlan("/v1/analyzeVerified", rel)
+}
+
+func (c *Client) analyzePlan(path string, rel plan.Node) (*types.Schema, string, error) {
 	body, err := proto.EncodePlan(rel)
 	if err != nil {
 		return nil, "", err
 	}
-	req, err := c.newRequest(http.MethodPost, "/v1/analyze", body)
+	req, err := c.newRequest(http.MethodPost, path, body)
 	if err != nil {
 		return nil, "", err
 	}

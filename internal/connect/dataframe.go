@@ -197,6 +197,13 @@ func (df *DataFrame) Explain() (string, error) {
 	return explain, err
 }
 
+// ExplainVerified is Explain with sentinel annotations: each policy operator
+// in the rendering names the static security invariants that cleared it.
+func (df *DataFrame) ExplainVerified() (string, error) {
+	_, explain, err := df.client.AnalyzePlanVerified(df.node)
+	return explain, err
+}
+
 // CreateTempView registers the DataFrame as a session-scoped view.
 func (df *DataFrame) CreateTempView(name string) error {
 	_, err := df.client.ExecutePlan(&proto.Plan{Command: &proto.Command{

@@ -30,6 +30,14 @@ type Backend interface {
 	CloseSession(sessionID string)
 }
 
+// VerifiedExplainer is an optional Backend extension: an EXPLAIN whose
+// rendering annotates each policy operator with the sentinel invariants that
+// cleared it (the `--explain-verified` surface). Backends without static
+// verification simply do not implement it.
+type VerifiedExplainer interface {
+	AnalyzeVerified(sessionID, user string, rel plan.Node) (*types.Schema, string, error)
+}
+
 // Authenticator maps bearer tokens to user identities.
 type Authenticator interface {
 	Authenticate(token string) (user string, err error)
@@ -98,6 +106,7 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/execute", s.handleExecute)
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("/v1/analyzeVerified", s.handleAnalyzeVerified)
 	mux.HandleFunc("/v1/reattach", s.handleReattach)
 	mux.HandleFunc("/v1/release", s.handleRelease)
 	mux.HandleFunc("/v1/closeSession", s.handleCloseSession)
@@ -204,6 +213,19 @@ func (s *Service) streamBatches(w http.ResponseWriter, op *operation, start int)
 }
 
 func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.serveAnalyze(w, r, s.backend.Analyze)
+}
+
+func (s *Service) handleAnalyzeVerified(w http.ResponseWriter, r *http.Request) {
+	ve, ok := s.backend.(VerifiedExplainer)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, errors.New("connect: backend does not support verified explain"))
+		return
+	}
+	s.serveAnalyze(w, r, ve.AnalyzeVerified)
+}
+
+func (s *Service) serveAnalyze(w http.ResponseWriter, r *http.Request, analyze func(sessionID, user string, rel plan.Node) (*types.Schema, string, error)) {
 	user, sessionID, err := s.authenticate(r)
 	if err != nil {
 		writeError(w, http.StatusUnauthorized, err)
@@ -220,7 +242,7 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	schema, explain, err := s.backend.Analyze(sessionID, user, rel)
+	schema, explain, err := analyze(sessionID, user, rel)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

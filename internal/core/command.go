@@ -79,6 +79,9 @@ func (s *Server) executeSQL(ctx catalog.RequestContext, st *sessionState, text s
 				return nil, nil, err
 			}
 			optimized := optimizer.Optimize(resolved, s.opts)
+			if _, err := s.verifyOptimized(ctx, resolved, optimized); err != nil {
+				return nil, nil, err
+			}
 			schema := types.NewSchema(types.Field{Name: "plan", Kind: types.KindString})
 			bb := types.NewBatchBuilder(schema, 1)
 			bb.AppendRow([]types.Value{types.String(plan.ExplainRedacted(optimized))})
@@ -468,6 +471,9 @@ func (s *Server) refreshMaterializedView(ctx catalog.RequestContext, name []stri
 		return nil, nil, err
 	}
 	optimized := optimizer.Optimize(resolved, s.opts)
+	if _, err := s.verifyOptimized(ctx, resolved, optimized); err != nil {
+		return nil, nil, err
+	}
 	qc := exec.NewQueryContext(s.cat, ctx)
 	batches, err := s.engine.Execute(qc, optimized)
 	if err != nil {

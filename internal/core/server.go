@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"lakeguard/internal/analyzer"
+	"lakeguard/internal/audit"
 	"lakeguard/internal/catalog"
 	"lakeguard/internal/cluster"
 	"lakeguard/internal/connect"
@@ -21,6 +22,7 @@ import (
 	"lakeguard/internal/plan"
 	"lakeguard/internal/proto"
 	"lakeguard/internal/sandbox"
+	"lakeguard/internal/sentinel"
 	"lakeguard/internal/sql"
 	"lakeguard/internal/types"
 )
@@ -122,7 +124,7 @@ func NewServer(cfg Config) *Server {
 		envEngines: map[string]*exec.Engine{},
 	}
 	s.engine = &exec.Engine{
-		Cat:                 cfg.Catalog,
+		Tables:              cfg.Catalog,
 		Dispatcher:          dispatcher,
 		Remote:              cfg.Remote,
 		FuseUDFs:            opts.FuseUDFs,
@@ -235,7 +237,7 @@ func (s *Server) engineFor(env string) (*exec.Engine, error) {
 		Hosts: s.cfg.Hosts, Sandbox: spec,
 	})
 	e := &exec.Engine{
-		Cat:                 s.cat,
+		Tables:              s.cat,
 		Dispatcher:          sandbox.NewDispatcher(mgr),
 		Remote:              s.cfg.Remote,
 		FuseUDFs:            s.opts.FuseUDFs,
@@ -243,6 +245,29 @@ func (s *Server) engineFor(env string) (*exec.Engine, error) {
 	}
 	s.envEngines[env] = e
 	return e, nil
+}
+
+// verifyOptimized is the mandatory sentinel gate between the optimizer and
+// everything that consumes an optimized plan (execution, EXPLAIN, MV
+// refresh). It statically proves the optimizer preserved every policy
+// obligation of the analyzed plan and records an audit event for the
+// verification itself — pass or fail — attributed to the requesting user,
+// session, and plan fingerprint. A violating plan never reaches the engine.
+func (s *Server) verifyOptimized(ctx catalog.RequestContext, resolved, optimized plan.Node) (*sentinel.Report, error) {
+	report := sentinel.Verify(resolved, optimized)
+	decision := audit.DecisionAllow
+	reason := fmt.Sprintf("verified: %d barrier(s), %d remote scan(s)", report.Barriers, report.RemoteScans)
+	err := report.Err()
+	if err != nil {
+		decision = audit.DecisionDeny
+		reason = err.Error()
+	}
+	s.cat.Audit().Record(audit.Event{
+		User: ctx.User, Compute: string(ctx.Compute), SessionID: ctx.SessionID,
+		Action: "SENTINEL_VERIFY", Securable: "plan:" + report.Fingerprint,
+		Decision: decision, Reason: reason,
+	})
+	return report, err
 }
 
 // substituteSQL replaces SQLRelation nodes with their parsed plans.
@@ -309,6 +334,9 @@ func (s *Server) runQueryEnv(ctx catalog.RequestContext, st *sessionState, rel p
 		return nil, nil, err
 	}
 	optimized := optimizer.Optimize(resolved, s.opts)
+	if _, err := s.verifyOptimized(ctx, resolved, optimized); err != nil {
+		return nil, nil, err
+	}
 	qc := exec.NewQueryContext(s.cat, ctx)
 	batches, err := engine.Execute(qc, optimized)
 	if err != nil {
@@ -333,7 +361,36 @@ func (s *Server) Analyze(sessionID, user string, rel plan.Node) (*types.Schema, 
 		return nil, "", err
 	}
 	optimized := optimizer.Optimize(resolved, s.opts)
+	if _, err := s.verifyOptimized(ctx, resolved, optimized); err != nil {
+		return nil, "", err
+	}
 	return resolved.Schema(), plan.ExplainRedacted(optimized), nil
+}
+
+// AnalyzeVerified implements connect.VerifiedExplainer: like Analyze, but the
+// EXPLAIN output annotates each policy operator with the sentinel invariants
+// that cleared it (`--explain-verified`). A plan that fails verification is
+// rejected with the violation, exactly as execution would reject it.
+func (s *Server) AnalyzeVerified(sessionID, user string, rel plan.Node) (*types.Schema, string, error) {
+	st, err := s.session(sessionID, user)
+	if err != nil {
+		return nil, "", err
+	}
+	ctx := s.requestContext(sessionID, user)
+	rel, err = substituteSQL(rel)
+	if err != nil {
+		return nil, "", err
+	}
+	resolved, err := s.newAnalyzer(ctx, st).Analyze(rel)
+	if err != nil {
+		return nil, "", err
+	}
+	optimized := optimizer.Optimize(resolved, s.opts)
+	report, err := s.verifyOptimized(ctx, resolved, optimized)
+	if err != nil {
+		return nil, "", err
+	}
+	return resolved.Schema(), sentinel.ExplainVerified(optimized, report), nil
 }
 
 // CloseSession implements connect.Backend.
@@ -407,6 +464,7 @@ type TempFuncSnapshot struct {
 }
 
 var _ connect.Backend = (*Server)(nil)
+var _ connect.VerifiedExplainer = (*Server)(nil)
 
 // okBatch is the conventional result of a successful command.
 func okBatch(message string) (*types.Schema, *types.Batch) {

@@ -10,12 +10,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"strings"
 
-	"lakeguard/internal/catalog"
+	"lakeguard/internal/delta"
 	"lakeguard/internal/eval"
 	"lakeguard/internal/plan"
 	"lakeguard/internal/sandbox"
+	"lakeguard/internal/security"
 	"lakeguard/internal/types"
 )
 
@@ -25,10 +25,26 @@ type RemoteExecutor interface {
 	ExecuteRemote(qc *QueryContext, rs *plan.RemoteScan) ([]*types.Batch, error)
 }
 
-// Engine executes plans against a catalog with sandboxed user code.
+// TableProvider is the engine's only route to governed table data: resolve a
+// table, enforce privileges, vend a credential, and return the snapshot plus
+// a reader bound to that credential. catalog.Catalog satisfies it
+// structurally; exec deliberately does not import the catalog or storage
+// packages (an import boundary lakeguard-lint enforces), so the only bytes
+// the engine can read are those a vended credential covers.
+type TableProvider interface {
+	OpenSnapshot(ctx security.RequestContext, table string, version int64) (*delta.Snapshot, func(path string) ([]byte, error), error)
+}
+
+// GroupChecker answers account-group membership questions (dynamic views,
+// IS_ACCOUNT_GROUP_MEMBER). catalog.Catalog satisfies it structurally.
+type GroupChecker interface {
+	IsGroupMember(user, group string) bool
+}
+
+// Engine executes plans against governed tables with sandboxed user code.
 type Engine struct {
-	// Cat is the governance catalog (credential vending, table logs).
-	Cat *catalog.Catalog
+	// Tables opens governed table snapshots through vended credentials.
+	Tables TableProvider
 	// Dispatcher provides sandboxes for UDF execution. Nil engines can run
 	// UDF-free plans only.
 	Dispatcher *sandbox.Dispatcher
@@ -48,8 +64,8 @@ type Engine struct {
 
 // QueryContext carries the identity and session a query runs under.
 type QueryContext struct {
-	// Ctx is the catalog request context (user identity + compute scope).
-	Ctx catalog.RequestContext
+	// Ctx is the security request context (user identity + compute scope).
+	Ctx security.RequestContext
 	// Eval supplies session functions (CURRENT_USER, group membership).
 	Eval *eval.Context
 	// SessionID keys sandbox pooling.
@@ -57,13 +73,13 @@ type QueryContext struct {
 }
 
 // NewQueryContext builds a query context wiring group membership to the
-// catalog.
-func NewQueryContext(cat *catalog.Catalog, ctx catalog.RequestContext) *QueryContext {
+// governance catalog (or any other GroupChecker).
+func NewQueryContext(groups GroupChecker, ctx security.RequestContext) *QueryContext {
 	return &QueryContext{
 		Ctx: ctx,
 		Eval: &eval.Context{
 			User:          ctx.User,
-			IsGroupMember: func(g string) bool { return cat.IsGroupMember(ctx.User, g) },
+			IsGroupMember: func(g string) bool { return groups.IsGroupMember(ctx.User, g) },
 		},
 		SessionID: ctx.SessionID,
 	}
@@ -212,23 +228,18 @@ func (e *Engine) build(qc *QueryContext, p plan.Node) (operator, error) {
 }
 
 func (e *Engine) buildScan(qc *QueryContext, t *plan.Scan) (operator, error) {
-	parts := strings.Split(t.Table, ".")
 	// Definer rights: views resolve (and therefore read) their underlying
 	// tables as the view owner; the analyzer recorded that identity.
 	ctx := qc.Ctx
 	if t.RunAsUser != "" {
 		ctx.User = t.RunAsUser
 	}
-	log, cred, err := e.Cat.OpenTableLog(ctx, parts)
-	if err != nil {
-		return nil, err
-	}
-	snap, err := log.Snapshot(cred, t.Version)
+	snap, read, err := e.Tables.OpenSnapshot(ctx, t.Table, t.Version)
 	if err != nil {
 		return nil, err
 	}
 	return &scanOp{
-		engine: e, qc: qc, scan: t,
-		snap: snap, cred: cred,
+		qc: qc, scan: t,
+		snap: snap, read: read,
 	}, nil
 }

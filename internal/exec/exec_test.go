@@ -67,7 +67,7 @@ func newWorld(t testing.TB) *world {
 	}))
 	return &world{
 		cat:    cat,
-		engine: &Engine{Cat: cat, Dispatcher: dispatcher, FuseUDFs: true},
+		engine: &Engine{Tables: cat, Dispatcher: dispatcher, FuseUDFs: true},
 	}
 }
 

@@ -7,7 +7,6 @@ import (
 	"lakeguard/internal/delta"
 	"lakeguard/internal/eval"
 	"lakeguard/internal/plan"
-	"lakeguard/internal/storage"
 	"lakeguard/internal/types"
 )
 
@@ -41,21 +40,21 @@ func (o *batchesOp) Next() (*types.Batch, error) {
 }
 
 // scanOp reads a table snapshot file by file, applying pushed filters and
-// the column projection.
+// the column projection. Reads go through the credential-bound reader the
+// TableProvider vended; the operator never sees the credential itself.
 type scanOp struct {
-	engine *Engine
-	qc     *QueryContext
-	scan   *plan.Scan
-	snap   *delta.Snapshot
-	cred   *storage.Credential
-	file   int
+	qc   *QueryContext
+	scan *plan.Scan
+	snap *delta.Snapshot
+	read func(path string) ([]byte, error)
+	file int
 }
 
 func (o *scanOp) Next() (*types.Batch, error) {
 	for o.file < len(o.snap.Files) {
 		f := o.snap.Files[o.file]
 		o.file++
-		data, err := o.engine.Cat.Store().Get(o.cred, f.Path)
+		data, err := o.read(f.Path)
 		if err != nil {
 			return nil, err
 		}

@@ -118,6 +118,16 @@ func (g *Gateway) Analyze(sessionID, user string, rel plan.Node) (*types.Schema,
 	return srv.Analyze(sessionID, user, rel)
 }
 
+// AnalyzeVerified implements connect.VerifiedExplainer, routing to the
+// session's cluster so the annotated plan matches what would execute there.
+func (g *Gateway) AnalyzeVerified(sessionID, user string, rel plan.Node) (*types.Schema, string, error) {
+	srv, err := g.route(sessionID)
+	if err != nil {
+		return nil, "", err
+	}
+	return srv.AnalyzeVerified(sessionID, user, rel)
+}
+
 // CloseSession implements connect.Backend.
 func (g *Gateway) CloseSession(sessionID string) {
 	g.mu.Lock()
@@ -188,3 +198,4 @@ func (g *Gateway) FleetStats() Stats {
 }
 
 var _ connect.Backend = (*Gateway)(nil)
+var _ connect.VerifiedExplainer = (*Gateway)(nil)

@@ -1,0 +1,564 @@
+// Package lint is the Lakeguard architecture linter. It enforces, with the
+// standard library's go/ast, go/parser, and go/types only, the structural
+// rules the security model depends on but the compiler cannot express:
+//
+//   - import boundaries: enforcement-layer packages (exec, optimizer,
+//     sandbox) must not import the catalog or storage directly — the only
+//     route to governed bytes is a vended credential — and user-code
+//     plumbing (udf) must not import the engine;
+//   - error wrapping: fmt.Errorf calls that forward an error must use %w so
+//     callers can errors.Is/As through layer boundaries;
+//   - lock hygiene: no function signature passes a sync lock by value
+//     (a copied mutex silently stops guarding);
+//   - security context: every exported entry point on the governance
+//     surfaces (catalog.Catalog, core.Server) must carry the caller's
+//     security context — a security.RequestContext parameter or explicit
+//     sessionID/user strings — so no privileged path can be called without
+//     an identity to attribute it to.
+//
+// The linter analyzes production code: _test.go files are excluded (tests
+// legitimately cross layers to stage fixtures). Findings are structured for
+// machine consumption; cmd/lakeguard-lint renders them as text or JSON.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	File    string `json:"file"` // relative to the module root
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Rule, f.Message)
+}
+
+// Rule names.
+const (
+	RuleImportBoundary  = "import-boundary"
+	RuleErrWrap         = "errwrap"
+	RuleLockByValue     = "lock-by-value"
+	RuleSecurityContext = "security-context"
+	RuleTypecheck       = "typecheck"
+)
+
+// Boundary forbids one package (and its subpackages) from importing another.
+type Boundary struct {
+	Pkg       string // module-relative package path
+	Forbidden string // module-relative package path it must not import
+	Why       string
+}
+
+// DefaultBoundaries is the Lakeguard layering contract.
+var DefaultBoundaries = []Boundary{
+	{"internal/exec", "internal/catalog", "the engine reads governed data only through vended credentials (TableProvider)"},
+	{"internal/exec", "internal/storage", "the engine must not reach the object store behind the credential check"},
+	{"internal/optimizer", "internal/catalog", "plan rewrites must not depend on governance state"},
+	{"internal/optimizer", "internal/storage", "plan rewrites must not touch storage"},
+	{"internal/sandbox", "internal/catalog", "sandboxed user code must have no path to governance APIs"},
+	{"internal/sandbox", "internal/storage", "sandboxed user code must have no path to the object store"},
+	{"internal/udf", "internal/exec", "user-code plumbing must not depend on the engine that isolates it"},
+}
+
+// ctxExempt are exported methods on the governance surfaces that are
+// infrastructure accessors or deployment-time setup, not per-request entry
+// points, and therefore carry no caller identity.
+var ctxExempt = map[string]map[string]bool{
+	"Catalog": {
+		"Audit": true, "Store": true, "AddAdmin": true, "CreateGroup": true,
+		"RemoveFromGroup": true, "IsGroupMember": true, "GroupsOf": true,
+	},
+	"Server": {
+		"Catalog": true, "Dispatcher": true, "ClusterManager": true,
+		"Compute": true, "ActiveSessions": true,
+	},
+}
+
+// ctxReceivers are the receiver types the security-context rule applies to,
+// keyed by module-relative package path.
+var ctxReceivers = map[string]map[string]bool{
+	"internal/catalog": {"Catalog": true},
+	"internal/core":    {"Server": true},
+}
+
+// pkg is one parsed (and later typechecked) module package.
+type pkg struct {
+	rel   string // module-relative dir, "" for root
+	path  string // import path
+	dir   string
+	files []*ast.File
+	names []string // file names parallel to files
+	// internal imports (module-relative) for topo ordering.
+	deps  map[string]bool
+	tpkg  *types.Package
+	info  *types.Info
+	broke bool // typecheck failed; type-based rules skipped
+}
+
+// Runner lints one module.
+type Runner struct {
+	Root       string
+	Module     string
+	Boundaries []Boundary
+
+	fset *token.FileSet
+	pkgs map[string]*pkg // by rel
+}
+
+// NewRunner prepares a linter for the module rooted at root (the directory
+// containing go.mod).
+func NewRunner(root string) (*Runner, error) {
+	mod, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{
+		Root:       root,
+		Module:     mod,
+		Boundaries: DefaultBoundaries,
+		fset:       token.NewFileSet(),
+		pkgs:       map[string]*pkg{},
+	}, nil
+}
+
+// Run parses, typechecks, and applies every rule, returning findings sorted
+// by position.
+func (r *Runner) Run() ([]Finding, error) {
+	if err := r.load(); err != nil {
+		return nil, err
+	}
+	var out []Finding
+	out = append(out, r.checkBoundaries()...)
+	out = append(out, r.typecheckAll()...)
+	for _, p := range r.sorted() {
+		if p.broke {
+			continue
+		}
+		out = append(out, r.checkErrWrap(p)...)
+		out = append(out, r.checkLockByValue(p)...)
+		out = append(out, r.checkSecurityContext(p)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out, nil
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading module file: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// load parses every production .go file in the module.
+func (r *Runner) load() error {
+	return filepath.WalkDir(r.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != r.Root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(r.fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("lint: %w", err)
+		}
+		dir := filepath.Dir(path)
+		rel, err := filepath.Rel(r.Root, dir)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			rel = ""
+		}
+		rel = filepath.ToSlash(rel)
+		p := r.pkgs[rel]
+		if p == nil {
+			importPath := r.Module
+			if rel != "" {
+				importPath = r.Module + "/" + rel
+			}
+			p = &pkg{rel: rel, path: importPath, dir: dir, deps: map[string]bool{}}
+			r.pkgs[rel] = p
+		}
+		p.files = append(p.files, file)
+		p.names = append(p.names, path)
+		for _, imp := range file.Imports {
+			ip, _ := strconv.Unquote(imp.Path.Value)
+			if rest, ok := strings.CutPrefix(ip, r.Module+"/"); ok {
+				p.deps[rest] = true
+			}
+		}
+		return nil
+	})
+}
+
+func (r *Runner) relFile(pos token.Pos) (string, int, int) {
+	p := r.fset.Position(pos)
+	rel, err := filepath.Rel(r.Root, p.Filename)
+	if err != nil {
+		rel = p.Filename
+	}
+	return filepath.ToSlash(rel), p.Line, p.Column
+}
+
+func (r *Runner) finding(pos token.Pos, rule, format string, args ...any) Finding {
+	file, line, col := r.relFile(pos)
+	return Finding{File: file, Line: line, Col: col, Rule: rule, Message: fmt.Sprintf(format, args...)}
+}
+
+func (r *Runner) sorted() []*pkg {
+	rels := make([]string, 0, len(r.pkgs))
+	for rel := range r.pkgs {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	out := make([]*pkg, len(rels))
+	for i, rel := range rels {
+		out[i] = r.pkgs[rel]
+	}
+	return out
+}
+
+// --- rule: import boundaries ---------------------------------------------
+
+func within(rel, root string) bool {
+	return rel == root || strings.HasPrefix(rel, root+"/")
+}
+
+func (r *Runner) checkBoundaries() []Finding {
+	var out []Finding
+	for _, p := range r.sorted() {
+		for i, file := range p.files {
+			_ = i
+			for _, imp := range file.Imports {
+				ip, _ := strconv.Unquote(imp.Path.Value)
+				rest, ok := strings.CutPrefix(ip, r.Module+"/")
+				if !ok {
+					continue
+				}
+				for _, b := range r.Boundaries {
+					if within(p.rel, b.Pkg) && within(rest, b.Forbidden) {
+						out = append(out, r.finding(imp.Pos(), RuleImportBoundary,
+							"%s must not import %s: %s", b.Pkg, b.Forbidden, b.Why))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// --- typechecking ---------------------------------------------------------
+
+// moduleImporter resolves module-internal packages from the checked set and
+// everything else (the standard library) from source.
+type moduleImporter struct {
+	std  types.Importer
+	mod  string
+	pkgs map[string]*types.Package // by import path
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.pkgs[path]; ok {
+		return p, nil
+	}
+	if path == m.mod || strings.HasPrefix(path, m.mod+"/") {
+		return nil, fmt.Errorf("lint: internal package %s not yet checked (dependency cycle?)", path)
+	}
+	return m.std.Import(path)
+}
+
+// typecheckAll checks packages in dependency order. A package that fails to
+// typecheck produces a finding and is skipped by type-based rules.
+func (r *Runner) typecheckAll() []Finding {
+	var out []Finding
+	mi := &moduleImporter{
+		std:  importer.ForCompiler(r.fset, "source", nil),
+		mod:  r.Module,
+		pkgs: map[string]*types.Package{},
+	}
+	checked := map[string]bool{}
+	var check func(rel string)
+	check = func(rel string) {
+		p := r.pkgs[rel]
+		if p == nil || checked[rel] {
+			return
+		}
+		checked[rel] = true
+		for dep := range p.deps {
+			check(dep)
+		}
+		info := &types.Info{
+			Types: map[ast.Expr]types.TypeAndValue{},
+			Uses:  map[*ast.Ident]types.Object{},
+			Defs:  map[*ast.Ident]types.Object{},
+		}
+		var firstErr error
+		conf := types.Config{
+			Importer: mi,
+			Error: func(err error) {
+				if firstErr == nil {
+					firstErr = err
+				}
+			},
+		}
+		tpkg, err := conf.Check(p.path, r.fset, p.files, info)
+		if firstErr == nil {
+			firstErr = err
+		}
+		if firstErr != nil {
+			p.broke = true
+			pos := token.NoPos
+			if te, ok := firstErr.(types.Error); ok {
+				pos = te.Pos
+			}
+			out = append(out, r.finding(pos, RuleTypecheck, "package %s does not typecheck: %v", p.path, firstErr))
+			return
+		}
+		p.tpkg = tpkg
+		p.info = info
+		mi.pkgs[p.path] = tpkg
+	}
+	for _, p := range r.sorted() {
+		check(p.rel)
+	}
+	return out
+}
+
+// --- rule: fmt.Errorf must wrap forwarded errors with %w ------------------
+
+func (r *Runner) checkErrWrap(p *pkg) []Finding {
+	errType := types.Universe.Lookup("error").Type()
+	var out []Finding
+	for _, file := range p.files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Errorf" {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.info.Uses[ident].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "fmt" {
+				return true
+			}
+			if len(call.Args) < 2 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true // dynamic format string; out of scope
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil || strings.Contains(format, "%w") {
+				return true
+			}
+			for _, arg := range call.Args[1:] {
+				t := p.info.TypeOf(arg)
+				if t != nil && types.AssignableTo(t, errType) {
+					out = append(out, r.finding(call.Pos(), RuleErrWrap,
+						"fmt.Errorf forwards an error without %%w; callers cannot errors.Is/As through it"))
+					break
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// --- rule: no sync locks passed by value ----------------------------------
+
+// lockKinds are the sync types that must never be copied.
+var lockKinds = map[string]bool{
+	"Mutex": true, "RWMutex": true, "Once": true, "WaitGroup": true,
+	"Cond": true, "Pool": true, "Map": true,
+}
+
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Named:
+		if obj := u.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" && lockKinds[obj.Name()] {
+			return true
+		}
+		return containsLock(u.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+func (r *Runner) checkLockByValue(p *pkg) []Finding {
+	var out []Finding
+	for _, file := range p.files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var recv *ast.FieldList
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				ftype, recv = d.Type, d.Recv
+			case *ast.FuncLit:
+				ftype = d.Type
+			default:
+				return true
+			}
+			checkList := func(fl *ast.FieldList, what string) {
+				if fl == nil {
+					return
+				}
+				for _, field := range fl.List {
+					t := p.info.TypeOf(field.Type)
+					if t == nil {
+						continue
+					}
+					if _, isPtr := t.(*types.Pointer); isPtr {
+						continue
+					}
+					if containsLock(t, map[types.Type]bool{}) {
+						out = append(out, r.finding(field.Pos(), RuleLockByValue,
+							"%s copies a sync lock by value (type %s); pass a pointer", what, t))
+					}
+				}
+			}
+			checkList(recv, "receiver")
+			checkList(ftype.Params, "parameter")
+			checkList(ftype.Results, "result")
+			return true
+		})
+	}
+	return out
+}
+
+// --- rule: governance entry points carry a security context ---------------
+
+// isRequestContext matches security.RequestContext (and therefore its
+// aliases, which resolve to the same named type).
+func isRequestContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "RequestContext" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "/internal/security")
+}
+
+func (r *Runner) checkSecurityContext(p *pkg) []Finding {
+	receivers := ctxReceivers[p.rel]
+	if receivers == nil {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || !fn.Name.IsExported() {
+				continue
+			}
+			recvName := receiverTypeName(fn.Recv)
+			if !receivers[recvName] {
+				continue
+			}
+			if ctxExempt[recvName][fn.Name.Name] {
+				continue
+			}
+			if r.signatureCarriesContext(p, fn.Type) {
+				continue
+			}
+			out = append(out, r.finding(fn.Pos(), RuleSecurityContext,
+				"exported entry point %s.%s takes no security context (add a security.RequestContext or sessionID/user parameters, or exempt it as infrastructure)",
+				recvName, fn.Name.Name))
+		}
+	}
+	return out
+}
+
+func receiverTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if ident, ok := t.(*ast.Ident); ok {
+		return ident.Name
+	}
+	return ""
+}
+
+func (r *Runner) signatureCarriesContext(p *pkg, ftype *ast.FuncType) bool {
+	if ftype.Params == nil {
+		return false
+	}
+	for _, field := range ftype.Params.List {
+		t := p.info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if isRequestContext(t) {
+			return true
+		}
+		if basic, ok := t.Underlying().(*types.Basic); ok && basic.Kind() == types.String {
+			for _, name := range field.Names {
+				if name.Name == "sessionID" || name.Name == "user" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

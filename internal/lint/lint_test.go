@@ -1,0 +1,244 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLintClean is the tier-1 gate: the repository itself must satisfy its
+// own architecture rules.
+func TestLintClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// writeModule materializes a synthetic module named "lakeguard" (so the
+// default boundary and context rules apply) and lints it.
+func lintModule(t *testing.T, files map[string]string) []Finding {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module lakeguard\n\ngo 1.22\n"
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := NewRunner(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+func wantRule(t *testing.T, findings []Finding, rule, inMessage string) {
+	t.Helper()
+	for _, f := range findings {
+		if f.Rule == rule && (inMessage == "" || strings.Contains(f.Message, inMessage)) {
+			return
+		}
+	}
+	t.Fatalf("no %s finding (containing %q) in %v", rule, inMessage, findings)
+}
+
+func wantNoRule(t *testing.T, findings []Finding, rule string) {
+	t.Helper()
+	for _, f := range findings {
+		if f.Rule == rule {
+			t.Fatalf("unexpected %s finding: %s", rule, f)
+		}
+	}
+}
+
+func TestImportBoundaryViolation(t *testing.T) {
+	findings := lintModule(t, map[string]string{
+		"internal/catalog/catalog.go": "package catalog\n\n// V is exported.\nvar V = 1\n",
+		"internal/exec/engine.go":     "package exec\n\nimport \"lakeguard/internal/catalog\"\n\n// V re-exports.\nvar V = catalog.V\n",
+	})
+	wantRule(t, findings, RuleImportBoundary, "internal/exec must not import internal/catalog")
+}
+
+func TestImportBoundarySubpackage(t *testing.T) {
+	findings := lintModule(t, map[string]string{
+		"internal/storage/blob/blob.go": "package blob\n\n// V is exported.\nvar V = 1\n",
+		"internal/exec/vector/sum.go":   "package vector\n\nimport \"lakeguard/internal/storage/blob\"\n\n// V re-exports.\nvar V = blob.V\n",
+	})
+	wantRule(t, findings, RuleImportBoundary, "internal/exec must not import internal/storage")
+}
+
+func TestImportBoundaryAllowsOthers(t *testing.T) {
+	findings := lintModule(t, map[string]string{
+		"internal/core/core.go":       "package core\n\nimport \"lakeguard/internal/catalog\"\n\n// V re-exports.\nvar V = catalog.V\n",
+		"internal/catalog/catalog.go": "package catalog\n\n// V is exported.\nvar V = 1\n",
+	})
+	wantNoRule(t, findings, RuleImportBoundary)
+}
+
+func TestErrWrapViolation(t *testing.T) {
+	findings := lintModule(t, map[string]string{
+		"internal/a/a.go": `package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Bad drops the error chain.
+func Bad() error {
+	err := errors.New("inner")
+	return fmt.Errorf("outer: %v", err)
+}
+
+// Good wraps.
+func Good() error {
+	err := errors.New("inner")
+	return fmt.Errorf("outer: %w", err)
+}
+
+// NotAnError formats a plain value.
+func NotAnError(n int) error {
+	return fmt.Errorf("bad count: %d", n)
+}
+`,
+	})
+	wantRule(t, findings, RuleErrWrap, "")
+	count := 0
+	for _, f := range findings {
+		if f.Rule == RuleErrWrap {
+			count++
+			if f.Line != 11 {
+				t.Errorf("errwrap finding at line %d, want 11", f.Line)
+			}
+		}
+	}
+	if count != 1 {
+		t.Errorf("errwrap findings = %d, want exactly 1 (Good and NotAnError are fine)", count)
+	}
+}
+
+func TestLockByValueViolation(t *testing.T) {
+	findings := lintModule(t, map[string]string{
+		"internal/a/a.go": `package a
+
+import "sync"
+
+// Guarded holds a lock.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Bad copies the lock.
+func Bad(g Guarded) int { return g.n }
+
+// BadRecv copies via the receiver.
+func (g Guarded) BadRecv() int { return g.n }
+
+// Good takes a pointer.
+func Good(g *Guarded) int { return g.n }
+`,
+	})
+	count := 0
+	for _, f := range findings {
+		if f.Rule == RuleLockByValue {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("lock-by-value findings = %d, want 2 (param and receiver): %v", count, findings)
+	}
+}
+
+func TestSecurityContextViolation(t *testing.T) {
+	findings := lintModule(t, map[string]string{
+		"internal/security/security.go": `package security
+
+// RequestContext identifies a caller.
+type RequestContext struct {
+	User string
+}
+`,
+		"internal/catalog/catalog.go": `package catalog
+
+import "lakeguard/internal/security"
+
+// RequestContext aliases the shared model.
+type RequestContext = security.RequestContext
+
+// Catalog is the metastore.
+type Catalog struct{}
+
+// Drop has no caller identity: must be flagged.
+func (c *Catalog) Drop(name string) error { return nil }
+
+// Resolve carries the context via the alias: fine.
+func (c *Catalog) Resolve(ctx RequestContext, name string) error { return nil }
+
+// Audit is exempt infrastructure.
+func (c *Catalog) Audit() int { return 0 }
+
+// internalHelper is unexported: out of scope.
+func (c *Catalog) internalHelper() {}
+`,
+		"internal/core/core.go": `package core
+
+// Server is a cluster.
+type Server struct{}
+
+// Execute carries identity through session parameters: fine.
+func (s *Server) Execute(sessionID, user string) error { return nil }
+
+// Leak has no identity: must be flagged.
+func (s *Server) Leak() error { return nil }
+`,
+	})
+	wantRule(t, findings, RuleSecurityContext, "Catalog.Drop")
+	wantRule(t, findings, RuleSecurityContext, "Server.Leak")
+	count := 0
+	for _, f := range findings {
+		if f.Rule == RuleSecurityContext {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("security-context findings = %d, want 2: %v", count, findings)
+	}
+}
+
+func TestTypecheckFailureReported(t *testing.T) {
+	findings := lintModule(t, map[string]string{
+		"internal/a/a.go": "package a\n\n// V is mistyped.\nvar V int = \"not an int\"\n",
+	})
+	wantRule(t, findings, RuleTypecheck, "")
+}
+
+func TestTestFilesAreExcluded(t *testing.T) {
+	findings := lintModule(t, map[string]string{
+		"internal/catalog/catalog.go": "package catalog\n\n// V is exported.\nvar V = 1\n",
+		"internal/exec/engine.go":     "package exec\n\n// V is exported.\nvar V = 1\n",
+		"internal/exec/engine_test.go": "package exec\n\nimport (\n\t\"testing\"\n\n\t\"lakeguard/internal/catalog\"\n)\n\nfunc TestV(t *testing.T) { _ = catalog.V }\n",
+	})
+	wantNoRule(t, findings, RuleImportBoundary)
+}

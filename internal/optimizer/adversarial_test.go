@@ -1,0 +1,170 @@
+package optimizer
+
+import (
+	"testing"
+
+	"lakeguard/internal/plan"
+	"lakeguard/internal/types"
+)
+
+// Regression tests for the "Queen's Guard" attack surface: rewrites that
+// would move user code or drop policy columns across a security boundary.
+// The sentinel would catch these after the fact; these tests pin that the
+// optimizer never produces them in the first place.
+
+// governedSalesBarrier mimics the analyzer's barrier for a row-filtered,
+// seller-masked sales table.
+func governedSalesBarrier() *plan.SecureView {
+	sc := salesScan()
+	rowFilter := &plan.Filter{Cond: eqStr(ref(3, "region", types.KindString), "US"), Child: sc}
+	masks := &plan.Project{
+		Exprs: []plan.Expr{
+			ref(0, "amount", types.KindFloat64),
+			ref(1, "date", types.KindString),
+			plan.As(plan.Lit(types.String("***")), "seller"),
+			ref(3, "region", types.KindString),
+		},
+		Child:     rowFilter,
+		OutSchema: sc.TableSchema,
+	}
+	return &plan.SecureView{
+		Name:        "main.default.sales",
+		PolicyKinds: []string{"row_filter", "column_mask"},
+		Child:       masks,
+	}
+}
+
+func TestUDFFilterNotPushedBelowSecureView(t *testing.T) {
+	udfPred := &plan.UDFCall{
+		Name: "main.default.leak", Owner: "mallory",
+		Args:       []plan.Expr{ref(2, "seller", types.KindString)},
+		ResultKind: types.KindBool,
+	}
+	f := &plan.Filter{Cond: udfPred, Child: governedSalesBarrier()}
+	out := Optimize(f, DefaultOptions())
+
+	// The UDF predicate must still sit above the barrier: walking down from
+	// the root we must meet the Filter before any SecureView.
+	root, ok := out.(*plan.Filter)
+	if !ok {
+		t.Fatalf("UDF filter left the root: %T\n%s", out, plan.Explain(out))
+	}
+	if !plan.ExprContains(root.Cond, func(e plan.Expr) bool {
+		u, isUDF := e.(*plan.UDFCall)
+		return isUDF && u.Owner == "mallory"
+	}) {
+		t.Fatalf("root filter lost the UDF predicate:\n%s", plan.Explain(out))
+	}
+	// And nothing below the barrier may contain it.
+	var sv *plan.SecureView
+	plan.Walk(out, func(n plan.Node) bool {
+		if s, isSV := n.(*plan.SecureView); isSV {
+			sv = s
+		}
+		return true
+	})
+	if sv == nil {
+		t.Fatalf("barrier vanished:\n%s", plan.Explain(out))
+	}
+	if plan.Contains(sv.Child, func(n plan.Node) bool {
+		if fl, isF := n.(*plan.Filter); isF {
+			return plan.ExprContains(fl.Cond, func(e plan.Expr) bool {
+				_, isUDF := e.(*plan.UDFCall)
+				return isUDF
+			})
+		}
+		return false
+	}) {
+		t.Fatalf("UDF predicate was pushed below the secure-view barrier:\n%s", plan.Explain(out))
+	}
+}
+
+func TestPlainFilterNotPushedIntoBarrier(t *testing.T) {
+	// Even a UDF-free user predicate must stay outside the barrier: inside,
+	// it would run against pre-mask values.
+	f := &plan.Filter{Cond: eqStr(ref(2, "seller", types.KindString), "ann"), Child: governedSalesBarrier()}
+	out := Optimize(f, DefaultOptions())
+	var sv *plan.SecureView
+	plan.Walk(out, func(n plan.Node) bool {
+		if s, isSV := n.(*plan.SecureView); isSV {
+			sv = s
+		}
+		return true
+	})
+	if sv == nil {
+		t.Fatalf("barrier vanished:\n%s", plan.Explain(out))
+	}
+	if plan.Contains(sv.Child, func(n plan.Node) bool {
+		if fl, isF := n.(*plan.Filter); isF {
+			return plan.ExprContains(fl.Cond, func(e plan.Expr) bool {
+				l, isLit := e.(*plan.Literal)
+				return isLit && l.Value.S == "ann"
+			})
+		}
+		if sc, isScan := n.(*plan.Scan); isScan {
+			for _, pf := range sc.PushedFilters {
+				if plan.ExprContains(pf, func(e plan.Expr) bool {
+					l, isLit := e.(*plan.Literal)
+					return isLit && l.Value.S == "ann"
+				}) {
+					return true
+				}
+			}
+		}
+		return false
+	}) {
+		t.Fatalf("user predicate crossed the secure-view barrier:\n%s", plan.Explain(out))
+	}
+}
+
+func TestPruneKeepsRowFilterColumns(t *testing.T) {
+	// The user projects only amount; region is referenced solely by the
+	// policy's row filter. Pruning must keep region available to the filter.
+	sv := &plan.SecureView{
+		Name:        "main.default.sales",
+		PolicyKinds: []string{"row_filter"},
+		Child: &plan.Filter{
+			Cond:  eqStr(ref(3, "region", types.KindString), "US"),
+			Child: salesScan(),
+		},
+	}
+	q := &plan.Project{
+		Exprs:     []plan.Expr{ref(0, "amount", types.KindFloat64)},
+		Child:     sv,
+		OutSchema: types.NewSchema(types.Field{Name: "amount", Kind: types.KindFloat64}),
+	}
+	out := Optimize(q, DefaultOptions())
+
+	var sc *plan.Scan
+	plan.Walk(out, func(n plan.Node) bool {
+		if s, isScan := n.(*plan.Scan); isScan {
+			sc = s
+		}
+		return true
+	})
+	if sc == nil {
+		t.Fatalf("no scan:\n%s", plan.Explain(out))
+	}
+	// Every reference in the scan's pushed filters (where the policy
+	// predicate now lives) must bind to a surviving column of that name.
+	schema := sc.Schema()
+	hasRegionPred := false
+	for _, pf := range sc.PushedFilters {
+		plan.WalkExpr(pf, func(e plan.Expr) bool {
+			b, isRef := e.(*plan.BoundRef)
+			if !isRef {
+				return true
+			}
+			if b.Name == "region" {
+				hasRegionPred = true
+			}
+			if b.Index < 0 || b.Index >= schema.Len() || schema.Fields[b.Index].Name != b.Name {
+				t.Errorf("pushed filter reference %s misbound after prune (schema %v)", b.String(), schema.Fields)
+			}
+			return true
+		})
+	}
+	if !hasRegionPred {
+		t.Fatalf("policy predicate on region vanished during pruning:\n%s", plan.Explain(out))
+	}
+}

@@ -29,7 +29,14 @@ type Options struct {
 	// FuseUDFs groups UDF calls of one trust domain into single sandbox
 	// crossings (see PlanUDFGroups).
 	FuseUDFs bool
+	// ExtraRules run after the built-in rules, in order. They exist so tests
+	// can register deliberately broken rewrites and prove the sentinel
+	// catches them; production configurations leave this nil.
+	ExtraRules []Rule
 }
+
+// Rule is a whole-plan rewrite.
+type Rule func(plan.Node) plan.Node
 
 // DefaultOptions enables every rule.
 func DefaultOptions() Options {
@@ -56,6 +63,9 @@ func Optimize(n plan.Node, opts Options) plan.Node {
 	}
 	if opts.PruneColumns {
 		n = pruneColumns(n)
+	}
+	for _, r := range opts.ExtraRules {
+		n = r(n)
 	}
 	return n
 }

@@ -1,0 +1,46 @@
+// Package security defines the identity and compute-trust model every layer
+// of Lakeguard shares: who is asking (RequestContext) and how much the
+// requesting compute may be trusted with (ComputeType). It sits below the
+// catalog so that enforcement-adjacent packages (exec, sentinel) can reason
+// about identity without importing the catalog itself — an import boundary
+// lakeguard-lint verifies.
+package security
+
+// ComputeType classifies the requesting compute's isolation capabilities.
+type ComputeType string
+
+// Compute types (paper §4).
+const (
+	// ComputeStandard is the multi-user cluster type with full user-code
+	// isolation; the engine is trusted to enforce FGAC locally.
+	ComputeStandard ComputeType = "STANDARD"
+	// ComputeDedicated gives users privileged machine access; FGAC cannot be
+	// enforced locally and must be offloaded (eFGAC).
+	ComputeDedicated ComputeType = "DEDICATED"
+	// ComputeServerless is the Databricks-managed standard-architecture
+	// fleet that serves eFGAC subqueries.
+	ComputeServerless ComputeType = "SERVERLESS"
+	// ComputeExternal is a non-Databricks engine (Presto/Trino); like
+	// Dedicated, it can only use eFGAC for governed relations.
+	ComputeExternal ComputeType = "EXTERNAL"
+)
+
+// TrustedForFGAC reports whether the compute type may receive policy
+// internals and raw-table credentials for FGAC-protected relations.
+func (c ComputeType) TrustedForFGAC() bool {
+	return c == ComputeStandard || c == ComputeServerless
+}
+
+// RequestContext identifies a caller: the user identity plus the credential
+// scope of the compute the request originates from.
+type RequestContext struct {
+	User      string
+	Compute   ComputeType
+	ClusterID string
+	SessionID string
+	// GroupScope, when non-empty, down-scopes the caller's effective
+	// permissions to exactly the named group's grants while retaining the
+	// user identity for auditing and CURRENT_USER (dedicated group
+	// clusters, paper §4.2).
+	GroupScope string
+}

@@ -1,0 +1,703 @@
+// Package sentinel is the static security verifier that sits between the
+// optimizer and the execution engine. The analyzer injects governance
+// policies (row filters, column masks, secure-view barriers) into the plan;
+// the optimizer then rewrites the plan for performance — exactly the attack
+// surface where a buggy or malicious rewrite rule can reorder user code
+// above a security filter and leak raw rows. The sentinel closes that gap:
+// it extracts the policy obligations from the analyzed plan and *proves*,
+// without executing anything, that the optimized plan still satisfies them.
+//
+// Invariants (paper §3, "Break it, Fix it" threat model):
+//
+//	(a) row-filter-dominance   every scan of a row-filtered table is
+//	                           dominated by filter conjuncts implying the
+//	                           policy predicate
+//	(b) mask-before-use        every masked column is rewritten by its mask
+//	                           expression before any other operator can
+//	                           observe the raw value
+//	(c) no-udf-below-barrier   no user-owned UDF (foreign trust domain) is
+//	                           moved under a secure-view boundary
+//	(d) remote-pushdown-safe   eFGAC RemoteScan leaves ship only pushable
+//	                           expressions (no user code, no stale ordinals)
+//	(e) policy-columns-bound   column-prune remaps never drop or misbind a
+//	                           policy-referenced column
+//
+// The sentinel deliberately re-implements its small amount of expression
+// plumbing (conjunct splitting, constant normalization) instead of reusing
+// the optimizer's helpers: a verifier that shares the rewriter's code also
+// shares its bugs.
+package sentinel
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"lakeguard/internal/eval"
+	"lakeguard/internal/plan"
+	"lakeguard/internal/types"
+)
+
+// Invariant names one verified property.
+type Invariant string
+
+// The verified invariants. InvBarrier is the structural precondition the
+// others build on: policy barriers injected by the analyzer must survive
+// optimization in order and in name.
+const (
+	InvRowFilter   Invariant = "row-filter-dominance"  // (a)
+	InvColumnMask  Invariant = "mask-before-use"       // (b)
+	InvTrustDomain Invariant = "no-udf-below-barrier"  // (c)
+	InvRemotePush  Invariant = "remote-pushdown-safe"  // (d)
+	InvPolicyCols  Invariant = "policy-columns-bound"  // (e)
+	InvBarrier     Invariant = "barrier-integrity"     // precondition
+)
+
+// Violation is one disproved invariant.
+type Violation struct {
+	Invariant Invariant
+	// Securable is the governed object the invariant protects (or "plan"
+	// for plan-global checks).
+	Securable string
+	// Detail pinpoints the offending node or expression.
+	Detail string
+}
+
+// String renders the violation for logs and error messages.
+func (v Violation) String() string {
+	return fmt.Sprintf("sentinel: invariant %s violated on %s: %s", v.Invariant, v.Securable, v.Detail)
+}
+
+// ViolationError is the structured error the core gate returns when a plan
+// fails verification.
+type ViolationError struct {
+	Fingerprint string
+	Violations  []Violation
+}
+
+// Error implements error.
+func (e *ViolationError) Error() string {
+	if len(e.Violations) == 1 {
+		return e.Violations[0].String()
+	}
+	return fmt.Sprintf("%s (and %d more violations)", e.Violations[0].String(), len(e.Violations)-1)
+}
+
+// Report is the result of one verification pass.
+type Report struct {
+	// Fingerprint identifies the optimized plan (audit attribution).
+	Fingerprint string
+	// Barriers counts SecureView policy barriers verified.
+	Barriers int
+	// RemoteScans counts eFGAC leaves verified.
+	RemoteScans int
+	// Cleared maps plan nodes to the invariants that held for them
+	// (EXPLAIN --explain-verified annotations).
+	Cleared map[plan.Node][]Invariant
+	// Violations lists every disproved invariant.
+	Violations []Violation
+}
+
+// Err returns nil for a clean report, or a *ViolationError.
+func (r *Report) Err() error {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return &ViolationError{Fingerprint: r.Fingerprint, Violations: r.Violations}
+}
+
+// ExplainVerified renders the optimized plan in the redacted form shown to
+// users (SecureView interiors hidden), annotating each policy operator with
+// the sentinel invariants that cleared it. Violated nodes are annotated too,
+// so `--explain-verified` shows exactly where a plan failed.
+func ExplainVerified(n plan.Node, r *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- sentinel: plan %s: %d barrier(s), %d remote scan(s), %d violation(s)\n",
+		r.Fingerprint, r.Barriers, r.RemoteScans, len(r.Violations))
+	explainVerifiedInto(&b, n, 0, r)
+	for _, v := range r.Violations {
+		b.WriteString("-- ")
+		b.WriteString(v.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func explainVerifiedInto(b *strings.Builder, n plan.Node, depth int, r *Report) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	if depth > 0 {
+		b.WriteString("+- ")
+	}
+	b.WriteString(n.String())
+	_, isBarrier := n.(*plan.SecureView)
+	if isBarrier {
+		b.WriteString(" <redacted>")
+	}
+	if cleared := r.Cleared[n]; len(cleared) > 0 {
+		parts := make([]string, len(cleared))
+		for i, inv := range cleared {
+			parts[i] = string(inv)
+		}
+		fmt.Fprintf(b, " -- verified: %s", strings.Join(parts, ", "))
+	}
+	b.WriteByte('\n')
+	if isBarrier {
+		return // redact the barrier interior, as ExplainRedacted does
+	}
+	for _, c := range n.Children() {
+		explainVerifiedInto(b, c, depth+1, r)
+	}
+}
+
+// Fingerprint hashes a plan's full rendering (FNV-64a) for audit
+// attribution.
+func Fingerprint(n plan.Node) string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(plan.Explain(n)))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// obligation is the policy contract one analyzer-injected SecureView
+// barrier carries, extracted before the optimizer runs.
+type obligation struct {
+	name  string
+	kinds []string
+	// table is the governed table scanned inside the barrier ("" for view
+	// bodies, whose nested tables carry their own barriers).
+	table string
+	// policyConjuncts are the row-filter conjuncts (normalized).
+	policyConjuncts []plan.Expr
+	// masks maps masked column name (lower) to its mask expression.
+	masks map[string]plan.Expr
+	// udfKeys are the trust-domain keys of UDF calls legitimately present
+	// inside the barrier at analysis time (normally empty).
+	udfKeys map[string]bool
+}
+
+func (o *obligation) hasKind(k string) bool {
+	for _, x := range o.kinds {
+		if x == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Verify proves the optimized plan still satisfies every policy obligation
+// present in the analyzed plan. Both plans must come from the same query:
+// analyzed is the analyzer's output, optimized the optimizer's.
+func Verify(analyzed, optimized plan.Node) *Report {
+	r := &Report{
+		Fingerprint: Fingerprint(optimized),
+		Cleared:     map[plan.Node][]Invariant{},
+	}
+	obligations := extractObligations(analyzed)
+	barriers := collectSecureViews(optimized)
+	r.Barriers = len(barriers)
+
+	// Structural precondition: barriers survive optimization one-for-one.
+	if len(barriers) != len(obligations) {
+		r.violate(InvBarrier, "plan", fmt.Sprintf(
+			"analyzed plan has %d policy barriers, optimized plan has %d",
+			len(obligations), len(barriers)))
+	}
+	n := len(barriers)
+	if len(obligations) < n {
+		n = len(obligations)
+	}
+	for i := 0; i < n; i++ {
+		if barriers[i].Name != obligations[i].name {
+			r.violate(InvBarrier, obligations[i].name, fmt.Sprintf(
+				"barrier %d renamed to %q after optimization", i, barriers[i].Name))
+			continue
+		}
+		r.verifyBarrier(obligations[i], barriers[i])
+	}
+
+	// Scans of governed tables may never escape their barrier.
+	governed := map[string]bool{}
+	for _, o := range obligations {
+		if o.table != "" && (o.hasKind("row_filter") || o.hasKind("column_mask")) {
+			governed[o.table] = true
+		}
+	}
+	for _, sc := range scansOutsideBarriers(optimized) {
+		if governed[sc.Table] {
+			r.violate(InvBarrier, sc.Table, "scan of policy-governed table escaped its SecureView barrier")
+		}
+	}
+
+	r.verifyRemoteScans(optimized)
+	return r
+}
+
+func (r *Report) violate(inv Invariant, securable, detail string) {
+	r.Violations = append(r.Violations, Violation{Invariant: inv, Securable: securable, Detail: detail})
+}
+
+func (r *Report) clear(n plan.Node, inv Invariant) {
+	r.Cleared[n] = append(r.Cleared[n], inv)
+}
+
+// extractObligations reads the policy contracts out of the analyzed plan in
+// pre-order. The analyzer builds table barriers as
+// SecureView → [Project masks] → [Filter rowFilter] → Scan.
+func extractObligations(analyzed plan.Node) []*obligation {
+	var out []*obligation
+	plan.Walk(analyzed, func(x plan.Node) bool {
+		sv, ok := x.(*plan.SecureView)
+		if !ok {
+			return true
+		}
+		o := &obligation{
+			name:    sv.Name,
+			kinds:   sv.PolicyKinds,
+			masks:   map[string]plan.Expr{},
+			udfKeys: map[string]bool{},
+		}
+		node := sv.Child
+		if o.hasKind("column_mask") {
+			if proj, ok := node.(*plan.Project); ok {
+				for _, e := range proj.Exprs {
+					if _, plainRef := e.(*plan.BoundRef); !plainRef {
+						o.masks[strings.ToLower(plan.OutputName(e))] = normalize(e)
+					}
+				}
+				node = proj.Child
+			}
+		}
+		if o.hasKind("row_filter") {
+			if f, ok := node.(*plan.Filter); ok {
+				for _, c := range splitConjuncts(f.Cond) {
+					o.policyConjuncts = append(o.policyConjuncts, normalize(c))
+				}
+				node = f.Child
+			}
+		}
+		if sc, ok := node.(*plan.Scan); ok {
+			o.table = sc.Table
+		}
+		collectUDFKeys(sv.Child, o.udfKeys)
+		out = append(out, o)
+		return true // descend: nested views carry their own barriers
+	})
+	return out
+}
+
+// verifyBarrier proves invariants (a), (b), (c), and (e) for one matched
+// barrier of the optimized plan.
+func (r *Report) verifyBarrier(o *obligation, sv *plan.SecureView) {
+	before := len(r.Violations)
+
+	// (c) trust domains: no UDF may be moved under the barrier.
+	udfs := map[string]bool{}
+	collectUDFKeys(sv.Child, udfs)
+	okTrust := true
+	for key := range udfs {
+		if !o.udfKeys[key] {
+			okTrust = false
+			r.violate(InvTrustDomain, o.name, fmt.Sprintf(
+				"user code %s was moved below the secure-view boundary", strings.ReplaceAll(key, "\x00", " owned by ")))
+		}
+	}
+	if okTrust {
+		r.clear(sv, InvTrustDomain)
+	}
+
+	// (a) row-filter dominance.
+	if o.hasKind("row_filter") && o.table != "" {
+		ok := true
+		scans := scansOf(sv.Child, o.table)
+		if len(scans) == 0 {
+			ok = false
+			r.violate(InvBarrier, o.name, "scan of the governed table vanished from its barrier")
+		}
+		for _, sc := range scans {
+			doms := dominatingConjuncts(sv.Child, sc)
+			canon := map[string]bool{}
+			for _, d := range doms {
+				canon[canonical(normalize(d))] = true
+			}
+			for _, pc := range o.policyConjuncts {
+				if isConstTrue(pc) {
+					continue
+				}
+				if !canon[canonical(pc)] {
+					ok = false
+					r.violate(InvRowFilter, o.name, fmt.Sprintf(
+						"policy predicate %s no longer dominates the scan (dominating conjuncts: %s)",
+						canonical(pc), canonicalList(doms)))
+				}
+			}
+		}
+		if ok {
+			r.clear(sv, InvRowFilter)
+		}
+	}
+
+	// (b) masks rewrite raw values before anything else observes them.
+	if o.hasKind("column_mask") {
+		okMask := true
+		proj, isProj := sv.Child.(*plan.Project)
+		if !isProj {
+			okMask = false
+			r.violate(InvColumnMask, o.name, fmt.Sprintf(
+				"mask projection is no longer the barrier's first operator (found %T)", sv.Child))
+		} else {
+			for col, want := range o.masks {
+				found := false
+				for _, e := range proj.Exprs {
+					if strings.EqualFold(plan.OutputName(e), col) {
+						found = true
+						if canonical(normalize(e)) != canonical(want) {
+							okMask = false
+							r.violate(InvColumnMask, o.name, fmt.Sprintf(
+								"mask for column %q altered: have %s, policy requires %s",
+								col, canonical(normalize(e)), canonical(want)))
+						}
+						break
+					}
+				}
+				if !found {
+					okMask = false
+					r.violate(InvColumnMask, o.name, fmt.Sprintf("mask for column %q dropped from the projection", col))
+				}
+			}
+			// Nothing below the mask projection may observe a masked raw
+			// column, except the policy's own row-filter conjuncts (row
+			// filters see unmasked values by design).
+			allowed := map[string]bool{}
+			for _, pc := range o.policyConjuncts {
+				allowed[canonical(pc)] = true
+			}
+			for _, ref := range exprsBelow(proj.Child) {
+				if !refersToAny(ref, o.masks) {
+					continue
+				}
+				if !allowed[canonical(normalize(ref))] {
+					okMask = false
+					r.violate(InvColumnMask, o.name, fmt.Sprintf(
+						"expression %s observes a masked column below the mask projection", canonical(normalize(ref))))
+				}
+			}
+		}
+		if okMask {
+			r.clear(sv, InvColumnMask)
+		}
+	}
+
+	// (e) every expression inside a policy barrier still binds: ordinals in
+	// range and names matching the child schema (catches prune remap bugs).
+	if o.hasKind("row_filter") || o.hasKind("column_mask") {
+		okBind := r.verifyBindings(o.name, sv.Child)
+		if okBind {
+			r.clear(sv, InvPolicyCols)
+		}
+	}
+
+	if len(r.Violations) == before {
+		r.clear(sv, InvBarrier)
+	}
+}
+
+// verifyBindings walks a barrier subtree checking every BoundRef against the
+// schema it will actually be evaluated over.
+func (r *Report) verifyBindings(securable string, n plan.Node) bool {
+	ok := true
+	check := func(e plan.Expr, schema *types.Schema, where string) {
+		plan.WalkExpr(e, func(x plan.Expr) bool {
+			b, isRef := x.(*plan.BoundRef)
+			if !isRef {
+				return true
+			}
+			if b.Index < 0 || b.Index >= schema.Len() {
+				ok = false
+				r.violate(InvPolicyCols, securable, fmt.Sprintf(
+					"%s references column %s#%d but only %d columns survive pruning",
+					where, b.Name, b.Index, schema.Len()))
+				return true
+			}
+			if !strings.EqualFold(schema.Fields[b.Index].Name, b.Name) {
+				ok = false
+				r.violate(InvPolicyCols, securable, fmt.Sprintf(
+					"%s references %s#%d but the pruned schema has %q at that ordinal",
+					where, b.Name, b.Index, schema.Fields[b.Index].Name))
+			}
+			return true
+		})
+	}
+	plan.Walk(n, func(x plan.Node) bool {
+		switch t := x.(type) {
+		case *plan.Filter:
+			check(t.Cond, t.Child.Schema(), "filter")
+		case *plan.Project:
+			for _, e := range t.Exprs {
+				check(e, t.Child.Schema(), "projection")
+			}
+		case *plan.Scan:
+			for _, f := range t.PushedFilters {
+				check(f, t.Schema(), "pushed scan filter")
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// verifyRemoteScans proves invariant (d) for every eFGAC leaf: only
+// name-resolved, user-code-free expressions may ship to the remote executor.
+func (r *Report) verifyRemoteScans(optimized plan.Node) {
+	plan.Walk(optimized, func(x plan.Node) bool {
+		rs, ok := x.(*plan.RemoteScan)
+		if !ok {
+			return true
+		}
+		r.RemoteScans++
+		okPush := true
+		for _, f := range rs.PushedFilters {
+			if why := unpushable(f); why != "" {
+				okPush = false
+				r.violate(InvRemotePush, rs.Relation, fmt.Sprintf(
+					"pushed filter %s may not ship to the eFGAC executor: %s", f.String(), why))
+			}
+		}
+		if rs.PushedAggregate != nil {
+			for _, a := range rs.PushedAggregate.Aggs {
+				if strings.Contains(a, "UDF:") {
+					okPush = false
+					r.violate(InvRemotePush, rs.Relation, fmt.Sprintf(
+						"pushed aggregate %q contains user code", a))
+				}
+			}
+		}
+		if okPush {
+			r.clear(rs, InvRemotePush)
+		}
+		return true
+	})
+}
+
+// unpushable reports why an expression may not be shipped to the remote
+// (eFGAC) executor; "" means it is safe. The whitelist mirrors what the
+// remote side can re-resolve: named columns, literals, builtins, and the
+// session functions it re-evaluates under the same identity.
+func unpushable(e plan.Expr) string {
+	why := ""
+	plan.WalkExpr(e, func(x plan.Expr) bool {
+		switch t := x.(type) {
+		case *plan.UDFCall:
+			why = fmt.Sprintf("user-owned UDF %s (trust domain %s)", t.Name, t.Owner)
+		case *plan.BoundRef:
+			why = fmt.Sprintf("ordinal-bound reference %s (remote filters must be name-resolved)", t.String())
+		case *plan.AggFunc:
+			why = fmt.Sprintf("raw aggregate %s outside a rendered partial aggregate", t.String())
+		case *plan.FuncCall:
+			why = fmt.Sprintf("unresolved function call %s", t.String())
+		case *plan.Star:
+			why = "unexpanded * projection"
+		case *plan.Literal, *plan.ColumnRef, *plan.Binary, *plan.Unary, *plan.IsNull,
+			*plan.InList, *plan.Like, *plan.Case, *plan.Cast, *plan.ScalarFunc,
+			*plan.Alias, *plan.CurrentUser, *plan.GroupMember:
+			// pushable
+		default:
+			why = fmt.Sprintf("unrecognized expression %T", x)
+		}
+		return why == ""
+	})
+	return why
+}
+
+// ---- plan / expression plumbing -----------------------------------------
+
+// collectSecureViews gathers barriers in pre-order.
+func collectSecureViews(n plan.Node) []*plan.SecureView {
+	var out []*plan.SecureView
+	plan.Walk(n, func(x plan.Node) bool {
+		if sv, ok := x.(*plan.SecureView); ok {
+			out = append(out, sv)
+		}
+		return true
+	})
+	return out
+}
+
+// scansOf finds scans of one table within a subtree.
+func scansOf(n plan.Node, table string) []*plan.Scan {
+	var out []*plan.Scan
+	plan.Walk(n, func(x plan.Node) bool {
+		if sc, ok := x.(*plan.Scan); ok && sc.Table == table {
+			out = append(out, sc)
+		}
+		return true
+	})
+	return out
+}
+
+// scansOutsideBarriers lists scans not protected by any SecureView.
+func scansOutsideBarriers(n plan.Node) []*plan.Scan {
+	var out []*plan.Scan
+	var walk func(plan.Node)
+	walk = func(x plan.Node) {
+		if x == nil {
+			return
+		}
+		if _, ok := x.(*plan.SecureView); ok {
+			return // everything below is barrier-protected
+		}
+		if sc, ok := x.(*plan.Scan); ok {
+			out = append(out, sc)
+		}
+		for _, c := range x.Children() {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// dominatingConjuncts collects every filter conjunct on the path from root
+// down to the target scan, plus the scan's own pushed filters. A conjunct on
+// that path filters every row the scan emits before anything above can
+// observe it — the definition of dominance the row-filter invariant needs.
+func dominatingConjuncts(root plan.Node, target *plan.Scan) []plan.Expr {
+	var path []plan.Expr
+	var found bool
+	var walk func(n plan.Node, acc []plan.Expr)
+	walk = func(n plan.Node, acc []plan.Expr) {
+		if found || n == nil {
+			return
+		}
+		switch t := n.(type) {
+		case *plan.Filter:
+			acc = append(acc, splitConjuncts(t.Cond)...)
+		case *plan.Scan:
+			if t == target {
+				path = append(acc, t.PushedFilters...)
+				found = true
+			}
+			return
+		}
+		for _, c := range n.Children() {
+			walk(c, acc)
+		}
+	}
+	walk(root, nil)
+	return path
+}
+
+// exprsBelow gathers every predicate / projection expression evaluated in a
+// subtree (used for the below-mask observation check).
+func exprsBelow(n plan.Node) []plan.Expr {
+	var out []plan.Expr
+	plan.Walk(n, func(x plan.Node) bool {
+		switch t := x.(type) {
+		case *plan.Filter:
+			out = append(out, splitConjuncts(t.Cond)...)
+		case *plan.Project:
+			out = append(out, t.Exprs...)
+		case *plan.Join:
+			if t.Cond != nil {
+				out = append(out, t.Cond)
+			}
+		case *plan.Aggregate:
+			out = append(out, t.GroupBy...)
+			out = append(out, t.Aggs...)
+		case *plan.Scan:
+			out = append(out, t.PushedFilters...)
+		}
+		return true
+	})
+	return out
+}
+
+// refersToAny reports whether e references one of the masked columns by
+// name.
+func refersToAny(e plan.Expr, masked map[string]plan.Expr) bool {
+	return plan.ExprContains(e, func(x plan.Expr) bool {
+		switch t := x.(type) {
+		case *plan.BoundRef:
+			_, ok := masked[strings.ToLower(t.Name)]
+			return ok
+		case *plan.ColumnRef:
+			_, ok := masked[strings.ToLower(t.Name)]
+			return ok
+		}
+		return false
+	})
+}
+
+// collectUDFKeys records the trust-domain keys of every UDF call in a
+// subtree's expressions.
+func collectUDFKeys(n plan.Node, keys map[string]bool) {
+	for _, e := range exprsBelow(n) {
+		plan.WalkExpr(e, func(x plan.Expr) bool {
+			if u, ok := x.(*plan.UDFCall); ok {
+				keys[u.Name+"\x00"+u.Owner] = true
+			}
+			return true
+		})
+	}
+}
+
+// splitConjuncts flattens an AND tree (sentinel-local on purpose; see the
+// package comment).
+func splitConjuncts(e plan.Expr) []plan.Expr {
+	if b, ok := e.(*plan.Binary); ok && b.Op == plan.OpAnd {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []plan.Expr{e}
+}
+
+// normalize folds constant subexpressions through the evaluator so that a
+// policy predicate recorded before optimization compares equal to its
+// constant-folded form after (e.g. `amount > 1000*2` vs `amount > 2000`).
+// Evaluation truth comes from the eval package, not the optimizer.
+func normalize(e plan.Expr) plan.Expr {
+	return plan.TransformExpr(e, func(x plan.Expr) plan.Expr {
+		switch x.(type) {
+		case *plan.Literal, *plan.BoundRef, *plan.Alias:
+			return x
+		}
+		if !eval.IsConstant(x) {
+			return x
+		}
+		v, err := eval.Eval(x, nil, nil)
+		if err != nil {
+			return x
+		}
+		return plan.Lit(v)
+	})
+}
+
+// canonical renders an expression with ordinals erased (BoundRef → bare
+// column name), so prune-remapped plans compare equal to their pre-prune
+// policy form.
+func canonical(e plan.Expr) string {
+	c := plan.TransformExpr(e, func(x plan.Expr) plan.Expr {
+		if b, ok := x.(*plan.BoundRef); ok {
+			return &plan.ColumnRef{Name: b.Name}
+		}
+		return x
+	})
+	return c.String()
+}
+
+func canonicalList(exprs []plan.Expr) string {
+	if len(exprs) == 0 {
+		return "none"
+	}
+	parts := make([]string, len(exprs))
+	for i, e := range exprs {
+		parts[i] = canonical(normalize(e))
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// isConstTrue reports a policy conjunct that folds to literal TRUE (it
+// dominates trivially).
+func isConstTrue(e plan.Expr) bool {
+	l, ok := e.(*plan.Literal)
+	return ok && l.Value.IsTrue()
+}
