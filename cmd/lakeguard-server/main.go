@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -96,7 +97,7 @@ func seedDemo(cat *catalog.Catalog, admin string) {
 	}
 	for _, s := range stmts {
 		pl := &proto.Plan{Command: &proto.Command{SQL: s}}
-		if _, _, err := srv.Execute(admin+"/seed", admin, pl); err != nil {
+		if _, _, err := srv.Execute(context.Background(), admin+"/seed", admin, pl); err != nil {
 			log.Fatalf("demo seed %q: %v", s, err)
 		}
 	}

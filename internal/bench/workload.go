@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"lakeguard/internal/analyzer"
@@ -33,8 +34,8 @@ type World struct {
 func NewWorld(sandboxCfg sandbox.Config) *World {
 	cat := catalog.New(storage.NewStore(), nil)
 	cat.AddAdmin(Admin)
-	dispatcher := sandbox.NewDispatcher(sandbox.FactoryFunc(func(domain string) (*sandbox.Sandbox, error) {
-		return sandbox.New(domain, sandboxCfg), nil
+	dispatcher := sandbox.NewDispatcher(sandbox.FactoryFunc(func(ctx context.Context, domain string) (*sandbox.Sandbox, error) {
+		return sandbox.NewContext(ctx, domain, sandboxCfg)
 	}))
 	return &World{
 		Cat:        cat,

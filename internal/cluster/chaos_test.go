@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"lakeguard/internal/faults"
+	"lakeguard/internal/sandbox"
+	"lakeguard/internal/types"
+)
+
+// TestConcurrentPlacementRespectsDensityCap is the TOCTOU regression test:
+// many goroutines provisioning at once must never overshoot
+// MaxSandboxesPerHost, even though sandbox creation itself is slow.
+func TestConcurrentPlacementRespectsDensityCap(t *testing.T) {
+	const hosts, cap, attempts = 2, 3, 24
+	m := NewManager(Config{
+		Name: "c", Hosts: hosts, MaxSandboxesPerHost: cap,
+		Sandbox: sandbox.Config{ColdStart: 5 * time.Millisecond},
+	})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var created int
+	var capacityErrs int
+	for i := 0; i < attempts; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sb, err := m.CreateSandbox(context.Background(), "alice")
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if errors.Is(err, ErrCapacity) {
+					capacityErrs++
+				} else {
+					t.Errorf("unexpected error: %v", err)
+				}
+				return
+			}
+			created++
+			_ = sb
+		}()
+	}
+	wg.Wait()
+	if created != hosts*cap {
+		t.Errorf("created = %d, want exactly %d", created, hosts*cap)
+	}
+	if capacityErrs != attempts-hosts*cap {
+		t.Errorf("capacity errors = %d", capacityErrs)
+	}
+	for _, h := range m.Hosts() {
+		if n := h.SandboxCount(); n > cap {
+			t.Errorf("host %s holds %d sandboxes, cap %d", h.ID, n, cap)
+		}
+	}
+}
+
+func TestEvictSandboxReclaimsHostSlot(t *testing.T) {
+	m := NewManager(Config{Name: "c", Hosts: 1, MaxSandboxesPerHost: 1})
+	sb, err := m.CreateSandbox(context.Background(), "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CreateSandbox(context.Background(), "bob"); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("err = %v, want ErrCapacity", err)
+	}
+	sb.Close()
+	m.EvictSandbox(sb)
+	if m.Evicted() != 1 {
+		t.Errorf("evicted = %d", m.Evicted())
+	}
+	if m.Hosts()[0].SandboxCount() != 0 {
+		t.Error("host slot not reclaimed")
+	}
+	if _, err := m.CreateSandbox(context.Background(), "bob"); err != nil {
+		t.Fatalf("slot not reusable after eviction: %v", err)
+	}
+	// Evicting twice (or an unknown sandbox) is a no-op.
+	m.EvictSandbox(sb)
+	if m.Evicted() != 1 {
+		t.Errorf("double eviction counted: %d", m.Evicted())
+	}
+}
+
+func TestCancelledColdStartAbandonsProvisioning(t *testing.T) {
+	m := NewManager(Config{
+		Name: "c", Hosts: 1, MaxSandboxesPerHost: 1,
+		Sandbox: sandbox.Config{ColdStart: time.Minute},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := m.CreateSandbox(ctx, "alice")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancelled cold start blocked")
+	}
+	// The abandoned provisioning released its reservation: the single slot
+	// is still free.
+	if _, err := NewManager(Config{Name: "c2", Hosts: 1}).CreateSandbox(context.Background(), "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Hosts()[0].load(); got != 0 {
+		t.Errorf("leaked reservation: load = %d", got)
+	}
+}
+
+func TestChaosProvisionFaultIsTransient(t *testing.T) {
+	inj := faults.New(faults.SeedFromEnv(1)).Add(
+		faults.Rule{Site: faults.SiteClusterProvision, Kind: faults.KindError, Times: 1},
+	)
+	m := NewManager(Config{Name: "c", Hosts: 1, Faults: inj})
+	_, err := m.CreateSandbox(context.Background(), "alice")
+	if err == nil || !faults.IsTransient(err) {
+		t.Fatalf("err = %v, want transient injected fault", err)
+	}
+	// Rule exhausted: the next attempt succeeds (what the dispatcher's retry
+	// loop relies on).
+	if _, err := m.CreateSandbox(context.Background(), "alice"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChaosFaultInjectorInheritedBySandboxes(t *testing.T) {
+	// A cluster-level injector reaches the interpreter inside sandboxes that
+	// don't configure their own.
+	inj := faults.New(faults.SeedFromEnv(1)).Add(
+		faults.Rule{Site: faults.SiteSandboxInterpret, Kind: faults.KindCrash, Times: 1},
+	)
+	m := NewManager(Config{Name: "c", Hosts: 1, Faults: inj})
+	sb, err := m.CreateSandbox(context.Background(), "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := sandbox.UDFSpec{Name: "one", Body: "return 1", ResultKind: types.KindInt64}
+	_, err = sb.Execute(context.Background(), &sandbox.Request{Specs: []sandbox.UDFSpec{spec}, Args: types.NewBatchBuilder(types.NewSchema(), 1).Build()})
+	var crash *sandbox.SandboxCrashError
+	if !errors.As(err, &crash) {
+		t.Fatalf("err = %v, want SandboxCrashError from inherited injector", err)
+	}
+}

@@ -6,12 +6,14 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"lakeguard/internal/catalog"
+	"lakeguard/internal/faults"
 	"lakeguard/internal/sandbox"
 )
 
@@ -21,6 +23,10 @@ type Host struct {
 
 	mu        sync.Mutex
 	sandboxes map[string]*sandbox.Sandbox
+	// reserved counts placement slots claimed by in-flight provisioning, so
+	// concurrent CreateSandbox calls cannot both pass the density check and
+	// overshoot MaxSandboxesPerHost (TOCTOU fix).
+	reserved int
 }
 
 // SandboxCount reports how many sandboxes run on the host.
@@ -28,6 +34,33 @@ func (h *Host) SandboxCount() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return len(h.sandboxes)
+}
+
+// load is the placement load: resident sandboxes plus reserved slots.
+func (h *Host) load() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.sandboxes) + h.reserved
+}
+
+func (h *Host) reserve() {
+	h.mu.Lock()
+	h.reserved++
+	h.mu.Unlock()
+}
+
+func (h *Host) unreserve() {
+	h.mu.Lock()
+	h.reserved--
+	h.mu.Unlock()
+}
+
+// commit converts a reservation into a resident sandbox.
+func (h *Host) commit(sb *sandbox.Sandbox) {
+	h.mu.Lock()
+	h.reserved--
+	h.sandboxes[sb.ID] = sb
+	h.mu.Unlock()
 }
 
 // Config parametrizes a cluster.
@@ -47,6 +80,9 @@ type Config struct {
 	// standard executor hosts (paper §3.3), e.g. "gpu" or "highmem". UDFs
 	// declaring a resource requirement are routed here.
 	ResourcePools map[string]PoolConfig
+	// Faults is the chaos-test fault injector (site cluster.provision); it
+	// is also handed to sandboxes that don't configure their own.
+	Faults *faults.Injector
 }
 
 // PoolConfig describes one specialized resource pool.
@@ -67,9 +103,16 @@ type Manager struct {
 	hosts     []*Host
 	poolHosts map[string][]*Host
 
+	// placeMu serializes host selection + slot reservation so concurrent
+	// provisioning never double-books the last slot of a host.
+	placeMu sync.Mutex
+
 	mu              sync.Mutex
 	provisioned     int64
+	evicted         int64
 	poolProvisioned map[string]int64
+	// byID maps live sandboxes to their host for eviction.
+	byID map[string]*Host
 }
 
 // NewManager provisions a cluster.
@@ -77,7 +120,15 @@ func NewManager(cfg Config) *Manager {
 	if cfg.Hosts < 1 {
 		cfg.Hosts = 1
 	}
-	m := &Manager{cfg: cfg, poolHosts: map[string][]*Host{}, poolProvisioned: map[string]int64{}}
+	if cfg.Sandbox.Faults == nil {
+		cfg.Sandbox.Faults = cfg.Faults
+	}
+	m := &Manager{
+		cfg:             cfg,
+		poolHosts:       map[string][]*Host{},
+		poolProvisioned: map[string]int64{},
+		byID:            map[string]*Host{},
+	}
 	for i := 0; i < cfg.Hosts; i++ {
 		m.hosts = append(m.hosts, &Host{
 			ID:        fmt.Sprintf("%s-host-%d", cfg.Name, i),
@@ -115,19 +166,26 @@ func (m *Manager) Provisioned() int64 {
 	return m.provisioned
 }
 
+// Evicted reports how many sandboxes were evicted from their hosts.
+func (m *Manager) Evicted() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.evicted
+}
+
 // CreateSandbox implements sandbox.Factory: it picks the least-loaded host
 // and provisions a sandbox there. MultiUser isolation holds regardless of
 // placement: the sandbox boundary, not the host boundary, is the security
 // boundary, which is why standard clusters can share hosts between users
 // (unlike the Membrane-style static split).
-func (m *Manager) CreateSandbox(trustDomain string) (*sandbox.Sandbox, error) {
-	return m.CreateSandboxResources(trustDomain, "")
+func (m *Manager) CreateSandbox(ctx context.Context, trustDomain string) (*sandbox.Sandbox, error) {
+	return m.CreateSandboxResources(ctx, trustDomain, "")
 }
 
 // CreateSandboxResources implements sandbox.ResourceFactory: a non-empty
 // resource class routes to that specialized pool's hosts with the pool's
 // sandbox configuration.
-func (m *Manager) CreateSandboxResources(trustDomain, resources string) (*sandbox.Sandbox, error) {
+func (m *Manager) CreateSandboxResources(ctx context.Context, trustDomain, resources string) (*sandbox.Sandbox, error) {
 	hosts := m.hosts
 	cfg := m.cfg.Sandbox
 	if resources != "" {
@@ -138,24 +196,58 @@ func (m *Manager) CreateSandboxResources(trustDomain, resources string) (*sandbo
 		hosts = m.poolHosts[resources]
 		if pc.Sandbox != nil {
 			cfg = *pc.Sandbox
+			if cfg.Faults == nil {
+				cfg.Faults = m.cfg.Faults
+			}
 		}
 	}
+	if err := m.cfg.Faults.CheckContext(ctx, faults.SiteClusterProvision); err != nil {
+		return nil, fmt.Errorf("cluster: provisioning on %s: %w", m.cfg.Name, err)
+	}
+	// Pick and reserve atomically; the slow sandbox creation happens with
+	// the slot already held, never exceeding the density cap.
+	m.placeMu.Lock()
 	host := pickLeastLoaded(hosts, m.cfg.MaxSandboxesPerHost)
+	if host != nil {
+		host.reserve()
+	}
+	m.placeMu.Unlock()
 	if host == nil {
 		return nil, ErrCapacity
 	}
-	sb := sandbox.New(trustDomain, cfg)
+	sb, err := sandbox.NewContext(ctx, trustDomain, cfg)
+	if err != nil {
+		host.unreserve()
+		return nil, err
+	}
 	sb.Resources = resources
-	host.mu.Lock()
-	host.sandboxes[sb.ID] = sb
-	host.mu.Unlock()
+	host.commit(sb)
 	m.mu.Lock()
 	m.provisioned++
+	m.byID[sb.ID] = host
 	if resources != "" {
 		m.poolProvisioned[resources]++
 	}
 	m.mu.Unlock()
 	return sb, nil
+}
+
+// EvictSandbox implements sandbox.Evictor: it removes a (closed) sandbox
+// from its host so the slot can be reused. Unknown sandboxes are ignored.
+func (m *Manager) EvictSandbox(sb *sandbox.Sandbox) {
+	m.mu.Lock()
+	host := m.byID[sb.ID]
+	if host != nil {
+		delete(m.byID, sb.ID)
+		m.evicted++
+	}
+	m.mu.Unlock()
+	if host == nil {
+		return
+	}
+	host.mu.Lock()
+	delete(host.sandboxes, sb.ID)
+	host.mu.Unlock()
 }
 
 // PoolProvisioned reports how many sandboxes a resource pool has created.
@@ -172,7 +264,7 @@ func pickLeastLoaded(hosts []*Host, maxPerHost int) *Host {
 	var best *Host
 	bestCount := -1
 	for _, h := range hosts {
-		c := h.SandboxCount()
+		c := h.load()
 		if maxPerHost > 0 && c >= maxPerHost {
 			continue
 		}

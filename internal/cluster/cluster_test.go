@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -11,7 +12,7 @@ import (
 func TestLeastLoadedPlacement(t *testing.T) {
 	m := NewManager(Config{Name: "std", Compute: catalog.ComputeStandard, Hosts: 3})
 	for i := 0; i < 6; i++ {
-		if _, err := m.CreateSandbox("alice"); err != nil {
+		if _, err := m.CreateSandbox(context.Background(), "alice"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -28,11 +29,11 @@ func TestLeastLoadedPlacement(t *testing.T) {
 func TestCapacityLimit(t *testing.T) {
 	m := NewManager(Config{Name: "small", Compute: catalog.ComputeStandard, Hosts: 2, MaxSandboxesPerHost: 1})
 	for i := 0; i < 2; i++ {
-		if _, err := m.CreateSandbox("u"); err != nil {
+		if _, err := m.CreateSandbox(context.Background(), "u"); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := m.CreateSandbox("u"); !errors.Is(err, ErrCapacity) {
+	if _, err := m.CreateSandbox(context.Background(), "u"); !errors.Is(err, ErrCapacity) {
 		t.Errorf("err = %v", err)
 	}
 }

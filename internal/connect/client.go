@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"lakeguard/internal/arrowipc"
 	"lakeguard/internal/plan"
@@ -26,6 +27,7 @@ type Client struct {
 	token       string
 	sessionID   string
 	workloadEnv string
+	timeout     time.Duration
 	http        *http.Client
 }
 
@@ -53,6 +55,11 @@ func (c *Client) SessionID() string { return c.sessionID }
 // Environment (paper §6.3). Empty selects the server default.
 func (c *Client) SetWorkloadEnv(env string) { c.workloadEnv = env }
 
+// SetTimeout bounds every subsequent execution's server-side wall-clock
+// time: the deadline travels with the request and propagates through the
+// backend into sandbox crossings and eFGAC submissions (0 = no deadline).
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
 func (c *Client) newRequest(method, path string, body []byte) (*http.Request, error) {
 	req, err := http.NewRequest(method, c.baseURL+path, bytes.NewReader(body))
 	if err != nil {
@@ -60,6 +67,9 @@ func (c *Client) newRequest(method, path string, body []byte) (*http.Request, er
 	}
 	req.Header.Set("Authorization", "Bearer "+c.token)
 	req.Header.Set("X-Session-Id", c.sessionID)
+	if c.timeout > 0 {
+		req.Header.Set(TimeoutHeader, strconv.FormatInt(c.timeout.Milliseconds(), 10))
+	}
 	return req, nil
 }
 

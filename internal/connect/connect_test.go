@@ -2,6 +2,7 @@ package connect
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"net/http"
@@ -29,7 +30,7 @@ type fakeBackend struct {
 	executions int
 }
 
-func (f *fakeBackend) Execute(sessionID, user string, pl *proto.Plan) (*types.Schema, []*types.Batch, error) {
+func (f *fakeBackend) Execute(ctx context.Context, sessionID, user string, pl *proto.Plan) (*types.Schema, []*types.Batch, error) {
 	f.mu.Lock()
 	f.executions++
 	f.mu.Unlock()

@@ -1,6 +1,7 @@
 package connect
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -21,8 +22,9 @@ import (
 // cluster) and by the serverless gateway (fleet routing).
 type Backend interface {
 	// Execute runs a root plan for (session, user) and returns the result
-	// schema and batches.
-	Execute(sessionID, user string, pl *proto.Plan) (*types.Schema, []*types.Batch, error)
+	// schema and batches. ctx carries the caller's deadline into sandbox
+	// crossings and remote execution.
+	Execute(ctx context.Context, sessionID, user string, pl *proto.Plan) (*types.Schema, []*types.Batch, error)
 	// Analyze resolves a relation and returns its schema and an EXPLAIN
 	// rendering (redacted across SecureView barriers).
 	Analyze(sessionID, user string, rel plan.Node) (*types.Schema, string, error)
@@ -173,7 +175,9 @@ func (s *Service) handleExecute(w http.ResponseWriter, r *http.Request) {
 	s.operations[op.id] = op
 	s.mu.Unlock()
 
-	schema, batches, err := s.backend.Execute(sessionID, user, pl)
+	ctx, cancel := requestContext(r)
+	defer cancel()
+	schema, batches, err := s.backend.Execute(ctx, sessionID, user, pl)
 	s.mu.Lock()
 	if err != nil {
 		op.state = OpFailed
@@ -190,6 +194,24 @@ func (s *Service) handleExecute(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("X-Operation-Id", op.id)
 	s.streamBatches(w, op, 0)
+}
+
+// TimeoutHeader carries the client's per-query deadline in milliseconds; the
+// service turns it into a context deadline flowing through the backend into
+// sandbox crossings and eFGAC submissions.
+const TimeoutHeader = "X-Timeout-Millis"
+
+// requestContext derives the execution context from the HTTP request: the
+// connection's own context (client disappearance) plus the optional
+// TimeoutHeader deadline.
+func requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	if v := r.Header.Get(TimeoutHeader); v != "" {
+		if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms > 0 {
+			return context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+		}
+	}
+	return context.WithCancel(ctx)
 }
 
 // streamBatches writes an arrowipc stream of the operation's batches

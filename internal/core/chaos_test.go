@@ -1,0 +1,227 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"lakeguard/internal/audit"
+	"lakeguard/internal/connect"
+	"lakeguard/internal/faults"
+	"lakeguard/internal/plan"
+	"lakeguard/internal/proto"
+	"lakeguard/internal/sandbox"
+	"lakeguard/internal/types"
+)
+
+// registerWobbly seeds sales and registers a sandboxed UDF for chaos runs.
+func registerWobbly(t *testing.T, c *connect.Client) {
+	t.Helper()
+	seedSales(t, c)
+	if err := c.RegisterFunction("wobbly",
+		[]types.Field{{Name: "usd", Kind: types.KindFloat64}},
+		types.KindFloat64, "return usd * 2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sqlPlan builds the proto plan for a SQL query (direct server entry, so
+// typed errors survive — the wire protocol flattens them to strings).
+func sqlPlan(query string) *proto.Plan {
+	return &proto.Plan{Relation: &plan.SQLRelation{Query: query}}
+}
+
+const wobblyQuery = "SELECT wobbly(amount) AS w FROM sales"
+
+// TestChaosCrashRecoveryEndToEnd is the acceptance scenario: an injected
+// interpreter crash mid-query surfaces as a structured SandboxCrashError
+// (not a hang), the poisoned sandbox is evicted from its host, and the next
+// query in the same trust domain gets a fresh sandbox and succeeds.
+func TestChaosCrashRecoveryEndToEnd(t *testing.T) {
+	inj := faults.New(faults.SeedFromEnv(1)).Add(
+		faults.Rule{Site: faults.SiteSandboxInterpret, Kind: faults.KindCrash, Times: 1},
+	)
+	e := newEnv(t, Config{Name: "std", Faults: inj})
+	c := e.client("tok-admin")
+	registerWobbly(t, c)
+
+	_, _, err := e.server.Execute(context.Background(), admin+"/"+c.SessionID(), admin, sqlPlan(wobblyQuery))
+	var crash *sandbox.SandboxCrashError
+	if !errors.As(err, &crash) {
+		t.Fatalf("err = %v, want SandboxCrashError", err)
+	}
+	if crash.TrustDomain != admin {
+		t.Errorf("crash domain = %q", crash.TrustDomain)
+	}
+	// The poisoned sandbox was quarantined and its host slot reclaimed.
+	if got := e.server.ClusterManager().Evicted(); got != 1 {
+		t.Errorf("evicted = %d, want 1", got)
+	}
+	st := e.server.Dispatcher().Stats()
+	if st.Crashes != 1 || st.Active != 0 {
+		t.Errorf("dispatcher stats = %+v", st)
+	}
+	// Same domain, next query: a fresh sandbox is provisioned and succeeds.
+	schema, batches, err := e.server.Execute(context.Background(), admin+"/"+c.SessionID(), admin, sqlPlan(wobblyQuery))
+	if err != nil {
+		t.Fatalf("query after quarantine: %v", err)
+	}
+	rows := 0
+	for _, b := range batches {
+		rows += b.NumRows()
+	}
+	if schema.Len() != 1 || rows != 6 {
+		t.Fatalf("recovered query shape: %d cols, %d rows", schema.Len(), rows)
+	}
+	if got := e.server.Dispatcher().Stats().ColdStarts; got != 2 {
+		t.Errorf("cold starts = %d, want fresh sandbox after crash", got)
+	}
+	// The crash is on the audit trail.
+	if n := e.cat.Audit().Count(func(ev audit.Event) bool { return ev.Action == "SANDBOX_CRASH" }); n != 1 {
+		t.Errorf("SANDBOX_CRASH audit events = %d", n)
+	}
+}
+
+// TestChaosCircuitBreakerEndToEnd drives a crash-looping trust domain until
+// its circuit breaker opens: further queries are refused with
+// ErrDomainTripped and CIRCUIT_OPEN lands in the audit log, while the
+// rest of the cluster keeps serving.
+func TestChaosCircuitBreakerEndToEnd(t *testing.T) {
+	inj := faults.New(faults.SeedFromEnv(1)).Add(
+		faults.Rule{Site: faults.SiteSandboxInterpret, Kind: faults.KindCrash},
+	)
+	e := newEnv(t, Config{
+		Name: "std", Faults: inj,
+		Supervisor: sandbox.SupervisorConfig{CircuitThreshold: 3, CircuitCooldown: time.Hour},
+	})
+	c := e.client("tok-admin")
+	registerWobbly(t, c)
+
+	for i := 0; i < 3; i++ {
+		_, _, err := e.server.Execute(context.Background(), admin+"/"+c.SessionID(), admin, sqlPlan(wobblyQuery))
+		var crash *sandbox.SandboxCrashError
+		if !errors.As(err, &crash) {
+			t.Fatalf("query %d: err = %v, want SandboxCrashError", i, err)
+		}
+	}
+	if consecutive, open := e.server.Dispatcher().BreakerState(admin); !open || consecutive != 3 {
+		t.Fatalf("breaker = (%d, %v), want open", consecutive, open)
+	}
+	_, _, err := e.server.Execute(context.Background(), admin+"/"+c.SessionID(), admin, sqlPlan(wobblyQuery))
+	if !errors.Is(err, sandbox.ErrDomainTripped) {
+		t.Fatalf("query on tripped domain = %v, want ErrDomainTripped", err)
+	}
+	if n := e.cat.Audit().Count(func(ev audit.Event) bool { return ev.Action == "CIRCUIT_OPEN" }); n != 1 {
+		t.Errorf("CIRCUIT_OPEN audit events = %d", n)
+	}
+	// Non-UDF queries don't touch sandboxes and still work.
+	if _, _, err := e.server.Execute(context.Background(), admin+"/"+c.SessionID(), admin,
+		sqlPlan("SELECT COUNT(*) AS n FROM sales")); err != nil {
+		t.Fatalf("plain SQL blocked by breaker: %v", err)
+	}
+}
+
+// TestChaosFaultSpecParsesFromEnv exercises the operator-facing FAULTS
+// configuration path end to end: the spec string drives the same injector
+// the tests build programmatically.
+func TestChaosFaultSpecParsesFromEnv(t *testing.T) {
+	t.Setenv("FAULTS", "sandbox.interpret:crash*1")
+	t.Setenv("FAULTS_SEED", "42")
+	e := newEnv(t, Config{Name: "std"})
+	c := e.client("tok-admin")
+	registerWobbly(t, c)
+	_, _, err := e.server.Execute(context.Background(), admin+"/"+c.SessionID(), admin, sqlPlan(wobblyQuery))
+	var crash *sandbox.SandboxCrashError
+	if !errors.As(err, &crash) {
+		t.Fatalf("err = %v, want SandboxCrashError from FAULTS env", err)
+	}
+	if _, _, err := e.server.Execute(context.Background(), admin+"/"+c.SessionID(), admin, sqlPlan(wobblyQuery)); err != nil {
+		t.Fatalf("after exhausting env-configured fault: %v", err)
+	}
+}
+
+// TestDeadlinePropagatesOverWire sets a client-side timeout and verifies the
+// deadline travels through the Connect header into the sandbox crossing,
+// killing a wedged interpreter instead of hanging the query.
+func TestDeadlinePropagatesOverWire(t *testing.T) {
+	inj := faults.New(faults.SeedFromEnv(1)).Add(
+		faults.Rule{Site: faults.SiteSandboxInterpret, Kind: faults.KindHang, Times: 1},
+	)
+	e := newEnv(t, Config{Name: "std", Faults: inj})
+	c := e.client("tok-admin")
+	registerWobbly(t, c)
+	c.SetTimeout(50 * time.Millisecond)
+
+	start := time.Now()
+	_, err := c.Sql(wobblyQuery).Collect()
+	if err == nil {
+		t.Fatal("hung query returned no error")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("deadline ignored: query took %v", elapsed)
+	}
+	if !strings.Contains(err.Error(), "deadline") && !strings.Contains(err.Error(), "context") {
+		t.Errorf("err = %v, want deadline cancellation", err)
+	}
+	// The wedged sandbox was destroyed; a fresh query on the same session
+	// succeeds without a timeout.
+	c.SetTimeout(0)
+	if _, err := c.Sql(wobblyQuery).Collect(); err != nil {
+		t.Fatalf("query after deadline kill: %v", err)
+	}
+}
+
+// TestDeadlineCancelsPullLoop covers the engine-side check: a context that
+// expires between batches aborts the pull loop even with no sandbox in the
+// plan.
+func TestDeadlineCancelsPullLoop(t *testing.T) {
+	e := newEnv(t, Config{Name: "std"})
+	c := e.client("tok-admin")
+	seedSales(t, c)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := e.server.Execute(ctx, admin+"/"+c.SessionID(), admin, sqlPlan("SELECT COUNT(*) AS n FROM sales"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestChaosEFGACRetriesTransientFaults injects transient failures into the
+// eFGAC submission path and verifies the retry layer recovers within the
+// budget — and gives up cleanly beyond it.
+func TestChaosEFGACRetriesTransientFaults(t *testing.T) {
+	dedicated, _, efgac := newEFGACWorld(t, 0)
+	efgac.Faults = faults.New(faults.SeedFromEnv(1)).Add(
+		faults.Rule{Site: faults.SiteEFGACRemote, Kind: faults.KindError, Times: 2},
+	)
+	efgac.RetryBase = time.Millisecond
+
+	std := newEnv(t, Config{Name: "std", Catalog: dedicated.cat})
+	adminC := std.client("tok-admin")
+	seedSales(t, adminC)
+	mustExec(t, adminC, "ALTER TABLE sales SET ROW FILTER 'region = ''US'''")
+	mustExec(t, adminC, "GRANT SELECT ON sales TO 'alice@corp.com'")
+
+	aliceC := dedicated.client("tok-alice")
+	b, err := aliceC.Sql("SELECT amount FROM sales ORDER BY amount").Collect()
+	if err != nil {
+		t.Fatalf("eFGAC query did not survive transient faults: %v", err)
+	}
+	if b.NumRows() != 3 { // US rows only
+		t.Fatalf("rows = %d\n%s", b.NumRows(), b.String())
+	}
+	if got := efgac.Retries(); got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+
+	// Beyond the retry budget the transient error surfaces.
+	efgac.Faults = faults.New(faults.SeedFromEnv(1)).Add(
+		faults.Rule{Site: faults.SiteEFGACRemote, Kind: faults.KindError},
+	)
+	if _, err := aliceC.Sql("SELECT amount FROM sales").Collect(); err == nil ||
+		!strings.Contains(err.Error(), "injected") {
+		t.Fatalf("exhausted retries: err = %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -16,10 +17,10 @@ import (
 )
 
 // executeCommand dispatches a side-effecting execution root.
-func (s *Server) executeCommand(ctx catalog.RequestContext, st *sessionState, cmd *proto.Command) (*types.Schema, *types.Batch, error) {
+func (s *Server) executeCommand(qctx context.Context, ctx catalog.RequestContext, st *sessionState, cmd *proto.Command) (*types.Schema, *types.Batch, error) {
 	switch {
 	case cmd.SQL != "":
-		return s.executeSQL(ctx, st, cmd.SQL)
+		return s.executeSQL(qctx, ctx, st, cmd.SQL)
 
 	case cmd.CreateTempView != nil:
 		node, err := substituteSQL(cmd.CreateTempView.Input)
@@ -51,7 +52,7 @@ func (s *Server) executeCommand(ctx catalog.RequestContext, st *sessionState, cm
 		return schema, b, nil
 
 	case cmd.InsertInto != nil:
-		return s.executeInsert(ctx, st, cmd.InsertInto.Table, cmd.InsertInto.Input, nil)
+		return s.executeInsert(qctx, ctx, st, cmd.InsertInto.Table, cmd.InsertInto.Input, nil)
 	}
 	return nil, nil, fmt.Errorf("core: empty command")
 }
@@ -67,7 +68,7 @@ func lower(s string) string {
 }
 
 // executeSQL parses and dispatches one SQL statement.
-func (s *Server) executeSQL(ctx catalog.RequestContext, st *sessionState, text string) (*types.Schema, *types.Batch, error) {
+func (s *Server) executeSQL(qctx context.Context, ctx catalog.RequestContext, st *sessionState, text string) (*types.Schema, *types.Batch, error) {
 	stmt, err := sql.Parse(text)
 	if err != nil {
 		return nil, nil, err
@@ -87,7 +88,7 @@ func (s *Server) executeSQL(ctx catalog.RequestContext, st *sessionState, text s
 			bb.AppendRow([]types.Value{types.String(plan.ExplainRedacted(optimized))})
 			return schema, bb.Build(), nil
 		}
-		schema, batches, err := s.runQuery(ctx, st, stmt.Query)
+		schema, batches, err := s.runQuery(qctx, ctx, st, stmt.Query)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -97,7 +98,7 @@ func (s *Server) executeSQL(ctx catalog.RequestContext, st *sessionState, text s
 		}
 		return schema, b, nil
 	}
-	return s.executeDDL(ctx, st, stmt.Cmd)
+	return s.executeDDL(qctx, ctx, st, stmt.Cmd)
 }
 
 func concatBatches(schema *types.Schema, batches []*types.Batch) (*types.Batch, error) {
@@ -115,7 +116,7 @@ func concatBatches(schema *types.Schema, batches []*types.Batch) (*types.Batch, 
 }
 
 // executeDDL dispatches parsed DDL/DML commands to the catalog.
-func (s *Server) executeDDL(ctx catalog.RequestContext, st *sessionState, cmd plan.Command) (*types.Schema, *types.Batch, error) {
+func (s *Server) executeDDL(qctx context.Context, ctx catalog.RequestContext, st *sessionState, cmd plan.Command) (*types.Schema, *types.Batch, error) {
 	ok := func(msg string) (*types.Schema, *types.Batch, error) {
 		schema, b := okBatch(msg)
 		return schema, b, nil
@@ -206,18 +207,18 @@ func (s *Server) executeDDL(ctx catalog.RequestContext, st *sessionState, cmd pl
 
 	case *plan.InsertInto:
 		if c.Query != nil {
-			return s.executeInsert(ctx, st, c.Table, c.Query, nil)
+			return s.executeInsert(qctx, ctx, st, c.Table, c.Query, nil)
 		}
-		return s.executeInsert(ctx, st, c.Table, nil, c.Rows)
+		return s.executeInsert(qctx, ctx, st, c.Table, nil, c.Rows)
 
 	case *plan.RefreshMaterializedView:
-		return s.refreshMaterializedView(ctx, c.Name)
+		return s.refreshMaterializedView(qctx, ctx, c.Name)
 
 	case *plan.CreateTableAs:
-		return s.executeCTAS(ctx, st, c)
+		return s.executeCTAS(qctx, ctx, st, c)
 
 	case *plan.DeleteFrom:
-		return s.executeDelete(ctx, st, c)
+		return s.executeDelete(qctx, ctx, st, c)
 
 	case *plan.ShowTables:
 		names := s.cat.ListTables(ctx)
@@ -291,14 +292,14 @@ func appendAnnotation(comment, note string) string {
 }
 
 // executeCTAS creates a table from a query result.
-func (s *Server) executeCTAS(ctx catalog.RequestContext, st *sessionState, c *plan.CreateTableAs) (*types.Schema, *types.Batch, error) {
+func (s *Server) executeCTAS(qctx context.Context, ctx catalog.RequestContext, st *sessionState, c *plan.CreateTableAs) (*types.Schema, *types.Batch, error) {
 	if c.IfNotExists {
 		if _, err := s.cat.ResolveTable(ctx, c.Name); err == nil {
 			schema, b := okBatch("table already exists; CTAS skipped")
 			return schema, b, nil
 		}
 	}
-	schema, batches, err := s.runQuery(ctx, st, c.Query)
+	schema, batches, err := s.runQuery(qctx, ctx, st, c.Query)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -327,7 +328,7 @@ func (s *Server) executeCTAS(ctx catalog.RequestContext, st *sessionState, c *pl
 }
 
 // executeDelete rewrites the table without the matching rows.
-func (s *Server) executeDelete(ctx catalog.RequestContext, st *sessionState, c *plan.DeleteFrom) (*types.Schema, *types.Batch, error) {
+func (s *Server) executeDelete(qctx context.Context, ctx catalog.RequestContext, st *sessionState, c *plan.DeleteFrom) (*types.Schema, *types.Batch, error) {
 	meta, err := s.cat.ResolveTable(ctx, c.Table)
 	if err != nil {
 		return nil, nil, err
@@ -353,7 +354,7 @@ func (s *Server) executeDelete(ctx catalog.RequestContext, st *sessionState, c *
 		// DELETE without WHERE removes everything.
 		keep = &plan.Filter{Cond: plan.Lit(types.Bool(false)), Child: keep}
 	}
-	schemaBefore, before, err := s.runQuery(ctx, st, &plan.UnresolvedRelation{Parts: c.Table, AsOfVersion: -1})
+	schemaBefore, before, err := s.runQuery(qctx, ctx, st, &plan.UnresolvedRelation{Parts: c.Table, AsOfVersion: -1})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -362,7 +363,7 @@ func (s *Server) executeDelete(ctx catalog.RequestContext, st *sessionState, c *
 	for _, b := range before {
 		total += int64(b.NumRows())
 	}
-	_, kept, err := s.runQuery(ctx, st, keep)
+	_, kept, err := s.runQuery(qctx, ctx, st, keep)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -385,14 +386,14 @@ func (s *Server) executeDelete(ctx catalog.RequestContext, st *sessionState, c *
 }
 
 // executeInsert appends a query result or literal rows into a table.
-func (s *Server) executeInsert(ctx catalog.RequestContext, st *sessionState, table []string, input plan.Node, rows [][]types.Value) (*types.Schema, *types.Batch, error) {
+func (s *Server) executeInsert(qctx context.Context, ctx catalog.RequestContext, st *sessionState, table []string, input plan.Node, rows [][]types.Value) (*types.Schema, *types.Batch, error) {
 	meta, err := s.cat.ResolveTable(ctx, table)
 	if err != nil {
 		return nil, nil, err
 	}
 	var data []*types.Batch
 	if input != nil {
-		_, batches, err := s.runQuery(ctx, st, input)
+		_, batches, err := s.runQuery(qctx, ctx, st, input)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -457,7 +458,7 @@ func coerceBatch(b *types.Batch, schema *types.Schema) (*types.Batch, error) {
 
 // refreshMaterializedView recomputes an MV by executing its stored body as
 // the owner and overwriting the backing storage.
-func (s *Server) refreshMaterializedView(ctx catalog.RequestContext, name []string) (*types.Schema, *types.Batch, error) {
+func (s *Server) refreshMaterializedView(qctx context.Context, ctx catalog.RequestContext, name []string) (*types.Schema, *types.Batch, error) {
 	viewText, err := s.cat.ViewTextForRefresh(ctx, name)
 	if err != nil {
 		return nil, nil, err
@@ -475,6 +476,7 @@ func (s *Server) refreshMaterializedView(ctx catalog.RequestContext, name []stri
 		return nil, nil, err
 	}
 	qc := exec.NewQueryContext(s.cat, ctx)
+	qc.Context = qctx
 	batches, err := s.engine.Execute(qc, optimized)
 	if err != nil {
 		return nil, nil, err

@@ -2,13 +2,17 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"path"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"lakeguard/internal/arrowipc"
 	"lakeguard/internal/catalog"
 	"lakeguard/internal/connect"
 	"lakeguard/internal/exec"
+	"lakeguard/internal/faults"
 	"lakeguard/internal/plan"
 	"lakeguard/internal/proto"
 	"lakeguard/internal/storage"
@@ -79,30 +83,75 @@ type EFGACClient struct {
 	Cat *catalog.Catalog
 	// Store is the shared object store spilled results live in.
 	Store *storage.Store
+	// Faults is the chaos-test fault injector (site efgac.remote).
+	Faults *faults.Injector
+	// MaxRetries caps re-submissions after transient remote faults
+	// (0 = default 2, < 0 disables).
+	MaxRetries int
+	// RetryBase is the jittered-backoff base delay (0 = default 5ms).
+	RetryBase time.Duration
 
-	// RemoteQueries counts eFGAC subqueries (bench instrumentation).
-	remoteQueries int64
-	spilledReads  int64
+	// remoteQueries counts eFGAC subqueries (bench instrumentation).
+	remoteQueries atomic.Int64
+	spilledReads  atomic.Int64
+	retries       atomic.Int64
 }
 
 var _ exec.RemoteExecutor = (*EFGACClient)(nil)
 
-// ExecuteRemote implements exec.RemoteExecutor.
+// submit runs one eFGAC subquery attempt through a fresh Connect client.
+func (c *EFGACClient) submit(qc *exec.QueryContext, sqlText string) (*types.Batch, error) {
+	if err := c.Faults.CheckContext(qc.GoContext(), faults.SiteEFGACRemote); err != nil {
+		return nil, err
+	}
+	client := c.Dial(qc.Ctx.User, qc.SessionID)
+	defer func() { _ = client.Close() }()
+	c.remoteQueries.Add(1)
+	return client.ExecutePlan(&proto.Plan{
+		Relation:   &plan.SQLRelation{Query: sqlText},
+		AllowSpill: true,
+	})
+}
+
+// ExecuteRemote implements exec.RemoteExecutor. Transient remote failures
+// (a serverless submission that died mid-flight) are retried with jittered
+// exponential backoff under the query's deadline; governance errors from
+// the remote side surface immediately.
 func (c *EFGACClient) ExecuteRemote(qc *exec.QueryContext, rs *plan.RemoteScan) ([]*types.Batch, error) {
 	if c.Dial == nil {
 		return nil, fmt.Errorf("core: eFGAC endpoint not configured")
 	}
+	retries := c.MaxRetries
+	if retries == 0 {
+		retries = 2
+	}
+	base := c.RetryBase
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	ctx := qc.GoContext()
 	sqlText := RenderRemoteSQL(rs)
-	client := c.Dial(qc.Ctx.User, qc.SessionID)
-	defer func() { _ = client.Close() }()
-	c.remoteQueries++
-
-	batch, err := client.ExecutePlan(&proto.Plan{
-		Relation:   &plan.SQLRelation{Query: sqlText},
-		AllowSpill: true,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: eFGAC subquery %q: %w", sqlText, err)
+	var batch *types.Batch
+	var err error
+	for attempt := 0; ; attempt++ {
+		batch, err = c.submit(qc, sqlText)
+		if err == nil {
+			break
+		}
+		if attempt >= retries || !faults.IsTransient(err) {
+			return nil, fmt.Errorf("core: eFGAC subquery %q: %w", sqlText, err)
+		}
+		c.retries.Add(1)
+		delay := base << uint(attempt)
+		delay = delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, fmt.Errorf("core: eFGAC subquery %q abandoned: %w", sqlText, ctx.Err())
+		}
+		t.Stop()
 	}
 	if !isSpillManifest(batch.Schema) {
 		return []*types.Batch{batch}, nil
@@ -128,15 +177,18 @@ func (c *EFGACClient) ExecuteRemote(qc *exec.QueryContext, rs *plan.RemoteScan) 
 		if err != nil {
 			return nil, err
 		}
-		c.spilledReads++
+		c.spilledReads.Add(1)
 	}
 	return out, nil
 }
 
 // Stats reports eFGAC activity.
 func (c *EFGACClient) Stats() (remoteQueries, spilledReads int64) {
-	return c.remoteQueries, c.spilledReads
+	return c.remoteQueries.Load(), c.spilledReads.Load()
 }
+
+// Retries reports how many transient remote failures were retried.
+func (c *EFGACClient) Retries() int64 { return c.retries.Load() }
 
 // maybeSpill implements the serverless side of the two result-aggregation
 // modes (§3.4): small results return inline; larger ones are persisted to

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -46,7 +47,7 @@ func TestRowFilterFuzz(t *testing.T) {
 	adminSess := admin + "/fuzz-admin"
 	aliceSess := alice + "/fuzz-alice"
 	execAs := func(sess, user, stmt string) (*types.Batch, error) {
-		_, batches, err := srv.Execute(sess, user, &proto.Plan{Command: &proto.Command{SQL: stmt}})
+		_, batches, err := srv.Execute(context.Background(), sess, user, &proto.Plan{Command: &proto.Command{SQL: stmt}})
 		if err != nil {
 			return nil, err
 		}
@@ -146,7 +147,7 @@ func TestColumnMaskFuzz(t *testing.T) {
 	cat.AddAdmin(admin)
 	srv := NewServer(Config{Name: "maskfuzz", Catalog: cat})
 	execAs := func(sess, user, stmt string) (*types.Batch, error) {
-		_, batches, err := srv.Execute(sess, user, &proto.Plan{Command: &proto.Command{SQL: stmt}})
+		_, batches, err := srv.Execute(context.Background(), sess, user, &proto.Plan{Command: &proto.Command{SQL: stmt}})
 		if err != nil {
 			return nil, err
 		}

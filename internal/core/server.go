@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -18,6 +19,7 @@ import (
 	"lakeguard/internal/cluster"
 	"lakeguard/internal/connect"
 	"lakeguard/internal/exec"
+	"lakeguard/internal/faults"
 	"lakeguard/internal/optimizer"
 	"lakeguard/internal/plan"
 	"lakeguard/internal/proto"
@@ -63,6 +65,14 @@ type Config struct {
 	// UnsafeInProcessUDFs runs user code without isolation (benchmark
 	// baseline only).
 	UnsafeInProcessUDFs bool
+	// Faults is the chaos-test fault injector threaded into the cluster,
+	// sandboxes, and the eFGAC client. Nil falls back to the FAULTS
+	// environment variable (also nil when unset).
+	Faults *faults.Injector
+	// Supervisor tunes sandbox failure handling (circuit breaker,
+	// provisioning retries). Zero value selects the defaults; the audit log
+	// defaults to the catalog's.
+	Supervisor sandbox.SupervisorConfig
 }
 
 // sessionState is the server-side state of one Connect session.
@@ -105,11 +115,26 @@ func NewServer(cfg Config) *Server {
 	if cfg.Compute == "" {
 		cfg.Compute = catalog.ComputeStandard
 	}
+	if cfg.Faults == nil {
+		// Chaos CI opts in via FAULTS/FAULTS_SEED; a malformed spec is an
+		// operator error and must fail loudly, not silently run faultless.
+		inj, err := faults.FromEnv()
+		if err != nil {
+			panic(err)
+		}
+		cfg.Faults = inj
+	}
+	if cfg.Supervisor.Audit == nil && cfg.Catalog != nil {
+		cfg.Supervisor.Audit = cfg.Catalog.Audit()
+	}
+	if cfg.Supervisor.Compute == "" {
+		cfg.Supervisor.Compute = string(cfg.Compute)
+	}
 	mgr := cluster.NewManager(cluster.Config{
 		Name: cfg.Name, Compute: cfg.Compute, Hosts: cfg.Hosts, Sandbox: cfg.Sandbox,
-		ResourcePools: cfg.ResourcePools,
+		ResourcePools: cfg.ResourcePools, Faults: cfg.Faults,
 	})
-	dispatcher := sandbox.NewDispatcher(mgr)
+	dispatcher := sandbox.NewSupervised(mgr, cfg.Supervisor)
 	opts := optimizer.DefaultOptions()
 	if cfg.Optimizer != nil {
 		opts = *cfg.Optimizer
@@ -234,11 +259,11 @@ func (s *Server) engineFor(env string) (*exec.Engine, error) {
 	}
 	mgr := cluster.NewManager(cluster.Config{
 		Name: s.cfg.Name + "-env-" + env, Compute: s.cfg.Compute,
-		Hosts: s.cfg.Hosts, Sandbox: spec,
+		Hosts: s.cfg.Hosts, Sandbox: spec, Faults: s.cfg.Faults,
 	})
 	e := &exec.Engine{
 		Tables:              s.cat,
-		Dispatcher:          sandbox.NewDispatcher(mgr),
+		Dispatcher:          sandbox.NewSupervised(mgr, s.cfg.Supervisor),
 		Remote:              s.cfg.Remote,
 		FuseUDFs:            s.opts.FuseUDFs,
 		UnsafeInProcessUDFs: s.cfg.UnsafeInProcessUDFs,
@@ -289,21 +314,25 @@ func substituteSQL(n plan.Node) (plan.Node, error) {
 	return out, firstErr
 }
 
-// Execute implements connect.Backend.
-func (s *Server) Execute(sessionID, user string, pl *proto.Plan) (*types.Schema, []*types.Batch, error) {
+// Execute implements connect.Backend. qctx bounds the whole execution: its
+// deadline propagates through sandbox crossings and eFGAC submissions.
+func (s *Server) Execute(qctx context.Context, sessionID, user string, pl *proto.Plan) (*types.Schema, []*types.Batch, error) {
+	if qctx == nil {
+		qctx = context.Background()
+	}
 	st, err := s.session(sessionID, user)
 	if err != nil {
 		return nil, nil, err
 	}
 	ctx := s.requestContext(sessionID, user)
 	if pl.Command != nil {
-		schema, batch, err := s.executeCommand(ctx, st, pl.Command)
+		schema, batch, err := s.executeCommand(qctx, ctx, st, pl.Command)
 		if err != nil {
 			return nil, nil, err
 		}
 		return schema, []*types.Batch{batch}, nil
 	}
-	schema, batches, err := s.runQueryEnv(ctx, st, pl.Relation, pl.WorkloadEnv)
+	schema, batches, err := s.runQueryEnv(qctx, ctx, st, pl.Relation, pl.WorkloadEnv)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -315,12 +344,12 @@ func (s *Server) Execute(sessionID, user string, pl *proto.Plan) (*types.Schema,
 
 // runQuery analyzes, optimizes, and executes a relation in the default
 // environment.
-func (s *Server) runQuery(ctx catalog.RequestContext, st *sessionState, rel plan.Node) (*types.Schema, []*types.Batch, error) {
-	return s.runQueryEnv(ctx, st, rel, "")
+func (s *Server) runQuery(qctx context.Context, ctx catalog.RequestContext, st *sessionState, rel plan.Node) (*types.Schema, []*types.Batch, error) {
+	return s.runQueryEnv(qctx, ctx, st, rel, "")
 }
 
 // runQueryEnv is runQuery pinned to a Workload Environment.
-func (s *Server) runQueryEnv(ctx catalog.RequestContext, st *sessionState, rel plan.Node, env string) (*types.Schema, []*types.Batch, error) {
+func (s *Server) runQueryEnv(qctx context.Context, ctx catalog.RequestContext, st *sessionState, rel plan.Node, env string) (*types.Schema, []*types.Batch, error) {
 	engine, err := s.engineFor(env)
 	if err != nil {
 		return nil, nil, err
@@ -338,6 +367,7 @@ func (s *Server) runQueryEnv(ctx catalog.RequestContext, st *sessionState, rel p
 		return nil, nil, err
 	}
 	qc := exec.NewQueryContext(s.cat, ctx)
+	qc.Context = qctx
 	batches, err := engine.Execute(qc, optimized)
 	if err != nil {
 		return nil, nil, err

@@ -7,6 +7,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -70,6 +71,17 @@ type QueryContext struct {
 	Eval *eval.Context
 	// SessionID keys sandbox pooling.
 	SessionID string
+	// Context carries the caller's deadline/cancellation into sandbox
+	// crossings and remote execution (nil = context.Background()).
+	Context context.Context
+}
+
+// GoContext returns the query's Go context, never nil.
+func (qc *QueryContext) GoContext() context.Context {
+	if qc.Context != nil {
+		return qc.Context
+	}
+	return context.Background()
 }
 
 // NewQueryContext builds a query context wiring group membership to the
@@ -91,14 +103,20 @@ type operator interface {
 	Next() (*types.Batch, error)
 }
 
-// Execute runs a plan to completion and returns all result batches.
+// Execute runs a plan to completion and returns all result batches. The
+// query context's deadline is honored between batches, so a cancelled query
+// stops pulling instead of running to completion.
 func (e *Engine) Execute(qc *QueryContext, p plan.Node) ([]*types.Batch, error) {
 	op, err := e.build(qc, p)
 	if err != nil {
 		return nil, err
 	}
+	ctx := qc.GoContext()
 	var out []*types.Batch
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("exec: query cancelled: %w", err)
+		}
 		b, err := op.Next()
 		if errors.Is(err, io.EOF) {
 			return out, nil

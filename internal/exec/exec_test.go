@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -62,7 +63,7 @@ func newWorld(t testing.TB) *world {
 	if _, err := cat.AppendToTable(adminCtx(), []string{"sales"}, []*types.Batch{bb.Build()}); err != nil {
 		t.Fatal(err)
 	}
-	dispatcher := sandbox.NewDispatcher(sandbox.FactoryFunc(func(domain string) (*sandbox.Sandbox, error) {
+	dispatcher := sandbox.NewDispatcher(sandbox.FactoryFunc(func(ctx context.Context, domain string) (*sandbox.Sandbox, error) {
 		return sandbox.New(domain, sandbox.Config{}), nil
 	}))
 	return &world{

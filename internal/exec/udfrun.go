@@ -224,12 +224,13 @@ func (r *exprRunner) executeSandboxed(specs []sandbox.UDFSpec, argBatch *types.B
 }
 
 func (r *exprRunner) executeOnePartition(specs []sandbox.UDFSpec, args *types.Batch, trustDomain, resources string) ([]*types.Column, error) {
-	sb, err := r.engine.Dispatcher.AcquireResources(r.qc.SessionID, trustDomain, resources)
+	ctx := r.qc.GoContext()
+	sb, err := r.engine.Dispatcher.AcquireResources(ctx, r.qc.SessionID, trustDomain, resources)
 	if err != nil {
 		return nil, err
 	}
 	defer r.engine.Dispatcher.Release(r.qc.SessionID, sb)
-	result, err := sb.Execute(&sandbox.Request{Specs: specs, Args: args})
+	result, err := sb.Execute(ctx, &sandbox.Request{Specs: specs, Args: args})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,337 @@
+// Package faults is a deterministic, seedable fault injector for chaos
+// testing the failure-domain layer (paper §3.3: a misbehaving UDF may burn
+// its own sandbox but must never take down the engine). Production code
+// declares named *sites* — points where a container could crash, hang, or an
+// RPC could fail transiently — and tests (or the FAULTS environment
+// variable) attach rules that fire deterministically under a fixed seed.
+//
+// A nil *Injector is valid everywhere and injects nothing, so production
+// paths carry fault sites at zero configuration cost.
+//
+// Well-known sites:
+//
+//	sandbox.interpret   user code inside the interpreter loop (crash/hang/sleep/error)
+//	sandbox.coldstart   sandbox provisioning (sleep/error)
+//	cluster.provision   cluster-manager placement (error/sleep)
+//	efgac.remote        eFGAC remote subquery submission (error/sleep)
+//	storage.<op>        object-store operations via Injector.StorageHook
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Well-known fault sites (see package comment).
+const (
+	SiteSandboxInterpret = "sandbox.interpret"
+	SiteSandboxColdStart = "sandbox.coldstart"
+	SiteClusterProvision = "cluster.provision"
+	SiteEFGACRemote      = "efgac.remote"
+)
+
+// Kind classifies what an injected fault does at its site.
+type Kind int
+
+// Fault kinds.
+const (
+	// KindError makes the site return a transient error (wrapping
+	// ErrInjected, so retry layers can detect it via IsTransient).
+	KindError Kind = iota
+	// KindCrash panics inside the site — the analog of a container dying.
+	KindCrash
+	// KindHang blocks the site until its surrounding teardown signal fires —
+	// the analog of wedged user code that fuel metering cannot catch.
+	KindHang
+	// KindSleep delays the site by Rule.Delay, then proceeds normally.
+	KindSleep
+)
+
+// String names the kind for diagnostics and spec parsing.
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindCrash:
+		return "crash"
+	case KindHang:
+		return "hang"
+	case KindSleep:
+		return "sleep"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ErrInjected is the sentinel all injected errors wrap.
+var ErrInjected = errors.New("faults: injected")
+
+// IsTransient reports whether err is (or wraps) an injected transient fault,
+// i.e. one a retry layer should re-attempt.
+func IsTransient(err error) bool { return errors.Is(err, ErrInjected) }
+
+// Rule schedules faults at one site. Zero-value scheduling fields mean
+// "always": a Rule{Site: s, Kind: KindCrash} crashes every hit of s.
+type Rule struct {
+	// Site names the injection point.
+	Site string
+	// Kind selects the failure mode.
+	Kind Kind
+	// Prob fires the rule with this probability per eligible hit, drawn from
+	// the injector's seeded generator (0 = fire on every eligible hit).
+	Prob float64
+	// Skip exempts the first Skip hits of the site (sequence schedules:
+	// "fail the third provisioning attempt").
+	Skip int
+	// Times caps how often the rule fires (0 = unlimited).
+	Times int
+	// Delay is the sleep duration for KindSleep.
+	Delay time.Duration
+}
+
+// Fault is one fired injection.
+type Fault struct {
+	Site  string
+	Kind  Kind
+	Delay time.Duration
+	// Err is the transient error to surface for KindError (it wraps
+	// ErrInjected) and the panic value for KindCrash.
+	Err error
+}
+
+type scheduledRule struct {
+	Rule
+	fired int
+}
+
+// Injector evaluates fault rules deterministically under a fixed seed. All
+// methods are safe for concurrent use and safe on a nil receiver.
+type Injector struct {
+	mu    sync.Mutex
+	seed  int64
+	rng   *rand.Rand
+	rules []*scheduledRule
+	hits  map[string]int64
+	fired map[string]int64
+}
+
+// New creates an injector whose probabilistic decisions replay identically
+// for the same seed and evaluation order.
+func New(seed int64) *Injector {
+	return &Injector{
+		seed:  seed,
+		rng:   rand.New(rand.NewSource(seed)),
+		hits:  map[string]int64{},
+		fired: map[string]int64{},
+	}
+}
+
+// Seed returns the injector's seed (0 for a nil injector).
+func (i *Injector) Seed() int64 {
+	if i == nil {
+		return 0
+	}
+	return i.seed
+}
+
+// Add installs rules. Rules are evaluated in installation order; the first
+// eligible rule per hit wins.
+func (i *Injector) Add(rules ...Rule) *Injector {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	for _, r := range rules {
+		r := r
+		i.rules = append(i.rules, &scheduledRule{Rule: r})
+	}
+	return i
+}
+
+// Eval records one hit of the site and reports whether a fault fires there.
+// Sites that model in-band failure modes (crash, hang) call Eval directly
+// and act on the returned Kind; error/sleep-only sites use Check.
+func (i *Injector) Eval(site string) (Fault, bool) {
+	if i == nil {
+		return Fault{}, false
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	n := i.hits[site]
+	i.hits[site] = n + 1
+	for _, r := range i.rules {
+		if r.Site != site {
+			continue
+		}
+		if n < int64(r.Skip) {
+			continue
+		}
+		if r.Times > 0 && r.fired >= r.Times {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && i.rng.Float64() >= r.Prob {
+			continue
+		}
+		r.fired++
+		i.fired[site]++
+		return Fault{
+			Site:  site,
+			Kind:  r.Kind,
+			Delay: r.Delay,
+			Err:   fmt.Errorf("%w: %s at %s (hit %d, seed %d)", ErrInjected, r.Kind, site, n+1, i.seed),
+		}, true
+	}
+	return Fault{}, false
+}
+
+// Check evaluates a site that supports only error and sleep faults: KindError
+// returns the transient error, KindSleep sleeps then returns nil, and other
+// kinds degrade to the transient error so no configured fault silently
+// no-ops. Safe on a nil injector (always nil).
+func (i *Injector) Check(site string) error {
+	return i.CheckContext(context.Background(), site)
+}
+
+// CheckContext is Check with a cancellable sleep.
+func (i *Injector) CheckContext(ctx context.Context, site string) error {
+	f, ok := i.Eval(site)
+	if !ok {
+		return nil
+	}
+	if f.Kind == KindSleep {
+		t := time.NewTimer(f.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return f.Err
+}
+
+// StorageHook adapts the injector to storage.Store.SetFault without this
+// package importing storage: operations map to sites "storage.<op>"
+// (storage.get, storage.put, storage.delete, storage.list).
+func (i *Injector) StorageHook() func(op, path string) error {
+	if i == nil {
+		return nil
+	}
+	return func(op, path string) error {
+		return i.Check("storage." + op)
+	}
+}
+
+// Hits reports how many times a site was evaluated.
+func (i *Injector) Hits(site string) int64 {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.hits[site]
+}
+
+// Fired reports how many faults actually fired at a site.
+func (i *Injector) Fired(site string) int64 {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.fired[site]
+}
+
+// Parse decodes a FAULTS spec: semicolon-separated clauses of the form
+//
+//	site:kind[*times][@skip][%prob][~delay]
+//
+// e.g. "sandbox.interpret:crash*2;efgac.remote:error%0.5;storage.get:sleep~10ms".
+func Parse(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		site, rest, ok := strings.Cut(clause, ":")
+		if !ok || site == "" {
+			return nil, fmt.Errorf("faults: clause %q: want site:kind[...]", clause)
+		}
+		r := Rule{Site: site}
+		// Split off modifiers; the kind name is the leading token.
+		kindEnd := strings.IndexAny(rest, "*@%~")
+		kindName := rest
+		mods := ""
+		if kindEnd >= 0 {
+			kindName, mods = rest[:kindEnd], rest[kindEnd:]
+		}
+		switch kindName {
+		case "error":
+			r.Kind = KindError
+		case "crash":
+			r.Kind = KindCrash
+		case "hang":
+			r.Kind = KindHang
+		case "sleep":
+			r.Kind = KindSleep
+		default:
+			return nil, fmt.Errorf("faults: clause %q: unknown kind %q", clause, kindName)
+		}
+		for mods != "" {
+			op := mods[0]
+			valEnd := strings.IndexAny(mods[1:], "*@%~")
+			var val string
+			if valEnd >= 0 {
+				val, mods = mods[1:1+valEnd], mods[1+valEnd:]
+			} else {
+				val, mods = mods[1:], ""
+			}
+			var err error
+			switch op {
+			case '*':
+				r.Times, err = strconv.Atoi(val)
+			case '@':
+				r.Skip, err = strconv.Atoi(val)
+			case '%':
+				r.Prob, err = strconv.ParseFloat(val, 64)
+			case '~':
+				r.Delay, err = time.ParseDuration(val)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("faults: clause %q: modifier %c%s: %w", clause, op, val, err)
+			}
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// FromEnv builds an injector from the FAULTS environment variable (nil when
+// unset), seeded by FAULTS_SEED (default 1). Chaos CI sets both.
+func FromEnv() (*Injector, error) {
+	spec := os.Getenv("FAULTS")
+	if spec == "" {
+		return nil, nil
+	}
+	rules, err := Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return New(SeedFromEnv(1)).Add(rules...), nil
+}
+
+// SeedFromEnv returns FAULTS_SEED as an integer, or def when unset/invalid.
+func SeedFromEnv(def int64) int64 {
+	if v := os.Getenv("FAULTS_SEED"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return def
+}

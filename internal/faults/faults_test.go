@@ -1,0 +1,158 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if _, ok := inj.Eval("x"); ok {
+		t.Fatal("nil injector fired")
+	}
+	if err := inj.Check("x"); err != nil {
+		t.Fatal(err)
+	}
+	if inj.StorageHook() != nil {
+		t.Fatal("nil injector should produce a nil storage hook")
+	}
+	if inj.Hits("x") != 0 || inj.Fired("x") != 0 || inj.Seed() != 0 {
+		t.Fatal("nil injector counters should be zero")
+	}
+}
+
+func TestSequenceSchedule(t *testing.T) {
+	inj := New(1).Add(
+		Rule{Site: "s", Kind: KindCrash, Times: 2},
+		Rule{Site: "s", Kind: KindError, Skip: 3, Times: 1},
+	)
+	var kinds []string
+	for hit := 0; hit < 5; hit++ {
+		if f, ok := inj.Eval("s"); ok {
+			kinds = append(kinds, f.Kind.String())
+		} else {
+			kinds = append(kinds, "none")
+		}
+	}
+	want := []string{"crash", "crash", "none", "error", "none"}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("hit %d: got %s, want %s (all: %v)", i+1, kinds[i], want[i], kinds)
+		}
+	}
+	if inj.Hits("s") != 5 || inj.Fired("s") != 3 {
+		t.Fatalf("hits=%d fired=%d, want 5/3", inj.Hits("s"), inj.Fired("s"))
+	}
+}
+
+func TestProbabilityIsDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []bool {
+		inj := New(seed).Add(Rule{Site: "s", Kind: KindError, Prob: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			_, out[i] = inj.Eval("s")
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("prob 0.5 fired %d/%d times; schedule is not probabilistic", fired, len(a))
+	}
+}
+
+func TestCheckErrorIsTransient(t *testing.T) {
+	inj := New(1).Add(Rule{Site: "s", Kind: KindError, Times: 1})
+	err := inj.Check("s")
+	if !IsTransient(err) {
+		t.Fatalf("injected error %v should be transient", err)
+	}
+	if err := inj.Check("s"); err != nil {
+		t.Fatalf("rule exhausted but Check returned %v", err)
+	}
+	if IsTransient(errors.New("real failure")) {
+		t.Fatal("ordinary errors must not look transient")
+	}
+}
+
+func TestCheckContextCancelsSleep(t *testing.T) {
+	inj := New(1).Add(Rule{Site: "s", Kind: KindSleep, Delay: time.Minute})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	err := inj.CheckContext(ctx, "s")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancelled sleep blocked")
+	}
+}
+
+func TestStorageHookMapsOps(t *testing.T) {
+	inj := New(1).Add(Rule{Site: "storage.get", Kind: KindError, Times: 1})
+	hook := inj.StorageHook()
+	if err := hook("put", "p"); err != nil {
+		t.Fatalf("put should be clean: %v", err)
+	}
+	if err := hook("get", "p"); !IsTransient(err) {
+		t.Fatalf("get should fail transiently, got %v", err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	rules, err := Parse("sandbox.interpret:crash*2; efgac.remote:error%0.25@1 ;storage.get:sleep~15ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("got %d rules", len(rules))
+	}
+	if r := rules[0]; r.Site != SiteSandboxInterpret || r.Kind != KindCrash || r.Times != 2 {
+		t.Fatalf("rule 0: %+v", r)
+	}
+	if r := rules[1]; r.Site != SiteEFGACRemote || r.Kind != KindError || r.Prob != 0.25 || r.Skip != 1 {
+		t.Fatalf("rule 1: %+v", r)
+	}
+	if r := rules[2]; r.Site != "storage.get" || r.Kind != KindSleep || r.Delay != 15*time.Millisecond {
+		t.Fatalf("rule 2: %+v", r)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, spec := range []string{"nosite", "s:explode", "s:crash*many", ":crash"} {
+		if _, err := Parse(spec); err == nil {
+			t.Fatalf("spec %q parsed without error", spec)
+		}
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	t.Setenv("FAULTS", "sandbox.interpret:crash*1")
+	t.Setenv("FAULTS_SEED", "7")
+	inj, err := FromEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj == nil || inj.Seed() != 7 {
+		t.Fatalf("injector %+v, want seed 7", inj)
+	}
+	if f, ok := inj.Eval(SiteSandboxInterpret); !ok || f.Kind != KindCrash {
+		t.Fatal("env rule did not fire")
+	}
+	t.Setenv("FAULTS", "")
+	inj, err = FromEnv()
+	if err != nil || inj != nil {
+		t.Fatalf("unset FAULTS should yield nil injector (got %v, %v)", inj, err)
+	}
+}

@@ -6,6 +6,7 @@
 package gateway
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -101,12 +102,12 @@ func (g *Gateway) assignedTo(c *core.Server) int {
 }
 
 // Execute implements connect.Backend.
-func (g *Gateway) Execute(sessionID, user string, pl *proto.Plan) (*types.Schema, []*types.Batch, error) {
+func (g *Gateway) Execute(ctx context.Context, sessionID, user string, pl *proto.Plan) (*types.Schema, []*types.Batch, error) {
 	srv, err := g.route(sessionID)
 	if err != nil {
 		return nil, nil, err
 	}
-	return srv.Execute(sessionID, user, pl)
+	return srv.Execute(ctx, sessionID, user, pl)
 }
 
 // Analyze implements connect.Backend.

@@ -54,6 +54,7 @@ const (
 	RuleErrWrap         = "errwrap"
 	RuleLockByValue     = "lock-by-value"
 	RuleSecurityContext = "security-context"
+	RuleSelectDone      = "select-done"
 	RuleTypecheck       = "typecheck"
 )
 
@@ -152,6 +153,7 @@ func (r *Runner) Run() ([]Finding, error) {
 		out = append(out, r.checkErrWrap(p)...)
 		out = append(out, r.checkLockByValue(p)...)
 		out = append(out, r.checkSecurityContext(p)...)
+		out = append(out, r.checkSelectDone(p)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].File != out[j].File {
@@ -524,6 +526,88 @@ func (r *Runner) checkSecurityContext(p *pkg) []Finding {
 		}
 	}
 	return out
+}
+
+// --- rule: sandbox selects must have an escape arm ------------------------
+
+// selectDonePkgs are the packages whose channel operations synchronize with
+// potentially-dead user code: every select there needs an escape arm (a
+// receive from a done channel, a ctx.Done()/timer arm, or a default clause),
+// or a wedged interpreter wedges the engine goroutine with it.
+var selectDonePkgs = map[string]bool{
+	"internal/sandbox": true,
+}
+
+func (r *Runner) checkSelectDone(p *pkg) []Finding {
+	if !selectDonePkgs[p.rel] {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			for _, stmt := range sel.Body.List {
+				if comm, ok := stmt.(*ast.CommClause); ok && commIsEscape(comm) {
+					return true
+				}
+			}
+			out = append(out, r.finding(sel.Pos(), RuleSelectDone,
+				"select in %s has no escape arm (receive from a done channel, ctx.Done(), a timer, or default); a dead sandbox would block this goroutine forever", p.rel))
+			return true
+		})
+	}
+	return out
+}
+
+// commIsEscape reports whether one select clause lets the goroutine escape a
+// dead peer: a default clause, or a receive from a teardown/deadline channel
+// (done, ctx.Done(), a timer's C, or a <-chan time.Time like timeoutC).
+func commIsEscape(comm *ast.CommClause) bool {
+	if comm.Comm == nil {
+		return true // default:
+	}
+	var ch ast.Expr
+	switch s := comm.Comm.(type) {
+	case *ast.ExprStmt:
+		if u, ok := s.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			ch = u.X
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if u, ok := s.Rhs[0].(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				ch = u.X
+			}
+		}
+	}
+	if ch == nil {
+		return false // send clause
+	}
+	return chanIsEscape(ch)
+}
+
+func chanIsEscape(ch ast.Expr) bool {
+	switch e := ch.(type) {
+	case *ast.Ident:
+		return escapeChanName(e.Name)
+	case *ast.SelectorExpr:
+		// s.done, timer.C, ctx.Done() receiver chains.
+		return escapeChanName(e.Sel.Name)
+	case *ast.CallExpr:
+		// ctx.Done() (or any method named Done returning the escape channel).
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			return sel.Sel.Name == "Done"
+		}
+	}
+	return false
+}
+
+// escapeChanName matches the teardown/deadline channel naming convention the
+// sandbox layer uses: done channels, timer .C fields, and timeout channels.
+func escapeChanName(name string) bool {
+	return name == "done" || name == "C" || strings.HasPrefix(name, "timeout")
 }
 
 func receiverTypeName(recv *ast.FieldList) string {

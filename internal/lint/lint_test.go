@@ -242,3 +242,95 @@ func TestTestFilesAreExcluded(t *testing.T) {
 	})
 	wantNoRule(t, findings, RuleImportBoundary)
 }
+
+func TestSelectDoneViolation(t *testing.T) {
+	findings := lintModule(t, map[string]string{
+		"internal/sandbox/sandbox.go": `package sandbox
+
+// Wait blocks on a sandbox channel with no escape arm.
+func Wait(respCh <-chan int, other chan int) int {
+	select {
+	case v := <-respCh:
+		return v
+	case other <- 1:
+		return 0
+	}
+}
+`,
+	})
+	wantRule(t, findings, RuleSelectDone, "no escape arm")
+}
+
+func TestSelectDoneEscapeArmsAccepted(t *testing.T) {
+	findings := lintModule(t, map[string]string{
+		"internal/sandbox/sandbox.go": `package sandbox
+
+import (
+	"context"
+	"time"
+)
+
+// WaitDone escapes via a done channel.
+func WaitDone(respCh <-chan int, done <-chan struct{}) int {
+	select {
+	case v := <-respCh:
+		return v
+	case <-done:
+		return -1
+	}
+}
+
+// WaitCtx escapes via ctx.Done().
+func WaitCtx(ctx context.Context, respCh <-chan int) int {
+	select {
+	case v := <-respCh:
+		return v
+	case <-ctx.Done():
+		return -1
+	}
+}
+
+// WaitTimer escapes via a timer arm.
+func WaitTimer(respCh <-chan int, t *time.Timer, timeoutC <-chan time.Time) int {
+	select {
+	case v := <-respCh:
+		return v
+	case <-t.C:
+		return -1
+	case <-timeoutC:
+		return -2
+	}
+}
+
+// Poll escapes via default.
+func Poll(respCh <-chan int) int {
+	select {
+	case v := <-respCh:
+		return v
+	default:
+		return -1
+	}
+}
+`,
+	})
+	wantNoRule(t, findings, RuleSelectDone)
+}
+
+func TestSelectDoneScopedToSandbox(t *testing.T) {
+	// The same escape-free select outside internal/sandbox is not flagged:
+	// the rule encodes the sandbox layer's liveness contract, not a global
+	// style preference.
+	findings := lintModule(t, map[string]string{
+		"internal/gateway/gw.go": `package gateway
+
+// Wait blocks without an escape arm; allowed outside the sandbox layer.
+func Wait(ch <-chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	}
+}
+`,
+	})
+	wantNoRule(t, findings, RuleSelectDone)
+}

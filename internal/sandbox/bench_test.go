@@ -1,6 +1,7 @@
 package sandbox
 
 import (
+	"context"
 	"testing"
 
 	"lakeguard/internal/types"
@@ -16,13 +17,13 @@ func BenchmarkCrossing(b *testing.B) {
 			sb := New("bench", Config{})
 			defer sb.Close()
 			req := &Request{Specs: []UDFSpec{sumSpec()}, Args: argBatch(rows)}
-			if _, err := sb.Execute(req); err != nil {
+			if _, err := sb.Execute(context.Background(), req); err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := sb.Execute(req); err != nil {
+				if _, err := sb.Execute(context.Background(), req); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -45,7 +46,7 @@ func BenchmarkFusedVsSeparate(b *testing.B) {
 		req := &Request{Specs: []UDFSpec{mkSpec("a"), mkSpec("b"), mkSpec("c"), mkSpec("d")}, Args: args}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := sb.Execute(req); err != nil {
+			if _, err := sb.Execute(context.Background(), req); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -62,7 +63,7 @@ func BenchmarkFusedVsSeparate(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for _, req := range reqs {
-				if _, err := sb.Execute(req); err != nil {
+				if _, err := sb.Execute(context.Background(), req); err != nil {
 					b.Fatal(err)
 				}
 			}

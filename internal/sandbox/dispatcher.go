@@ -1,14 +1,22 @@
 package sandbox
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
+	"time"
+
+	"lakeguard/internal/audit"
+	"lakeguard/internal/faults"
 )
 
 // Factory provisions sandboxes; the cluster manager implements it.
 type Factory interface {
-	// CreateSandbox provisions a fresh sandbox for one trust domain.
-	CreateSandbox(trustDomain string) (*Sandbox, error)
+	// CreateSandbox provisions a fresh sandbox for one trust domain. The
+	// context bounds provisioning (cold start included).
+	CreateSandbox(ctx context.Context, trustDomain string) (*Sandbox, error)
 }
 
 // ResourceFactory is implemented by factories that can provision sandboxes
@@ -19,14 +27,64 @@ type ResourceFactory interface {
 	Factory
 	// CreateSandboxResources provisions a sandbox in the named resource
 	// pool ("" = the standard pool).
-	CreateSandboxResources(trustDomain, resources string) (*Sandbox, error)
+	CreateSandboxResources(ctx context.Context, trustDomain, resources string) (*Sandbox, error)
+}
+
+// Evictor is implemented by factories that track sandbox placement (the
+// cluster manager): the dispatcher calls it when quarantining a poisoned
+// sandbox so the host slot is reclaimed.
+type Evictor interface {
+	EvictSandbox(sb *Sandbox)
 }
 
 // FactoryFunc adapts a function to Factory.
-type FactoryFunc func(trustDomain string) (*Sandbox, error)
+type FactoryFunc func(ctx context.Context, trustDomain string) (*Sandbox, error)
 
 // CreateSandbox implements Factory.
-func (f FactoryFunc) CreateSandbox(trustDomain string) (*Sandbox, error) { return f(trustDomain) }
+func (f FactoryFunc) CreateSandbox(ctx context.Context, trustDomain string) (*Sandbox, error) {
+	return f(ctx, trustDomain)
+}
+
+// ErrDomainTripped is returned while a trust domain's circuit breaker is
+// open: after CircuitThreshold consecutive sandbox crashes, further
+// provisioning for that domain is refused until the cooldown elapses. Other
+// domains are unaffected (per-domain failure containment).
+var ErrDomainTripped = errors.New("sandbox: trust domain circuit breaker open")
+
+// Supervisor defaults.
+const (
+	DefaultCircuitThreshold = 3
+	DefaultCircuitCooldown  = 30 * time.Second
+	DefaultProvisionRetries = 2
+	DefaultRetryBaseDelay   = 5 * time.Millisecond
+	DefaultRetryMaxDelay    = 500 * time.Millisecond
+)
+
+// SupervisorConfig tunes the dispatcher's failure handling. The zero value
+// selects the defaults above; set a threshold/retry count negative to
+// disable that mechanism.
+type SupervisorConfig struct {
+	// CircuitThreshold trips a trust domain's breaker after this many
+	// consecutive crashes (< 0 disables the breaker).
+	CircuitThreshold int
+	// CircuitCooldown is how long a tripped domain stays refused before one
+	// probe acquisition is allowed through (half-open).
+	CircuitCooldown time.Duration
+	// ProvisionRetries caps re-provisioning attempts after transient
+	// provisioning failures (< 0 disables retries).
+	ProvisionRetries int
+	// RetryBaseDelay and RetryMaxDelay bound the jittered exponential
+	// backoff between provisioning attempts.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// Audit receives SANDBOX_CRASH / SANDBOX_RETRY / CIRCUIT_OPEN events
+	// (nil = unaudited).
+	Audit *audit.Log
+	// Compute labels audit events with the cluster's compute type.
+	Compute string
+	// Clock overrides the time source (tests).
+	Clock func() time.Time
+}
 
 // Stats reports dispatcher activity.
 type Stats struct {
@@ -36,23 +94,70 @@ type Stats struct {
 	Reuses int64
 	// Active counts currently provisioned sandboxes.
 	Active int
+	// Crashes counts poisoned sandboxes quarantined.
+	Crashes int64
+	// Retries counts provisioning retries after transient failures.
+	Retries int64
+	// Trips counts circuit-breaker openings.
+	Trips int64
+}
+
+// breaker tracks one trust domain's crash streak.
+type breaker struct {
+	consecutive int
+	open        bool
+	openedAt    time.Time
 }
 
 // Dispatcher manages the sandboxes of one query process (paper §3.3): it
 // pools warm sandboxes per (session, trust domain) so the cold start is paid
 // once per session, and guarantees code from different trust domains never
-// shares a sandbox.
+// shares a sandbox. It is also the supervisor of the sandbox fleet:
+// poisoned sandboxes are quarantined (closed, evicted from their host, never
+// pooled), transient provisioning failures are retried with capped jittered
+// backoff, and a per-trust-domain circuit breaker stops a crash-looping
+// domain from burning the cluster.
 type Dispatcher struct {
 	factory Factory
+	sup     SupervisorConfig
 
-	mu    sync.Mutex
-	idle  map[string][]*Sandbox // key: session \x00 trustDomain
-	stats Stats
+	mu       sync.Mutex
+	idle     map[string][]*Sandbox // key: session \x00 trustDomain \x00 resources
+	breakers map[string]*breaker   // key: trustDomain
+	stats    Stats
 }
 
-// NewDispatcher creates a dispatcher backed by a sandbox factory.
+// NewDispatcher creates a dispatcher with default supervision.
 func NewDispatcher(factory Factory) *Dispatcher {
-	return &Dispatcher{factory: factory, idle: map[string][]*Sandbox{}}
+	return NewSupervised(factory, SupervisorConfig{})
+}
+
+// NewSupervised creates a dispatcher with explicit supervision settings.
+func NewSupervised(factory Factory, sup SupervisorConfig) *Dispatcher {
+	if sup.CircuitThreshold == 0 {
+		sup.CircuitThreshold = DefaultCircuitThreshold
+	}
+	if sup.CircuitCooldown <= 0 {
+		sup.CircuitCooldown = DefaultCircuitCooldown
+	}
+	if sup.ProvisionRetries == 0 {
+		sup.ProvisionRetries = DefaultProvisionRetries
+	}
+	if sup.RetryBaseDelay <= 0 {
+		sup.RetryBaseDelay = DefaultRetryBaseDelay
+	}
+	if sup.RetryMaxDelay <= 0 {
+		sup.RetryMaxDelay = DefaultRetryMaxDelay
+	}
+	if sup.Clock == nil {
+		sup.Clock = time.Now
+	}
+	return &Dispatcher{
+		factory:  factory,
+		sup:      sup,
+		idle:     map[string][]*Sandbox{},
+		breakers: map[string]*breaker{},
+	}
 }
 
 func poolKey(session, trustDomain, resources string) string {
@@ -62,18 +167,33 @@ func poolKey(session, trustDomain, resources string) string {
 // Acquire returns a standard-pool sandbox for the given session and trust
 // domain, reusing a warm one when available. The caller must Release it.
 func (d *Dispatcher) Acquire(session, trustDomain string) (*Sandbox, error) {
-	return d.AcquireResources(session, trustDomain, "")
+	return d.AcquireResources(context.Background(), session, trustDomain, "")
 }
 
-// AcquireResources is Acquire with a resource-pool requirement ("gpu",
-// "highmem", ...). Sandboxes never migrate between pools: the pool is part
-// of the warm-reuse key.
-func (d *Dispatcher) AcquireResources(session, trustDomain, resources string) (*Sandbox, error) {
+// AcquireResources is Acquire with a context bounding provisioning and a
+// resource-pool requirement ("gpu", "highmem", ...). Sandboxes never migrate
+// between pools: the pool is part of the warm-reuse key.
+func (d *Dispatcher) AcquireResources(ctx context.Context, session, trustDomain, resources string) (*Sandbox, error) {
+	if err := d.admitDomain(trustDomain); err != nil {
+		return nil, err
+	}
 	key := poolKey(session, trustDomain, resources)
 	d.mu.Lock()
-	if pool := d.idle[key]; len(pool) > 0 {
+	for {
+		pool := d.idle[key]
+		if len(pool) == 0 {
+			break
+		}
 		sb := pool[len(pool)-1]
 		d.idle[key] = pool[:len(pool)-1]
+		if sb.Poisoned() {
+			// Defensive: a sandbox poisoned while pooled is quarantined, not
+			// handed out.
+			d.mu.Unlock()
+			d.quarantine(session, sb)
+			d.mu.Lock()
+			continue
+		}
 		d.stats.Reuses++
 		d.mu.Unlock()
 		return sb, nil
@@ -81,17 +201,9 @@ func (d *Dispatcher) AcquireResources(session, trustDomain, resources string) (*
 	d.mu.Unlock()
 
 	// Provision outside the lock: cold starts are slow by design.
-	var sb *Sandbox
-	var err error
-	if resources == "" {
-		sb, err = d.factory.CreateSandbox(trustDomain)
-	} else if rf, ok := d.factory.(ResourceFactory); ok {
-		sb, err = rf.CreateSandboxResources(trustDomain, resources)
-	} else {
-		return nil, fmt.Errorf("dispatcher: user code requires resources %q but this cluster has no specialized pools", resources)
-	}
+	sb, err := d.provision(ctx, trustDomain, resources)
 	if err != nil {
-		return nil, fmt.Errorf("dispatcher: provisioning sandbox for %q (resources %q): %w", trustDomain, resources, err)
+		return nil, err
 	}
 	d.mu.Lock()
 	d.stats.ColdStarts++
@@ -100,15 +212,157 @@ func (d *Dispatcher) AcquireResources(session, trustDomain, resources string) (*
 	return sb, nil
 }
 
-// Release returns a sandbox to the warm pool of its session/domain/pool.
+// provision creates a sandbox, retrying transient failures with capped
+// exponential backoff plus full jitter.
+func (d *Dispatcher) provision(ctx context.Context, trustDomain, resources string) (*Sandbox, error) {
+	create := func() (*Sandbox, error) {
+		if resources == "" {
+			return d.factory.CreateSandbox(ctx, trustDomain)
+		}
+		if rf, ok := d.factory.(ResourceFactory); ok {
+			return rf.CreateSandboxResources(ctx, trustDomain, resources)
+		}
+		return nil, fmt.Errorf("dispatcher: user code requires resources %q but this cluster has no specialized pools", resources)
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		var sb *Sandbox
+		sb, err = create()
+		if err == nil {
+			return sb, nil
+		}
+		if attempt >= d.sup.ProvisionRetries || !faults.IsTransient(err) {
+			break
+		}
+		d.mu.Lock()
+		d.stats.Retries++
+		d.mu.Unlock()
+		d.audit(audit.Event{
+			User: trustDomain, Action: "SANDBOX_RETRY",
+			Securable: "domain:" + trustDomain, Decision: audit.DecisionAllow,
+			Reason: fmt.Sprintf("provisioning attempt %d failed transiently: %v", attempt+1, err),
+		})
+		t := time.NewTimer(backoffDelay(d.sup.RetryBaseDelay, d.sup.RetryMaxDelay, attempt))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, fmt.Errorf("dispatcher: provisioning for %q abandoned: %w", trustDomain, ctx.Err())
+		}
+		t.Stop()
+	}
+	return nil, fmt.Errorf("dispatcher: provisioning sandbox for %q (resources %q): %w", trustDomain, resources, err)
+}
+
+// backoffDelay is capped exponential backoff with full jitter, so herds of
+// retrying queries do not resynchronize on the recovering resource.
+func backoffDelay(base, max time.Duration, attempt int) time.Duration {
+	d := base << uint(attempt)
+	if d <= 0 || d > max {
+		d = max
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// admitDomain enforces the per-trust-domain circuit breaker.
+func (d *Dispatcher) admitDomain(trustDomain string) error {
+	if d.sup.CircuitThreshold < 0 {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b := d.breakers[trustDomain]
+	if b == nil || !b.open {
+		return nil
+	}
+	if d.sup.Clock().Sub(b.openedAt) >= d.sup.CircuitCooldown {
+		// Half-open: let one probe through; a single further crash re-trips
+		// immediately, a healthy release resets the streak.
+		b.open = false
+		b.consecutive = d.sup.CircuitThreshold - 1
+		return nil
+	}
+	return fmt.Errorf("%w: domain %q (%d consecutive crashes)", ErrDomainTripped, trustDomain, b.consecutive)
+}
+
+// Release returns a healthy sandbox to the warm pool of its
+// session/domain/pool; a poisoned one is quarantined instead.
 func (d *Dispatcher) Release(session string, sb *Sandbox) {
+	if sb.Poisoned() {
+		d.quarantine(session, sb)
+		return
+	}
 	key := poolKey(session, sb.TrustDomain, sb.Resources)
 	d.mu.Lock()
+	if b := d.breakers[sb.TrustDomain]; b != nil && !b.open {
+		// A successful crossing ends the domain's crash streak.
+		b.consecutive = 0
+	}
 	d.idle[key] = append(d.idle[key], sb)
 	d.mu.Unlock()
 }
 
-// EndSession tears down all warm sandboxes of a session.
+// quarantine destroys a poisoned sandbox: close it, reclaim its host slot,
+// record the crash against the domain's breaker, and emit audit events.
+func (d *Dispatcher) quarantine(session string, sb *Sandbox) {
+	reason := sb.PoisonReason()
+	sb.Close()
+	if ev, ok := d.factory.(Evictor); ok {
+		ev.EvictSandbox(sb)
+	}
+	d.mu.Lock()
+	d.stats.Crashes++
+	d.stats.Active--
+	tripped := false
+	b := d.breakers[sb.TrustDomain]
+	if b == nil {
+		b = &breaker{}
+		d.breakers[sb.TrustDomain] = b
+	}
+	b.consecutive++
+	if d.sup.CircuitThreshold > 0 && b.consecutive >= d.sup.CircuitThreshold && !b.open {
+		b.open = true
+		b.openedAt = d.sup.Clock()
+		d.stats.Trips++
+		tripped = true
+	}
+	consecutive := b.consecutive
+	d.mu.Unlock()
+	d.audit(audit.Event{
+		User: sb.TrustDomain, SessionID: session, Action: "SANDBOX_CRASH",
+		Securable: "sandbox:" + sb.ID, Decision: audit.DecisionDeny, Reason: reason,
+	})
+	if tripped {
+		d.audit(audit.Event{
+			User: sb.TrustDomain, SessionID: session, Action: "CIRCUIT_OPEN",
+			Securable: "domain:" + sb.TrustDomain, Decision: audit.DecisionDeny,
+			Reason: fmt.Sprintf("%d consecutive sandbox crashes in domain %q", consecutive, sb.TrustDomain),
+		})
+	}
+}
+
+func (d *Dispatcher) audit(e audit.Event) {
+	if d.sup.Audit == nil {
+		return
+	}
+	e.Compute = d.sup.Compute
+	d.sup.Audit.Record(e)
+}
+
+// BreakerState reports a trust domain's crash streak and whether its breaker
+// is open (diagnostics).
+func (d *Dispatcher) BreakerState(trustDomain string) (consecutive int, open bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b := d.breakers[trustDomain]
+	if b == nil {
+		return 0, false
+	}
+	return b.consecutive, b.open
+}
+
+// EndSession tears down all warm sandboxes of a session, reclaiming their
+// host slots.
 func (d *Dispatcher) EndSession(session string) {
 	d.mu.Lock()
 	var toClose []*Sandbox
@@ -120,8 +374,12 @@ func (d *Dispatcher) EndSession(session string) {
 	}
 	d.stats.Active -= len(toClose)
 	d.mu.Unlock()
+	ev, _ := d.factory.(Evictor)
 	for _, sb := range toClose {
 		sb.Close()
+		if ev != nil {
+			ev.EvictSandbox(sb)
+		}
 	}
 }
 

@@ -1,0 +1,91 @@
+package sandbox
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// The request frame crosses a trust boundary: the decoder must reject
+// truncated, oversized, and corrupt frames without panicking — a hostile or
+// bit-flipped frame burns the request, never the interpreter.
+func TestDecodeRequestRejectsCorruptFrames(t *testing.T) {
+	valid, err := encodeRequest(&Request{Specs: []UDFSpec{sumSpec()}, Args: argBatch(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":          nil,
+		"truncated len":  {0x01, 0x02},
+		"header overrun": {0xff, 0xff, 0x00, 0x00, 'x'},
+		// 0x80000000 decodes to a negative int32-style length.
+		"negative length":  {0x00, 0x00, 0x00, 0x80, 'x', 'y'},
+		"oversized header": {0x01, 0x00, 0x20, 0x00}, // 2MiB > maxRequestHeader
+		"garbage json":     append([]byte{0x03, 0x00, 0x00, 0x00}, []byte("{{{rest")...),
+		"body truncated":   valid[:len(valid)-20],
+	}
+	for name, frame := range cases {
+		if _, _, err := decodeRequest(frame); err == nil {
+			t.Errorf("%s: corrupt frame accepted", name)
+		}
+	}
+	// Sanity: the valid frame still round-trips.
+	specs, batch, err := decodeRequest(valid)
+	if err != nil || len(specs) != 1 || batch.NumRows() != 3 {
+		t.Fatalf("valid frame rejected: %v", err)
+	}
+}
+
+func TestEncodeRequestRejectsOversizedHeader(t *testing.T) {
+	spec := sumSpec()
+	spec.Body = strings.Repeat("x", maxRequestHeader+1)
+	_, err := encodeRequest(&Request{Specs: []UDFSpec{spec}, Args: argBatch(1)})
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// A corrupt frame handed to the interpreter surfaces as a request error, and
+// the sandbox keeps serving.
+func TestInterpreterSurvivesCorruptFrame(t *testing.T) {
+	sb := New("alice", Config{})
+	defer sb.Close()
+	// Drive the raw channel like Execute would, with a corrupt payload.
+	sb.execMu.Lock()
+	sb.reqCh <- []byte{0xff, 0xff, 0xff, 0x7f}
+	resp := <-sb.respCh
+	sb.execMu.Unlock()
+	if resp.err == "" || resp.crashed {
+		t.Fatalf("resp = %+v, want clean request error", resp)
+	}
+	if _, err := sb.Execute(nil, &Request{Specs: []UDFSpec{sumSpec()}, Args: argBatch(2)}); err != nil {
+		t.Fatalf("sandbox dead after corrupt frame: %v", err)
+	}
+}
+
+// Concurrent Execute calls serialize on the single IPC pipe; interleaved
+// requests must neither corrupt results nor trip the race detector.
+func TestConcurrentExecuteSerializedOnPipe(t *testing.T) {
+	sb := New("alice", Config{})
+	defer sb.Close()
+	done := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func() {
+			out, err := sb.Execute(nil, &Request{Specs: []UDFSpec{sumSpec()}, Args: argBatch(20)})
+			if err == nil && out.Cols[0].Int64(19) != 19+190 {
+				err = errTestWrongResult
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sb.Crossings() != 16 {
+		t.Errorf("crossings = %d, want 16 serialized crossings", sb.Crossings())
+	}
+}
+
+var errTestWrongResult = errors.New("wrong result")

@@ -16,9 +16,14 @@
 //     dispatcher never co-locates code from different owners.
 //   - Egress control: outbound HTTP is gated by an allow-list, the analog of
 //     the paper's dynamically controlled network namespace rules.
+//   - Failure containment: a crash or hang inside the interpreter burns this
+//     sandbox only. The crossing returns a structured SandboxCrashError, the
+//     sandbox is poisoned (never reused), and the supervised dispatcher
+//     quarantines it — user code must never wedge or kill the engine.
 package sandbox
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -29,6 +34,7 @@ import (
 	"time"
 
 	"lakeguard/internal/arrowipc"
+	"lakeguard/internal/faults"
 	"lakeguard/internal/types"
 	"lakeguard/internal/udf"
 )
@@ -61,6 +67,12 @@ type Config struct {
 	Fuel int
 	// Egress is the network policy for code in this sandbox.
 	Egress EgressPolicy
+	// ExecTimeout bounds the wall-clock time of one crossing (0 = none).
+	// A request that exceeds it is treated as hung user code: the sandbox
+	// is killed and the crossing fails with a SandboxCrashError.
+	ExecTimeout time.Duration
+	// Faults is the chaos-test fault injector (nil in production).
+	Faults *faults.Injector
 }
 
 // UDFSpec describes one user function within a request. ArgCols index into
@@ -83,6 +95,31 @@ type Request struct {
 // ErrSandboxClosed is returned after Close.
 var ErrSandboxClosed = errors.New("sandbox: closed")
 
+// ErrSandboxPoisoned is returned when a crossing is attempted on a sandbox
+// that already crashed or timed out; poisoned sandboxes are never reused.
+var ErrSandboxPoisoned = errors.New("sandbox: poisoned")
+
+// SandboxCrashError reports that user code destroyed its sandbox — a crash
+// inside the interpreter, a hang exceeding ExecTimeout, or an abandoned
+// in-flight crossing. The failure burned exactly one sandbox; the engine and
+// other trust domains are unaffected (the paper's containment guarantee).
+type SandboxCrashError struct {
+	SandboxID   string
+	TrustDomain string
+	Reason      string
+	// Timeout distinguishes a wall-clock kill from an in-sandbox crash.
+	Timeout bool
+}
+
+// Error implements error.
+func (e *SandboxCrashError) Error() string {
+	mode := "crashed"
+	if e.Timeout {
+		mode = "timed out"
+	}
+	return fmt.Sprintf("sandbox: %s (domain %q) %s: %s", e.SandboxID, e.TrustDomain, mode, e.Reason)
+}
+
 // Sandbox is one isolated user-code environment.
 type Sandbox struct {
 	// ID identifies the sandbox for diagnostics.
@@ -99,6 +136,14 @@ type Sandbox struct {
 
 	closeOnce sync.Once
 
+	// poisoned marks a sandbox whose interpreter crashed, hung, or whose IPC
+	// pipe was abandoned mid-request; it must never serve again.
+	poisoned     atomic.Bool
+	poisonMu     sync.Mutex
+	poisonReason string
+
+	execTimeout time.Duration
+
 	// crossings counts boundary round trips (bench instrumentation).
 	crossings atomic.Int64
 	// rowsProcessed counts rows × UDFs evaluated.
@@ -110,6 +155,9 @@ type Sandbox struct {
 type sandboxResp struct {
 	data []byte
 	err  string
+	// crashed marks a response produced by panic recovery: the interpreter
+	// goroutine is dead and the sandbox must be destroyed.
+	crashed bool
 }
 
 var sandboxSeq atomic.Int64
@@ -117,8 +165,24 @@ var sandboxSeq atomic.Int64
 // New provisions a sandbox for one trust domain, paying the cold-start
 // delay. The returned sandbox is warm and reusable until Close.
 func New(trustDomain string, cfg Config) *Sandbox {
+	sb, _ := NewContext(context.Background(), trustDomain, cfg)
+	return sb
+}
+
+// NewContext is New with cancellation: a caller whose query was abandoned
+// does not pay the remaining cold start for a sandbox nobody will use.
+func NewContext(ctx context.Context, trustDomain string, cfg Config) (*Sandbox, error) {
+	if err := cfg.Faults.CheckContext(ctx, faults.SiteSandboxColdStart); err != nil {
+		return nil, fmt.Errorf("sandbox: provisioning for %q: %w", trustDomain, err)
+	}
 	if cfg.ColdStart > 0 {
-		time.Sleep(cfg.ColdStart)
+		t := time.NewTimer(cfg.ColdStart)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("sandbox: cold start for %q abandoned: %w", trustDomain, ctx.Err())
+		}
 	}
 	s := &Sandbox{
 		ID:          fmt.Sprintf("sbx-%d", sandboxSeq.Add(1)),
@@ -126,18 +190,30 @@ func New(trustDomain string, cfg Config) *Sandbox {
 		reqCh:       make(chan []byte),
 		respCh:      make(chan sandboxResp),
 		done:        make(chan struct{}),
+		execTimeout: cfg.ExecTimeout,
 	}
 	fuel := cfg.Fuel
 	if fuel <= 0 {
 		fuel = udf.DefaultFuel
 	}
-	go runInterpreterLoop(s.reqCh, s.respCh, s.done, fuel, cfg.Egress)
-	return s
+	go runInterpreterLoop(s.reqCh, s.respCh, s.done, fuel, cfg.Egress, cfg.Faults)
+	return s, nil
 }
 
 // Close tears the sandbox down.
 func (s *Sandbox) Close() {
 	s.closeOnce.Do(func() { close(s.done) })
+}
+
+// Poisoned reports whether the sandbox crashed or timed out and must not be
+// reused.
+func (s *Sandbox) Poisoned() bool { return s.poisoned.Load() }
+
+// PoisonReason returns why the sandbox was poisoned ("" if healthy).
+func (s *Sandbox) PoisonReason() string {
+	s.poisonMu.Lock()
+	defer s.poisonMu.Unlock()
+	return s.poisonReason
 }
 
 // Crossings reports how many boundary round trips this sandbox served.
@@ -146,10 +222,32 @@ func (s *Sandbox) Crossings() int64 { return s.crossings.Load() }
 // RowsProcessed reports rows × UDF evaluations served.
 func (s *Sandbox) RowsProcessed() int64 { return s.rowsProcessed.Load() }
 
+// kill poisons the sandbox, tears it down, and returns the structured crash
+// error the caller surfaces.
+func (s *Sandbox) kill(reason string, timeout bool) error {
+	s.poisonMu.Lock()
+	if s.poisonReason == "" {
+		s.poisonReason = reason
+	}
+	s.poisonMu.Unlock()
+	s.poisoned.Store(true)
+	s.Close()
+	return &SandboxCrashError{SandboxID: s.ID, TrustDomain: s.TrustDomain, Reason: reason, Timeout: timeout}
+}
+
 // Execute performs one crossing: the request is serialized, handed to the
 // isolated interpreter loop, and the serialized results are decoded. The
 // result batch has one column per spec, in order.
-func (s *Sandbox) Execute(req *Request) (*types.Batch, error) {
+//
+// Supervision semantics: a context cancelled before the request crosses the
+// boundary returns ctx.Err() and leaves the sandbox healthy. Once the
+// request is in flight, abandoning it (cancellation or ExecTimeout) makes
+// the single IPC pipe unsynchronizable, so the sandbox is destroyed — the
+// moral equivalent of killing a container whose workload hung.
+func (s *Sandbox) Execute(ctx context.Context, req *Request) (*types.Batch, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for _, spec := range req.Specs {
 		if len(spec.ArgCols) != len(spec.ArgNames) {
 			return nil, fmt.Errorf("sandbox: spec %q has %d arg columns for %d parameters",
@@ -171,19 +269,43 @@ func (s *Sandbox) Execute(req *Request) (*types.Batch, error) {
 	s.execMu.Lock()
 	defer s.execMu.Unlock()
 
+	if s.poisoned.Load() {
+		return nil, fmt.Errorf("%w: %s (%s)", ErrSandboxPoisoned, s.ID, s.PoisonReason())
+	}
+
+	var timeoutC <-chan time.Time
+	if s.execTimeout > 0 {
+		timer := time.NewTimer(s.execTimeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+
 	select {
 	case s.reqCh <- payload:
 	case <-s.done:
 		return nil, ErrSandboxClosed
+	case <-ctx.Done():
+		// Nothing crossed the boundary yet; the sandbox stays healthy.
+		return nil, ctx.Err()
+	case <-timeoutC:
+		return nil, s.kill(fmt.Sprintf("request not accepted within ExecTimeout %v", s.execTimeout), true)
 	}
 	var resp sandboxResp
 	select {
 	case resp = <-s.respCh:
 	case <-s.done:
 		return nil, ErrSandboxClosed
+	case <-ctx.Done():
+		s.kill("in-flight request abandoned: "+ctx.Err().Error(), false)
+		return nil, ctx.Err()
+	case <-timeoutC:
+		return nil, s.kill(fmt.Sprintf("user code exceeded ExecTimeout %v", s.execTimeout), true)
 	}
 	s.crossings.Add(1)
 	s.rowsProcessed.Add(int64(req.Args.NumRows() * len(req.Specs)))
+	if resp.crashed {
+		return nil, s.kill("interpreter crashed: "+resp.err, false)
+	}
 	if resp.err != "" {
 		return nil, fmt.Errorf("sandbox: user code failed: %s", resp.err)
 	}
@@ -192,10 +314,17 @@ func (s *Sandbox) Execute(req *Request) (*types.Batch, error) {
 
 // --- wire encoding of requests: JSON header frame + arrowipc payload ---
 
+// maxRequestHeader caps the spec-header frame; anything larger is a corrupt
+// or hostile frame, not a legitimate fused-UDF set.
+const maxRequestHeader = 1 << 20
+
 func encodeRequest(req *Request) ([]byte, error) {
 	header, err := json.Marshal(req.Specs)
 	if err != nil {
 		return nil, err
+	}
+	if len(header) > maxRequestHeader {
+		return nil, fmt.Errorf("sandbox: request header %d bytes exceeds limit %d", len(header), maxRequestHeader)
 	}
 	body, err := arrowipc.EncodeBatch(req.Args)
 	if err != nil {
@@ -213,7 +342,7 @@ func decodeRequest(data []byte) ([]UDFSpec, *types.Batch, error) {
 		return nil, nil, errors.New("sandbox: truncated request")
 	}
 	hlen := int(data[0]) | int(data[1])<<8 | int(data[2])<<16 | int(data[3])<<24
-	if hlen < 0 || 4+hlen > len(data) {
+	if hlen < 0 || hlen > maxRequestHeader || 4+hlen > len(data) {
 		return nil, nil, errors.New("sandbox: corrupt request header")
 	}
 	var specs []UDFSpec
@@ -228,9 +357,9 @@ func decodeRequest(data []byte) ([]UDFSpec, *types.Batch, error) {
 }
 
 // runInterpreterLoop is the code that lives "inside" the sandbox. It
-// deliberately closes over nothing but its channels, fuel budget, and egress
-// policy — the entire authority of user code.
-func runInterpreterLoop(reqCh <-chan []byte, respCh chan<- sandboxResp, done <-chan struct{}, fuel int, egress EgressPolicy) {
+// deliberately closes over nothing but its channels, fuel budget, egress
+// policy, and fault injector — the entire authority of user code.
+func runInterpreterLoop(reqCh <-chan []byte, respCh chan<- sandboxResp, done <-chan struct{}, fuel int, egress EgressPolicy, inj *faults.Injector) {
 	caps := &udf.Capabilities{}
 	if egress.Resolver != nil && len(egress.AllowedHosts) > 0 {
 		resolver := egress.Resolver
@@ -254,13 +383,44 @@ func runInterpreterLoop(reqCh <-chan []byte, respCh chan<- sandboxResp, done <-c
 		case <-done:
 			return
 		}
-		result, errStr := serveRequest(payload, programs, caps, fuel)
+		resp := interpretOne(payload, programs, caps, fuel, inj, done)
 		select {
-		case respCh <- sandboxResp{data: result, err: errStr}:
+		case respCh <- resp:
 		case <-done:
 			return
 		}
+		if resp.crashed {
+			// The crash killed this universe; no further requests are served.
+			return
+		}
 	}
+}
+
+// interpretOne serves one request, converting interpreter panics — real or
+// injected — into a structured crash response instead of taking down the
+// process: the supervision analog of a container dying alone.
+func interpretOne(payload []byte, programs map[string]*udf.Program, caps *udf.Capabilities, fuel int, inj *faults.Injector, done <-chan struct{}) (resp sandboxResp) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp = sandboxResp{err: fmt.Sprint(r), crashed: true}
+		}
+	}()
+	if f, ok := inj.Eval(faults.SiteSandboxInterpret); ok {
+		switch f.Kind {
+		case faults.KindCrash:
+			panic(f.Err)
+		case faults.KindHang:
+			// A wedge the fuel meter cannot catch: block until teardown.
+			<-done
+			return sandboxResp{err: "injected hang interrupted by teardown", crashed: true}
+		case faults.KindSleep:
+			time.Sleep(f.Delay)
+		case faults.KindError:
+			return sandboxResp{err: f.Err.Error()}
+		}
+	}
+	data, errStr := serveRequest(payload, programs, caps, fuel)
+	return sandboxResp{data: data, err: errStr}
 }
 
 func serveRequest(payload []byte, programs map[string]*udf.Program, caps *udf.Capabilities, fuel int) ([]byte, string) {

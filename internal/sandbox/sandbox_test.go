@@ -1,6 +1,7 @@
 package sandbox
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -33,7 +34,7 @@ func sumSpec() UDFSpec {
 func TestExecuteSimpleUDF(t *testing.T) {
 	sb := New("alice", Config{})
 	defer sb.Close()
-	out, err := sb.Execute(&Request{Specs: []UDFSpec{sumSpec()}, Args: argBatch(100)})
+	out, err := sb.Execute(context.Background(), &Request{Specs: []UDFSpec{sumSpec()}, Args: argBatch(100)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestFusedUDFsOneCrossing(t *testing.T) {
 		{Name: "diff", Body: "return b - a", ArgNames: []string{"a", "b"}, ArgCols: []int{0, 1}, ResultKind: types.KindInt64},
 		{Name: "hexa", Body: "return sha256(str(a))", ArgNames: []string{"a"}, ArgCols: []int{0}, ResultKind: types.KindString},
 	}
-	out, err := sb.Execute(&Request{Specs: specs, Args: argBatch(10)})
+	out, err := sb.Execute(context.Background(), &Request{Specs: specs, Args: argBatch(10)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,12 +84,12 @@ func TestUserCodeErrorSurfaced(t *testing.T) {
 	sb := New("alice", Config{})
 	defer sb.Close()
 	spec := UDFSpec{Name: "boom", Body: "return 1 / 0", ArgNames: nil, ArgCols: nil, ResultKind: types.KindFloat64}
-	_, err := sb.Execute(&Request{Specs: []UDFSpec{spec}, Args: argBatch(1)})
+	_, err := sb.Execute(context.Background(), &Request{Specs: []UDFSpec{spec}, Args: argBatch(1)})
 	if err == nil || !strings.Contains(err.Error(), "division by zero") {
 		t.Fatalf("err = %v", err)
 	}
 	// Sandbox survives the failure and serves the next request.
-	if _, err := sb.Execute(&Request{Specs: []UDFSpec{sumSpec()}, Args: argBatch(1)}); err != nil {
+	if _, err := sb.Execute(context.Background(), &Request{Specs: []UDFSpec{sumSpec()}, Args: argBatch(1)}); err != nil {
 		t.Fatalf("sandbox dead after user error: %v", err)
 	}
 }
@@ -97,7 +98,7 @@ func TestCompileErrorSurfaced(t *testing.T) {
 	sb := New("alice", Config{})
 	defer sb.Close()
 	spec := UDFSpec{Name: "bad", Body: "retrn x", ArgNames: nil, ArgCols: nil, ResultKind: types.KindInt64}
-	if _, err := sb.Execute(&Request{Specs: []UDFSpec{spec}, Args: argBatch(1)}); err == nil {
+	if _, err := sb.Execute(context.Background(), &Request{Specs: []UDFSpec{spec}, Args: argBatch(1)}); err == nil {
 		t.Fatal("expected compile error")
 	}
 }
@@ -106,7 +107,7 @@ func TestFuelLimitEnforced(t *testing.T) {
 	sb := New("alice", Config{Fuel: 5_000})
 	defer sb.Close()
 	spec := UDFSpec{Name: "spin", Body: "while True:\n    x = 1", ResultKind: types.KindInt64}
-	_, err := sb.Execute(&Request{Specs: []UDFSpec{spec}, Args: argBatch(1)})
+	_, err := sb.Execute(context.Background(), &Request{Specs: []UDFSpec{spec}, Args: argBatch(1)})
 	if err == nil || !strings.Contains(err.Error(), "budget") {
 		t.Fatalf("err = %v", err)
 	}
@@ -121,7 +122,7 @@ func TestColdStartDelay(t *testing.T) {
 	}
 	// Warm execution does not pay it again.
 	start = time.Now()
-	if _, err := sb.Execute(&Request{Specs: []UDFSpec{sumSpec()}, Args: argBatch(1)}); err != nil {
+	if _, err := sb.Execute(context.Background(), &Request{Specs: []UDFSpec{sumSpec()}, Args: argBatch(1)}); err != nil {
 		t.Fatal(err)
 	}
 	if d := time.Since(start); d > 25*time.Millisecond {
@@ -143,28 +144,28 @@ func TestEgressPolicy(t *testing.T) {
 	// No egress configured at all: everything fails closed.
 	sb0 := New("alice", Config{})
 	defer sb0.Close()
-	if _, err := sb0.Execute(&Request{Specs: []UDFSpec{spec}, Args: argBatch(1)}); err == nil {
+	if _, err := sb0.Execute(context.Background(), &Request{Specs: []UDFSpec{spec}, Args: argBatch(1)}); err == nil {
 		t.Error("egress without policy should fail")
 	}
 
 	// Allow-listed host works; others are denied.
 	sb := New("alice", Config{Egress: EgressPolicy{AllowedHosts: []string{"api.allowed.com"}, Resolver: network}})
 	defer sb.Close()
-	out, err := sb.Execute(&Request{Specs: []UDFSpec{spec}, Args: argBatch(1)})
+	out, err := sb.Execute(context.Background(), &Request{Specs: []UDFSpec{spec}, Args: argBatch(1)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(out.Cols[0].StringAt(0), "pong:") {
 		t.Errorf("egress result = %q", out.Cols[0].StringAt(0))
 	}
-	if _, err := sb.Execute(&Request{Specs: []UDFSpec{denied}, Args: argBatch(1)}); err == nil || !strings.Contains(err.Error(), "denied") {
+	if _, err := sb.Execute(context.Background(), &Request{Specs: []UDFSpec{denied}, Args: argBatch(1)}); err == nil || !strings.Contains(err.Error(), "denied") {
 		t.Errorf("err = %v", err)
 	}
 
 	// Wildcard allows all.
 	sbAll := New("alice", Config{Egress: EgressPolicy{AllowedHosts: []string{"*"}, Resolver: network}})
 	defer sbAll.Close()
-	if _, err := sbAll.Execute(&Request{Specs: []UDFSpec{denied}, Args: argBatch(1)}); err != nil {
+	if _, err := sbAll.Execute(context.Background(), &Request{Specs: []UDFSpec{denied}, Args: argBatch(1)}); err != nil {
 		t.Errorf("wildcard egress: %v", err)
 	}
 }
@@ -172,7 +173,7 @@ func TestEgressPolicy(t *testing.T) {
 func TestClosedSandbox(t *testing.T) {
 	sb := New("alice", Config{})
 	sb.Close()
-	if _, err := sb.Execute(&Request{Specs: []UDFSpec{sumSpec()}, Args: argBatch(1)}); !errors.Is(err, ErrSandboxClosed) {
+	if _, err := sb.Execute(context.Background(), &Request{Specs: []UDFSpec{sumSpec()}, Args: argBatch(1)}); !errors.Is(err, ErrSandboxClosed) {
 		t.Errorf("err = %v", err)
 	}
 	sb.Close() // double close fine
@@ -183,12 +184,12 @@ func TestBadSpecRejectedBeforeCrossing(t *testing.T) {
 	defer sb.Close()
 	spec := sumSpec()
 	spec.ArgCols = []int{0, 99}
-	if _, err := sb.Execute(&Request{Specs: []UDFSpec{spec}, Args: argBatch(1)}); err == nil {
+	if _, err := sb.Execute(context.Background(), &Request{Specs: []UDFSpec{spec}, Args: argBatch(1)}); err == nil {
 		t.Error("expected column-range error")
 	}
 	spec2 := sumSpec()
 	spec2.ArgCols = []int{0}
-	if _, err := sb.Execute(&Request{Specs: []UDFSpec{spec2}, Args: argBatch(1)}); err == nil {
+	if _, err := sb.Execute(context.Background(), &Request{Specs: []UDFSpec{spec2}, Args: argBatch(1)}); err == nil {
 		t.Error("expected arity error")
 	}
 	if sb.Crossings() != 0 {
@@ -207,7 +208,7 @@ func TestNullArgumentsAndResults(t *testing.T) {
 	}
 	sb := New("alice", Config{})
 	defer sb.Close()
-	out, err := sb.Execute(&Request{Specs: []UDFSpec{spec}, Args: bb.Build()})
+	out, err := sb.Execute(context.Background(), &Request{Specs: []UDFSpec{spec}, Args: bb.Build()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestNullArgumentsAndResults(t *testing.T) {
 
 func TestDispatcherReuseAndTrustDomains(t *testing.T) {
 	var created []string
-	factory := FactoryFunc(func(domain string) (*Sandbox, error) {
+	factory := FactoryFunc(func(ctx context.Context, domain string) (*Sandbox, error) {
 		created = append(created, domain)
 		return New(domain, Config{}), nil
 	})
@@ -259,13 +260,13 @@ func TestDispatcherReuseAndTrustDomains(t *testing.T) {
 }
 
 func TestDispatcherEndSession(t *testing.T) {
-	d := NewDispatcher(FactoryFunc(func(domain string) (*Sandbox, error) {
+	d := NewDispatcher(FactoryFunc(func(ctx context.Context, domain string) (*Sandbox, error) {
 		return New(domain, Config{}), nil
 	}))
 	sb, _ := d.Acquire("sess1", "alice")
 	d.Release("sess1", sb)
 	d.EndSession("sess1")
-	if _, err := sb.Execute(&Request{Specs: []UDFSpec{sumSpec()}, Args: argBatch(1)}); !errors.Is(err, ErrSandboxClosed) {
+	if _, err := sb.Execute(context.Background(), &Request{Specs: []UDFSpec{sumSpec()}, Args: argBatch(1)}); !errors.Is(err, ErrSandboxClosed) {
 		t.Errorf("sandbox should be closed after EndSession: %v", err)
 	}
 	// A fresh acquire provisions again.
@@ -298,7 +299,7 @@ func TestConcurrentExecutions(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			out, err := sb.Execute(&Request{Specs: []UDFSpec{sumSpec()}, Args: argBatch(50)})
+			out, err := sb.Execute(context.Background(), &Request{Specs: []UDFSpec{sumSpec()}, Args: argBatch(50)})
 			if err != nil {
 				errs[i] = err
 				return
