@@ -21,8 +21,9 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: table1, table2, coldstart, membrane, efgac-modes, all")
+		"which experiment to run: table1, table2, coldstart, membrane, efgac-modes, exec, all")
 	quick := flag.Bool("quick", false, "reduced problem sizes for a fast smoke run")
+	jsonOut := flag.String("json", "", "also write machine-readable results to this file (exec experiment → BENCH_exec.json)")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -99,6 +100,36 @@ func main() {
 			return err
 		}
 		fmt.Println(bench.FormatEFGACModes(rows))
+		return nil
+	})
+
+	wrap("exec", func() error {
+		cfg := bench.DefaultExecScalingConfig()
+		if *quick {
+			cfg.Rows = 40_000
+			cfg.RowsPerFile = 2048
+			cfg.ReadLatency = 2 * time.Millisecond
+			cfg.Repetitions = 1
+		}
+		res, err := bench.RunExecScaling(cfg)
+		if err != nil {
+			return err
+		}
+		res.FilterKernel, err = bench.RunFilterKernel(8192, 5)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatExecScaling(res))
+		if *jsonOut != "" {
+			data, err := res.FormatJSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
 		return nil
 	})
 

@@ -48,6 +48,7 @@ func main() {
 	admin := flag.String("admin", "admin@corp.com", "metastore admin user")
 	demo := flag.Bool("demo", false, "seed demo data (sales table with a row filter)")
 	maxSessions := flag.Int("max-sessions-per-cluster", 8, "gateway scale-out threshold")
+	parallelism := flag.Int("parallelism", 0, "engine worker count per cluster (0 = LAKEGUARD_PARALLELISM or NumCPU, 1 = serial)")
 	tokens := tokenFlags{}
 	flag.Var(tokens, "token", "token=user mapping (repeatable)")
 	flag.Parse()
@@ -66,6 +67,7 @@ func main() {
 			log.Printf("provisioning cluster %s", name)
 			return core.NewServer(core.Config{
 				Name: name, Catalog: cat, Compute: catalog.ComputeServerless,
+				Parallelism: *parallelism,
 			})
 		},
 		MaxSessionsPerCluster: *maxSessions,

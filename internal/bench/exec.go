@@ -1,0 +1,332 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"lakeguard/internal/delta"
+	"lakeguard/internal/eval"
+	"lakeguard/internal/exec"
+	"lakeguard/internal/optimizer"
+	"lakeguard/internal/plan"
+	"lakeguard/internal/sandbox"
+	"lakeguard/internal/security"
+	"lakeguard/internal/types"
+)
+
+// ExecScalingConfig sizes the morsel-parallelism experiment: a multi-file
+// scan→filter→aggregate workload run at increasing worker counts.
+type ExecScalingConfig struct {
+	// Rows is the total table size.
+	Rows int
+	// RowsPerFile sets file granularity; Rows/RowsPerFile files is the
+	// morsel count available to parallel scan workers.
+	RowsPerFile int
+	// Workers are the Engine.Parallelism settings to sweep.
+	Workers []int
+	// ReadLatency is the simulated per-file object-store GET latency. Real
+	// deployments read data files from cloud storage where tens of
+	// milliseconds per GET is normal; the container running this benchmark
+	// has a single CPU, so overlapping those waits — not dividing compute —
+	// is what the latency-modeled series measures. The in-memory series
+	// (latency zero) is recorded alongside, honestly: on one CPU it stays
+	// flat, and only gains on multi-core hosts.
+	ReadLatency time.Duration
+	// Repetitions per worker count; the minimum wall time is kept.
+	Repetitions int
+}
+
+// DefaultExecScalingConfig is the recorded experiment: 500k rows across ~61
+// files with 12ms simulated GET latency.
+func DefaultExecScalingConfig() ExecScalingConfig {
+	return ExecScalingConfig{
+		Rows:        500_000,
+		RowsPerFile: 8192,
+		Workers:     []int{1, 2, 4, 8},
+		ReadLatency: 12 * time.Millisecond,
+		Repetitions: 3,
+	}
+}
+
+// ExecScalingPoint is one worker count's measurement.
+type ExecScalingPoint struct {
+	Workers   int     `json:"workers"`
+	LatencyMS float64 `json:"latency_modeled_ms"`
+	InMemMS   float64 `json:"in_memory_ms"`
+	// Speedup is latency-modeled wall time at workers=1 divided by this
+	// point's latency-modeled wall time.
+	Speedup float64 `json:"speedup"`
+}
+
+// FilterKernelResult compares the row-interpreter filter path to the
+// vectorized kernel on a simple comparison predicate.
+type FilterKernelResult struct {
+	Rows        int     `json:"rows"`
+	RowNsPerRow float64 `json:"row_interp_ns_per_row"`
+	VecNsPerRow float64 `json:"vec_kernel_ns_per_row"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// ExecResult is the full recorded experiment, serialized to BENCH_exec.json.
+type ExecResult struct {
+	CPUs          int                `json:"cpus"`
+	GoMaxProcs    int                `json:"gomaxprocs"`
+	Rows          int                `json:"rows"`
+	Files         int                `json:"files"`
+	ReadLatencyMS float64            `json:"read_latency_ms"`
+	Query         string             `json:"query"`
+	Scaling       []ExecScalingPoint `json:"scaling"`
+	FilterKernel  FilterKernelResult `json:"filter_kernel"`
+}
+
+// FormatJSON renders the result for BENCH_exec.json.
+func (r *ExecResult) FormatJSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// latencyTables wraps a TableProvider, sleeping per data-file read to model
+// object-store GET latency. Delta log reads (planning) are left alone so the
+// simulated latency lands only on the scan path being measured.
+type latencyTables struct {
+	inner exec.TableProvider
+	delay time.Duration
+}
+
+// NewLatencyTables wraps a TableProvider so every data-file read pays a
+// simulated object-store GET latency.
+func NewLatencyTables(inner exec.TableProvider, delay time.Duration) exec.TableProvider {
+	return &latencyTables{inner: inner, delay: delay}
+}
+
+func (l *latencyTables) OpenSnapshot(ctx security.RequestContext, table string, version int64) (*delta.Snapshot, func(string) ([]byte, error), error) {
+	snap, read, err := l.inner.OpenSnapshot(ctx, table, version)
+	if err != nil {
+		return nil, nil, err
+	}
+	return snap, func(path string) ([]byte, error) {
+		if l.delay > 0 && !strings.Contains(path, "_delta_log") {
+			time.Sleep(l.delay)
+		}
+		return read(path)
+	}, nil
+}
+
+// SeedEvents creates table `events` (id BIGINT, v BIGINT, cat STRING) as
+// rows/rowsPerFile separate data files, so the parallel scan has file-granular
+// morsels to distribute.
+func (w *World) SeedEvents(rows, rowsPerFile int) (files int, err error) {
+	schema := types.NewSchema(
+		types.Field{Name: "id", Kind: types.KindInt64},
+		types.Field{Name: "v", Kind: types.KindInt64},
+		types.Field{Name: "cat", Kind: types.KindString},
+	)
+	if err := w.Cat.CreateTable(w.Ctx(), []string{"events"}, schema, false, ""); err != nil {
+		return 0, err
+	}
+	cats := []string{"alpha", "beta", "gamma", "delta", "eps", "zeta", "eta", "theta"}
+	var batches []*types.Batch
+	id := 0
+	for id < rows {
+		sz := rowsPerFile
+		if rows-id < sz {
+			sz = rows - id
+		}
+		bb := types.NewBatchBuilder(schema, sz)
+		for r := 0; r < sz; r++ {
+			bb.Column(0).AppendInt64(int64(id))
+			bb.Column(1).AppendInt64(int64((id * 37) % 1000))
+			bb.Column(2).AppendString(cats[id%len(cats)])
+			id++
+		}
+		batches = append(batches, bb.Build())
+	}
+	if _, err := w.Cat.AppendToTable(w.Ctx(), []string{"events"}, batches); err != nil {
+		return 0, err
+	}
+	return len(batches), nil
+}
+
+// ExecScalingQuery is the workload: a multi-file scan with a pushed filter
+// feeding a grouped aggregate — every parallel operator shape in one plan.
+const ExecScalingQuery = "SELECT cat, SUM(v) AS total, COUNT(*) AS n FROM events WHERE v > 250 GROUP BY cat"
+
+// RunExecScaling measures the workload wall time at each worker count, with
+// and without modeled read latency.
+func RunExecScaling(cfg ExecScalingConfig) (*ExecResult, error) {
+	w := NewWorld(sandbox.Config{})
+	files, err := w.SeedEvents(cfg.Rows, cfg.RowsPerFile)
+	if err != nil {
+		return nil, err
+	}
+	p, err := w.PreparePlan(ExecScalingQuery, nil, optimizer.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+
+	measure := func(workers int, delay time.Duration) (time.Duration, error) {
+		w.Engine.Tables = &latencyTables{inner: w.Cat, delay: delay}
+		w.Engine.Parallelism = workers
+		defer func() {
+			w.Engine.Tables = w.Cat
+			w.Engine.Parallelism = 0
+		}()
+		best := time.Duration(0)
+		for rep := 0; rep < cfg.Repetitions; rep++ {
+			start := time.Now()
+			n, err := w.Run(p)
+			took := time.Since(start)
+			if err != nil {
+				return 0, err
+			}
+			if n == 0 {
+				return 0, fmt.Errorf("bench: scaling query returned no rows")
+			}
+			if rep == 0 || took < best {
+				best = took
+			}
+		}
+		return best, nil
+	}
+
+	res := &ExecResult{
+		CPUs:          runtime.NumCPU(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Rows:          cfg.Rows,
+		Files:         files,
+		ReadLatencyMS: float64(cfg.ReadLatency) / float64(time.Millisecond),
+		Query:         ExecScalingQuery,
+	}
+	var base time.Duration
+	for _, workers := range cfg.Workers {
+		withLat, err := measure(workers, cfg.ReadLatency)
+		if err != nil {
+			return nil, err
+		}
+		inMem, err := measure(workers, 0)
+		if err != nil {
+			return nil, err
+		}
+		if workers == cfg.Workers[0] {
+			base = withLat
+		}
+		res.Scaling = append(res.Scaling, ExecScalingPoint{
+			Workers:   workers,
+			LatencyMS: float64(withLat) / float64(time.Millisecond),
+			InMemMS:   float64(inMem) / float64(time.Millisecond),
+			Speedup:   float64(base) / float64(withLat),
+		})
+	}
+	return res, nil
+}
+
+// FilterKernel holds the two filter implementations being compared: the
+// per-row interpreter path and the compiled columnar program, both over the
+// same integer column and `v > 500` predicate. Each Run returns the number of
+// rows kept.
+type FilterKernel struct {
+	Rows         int
+	RunRowInterp func() int
+	RunVec       func() int
+}
+
+// NewFilterKernel builds the comparison inputs once.
+func NewFilterKernel(rows int) (*FilterKernel, error) {
+	b := types.NewBuilder(types.KindInt64, rows)
+	for i := 0; i < rows; i++ {
+		b.Append(types.Int64(int64((i * 37) % 1000)))
+	}
+	cols := []*types.Column{b.Build()}
+	pred := &plan.Binary{
+		Op:         plan.OpGt,
+		L:          &plan.BoundRef{Index: 0, Name: "v", Kind: types.KindInt64},
+		R:          plan.Lit(types.Int64(500)),
+		ResultKind: types.KindBool,
+	}
+	prog, ok := eval.CompileVec(pred, []types.Kind{types.KindInt64})
+	if !ok {
+		return nil, fmt.Errorf("bench: comparison predicate did not vectorize")
+	}
+	return &FilterKernel{
+		Rows: rows,
+		RunRowInterp: func() int {
+			kept := 0
+			for r := 0; r < rows; r++ {
+				ok, err := eval.EvalPredicate(pred, func(ci int) types.Value { return cols[ci].Value(r) }, nil)
+				if err == nil && ok {
+					kept++
+				}
+			}
+			return kept
+		},
+		RunVec: func() int {
+			out := prog.Run(cols, rows, nil)
+			bits := out.Int64s()
+			kept := 0
+			for r := 0; r < rows; r++ {
+				if bits[r] == 1 {
+					kept++
+				}
+			}
+			return kept
+		},
+	}, nil
+}
+
+// RunFilterKernel measures the row interpreter against the vectorized kernel
+// on `v > 500` over one integer column — the exact two code paths a filter
+// takes (per-row EvalPredicate vs a compiled columnar program).
+func RunFilterKernel(rows, reps int) (FilterKernelResult, error) {
+	kernel, err := NewFilterKernel(rows)
+	if err != nil {
+		return FilterKernelResult{}, err
+	}
+	runRow, runVec := kernel.RunRowInterp, kernel.RunVec
+
+	best := func(fn func() int) (time.Duration, error) {
+		var bestD time.Duration
+		for rep := 0; rep < reps; rep++ {
+			start := time.Now()
+			kept := fn()
+			took := time.Since(start)
+			if kept == 0 {
+				return 0, fmt.Errorf("bench: filter kernel kept no rows")
+			}
+			if rep == 0 || took < bestD {
+				bestD = took
+			}
+		}
+		return bestD, nil
+	}
+	rowD, err := best(runRow)
+	if err != nil {
+		return FilterKernelResult{}, err
+	}
+	vecD, err := best(runVec)
+	if err != nil {
+		return FilterKernelResult{}, err
+	}
+	return FilterKernelResult{
+		Rows:        rows,
+		RowNsPerRow: float64(rowD.Nanoseconds()) / float64(rows),
+		VecNsPerRow: float64(vecD.Nanoseconds()) / float64(rows),
+		Speedup:     float64(rowD) / float64(vecD),
+	}, nil
+}
+
+// FormatExecScaling renders the experiment like the paper's figures.
+func FormatExecScaling(r *ExecResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Morsel-driven scan→filter→aggregate scaling (%d rows, %d files, %.0fms/GET modeled)\n", r.Rows, r.Files, r.ReadLatencyMS)
+	fmt.Fprintf(&sb, "host: %d CPU(s), GOMAXPROCS=%d — latency-modeled speedup comes from overlapping GET waits\n\n", r.CPUs, r.GoMaxProcs)
+	fmt.Fprintf(&sb, "  %-8s %14s %14s %9s\n", "workers", "latency-model", "in-memory", "speedup")
+	for _, p := range r.Scaling {
+		fmt.Fprintf(&sb, "  %-8d %12.1fms %12.1fms %8.2fx\n", p.Workers, p.LatencyMS, p.InMemMS, p.Speedup)
+	}
+	fmt.Fprintf(&sb, "\nVectorized filter kernel vs row interpreter (%d rows, v > 500):\n", r.FilterKernel.Rows)
+	fmt.Fprintf(&sb, "  row interpreter: %7.1f ns/row\n  vectorized:      %7.1f ns/row\n  speedup:         %7.2fx\n",
+		r.FilterKernel.RowNsPerRow, r.FilterKernel.VecNsPerRow, r.FilterKernel.Speedup)
+	return sb.String()
+}

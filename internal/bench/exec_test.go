@@ -1,0 +1,38 @@
+package bench
+
+import "testing"
+
+// TestExecScalingSmoke runs a miniature version of the morsel-parallelism
+// experiment end to end: the workload must produce identical answers at every
+// worker count (the runner errors on empty results) and the JSON must render.
+func TestExecScalingSmoke(t *testing.T) {
+	cfg := ExecScalingConfig{
+		Rows:        20_000,
+		RowsPerFile: 2048,
+		Workers:     []int{1, 4},
+		ReadLatency: 0,
+		Repetitions: 1,
+	}
+	res, err := RunExecScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Files < 9 {
+		t.Fatalf("expected ~10 files, got %d", res.Files)
+	}
+	if len(res.Scaling) != 2 {
+		t.Fatalf("expected 2 scaling points, got %d", len(res.Scaling))
+	}
+	fk, err := RunFilterKernel(8192, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fk.Speedup <= 1 {
+		t.Errorf("vectorized filter slower than row interpreter: %.2fx", fk.Speedup)
+	}
+	res.FilterKernel = fk
+	if _, err := res.FormatJSON(); err != nil {
+		t.Fatal(err)
+	}
+	_ = FormatExecScaling(res)
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"lakeguard/internal/catalog"
+	"lakeguard/internal/storage"
+)
+
+func newCatalog() *catalog.Catalog {
+	cat := catalog.New(storage.NewStore(), nil)
+	cat.AddAdmin(admin)
+	return cat
+}
+
+func TestParallelismExplicitConfigWinsOverEnv(t *testing.T) {
+	t.Setenv("LAKEGUARD_PARALLELISM", "7")
+	s := NewServer(Config{Catalog: newCatalog(), Parallelism: 3})
+	if s.engine.Parallelism != 3 {
+		t.Fatalf("engine.Parallelism = %d, want explicit config value 3", s.engine.Parallelism)
+	}
+}
+
+func TestParallelismFromEnv(t *testing.T) {
+	t.Setenv("LAKEGUARD_PARALLELISM", "5")
+	s := NewServer(Config{Catalog: newCatalog()})
+	if s.engine.Parallelism != 5 {
+		t.Fatalf("engine.Parallelism = %d, want env value 5", s.engine.Parallelism)
+	}
+}
+
+func TestParallelismDefaultsToNumCPU(t *testing.T) {
+	t.Setenv("LAKEGUARD_PARALLELISM", "")
+	s := NewServer(Config{Catalog: newCatalog()})
+	if want := runtime.NumCPU(); s.engine.Parallelism != want {
+		t.Fatalf("engine.Parallelism = %d, want NumCPU %d", s.engine.Parallelism, want)
+	}
+}
+
+func TestParallelismMalformedEnvPanics(t *testing.T) {
+	for _, bad := range []string{"banana", "0", "-2"} {
+		t.Run(bad, func(t *testing.T) {
+			t.Setenv("LAKEGUARD_PARALLELISM", bad)
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("LAKEGUARD_PARALLELISM=%q did not panic; malformed operator config must fail loudly", bad)
+				}
+			}()
+			NewServer(Config{Catalog: newCatalog()})
+		})
+	}
+}

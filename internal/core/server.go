@@ -11,6 +11,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"runtime"
+	"strconv"
 	"sync"
 
 	"lakeguard/internal/analyzer"
@@ -65,6 +68,12 @@ type Config struct {
 	// UnsafeInProcessUDFs runs user code without isolation (benchmark
 	// baseline only).
 	UnsafeInProcessUDFs bool
+	// Parallelism is the engine's morsel-parallel worker count: scans,
+	// filters, projections, aggregate input and join-build evaluation
+	// partition work across this many workers with a deterministic ordered
+	// gather. 0 reads LAKEGUARD_PARALLELISM, defaulting to runtime.NumCPU();
+	// 1 forces serial execution.
+	Parallelism int
 	// Faults is the chaos-test fault injector threaded into the cluster,
 	// sandboxes, and the eFGAC client. Nil falls back to the FAULTS
 	// environment variable (also nil when unset).
@@ -127,6 +136,7 @@ func NewServer(cfg Config) *Server {
 	if cfg.Supervisor.Audit == nil && cfg.Catalog != nil {
 		cfg.Supervisor.Audit = cfg.Catalog.Audit()
 	}
+	cfg.Parallelism = resolveParallelism(cfg.Parallelism)
 	if cfg.Supervisor.Compute == "" {
 		cfg.Supervisor.Compute = string(cfg.Compute)
 	}
@@ -153,9 +163,28 @@ func NewServer(cfg Config) *Server {
 		Dispatcher:          dispatcher,
 		Remote:              cfg.Remote,
 		FuseUDFs:            opts.FuseUDFs,
+		Parallelism:         cfg.Parallelism,
 		UnsafeInProcessUDFs: cfg.UnsafeInProcessUDFs,
 	}
 	return s
+}
+
+// resolveParallelism resolves the engine worker count: an explicit config
+// value wins, then LAKEGUARD_PARALLELISM, then runtime.NumCPU(). Like a
+// malformed FAULTS spec, a malformed value is an operator error and fails
+// loudly instead of silently running serial.
+func resolveParallelism(explicit int) int {
+	if explicit > 0 {
+		return explicit
+	}
+	if v := os.Getenv("LAKEGUARD_PARALLELISM"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			panic(fmt.Sprintf("core: malformed LAKEGUARD_PARALLELISM %q: want a positive integer", v))
+		}
+		return n
+	}
+	return runtime.NumCPU()
 }
 
 // Catalog returns the governance catalog.
@@ -266,6 +295,7 @@ func (s *Server) engineFor(env string) (*exec.Engine, error) {
 		Dispatcher:          sandbox.NewSupervised(mgr, s.cfg.Supervisor),
 		Remote:              s.cfg.Remote,
 		FuseUDFs:            s.opts.FuseUDFs,
+		Parallelism:         s.cfg.Parallelism,
 		UnsafeInProcessUDFs: s.cfg.UnsafeInProcessUDFs,
 	}
 	s.envEngines[env] = e

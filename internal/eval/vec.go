@@ -1,0 +1,594 @@
+// Vectorized expression evaluation: a columnar fast path that computes
+// comparison, arithmetic, and boolean expressions over whole columns with
+// optional selection vectors, instead of boxing one Value per row. Only a
+// closed subset of the expression language compiles — anything with per-row
+// error paths, session state, or user code (LIKE, CASE, CAST, IN, scalar
+// functions, CURRENT_USER, UDF calls) is rejected so callers fall back to
+// the row interpreter with identical semantics. Within the subset, kernels
+// reproduce Eval exactly: Kleene AND/OR, NULL-strict comparisons, division
+// and modulo by zero yielding NULL, and Compare's float ordering (NaN
+// compares equal to everything).
+package eval
+
+import (
+	"math"
+
+	"lakeguard/internal/plan"
+	"lakeguard/internal/types"
+)
+
+// VecProg is a compiled columnar evaluator for one expression. Programs are
+// immutable after compilation and safe for concurrent Run calls, so parallel
+// scan workers share one program.
+type VecProg struct {
+	root vecNode
+}
+
+// Kind returns the result kind of the compiled expression.
+func (p *VecProg) Kind() types.Kind { return p.root.kind() }
+
+// Run evaluates the program over the batch columns. sel selects the input
+// rows to evaluate (nil = all n rows); the result column is aligned to the
+// selection, i.e. row j of the output corresponds to input row sel[j]. Run
+// never fails: every kind combination that could error per row was rejected
+// at compile time.
+func (p *VecProg) Run(cols []*types.Column, n int, sel []int) *types.Column {
+	m := n
+	if sel != nil {
+		m = len(sel)
+	}
+	return p.root.eval(cols, m, sel)
+}
+
+// CompileVec compiles an expression against the actual input column kinds.
+// ok=false means the expression is outside the vectorizable subset (or its
+// kind combination would need per-row semantics the kernels don't model);
+// callers must then use the row interpreter.
+func CompileVec(e plan.Expr, inKinds []types.Kind) (*VecProg, bool) {
+	n, ok := compileNode(e, inKinds)
+	if !ok {
+		return nil, false
+	}
+	return &VecProg{root: n}, true
+}
+
+// vecNode evaluates to a column of m rows aligned to the selection.
+type vecNode interface {
+	kind() types.Kind
+	eval(cols []*types.Column, m int, sel []int) *types.Column
+}
+
+// operand is one input of a kernel: either a sub-node producing a column or
+// a constant folded at compile time.
+type operand struct {
+	node vecNode
+	null bool
+	i    int64
+	f    float64
+	s    string
+}
+
+// acc reads operand payloads: a slice for columns, a constant otherwise.
+type acc[T int64 | float64 | string] struct {
+	v []T
+	c T
+}
+
+func (a acc[T]) at(i int) T {
+	if a.v != nil {
+		return a.v[i]
+	}
+	return a.c
+}
+
+// nullmask reads operand validity: a mask for columns, a constant otherwise.
+type nullmask struct {
+	m []bool
+	c bool
+}
+
+func (n nullmask) at(i int) bool {
+	if n.m != nil {
+		return n.m[i]
+	}
+	return n.c
+}
+
+func (o *operand) intAcc(cols []*types.Column, m int, sel []int) (acc[int64], nullmask) {
+	if o.node == nil {
+		return acc[int64]{c: o.i}, nullmask{c: o.null}
+	}
+	col := o.node.eval(cols, m, sel)
+	return acc[int64]{v: col.Int64s()}, nullmask{m: col.NullMask()}
+}
+
+func (o *operand) floatAcc(cols []*types.Column, m int, sel []int) (acc[float64], nullmask) {
+	if o.node == nil {
+		return acc[float64]{c: o.f}, nullmask{c: o.null}
+	}
+	col := o.node.eval(cols, m, sel)
+	if col.Kind() == types.KindFloat64 {
+		return acc[float64]{v: col.Float64s()}, nullmask{m: col.NullMask()}
+	}
+	// Widen an integer column once per batch, mirroring Value.AsFloat64.
+	iv := col.Int64s()
+	fv := make([]float64, len(iv))
+	for i, x := range iv {
+		fv[i] = float64(x)
+	}
+	return acc[float64]{v: fv}, nullmask{m: col.NullMask()}
+}
+
+func (o *operand) strAcc(cols []*types.Column, m int, sel []int) (acc[string], nullmask) {
+	if o.node == nil {
+		return acc[string]{c: o.s}, nullmask{c: o.null}
+	}
+	col := o.node.eval(cols, m, sel)
+	return acc[string]{v: col.Strings()}, nullmask{m: col.NullMask()}
+}
+
+// payload classes for binary kernels
+const (
+	classInt uint8 = iota
+	classFloat
+	classString
+)
+
+func intPayload(k types.Kind) bool {
+	switch k {
+	case types.KindBool, types.KindInt64, types.KindDate, types.KindTimestamp:
+		return true
+	}
+	return false
+}
+
+func stringPayload(k types.Kind) bool {
+	return k == types.KindString || k == types.KindBinary
+}
+
+// refNode reads an input column.
+type refNode struct {
+	idx int
+	k   types.Kind
+}
+
+func (nd *refNode) kind() types.Kind { return nd.k }
+
+func (nd *refNode) eval(cols []*types.Column, m int, sel []int) *types.Column {
+	c := cols[nd.idx]
+	if sel == nil {
+		return c
+	}
+	return c.Gather(sel)
+}
+
+// cmpNode compares two operands, reproducing Value.Compare ordering.
+type cmpNode struct {
+	op    plan.BinOp
+	class uint8
+	l, r  operand
+}
+
+func (nd *cmpNode) kind() types.Kind { return types.KindBool }
+
+func (nd *cmpNode) eval(cols []*types.Column, m int, sel []int) *types.Column {
+	switch nd.class {
+	case classInt:
+		l, ln := nd.l.intAcc(cols, m, sel)
+		r, rn := nd.r.intAcc(cols, m, sel)
+		return cmpKernel(nd.op, l, ln, r, rn, m)
+	case classFloat:
+		l, ln := nd.l.floatAcc(cols, m, sel)
+		r, rn := nd.r.floatAcc(cols, m, sel)
+		return cmpKernel(nd.op, l, ln, r, rn, m)
+	default:
+		l, ln := nd.l.strAcc(cols, m, sel)
+		r, rn := nd.r.strAcc(cols, m, sel)
+		return cmpKernel(nd.op, l, ln, r, rn, m)
+	}
+}
+
+// cmpKernel evaluates a NULL-strict comparison. It derives a three-way cmp
+// first (like Value.Compare) so float NaN behaves identically to the row
+// interpreter.
+func cmpKernel[T int64 | float64 | string](op plan.BinOp, l acc[T], ln nullmask, r acc[T], rn nullmask, m int) *types.Column {
+	out := make([]int64, m)
+	var nulls []bool
+	for i := 0; i < m; i++ {
+		if ln.at(i) || rn.at(i) {
+			if nulls == nil {
+				nulls = make([]bool, m)
+			}
+			nulls[i] = true
+			continue
+		}
+		a, b := l.at(i), r.at(i)
+		c := 0
+		if a < b {
+			c = -1
+		} else if a > b {
+			c = 1
+		}
+		var t bool
+		switch op {
+		case plan.OpEq:
+			t = c == 0
+		case plan.OpNeq:
+			t = c != 0
+		case plan.OpLt:
+			t = c < 0
+		case plan.OpLte:
+			t = c <= 0
+		case plan.OpGt:
+			t = c > 0
+		case plan.OpGte:
+			t = c >= 0
+		}
+		if t {
+			out[i] = 1
+		}
+	}
+	return types.NewInt64Column(types.KindBool, out, nulls)
+}
+
+// arithNode is numeric arithmetic; kernels mirror evalArith exactly,
+// including the NULL result on division or modulo by zero.
+type arithNode struct {
+	op    plan.BinOp
+	float bool
+	l, r  operand
+}
+
+func (nd *arithNode) kind() types.Kind {
+	if nd.float {
+		return types.KindFloat64
+	}
+	return types.KindInt64
+}
+
+func (nd *arithNode) eval(cols []*types.Column, m int, sel []int) *types.Column {
+	if nd.float {
+		l, ln := nd.l.floatAcc(cols, m, sel)
+		r, rn := nd.r.floatAcc(cols, m, sel)
+		return arithFloatKernel(nd.op, l, ln, r, rn, m)
+	}
+	l, ln := nd.l.intAcc(cols, m, sel)
+	r, rn := nd.r.intAcc(cols, m, sel)
+	return arithIntKernel(nd.op, l, ln, r, rn, m)
+}
+
+func arithIntKernel(op plan.BinOp, l acc[int64], ln nullmask, r acc[int64], rn nullmask, m int) *types.Column {
+	out := make([]int64, m)
+	var nulls []bool
+	for i := 0; i < m; i++ {
+		if ln.at(i) || rn.at(i) {
+			if nulls == nil {
+				nulls = make([]bool, m)
+			}
+			nulls[i] = true
+			continue
+		}
+		a, b := l.at(i), r.at(i)
+		switch op {
+		case plan.OpAdd:
+			out[i] = a + b
+		case plan.OpSub:
+			out[i] = a - b
+		case plan.OpMul:
+			out[i] = a * b
+		case plan.OpDiv, plan.OpMod:
+			if b == 0 {
+				if nulls == nil {
+					nulls = make([]bool, m)
+				}
+				nulls[i] = true
+				continue
+			}
+			if op == plan.OpDiv {
+				out[i] = a / b
+			} else {
+				out[i] = a % b
+			}
+		}
+	}
+	return types.NewInt64Column(types.KindInt64, out, nulls)
+}
+
+func arithFloatKernel(op plan.BinOp, l acc[float64], ln nullmask, r acc[float64], rn nullmask, m int) *types.Column {
+	out := make([]float64, m)
+	var nulls []bool
+	for i := 0; i < m; i++ {
+		if ln.at(i) || rn.at(i) {
+			if nulls == nil {
+				nulls = make([]bool, m)
+			}
+			nulls[i] = true
+			continue
+		}
+		a, b := l.at(i), r.at(i)
+		switch op {
+		case plan.OpAdd:
+			out[i] = a + b
+		case plan.OpSub:
+			out[i] = a - b
+		case plan.OpMul:
+			out[i] = a * b
+		case plan.OpDiv, plan.OpMod:
+			if b == 0 {
+				if nulls == nil {
+					nulls = make([]bool, m)
+				}
+				nulls[i] = true
+				continue
+			}
+			if op == plan.OpDiv {
+				out[i] = a / b
+			} else {
+				out[i] = math.Mod(a, b)
+			}
+		}
+	}
+	return types.NewFloat64Column(out, nulls)
+}
+
+// andOrNode is Kleene AND/OR. Evaluating both sides eagerly (no short
+// circuit) is safe because every compiled sub-expression is total: within
+// the vectorizable subset no kernel can fail per row.
+type andOrNode struct {
+	isAnd bool
+	l, r  operand
+}
+
+func (nd *andOrNode) kind() types.Kind { return types.KindBool }
+
+func (nd *andOrNode) eval(cols []*types.Column, m int, sel []int) *types.Column {
+	l, ln := nd.l.intAcc(cols, m, sel)
+	r, rn := nd.r.intAcc(cols, m, sel)
+	out := make([]int64, m)
+	var nulls []bool
+	for i := 0; i < m; i++ {
+		lnull, rnull := ln.at(i), rn.at(i)
+		a := l.at(i) != 0
+		b := r.at(i) != 0
+		if nd.isAnd {
+			switch {
+			case (!lnull && !a) || (!rnull && !b):
+				// false dominates NULL
+			case lnull || rnull:
+				if nulls == nil {
+					nulls = make([]bool, m)
+				}
+				nulls[i] = true
+			default:
+				out[i] = 1
+			}
+		} else {
+			switch {
+			case (!lnull && a) || (!rnull && b):
+				out[i] = 1
+			case lnull || rnull:
+				if nulls == nil {
+					nulls = make([]bool, m)
+				}
+				nulls[i] = true
+			}
+		}
+	}
+	return types.NewInt64Column(types.KindBool, out, nulls)
+}
+
+// notNode is boolean NOT.
+type notNode struct {
+	child vecNode
+}
+
+func (nd *notNode) kind() types.Kind { return types.KindBool }
+
+func (nd *notNode) eval(cols []*types.Column, m int, sel []int) *types.Column {
+	c := nd.child.eval(cols, m, sel)
+	in := c.Int64s()
+	out := make([]int64, m)
+	for i := 0; i < m; i++ {
+		if in[i] == 0 {
+			out[i] = 1
+		}
+	}
+	return types.NewInt64Column(types.KindBool, out, c.NullMask())
+}
+
+// negNode is numeric negation.
+type negNode struct {
+	child vecNode
+	k     types.Kind
+}
+
+func (nd *negNode) kind() types.Kind { return nd.k }
+
+func (nd *negNode) eval(cols []*types.Column, m int, sel []int) *types.Column {
+	c := nd.child.eval(cols, m, sel)
+	if nd.k == types.KindFloat64 {
+		in := c.Float64s()
+		out := make([]float64, m)
+		for i := 0; i < m; i++ {
+			out[i] = -in[i]
+		}
+		return types.NewFloat64Column(out, c.NullMask())
+	}
+	in := c.Int64s()
+	out := make([]int64, m)
+	for i := 0; i < m; i++ {
+		out[i] = -in[i]
+	}
+	return types.NewInt64Column(types.KindInt64, out, c.NullMask())
+}
+
+// isNullNode is IS [NOT] NULL; the result is never NULL itself.
+type isNullNode struct {
+	child   vecNode
+	negated bool
+}
+
+func (nd *isNullNode) kind() types.Kind { return types.KindBool }
+
+func (nd *isNullNode) eval(cols []*types.Column, m int, sel []int) *types.Column {
+	c := nd.child.eval(cols, m, sel)
+	mask := c.NullMask()
+	out := make([]int64, m)
+	for i := 0; i < m; i++ {
+		isNull := mask != nil && mask[i]
+		if isNull != nd.negated {
+			out[i] = 1
+		}
+	}
+	return types.NewInt64Column(types.KindBool, out, nil)
+}
+
+// concatNode is string || string (NULL-strict).
+type concatNode struct {
+	l, r operand
+}
+
+func (nd *concatNode) kind() types.Kind { return types.KindString }
+
+func (nd *concatNode) eval(cols []*types.Column, m int, sel []int) *types.Column {
+	l, ln := nd.l.strAcc(cols, m, sel)
+	r, rn := nd.r.strAcc(cols, m, sel)
+	out := make([]string, m)
+	var nulls []bool
+	for i := 0; i < m; i++ {
+		if ln.at(i) || rn.at(i) {
+			if nulls == nil {
+				nulls = make([]bool, m)
+			}
+			nulls[i] = true
+			continue
+		}
+		out[i] = l.at(i) + r.at(i)
+	}
+	return types.NewStringColumn(types.KindString, out, nulls)
+}
+
+// compileOperand compiles one side of a binary kernel: constants fold to a
+// scalar, everything else must compile to a node. The returned kind is the
+// operand's static kind, used for class selection.
+func compileOperand(e plan.Expr, inKinds []types.Kind) (operand, types.Kind, bool) {
+	if IsConstant(e) {
+		k := e.Type()
+		if k == types.KindNull {
+			return operand{}, 0, false
+		}
+		v, err := Eval(e, nil, nil)
+		if err != nil {
+			return operand{}, 0, false
+		}
+		if !v.Null && v.Kind != k {
+			cast, cerr := v.Cast(k)
+			if cerr != nil {
+				return operand{}, 0, false
+			}
+			v = cast
+		}
+		return operand{null: v.Null, i: v.I, f: v.AsFloat64(), s: v.S}, k, true
+	}
+	n, ok := compileNode(e, inKinds)
+	if !ok {
+		return operand{}, 0, false
+	}
+	return operand{node: n}, n.kind(), true
+}
+
+// compileNode compiles a non-constant expression to a kernel tree, or
+// reports that it is outside the vectorizable subset.
+func compileNode(e plan.Expr, inKinds []types.Kind) (vecNode, bool) {
+	switch t := e.(type) {
+	case *plan.Alias:
+		return compileNode(t.Child, inKinds)
+
+	case *plan.BoundRef:
+		if t.Index < 0 || t.Index >= len(inKinds) {
+			return nil, false
+		}
+		k := inKinds[t.Index]
+		// The analyzer's static kind must agree with the physical column;
+		// when they disagree the row path's per-value casts apply instead.
+		if k != t.Kind || k == types.KindNull {
+			return nil, false
+		}
+		return &refNode{idx: t.Index, k: k}, true
+
+	case *plan.IsNull:
+		child, ok := compileNode(t.Child, inKinds)
+		if !ok {
+			return nil, false
+		}
+		return &isNullNode{child: child, negated: t.Negated}, true
+
+	case *plan.Unary:
+		child, ok := compileNode(t.Child, inKinds)
+		if !ok {
+			return nil, false
+		}
+		if t.Op == plan.OpNot {
+			if child.kind() != types.KindBool {
+				return nil, false
+			}
+			return &notNode{child: child}, true
+		}
+		k := child.kind()
+		if (k != types.KindInt64 && k != types.KindFloat64) || t.ResultKind != k {
+			return nil, false
+		}
+		return &negNode{child: child, k: k}, true
+
+	case *plan.Binary:
+		l, lk, ok := compileOperand(t.L, inKinds)
+		if !ok {
+			return nil, false
+		}
+		r, rk, ok := compileOperand(t.R, inKinds)
+		if !ok {
+			return nil, false
+		}
+		if l.node == nil && r.node == nil {
+			return nil, false // all-constant: the optimizer's folding job
+		}
+		switch {
+		case t.Op == plan.OpAnd || t.Op == plan.OpOr:
+			if lk != types.KindBool || rk != types.KindBool {
+				return nil, false
+			}
+			return &andOrNode{isAnd: t.Op == plan.OpAnd, l: l, r: r}, true
+
+		case t.Op.IsComparison():
+			switch {
+			case lk == rk && intPayload(lk):
+				return &cmpNode{op: t.Op, class: classInt, l: l, r: r}, true
+			case lk == rk && lk == types.KindFloat64:
+				return &cmpNode{op: t.Op, class: classFloat, l: l, r: r}, true
+			case lk == rk && stringPayload(lk):
+				return &cmpNode{op: t.Op, class: classString, l: l, r: r}, true
+			case lk.Numeric() && rk.Numeric():
+				return &cmpNode{op: t.Op, class: classFloat, l: l, r: r}, true
+			}
+			return nil, false
+
+		case t.Op.IsArithmetic():
+			if t.ResultKind == types.KindInt64 && lk == types.KindInt64 && rk == types.KindInt64 {
+				return &arithNode{op: t.Op, float: false, l: l, r: r}, true
+			}
+			numeric := func(k types.Kind) bool { return k == types.KindInt64 || k == types.KindFloat64 }
+			if t.ResultKind == types.KindFloat64 && numeric(lk) && numeric(rk) {
+				return &arithNode{op: t.Op, float: true, l: l, r: r}, true
+			}
+			return nil, false
+
+		case t.Op == plan.OpConcat:
+			if !stringPayload(lk) || !stringPayload(rk) || t.ResultKind != types.KindString {
+				return nil, false
+			}
+			return &concatNode{l: l, r: r}, true
+		}
+		return nil, false
+	}
+	return nil, false
+}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -13,14 +14,32 @@ func decodeDataFile(data []byte) (*types.Batch, error) {
 	return arrowipc.DecodeBatch(data)
 }
 
+// aggInput is one batch with its group-key and aggregate-argument columns
+// already evaluated.
+type aggInput struct {
+	n       int
+	keyCols []*types.Column
+	argCols []*types.Column
+}
+
 // aggOp is a hash aggregate over group keys with collision-checked buckets.
+//
+// Parallelism note: with Parallelism > 1 and UDF-free expressions, the
+// expensive per-batch work (group-key and argument evaluation) runs on
+// exchange workers, but accumulation stays serial over batches in input
+// order. Accumulating row-by-row in stream order keeps float sums
+// bit-identical to serial execution at any worker count — merging per-worker
+// partial sums would reassociate float additions.
 type aggOp struct {
 	child    operator
 	qc       *QueryContext
+	engine   *Engine
 	node     *plan.Aggregate
-	groupRun *exprRunner // evaluates GROUP BY expressions (may contain UDFs)
-	argRun   *exprRunner // evaluates aggregate argument expressions
+	groupBE  *batchEval // evaluates GROUP BY expressions (may contain UDFs)
+	argBE    *batchEval // evaluates aggregate argument expressions
+	argExprs []plan.Expr
 	aggs     []*plan.AggFunc
+	parallel int // exchange workers for input evaluation (<=1 = serial)
 	done     bool
 }
 
@@ -39,15 +58,36 @@ func (e *Engine) newAggOp(qc *QueryContext, node *plan.Aggregate, child operator
 			argExprs = append(argExprs, plan.Lit(types.Int64(1))) // COUNT(*)
 		}
 	}
-	groupRun, err := e.newExprRunner(qc, node.GroupBy)
+	in := node.Child.Schema()
+	groupBE, err := e.newBatchEval(qc, node.GroupBy, in, nil)
 	if err != nil {
 		return nil, err
 	}
-	argRun, err := e.newExprRunner(qc, argExprs)
+	argBE, err := e.newBatchEval(qc, argExprs, in, nil)
 	if err != nil {
 		return nil, err
 	}
-	return &aggOp{child: child, qc: qc, node: node, groupRun: groupRun, argRun: argRun, aggs: aggs}, nil
+	op := &aggOp{
+		child: child, qc: qc, engine: e, node: node,
+		groupBE: groupBE, argBE: argBE, argExprs: argExprs, aggs: aggs,
+	}
+	if w := e.workers(); w > 1 && !exprsHaveUDF(node.GroupBy) && !exprsHaveUDF(argExprs) {
+		op.parallel = w
+	}
+	return op, nil
+}
+
+// evalInput turns one child batch into evaluated key/argument columns.
+func evalAggInput(b *types.Batch, groupBE, argBE *batchEval) (*aggInput, error) {
+	keyCols, err := groupBE.run(b)
+	if err != nil {
+		return nil, err
+	}
+	argCols, err := argBE.run(b)
+	if err != nil {
+		return nil, err
+	}
+	return &aggInput{n: b.NumRows(), keyCols: keyCols, argCols: argCols}, nil
 }
 
 // aggState accumulates one aggregate for one group.
@@ -70,29 +110,26 @@ func (o *aggOp) Next() (*types.Batch, error) {
 		return nil, io.EOF
 	}
 	o.done = true
+
+	pull, cleanup, err := o.inputStream()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
 	groups := map[uint64][]*groupEntry{}
 	var order []*groupEntry
-
 	for {
-		b, err := o.child.Next()
+		in, err := pull()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return nil, err
 		}
-		keyCols, err := o.groupRun.run(b)
-		if err != nil {
-			return nil, err
-		}
-		argCols, err := o.argRun.run(b)
-		if err != nil {
-			return nil, err
-		}
-		n := b.NumRows()
-		for i := 0; i < n; i++ {
-			key := make([]types.Value, len(keyCols))
-			for k, col := range keyCols {
+		for i := 0; i < in.n; i++ {
+			key := make([]types.Value, len(in.keyCols))
+			for k, col := range in.keyCols {
 				key[k] = col.Value(i)
 			}
 			h := hashRow(key)
@@ -109,7 +146,7 @@ func (o *aggOp) Next() (*types.Batch, error) {
 				order = append(order, entry)
 			}
 			for ai, af := range o.aggs {
-				v := argCols[ai].Value(i)
+				v := in.argCols[ai].Value(i)
 				o.accumulate(&entry.states[ai], af, v)
 			}
 		}
@@ -134,6 +171,46 @@ func (o *aggOp) Next() (*types.Batch, error) {
 	}
 	return bb.Build(), nil
 }
+
+// inputStream returns an ordered stream of evaluated inputs: an exchange
+// over the child when parallel, a direct pull otherwise.
+func (o *aggOp) inputStream() (pull func() (*aggInput, error), cleanup func(), err error) {
+	if o.parallel <= 1 {
+		return func() (*aggInput, error) {
+			b, err := o.child.Next()
+			if err != nil {
+				return nil, err
+			}
+			return evalAggInput(b, o.groupBE, o.argBE)
+		}, func() {}, nil
+	}
+	in := o.node.Child.Schema()
+	ex, err := newExchange(o.qc.GoContext(), o.parallel, batchSource(o.child),
+		func() (func(context.Context, *types.Batch) (*aggInput, error), error) {
+			groupBE, argBE := o.groupBE, o.argBE
+			if groupBE.progs == nil {
+				var werr error
+				if groupBE, werr = o.engine.newBatchEval(o.qc, o.node.GroupBy, in, nil); werr != nil {
+					return nil, werr
+				}
+			}
+			if argBE.progs == nil {
+				var werr error
+				if argBE, werr = o.engine.newBatchEval(o.qc, o.argExprs, in, nil); werr != nil {
+					return nil, werr
+				}
+			}
+			return func(_ context.Context, b *types.Batch) (*aggInput, error) {
+				return evalAggInput(b, groupBE, argBE)
+			}, nil
+		}, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ex.Next, func() { ex.Close() }, nil
+}
+
+func (o *aggOp) Close() error { return o.child.Close() }
 
 func (o *aggOp) accumulate(st *aggState, af *plan.AggFunc, v types.Value) {
 	if af.Arg != nil && v.Null {

@@ -101,6 +101,18 @@ func NewQueryContext(groups GroupChecker, ctx security.RequestContext) *QueryCon
 type operator interface {
 	// Next returns the next batch or io.EOF.
 	Next() (*types.Batch, error)
+	// Close releases operator resources. Parallel operators cancel and join
+	// their workers here, so abandoning a stream early (LIMIT) never leaks
+	// goroutines. Close must be safe after Next returned an error or EOF.
+	Close() error
+}
+
+// workers returns the effective morsel-parallelism degree (>= 1).
+func (e *Engine) workers() int {
+	if e.Parallelism > 1 {
+		return e.Parallelism
+	}
+	return 1
 }
 
 // Execute runs a plan to completion and returns all result batches. The
@@ -111,6 +123,7 @@ func (e *Engine) Execute(qc *QueryContext, p plan.Node) ([]*types.Batch, error) 
 	if err != nil {
 		return nil, err
 	}
+	defer op.Close()
 	ctx := qc.GoContext()
 	var out []*types.Batch
 	for {
@@ -146,9 +159,7 @@ func concat(schema *types.Schema, batches []*types.Batch) (*types.Batch, error) 
 	}
 	bb := types.NewBatchBuilder(schema, total)
 	for _, b := range batches {
-		for i := 0; i < b.NumRows(); i++ {
-			bb.AppendRow(b.Row(i))
-		}
+		bb.AppendBatch(b)
 	}
 	return bb.Build(), nil
 }
@@ -183,22 +194,14 @@ func (e *Engine) build(qc *QueryContext, p plan.Node) (operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		runner, err := e.newExprRunner(qc, []plan.Expr{t.Cond})
-		if err != nil {
-			return nil, err
-		}
-		return &filterOp{child: child, runner: runner}, nil
+		return e.buildFilter(qc, t, child)
 
 	case *plan.Project:
 		child, err := e.build(qc, t.Child)
 		if err != nil {
 			return nil, err
 		}
-		runner, err := e.newExprRunner(qc, t.Exprs)
-		if err != nil {
-			return nil, err
-		}
-		return &projectOp{child: child, runner: runner, schema: t.OutSchema}, nil
+		return e.buildProject(qc, t, child)
 
 	case *plan.Aggregate:
 		child, err := e.build(qc, t.Child)
@@ -215,7 +218,12 @@ func (e *Engine) build(qc *QueryContext, p plan.Node) (operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &sortOp{child: child, orders: t.Orders, qc: qc, schema: t.Schema()}, nil
+		orderExprs := make([]plan.Expr, len(t.Orders))
+		for i, ord := range t.Orders {
+			orderExprs[i] = ord.Expr
+		}
+		progs := compileVecExprs(orderExprs, t.Child.Schema(), nil)
+		return &sortOp{child: child, orders: t.Orders, progs: progs, qc: qc, schema: t.Schema()}, nil
 
 	case *plan.Limit:
 		child, err := e.build(qc, t.Child)
@@ -256,8 +264,41 @@ func (e *Engine) buildScan(qc *QueryContext, t *plan.Scan) (operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &scanOp{
-		qc: qc, scan: t,
-		snap: snap, read: read,
-	}, nil
+	src := &scanSource{
+		qc: qc, scan: t, snap: snap, read: read,
+		progs: compileVecExprs(t.PushedFilters, t.Schema(), boolKinds(len(t.PushedFilters))),
+	}
+	if w := e.workers(); w > 1 && len(snap.Files) > 1 {
+		// Parallel file-granular scan: workers pull snapshot files in order
+		// through the shared credential-bound reader; the gather keeps file
+		// order, so output is identical to the serial scan.
+		next := 0
+		source := func() (int, bool, error) {
+			if next >= len(snap.Files) {
+				return 0, true, nil
+			}
+			i := next
+			next++
+			return i, false, nil
+		}
+		ex, err := newExchange(qc.GoContext(), w, source,
+			func() (func(context.Context, int) (*types.Batch, error), error) {
+				return func(_ context.Context, i int) (*types.Batch, error) {
+					return src.scanFile(i)
+				}, nil
+			}, skipEmptyBatch)
+		if err != nil {
+			return nil, err
+		}
+		return &parallelScanOp{ex: ex}, nil
+	}
+	return &scanOp{src: src}, nil
+}
+
+func boolKinds(n int) []types.Kind {
+	ks := make([]types.Kind, n)
+	for i := range ks {
+		ks[i] = types.KindBool
+	}
+	return ks
 }

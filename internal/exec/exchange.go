@@ -1,0 +1,207 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"lakeguard/internal/types"
+)
+
+// exchange is the morsel-driven parallelism primitive (paper §5 spirit:
+// governance must not cost engine performance). A single producer goroutine
+// claims morsels in input order; a fixed pool of workers executes them; the
+// consumer gathers results strictly in claim order, so every downstream
+// operator observes the exact batch sequence serial execution would produce.
+//
+// The ordered gather works through a futures pipeline: for each morsel the
+// producer creates a future and pushes it to both the work queue (workers
+// fill it) and the futures queue (the consumer awaits them in FIFO order).
+// Both queues are bounded, which gives backpressure: at most ~4x workers
+// morsels are in flight, independent of input size.
+//
+// Failure semantics: the first failing worker records its error and cancels
+// the exchange context, which stops the producer and makes the remaining
+// workers drain their queued morsels without executing them. The consumer
+// surfaces exactly one wrapped error — the recorded root cause, not the
+// cascade of context cancellations it triggered.
+type exchange[M, T any] struct {
+	cancel  context.CancelFunc
+	futures chan *future[T]
+	wg      sync.WaitGroup
+
+	mu      sync.Mutex
+	rootErr error
+
+	failed error
+	isZero func(T) bool // results to skip (nil = emit everything)
+}
+
+type future[T any] struct {
+	done   chan struct{}
+	result T
+	err    error
+}
+
+type exJob[M, T any] struct {
+	morsel M
+	fut    *future[T]
+}
+
+// newExchange starts the producer and worker goroutines.
+//   - source yields morsels in order; done=true ends the stream. It runs on
+//     the single producer goroutine, so pulling from a child operator is safe.
+//   - makeWorker builds one worker's morsel function; per-worker state (e.g.
+//     an exprRunner, whose lazy UDF plan is not concurrency-safe) lives in
+//     the closure.
+func newExchange[M, T any](
+	parent context.Context,
+	workers int,
+	source func() (M, bool, error),
+	makeWorker func() (func(context.Context, M) (T, error), error),
+	isZero func(T) bool,
+) (*exchange[M, T], error) {
+	ctx, cancel := context.WithCancel(parent)
+	depth := workers * 2
+	ex := &exchange[M, T]{
+		cancel:  cancel,
+		futures: make(chan *future[T], depth+workers+1),
+		isZero:  isZero,
+	}
+	work := make(chan exJob[M, T], depth)
+
+	runners := make([]func(context.Context, M) (T, error), workers)
+	for w := range runners {
+		fn, err := makeWorker()
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		runners[w] = fn
+	}
+
+	for w := 0; w < workers; w++ {
+		run := runners[w]
+		ex.wg.Add(1)
+		go func() {
+			defer ex.wg.Done()
+			for j := range work {
+				if err := ctx.Err(); err != nil {
+					// A sibling failed (or the caller cancelled): drain
+					// without executing so queued futures resolve promptly.
+					j.fut.err = err
+					close(j.fut.done)
+					continue
+				}
+				res, err := run(ctx, j.morsel)
+				j.fut.result, j.fut.err = res, err
+				if err != nil {
+					ex.fail(err)
+				}
+				close(j.fut.done)
+			}
+		}()
+	}
+
+	ex.wg.Add(1)
+	go func() {
+		defer ex.wg.Done()
+		defer close(ex.futures)
+		defer close(work)
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			m, done, err := source()
+			if err != nil {
+				// A source error surfaces at its input position, exactly
+				// where serial execution would have hit it.
+				f := &future[T]{done: make(chan struct{}), err: err}
+				close(f.done)
+				select {
+				case ex.futures <- f:
+				case <-ctx.Done():
+				}
+				return
+			}
+			if done {
+				return
+			}
+			f := &future[T]{done: make(chan struct{})}
+			select {
+			case work <- exJob[M, T]{morsel: m, fut: f}:
+			case <-ctx.Done():
+				return
+			}
+			select {
+			case ex.futures <- f:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	return ex, nil
+}
+
+// fail records the first root-cause error and cancels siblings.
+func (ex *exchange[M, T]) fail(err error) {
+	ex.mu.Lock()
+	if ex.rootErr == nil {
+		ex.rootErr = err
+	}
+	ex.mu.Unlock()
+	ex.cancel()
+}
+
+func (ex *exchange[M, T]) cause(err error) error {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	if ex.rootErr != nil {
+		return ex.rootErr
+	}
+	return err
+}
+
+// Next returns the next result in morsel order. On failure it cancels the
+// remaining work and keeps returning the same wrapped error.
+func (ex *exchange[M, T]) Next() (T, error) {
+	var zero T
+	if ex.failed != nil {
+		return zero, ex.failed
+	}
+	for {
+		f, ok := <-ex.futures
+		if !ok {
+			return zero, io.EOF
+		}
+		<-f.done
+		if f.err != nil {
+			ex.cancel()
+			ex.failed = fmt.Errorf("exec: parallel worker: %w", ex.cause(f.err))
+			return zero, ex.failed
+		}
+		if ex.isZero != nil && ex.isZero(f.result) {
+			continue
+		}
+		return f.result, nil
+	}
+}
+
+// Close cancels outstanding work and waits for all goroutines; it is safe
+// to call at any point, including after an abandoned (e.g. LIMIT-truncated)
+// stream.
+func (ex *exchange[M, T]) Close() error {
+	ex.cancel()
+	go func() {
+		for range ex.futures { // unblock the producer's futures sends
+		}
+	}()
+	ex.wg.Wait()
+	return nil
+}
+
+// skipEmptyBatch filters zero-row results out of a batch exchange, matching
+// the serial operators, which never emit empty batches mid-stream.
+func skipEmptyBatch(b *types.Batch) bool { return b == nil || b.NumRows() == 0 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -24,6 +25,8 @@ func (e *Engine) buildJoin(qc *QueryContext, t *plan.Join) (operator, error) {
 		_, ok := x.(*plan.UDFCall)
 		return ok
 	}) {
+		l.Close()
+		r.Close()
 		return nil, fmt.Errorf("exec: UDF calls are not supported in join conditions")
 	}
 	leftLen := t.L.Schema().Len()
@@ -32,6 +35,7 @@ func (e *Engine) buildJoin(qc *QueryContext, t *plan.Join) (operator, error) {
 		qc: qc, node: t, left: l, right: r,
 		leftLen: leftLen, rightLen: t.R.Schema().Len(),
 		leftKeys: leftKeys, rightKeys: rightKeys, residual: residual,
+		buildWorkers: e.workers(),
 	}, nil
 }
 
@@ -105,6 +109,7 @@ type joinOp struct {
 	leftLen, rightLen   int
 	leftKeys, rightKeys []plan.Expr
 	residual            []plan.Expr
+	buildWorkers        int
 
 	built     bool
 	rightRows [][]types.Value
@@ -114,26 +119,76 @@ type joinOp struct {
 	pending   []*types.Batch
 }
 
+// rightPart is the materialized form of one right-side batch: its rows plus
+// their key hashes, computed on a build worker.
+type rightPart struct {
+	rows   [][]types.Value
+	hashes []uint64
+}
+
+// buildRightPart materializes one right batch. It touches only read-only
+// joinOp state, so exchange workers run it concurrently.
+func (o *joinOp) buildRightPart(b *types.Batch) (*rightPart, error) {
+	n := b.NumRows()
+	p := &rightPart{rows: make([][]types.Value, n)}
+	if len(o.rightKeys) > 0 {
+		p.hashes = make([]uint64, n)
+	}
+	for i := 0; i < n; i++ {
+		row := b.Row(i)
+		p.rows[i] = row
+		if len(o.rightKeys) > 0 {
+			key, err := o.evalKeys(o.rightKeys, row)
+			if err != nil {
+				return nil, err
+			}
+			p.hashes[i] = hashRow(key)
+		}
+	}
+	return p, nil
+}
+
+// buildRight materializes the right side into the hash table. With
+// parallelism enabled, batch materialization and key hashing run on exchange
+// workers; parts are merged here in batch order, so row indices (and
+// therefore emission order) match the serial build exactly.
 func (o *joinOp) buildRight() error {
 	o.hash = map[uint64][]int{}
+	var pull func() (*rightPart, error)
+	if w := o.buildWorkers; w > 1 {
+		ex, err := newExchange(o.qc.GoContext(), w, batchSource(o.right),
+			func() (func(context.Context, *types.Batch) (*rightPart, error), error) {
+				return func(_ context.Context, b *types.Batch) (*rightPart, error) {
+					return o.buildRightPart(b)
+				}, nil
+			}, nil)
+		if err != nil {
+			return err
+		}
+		defer ex.Close()
+		pull = ex.Next
+	} else {
+		pull = func() (*rightPart, error) {
+			b, err := o.right.Next()
+			if err != nil {
+				return nil, err
+			}
+			return o.buildRightPart(b)
+		}
+	}
 	for {
-		b, err := o.right.Next()
+		p, err := pull()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return err
 		}
-		for i := 0; i < b.NumRows(); i++ {
-			row := b.Row(i)
+		for i, row := range p.rows {
 			idx := len(o.rightRows)
 			o.rightRows = append(o.rightRows, row)
-			if len(o.rightKeys) > 0 {
-				key, err := o.evalKeys(o.rightKeys, row)
-				if err != nil {
-					return err
-				}
-				o.hash[hashRow(key)] = append(o.hash[hashRow(key)], idx)
+			if p.hashes != nil {
+				o.hash[p.hashes[i]] = append(o.hash[p.hashes[i]], idx)
 			}
 		}
 	}
@@ -213,6 +268,14 @@ func (o *joinOp) equiOK(leftRow, rightRow []types.Value) (bool, error) {
 		}
 	}
 	return true, nil
+}
+
+func (o *joinOp) Close() error {
+	err := o.left.Close()
+	if rerr := o.right.Close(); err == nil {
+		err = rerr
+	}
+	return err
 }
 
 func (o *joinOp) Next() (*types.Batch, error) {

@@ -24,6 +24,8 @@ func (o *localOp) Next() (*types.Batch, error) {
 	return o.batch, nil
 }
 
+func (o *localOp) Close() error { return nil }
+
 // batchesOp yields a fixed list of batches (remote results).
 type batchesOp struct {
 	batches []*types.Batch
@@ -39,80 +41,153 @@ func (o *batchesOp) Next() (*types.Batch, error) {
 	return b, nil
 }
 
-// scanOp reads a table snapshot file by file, applying pushed filters and
-// the column projection. Reads go through the credential-bound reader the
-// TableProvider vended; the operator never sees the credential itself.
-type scanOp struct {
+func (o *batchesOp) Close() error { return nil }
+
+// scanSource reads and filters one snapshot file at a time. It is shared by
+// the serial scan and the per-file parallel scan: all state is read-only
+// after construction, and reads go through the credential-bound reader the
+// TableProvider vended — the operator never sees the credential itself.
+type scanSource struct {
 	qc   *QueryContext
 	scan *plan.Scan
 	snap *delta.Snapshot
 	read func(path string) ([]byte, error)
+	// progs are per-conjunct vector programs for the pushed filters (nil
+	// entries use the row interpreter).
+	progs []*eval.VecProg
+}
+
+func (s *scanSource) scanFile(i int) (*types.Batch, error) {
+	f := s.snap.Files[i]
+	data, err := s.read(f.Path)
+	if err != nil {
+		return nil, err
+	}
+	b, err := decodeDataFile(data)
+	if err != nil {
+		return nil, err
+	}
+	return s.applyScanOps(b)
+}
+
+func (s *scanSource) applyScanOps(b *types.Batch) (*types.Batch, error) {
+	// Projection first: when the optimizer prunes columns it remaps the
+	// pushed-filter ordinals to the projected layout.
+	if s.scan.ProjectedCols != nil {
+		cols := make([]*types.Column, len(s.scan.ProjectedCols))
+		for i, c := range s.scan.ProjectedCols {
+			cols[i] = b.Cols[c]
+		}
+		b = types.MustBatch(s.scan.Schema(), cols)
+	}
+	if len(s.scan.PushedFilters) == 0 {
+		return b, nil
+	}
+	// Conjuncts refine a selection vector in their original order; each runs
+	// only over the rows that survived the previous ones (same short-circuit
+	// the per-row loop had).
+	n := b.NumRows()
+	var sel []int // nil = all rows
+	for fi, f := range s.scan.PushedFilters {
+		m := n
+		if sel != nil {
+			m = len(sel)
+		}
+		next := make([]int, 0, m)
+		if prog := s.progs[fi]; prog != nil {
+			pred := prog.Run(b.Cols, n, sel)
+			nulls, vals := pred.NullMask(), pred.Int64s()
+			for j := 0; j < m; j++ {
+				if (nulls == nil || !nulls[j]) && vals[j] != 0 {
+					if sel == nil {
+						next = append(next, j)
+					} else {
+						next = append(next, sel[j])
+					}
+				}
+			}
+		} else {
+			for j := 0; j < m; j++ {
+				i := j
+				if sel != nil {
+					i = sel[j]
+				}
+				row := func(c int) types.Value { return b.Cols[c].Value(i) }
+				pass, err := eval.EvalPredicate(f, row, s.qc.Eval)
+				if err != nil {
+					return nil, err
+				}
+				if pass {
+					next = append(next, i)
+				}
+			}
+		}
+		sel = next
+		if len(sel) == 0 {
+			break
+		}
+	}
+	return b.Gather(sel), nil
+}
+
+// scanOp is the serial file-by-file scan.
+type scanOp struct {
+	src  *scanSource
 	file int
 }
 
 func (o *scanOp) Next() (*types.Batch, error) {
-	for o.file < len(o.snap.Files) {
-		f := o.snap.Files[o.file]
+	for o.file < len(o.src.snap.Files) {
+		b, err := o.src.scanFile(o.file)
 		o.file++
-		data, err := o.read(f.Path)
 		if err != nil {
 			return nil, err
 		}
-		b, err := decodeDataFile(data)
-		if err != nil {
-			return nil, err
-		}
-		out, err := o.applyScanOps(b)
-		if err != nil {
-			return nil, err
-		}
-		if out.NumRows() == 0 {
+		if b.NumRows() == 0 {
 			continue
 		}
-		return out, nil
+		return b, nil
 	}
 	return nil, io.EOF
 }
 
-func (o *scanOp) applyScanOps(b *types.Batch) (*types.Batch, error) {
-	// Projection first: when the optimizer prunes columns it remaps the
-	// pushed-filter ordinals to the projected layout.
-	if o.scan.ProjectedCols != nil {
-		cols := make([]*types.Column, len(o.scan.ProjectedCols))
-		for i, c := range o.scan.ProjectedCols {
-			cols[i] = b.Cols[c]
-		}
-		b = types.MustBatch(o.scan.Schema(), cols)
+func (o *scanOp) Close() error { return nil }
+
+// filterBatch keeps the rows where the predicate is true (not NULL, not
+// false). It returns the input batch unchanged when every row passes.
+func filterBatch(b *types.Batch, be *batchEval) (*types.Batch, error) {
+	cols, err := be.run(b)
+	if err != nil {
+		return nil, err
 	}
-	if len(o.scan.PushedFilters) > 0 {
-		var keep []int
-		n := b.NumRows()
-		for i := 0; i < n; i++ {
-			row := func(c int) types.Value { return b.Cols[c].Value(i) }
-			ok := true
-			for _, f := range o.scan.PushedFilters {
-				pass, err := eval.EvalPredicate(f, row, o.qc.Eval)
-				if err != nil {
-					return nil, err
-				}
-				if !pass {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				keep = append(keep, i)
-			}
+	pred := cols[0]
+	n := b.NumRows()
+	keep := make([]int, 0, n)
+	nulls, vals := pred.NullMask(), pred.Int64s()
+	for i := 0; i < n; i++ {
+		if (nulls == nil || !nulls[i]) && vals[i] != 0 {
+			keep = append(keep, i)
 		}
-		b = b.Gather(keep)
 	}
-	return b, nil
+	if len(keep) == n {
+		return b, nil
+	}
+	return b.Gather(keep), nil
+}
+
+// projectBatch computes the output expressions over one batch.
+func projectBatch(b *types.Batch, be *batchEval, schema *types.Schema) (*types.Batch, error) {
+	cols, err := be.run(b)
+	if err != nil {
+		return nil, err
+	}
+	return types.NewBatch(schema, cols)
 }
 
 // filterOp evaluates a predicate (possibly UDF-bearing) per batch.
 type filterOp struct {
-	child  operator
-	runner *exprRunner
+	child operator
+	eval  *batchEval
 }
 
 func (o *filterOp) Next() (*types.Batch, error) {
@@ -121,28 +196,23 @@ func (o *filterOp) Next() (*types.Batch, error) {
 		if err != nil {
 			return nil, err
 		}
-		cols, err := o.runner.run(b)
+		out, err := filterBatch(b, o.eval)
 		if err != nil {
 			return nil, err
 		}
-		pred := cols[0]
-		var keep []int
-		for i := 0; i < b.NumRows(); i++ {
-			if !pred.IsNull(i) && pred.Int64(i) != 0 {
-				keep = append(keep, i)
-			}
-		}
-		if len(keep) == 0 {
+		if out.NumRows() == 0 {
 			continue
 		}
-		return b.Gather(keep), nil
+		return out, nil
 	}
 }
+
+func (o *filterOp) Close() error { return o.child.Close() }
 
 // projectOp computes output expressions per batch.
 type projectOp struct {
 	child  operator
-	runner *exprRunner
+	eval   *batchEval
 	schema *types.Schema
 }
 
@@ -151,20 +221,21 @@ func (o *projectOp) Next() (*types.Batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	cols, err := o.runner.run(b)
-	if err != nil {
-		return nil, err
-	}
-	return types.NewBatch(o.schema, cols)
+	return projectBatch(b, o.eval, o.schema)
 }
 
-// sortOp materializes and sorts its input.
+func (o *projectOp) Close() error { return o.child.Close() }
+
+// sortOp materializes and sorts its input. The input is concatenated
+// column-wise, sort keys are computed per column (vectorized when the order
+// expressions compile), and the output is one bulk Gather by the sorted
+// permutation.
 type sortOp struct {
 	child  operator
 	orders []plan.SortOrder
+	progs  []*eval.VecProg // per order expression; nil entries row-evaluate
 	qc     *QueryContext
 	schema *types.Schema
-	sorted *types.Batch
 	done   bool
 }
 
@@ -173,8 +244,7 @@ func (o *sortOp) Next() (*types.Batch, error) {
 		return nil, io.EOF
 	}
 	o.done = true
-	var rows [][]types.Value
-	var keys [][]types.Value
+	var batches []*types.Batch
 	for {
 		b, err := o.child.Next()
 		if err == io.EOF {
@@ -183,29 +253,44 @@ func (o *sortOp) Next() (*types.Batch, error) {
 		if err != nil {
 			return nil, err
 		}
-		for i := 0; i < b.NumRows(); i++ {
-			row := b.Row(i)
-			rowFn := func(c int) types.Value { return row[c] }
-			key := make([]types.Value, len(o.orders))
-			for ki, ord := range o.orders {
-				v, err := eval.Eval(ord.Expr, rowFn, o.qc.Eval)
-				if err != nil {
-					return nil, err
-				}
-				key[ki] = v
-			}
-			rows = append(rows, row)
-			keys = append(keys, key)
-		}
+		batches = append(batches, b)
 	}
-	idx := make([]int, len(rows))
+	all, err := concat(o.schema, batches)
+	if err != nil {
+		return nil, err
+	}
+	n := all.NumRows()
+
+	// One key column per ORDER BY expression.
+	keyCols := make([]*types.Column, len(o.orders))
+	for ki, ord := range o.orders {
+		if o.progs != nil && o.progs[ki] != nil {
+			keyCols[ki] = o.progs[ki].Run(all.Cols, n, nil)
+			continue
+		}
+		kind := ord.Expr.Type()
+		if kind == types.KindNull {
+			kind = types.KindString
+		}
+		kb := types.NewBuilder(kind, n)
+		for i := 0; i < n; i++ {
+			row := func(c int) types.Value { return all.Cols[c].Value(i) }
+			v, err := eval.Eval(ord.Expr, row, o.qc.Eval)
+			if err != nil {
+				return nil, err
+			}
+			kb.Append(v)
+		}
+		keyCols[ki] = kb.Build()
+	}
+
+	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool {
-		ka, kb := keys[idx[a]], keys[idx[b]]
 		for ki, ord := range o.orders {
-			cmp, ok := ka[ki].Compare(kb[ki])
+			cmp, ok := keyCols[ki].Value(idx[a]).Compare(keyCols[ki].Value(idx[b]))
 			if !ok {
 				continue
 			}
@@ -218,12 +303,10 @@ func (o *sortOp) Next() (*types.Batch, error) {
 		}
 		return false
 	})
-	bb := types.NewBatchBuilder(o.schema, len(rows))
-	for _, i := range idx {
-		bb.AppendRow(rows[i])
-	}
-	return bb.Build(), nil
+	return all.Gather(idx), nil
 }
+
+func (o *sortOp) Close() error { return o.child.Close() }
 
 // limitOp truncates the stream.
 type limitOp struct {
@@ -267,6 +350,8 @@ func (o *limitOp) Next() (*types.Batch, error) {
 	}
 }
 
+func (o *limitOp) Close() error { return o.child.Close() }
+
 // distinctOp removes duplicate rows via hashing with collision checks.
 type distinctOp struct {
 	child  operator
@@ -307,6 +392,8 @@ func (o *distinctOp) Next() (*types.Batch, error) {
 	}
 }
 
+func (o *distinctOp) Close() error { return o.child.Close() }
+
 // unionOp concatenates child streams.
 type unionOp struct {
 	children []operator
@@ -323,6 +410,16 @@ func (o *unionOp) Next() (*types.Batch, error) {
 		return b, err
 	}
 	return nil, io.EOF
+}
+
+func (o *unionOp) Close() error {
+	var first error
+	for _, c := range o.children {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 func hashRow(row []types.Value) uint64 {

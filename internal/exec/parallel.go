@@ -1,0 +1,214 @@
+// Morsel-driven operator wiring: how the engine decides which parts of a
+// plan run across workers and how those parts keep serial semantics. The
+// rules are:
+//
+//   - Parallelism changes operators, never plan shape: the optimizer and the
+//     security verifier see the exact same plan regardless of worker count.
+//   - Results are gathered in morsel order, so every operator emits the same
+//     batch sequence serial execution would (byte-identical output).
+//   - Expression stages with UDF calls stay on the serial path; sandbox
+//     crossings already partition large batches across workers internally
+//     (udfrun.go), and stacking the two would oversubscribe trust-domain
+//     sandboxes.
+package exec
+
+import (
+	"context"
+	"errors"
+	"io"
+
+	"lakeguard/internal/eval"
+	"lakeguard/internal/plan"
+	"lakeguard/internal/types"
+)
+
+// batchSource adapts a child operator into an exchange source. It runs on
+// the exchange's single producer goroutine, so pulling the child (which may
+// itself be parallel) needs no locking.
+func batchSource(child operator) func() (*types.Batch, bool, error) {
+	return func() (*types.Batch, bool, error) {
+		b, err := child.Next()
+		if errors.Is(err, io.EOF) {
+			return nil, true, nil
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		return b, false, nil
+	}
+}
+
+// batchMapFn transforms one input batch into one output batch on a worker.
+type batchMapFn = func(context.Context, *types.Batch) (*types.Batch, error)
+
+// mapExOp runs a batch→batch function over child batches on an exchange.
+type mapExOp struct {
+	child operator
+	ex    *exchange[*types.Batch, *types.Batch]
+}
+
+func (o *mapExOp) Next() (*types.Batch, error) { return o.ex.Next() }
+
+func (o *mapExOp) Close() error {
+	o.ex.Close()
+	return o.child.Close()
+}
+
+// newParallelMap wires child batches through per-worker map functions,
+// preserving batch order.
+func newParallelMap(ctx context.Context, child operator, workers int, makeWorker func() (batchMapFn, error), isZero func(*types.Batch) bool) (operator, error) {
+	ex, err := newExchange(ctx, workers, batchSource(child), makeWorker, isZero)
+	if err != nil {
+		child.Close()
+		return nil, err
+	}
+	return &mapExOp{child: child, ex: ex}, nil
+}
+
+// exprsHaveUDF reports whether any expression contains a UDF call.
+func exprsHaveUDF(exprs []plan.Expr) bool {
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if plan.ExprContains(e, func(x plan.Expr) bool {
+			_, ok := x.(*plan.UDFCall)
+			return ok
+		}) {
+			return true
+		}
+	}
+	return false
+}
+
+func schemaKinds(s *types.Schema) []types.Kind {
+	ks := make([]types.Kind, len(s.Fields))
+	for i, f := range s.Fields {
+		ks[i] = f.Kind
+	}
+	return ks
+}
+
+// compileVecExprs compiles each expression against the input schema,
+// independently. Entries are nil for expressions outside the vectorizable
+// subset or (when want != nil) whose result kind differs from want[i].
+func compileVecExprs(exprs []plan.Expr, in *types.Schema, want []types.Kind) []*eval.VecProg {
+	kinds := schemaKinds(in)
+	progs := make([]*eval.VecProg, len(exprs))
+	for i, e := range exprs {
+		p, ok := eval.CompileVec(e, kinds)
+		if !ok {
+			continue
+		}
+		if want != nil && p.Kind() != want[i] {
+			continue
+		}
+		progs[i] = p
+	}
+	return progs
+}
+
+func allCompiled(progs []*eval.VecProg) bool {
+	for _, p := range progs {
+		if p == nil {
+			return false
+		}
+	}
+	return len(progs) > 0
+}
+
+// batchEval evaluates a fixed expression list over batches: through compiled
+// vector programs when every expression is in the vectorizable subset,
+// through the row-interpreting exprRunner otherwise. Programs are immutable
+// and shared across workers; runners are per-worker.
+type batchEval struct {
+	progs  []*eval.VecProg // all non-nil => vectorized path
+	runner *exprRunner
+}
+
+func (be *batchEval) run(b *types.Batch) ([]*types.Column, error) {
+	if be.progs != nil {
+		n := b.NumRows()
+		out := make([]*types.Column, len(be.progs))
+		for i, p := range be.progs {
+			out[i] = p.Run(b.Cols, n, nil)
+		}
+		return out, nil
+	}
+	return be.runner.run(b)
+}
+
+// newBatchEval builds a batchEval for exprs; vectorized when possible, with
+// a fresh exprRunner fallback otherwise.
+func (e *Engine) newBatchEval(qc *QueryContext, exprs []plan.Expr, in *types.Schema, want []types.Kind) (*batchEval, error) {
+	if progs := compileVecExprs(exprs, in, want); allCompiled(progs) {
+		return &batchEval{progs: progs}, nil
+	}
+	runner, err := e.newExprRunner(qc, exprs)
+	if err != nil {
+		return nil, err
+	}
+	return &batchEval{runner: runner}, nil
+}
+
+// buildFilter compiles a Filter node, parallelizing UDF-free predicates.
+func (e *Engine) buildFilter(qc *QueryContext, t *plan.Filter, child operator) (operator, error) {
+	exprs := []plan.Expr{t.Cond}
+	want := []types.Kind{types.KindBool}
+	be, err := e.newBatchEval(qc, exprs, t.Child.Schema(), want)
+	if err != nil {
+		child.Close()
+		return nil, err
+	}
+	if w := e.workers(); w > 1 && !exprsHaveUDF(exprs) {
+		return newParallelMap(qc.GoContext(), child, w, func() (batchMapFn, error) {
+			wbe := be
+			if be.progs == nil {
+				var werr error
+				if wbe, werr = e.newBatchEval(qc, exprs, t.Child.Schema(), want); werr != nil {
+					return nil, werr
+				}
+			}
+			return func(_ context.Context, b *types.Batch) (*types.Batch, error) {
+				return filterBatch(b, wbe)
+			}, nil
+		}, skipEmptyBatch)
+	}
+	return &filterOp{child: child, eval: be}, nil
+}
+
+// buildProject compiles a Project node, parallelizing UDF-free expressions.
+func (e *Engine) buildProject(qc *QueryContext, t *plan.Project, child operator) (operator, error) {
+	want := schemaKinds(t.OutSchema)
+	be, err := e.newBatchEval(qc, t.Exprs, t.Child.Schema(), want)
+	if err != nil {
+		child.Close()
+		return nil, err
+	}
+	if w := e.workers(); w > 1 && !exprsHaveUDF(t.Exprs) {
+		return newParallelMap(qc.GoContext(), child, w, func() (batchMapFn, error) {
+			wbe := be
+			if be.progs == nil {
+				var werr error
+				if wbe, werr = e.newBatchEval(qc, t.Exprs, t.Child.Schema(), want); werr != nil {
+					return nil, werr
+				}
+			}
+			return func(_ context.Context, b *types.Batch) (*types.Batch, error) {
+				return projectBatch(b, wbe, t.OutSchema)
+			}, nil
+		}, nil) // empty batches pass through, exactly like the serial path
+	}
+	return &projectOp{child: child, eval: be, schema: t.OutSchema}, nil
+}
+
+// parallelScanOp pulls decoded-and-filtered file batches from a file-granular
+// exchange. Every worker reads through the same credential-bound reader the
+// TableProvider vended, so parallelism adds no new authority.
+type parallelScanOp struct {
+	ex *exchange[int, *types.Batch]
+}
+
+func (o *parallelScanOp) Next() (*types.Batch, error) { return o.ex.Next() }
+
+func (o *parallelScanOp) Close() error { return o.ex.Close() }

@@ -23,6 +23,11 @@ type exprRunner struct {
 	// the first batch, which fixes the input width.
 	exprs []plan.Expr
 	plan  *optimizer.UDFPlan
+	// vecProgs are per-residual-expression vector kernels, compiled lazily
+	// against the first batch's post-wave column kinds (nil entries use the
+	// row interpreter).
+	vecProgs []*eval.VecProg
+	vecTried bool
 	// inProcessPrograms caches compiled UDFs for the unsafe baseline.
 	inProcessPrograms map[string]*udf.Program
 }
@@ -66,11 +71,29 @@ func (r *exprRunner) run(batch *types.Batch) ([]*types.Column, error) {
 		}
 	}
 
+	if !r.vecTried {
+		r.vecTried = true
+		kinds := make([]types.Kind, len(cols))
+		for i, c := range cols {
+			kinds[i] = c.Kind()
+		}
+		r.vecProgs = make([]*eval.VecProg, len(r.plan.Exprs))
+		for ei, ex := range r.plan.Exprs {
+			if p, ok := eval.CompileVec(ex, kinds); ok && p.Kind() == ex.Type() {
+				r.vecProgs[ei] = p
+			}
+		}
+	}
+
 	rowFn := func(i int) eval.RowFn {
 		return func(c int) types.Value { return cols[c].Value(i) }
 	}
 	out := make([]*types.Column, len(r.plan.Exprs))
 	for ei, ex := range r.plan.Exprs {
+		if p := r.vecProgs[ei]; p != nil {
+			out[ei] = p.Run(cols, n, nil)
+			continue
+		}
 		b := types.NewBuilder(ex.Type(), n)
 		for i := 0; i < n; i++ {
 			v, err := eval.Eval(ex, rowFn(i), r.qc.Eval)
@@ -211,9 +234,7 @@ func (r *exprRunner) executeSandboxed(specs []sandbox.UDFSpec, argBatch *types.B
 			continue
 		}
 		for ci, col := range parts[w].cols {
-			for i := 0; i < col.Len(); i++ {
-				builders[ci].Append(col.Value(i))
-			}
+			builders[ci].AppendColumn(col)
 		}
 	}
 	out := make([]*types.Column, len(builders))

@@ -236,8 +236,8 @@ func TestTypecheckFailureReported(t *testing.T) {
 
 func TestTestFilesAreExcluded(t *testing.T) {
 	findings := lintModule(t, map[string]string{
-		"internal/catalog/catalog.go": "package catalog\n\n// V is exported.\nvar V = 1\n",
-		"internal/exec/engine.go":     "package exec\n\n// V is exported.\nvar V = 1\n",
+		"internal/catalog/catalog.go":  "package catalog\n\n// V is exported.\nvar V = 1\n",
+		"internal/exec/engine.go":      "package exec\n\n// V is exported.\nvar V = 1\n",
 		"internal/exec/engine_test.go": "package exec\n\nimport (\n\t\"testing\"\n\n\t\"lakeguard/internal/catalog\"\n)\n\nfunc TestV(t *testing.T) { _ = catalog.V }\n",
 	})
 	wantNoRule(t, findings, RuleImportBoundary)

@@ -45,12 +45,12 @@ type Invariant string
 // others build on: policy barriers injected by the analyzer must survive
 // optimization in order and in name.
 const (
-	InvRowFilter   Invariant = "row-filter-dominance"  // (a)
-	InvColumnMask  Invariant = "mask-before-use"       // (b)
-	InvTrustDomain Invariant = "no-udf-below-barrier"  // (c)
-	InvRemotePush  Invariant = "remote-pushdown-safe"  // (d)
-	InvPolicyCols  Invariant = "policy-columns-bound"  // (e)
-	InvBarrier     Invariant = "barrier-integrity"     // precondition
+	InvRowFilter   Invariant = "row-filter-dominance" // (a)
+	InvColumnMask  Invariant = "mask-before-use"      // (b)
+	InvTrustDomain Invariant = "no-udf-below-barrier" // (c)
+	InvRemotePush  Invariant = "remote-pushdown-safe" // (d)
+	InvPolicyCols  Invariant = "policy-columns-bound" // (e)
+	InvBarrier     Invariant = "barrier-integrity"    // precondition
 )
 
 // Violation is one disproved invariant.

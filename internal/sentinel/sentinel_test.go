@@ -71,8 +71,8 @@ func governedSales() *plan.SecureView {
 // userQuery wraps the governed table in a typical user plan.
 func userQuery(sv plan.Node) plan.Node {
 	return &plan.Project{
-		Exprs:     []plan.Expr{ref(0, "amount", types.KindFloat64), ref(2, "seller", types.KindString)},
-		Child:     sv,
+		Exprs: []plan.Expr{ref(0, "amount", types.KindFloat64), ref(2, "seller", types.KindString)},
+		Child: sv,
 		OutSchema: types.NewSchema(
 			types.Field{Name: "amount", Kind: types.KindFloat64},
 			types.Field{Name: "seller", Kind: types.KindString},

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -69,9 +70,10 @@ type Store struct {
 	secret  []byte
 	clock   func() time.Time
 	fault   func(op, path string) error
-	// stats
-	getCount int64
-	putCount int64
+	// stats: atomic because Get takes only a read lock and parallel scan
+	// workers read concurrently.
+	getCount atomic.Int64
+	putCount atomic.Int64
 }
 
 // NewStore creates a store with a fresh random signing secret.
@@ -170,7 +172,7 @@ func (s *Store) Put(cred *Credential, path string, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.objects[path] = cp
-	s.putCount++
+	s.putCount.Add(1)
 	return nil
 }
 
@@ -194,7 +196,7 @@ func (s *Store) PutIfAbsent(cred *Credential, path string, data []byte) error {
 		return fmt.Errorf("%w: %s", ErrAlreadyExists, path)
 	}
 	s.objects[path] = cp
-	s.putCount++
+	s.putCount.Add(1)
 	return nil
 }
 
@@ -212,7 +214,7 @@ func (s *Store) Get(cred *Credential, path string) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
 	}
-	s.getCount++
+	s.getCount.Add(1)
 	out := make([]byte, len(data))
 	copy(out, data)
 	return out, nil
@@ -270,7 +272,5 @@ func (s *Store) Size(cred *Credential, path string) (int, error) {
 
 // Stats reports operation counters (bench instrumentation).
 func (s *Store) Stats() (gets, puts int64) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.getCount, s.putCount
+	return s.getCount.Load(), s.putCount.Load()
 }

@@ -155,6 +155,14 @@ func (bb *BatchBuilder) AppendRow(row []Value) {
 	}
 }
 
+// AppendBatch appends every row of b column-wise via bulk payload copies —
+// much cheaper than AppendRow per row, which boxes every cell into a Value.
+func (bb *BatchBuilder) AppendBatch(b *Batch) {
+	for i, c := range b.Cols {
+		bb.builders[i].AppendColumn(c)
+	}
+}
+
 // Column returns the builder for field i (fast-path appends).
 func (bb *BatchBuilder) Column(i int) *Builder { return bb.builders[i] }
 

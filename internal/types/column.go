@@ -45,6 +45,37 @@ func (c *Column) Float64(i int) float64 { return c.flts[i] }
 // StringAt returns the string payload of row i.
 func (c *Column) StringAt(i int) string { return c.strs[i] }
 
+// Int64s exposes the raw integer payload (BOOLEAN/BIGINT/DATE/TIMESTAMP
+// columns). The slice is shared with the column and must not be mutated;
+// it exists so vectorized kernels can run over whole columns without boxing
+// each row into a Value.
+func (c *Column) Int64s() []int64 { return c.ints }
+
+// Float64s exposes the raw DOUBLE payload (shared, read-only).
+func (c *Column) Float64s() []float64 { return c.flts }
+
+// Strings exposes the raw STRING/BINARY payload (shared, read-only).
+func (c *Column) Strings() []string { return c.strs }
+
+// NullMask exposes the validity mask; nil means no NULLs (shared, read-only).
+func (c *Column) NullMask() []bool { return c.nulls }
+
+// NewInt64Column wraps a raw integer payload as a column. The column takes
+// ownership of the slices; nulls may be nil (no NULLs) or len(vals).
+func NewInt64Column(kind Kind, vals []int64, nulls []bool) *Column {
+	return &Column{kind: kind, ints: vals, nulls: nulls, n: len(vals)}
+}
+
+// NewFloat64Column wraps a raw DOUBLE payload as a column.
+func NewFloat64Column(vals []float64, nulls []bool) *Column {
+	return &Column{kind: KindFloat64, flts: vals, nulls: nulls, n: len(vals)}
+}
+
+// NewStringColumn wraps a raw STRING/BINARY payload as a column.
+func NewStringColumn(kind Kind, vals []string, nulls []bool) *Column {
+	return &Column{kind: kind, strs: vals, nulls: nulls, n: len(vals)}
+}
+
 // Value materializes row i as a scalar Value.
 func (c *Column) Value(i int) Value {
 	if c.IsNull(i) {
@@ -62,21 +93,50 @@ func (c *Column) Value(i int) Value {
 }
 
 // Gather returns a new column with the rows at the given indices, in order.
+// It copies raw payload slices directly instead of boxing each row.
 func (c *Column) Gather(indices []int) *Column {
-	b := NewBuilder(c.kind, len(indices))
-	for _, i := range indices {
-		b.Append(c.Value(i))
+	out := &Column{kind: c.kind, n: len(indices)}
+	if c.nulls != nil {
+		out.nulls = make([]bool, len(indices))
+		for j, i := range indices {
+			out.nulls[j] = c.nulls[i]
+		}
 	}
-	return b.Build()
+	switch {
+	case c.ints != nil:
+		out.ints = make([]int64, len(indices))
+		for j, i := range indices {
+			out.ints[j] = c.ints[i]
+		}
+	case c.flts != nil:
+		out.flts = make([]float64, len(indices))
+		for j, i := range indices {
+			out.flts[j] = c.flts[i]
+		}
+	case c.strs != nil:
+		out.strs = make([]string, len(indices))
+		for j, i := range indices {
+			out.strs[j] = c.strs[i]
+		}
+	}
+	return out
 }
 
-// Slice returns a copy of rows [from, to).
+// Slice returns a copy of rows [from, to) via bulk payload copies.
 func (c *Column) Slice(from, to int) *Column {
-	b := NewBuilder(c.kind, to-from)
-	for i := from; i < to; i++ {
-		b.Append(c.Value(i))
+	out := &Column{kind: c.kind, n: to - from}
+	if c.nulls != nil {
+		out.nulls = append([]bool(nil), c.nulls[from:to]...)
 	}
-	return b.Build()
+	switch {
+	case c.ints != nil:
+		out.ints = append([]int64(nil), c.ints[from:to]...)
+	case c.flts != nil:
+		out.flts = append([]float64(nil), c.flts[from:to]...)
+	case c.strs != nil:
+		out.strs = append([]string(nil), c.strs[from:to]...)
+	}
+	return out
 }
 
 // Builder accumulates values into a Column.
@@ -144,6 +204,35 @@ func (b *Builder) AppendNull() {
 		b.col.strs = append(b.col.strs, "")
 	}
 	b.col.n++
+}
+
+// AppendColumn appends every row of src via bulk payload copies. Kinds must
+// match for the fast path; mismatched kinds fall back to per-value appends
+// (which cast numerics like Append).
+func (b *Builder) AppendColumn(src *Column) {
+	if src.kind != b.col.kind {
+		for i := 0; i < src.n; i++ {
+			b.Append(src.Value(i))
+		}
+		return
+	}
+	if src.nulls != nil {
+		if b.col.nulls == nil {
+			b.col.nulls = make([]bool, b.col.n, b.col.n+src.n)
+		}
+		b.col.nulls = append(b.col.nulls, src.nulls...)
+	} else if b.col.nulls != nil {
+		b.col.nulls = append(b.col.nulls, make([]bool, src.n)...)
+	}
+	switch b.col.kind {
+	case KindBool, KindInt64, KindDate, KindTimestamp:
+		b.col.ints = append(b.col.ints, src.ints...)
+	case KindFloat64:
+		b.col.flts = append(b.col.flts, src.flts...)
+	case KindString, KindBinary:
+		b.col.strs = append(b.col.strs, src.strs...)
+	}
+	b.col.n += src.n
 }
 
 // AppendInt64 is a fast path for integer-payload kinds.
