@@ -21,9 +21,11 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: table1, table2, coldstart, membrane, efgac-modes, exec, all")
+		"which experiment to run: table1, table2, coldstart, membrane, efgac-modes, exec, telemetry, all")
 	quick := flag.Bool("quick", false, "reduced problem sizes for a fast smoke run")
 	jsonOut := flag.String("json", "", "also write machine-readable results to this file (exec experiment → BENCH_exec.json)")
+	maxOverheadPct := flag.Float64("max-overhead-pct", 0,
+		"telemetry experiment: fail (non-zero exit) if instrumentation overhead exceeds this percentage (0 = report only)")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -129,6 +131,34 @@ func main() {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return nil
+	})
+
+	wrap("telemetry", func() error {
+		cfg := bench.DefaultTelemetryOverheadConfig()
+		if *quick {
+			cfg.Rows = 60_000
+			cfg.RowsPerFile = 2048
+			cfg.Repetitions = 3
+		}
+		res, err := bench.RunTelemetryOverhead(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatTelemetryOverhead(res))
+		if *jsonOut != "" {
+			data, err := res.FormatJSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		if *maxOverheadPct > 0 && res.OverheadPct > *maxOverheadPct {
+			return fmt.Errorf("telemetry overhead %.1f%% exceeds budget %.1f%%", res.OverheadPct, *maxOverheadPct)
 		}
 		return nil
 	})

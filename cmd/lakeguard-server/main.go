@@ -28,6 +28,7 @@ import (
 	"lakeguard/internal/gateway"
 	"lakeguard/internal/proto"
 	"lakeguard/internal/storage"
+	"lakeguard/internal/telemetry"
 )
 
 type tokenFlags map[string]string
@@ -49,6 +50,7 @@ func main() {
 	demo := flag.Bool("demo", false, "seed demo data (sales table with a row filter)")
 	maxSessions := flag.Int("max-sessions-per-cluster", 8, "gateway scale-out threshold")
 	parallelism := flag.Int("parallelism", 0, "engine worker count per cluster (0 = LAKEGUARD_PARALLELISM or NumCPU, 1 = serial)")
+	slowQueryMs := flag.Int("slow-query-ms", 1000, "queries slower than this land in the /debug/queries slow log (0 disables)")
 	tokens := tokenFlags{}
 	flag.Var(tokens, "token", "token=user mapping (repeatable)")
 	flag.Parse()
@@ -62,17 +64,29 @@ func main() {
 	cat := catalog.New(store, nil)
 	cat.AddAdmin(*admin)
 
+	// Telemetry: one registry and tracer for the whole deployment. The
+	// registry feeds /metrics; the tracer mints one trace per query and
+	// keeps the last-N (plus slow queries) for /debug/queries.
+	metrics := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer()
+	if *slowQueryMs > 0 {
+		tracer.SetSlowThreshold(time.Duration(*slowQueryMs) * time.Millisecond)
+	}
+	cat.SetMetrics(metrics)
+
 	gw := gateway.New(gateway.Config{
 		Provision: func(name string) *core.Server {
 			log.Printf("provisioning cluster %s", name)
 			return core.NewServer(core.Config{
 				Name: name, Catalog: cat, Compute: catalog.ComputeServerless,
-				Parallelism: *parallelism,
+				Parallelism: *parallelism, Metrics: metrics,
 			})
 		},
 		MaxSessionsPerCluster: *maxSessions,
+		Metrics:               metrics,
 	})
 	service := connect.NewService(gw, connect.TokenMap(tokens))
+	service.SetTracer(tracer)
 	stopSweeper := service.StartSweeper(30*time.Second, 15*time.Minute)
 	defer stopSweeper()
 
@@ -80,8 +94,13 @@ func main() {
 		seedDemo(cat, *admin)
 	}
 
-	log.Printf("lakeguard-server listening on %s (%d token(s))", *addr, len(tokens))
-	if err := http.ListenAndServe(*addr, service.Handler()); err != nil {
+	mux := http.NewServeMux()
+	mux.Handle("/", service.Handler())
+	mux.Handle("/metrics", metrics)
+	mux.Handle("/debug/queries", telemetry.DebugQueriesHandler(tracer))
+
+	log.Printf("lakeguard-server listening on %s (%d token(s)), telemetry at /metrics and /debug/queries", *addr, len(tokens))
+	if err := http.ListenAndServe(*addr, mux); err != nil {
 		log.Fatal(err)
 	}
 }

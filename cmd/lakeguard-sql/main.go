@@ -9,6 +9,7 @@
 //	<sql statement>;   execute (multi-line input until a trailing ';')
 //	\explain <query>   show the (policy-redacted) plan
 //	\explainv <query>  show the plan with sentinel verification annotations
+//	\analyze <query>   execute with EXPLAIN ANALYZE profiling
 //	\q                 quit
 //
 // With -e, the -explain-verified flag prints the optimized plan annotated
@@ -32,6 +33,7 @@ func main() {
 	token := flag.String("token", "admin-token", "bearer token")
 	execute := flag.String("e", "", "execute one statement and exit")
 	explainVerified := flag.Bool("explain-verified", false, "with -e: print the sentinel-verified plan instead of executing")
+	analyzeFlag := flag.Bool("analyze", false, "with -e: execute with EXPLAIN ANALYZE profiling")
 	flag.Parse()
 
 	client := connect.Dial(*addr, *token)
@@ -39,9 +41,12 @@ func main() {
 
 	if *execute != "" {
 		ok := false
-		if *explainVerified {
+		switch {
+		case *explainVerified:
 			ok = explain(client, *execute, true)
-		} else {
+		case *analyzeFlag:
+			ok = analyze(client, *execute)
+		default:
 			ok = runStatement(client, *execute)
 		}
 		if !ok {
@@ -50,13 +55,13 @@ func main() {
 		}
 		return
 	}
-	if *explainVerified {
-		fmt.Fprintln(os.Stderr, "error: -explain-verified requires -e <query>")
+	if *explainVerified || *analyzeFlag {
+		fmt.Fprintln(os.Stderr, "error: -explain-verified and -analyze require -e <query>")
 		os.Exit(2)
 	}
 
 	fmt.Printf("lakeguard-sql connected to %s (session %s)\n", *addr, client.SessionID())
-	fmt.Println(`enter SQL terminated by ';', \explain <query>, \explainv <query>, or \q to quit`)
+	fmt.Println(`enter SQL terminated by ';', \explain <query>, \explainv <query>, \analyze <query>, or \q to quit`)
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -79,6 +84,9 @@ func main() {
 				continue
 			case strings.HasPrefix(trimmed, `\explain `):
 				explain(client, strings.TrimPrefix(trimmed, `\explain `), false)
+				continue
+			case strings.HasPrefix(trimmed, `\analyze `):
+				analyze(client, strings.TrimPrefix(trimmed, `\analyze `))
 				continue
 			}
 		}
@@ -104,6 +112,19 @@ func runStatement(client *connect.Client, stmt string) bool {
 	}
 	fmt.Print(b.String())
 	fmt.Printf("(%d row(s) in %v)\n", b.NumRows(), time.Since(start).Round(time.Millisecond))
+	return true
+}
+
+// analyze executes the query with EXPLAIN ANALYZE profiling and prints the
+// annotated operator tree.
+func analyze(client *connect.Client, query string) bool {
+	out, rows, err := client.SqlExplainAnalyze(strings.TrimSuffix(strings.TrimSpace(query), ";"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return false
+	}
+	fmt.Print(out)
+	fmt.Printf("(%d row(s))\n", rows)
 	return true
 }
 

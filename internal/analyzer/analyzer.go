@@ -9,12 +9,14 @@
 package analyzer
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"lakeguard/internal/catalog"
 	"lakeguard/internal/plan"
 	"lakeguard/internal/sql"
+	"lakeguard/internal/telemetry"
 	"lakeguard/internal/types"
 )
 
@@ -52,6 +54,17 @@ func New(cat *catalog.Catalog, ctx catalog.RequestContext) *Analyzer {
 // Analyze resolves a plan. The input is not mutated.
 func (a *Analyzer) Analyze(n plan.Node) (plan.Node, error) {
 	out, _, err := a.analyzeNode(n)
+	return out, err
+}
+
+// AnalyzeCtx is Analyze under a telemetry span: name resolution and policy
+// compilation are where grants are checked and row filters/column masks are
+// attached, so the analysis phase is always visible in a query's trace.
+func (a *Analyzer) AnalyzeCtx(ctx context.Context, n plan.Node) (plan.Node, error) {
+	_, sp := telemetry.StartSpan(ctx, "analyzer.analyze")
+	sp.SetAttr("user", a.Ctx.User)
+	out, err := a.Analyze(n)
+	sp.EndErr(err)
 	return out, err
 }
 

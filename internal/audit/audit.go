@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"lakeguard/internal/telemetry"
 )
 
 // Decision is the outcome of an audited action.
@@ -29,6 +31,9 @@ type Event struct {
 	Securable string // fully qualified object name
 	Decision  Decision
 	Reason    string
+	// TraceID joins the event to the query's telemetry span tree (empty for
+	// actions performed outside a traced request).
+	TraceID string
 }
 
 // String renders the event as a single log line.
@@ -37,15 +42,26 @@ func (e Event) String() string {
 		e.Time.UTC().Format(time.RFC3339), e.User, e.Compute, e.SessionID, e.Action, e.Securable, e.Decision, e.Reason)
 }
 
-// Log is an append-only audit log, safe for concurrent use.
+// DefaultCapacity is the default ring-buffer bound: generous enough that no
+// test or interactive session wraps, small enough that a long-lived server
+// cannot grow without bound.
+const DefaultCapacity = 65536
+
+// Log is a bounded audit log, safe for concurrent use. It retains the most
+// recent Capacity events in a ring buffer (0 = unlimited); overwritten
+// events are counted as dropped and surfaced as the audit.dropped metric.
 type Log struct {
-	mu     sync.RWMutex
-	events []Event
-	clock  func() time.Time
+	mu      sync.RWMutex
+	events  []Event // ring storage; oldest at index start once full
+	start   int
+	cap     int
+	dropped int64
+	metric  *telemetry.Counter
+	clock   func() time.Time
 }
 
-// NewLog creates an empty audit log.
-func NewLog() *Log { return &Log{clock: time.Now} }
+// NewLog creates an empty audit log bounded at DefaultCapacity.
+func NewLog() *Log { return &Log{clock: time.Now, cap: DefaultCapacity} }
 
 // SetClock overrides the time source (tests).
 func (l *Log) SetClock(clock func() time.Time) {
@@ -54,20 +70,73 @@ func (l *Log) SetClock(clock func() time.Time) {
 	l.clock = clock
 }
 
-// Record appends an event, stamping the time.
+// SetCapacity bounds the log to the most recent n events (0 = unlimited).
+// Shrinking below the current size drops the oldest events immediately.
+func (l *Log) SetCapacity(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	events := l.snapshotLocked()
+	if n > 0 && len(events) > n {
+		over := len(events) - n
+		events = events[over:]
+		l.dropped += int64(over)
+		l.metric.Add(int64(over))
+	}
+	l.events = events
+	l.start = 0
+	l.cap = n
+}
+
+// SetMetrics exposes the dropped-event count on a registry as the
+// audit.dropped counter.
+func (l *Log) SetMetrics(m *telemetry.Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.metric = m.Counter("audit.dropped")
+	l.metric.Add(l.dropped)
+}
+
+// Dropped returns how many events the ring has overwritten.
+func (l *Log) Dropped() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.dropped
+}
+
+// Record appends an event, stamping the time. When the ring is full the
+// oldest event is overwritten and counted as dropped.
 func (l *Log) Record(e Event) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	e.Time = l.clock()
-	l.events = append(l.events, e)
+	if l.cap == 0 || len(l.events) < l.cap {
+		l.events = append(l.events, e)
+		return
+	}
+	l.events[l.start] = e
+	l.start = (l.start + 1) % l.cap
+	l.dropped++
+	l.metric.Inc()
 }
 
-// Events returns a copy of all events, optionally filtered.
+// snapshotLocked returns retained events oldest-first. Callers hold l.mu.
+func (l *Log) snapshotLocked() []Event {
+	out := make([]Event, 0, len(l.events))
+	out = append(out, l.events[l.start:]...)
+	out = append(out, l.events[:l.start]...)
+	return out
+}
+
+// Events returns a copy of all retained events (oldest first), optionally
+// filtered.
 func (l *Log) Events(filter func(Event) bool) []Event {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	var out []Event
-	for _, e := range l.events {
+	for _, e := range l.snapshotLocked() {
 		if filter == nil || filter(e) {
 			out = append(out, e)
 		}
@@ -75,12 +144,12 @@ func (l *Log) Events(filter func(Event) bool) []Event {
 	return out
 }
 
-// Count returns the number of events matching the filter.
+// Count returns the number of retained events matching the filter.
 func (l *Log) Count(filter func(Event) bool) int {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	n := 0
-	for _, e := range l.events {
+	for _, e := range l.snapshotLocked() {
 		if filter == nil || filter(e) {
 			n++
 		}
@@ -96,4 +165,9 @@ func (l *Log) ByUser(user string) []Event {
 // Denials returns all DENY events.
 func (l *Log) Denials() []Event {
 	return l.Events(func(e Event) bool { return e.Decision == DecisionDeny })
+}
+
+// ByTrace returns events stamped with the given telemetry trace ID.
+func (l *Log) ByTrace(traceID string) []Event {
+	return l.Events(func(e Event) bool { return e.TraceID == traceID })
 }

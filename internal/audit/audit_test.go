@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"lakeguard/internal/telemetry"
 )
 
 func TestRecordAndFilter(t *testing.T) {
@@ -72,5 +74,70 @@ func TestConcurrentRecording(t *testing.T) {
 	wg.Wait()
 	if n := l.Count(nil); n != 1600 {
 		t.Errorf("count = %d", n)
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	l := NewLog()
+	l.SetCapacity(4)
+	for i := 0; i < 10; i++ {
+		l.Record(Event{User: "u", Securable: string(rune('a' + i))})
+	}
+	events := l.Events(nil)
+	if len(events) != 4 {
+		t.Fatalf("retained = %d, want 4", len(events))
+	}
+	// Oldest-first order preserved across the wrap: g, h, i, j.
+	for i, want := range []string{"g", "h", "i", "j"} {
+		if events[i].Securable != want {
+			t.Fatalf("events[%d].Securable = %q, want %q (order lost across wrap)", i, events[i].Securable, want)
+		}
+	}
+	if l.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", l.Dropped())
+	}
+	if n := l.Count(nil); n != 4 {
+		t.Fatalf("count = %d, want 4", n)
+	}
+}
+
+func TestRingShrinkAndUnlimited(t *testing.T) {
+	l := NewLog()
+	for i := 0; i < 6; i++ {
+		l.Record(Event{Securable: string(rune('a' + i))})
+	}
+	l.SetCapacity(2) // shrink drops the 4 oldest immediately
+	events := l.Events(nil)
+	if len(events) != 2 || events[0].Securable != "e" || events[1].Securable != "f" {
+		t.Fatalf("after shrink: %v", events)
+	}
+	if l.Dropped() != 4 {
+		t.Fatalf("dropped = %d, want 4", l.Dropped())
+	}
+	l.SetCapacity(0) // unlimited again
+	for i := 0; i < 100; i++ {
+		l.Record(Event{})
+	}
+	if n := l.Count(nil); n != 102 {
+		t.Fatalf("unlimited count = %d, want 102", n)
+	}
+	if l.Dropped() != 4 {
+		t.Fatalf("unlimited mode must not drop, got %d", l.Dropped())
+	}
+}
+
+func TestDroppedMetric(t *testing.T) {
+	l := NewLog()
+	l.SetCapacity(1)
+	l.Record(Event{})
+	l.Record(Event{}) // one drop before metrics attached
+	reg := telemetry.NewRegistry()
+	l.SetMetrics(reg)
+	if got := reg.Counter("audit.dropped").Value(); got != 1 {
+		t.Fatalf("metric after attach = %d, want 1 (backfill)", got)
+	}
+	l.Record(Event{})
+	if got := reg.Counter("audit.dropped").Value(); got != 2 {
+		t.Fatalf("metric = %d, want 2", got)
 	}
 }

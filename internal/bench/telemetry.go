@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"lakeguard/internal/exec"
+	"lakeguard/internal/optimizer"
+	"lakeguard/internal/sandbox"
+	"lakeguard/internal/telemetry"
+)
+
+// TelemetryOverheadConfig sizes the instrumentation-cost experiment: the
+// exec-scaling workload run with telemetry fully off vs fully on.
+type TelemetryOverheadConfig struct {
+	// Rows is the total table size.
+	Rows int
+	// RowsPerFile sets file granularity (morsel count).
+	RowsPerFile int
+	// Workers is the engine parallelism for both series.
+	Workers int
+	// ReadLatency is the simulated per-file GET latency. Zero keeps the
+	// workload CPU-bound, which is the harshest setting for measuring
+	// instrumentation overhead (nothing to hide the atomics behind).
+	ReadLatency time.Duration
+	// Repetitions per series; the minimum wall time is kept.
+	Repetitions int
+}
+
+// DefaultTelemetryOverheadConfig is the recorded experiment: the in-memory
+// (zero read latency) workload, where span and counter costs are most
+// visible.
+func DefaultTelemetryOverheadConfig() TelemetryOverheadConfig {
+	return TelemetryOverheadConfig{
+		Rows:        500_000,
+		RowsPerFile: 8192,
+		Workers:     4,
+		ReadLatency: 0,
+		Repetitions: 5,
+	}
+}
+
+// TelemetryOverheadResult compares the two series. The acceptance bar for
+// the instrumentation is OverheadPct <= 10.
+type TelemetryOverheadResult struct {
+	Rows           int     `json:"rows"`
+	Files          int     `json:"files"`
+	Workers        int     `json:"workers"`
+	Repetitions    int     `json:"repetitions"`
+	Query          string  `json:"query"`
+	BaselineMS     float64 `json:"baseline_ms"`
+	InstrumentedMS float64 `json:"instrumented_ms"`
+	OverheadPct    float64 `json:"overhead_pct"`
+	// OpsProfiled is the number of operator nodes in the EXPLAIN ANALYZE
+	// tree of the instrumented run (sanity: instrumentation was really on).
+	OpsProfiled int `json:"ops_profiled"`
+}
+
+// FormatJSON renders the result for BENCH_telemetry.json.
+func (r *TelemetryOverheadResult) FormatJSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// RunTelemetryOverhead measures the wall-time cost of full instrumentation:
+// the same scan→filter→aggregate workload executed bare (no trace context,
+// no profile — the zero-alloc skip path in Engine.build) and then with a
+// tracer-minted root span plus an EXPLAIN ANALYZE profile, which switches on
+// per-operator spans, per-worker morsel spans, storage.get spans, and all
+// OpStats atomics.
+func RunTelemetryOverhead(cfg TelemetryOverheadConfig) (*TelemetryOverheadResult, error) {
+	w := NewWorld(sandbox.Config{})
+	files, err := w.SeedEvents(cfg.Rows, cfg.RowsPerFile)
+	if err != nil {
+		return nil, err
+	}
+	p, err := w.PreparePlan(ExecScalingQuery, nil, optimizer.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	w.Engine.Tables = NewLatencyTables(w.Cat, cfg.ReadLatency)
+	w.Engine.Parallelism = cfg.Workers
+	defer func() {
+		w.Engine.Tables = w.Cat
+		w.Engine.Parallelism = 0
+	}()
+
+	runOnce := func(qc *exec.QueryContext) error {
+		batches, err := w.Engine.Execute(qc, p)
+		if err != nil {
+			return err
+		}
+		n := 0
+		for _, b := range batches {
+			n += b.NumRows()
+		}
+		if n == 0 {
+			return fmt.Errorf("bench: telemetry workload returned no rows")
+		}
+		return nil
+	}
+
+	best := func(fn func() error) (time.Duration, error) {
+		var bestD time.Duration
+		for rep := 0; rep < cfg.Repetitions; rep++ {
+			start := time.Now()
+			if err := fn(); err != nil {
+				return 0, err
+			}
+			took := time.Since(start)
+			if rep == 0 || took < bestD {
+				bestD = took
+			}
+		}
+		return bestD, nil
+	}
+
+	baseD, err := best(func() error {
+		return runOnce(exec.NewQueryContext(w.Cat, w.Ctx()))
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	tracer := telemetry.NewTracer()
+	var lastProfile *telemetry.Profile
+	instD, err := best(func() error {
+		ctx, root := tracer.StartTrace(context.Background(), "query")
+		qc := exec.NewQueryContext(w.Cat, w.Ctx())
+		qc.Context = ctx
+		qc.Profile = telemetry.NewProfile()
+		lastProfile = qc.Profile
+		err := runOnce(qc)
+		root.EndErr(err)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if open := tracer.OpenSpans(); open != 0 {
+		return nil, fmt.Errorf("bench: %d spans left open after instrumented runs", open)
+	}
+
+	return &TelemetryOverheadResult{
+		Rows:           cfg.Rows,
+		Files:          files,
+		Workers:        cfg.Workers,
+		Repetitions:    cfg.Repetitions,
+		Query:          ExecScalingQuery,
+		BaselineMS:     float64(baseD) / float64(time.Millisecond),
+		InstrumentedMS: float64(instD) / float64(time.Millisecond),
+		OverheadPct:    (float64(instD)/float64(baseD) - 1) * 100,
+		OpsProfiled:    countOps(lastProfile.Root()),
+	}, nil
+}
+
+func countOps(o *telemetry.OpStats) int {
+	if o == nil {
+		return 0
+	}
+	n := 1
+	for _, c := range o.Children() {
+		n += countOps(c)
+	}
+	return n
+}
+
+// FormatTelemetryOverhead renders the experiment.
+func FormatTelemetryOverhead(r *TelemetryOverheadResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Telemetry overhead: exec workload bare vs fully instrumented (%d rows, %d files, %d workers)\n",
+		r.Rows, r.Files, r.Workers)
+	fmt.Fprintf(&sb, "instrumented = trace + root span + per-operator spans + worker/morsel spans + storage.get spans + profile atomics (%d ops profiled)\n\n", r.OpsProfiled)
+	fmt.Fprintf(&sb, "  baseline:     %8.1fms\n", r.BaselineMS)
+	fmt.Fprintf(&sb, "  instrumented: %8.1fms\n", r.InstrumentedMS)
+	fmt.Fprintf(&sb, "  overhead:     %+7.1f%%\n", r.OverheadPct)
+	return sb.String()
+}

@@ -11,11 +11,13 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lakeguard/internal/audit"
 	"lakeguard/internal/security"
 	"lakeguard/internal/storage"
+	"lakeguard/internal/telemetry"
 	"lakeguard/internal/types"
 )
 
@@ -127,6 +129,10 @@ type Catalog struct {
 	signer   *storage.Signer
 	audit    *audit.Log
 	credTTL  time.Duration
+	// vend/deny counters: atomic pointers because record() runs on paths
+	// that may already hold c.mu.
+	mVends   atomic.Pointer[telemetry.Counter]
+	mDenials atomic.Pointer[telemetry.Counter]
 }
 
 // New creates a catalog bound to an object store. The catalog holds the
@@ -153,6 +159,20 @@ func New(store *storage.Store, auditLog *audit.Log) *Catalog {
 
 // Audit returns the audit log.
 func (c *Catalog) Audit() *audit.Log { return c.audit }
+
+// SetMetrics publishes governance counters (catalog.vends — cache-free
+// credential vends — and catalog.denials) on a registry and wires the
+// paired store's data-plane counters and the audit log's dropped-event
+// counter onto the same registry.
+func (c *Catalog) SetMetrics(m *telemetry.Registry) {
+	if m == nil {
+		return
+	}
+	c.mVends.Store(m.Counter("catalog.vends"))
+	c.mDenials.Store(m.Counter("catalog.denials"))
+	c.store.SetMetrics(m)
+	c.audit.SetMetrics(m)
+}
 
 // Store returns the object store (engine side only).
 func (c *Catalog) Store() *storage.Store { return c.store }
@@ -254,5 +274,11 @@ func (c *Catalog) record(ctx RequestContext, action, securable string, decision 
 	c.audit.Record(audit.Event{
 		User: ctx.User, Compute: string(ctx.Compute), SessionID: ctx.SessionID,
 		Action: action, Securable: securable, Decision: decision, Reason: reason,
+		TraceID: ctx.TraceID,
 	})
+	if decision == audit.DecisionDeny {
+		c.mDenials.Load().Inc()
+	} else if action == "VEND_CREDENTIAL" || action == "VEND_RESULT_CREDENTIAL" {
+		c.mVends.Load().Inc()
+	}
 }

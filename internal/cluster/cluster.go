@@ -15,6 +15,7 @@ import (
 	"lakeguard/internal/catalog"
 	"lakeguard/internal/faults"
 	"lakeguard/internal/sandbox"
+	"lakeguard/internal/telemetry"
 )
 
 // Host is one machine in the cluster.
@@ -186,6 +187,25 @@ func (m *Manager) CreateSandbox(ctx context.Context, trustDomain string) (*sandb
 // resource class routes to that specialized pool's hosts with the pool's
 // sandbox configuration.
 func (m *Manager) CreateSandboxResources(ctx context.Context, trustDomain, resources string) (*sandbox.Sandbox, error) {
+	ctx, sp := telemetry.StartSpan(ctx, "cluster.provision")
+	sp.SetAttr("cluster", m.cfg.Name)
+	sp.SetAttr("domain", trustDomain)
+	if resources != "" {
+		sp.SetAttr("pool", resources)
+	}
+	sb, err := m.createSandboxResources(ctx, trustDomain, resources)
+	if err != nil {
+		if site := faults.SiteOf(err); site != "" {
+			sp.SetAttr("fault.site", site)
+		}
+	} else {
+		sp.SetAttr("sandbox", sb.ID)
+	}
+	sp.EndErr(err)
+	return sb, err
+}
+
+func (m *Manager) createSandboxResources(ctx context.Context, trustDomain, resources string) (*sandbox.Sandbox, error) {
 	hosts := m.hosts
 	cfg := m.cfg.Sandbox
 	if resources != "" {

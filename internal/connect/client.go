@@ -228,6 +228,36 @@ func (c *Client) analyzePlan(path string, rel plan.Node) (*types.Schema, string,
 	return schema, payload.Explain, nil
 }
 
+// ExplainAnalyze executes a plan with profiling enabled and returns the
+// annotated operator tree (per-operator wall time, rows, batches, and
+// vectorized-vs-row-fallback counts) plus the result row count.
+func (c *Client) ExplainAnalyze(pl *proto.Plan) (analyze string, rows int, err error) {
+	body, err := proto.EncodeRootPlan(pl)
+	if err != nil {
+		return "", 0, err
+	}
+	req, err := c.newRequest(http.MethodPost, "/v1/executeAnalyze", body)
+	if err != nil {
+		return "", 0, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", 0, decodeHTTPError(resp)
+	}
+	var payload struct {
+		Analyze string `json:"analyze"`
+		Rows    int    `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return "", 0, err
+	}
+	return payload.Analyze, payload.Rows, nil
+}
+
 // Close ends the session server-side.
 func (c *Client) Close() error {
 	req, err := c.newRequest(http.MethodPost, "/v1/closeSession", nil)
@@ -262,6 +292,12 @@ func (c *Client) CreateDataFrame(schema *types.Schema, rows [][]types.Value) *Da
 		bb.AppendRow(r)
 	}
 	return &DataFrame{client: c, node: &plan.LocalRelation{Data: bb.Build()}}
+}
+
+// SqlExplainAnalyze executes a SQL query with EXPLAIN ANALYZE profiling and
+// returns the annotated operator tree plus the result row count.
+func (c *Client) SqlExplainAnalyze(query string) (analyze string, rows int, err error) {
+	return c.ExplainAnalyze(&proto.Plan{Relation: &plan.SQLRelation{Query: query}})
 }
 
 // ExecSQL runs a SQL statement as a command (DDL, DML, GRANT...).

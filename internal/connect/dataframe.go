@@ -204,6 +204,13 @@ func (df *DataFrame) ExplainVerified() (string, error) {
 	return explain, err
 }
 
+// ExplainAnalyze executes the DataFrame with profiling and returns the
+// annotated operator tree (wall time, rows, batches, vectorization).
+func (df *DataFrame) ExplainAnalyze() (string, error) {
+	analyze, _, err := df.client.ExplainAnalyze(&proto.Plan{Relation: df.node})
+	return analyze, err
+}
+
 // CreateTempView registers the DataFrame as a session-scoped view.
 func (df *DataFrame) CreateTempView(name string) error {
 	_, err := df.client.ExecutePlan(&proto.Plan{Command: &proto.Command{

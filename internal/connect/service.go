@@ -15,6 +15,7 @@ import (
 	"lakeguard/internal/arrowipc"
 	"lakeguard/internal/plan"
 	"lakeguard/internal/proto"
+	"lakeguard/internal/telemetry"
 	"lakeguard/internal/types"
 )
 
@@ -38,6 +39,13 @@ type Backend interface {
 // verification simply do not implement it.
 type VerifiedExplainer interface {
 	AnalyzeVerified(sessionID, user string, rel plan.Node) (*types.Schema, string, error)
+}
+
+// AnalyzeExecutor is an optional Backend extension: EXPLAIN ANALYZE — run
+// the query through the full governance pipeline and return the result with
+// an annotated operator profile (wall time, rows, batches, vectorization).
+type AnalyzeExecutor interface {
+	ExecuteAnalyze(ctx context.Context, sessionID, user string, pl *proto.Plan) (*types.Batch, string, error)
 }
 
 // Authenticator maps bearer tokens to user identities.
@@ -84,6 +92,9 @@ type Service struct {
 	backend Backend
 	auth    Authenticator
 	clock   func() time.Time
+	// tracer, when set, mints one trace per /v1/execute query; the trace ID
+	// is echoed to the client in the X-Trace-Id response header.
+	tracer *telemetry.Tracer
 
 	mu         sync.Mutex
 	operations map[string]*operation
@@ -103,10 +114,15 @@ func NewService(backend Backend, auth Authenticator) *Service {
 // SetClock overrides the time source (tests).
 func (s *Service) SetClock(clock func() time.Time) { s.clock = clock }
 
+// SetTracer enables per-query distributed tracing: each /v1/execute and
+// /v1/executeAnalyze request becomes one trace rooted at the service entry.
+func (s *Service) SetTracer(t *telemetry.Tracer) { s.tracer = t }
+
 // Handler returns the HTTP handler implementing the protocol.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/execute", s.handleExecute)
+	mux.HandleFunc("/v1/executeAnalyze", s.handleExecuteAnalyze)
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("/v1/analyzeVerified", s.handleAnalyzeVerified)
 	mux.HandleFunc("/v1/reattach", s.handleReattach)
@@ -177,7 +193,9 @@ func (s *Service) handleExecute(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := requestContext(r)
 	defer cancel()
+	ctx, root := s.startTrace(ctx, w, sessionID, user)
 	schema, batches, err := s.backend.Execute(ctx, sessionID, user, pl)
+	root.EndErr(err)
 	s.mu.Lock()
 	if err != nil {
 		op.state = OpFailed
@@ -194,6 +212,63 @@ func (s *Service) handleExecute(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("X-Operation-Id", op.id)
 	s.streamBatches(w, op, 0)
+}
+
+// startTrace mints a trace for one query when tracing is enabled. The root
+// span covers the whole server-side request; its ID is echoed in the
+// X-Trace-Id response header so clients can correlate with /debug/queries
+// and the audit log.
+func (s *Service) startTrace(ctx context.Context, w http.ResponseWriter, sessionID, user string) (context.Context, *telemetry.Span) {
+	if s.tracer == nil {
+		return ctx, nil
+	}
+	ctx, root := s.tracer.StartTrace(ctx, "query")
+	root.SetAttr("user", user)
+	root.SetAttr("session", sessionID)
+	w.Header().Set("X-Trace-Id", root.TraceID())
+	return ctx, root
+}
+
+func (s *Service) handleExecuteAnalyze(w http.ResponseWriter, r *http.Request) {
+	ae, ok := s.backend.(AnalyzeExecutor)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, errors.New("connect: backend does not support EXPLAIN ANALYZE"))
+		return
+	}
+	user, sessionID, err := s.authenticate(r)
+	if err != nil {
+		writeError(w, http.StatusUnauthorized, err)
+		return
+	}
+	s.touchSession(sessionID)
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pl, err := proto.DecodeRootPlan(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := requestContext(r)
+	defer cancel()
+	ctx, root := s.startTrace(ctx, w, sessionID, user)
+	batch, analyze, err := ae.ExecuteAnalyze(ctx, sessionID, user, pl)
+	root.EndErr(err)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := struct {
+		Analyze string `json:"analyze"`
+		Rows    int    `json:"rows"`
+	}{Analyze: analyze}
+	if batch != nil {
+		resp.Rows = batch.NumRows()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
 }
 
 // TimeoutHeader carries the client's per-query deadline in milliseconds; the

@@ -80,7 +80,7 @@ func (s *Server) executeSQL(qctx context.Context, ctx catalog.RequestContext, st
 				return nil, nil, err
 			}
 			optimized := optimizer.Optimize(resolved, s.opts)
-			if _, err := s.verifyOptimized(ctx, resolved, optimized); err != nil {
+			if _, err := s.verifyOptimized(qctx, ctx, resolved, optimized); err != nil {
 				return nil, nil, err
 			}
 			schema := types.NewSchema(types.Field{Name: "plan", Kind: types.KindString})
@@ -472,7 +472,7 @@ func (s *Server) refreshMaterializedView(qctx context.Context, ctx catalog.Reque
 		return nil, nil, err
 	}
 	optimized := optimizer.Optimize(resolved, s.opts)
-	if _, err := s.verifyOptimized(ctx, resolved, optimized); err != nil {
+	if _, err := s.verifyOptimized(qctx, ctx, resolved, optimized); err != nil {
 		return nil, nil, err
 	}
 	qc := exec.NewQueryContext(s.cat, ctx)

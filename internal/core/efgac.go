@@ -16,6 +16,7 @@ import (
 	"lakeguard/internal/plan"
 	"lakeguard/internal/proto"
 	"lakeguard/internal/storage"
+	"lakeguard/internal/telemetry"
 	"lakeguard/internal/types"
 )
 
@@ -116,8 +117,29 @@ func (c *EFGACClient) submit(qc *exec.QueryContext, sqlText string) (*types.Batc
 // ExecuteRemote implements exec.RemoteExecutor. Transient remote failures
 // (a serverless submission that died mid-flight) are retried with jittered
 // exponential backoff under the query's deadline; governance errors from
-// the remote side surface immediately.
+// the remote side surface immediately. The whole remote round-trip —
+// including retries and spilled-result reads — runs under one
+// "efgac.remote" span so external FGAC latency is attributable per query.
 func (c *EFGACClient) ExecuteRemote(qc *exec.QueryContext, rs *plan.RemoteScan) ([]*types.Batch, error) {
+	_, sp := telemetry.StartSpan(qc.GoContext(), "efgac.remote")
+	sp.SetAttr("relation", rs.Relation)
+	out, err := c.executeRemote(qc, rs)
+	if err != nil {
+		if site := faults.SiteOf(err); site != "" {
+			sp.SetAttr("fault.site", site)
+		}
+	} else {
+		var rows int64
+		for _, b := range out {
+			rows += int64(b.NumRows())
+		}
+		sp.Count("rows", rows)
+	}
+	sp.EndErr(err)
+	return out, err
+}
+
+func (c *EFGACClient) executeRemote(qc *exec.QueryContext, rs *plan.RemoteScan) ([]*types.Batch, error) {
 	if c.Dial == nil {
 		return nil, fmt.Errorf("core: eFGAC endpoint not configured")
 	}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"lakeguard/internal/connect"
+	"lakeguard/internal/proto"
+)
+
+// EXPLAIN ANALYZE: executing with profiling returns the annotated operator
+// tree — per-operator wall time, rows, batches, vectorization — without
+// changing the query's result.
+
+func TestExplainAnalyzeAnnotatedTree(t *testing.T) {
+	e := newEnv(t, Config{Name: "std"})
+	c := e.client("tok-admin")
+	seedSales(t, c)
+
+	query := "SELECT seller, SUM(amount) AS total FROM sales WHERE amount > 10 GROUP BY seller"
+	analyze, rows, err := c.SqlExplainAnalyze(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Sql(query).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != b.NumRows() || rows == 0 {
+		t.Errorf("profiled run returned %d rows, plain run %d", rows, b.NumRows())
+	}
+
+	// Header: total plus the four phase latencies.
+	head := strings.SplitN(analyze, "\n", 2)[0]
+	for _, phase := range []string{"EXPLAIN ANALYZE", "analyze", "optimize", "verify", "exec"} {
+		if !strings.Contains(head, phase) {
+			t.Errorf("header %q missing %q", head, phase)
+		}
+	}
+	// Tree: the operator names with their runtime annotations.
+	for _, want := range []string{"Aggregate", "Scan", "wall ", "rows ", "batches "} {
+		if !strings.Contains(analyze, want) {
+			t.Errorf("annotated tree missing %q:\n%s", want, analyze)
+		}
+	}
+}
+
+func TestExplainAnalyzeRejectsCommands(t *testing.T) {
+	e := newEnv(t, Config{Name: "std"})
+	c := e.client("tok-admin")
+	seedSales(t, c)
+	_, _, err := c.ExplainAnalyze(&proto.Plan{Command: &proto.Command{SQL: "CREATE TABLE z (x BIGINT)"}})
+	if err == nil || !strings.Contains(err.Error(), "queries only") {
+		t.Fatalf("err = %v, want queries-only rejection", err)
+	}
+}
+
+func TestExplainAnalyzeViaDataFrame(t *testing.T) {
+	e := newEnv(t, Config{Name: "std"})
+	c := e.client("tok-admin")
+	seedSales(t, c)
+	analyze, err := c.Table("sales").
+		Where(connect.Col("amount").Gt(connect.Lit(60.0))).
+		ExplainAnalyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(analyze, "Scan") || !strings.Contains(analyze, "wall ") {
+		t.Fatalf("DataFrame ExplainAnalyze output:\n%s", analyze)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"time"
 
 	"lakeguard/internal/analyzer"
 	"lakeguard/internal/audit"
@@ -29,6 +30,7 @@ import (
 	"lakeguard/internal/sandbox"
 	"lakeguard/internal/sentinel"
 	"lakeguard/internal/sql"
+	"lakeguard/internal/telemetry"
 	"lakeguard/internal/types"
 )
 
@@ -82,6 +84,9 @@ type Config struct {
 	// provisioning retries). Zero value selects the defaults; the audit log
 	// defaults to the catalog's.
 	Supervisor sandbox.SupervisorConfig
+	// Metrics, when non-nil, receives query latency histograms, row/error
+	// counters, and (threaded into the supervisor) sandbox fleet metrics.
+	Metrics *telemetry.Registry
 }
 
 // sessionState is the server-side state of one Connect session.
@@ -100,6 +105,8 @@ type Server struct {
 	engine     *exec.Engine
 	opts       optimizer.Options
 
+	met serverMetrics
+
 	mu       sync.Mutex
 	sessions map[string]*sessionState
 	// envEngines are lazily built per Workload Environment.
@@ -107,6 +114,13 @@ type Server struct {
 	// pinnedUser enforces single-identity semantics on Dedicated clusters
 	// without a group scope.
 	pinnedUser string
+}
+
+// serverMetrics are the per-cluster query instruments; all fields are nil
+// (and every update a no-op) when Config.Metrics is unset.
+type serverMetrics struct {
+	hTotal, hAnalyze, hOptimize, hVerify, hExec *telemetry.Histogram
+	queries, errors, rowsOut                    *telemetry.Counter
 }
 
 // ErrDedicatedSharing is returned when a second identity attaches to a
@@ -135,6 +149,9 @@ func NewServer(cfg Config) *Server {
 	}
 	if cfg.Supervisor.Audit == nil && cfg.Catalog != nil {
 		cfg.Supervisor.Audit = cfg.Catalog.Audit()
+	}
+	if cfg.Supervisor.Metrics == nil {
+		cfg.Supervisor.Metrics = cfg.Metrics
 	}
 	cfg.Parallelism = resolveParallelism(cfg.Parallelism)
 	if cfg.Supervisor.Compute == "" {
@@ -166,8 +183,21 @@ func NewServer(cfg Config) *Server {
 		Parallelism:         cfg.Parallelism,
 		UnsafeInProcessUDFs: cfg.UnsafeInProcessUDFs,
 	}
+	s.met = serverMetrics{
+		hTotal:    cfg.Metrics.Histogram("query.total_ms", telemetry.DefLatencyBuckets),
+		hAnalyze:  cfg.Metrics.Histogram("query.analyze_ms", telemetry.DefLatencyBuckets),
+		hOptimize: cfg.Metrics.Histogram("query.optimize_ms", telemetry.DefLatencyBuckets),
+		hVerify:   cfg.Metrics.Histogram("query.verify_ms", telemetry.DefLatencyBuckets),
+		hExec:     cfg.Metrics.Histogram("query.exec_ms", telemetry.DefLatencyBuckets),
+		queries:   cfg.Metrics.Counter("queries.total"),
+		errors:    cfg.Metrics.Counter("queries.errors"),
+		rowsOut:   cfg.Metrics.Counter("exec.rows_out"),
+	}
 	return s
 }
+
+// ms converts a duration to float milliseconds for histogram observation.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // resolveParallelism resolves the engine worker count: an explicit config
 // value wins, then LAKEGUARD_PARALLELISM, then runtime.NumCPU(). Like a
@@ -239,14 +269,17 @@ func (s *Server) session(sessionID, user string) (*sessionState, error) {
 }
 
 // requestContext builds the catalog context for a session, applying
-// dedicated-group down-scoping.
-func (s *Server) requestContext(sessionID, user string) catalog.RequestContext {
+// dedicated-group down-scoping. The query's trace ID (if qctx carries a
+// span) is stamped in, so every audit event recorded under this context
+// joins back to the query's trace.
+func (s *Server) requestContext(qctx context.Context, sessionID, user string) catalog.RequestContext {
 	return catalog.RequestContext{
 		User:       user,
 		Compute:    s.cfg.Compute,
 		ClusterID:  s.cfg.Name,
 		SessionID:  sessionID,
 		GroupScope: s.dedicatedGroupScope(),
+		TraceID:    telemetry.TraceIDFrom(qctx),
 	}
 }
 
@@ -308,8 +341,8 @@ func (s *Server) engineFor(env string) (*exec.Engine, error) {
 // obligation of the analyzed plan and records an audit event for the
 // verification itself — pass or fail — attributed to the requesting user,
 // session, and plan fingerprint. A violating plan never reaches the engine.
-func (s *Server) verifyOptimized(ctx catalog.RequestContext, resolved, optimized plan.Node) (*sentinel.Report, error) {
-	report := sentinel.Verify(resolved, optimized)
+func (s *Server) verifyOptimized(qctx context.Context, ctx catalog.RequestContext, resolved, optimized plan.Node) (*sentinel.Report, error) {
+	report := sentinel.VerifyCtx(qctx, resolved, optimized)
 	decision := audit.DecisionAllow
 	reason := fmt.Sprintf("verified: %d barrier(s), %d remote scan(s)", report.Barriers, report.RemoteScans)
 	err := report.Err()
@@ -320,7 +353,7 @@ func (s *Server) verifyOptimized(ctx catalog.RequestContext, resolved, optimized
 	s.cat.Audit().Record(audit.Event{
 		User: ctx.User, Compute: string(ctx.Compute), SessionID: ctx.SessionID,
 		Action: "SENTINEL_VERIFY", Securable: "plan:" + report.Fingerprint,
-		Decision: decision, Reason: reason,
+		Decision: decision, Reason: reason, TraceID: ctx.TraceID,
 	})
 	return report, err
 }
@@ -345,16 +378,32 @@ func substituteSQL(n plan.Node) (plan.Node, error) {
 }
 
 // Execute implements connect.Backend. qctx bounds the whole execution: its
-// deadline propagates through sandbox crossings and eFGAC submissions.
+// deadline propagates through sandbox crossings and eFGAC submissions, and
+// its span (if any) parents the whole server-side trace.
 func (s *Server) Execute(qctx context.Context, sessionID, user string, pl *proto.Plan) (*types.Schema, []*types.Batch, error) {
 	if qctx == nil {
 		qctx = context.Background()
 	}
+	qctx, sp := telemetry.StartSpan(qctx, "core.execute")
+	sp.SetAttr("cluster", s.cfg.Name)
+	sp.SetAttr("user", user)
+	start := time.Now()
+	schema, batches, err := s.execute(qctx, sessionID, user, pl)
+	s.met.hTotal.Observe(ms(time.Since(start)))
+	s.met.queries.Inc()
+	if err != nil {
+		s.met.errors.Inc()
+	}
+	sp.EndErr(err)
+	return schema, batches, err
+}
+
+func (s *Server) execute(qctx context.Context, sessionID, user string, pl *proto.Plan) (*types.Schema, []*types.Batch, error) {
 	st, err := s.session(sessionID, user)
 	if err != nil {
 		return nil, nil, err
 	}
-	ctx := s.requestContext(sessionID, user)
+	ctx := s.requestContext(qctx, sessionID, user)
 	if pl.Command != nil {
 		schema, batch, err := s.executeCommand(qctx, ctx, st, pl.Command)
 		if err != nil {
@@ -380,6 +429,14 @@ func (s *Server) runQuery(qctx context.Context, ctx catalog.RequestContext, st *
 
 // runQueryEnv is runQuery pinned to a Workload Environment.
 func (s *Server) runQueryEnv(qctx context.Context, ctx catalog.RequestContext, st *sessionState, rel plan.Node, env string) (*types.Schema, []*types.Batch, error) {
+	return s.runQueryProfiled(qctx, ctx, st, rel, env, nil)
+}
+
+// runQueryProfiled is the instrumented query driver: each phase (analyze,
+// optimize, verify, execute) runs under its own span, feeds the per-phase
+// latency histograms, and — when prof is non-nil — stamps the EXPLAIN
+// ANALYZE profile.
+func (s *Server) runQueryProfiled(qctx context.Context, ctx catalog.RequestContext, st *sessionState, rel plan.Node, env string, prof *telemetry.Profile) (*types.Schema, []*types.Batch, error) {
 	engine, err := s.engineFor(env)
 	if err != nil {
 		return nil, nil, err
@@ -388,21 +445,97 @@ func (s *Server) runQueryEnv(qctx context.Context, ctx catalog.RequestContext, s
 	if err != nil {
 		return nil, nil, err
 	}
-	resolved, err := s.newAnalyzer(ctx, st).Analyze(rel)
+	t0 := time.Now()
+	resolved, err := s.newAnalyzer(ctx, st).AnalyzeCtx(qctx, rel)
+	d := time.Since(t0)
+	s.met.hAnalyze.Observe(ms(d))
+	if prof != nil {
+		prof.AnalyzeNanos = int64(d)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
-	optimized := optimizer.Optimize(resolved, s.opts)
-	if _, err := s.verifyOptimized(ctx, resolved, optimized); err != nil {
+	t0 = time.Now()
+	optimized := optimizer.OptimizeCtx(qctx, resolved, s.opts)
+	d = time.Since(t0)
+	s.met.hOptimize.Observe(ms(d))
+	if prof != nil {
+		prof.OptimizeNanos = int64(d)
+	}
+	t0 = time.Now()
+	_, err = s.verifyOptimized(qctx, ctx, resolved, optimized)
+	d = time.Since(t0)
+	s.met.hVerify.Observe(ms(d))
+	if prof != nil {
+		prof.VerifyNanos = int64(d)
+	}
+	if err != nil {
 		return nil, nil, err
 	}
 	qc := exec.NewQueryContext(s.cat, ctx)
 	qc.Context = qctx
+	qc.Profile = prof
+	t0 = time.Now()
 	batches, err := engine.Execute(qc, optimized)
+	d = time.Since(t0)
+	s.met.hExec.Observe(ms(d))
+	if prof != nil {
+		prof.ExecNanos = int64(d)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
+	var rows int64
+	for _, b := range batches {
+		rows += int64(b.NumRows())
+	}
+	s.met.rowsOut.Add(rows)
 	return resolved.Schema(), batches, nil
+}
+
+// ExecuteAnalyze runs a query with EXPLAIN ANALYZE profiling: the same
+// governance gates as Execute (analysis, sentinel verification, credential
+// vending) run unchanged, and the rendered operator profile is returned
+// alongside the result.
+func (s *Server) ExecuteAnalyze(qctx context.Context, sessionID, user string, pl *proto.Plan) (*types.Batch, string, error) {
+	if qctx == nil {
+		qctx = context.Background()
+	}
+	if pl.Command != nil {
+		return nil, "", fmt.Errorf("core: EXPLAIN ANALYZE supports queries only, not commands")
+	}
+	qctx, sp := telemetry.StartSpan(qctx, "core.execute")
+	sp.SetAttr("cluster", s.cfg.Name)
+	sp.SetAttr("user", user)
+	start := time.Now()
+	batch, text, err := s.executeAnalyze(qctx, sessionID, user, pl)
+	s.met.hTotal.Observe(ms(time.Since(start)))
+	s.met.queries.Inc()
+	if err != nil {
+		s.met.errors.Inc()
+	}
+	sp.EndErr(err)
+	return batch, text, err
+}
+
+func (s *Server) executeAnalyze(qctx context.Context, sessionID, user string, pl *proto.Plan) (*types.Batch, string, error) {
+	st, err := s.session(sessionID, user)
+	if err != nil {
+		return nil, "", err
+	}
+	ctx := s.requestContext(qctx, sessionID, user)
+	prof := telemetry.NewProfile()
+	start := time.Now()
+	schema, batches, err := s.runQueryProfiled(qctx, ctx, st, pl.Relation, pl.WorkloadEnv, prof)
+	prof.TotalNanos = int64(time.Since(start))
+	if err != nil {
+		return nil, "", err
+	}
+	b, err := concatBatches(schema, batches)
+	if err != nil {
+		return nil, "", err
+	}
+	return b, prof.Render(), nil
 }
 
 // Analyze implements connect.Backend: schema plus policy-redacted EXPLAIN.
@@ -411,7 +544,7 @@ func (s *Server) Analyze(sessionID, user string, rel plan.Node) (*types.Schema, 
 	if err != nil {
 		return nil, "", err
 	}
-	ctx := s.requestContext(sessionID, user)
+	ctx := s.requestContext(context.Background(), sessionID, user)
 	rel, err = substituteSQL(rel)
 	if err != nil {
 		return nil, "", err
@@ -421,7 +554,7 @@ func (s *Server) Analyze(sessionID, user string, rel plan.Node) (*types.Schema, 
 		return nil, "", err
 	}
 	optimized := optimizer.Optimize(resolved, s.opts)
-	if _, err := s.verifyOptimized(ctx, resolved, optimized); err != nil {
+	if _, err := s.verifyOptimized(context.Background(), ctx, resolved, optimized); err != nil {
 		return nil, "", err
 	}
 	return resolved.Schema(), plan.ExplainRedacted(optimized), nil
@@ -436,7 +569,7 @@ func (s *Server) AnalyzeVerified(sessionID, user string, rel plan.Node) (*types.
 	if err != nil {
 		return nil, "", err
 	}
-	ctx := s.requestContext(sessionID, user)
+	ctx := s.requestContext(context.Background(), sessionID, user)
 	rel, err = substituteSQL(rel)
 	if err != nil {
 		return nil, "", err
@@ -446,7 +579,7 @@ func (s *Server) AnalyzeVerified(sessionID, user string, rel plan.Node) (*types.
 		return nil, "", err
 	}
 	optimized := optimizer.Optimize(resolved, s.opts)
-	report, err := s.verifyOptimized(ctx, resolved, optimized)
+	report, err := s.verifyOptimized(context.Background(), ctx, resolved, optimized)
 	if err != nil {
 		return nil, "", err
 	}
@@ -525,6 +658,7 @@ type TempFuncSnapshot struct {
 
 var _ connect.Backend = (*Server)(nil)
 var _ connect.VerifiedExplainer = (*Server)(nil)
+var _ connect.AnalyzeExecutor = (*Server)(nil)
 
 // okBatch is the conventional result of a successful command.
 func okBatch(message string) (*types.Schema, *types.Batch) {

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"lakeguard/internal/faults"
+	"lakeguard/internal/telemetry"
+)
+
+// Chaos telemetry: injected failures must show up in traces as error spans
+// attributed to their injection site, and no failure mode — crash, fault,
+// cancelled sibling workers — may leak an open span.
+
+// tracedExecute runs one query under a fresh root span and returns the error.
+func tracedExecute(e *env, tracer *telemetry.Tracer, sessionID, query string) error {
+	ctx, root := tracer.StartTrace(context.Background(), "query")
+	_, _, err := e.server.Execute(ctx, admin+"/"+sessionID, admin, sqlPlan(query))
+	root.EndErr(err)
+	return err
+}
+
+func TestChaosStorageFaultAttributedInTrace(t *testing.T) {
+	inj := faults.New(1).Add(faults.Rule{Site: "storage.get", Kind: faults.KindError})
+	e := newEnv(t, Config{Name: "std"})
+	c := e.client("tok-admin")
+	seedSales(t, c)
+	// Fault only data-file GETs so the failure lands inside the scan (the
+	// path the storage.get spans cover), not in delta-log planning.
+	e.cat.Store().SetFault(func(op, path string) error {
+		if op == "get" && strings.Contains(path, "/data/") {
+			return inj.Check("storage.get")
+		}
+		return nil
+	})
+	defer e.cat.Store().SetFault(nil)
+
+	tracer := telemetry.NewTracer()
+	err := tracedExecute(e, tracer, c.SessionID(), "SELECT * FROM sales")
+	if faults.SiteOf(err) != "storage.get" {
+		t.Fatalf("err = %v, want injected storage.get fault", err)
+	}
+
+	recent := tracer.Recent()
+	tr := recent[len(recent)-1]
+	var attributed bool
+	for _, sp := range tr.Find("storage.get") {
+		if site, _ := sp.Attr("fault.site"); site == "storage.get" {
+			if sp.Err() == "" {
+				t.Errorf("fault-attributed span has no error recorded")
+			}
+			attributed = true
+		}
+	}
+	if !attributed {
+		t.Errorf("no storage.get span carries fault.site; trace spans: %d", len(tr.Spans()))
+	}
+	if open := tracer.OpenSpans(); open != 0 {
+		t.Errorf("%d spans left open after storage fault", open)
+	}
+}
+
+func TestChaosSandboxCrashAttributedInTrace(t *testing.T) {
+	inj := faults.New(faults.SeedFromEnv(1)).Add(
+		faults.Rule{Site: faults.SiteSandboxInterpret, Kind: faults.KindCrash, Times: 1},
+	)
+	e := newEnv(t, Config{Name: "std", Faults: inj})
+	c := e.client("tok-admin")
+	registerWobbly(t, c)
+
+	tracer := telemetry.NewTracer()
+	if err := tracedExecute(e, tracer, c.SessionID(), wobblyQuery); err == nil {
+		t.Fatal("crash-injected query should fail")
+	}
+
+	recent := tracer.Recent()
+	tr := recent[len(recent)-1]
+	var attributed bool
+	for _, sp := range tr.Find("sandbox.execute") {
+		if site, _ := sp.Attr("fault.site"); site == faults.SiteSandboxInterpret {
+			if sp.Err() == "" {
+				t.Errorf("crash span has no error recorded")
+			}
+			attributed = true
+		}
+	}
+	if !attributed {
+		t.Errorf("no sandbox.execute span attributes the injected crash")
+	}
+	if open := tracer.OpenSpans(); open != 0 {
+		t.Errorf("%d spans left open after sandbox crash", open)
+	}
+}
+
+// TestChaosParallelRunsLeakNoSpans hammers a parallel engine with
+// probabilistic storage faults from concurrent sessions: whatever mix of
+// successes, failures, and sibling-cancelled workers results, the tracer
+// must account for every span it opened.
+func TestChaosParallelRunsLeakNoSpans(t *testing.T) {
+	inj := faults.New(7).Add(faults.Rule{Site: "storage.get", Kind: faults.KindError, Prob: 0.3})
+	e := newEnv(t, Config{Name: "std", Parallelism: 2})
+	c := e.client("tok-admin")
+	seedSales(t, c)
+	e.cat.Store().SetFault(func(op, path string) error {
+		if op == "get" && strings.Contains(path, "/data/") {
+			return inj.Check("storage.get")
+		}
+		return nil
+	})
+	defer e.cat.Store().SetFault(nil)
+
+	tracer := telemetry.NewTracer()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Errors are expected; the invariant under test is span hygiene.
+			_ = tracedExecute(e, tracer, c.SessionID(), "SELECT seller, SUM(amount) AS a FROM sales GROUP BY seller")
+		}()
+	}
+	wg.Wait()
+	if open := tracer.OpenSpans(); open != 0 {
+		t.Fatalf("%d spans left open after parallel chaos runs", open)
+	}
+	if tracer.TracesStarted() != 8 {
+		t.Errorf("traces started = %d, want 8", tracer.TracesStarted())
+	}
+}

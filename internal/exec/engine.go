@@ -17,6 +17,7 @@ import (
 	"lakeguard/internal/plan"
 	"lakeguard/internal/sandbox"
 	"lakeguard/internal/security"
+	"lakeguard/internal/telemetry"
 	"lakeguard/internal/types"
 )
 
@@ -72,8 +73,15 @@ type QueryContext struct {
 	// SessionID keys sandbox pooling.
 	SessionID string
 	// Context carries the caller's deadline/cancellation into sandbox
-	// crossings and remote execution (nil = context.Background()).
+	// crossings and remote execution (nil = context.Background()). When it
+	// carries a telemetry span, every operator, worker, storage read and
+	// sandbox crossing reports into that trace.
 	Context context.Context
+	// Profile, when non-nil, collects EXPLAIN ANALYZE operator statistics.
+	Profile *telemetry.Profile
+	// opParent is the enclosing operator's stats sink during build (the
+	// profile tree mirrors the operator tree).
+	opParent *telemetry.OpStats
 }
 
 // GoContext returns the query's Go context, never nil.
@@ -164,8 +172,34 @@ func concat(schema *types.Schema, batches []*types.Batch) (*types.Batch, error) 
 	return bb.Build(), nil
 }
 
-// build compiles a plan node into an operator tree.
+// build compiles a plan node into an operator tree, instrumenting each
+// operator when the query is traced or profiled. Untraced, unprofiled
+// queries skip straight to buildNode and pay nothing.
 func (e *Engine) build(qc *QueryContext, p plan.Node) (operator, error) {
+	ctx := qc.GoContext()
+	if qc.Profile == nil && telemetry.SpanFrom(ctx) == nil {
+		return e.buildNode(qc, p)
+	}
+	name, detail := opLabel(p)
+	var stats *telemetry.OpStats
+	if qc.Profile != nil {
+		stats = qc.Profile.NewOp(qc.opParent, name, detail)
+	}
+	sctx, span := telemetry.StartSpan(ctx, "exec."+name)
+	sub := *qc
+	sub.Context = sctx
+	sub.opParent = stats
+	op, err := e.buildNode(&sub, p)
+	if err != nil {
+		span.EndErr(err)
+		return nil, err
+	}
+	return &instrumentedOp{op: op, span: span, stats: stats}, nil
+}
+
+// buildNode compiles one plan node; child compilation recurses through
+// build so every level is instrumented.
+func (e *Engine) buildNode(qc *QueryContext, p plan.Node) (operator, error) {
 	switch t := p.(type) {
 	case *plan.LocalRelation:
 		return &localOp{batch: t.Data}, nil
@@ -246,6 +280,7 @@ func (e *Engine) build(qc *QueryContext, p plan.Node) (operator, error) {
 		}
 		r, err := e.build(qc, t.R)
 		if err != nil {
+			l.Close() // release the built left side (its span ends with it)
 			return nil, err
 		}
 		return &unionOp{children: []operator{l, r}}, nil
@@ -265,7 +300,7 @@ func (e *Engine) buildScan(qc *QueryContext, t *plan.Scan) (operator, error) {
 		return nil, err
 	}
 	src := &scanSource{
-		qc: qc, scan: t, snap: snap, read: read,
+		qc: qc, scan: t, snap: snap, read: read, stats: qc.opParent,
 		progs: compileVecExprs(t.PushedFilters, t.Schema(), boolKinds(len(t.PushedFilters))),
 	}
 	if w := e.workers(); w > 1 && len(snap.Files) > 1 {
@@ -281,16 +316,32 @@ func (e *Engine) buildScan(qc *QueryContext, t *plan.Scan) (operator, error) {
 			next++
 			return i, false, nil
 		}
-		ex, err := newExchange(qc.GoContext(), w, source,
+		// Each worker gets its own span (child of this scan's span); storage
+		// reads nest under it. newExchange calls makeWorker sequentially
+		// before any worker runs, so appending to wspans needs no lock.
+		pctx := qc.GoContext()
+		var wspans []*telemetry.Span
+		ex, err := newExchange(pctx, w, source,
 			func() (func(context.Context, int) (*types.Batch, error), error) {
+				wctx, ws := telemetry.StartSpan(pctx, "exec.worker")
+				ws.SetInt("worker", int64(len(wspans)))
+				if ws != nil {
+					wspans = append(wspans, ws)
+				}
 				return func(_ context.Context, i int) (*types.Batch, error) {
-					return src.scanFile(i)
+					b, err := src.scanFileCtx(wctx, i)
+					ws.Count("morsels", 1)
+					if err != nil {
+						ws.Fail(err)
+					}
+					return b, err
 				}, nil
 			}, skipEmptyBatch)
 		if err != nil {
+			endSpans(wspans)
 			return nil, err
 		}
-		return &parallelScanOp{ex: ex}, nil
+		return &parallelScanOp{ex: ex, wspans: wspans}, nil
 	}
 	return &scanOp{src: src}, nil
 }

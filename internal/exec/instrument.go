@@ -1,0 +1,97 @@
+// Operator-level telemetry: every physical operator gets a span in the
+// query's trace and an OpStats sink in the query's EXPLAIN ANALYZE profile.
+// Instrumentation is pay-for-use — when the query carries neither a span
+// context nor a profile, build() compiles the bare operator tree and the hot
+// path allocates nothing.
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"lakeguard/internal/plan"
+	"lakeguard/internal/telemetry"
+	"lakeguard/internal/types"
+)
+
+// opLabel names a plan node for spans and profiles, with a short detail
+// string (table, predicate, key counts) for the annotated tree.
+func opLabel(p plan.Node) (name, detail string) {
+	switch t := p.(type) {
+	case *plan.LocalRelation:
+		return "LocalRelation", ""
+	case *plan.Scan:
+		d := t.Table
+		if len(t.PushedFilters) > 0 {
+			d = fmt.Sprintf("%s, %d pushed filters", d, len(t.PushedFilters))
+		}
+		return "Scan", d
+	case *plan.RemoteScan:
+		return "RemoteScan", t.Relation
+	case *plan.SecureView:
+		return "SecureView", t.Name
+	case *plan.SubqueryAlias:
+		return "SubqueryAlias", t.Name
+	case *plan.Filter:
+		return "Filter", t.Cond.String()
+	case *plan.Project:
+		return "Project", fmt.Sprintf("%d exprs", len(t.Exprs))
+	case *plan.Aggregate:
+		return "Aggregate", fmt.Sprintf("%d keys, %d aggs", len(t.GroupBy), len(t.Aggs))
+	case *plan.Join:
+		return "Join", t.Type.String()
+	case *plan.Sort:
+		return "Sort", fmt.Sprintf("%d keys", len(t.Orders))
+	case *plan.Limit:
+		return "Limit", fmt.Sprintf("%d", t.N)
+	case *plan.Distinct:
+		return "Distinct", ""
+	case *plan.Union:
+		return "Union", ""
+	}
+	return fmt.Sprintf("%T", p), ""
+}
+
+// instrumentedOp wraps an operator with wall-time, row and batch accounting.
+// Wall time is inclusive of children (the span tree lets a reader subtract).
+// The span ends at Close, so its duration covers the operator's full
+// lifetime; EOF is a normal end, any other error marks the span failed.
+type instrumentedOp struct {
+	op    operator
+	span  *telemetry.Span
+	stats *telemetry.OpStats
+}
+
+func (o *instrumentedOp) Next() (*types.Batch, error) {
+	start := time.Now()
+	b, err := o.op.Next()
+	o.stats.AddWall(time.Since(start))
+	if err != nil {
+		if !errors.Is(err, io.EOF) {
+			o.span.Fail(err)
+		}
+		return b, err
+	}
+	rows := b.NumRows()
+	o.stats.AddBatch(rows)
+	o.span.Count("rows", int64(rows))
+	o.span.Count("batches", 1)
+	return b, nil
+}
+
+func (o *instrumentedOp) Close() error {
+	err := o.op.Close()
+	o.span.End()
+	return err
+}
+
+// endSpans ends a set of per-worker spans. Callers must establish
+// happens-before with the workers' last writes first (exchange.Close's
+// WaitGroup join does).
+func endSpans(spans []*telemetry.Span) {
+	for _, ws := range spans {
+		ws.End()
+	}
+}

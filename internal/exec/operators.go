@@ -1,12 +1,15 @@
 package exec
 
 import (
+	"context"
 	"io"
 	"sort"
 
 	"lakeguard/internal/delta"
 	"lakeguard/internal/eval"
+	"lakeguard/internal/faults"
 	"lakeguard/internal/plan"
+	"lakeguard/internal/telemetry"
 	"lakeguard/internal/types"
 )
 
@@ -55,11 +58,31 @@ type scanSource struct {
 	// progs are per-conjunct vector programs for the pushed filters (nil
 	// entries use the row interpreter).
 	progs []*eval.VecProg
+	// stats is the owning scan operator's profile sink (nil = unprofiled).
+	stats *telemetry.OpStats
 }
 
 func (s *scanSource) scanFile(i int) (*types.Batch, error) {
+	return s.scanFileCtx(s.qc.GoContext(), i)
+}
+
+// scanFileCtx reads, decodes and filters one snapshot file. Each read gets a
+// "storage.get" span under ctx (a no-op when the query is untraced); a
+// failed read records the injected fault site so chaos runs are attributable
+// from the trace alone.
+func (s *scanSource) scanFileCtx(ctx context.Context, i int) (*types.Batch, error) {
 	f := s.snap.Files[i]
+	_, gs := telemetry.StartSpan(ctx, "storage.get")
+	gs.SetAttr("path", f.Path)
 	data, err := s.read(f.Path)
+	if err != nil {
+		if site := faults.SiteOf(err); site != "" {
+			gs.SetAttr("fault.site", site)
+		}
+	} else {
+		gs.SetInt("bytes", int64(len(data)))
+	}
+	gs.EndErr(err)
 	if err != nil {
 		return nil, err
 	}
@@ -95,6 +118,7 @@ func (s *scanSource) applyScanOps(b *types.Batch) (*types.Batch, error) {
 		}
 		next := make([]int, 0, m)
 		if prog := s.progs[fi]; prog != nil {
+			s.stats.CountEval(true)
 			pred := prog.Run(b.Cols, n, sel)
 			nulls, vals := pred.NullMask(), pred.Int64s()
 			for j := 0; j < m; j++ {
@@ -107,6 +131,7 @@ func (s *scanSource) applyScanOps(b *types.Batch) (*types.Batch, error) {
 				}
 			}
 		} else {
+			s.stats.CountEval(false)
 			for j := 0; j < m; j++ {
 				i := j
 				if sel != nil {

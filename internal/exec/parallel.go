@@ -19,6 +19,7 @@ import (
 
 	"lakeguard/internal/eval"
 	"lakeguard/internal/plan"
+	"lakeguard/internal/telemetry"
 	"lakeguard/internal/types"
 )
 
@@ -43,26 +44,52 @@ type batchMapFn = func(context.Context, *types.Batch) (*types.Batch, error)
 
 // mapExOp runs a batch→batch function over child batches on an exchange.
 type mapExOp struct {
-	child operator
-	ex    *exchange[*types.Batch, *types.Batch]
+	child  operator
+	ex     *exchange[*types.Batch, *types.Batch]
+	wspans []*telemetry.Span
 }
 
 func (o *mapExOp) Next() (*types.Batch, error) { return o.ex.Next() }
 
 func (o *mapExOp) Close() error {
 	o.ex.Close()
+	endSpans(o.wspans) // after the exchange join: workers are quiesced
 	return o.child.Close()
 }
 
 // newParallelMap wires child batches through per-worker map functions,
-// preserving batch order.
+// preserving batch order. When ctx carries a telemetry span, each worker
+// gets a child span recording its morsel count; the spans end when the
+// operator closes (after the exchange's WaitGroup join, so reads are safe).
 func newParallelMap(ctx context.Context, child operator, workers int, makeWorker func() (batchMapFn, error), isZero func(*types.Batch) bool) (operator, error) {
-	ex, err := newExchange(ctx, workers, batchSource(child), makeWorker, isZero)
+	var wspans []*telemetry.Span
+	mk := makeWorker
+	if telemetry.SpanFrom(ctx) != nil {
+		mk = func() (batchMapFn, error) {
+			fn, err := makeWorker()
+			if err != nil {
+				return nil, err
+			}
+			_, ws := telemetry.StartSpan(ctx, "exec.worker")
+			ws.SetInt("worker", int64(len(wspans)))
+			wspans = append(wspans, ws)
+			return func(c context.Context, b *types.Batch) (*types.Batch, error) {
+				out, err := fn(c, b)
+				ws.Count("morsels", 1)
+				if err != nil {
+					ws.Fail(err)
+				}
+				return out, err
+			}, nil
+		}
+	}
+	ex, err := newExchange(ctx, workers, batchSource(child), mk, isZero)
 	if err != nil {
+		endSpans(wspans)
 		child.Close()
 		return nil, err
 	}
-	return &mapExOp{child: child, ex: ex}, nil
+	return &mapExOp{child: child, ex: ex, wspans: wspans}, nil
 }
 
 // exprsHaveUDF reports whether any expression contains a UDF call.
@@ -124,9 +151,11 @@ func allCompiled(progs []*eval.VecProg) bool {
 type batchEval struct {
 	progs  []*eval.VecProg // all non-nil => vectorized path
 	runner *exprRunner
+	stats  *telemetry.OpStats // vectorized-vs-fallback accounting (nil ok)
 }
 
 func (be *batchEval) run(b *types.Batch) ([]*types.Column, error) {
+	be.stats.CountEval(be.progs != nil)
 	if be.progs != nil {
 		n := b.NumRows()
 		out := make([]*types.Column, len(be.progs))
@@ -142,13 +171,13 @@ func (be *batchEval) run(b *types.Batch) ([]*types.Column, error) {
 // a fresh exprRunner fallback otherwise.
 func (e *Engine) newBatchEval(qc *QueryContext, exprs []plan.Expr, in *types.Schema, want []types.Kind) (*batchEval, error) {
 	if progs := compileVecExprs(exprs, in, want); allCompiled(progs) {
-		return &batchEval{progs: progs}, nil
+		return &batchEval{progs: progs, stats: qc.opParent}, nil
 	}
 	runner, err := e.newExprRunner(qc, exprs)
 	if err != nil {
 		return nil, err
 	}
-	return &batchEval{runner: runner}, nil
+	return &batchEval{runner: runner, stats: qc.opParent}, nil
 }
 
 // buildFilter compiles a Filter node, parallelizing UDF-free predicates.
@@ -206,9 +235,14 @@ func (e *Engine) buildProject(qc *QueryContext, t *plan.Project, child operator)
 // exchange. Every worker reads through the same credential-bound reader the
 // TableProvider vended, so parallelism adds no new authority.
 type parallelScanOp struct {
-	ex *exchange[int, *types.Batch]
+	ex     *exchange[int, *types.Batch]
+	wspans []*telemetry.Span
 }
 
 func (o *parallelScanOp) Next() (*types.Batch, error) { return o.ex.Next() }
 
-func (o *parallelScanOp) Close() error { return o.ex.Close() }
+func (o *parallelScanOp) Close() error {
+	err := o.ex.Close()
+	endSpans(o.wspans) // after the exchange join: workers are quiesced
+	return err
+}

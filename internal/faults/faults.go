@@ -72,6 +72,33 @@ func (k Kind) String() string {
 // ErrInjected is the sentinel all injected errors wrap.
 var ErrInjected = errors.New("faults: injected")
 
+// InjectedError is the structured error carried by every fired fault. It
+// wraps ErrInjected (so IsTransient keeps working) and preserves the
+// injection site so telemetry spans can attribute a failure to its fault
+// site even after the error crossed goroutine, panic, or retry boundaries.
+type InjectedError struct {
+	Site string
+	Kind Kind
+	Hit  int64
+	Seed int64
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("%v: %s at %s (hit %d, seed %d)", ErrInjected, e.Kind, e.Site, e.Hit, e.Seed)
+}
+
+func (e *InjectedError) Unwrap() error { return ErrInjected }
+
+// SiteOf returns the injection site recorded in err's chain, or "" when err
+// is nil or not an injected fault.
+func SiteOf(err error) string {
+	var ie *InjectedError
+	if errors.As(err, &ie) {
+		return ie.Site
+	}
+	return ""
+}
+
 // IsTransient reports whether err is (or wraps) an injected transient fault,
 // i.e. one a retry layer should re-attempt.
 func IsTransient(err error) bool { return errors.Is(err, ErrInjected) }
@@ -182,7 +209,7 @@ func (i *Injector) Eval(site string) (Fault, bool) {
 			Site:  site,
 			Kind:  r.Kind,
 			Delay: r.Delay,
-			Err:   fmt.Errorf("%w: %s at %s (hit %d, seed %d)", ErrInjected, r.Kind, site, n+1, i.seed),
+			Err:   &InjectedError{Site: site, Kind: r.Kind, Hit: n + 1, Seed: i.seed},
 		}, true
 	}
 	return Fault{}, false

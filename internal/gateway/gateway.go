@@ -15,6 +15,7 @@ import (
 	"lakeguard/internal/core"
 	"lakeguard/internal/plan"
 	"lakeguard/internal/proto"
+	"lakeguard/internal/telemetry"
 	"lakeguard/internal/types"
 )
 
@@ -30,12 +31,18 @@ type Config struct {
 	MaxSessionsPerCluster int
 	// MaxClusters bounds the fleet (0 = unlimited).
 	MaxClusters int
+	// Metrics, when non-nil, exports fleet gauges (gateway.clusters,
+	// gateway.sessions).
+	Metrics *telemetry.Registry
 }
 
 // Gateway routes Connect sessions across a fleet of clusters. It implements
 // connect.Backend, so a single Connect endpoint serves the whole workspace.
 type Gateway struct {
 	cfg Config
+
+	gClusters *telemetry.Gauge
+	gSessions *telemetry.Gauge
 
 	mu         sync.Mutex
 	clusters   []*core.Server
@@ -52,9 +59,15 @@ func New(cfg Config) *Gateway {
 	if cfg.MaxSessionsPerCluster <= 0 {
 		cfg.MaxSessionsPerCluster = 8
 	}
-	g := &Gateway{cfg: cfg, assignment: map[string]*core.Server{}}
+	g := &Gateway{
+		cfg:        cfg,
+		assignment: map[string]*core.Server{},
+		gClusters:  cfg.Metrics.Gauge("gateway.clusters"),
+		gSessions:  cfg.Metrics.Gauge("gateway.sessions"),
+	}
 	g.clusters = append(g.clusters, cfg.Provision("serverless-0"))
 	g.provisions = 1
+	g.gClusters.Set(1)
 	return g
 }
 
@@ -85,8 +98,10 @@ func (g *Gateway) route(sessionID string) (*core.Server, error) {
 		best = g.cfg.Provision(fmt.Sprintf("serverless-%d", len(g.clusters)))
 		g.clusters = append(g.clusters, best)
 		g.provisions++
+		g.gClusters.Set(int64(len(g.clusters)))
 	}
 	g.assignment[sessionID] = best
+	g.gSessions.Set(int64(len(g.assignment)))
 	return best, nil
 }
 
@@ -101,13 +116,34 @@ func (g *Gateway) assignedTo(c *core.Server) int {
 	return n
 }
 
-// Execute implements connect.Backend.
+// Execute implements connect.Backend. Routing runs under a
+// "gateway.execute" span so a trace shows which cluster served the query.
 func (g *Gateway) Execute(ctx context.Context, sessionID, user string, pl *proto.Plan) (*types.Schema, []*types.Batch, error) {
+	ctx, sp := telemetry.StartSpan(ctx, "gateway.execute")
 	srv, err := g.route(sessionID)
 	if err != nil {
+		sp.EndErr(err)
 		return nil, nil, err
 	}
-	return srv.Execute(ctx, sessionID, user, pl)
+	sp.SetAttr("cluster", srv.ClusterManager().Name())
+	schema, batches, err := srv.Execute(ctx, sessionID, user, pl)
+	sp.EndErr(err)
+	return schema, batches, err
+}
+
+// ExecuteAnalyze routes an EXPLAIN ANALYZE execution to the session's
+// cluster (it implements connect.AnalyzeExecutor).
+func (g *Gateway) ExecuteAnalyze(ctx context.Context, sessionID, user string, pl *proto.Plan) (*types.Batch, string, error) {
+	ctx, sp := telemetry.StartSpan(ctx, "gateway.execute")
+	srv, err := g.route(sessionID)
+	if err != nil {
+		sp.EndErr(err)
+		return nil, "", err
+	}
+	sp.SetAttr("cluster", srv.ClusterManager().Name())
+	batch, text, err := srv.ExecuteAnalyze(ctx, sessionID, user, pl)
+	sp.EndErr(err)
+	return batch, text, err
 }
 
 // Analyze implements connect.Backend.
@@ -134,6 +170,7 @@ func (g *Gateway) CloseSession(sessionID string) {
 	g.mu.Lock()
 	srv := g.assignment[sessionID]
 	delete(g.assignment, sessionID)
+	g.gSessions.Set(int64(len(g.assignment)))
 	g.mu.Unlock()
 	if srv != nil {
 		srv.CloseSession(sessionID)
@@ -158,6 +195,8 @@ func (g *Gateway) Drain(clusterIdx int) (migrated int, err error) {
 			delete(g.assignment, sid)
 		}
 	}
+	g.gClusters.Set(int64(len(g.clusters)))
+	g.gSessions.Set(int64(len(g.assignment)))
 	g.mu.Unlock()
 
 	for _, sid := range moving {
@@ -200,3 +239,4 @@ func (g *Gateway) FleetStats() Stats {
 
 var _ connect.Backend = (*Gateway)(nil)
 var _ connect.VerifiedExplainer = (*Gateway)(nil)
+var _ connect.AnalyzeExecutor = (*Gateway)(nil)

@@ -14,7 +14,11 @@
 //     surfaces (catalog.Catalog, core.Server) must carry the caller's
 //     security context — a security.RequestContext parameter or explicit
 //     sessionID/user strings — so no privileged path can be called without
-//     an identity to attribute it to.
+//     an identity to attribute it to;
+//   - span hygiene: every *telemetry.Span obtained from StartSpan/StartTrace
+//     must be ended (.End/.EndErr) or handed off (returned, stored, passed
+//     to a closer) in the function that starts it — a leaked span corrupts
+//     trace durations and the tracer's open-span accounting.
 //
 // The linter analyzes production code: _test.go files are excluded (tests
 // legitimately cross layers to stage fixtures). Findings are structured for
@@ -55,6 +59,7 @@ const (
 	RuleLockByValue     = "lock-by-value"
 	RuleSecurityContext = "security-context"
 	RuleSelectDone      = "select-done"
+	RuleSpanEnd         = "span-end"
 	RuleTypecheck       = "typecheck"
 )
 
@@ -83,6 +88,7 @@ var ctxExempt = map[string]map[string]bool{
 	"Catalog": {
 		"Audit": true, "Store": true, "AddAdmin": true, "CreateGroup": true,
 		"RemoveFromGroup": true, "IsGroupMember": true, "GroupsOf": true,
+		"SetMetrics": true,
 	},
 	"Server": {
 		"Catalog": true, "Dispatcher": true, "ClusterManager": true,
@@ -154,6 +160,7 @@ func (r *Runner) Run() ([]Finding, error) {
 		out = append(out, r.checkLockByValue(p)...)
 		out = append(out, r.checkSecurityContext(p)...)
 		out = append(out, r.checkSelectDone(p)...)
+		out = append(out, r.checkSpanEnd(p)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].File != out[j].File {
@@ -608,6 +615,179 @@ func chanIsEscape(ch ast.Expr) bool {
 // sandbox layer uses: done channels, timer .C fields, and timeout channels.
 func escapeChanName(name string) bool {
 	return name == "done" || name == "C" || strings.HasPrefix(name, "timeout")
+}
+
+// --- rule: started spans must be ended or handed off ----------------------
+
+// isSpanPtr matches *telemetry.Span.
+func isSpanPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Span" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "/internal/telemetry")
+}
+
+// isSpanStartCall matches calls that open a span: telemetry.StartSpan,
+// Tracer.StartTrace, and any local helper following the Start*/start*
+// naming convention. Accessors that merely return an existing span (Root,
+// SpanFrom) are not starts and carry no End obligation.
+func isSpanStartCall(call *ast.CallExpr) bool {
+	var name string
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		name = fn.Name
+	case *ast.SelectorExpr:
+		name = fn.Sel.Name
+	default:
+		return false
+	}
+	return strings.HasPrefix(name, "Start") || strings.HasPrefix(name, "start")
+}
+
+// checkSpanEnd flags spans that are started and then dropped. A span counts
+// as handled when, somewhere in the same file after its binding, it is ended
+// (a .End() or .EndErr(...) call, possibly deferred) or it escapes the
+// starting function — passed to another call (endSpans, append), returned,
+// stored in a composite literal, or assigned onward (e.g. to a struct field)
+// — in which case the receiver owns ending it. Binding the span result to
+// the blank identifier is always a violation: a traced request would leak an
+// open span on every execution.
+func (r *Runner) checkSpanEnd(p *pkg) []Finding {
+	var out []Finding
+	for _, file := range p.files {
+		// Pass 1: collect span bindings.
+		type binding struct {
+			pos  token.Pos
+			name string
+		}
+		var blanks []token.Pos
+		tracked := map[types.Object]binding{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				return true
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok || !isSpanStartCall(call) {
+				return true
+			}
+			ct := p.info.TypeOf(call)
+			if ct == nil {
+				return true
+			}
+			record := func(lhs ast.Expr) {
+				ident, ok := lhs.(*ast.Ident)
+				if !ok {
+					return // stored into a field/index: the holder owns it
+				}
+				if ident.Name == "_" {
+					blanks = append(blanks, ident.Pos())
+					return
+				}
+				obj := p.info.Defs[ident]
+				if obj == nil {
+					obj = p.info.Uses[ident]
+				}
+				if obj != nil {
+					tracked[obj] = binding{pos: ident.Pos(), name: ident.Name}
+				}
+			}
+			if tuple, ok := ct.(*types.Tuple); ok {
+				for i := 0; i < tuple.Len() && i < len(as.Lhs); i++ {
+					if isSpanPtr(tuple.At(i).Type()) {
+						record(as.Lhs[i])
+					}
+				}
+			} else if isSpanPtr(ct) && len(as.Lhs) == 1 {
+				record(as.Lhs[0])
+			}
+			return true
+		})
+		for _, pos := range blanks {
+			out = append(out, r.finding(pos, RuleSpanEnd,
+				"span result of StartSpan/StartTrace bound to _; end it (.End/.EndErr) or hand it off, or a traced request leaks an open span"))
+		}
+		if len(tracked) == 0 {
+			continue
+		}
+
+		// Pass 2: look for an ending or escaping use of each binding.
+		handled := map[types.Object]bool{}
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			ident, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.info.Uses[ident]
+			if obj == nil {
+				return true
+			}
+			if _, ok := tracked[obj]; !ok {
+				return true
+			}
+			if spanUseHandles(stack) {
+				handled[obj] = true
+			}
+			return true
+		})
+		for obj, b := range tracked {
+			if handled[obj] {
+				continue
+			}
+			out = append(out, r.finding(b.pos, RuleSpanEnd,
+				"span %s is started but never ended or handed off; call .End()/.EndErr(err) on every path or pass it to an owner that does", b.name))
+		}
+	}
+	return out
+}
+
+// spanUseHandles classifies one use of a span variable (the last node on the
+// stack) as ending/escaping or not.
+func spanUseHandles(stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	ident := stack[len(stack)-1].(*ast.Ident)
+	parent := stack[len(stack)-2]
+	switch pn := parent.(type) {
+	case *ast.SelectorExpr:
+		// sp.End() / sp.EndErr(err); attribute setters don't end the span.
+		if pn.X == ident && (pn.Sel.Name == "End" || pn.Sel.Name == "EndErr") {
+			return true
+		}
+	case *ast.CallExpr:
+		// Passed as an argument (endSpans(...), append(wspans, sp), ...).
+		for _, arg := range pn.Args {
+			if arg == ident {
+				return true
+			}
+		}
+	case *ast.ReturnStmt:
+		return true
+	case *ast.CompositeLit, *ast.KeyValueExpr:
+		return true
+	case *ast.AssignStmt:
+		// Assigned onward (struct field, slice element, another variable).
+		for _, rhs := range pn.Rhs {
+			if rhs == ident {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 func receiverTypeName(recv *ast.FieldList) string {

@@ -334,3 +334,131 @@ func Wait(ch <-chan int) int {
 	})
 	wantNoRule(t, findings, RuleSelectDone)
 }
+
+// spanFixture is a minimal telemetry package the span-end rule resolves
+// against (matched by type name Span in a package path ending in
+// internal/telemetry).
+const spanFixture = `package telemetry
+
+import "context"
+
+// Span is one traced operation.
+type Span struct{ name string }
+
+// End closes the span.
+func (s *Span) End() {}
+
+// EndErr closes the span recording err.
+func (s *Span) EndErr(err error) {}
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(k, v string) {}
+
+// StartSpan opens a child span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, &Span{name: name}
+}
+
+// SpanFrom returns the ambient span without opening one.
+func SpanFrom(ctx context.Context) *Span { return nil }
+`
+
+func TestSpanEndViolation(t *testing.T) {
+	findings := lintModule(t, map[string]string{
+		"internal/telemetry/telemetry.go": spanFixture,
+		"internal/gateway/gw.go": `package gateway
+
+import (
+	"context"
+
+	"lakeguard/internal/telemetry"
+)
+
+// Leak starts a span, annotates it, and never ends it.
+func Leak(ctx context.Context) {
+	_, sp := telemetry.StartSpan(ctx, "gateway.leak")
+	sp.SetAttr("k", "v")
+}
+`,
+	})
+	wantRule(t, findings, RuleSpanEnd, "span sp is started but never ended")
+}
+
+func TestSpanEndBlankViolation(t *testing.T) {
+	findings := lintModule(t, map[string]string{
+		"internal/telemetry/telemetry.go": spanFixture,
+		"internal/gateway/gw.go": `package gateway
+
+import (
+	"context"
+
+	"lakeguard/internal/telemetry"
+)
+
+// Drop discards the span result outright.
+func Drop(ctx context.Context) context.Context {
+	ctx, _ = telemetry.StartSpan(ctx, "gateway.drop")
+	return ctx
+}
+`,
+	})
+	wantRule(t, findings, RuleSpanEnd, "bound to _")
+}
+
+func TestSpanEndAccepted(t *testing.T) {
+	findings := lintModule(t, map[string]string{
+		"internal/telemetry/telemetry.go": spanFixture,
+		"internal/gateway/gw.go": `package gateway
+
+import (
+	"context"
+	"errors"
+
+	"lakeguard/internal/telemetry"
+)
+
+// holder owns a span; its Close ends it.
+type holder struct{ sp *telemetry.Span }
+
+// Ended ends via EndErr.
+func Ended(ctx context.Context) error {
+	_, sp := telemetry.StartSpan(ctx, "a")
+	err := errors.New("x")
+	sp.EndErr(err)
+	return err
+}
+
+// Deferred ends via defer.
+func Deferred(ctx context.Context) {
+	_, sp := telemetry.StartSpan(ctx, "b")
+	defer sp.End()
+}
+
+// Escapes hands spans to an owner: a call, a struct, a return.
+func Escapes(ctx context.Context) *telemetry.Span {
+	var spans []*telemetry.Span
+	_, ws := telemetry.StartSpan(ctx, "c")
+	spans = append(spans, ws)
+	endAll(spans)
+	_, held := telemetry.StartSpan(ctx, "d")
+	h := holder{sp: held}
+	_ = h
+	_, ret := telemetry.StartSpan(ctx, "e")
+	return ret
+}
+
+// Ambient reads the ambient span without starting one: no End obligation.
+func Ambient(ctx context.Context) {
+	sp := telemetry.SpanFrom(ctx)
+	sp.SetAttr("k", "v")
+}
+
+func endAll(spans []*telemetry.Span) {
+	for _, s := range spans {
+		s.End()
+	}
+}
+`,
+	})
+	wantNoRule(t, findings, RuleSpanEnd)
+}

@@ -8,10 +8,12 @@
 package optimizer
 
 import (
+	"context"
 	"fmt"
 
 	"lakeguard/internal/eval"
 	"lakeguard/internal/plan"
+	"lakeguard/internal/telemetry"
 	"lakeguard/internal/types"
 )
 
@@ -47,6 +49,16 @@ func DefaultOptions() Options {
 		PushIntoRemote: true,
 		FuseUDFs:       true,
 	}
+}
+
+// OptimizeCtx is Optimize under a telemetry span: the optimizer is the layer
+// most likely to move policy operators around, so its phase is always
+// distinguishable from analysis and verification in a trace.
+func OptimizeCtx(ctx context.Context, n plan.Node, opts Options) plan.Node {
+	_, sp := telemetry.StartSpan(ctx, "optimizer.optimize")
+	out := Optimize(n, opts)
+	sp.End()
+	return out
 }
 
 // Optimize rewrites an analyzed plan. The input is not mutated.

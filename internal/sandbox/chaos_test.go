@@ -324,7 +324,7 @@ func TestChaosPoisonedSandboxNeverPooled(t *testing.T) {
 	}
 	d.Release("sess", sb)
 	// Poison it while pooled (models an out-of-band container death).
-	sb.kill("host died under pooled sandbox", false)
+	sb.kill("host died under pooled sandbox", false, "")
 	healthy, err = d.Acquire("sess", "alice")
 	if err != nil {
 		t.Fatal(err)

@@ -10,6 +10,7 @@ import (
 
 	"lakeguard/internal/audit"
 	"lakeguard/internal/faults"
+	"lakeguard/internal/telemetry"
 )
 
 // Factory provisions sandboxes; the cluster manager implements it.
@@ -82,6 +83,10 @@ type SupervisorConfig struct {
 	Audit *audit.Log
 	// Compute labels audit events with the cluster's compute type.
 	Compute string
+	// Metrics, when set, publishes sandbox fleet counters (sandbox.cold_starts,
+	// sandbox.reuses, sandbox.crashes, sandbox.retries, sandbox.circuit_trips)
+	// and gauges (sandbox.active, sandbox.breakers_open) on the registry.
+	Metrics *telemetry.Registry
 	// Clock overrides the time source (tests).
 	Clock func() time.Time
 }
@@ -120,11 +125,24 @@ type breaker struct {
 type Dispatcher struct {
 	factory Factory
 	sup     SupervisorConfig
+	met     dispatcherMetrics
 
 	mu       sync.Mutex
 	idle     map[string][]*Sandbox // key: session \x00 trustDomain \x00 resources
 	breakers map[string]*breaker   // key: trustDomain
 	stats    Stats
+}
+
+// dispatcherMetrics mirrors Stats onto a telemetry registry (all instruments
+// nil and no-op when SupervisorConfig.Metrics is unset).
+type dispatcherMetrics struct {
+	coldStarts *telemetry.Counter
+	reuses     *telemetry.Counter
+	crashes    *telemetry.Counter
+	retries    *telemetry.Counter
+	trips      *telemetry.Counter
+	active     *telemetry.Gauge
+	breakers   *telemetry.Gauge
 }
 
 // NewDispatcher creates a dispatcher with default supervision.
@@ -153,8 +171,17 @@ func NewSupervised(factory Factory, sup SupervisorConfig) *Dispatcher {
 		sup.Clock = time.Now
 	}
 	return &Dispatcher{
-		factory:  factory,
-		sup:      sup,
+		factory: factory,
+		sup:     sup,
+		met: dispatcherMetrics{
+			coldStarts: sup.Metrics.Counter("sandbox.cold_starts"),
+			reuses:     sup.Metrics.Counter("sandbox.reuses"),
+			crashes:    sup.Metrics.Counter("sandbox.crashes"),
+			retries:    sup.Metrics.Counter("sandbox.retries"),
+			trips:      sup.Metrics.Counter("sandbox.circuit_trips"),
+			active:     sup.Metrics.Gauge("sandbox.active"),
+			breakers:   sup.Metrics.Gauge("sandbox.breakers_open"),
+		},
 		idle:     map[string][]*Sandbox{},
 		breakers: map[string]*breaker{},
 	}
@@ -196,6 +223,7 @@ func (d *Dispatcher) AcquireResources(ctx context.Context, session, trustDomain,
 		}
 		d.stats.Reuses++
 		d.mu.Unlock()
+		d.met.reuses.Inc()
 		return sb, nil
 	}
 	d.mu.Unlock()
@@ -209,6 +237,8 @@ func (d *Dispatcher) AcquireResources(ctx context.Context, session, trustDomain,
 	d.stats.ColdStarts++
 	d.stats.Active++
 	d.mu.Unlock()
+	d.met.coldStarts.Inc()
+	d.met.active.Add(1)
 	return sb, nil
 }
 
@@ -237,10 +267,12 @@ func (d *Dispatcher) provision(ctx context.Context, trustDomain, resources strin
 		d.mu.Lock()
 		d.stats.Retries++
 		d.mu.Unlock()
+		d.met.retries.Inc()
 		d.audit(audit.Event{
 			User: trustDomain, Action: "SANDBOX_RETRY",
 			Securable: "domain:" + trustDomain, Decision: audit.DecisionAllow,
-			Reason: fmt.Sprintf("provisioning attempt %d failed transiently: %v", attempt+1, err),
+			Reason:  fmt.Sprintf("provisioning attempt %d failed transiently: %v", attempt+1, err),
+			TraceID: telemetry.TraceIDFrom(ctx),
 		})
 		t := time.NewTimer(backoffDelay(d.sup.RetryBaseDelay, d.sup.RetryMaxDelay, attempt))
 		select {
@@ -280,6 +312,7 @@ func (d *Dispatcher) admitDomain(trustDomain string) error {
 		// immediately, a healthy release resets the streak.
 		b.open = false
 		b.consecutive = d.sup.CircuitThreshold - 1
+		d.met.breakers.Add(-1)
 		return nil
 	}
 	return fmt.Errorf("%w: domain %q (%d consecutive crashes)", ErrDomainTripped, trustDomain, b.consecutive)
@@ -328,15 +361,24 @@ func (d *Dispatcher) quarantine(session string, sb *Sandbox) {
 	}
 	consecutive := b.consecutive
 	d.mu.Unlock()
+	d.met.crashes.Inc()
+	d.met.active.Add(-1)
+	// Quarantine has no request context; the sandbox remembers the trace of
+	// its last crossing so the crash still joins a span tree.
+	traceID := sb.LastTraceID()
 	d.audit(audit.Event{
 		User: sb.TrustDomain, SessionID: session, Action: "SANDBOX_CRASH",
 		Securable: "sandbox:" + sb.ID, Decision: audit.DecisionDeny, Reason: reason,
+		TraceID: traceID,
 	})
 	if tripped {
+		d.met.trips.Inc()
+		d.met.breakers.Add(1)
 		d.audit(audit.Event{
 			User: sb.TrustDomain, SessionID: session, Action: "CIRCUIT_OPEN",
 			Securable: "domain:" + sb.TrustDomain, Decision: audit.DecisionDeny,
-			Reason: fmt.Sprintf("%d consecutive sandbox crashes in domain %q", consecutive, sb.TrustDomain),
+			Reason:  fmt.Sprintf("%d consecutive sandbox crashes in domain %q", consecutive, sb.TrustDomain),
+			TraceID: traceID,
 		})
 	}
 }
@@ -374,6 +416,7 @@ func (d *Dispatcher) EndSession(session string) {
 	}
 	d.stats.Active -= len(toClose)
 	d.mu.Unlock()
+	d.met.active.Add(-int64(len(toClose)))
 	ev, _ := d.factory.(Evictor)
 	for _, sb := range toClose {
 		sb.Close()

@@ -35,6 +35,7 @@ import (
 
 	"lakeguard/internal/arrowipc"
 	"lakeguard/internal/faults"
+	"lakeguard/internal/telemetry"
 	"lakeguard/internal/types"
 	"lakeguard/internal/udf"
 )
@@ -109,6 +110,9 @@ type SandboxCrashError struct {
 	Reason      string
 	// Timeout distinguishes a wall-clock kill from an in-sandbox crash.
 	Timeout bool
+	// FaultSite names the injection site when the crash was injected by the
+	// chaos harness ("" for organic crashes); telemetry spans record it.
+	FaultSite string
 }
 
 // Error implements error.
@@ -149,6 +153,11 @@ type Sandbox struct {
 	// rowsProcessed counts rows × UDFs evaluated.
 	rowsProcessed atomic.Int64
 
+	// lastTrace remembers the most recent traced crossing so quarantine-time
+	// audit events (which have no request context) still join the trace.
+	lastTraceMu sync.Mutex
+	lastTraceID string
+
 	execMu sync.Mutex
 }
 
@@ -158,6 +167,9 @@ type sandboxResp struct {
 	// crashed marks a response produced by panic recovery: the interpreter
 	// goroutine is dead and the sandbox must be destroyed.
 	crashed bool
+	// faultSite is the injection site when the failure was injected ("" for
+	// organic failures).
+	faultSite string
 }
 
 var sandboxSeq atomic.Int64
@@ -172,6 +184,21 @@ func New(trustDomain string, cfg Config) *Sandbox {
 // NewContext is New with cancellation: a caller whose query was abandoned
 // does not pay the remaining cold start for a sandbox nobody will use.
 func NewContext(ctx context.Context, trustDomain string, cfg Config) (*Sandbox, error) {
+	_, sp := telemetry.StartSpan(ctx, "sandbox.coldstart")
+	sp.SetAttr("domain", trustDomain)
+	sb, err := newContext(ctx, trustDomain, cfg)
+	if err != nil {
+		if site := faults.SiteOf(err); site != "" {
+			sp.SetAttr("fault.site", site)
+		}
+	} else {
+		sp.SetAttr("sandbox", sb.ID)
+	}
+	sp.EndErr(err)
+	return sb, err
+}
+
+func newContext(ctx context.Context, trustDomain string, cfg Config) (*Sandbox, error) {
 	if err := cfg.Faults.CheckContext(ctx, faults.SiteSandboxColdStart); err != nil {
 		return nil, fmt.Errorf("sandbox: provisioning for %q: %w", trustDomain, err)
 	}
@@ -219,12 +246,26 @@ func (s *Sandbox) PoisonReason() string {
 // Crossings reports how many boundary round trips this sandbox served.
 func (s *Sandbox) Crossings() int64 { return s.crossings.Load() }
 
+// LastTraceID returns the trace ID of the most recent traced crossing (""
+// if the sandbox never served a traced request).
+func (s *Sandbox) LastTraceID() string {
+	s.lastTraceMu.Lock()
+	defer s.lastTraceMu.Unlock()
+	return s.lastTraceID
+}
+
+func (s *Sandbox) setLastTrace(id string) {
+	s.lastTraceMu.Lock()
+	s.lastTraceID = id
+	s.lastTraceMu.Unlock()
+}
+
 // RowsProcessed reports rows × UDF evaluations served.
 func (s *Sandbox) RowsProcessed() int64 { return s.rowsProcessed.Load() }
 
 // kill poisons the sandbox, tears it down, and returns the structured crash
-// error the caller surfaces.
-func (s *Sandbox) kill(reason string, timeout bool) error {
+// error the caller surfaces. faultSite attributes an injected failure ("").
+func (s *Sandbox) kill(reason string, timeout bool, faultSite string) error {
 	s.poisonMu.Lock()
 	if s.poisonReason == "" {
 		s.poisonReason = reason
@@ -232,7 +273,7 @@ func (s *Sandbox) kill(reason string, timeout bool) error {
 	s.poisonMu.Unlock()
 	s.poisoned.Store(true)
 	s.Close()
-	return &SandboxCrashError{SandboxID: s.ID, TrustDomain: s.TrustDomain, Reason: reason, Timeout: timeout}
+	return &SandboxCrashError{SandboxID: s.ID, TrustDomain: s.TrustDomain, Reason: reason, Timeout: timeout, FaultSite: faultSite}
 }
 
 // Execute performs one crossing: the request is serialized, handed to the
@@ -248,6 +289,30 @@ func (s *Sandbox) Execute(ctx context.Context, req *Request) (*types.Batch, erro
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	_, sp := telemetry.StartSpan(ctx, "sandbox.execute")
+	sp.SetAttr("sandbox", s.ID)
+	sp.SetAttr("domain", s.TrustDomain)
+	if tid := sp.TraceID(); tid != "" {
+		s.setLastTrace(tid)
+	}
+	sp.Count("rows", int64(req.Args.NumRows()))
+	b, err := s.execute(ctx, req)
+	if err != nil {
+		var crash *SandboxCrashError
+		if errors.As(err, &crash) {
+			sp.SetAttr("crash", crash.Reason)
+			if crash.FaultSite != "" {
+				sp.SetAttr("fault.site", crash.FaultSite)
+			}
+		} else if site := faults.SiteOf(err); site != "" {
+			sp.SetAttr("fault.site", site)
+		}
+	}
+	sp.EndErr(err)
+	return b, err
+}
+
+func (s *Sandbox) execute(ctx context.Context, req *Request) (*types.Batch, error) {
 	for _, spec := range req.Specs {
 		if len(spec.ArgCols) != len(spec.ArgNames) {
 			return nil, fmt.Errorf("sandbox: spec %q has %d arg columns for %d parameters",
@@ -288,7 +353,7 @@ func (s *Sandbox) Execute(ctx context.Context, req *Request) (*types.Batch, erro
 		// Nothing crossed the boundary yet; the sandbox stays healthy.
 		return nil, ctx.Err()
 	case <-timeoutC:
-		return nil, s.kill(fmt.Sprintf("request not accepted within ExecTimeout %v", s.execTimeout), true)
+		return nil, s.kill(fmt.Sprintf("request not accepted within ExecTimeout %v", s.execTimeout), true, "")
 	}
 	var resp sandboxResp
 	select {
@@ -296,15 +361,15 @@ func (s *Sandbox) Execute(ctx context.Context, req *Request) (*types.Batch, erro
 	case <-s.done:
 		return nil, ErrSandboxClosed
 	case <-ctx.Done():
-		s.kill("in-flight request abandoned: "+ctx.Err().Error(), false)
+		s.kill("in-flight request abandoned: "+ctx.Err().Error(), false, "")
 		return nil, ctx.Err()
 	case <-timeoutC:
-		return nil, s.kill(fmt.Sprintf("user code exceeded ExecTimeout %v", s.execTimeout), true)
+		return nil, s.kill(fmt.Sprintf("user code exceeded ExecTimeout %v", s.execTimeout), true, "")
 	}
 	s.crossings.Add(1)
 	s.rowsProcessed.Add(int64(req.Args.NumRows() * len(req.Specs)))
 	if resp.crashed {
-		return nil, s.kill("interpreter crashed: "+resp.err, false)
+		return nil, s.kill("interpreter crashed: "+resp.err, false, resp.faultSite)
 	}
 	if resp.err != "" {
 		return nil, fmt.Errorf("sandbox: user code failed: %s", resp.err)
@@ -403,6 +468,11 @@ func interpretOne(payload []byte, programs map[string]*udf.Program, caps *udf.Ca
 	defer func() {
 		if r := recover(); r != nil {
 			resp = sandboxResp{err: fmt.Sprint(r), crashed: true}
+			// An injected crash panics with the structured fault error;
+			// recover the site so the crossing span can attribute it.
+			if e, ok := r.(error); ok {
+				resp.faultSite = faults.SiteOf(e)
+			}
 		}
 	}()
 	if f, ok := inj.Eval(faults.SiteSandboxInterpret); ok {

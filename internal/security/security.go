@@ -43,4 +43,8 @@ type RequestContext struct {
 	// user identity for auditing and CURRENT_USER (dedicated group
 	// clusters, paper §4.2).
 	GroupScope string
+	// TraceID correlates every governance decision made on behalf of this
+	// request with the query's telemetry trace: audit events carry it so a
+	// DENY or SENTINEL_VERIFY joins to its span tree.
+	TraceID string
 }

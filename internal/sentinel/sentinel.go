@@ -29,12 +29,14 @@
 package sentinel
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"strings"
 
 	"lakeguard/internal/eval"
 	"lakeguard/internal/plan"
+	"lakeguard/internal/telemetry"
 	"lakeguard/internal/types"
 )
 
@@ -183,6 +185,17 @@ func (o *obligation) hasKind(k string) bool {
 		}
 	}
 	return false
+}
+
+// VerifyCtx is Verify under a telemetry span. Governance decisions are
+// always spanned: a verification failure is recorded as an error-status span
+// (never hidden), so every blocked plan is attributable from the trace.
+func VerifyCtx(ctx context.Context, analyzed, optimized plan.Node) *Report {
+	_, sp := telemetry.StartSpan(ctx, "sentinel.verify")
+	r := Verify(analyzed, optimized)
+	sp.SetAttr("fingerprint", r.Fingerprint)
+	sp.EndErr(r.Err())
+	return r
 }
 
 // Verify proves the optimized plan still satisfies every policy obligation

@@ -22,6 +22,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"lakeguard/internal/telemetry"
 )
 
 // AccessMode is the operation class a credential permits.
@@ -74,6 +76,11 @@ type Store struct {
 	// workers read concurrently.
 	getCount atomic.Int64
 	putCount atomic.Int64
+	// registry counters (nil until SetMetrics; nil-safe no-ops).
+	mGetOps   *telemetry.Counter
+	mGetBytes *telemetry.Counter
+	mPutOps   *telemetry.Counter
+	mPutBytes *telemetry.Counter
 }
 
 // NewStore creates a store with a fresh random signing secret.
@@ -87,6 +94,17 @@ func NewStore() *Store {
 
 // SetClock overrides the time source (tests).
 func (s *Store) SetClock(clock func() time.Time) { s.clock = clock }
+
+// SetMetrics publishes storage data-plane counters (storage.get_ops,
+// storage.get_bytes, storage.put_ops, storage.put_bytes) on a registry.
+func (s *Store) SetMetrics(m *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mGetOps = m.Counter("storage.get_ops")
+	s.mGetBytes = m.Counter("storage.get_bytes")
+	s.mPutOps = m.Counter("storage.put_ops")
+	s.mPutBytes = m.Counter("storage.put_bytes")
+}
 
 // SetFault installs a failure-injection hook consulted on every data-plane
 // operation ("get", "put", "delete", "list"); a non-nil return fails the
@@ -173,6 +191,8 @@ func (s *Store) Put(cred *Credential, path string, data []byte) error {
 	defer s.mu.Unlock()
 	s.objects[path] = cp
 	s.putCount.Add(1)
+	s.mPutOps.Inc()
+	s.mPutBytes.Add(int64(len(cp)))
 	return nil
 }
 
@@ -197,6 +217,8 @@ func (s *Store) PutIfAbsent(cred *Credential, path string, data []byte) error {
 	}
 	s.objects[path] = cp
 	s.putCount.Add(1)
+	s.mPutOps.Inc()
+	s.mPutBytes.Add(int64(len(cp)))
 	return nil
 }
 
@@ -215,6 +237,8 @@ func (s *Store) Get(cred *Credential, path string) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
 	}
 	s.getCount.Add(1)
+	s.mGetOps.Inc()
+	s.mGetBytes.Add(int64(len(data)))
 	out := make([]byte, len(data))
 	copy(out, data)
 	return out, nil

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+type spanJSON struct {
+	Name       string            `json:"name"`
+	ID         uint64            `json:"id"`
+	DurationMS float64           `json:"duration_ms"`
+	Status     string            `json:"status"` // ok | error | open
+	Error      string            `json:"error,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Counts     map[string]int64  `json:"counts,omitempty"`
+	Children   []spanJSON        `json:"children,omitempty"`
+}
+
+type traceJSON struct {
+	TraceID    string   `json:"trace_id"`
+	Name       string   `json:"name"`
+	DurationMS float64  `json:"duration_ms"`
+	Spans      int      `json:"spans"`
+	Root       spanJSON `json:"root"`
+}
+
+func (s *Span) snapshot() spanJSON {
+	out := spanJSON{
+		Name:       s.name,
+		ID:         s.id,
+		DurationMS: float64(s.Duration()) / 1e6,
+	}
+	s.mu.Lock()
+	switch {
+	case s.errMsg != "":
+		out.Status = "error"
+		out.Error = s.errMsg
+	case s.ended.Load():
+		out.Status = "ok"
+	default:
+		out.Status = "open"
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			out.Attrs[a.key] = a.value
+		}
+	}
+	if len(s.counts) > 0 {
+		out.Counts = make(map[string]int64, len(s.counts))
+		for _, c := range s.counts {
+			out.Counts[c.key] = c.n
+		}
+	}
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+	for _, c := range children {
+		out.Children = append(out.Children, c.snapshot())
+	}
+	return out
+}
+
+func (t *Trace) snapshot() traceJSON {
+	out := traceJSON{
+		TraceID:    t.ID(),
+		Name:       t.Name(),
+		DurationMS: float64(t.Duration()) / 1e6,
+		Spans:      len(t.Spans()),
+	}
+	if root := t.Root(); root != nil {
+		out.Root = root.snapshot()
+	}
+	return out
+}
+
+type debugJSON struct {
+	OpenSpans       int64       `json:"open_spans"`
+	TracesStarted   int64       `json:"traces_started"`
+	SlowThresholdMS float64     `json:"slow_threshold_ms"`
+	Recent          []traceJSON `json:"recent"`
+	Slow            []traceJSON `json:"slow"`
+}
+
+// DebugQueriesHandler serves the tracer's retained query profiles as JSON:
+// the last-N completed traces plus the slow-query log (the /debug/queries
+// endpoint). ?n=K limits the number of recent traces returned.
+func DebugQueriesHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		out := debugJSON{Recent: []traceJSON{}, Slow: []traceJSON{}}
+		if t != nil {
+			out.OpenSpans = t.OpenSpans()
+			out.TracesStarted = t.TracesStarted()
+			out.SlowThresholdMS = float64(t.SlowThreshold()) / 1e6
+			recent := t.Recent()
+			if nStr := r.URL.Query().Get("n"); nStr != "" {
+				if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(recent) {
+					recent = recent[len(recent)-n:]
+				}
+			}
+			for _, tr := range recent {
+				out.Recent = append(out.Recent, tr.snapshot())
+			}
+			for _, tr := range t.Slow() {
+				out.Slow = append(out.Slow, tr.snapshot())
+			}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+}

@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// OpStats accumulates runtime statistics for one physical operator. The hot
+// counters are atomics so per-worker morsels can report without locking.
+type OpStats struct {
+	Name   string
+	Detail string
+
+	wall       atomic.Int64 // nanoseconds spent in Next()
+	rows       atomic.Int64
+	batches    atomic.Int64
+	vecBatches atomic.Int64 // batches evaluated by vectorized kernels
+	rowBatches atomic.Int64 // batches that fell back to the row interpreter
+
+	mu       sync.Mutex
+	children []*OpStats
+}
+
+// AddWall accumulates wall time spent producing output.
+func (o *OpStats) AddWall(d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.wall.Add(int64(d))
+}
+
+// AddBatch records one output batch of the given row count.
+func (o *OpStats) AddBatch(rows int) {
+	if o == nil {
+		return
+	}
+	o.batches.Add(1)
+	o.rows.Add(int64(rows))
+}
+
+// CountEval records whether a batch's expressions ran vectorized or fell
+// back to the row interpreter.
+func (o *OpStats) CountEval(vectorized bool) {
+	if o == nil {
+		return
+	}
+	if vectorized {
+		o.vecBatches.Add(1)
+	} else {
+		o.rowBatches.Add(1)
+	}
+}
+
+// Wall returns accumulated wall time.
+func (o *OpStats) Wall() time.Duration {
+	if o == nil {
+		return 0
+	}
+	return time.Duration(o.wall.Load())
+}
+
+// Rows returns total rows emitted.
+func (o *OpStats) Rows() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.rows.Load()
+}
+
+// Batches returns total batches emitted.
+func (o *OpStats) Batches() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.batches.Load()
+}
+
+// VecBatches returns batches evaluated by vectorized kernels.
+func (o *OpStats) VecBatches() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.vecBatches.Load()
+}
+
+// RowFallbackBatches returns batches evaluated by the row interpreter.
+func (o *OpStats) RowFallbackBatches() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.rowBatches.Load()
+}
+
+// Children returns the operator's input operators.
+func (o *OpStats) Children() []*OpStats {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]*OpStats, len(o.children))
+	copy(out, o.children)
+	return out
+}
+
+// Profile is one query's EXPLAIN ANALYZE payload: per-phase latencies plus
+// a tree of OpStats mirroring the physical operator tree. Nil-safe.
+type Profile struct {
+	// Phase wall times, stamped sequentially by the query driver.
+	AnalyzeNanos  int64
+	OptimizeNanos int64
+	VerifyNanos   int64
+	ExecNanos     int64
+	TotalNanos    int64
+
+	mu   sync.Mutex
+	root *OpStats
+}
+
+// NewProfile creates an empty profile.
+func NewProfile() *Profile { return &Profile{} }
+
+// NewOp registers an operator node under parent (nil parent = plan root) and
+// returns its stats sink. On a nil profile it returns nil and every
+// downstream stats call no-ops.
+func (p *Profile) NewOp(parent *OpStats, name, detail string) *OpStats {
+	if p == nil {
+		return nil
+	}
+	op := &OpStats{Name: name, Detail: detail}
+	if parent == nil {
+		p.mu.Lock()
+		p.root = op
+		p.mu.Unlock()
+	} else {
+		parent.mu.Lock()
+		parent.children = append(parent.children, op)
+		parent.mu.Unlock()
+	}
+	return op
+}
+
+// Root returns the root operator's stats.
+func (p *Profile) Root() *OpStats {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.root
+}
+
+func fmtDur(nanos int64) string {
+	return time.Duration(nanos).Round(time.Microsecond).String()
+}
+
+// Render formats the profile as an annotated plan tree.
+func (p *Profile) Render() string {
+	if p == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "EXPLAIN ANALYZE (total %s: analyze %s, optimize %s, verify %s, exec %s)\n",
+		fmtDur(p.TotalNanos), fmtDur(p.AnalyzeNanos), fmtDur(p.OptimizeNanos),
+		fmtDur(p.VerifyNanos), fmtDur(p.ExecNanos))
+	renderOp(&b, p.Root(), 0)
+	return b.String()
+}
+
+func renderOp(b *strings.Builder, o *OpStats, depth int) {
+	if o == nil {
+		return
+	}
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(o.Name)
+	if o.Detail != "" {
+		fmt.Fprintf(b, " (%s)", o.Detail)
+	}
+	fmt.Fprintf(b, "  [wall %s, rows %d, batches %d", fmtDur(o.wall.Load()), o.Rows(), o.Batches())
+	if v, r := o.VecBatches(), o.RowFallbackBatches(); v+r > 0 {
+		fmt.Fprintf(b, ", vectorized %d/%d", v, v+r)
+	}
+	b.WriteString("]\n")
+	for _, c := range o.Children() {
+		renderOp(b, c, depth+1)
+	}
+}

@@ -1,0 +1,513 @@
+// Package telemetry provides request-scoped distributed tracing, a
+// process-wide metrics registry, and per-operator execution profiles
+// (EXPLAIN ANALYZE) for the Lakeguard stack.
+//
+// The package is stdlib-only so that every layer — connect, gateway, core,
+// analyzer, optimizer, sentinel, exec, sandbox, cluster, storage, audit —
+// may depend on it without widening the architecture's import boundaries.
+// All hot-path types are nil-safe: a nil *Span, *Counter, *Gauge,
+// *Histogram, or *Profile accepts every method as a no-op, so instrumented
+// code never branches on "is telemetry enabled".
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// spanBlock is the per-trace span preallocation quantum: spans are carved
+// out of fixed blocks so tracing a query performs O(spans/spanBlock) heap
+// allocations instead of one per span.
+const spanBlock = 32
+
+type attr struct {
+	key   string
+	value string
+}
+
+type count struct {
+	key string
+	n   int64
+}
+
+// Span records one timed operation inside a trace. Spans form a tree rooted
+// at the span minted by Tracer.StartTrace; children are created with
+// StartSpan. A span must be ended exactly once on every path (End or
+// EndErr) — the span-end lint rule enforces this statically, and
+// Tracer.OpenSpans exposes the started-minus-ended balance for leak tests.
+//
+// All methods are safe on a nil receiver.
+type Span struct {
+	trace    *Trace
+	id       uint64
+	parentID uint64
+	name     string
+	start    time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    []attr
+	counts   []count
+	errMsg   string
+	children []*Span
+
+	ended atomic.Bool
+}
+
+// Name returns the span's operation name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// TraceID returns the ID of the trace this span belongs to ("" for nil).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.trace.ID()
+}
+
+// SetAttr attaches a string attribute.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for i := range s.attrs {
+		if s.attrs[i].key == key {
+			s.attrs[i].value = value
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.attrs = append(s.attrs, attr{key, value})
+	s.mu.Unlock()
+}
+
+// SetInt attaches an integer attribute (rendered as a string).
+func (s *Span) SetInt(key string, v int64) {
+	s.SetAttr(key, strconv.FormatInt(v, 10))
+}
+
+// Attr returns a previously set attribute.
+func (s *Span) Attr(key string) (string, bool) {
+	if s == nil {
+		return "", false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.attrs {
+		if a.key == key {
+			return a.value, true
+		}
+	}
+	return "", false
+}
+
+// Count accumulates n into a named per-span counter (e.g. rows, morsels).
+func (s *Span) Count(key string, n int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for i := range s.counts {
+		if s.counts[i].key == key {
+			s.counts[i].n += n
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.counts = append(s.counts, count{key, n})
+	s.mu.Unlock()
+}
+
+// CountValue returns the accumulated value of a per-span counter.
+func (s *Span) CountValue(key string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.counts {
+		if c.key == key {
+			return c.n
+		}
+	}
+	return 0
+}
+
+// Fail marks the span as errored without ending it. Injected faults, crashes
+// and deny decisions are recorded — never hidden — so chaos runs stay
+// debuggable from the trace alone.
+func (s *Span) Fail(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	s.errMsg = err.Error()
+	s.mu.Unlock()
+}
+
+// Err returns the recorded error message ("" if the span succeeded).
+func (s *Span) Err() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.errMsg
+}
+
+// End closes the span. Idempotent: only the first End takes effect. Ending
+// the trace's root span completes the trace and publishes it to the
+// tracer's recent/slow rings.
+func (s *Span) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	s.mu.Lock()
+	s.end = time.Now()
+	s.mu.Unlock()
+	s.trace.spanEnded(s)
+}
+
+// EndErr records err (if non-nil) and ends the span.
+func (s *Span) EndErr(err error) {
+	s.Fail(err)
+	s.End()
+}
+
+// Ended reports whether the span has been closed.
+func (s *Span) Ended() bool {
+	if s == nil {
+		return true
+	}
+	return s.ended.Load()
+}
+
+// Duration returns the span's wall time (time-so-far if still open).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	end := s.end
+	s.mu.Unlock()
+	if end.IsZero() {
+		return time.Since(s.start)
+	}
+	return end.Sub(s.start)
+}
+
+// Children returns the span's direct children.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// Trace is one query's span tree plus the preallocated block the spans are
+// carved from.
+type Trace struct {
+	id     string
+	tracer *Tracer
+	name   string
+	start  time.Time
+
+	mu     sync.Mutex
+	free   []Span
+	spans  []*Span
+	nextID uint64
+	root   *Span
+	end    time.Time
+}
+
+// ID returns the trace ID ("" for nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Name returns the trace's root operation name.
+func (t *Trace) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// Root returns the root span.
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.root
+}
+
+// Spans returns every span in creation order.
+func (t *Trace) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Find returns all spans with the given name.
+func (t *Trace) Find(name string) []*Span {
+	var out []*Span
+	for _, s := range t.Spans() {
+		if s.name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Duration returns root-span wall time (time-so-far if still running).
+func (t *Trace) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	end := t.end
+	t.mu.Unlock()
+	if end.IsZero() {
+		return time.Since(t.start)
+	}
+	return end.Sub(t.start)
+}
+
+func (t *Trace) newSpan(name string, parent *Span) *Span {
+	t.mu.Lock()
+	if len(t.free) == 0 {
+		t.free = make([]Span, spanBlock)
+	}
+	s := &t.free[0]
+	t.free = t.free[1:]
+	t.nextID++
+	s.trace = t
+	s.id = t.nextID
+	s.name = name
+	s.start = time.Now()
+	if parent != nil {
+		s.parentID = parent.id
+	}
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	if parent != nil {
+		parent.mu.Lock()
+		parent.children = append(parent.children, s)
+		parent.mu.Unlock()
+	}
+	if t.tracer != nil {
+		t.tracer.started.Add(1)
+	}
+	return s
+}
+
+func (t *Trace) spanEnded(s *Span) {
+	if t == nil {
+		return
+	}
+	if t.tracer != nil {
+		t.tracer.ended.Add(1)
+	}
+	t.mu.Lock()
+	isRoot := s == t.root
+	if isRoot {
+		t.end = time.Now()
+	}
+	t.mu.Unlock()
+	if isRoot && t.tracer != nil {
+		t.tracer.completeTrace(t)
+	}
+}
+
+// Tracer mints traces and retains completed ones in two bounded rings: the
+// most recent N queries and the slow-query log (root duration above a
+// configurable threshold).
+type Tracer struct {
+	started       atomic.Int64
+	ended         atomic.Int64
+	traces        atomic.Int64
+	slowThreshold atomic.Int64 // nanoseconds; 0 disables the slow ring
+
+	mu     sync.Mutex
+	retain int
+	recent []*Trace
+	slow   []*Trace
+}
+
+// NewTracer returns a tracer retaining the last 32 traces.
+func NewTracer() *Tracer { return &Tracer{retain: 32} }
+
+// SetRetain bounds the recent/slow rings to the last n completed traces.
+func (t *Tracer) SetRetain(n int) {
+	if t == nil || n < 1 {
+		return
+	}
+	t.mu.Lock()
+	t.retain = n
+	t.mu.Unlock()
+}
+
+// SetSlowThreshold enables the slow-query ring for traces whose root span
+// takes at least d (0 disables).
+func (t *Tracer) SetSlowThreshold(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.slowThreshold.Store(int64(d))
+}
+
+// SlowThreshold returns the current slow-query threshold.
+func (t *Tracer) SlowThreshold() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.slowThreshold.Load())
+}
+
+// StartTrace mints a fresh trace with a root span and returns a context
+// carrying it. On a nil tracer it returns (ctx, nil): the whole
+// instrumentation chain downstream degrades to no-ops.
+func (t *Tracer) StartTrace(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	tr := &Trace{id: newTraceID(), tracer: t, name: name, start: time.Now()}
+	root := tr.newSpan(name, nil)
+	tr.mu.Lock()
+	tr.root = root
+	tr.mu.Unlock()
+	t.traces.Add(1)
+	return ContextWithSpan(ctx, root), root
+}
+
+// OpenSpans returns spans started but not yet ended across all traces. A
+// clean system returns to 0 after every query — including chaos runs with
+// sibling-cancelled workers.
+func (t *Tracer) OpenSpans() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.started.Load() - t.ended.Load()
+}
+
+// TracesStarted returns the number of traces minted.
+func (t *Tracer) TracesStarted() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.traces.Load()
+}
+
+// Recent returns the retained completed traces, oldest first.
+func (t *Tracer) Recent() []*Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Trace, len(t.recent))
+	copy(out, t.recent)
+	return out
+}
+
+// Slow returns the retained slow traces, oldest first.
+func (t *Tracer) Slow() []*Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Trace, len(t.slow))
+	copy(out, t.slow)
+	return out
+}
+
+func (t *Tracer) completeTrace(tr *Trace) {
+	slow := t.SlowThreshold() > 0 && tr.Duration() >= t.SlowThreshold()
+	t.mu.Lock()
+	t.recent = appendRing(t.recent, tr, t.retain)
+	if slow {
+		t.slow = appendRing(t.slow, tr, t.retain)
+	}
+	t.mu.Unlock()
+}
+
+func appendRing(ring []*Trace, tr *Trace, retain int) []*Trace {
+	ring = append(ring, tr)
+	if len(ring) > retain {
+		copy(ring, ring[len(ring)-retain:])
+		ring = ring[:retain]
+	}
+	return ring
+}
+
+var traceSeq atomic.Uint64
+
+func newTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "trace-" + strconv.FormatUint(traceSeq.Add(1), 16)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying s as the current span.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFrom returns the current span carried by ctx (nil if untraced).
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// TraceIDFrom returns the trace ID carried by ctx ("" if untraced).
+func TraceIDFrom(ctx context.Context) string {
+	return SpanFrom(ctx).TraceID()
+}
+
+// StartSpan opens a child of the current span in ctx and returns a context
+// carrying the child. If ctx carries no span (tracing disabled or untraced
+// entry point) it returns (ctx, nil) and all downstream span calls no-op.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFrom(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := parent.trace.newSpan(name, parent)
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
