@@ -21,7 +21,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: table1, table2, coldstart, membrane, efgac-modes, exec, telemetry, all")
+		"which experiment to run: table1, table2, coldstart, membrane, efgac-modes, exec, skipping, telemetry, all")
 	quick := flag.Bool("quick", false, "reduced problem sizes for a fast smoke run")
 	jsonOut := flag.String("json", "", "also write machine-readable results to this file (exec experiment → BENCH_exec.json)")
 	maxOverheadPct := flag.Float64("max-overhead-pct", 0,
@@ -122,6 +122,38 @@ func main() {
 			return err
 		}
 		fmt.Println(bench.FormatExecScaling(res))
+		if *jsonOut != "" {
+			data, err := res.FormatJSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return nil
+	})
+
+	wrap("skipping", func() error {
+		cfg := bench.DefaultSkippingConfig()
+		if *quick {
+			cfg.Rows = 40_000
+			cfg.RowsPerFile = 2048
+			cfg.ReadLatency = 2 * time.Millisecond
+			cfg.Repetitions = 1
+		}
+		res, err := bench.RunSkipping(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatSkipping(res))
+		if res.GetReduction < 3 {
+			return fmt.Errorf("data skipping reduced GETs only %.1fx (want >= 3x)", res.GetReduction)
+		}
+		if res.WarmRepeat.LogEntriesReplayed != 0 {
+			return fmt.Errorf("warm repeat replayed %d log entries (want 0)", res.WarmRepeat.LogEntriesReplayed)
+		}
 		if *jsonOut != "" {
 			data, err := res.FormatJSON()
 			if err != nil {

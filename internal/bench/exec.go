@@ -101,12 +101,12 @@ func NewLatencyTables(inner exec.TableProvider, delay time.Duration) exec.TableP
 	return &latencyTables{inner: inner, delay: delay}
 }
 
-func (l *latencyTables) OpenSnapshot(ctx security.RequestContext, table string, version int64) (*delta.Snapshot, func(string) ([]byte, error), error) {
+func (l *latencyTables) OpenSnapshot(ctx security.RequestContext, table string, version int64) (*delta.Snapshot, func(string) (*types.Batch, error), error) {
 	snap, read, err := l.inner.OpenSnapshot(ctx, table, version)
 	if err != nil {
 		return nil, nil, err
 	}
-	return snap, func(path string) ([]byte, error) {
+	return snap, func(path string) (*types.Batch, error) {
 		if l.delay > 0 && !strings.Contains(path, "_delta_log") {
 			time.Sleep(l.delay)
 		}

@@ -253,6 +253,9 @@ func (c *Catalog) VendResultCredential(ctx RequestContext, prefix string, mode s
 }
 
 // OpenTableLog returns the Delta log plus a read credential for scanning.
+// The log handle is shared per table prefix (it carries the incremental
+// snapshot cache); the credential is vended per call, and every operation on
+// the handle revalidates it.
 func (c *Catalog) OpenTableLog(ctx RequestContext, parts []string) (*delta.Log, *storage.Credential, error) {
 	cred, err := c.VendCredential(ctx, parts, storage.ModeRead)
 	if err != nil {
@@ -264,20 +267,18 @@ func (c *Catalog) OpenTableLog(ctx RequestContext, parts []string) (*delta.Log, 
 	if err != nil {
 		return nil, nil, err
 	}
-	log, err := delta.Open(c.store, cred, t.prefix)
-	if err != nil {
-		return nil, nil, err
-	}
-	return log, cred, nil
+	return c.logFor(t.prefix), cred, nil
 }
 
 // OpenSnapshot resolves a table by its fully qualified name, vends a read
-// credential, and returns the requested snapshot together with a file reader
+// credential, and returns the requested snapshot together with a batch reader
 // bound to that credential. It is the execution engine's only route to table
 // data (it satisfies exec.TableProvider structurally): the engine never
-// handles raw storage paths or credentials itself, so every byte it reads is
-// covered by a vended, audited credential.
-func (c *Catalog) OpenSnapshot(ctx RequestContext, table string, version int64) (*delta.Snapshot, func(path string) ([]byte, error), error) {
+// handles raw storage paths or credentials itself, so every batch it reads is
+// covered by a vended, audited credential. Reads go through the shared
+// decoded-batch cache; a denied lookup (forged, expired, or out-of-prefix
+// credential) is audited even when the batch was already cached.
+func (c *Catalog) OpenSnapshot(ctx RequestContext, table string, version int64) (*delta.Snapshot, func(path string) (*types.Batch, error), error) {
 	parts := strings.Split(table, ".")
 	log, cred, err := c.OpenTableLog(ctx, parts)
 	if err != nil {
@@ -287,7 +288,14 @@ func (c *Catalog) OpenSnapshot(ctx RequestContext, table string, version int64) 
 	if err != nil {
 		return nil, nil, err
 	}
-	read := func(path string) ([]byte, error) { return c.store.Get(cred, path) }
+	full := FullName(parts)
+	read := func(path string) (*types.Batch, error) {
+		b, err := c.batches.get(cred, path)
+		if err != nil && storage.IsAccessDenied(err) {
+			c.record(ctx, "READ_DATA", full, audit.DecisionDeny, err.Error())
+		}
+		return b, err
+	}
 	return snap, read, nil
 }
 
@@ -306,11 +314,7 @@ func (c *Catalog) AppendToTable(ctx RequestContext, parts []string, batches []*t
 	if t.objType != TypeTable {
 		return 0, fmt.Errorf("%w: cannot insert into %s of type %s", ErrPermission, full, t.objType)
 	}
-	log, err := delta.Open(c.store, cred, t.prefix)
-	if err != nil {
-		return 0, err
-	}
-	v, err := log.Append(cred, batches)
+	v, err := c.logFor(t.prefix).Append(cred, batches)
 	if err != nil {
 		return 0, err
 	}
@@ -343,11 +347,7 @@ func (c *Catalog) OverwriteTable(ctx RequestContext, parts []string, batches []*
 	if err != nil {
 		return 0, err
 	}
-	log, err := delta.Open(c.store, cred, t.prefix)
-	if err != nil {
-		return 0, err
-	}
-	v, err := log.Overwrite(cred, batches)
+	v, err := c.logFor(t.prefix).Overwrite(cred, batches)
 	if err != nil {
 		return 0, err
 	}
@@ -399,11 +399,7 @@ func (c *Catalog) RefreshMaterializedView(ctx RequestContext, parts []string, da
 	c.mu.Unlock()
 
 	cred := c.signer.Issue(prefix, storage.ModeReadWrite, time.Minute)
-	log, err := delta.Open(c.store, &cred, prefix)
-	if err != nil {
-		return err
-	}
-	if _, err := log.Overwrite(&cred, data); err != nil {
+	if _, err := c.logFor(prefix).Overwrite(&cred, data); err != nil {
 		return err
 	}
 	c.record(ctx, "REFRESH", full, audit.DecisionAllow, "")

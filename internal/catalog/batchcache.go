@@ -1,0 +1,147 @@
+package catalog
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+
+	"lakeguard/internal/arrowipc"
+	"lakeguard/internal/storage"
+	"lakeguard/internal/telemetry"
+	"lakeguard/internal/types"
+)
+
+// defaultBatchCacheBytes bounds the decoded-batch cache (encoded sizes).
+const defaultBatchCacheBytes = 256 << 20
+
+// batchCache is a size-bounded LRU of decoded data-file batches keyed by
+// storage path. The cache is shared across users — that is what makes it
+// worth having under multi-user load — so it is credential-scoped at lookup
+// time, never at fill time: every get first runs the caller's credential
+// through the store (a HEAD-style Exists), and only then may cached bytes
+// flow. A cache warmed by one user therefore can never satisfy a read the
+// store would deny another user; the hot path saves the GET byte copy and
+// the decode, not the access check.
+type batchCache struct {
+	store    *storage.Store
+	maxBytes int64
+
+	mu       sync.Mutex
+	curBytes int64
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used
+
+	mHits, mMisses, mEvictions *telemetry.Counter
+}
+
+type batchEntry struct {
+	path  string
+	batch *types.Batch
+	bytes int64
+}
+
+func newBatchCache(store *storage.Store, maxBytes int64) *batchCache {
+	return &batchCache{
+		store:    store,
+		maxBytes: maxBytes,
+		entries:  map[string]*list.Element{},
+		lru:      list.New(),
+	}
+}
+
+// setMetrics publishes batch.cache.{hits,misses,evictions} on a registry.
+func (bc *batchCache) setMetrics(m *telemetry.Registry) {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	bc.mHits = m.Counter("batch.cache.hits")
+	bc.mMisses = m.Counter("batch.cache.misses")
+	bc.mEvictions = m.Counter("batch.cache.evictions")
+}
+
+// get returns the decoded batch at path, serving from cache when possible.
+// The credential check is never skipped: a cache hit revalidates cred with
+// storage.Exists (which also detects objects deleted since the fill — e.g.
+// DROP TABLE — and invalidates them), and a miss goes through storage.Get,
+// which checks the credential before reading.
+func (bc *batchCache) get(cred *storage.Credential, path string) (*types.Batch, error) {
+	bc.mu.Lock()
+	_, cached := bc.entries[path]
+	bc.mu.Unlock()
+	if cached {
+		ok, err := bc.store.Exists(cred, path)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			bc.invalidate(path)
+		} else {
+			bc.mu.Lock()
+			if el, still := bc.entries[path]; still {
+				bc.lru.MoveToFront(el)
+				e := el.Value.(*batchEntry)
+				bc.mHits.Inc()
+				bc.mu.Unlock()
+				return e.batch, nil
+			}
+			bc.mu.Unlock()
+		}
+	}
+	data, err := bc.store.Get(cred, path)
+	if err != nil {
+		return nil, err
+	}
+	b, err := arrowipc.DecodeBatch(data)
+	if err != nil {
+		return nil, err
+	}
+	bc.put(path, b, int64(len(data)))
+	return b, nil
+}
+
+func (bc *batchCache) put(path string, b *types.Batch, size int64) {
+	if size > bc.maxBytes {
+		return
+	}
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	bc.mMisses.Inc()
+	if _, ok := bc.entries[path]; ok {
+		return // raced with another filler; keep the existing entry
+	}
+	bc.entries[path] = bc.lru.PushFront(&batchEntry{path: path, batch: b, bytes: size})
+	bc.curBytes += size
+	for bc.curBytes > bc.maxBytes && bc.lru.Len() > 1 {
+		oldest := bc.lru.Back()
+		e := oldest.Value.(*batchEntry)
+		bc.lru.Remove(oldest)
+		delete(bc.entries, e.path)
+		bc.curBytes -= e.bytes
+		bc.mEvictions.Inc()
+	}
+}
+
+// invalidate removes one path from the cache.
+func (bc *batchCache) invalidate(path string) {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	if el, ok := bc.entries[path]; ok {
+		e := el.Value.(*batchEntry)
+		bc.lru.Remove(el)
+		delete(bc.entries, path)
+		bc.curBytes -= e.bytes
+	}
+}
+
+// invalidatePrefix removes every cached path under prefix (DROP TABLE).
+func (bc *batchCache) invalidatePrefix(prefix string) {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	for path, el := range bc.entries {
+		if strings.HasPrefix(path, prefix) {
+			e := el.Value.(*batchEntry)
+			bc.lru.Remove(el)
+			delete(bc.entries, path)
+			bc.curBytes -= e.bytes
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package catalog
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"lakeguard/internal/audit"
+	"lakeguard/internal/storage"
+	"lakeguard/internal/telemetry"
+	"lakeguard/internal/types"
+)
+
+func seedSales(t *testing.T, c *Catalog, rows int) {
+	t.Helper()
+	createSales(t, c)
+	bb := types.NewBatchBuilder(salesSchema(), rows)
+	for i := 0; i < rows; i++ {
+		bb.AppendRow([]types.Value{
+			types.Float64(float64(i)), types.String("2024-12-01"),
+			types.String("ann"), types.String("US"),
+		})
+	}
+	if _, err := c.AppendToTable(adminCtx(), []string{"sales"}, []*types.Batch{bb.Build()}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchCacheHitsOnRepeatRead(t *testing.T) {
+	c := newTestCatalog(t)
+	m := telemetry.NewRegistry()
+	c.SetMetrics(m)
+	seedSales(t, c, 8)
+
+	readAll := func() {
+		snap, read, err := c.OpenSnapshot(adminCtx(), "main.default.sales", -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range snap.Files {
+			if _, err := read(f.Path); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	readAll()
+	misses, hits := m.Counter("batch.cache.misses").Value(), m.Counter("batch.cache.hits").Value()
+	if misses == 0 || hits != 0 {
+		t.Fatalf("cold read: misses=%d hits=%d", misses, hits)
+	}
+	getsBefore, _ := c.store.Stats()
+	readAll()
+	getsAfter, _ := c.store.Stats()
+	if got := m.Counter("batch.cache.hits").Value(); got == 0 {
+		t.Fatal("warm read must hit the batch cache")
+	}
+	if getsAfter != getsBefore {
+		t.Fatalf("warm read issued %d data GETs, want 0", getsAfter-getsBefore)
+	}
+}
+
+// TestBatchCacheDoesNotBypassAccessControl is the negative security test for
+// the tentpole: a cache warmed under user A's credential must not satisfy a
+// read that would be denied under user B, and the denial must be audited.
+func TestBatchCacheDoesNotBypassAccessControl(t *testing.T) {
+	c := newTestCatalog(t)
+	m := telemetry.NewRegistry()
+	c.SetMetrics(m)
+	seedSales(t, c, 8)
+	if err := c.Grant(adminCtx(), PrivSelect, []string{"sales"}, alice); err != nil {
+		t.Fatal(err)
+	}
+
+	// Alice warms the cache.
+	snap, readA, err := c.OpenSnapshot(userCtx(alice, ComputeStandard), "main.default.sales", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, f := range snap.Files {
+		if _, err := readA(f.Path); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, f.Path)
+	}
+
+	// Bob has no SELECT: the catalog path denies before any cache is
+	// reachable, and the denial is audited.
+	if _, _, err := c.OpenSnapshot(userCtx(bob, ComputeStandard), "main.default.sales", -1); !errors.Is(err, ErrPermission) {
+		t.Fatalf("bob must be denied at credential vending, got %v", err)
+	}
+	if n := c.Audit().Count(func(e audit.Event) bool {
+		return e.User == bob && e.Decision == audit.DecisionDeny
+	}); n == 0 {
+		t.Fatal("bob's denial must be audited")
+	}
+
+	// Even with a real credential for a DIFFERENT prefix, a direct cache
+	// lookup of alice's warmed path is denied by the per-lookup credential
+	// check — warm entries never leak across prefixes.
+	if err := c.CreateTable(userCtx(bob, ComputeStandard), []string{"bobs"}, salesSchema(), false, ""); err != nil {
+		t.Fatal(err)
+	}
+	_, bobCred, err := c.OpenTableLog(userCtx(bob, ComputeStandard), []string{"bobs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.batches.get(bobCred, paths[0]); !storage.IsAccessDenied(err) {
+		t.Fatalf("cross-prefix credential must be denied on warm cache, got %v", err)
+	}
+
+	// An expired credential is denied on the warm path too, and the read
+	// closure audits it as a READ_DATA denial.
+	c.store.SetClock(func() time.Time { return time.Now().Add(time.Hour) })
+	defer c.store.SetClock(time.Now)
+	denialsBefore := m.Counter("catalog.denials").Value()
+	if _, err := readA(paths[0]); !storage.IsAccessDenied(err) {
+		t.Fatalf("expired credential must be denied on warm cache, got %v", err)
+	}
+	if n := c.Audit().Count(func(e audit.Event) bool {
+		return e.User == alice && e.Action == "READ_DATA" && e.Decision == audit.DecisionDeny
+	}); n == 0 {
+		t.Fatal("expired-credential read of a cached batch must be audited as READ_DATA deny")
+	}
+	if m.Counter("catalog.denials").Value() == denialsBefore {
+		t.Fatal("denial counter must advance")
+	}
+}
+
+func TestBatchCacheInvalidatedOnDrop(t *testing.T) {
+	c := newTestCatalog(t)
+	seedSales(t, c, 8)
+	snap, read, err := c.OpenSnapshot(adminCtx(), "main.default.sales", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range snap.Files {
+		if _, err := read(f.Path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Drop(adminCtx(), []string{"sales"}, false); err != nil {
+		t.Fatal(err)
+	}
+	// Re-create at the same prefix with different contents; the old cached
+	// state (log handle and batches) must not leak into the new table.
+	seedSales(t, c, 3)
+	snap2, read2, err := c.OpenSnapshot(adminCtx(), "main.default.sales", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for _, f := range snap2.Files {
+		b, err := read2(f.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += b.NumRows()
+	}
+	if snap2.Version != 1 || total != 3 {
+		t.Fatalf("stale cache after drop+recreate: version=%d rows=%d", snap2.Version, total)
+	}
+}

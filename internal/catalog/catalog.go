@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"lakeguard/internal/audit"
+	"lakeguard/internal/delta"
 	"lakeguard/internal/security"
 	"lakeguard/internal/storage"
 	"lakeguard/internal/telemetry"
@@ -133,6 +134,19 @@ type Catalog struct {
 	// that may already hold c.mu.
 	mVends   atomic.Pointer[telemetry.Counter]
 	mDenials atomic.Pointer[telemetry.Counter]
+
+	// Shared per-table Delta log handles. Sharing one handle per prefix is
+	// what makes delta's incremental snapshot cache effective (a fresh
+	// handle per query would replay from scratch every time) and gives
+	// concurrent writers one data-file sequence. Guarded by logMu, not
+	// c.mu: log access happens on read paths that already hold c.mu.
+	logMu   sync.Mutex
+	logs    map[string]*delta.Log
+	metrics *telemetry.Registry // guarded by logMu; wired onto new handles
+
+	// batches caches decoded data-file batches across queries and users;
+	// lookups are credential-checked (see batchcache.go).
+	batches *batchCache
 }
 
 // New creates a catalog bound to an object store. The catalog holds the
@@ -150,6 +164,8 @@ func New(store *storage.Store, auditLog *audit.Log) *Catalog {
 		signer:   store.Signer(),
 		audit:    auditLog,
 		credTTL:  15 * time.Minute,
+		logs:     map[string]*delta.Log{},
+		batches:  newBatchCache(store, defaultBatchCacheBytes),
 	}
 	c.catalogs["main"] = &catalogObj{schemas: map[string]*schemaObj{
 		"default": {tables: map[string]*table{}, functions: map[string]*function{}},
@@ -172,6 +188,40 @@ func (c *Catalog) SetMetrics(m *telemetry.Registry) {
 	c.mDenials.Store(m.Counter("catalog.denials"))
 	c.store.SetMetrics(m)
 	c.audit.SetMetrics(m)
+	c.batches.setMetrics(m)
+	c.logMu.Lock()
+	defer c.logMu.Unlock()
+	c.metrics = m
+	for _, l := range c.logs {
+		l.SetMetrics(m)
+	}
+}
+
+// logFor returns the shared Delta log handle for a table prefix, creating it
+// on first use. Handles carry no authority: every Snapshot/commit on them is
+// credential-checked by storage.
+func (c *Catalog) logFor(prefix string) *delta.Log {
+	c.logMu.Lock()
+	defer c.logMu.Unlock()
+	l := c.logs[prefix]
+	if l == nil {
+		l = delta.Attach(c.store, prefix)
+		if c.metrics != nil {
+			l.SetMetrics(c.metrics)
+		}
+		c.logs[prefix] = l
+	}
+	return l
+}
+
+// invalidateTable drops cached state for a table prefix (DROP TABLE): the
+// shared log handle (a re-created table at the same prefix starts a new log)
+// and every cached batch under the prefix.
+func (c *Catalog) invalidateTable(prefix string) {
+	c.logMu.Lock()
+	delete(c.logs, prefix)
+	c.logMu.Unlock()
+	c.batches.invalidatePrefix(prefix)
 }
 
 // Store returns the object store (engine side only).

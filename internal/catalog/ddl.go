@@ -200,6 +200,10 @@ func (c *Catalog) Drop(ctx RequestContext, parts []string, ifExists bool) error 
 				_ = c.store.Delete(&cred, p)
 			}
 		}
+		// A re-created table reuses this deterministic prefix: drop the
+		// shared log handle and any cached batches so stale state can
+		// never serve the next incarnation.
+		c.invalidateTable(t.prefix)
 	}
 	c.record(ctx, "DROP", full, audit.DecisionAllow, "")
 	return nil

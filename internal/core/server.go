@@ -182,6 +182,7 @@ func NewServer(cfg Config) *Server {
 		FuseUDFs:            opts.FuseUDFs,
 		Parallelism:         cfg.Parallelism,
 		UnsafeInProcessUDFs: cfg.UnsafeInProcessUDFs,
+		Metrics:             cfg.Metrics,
 	}
 	s.met = serverMetrics{
 		hTotal:    cfg.Metrics.Histogram("query.total_ms", telemetry.DefLatencyBuckets),
@@ -330,6 +331,7 @@ func (s *Server) engineFor(env string) (*exec.Engine, error) {
 		FuseUDFs:            s.opts.FuseUDFs,
 		Parallelism:         s.cfg.Parallelism,
 		UnsafeInProcessUDFs: s.cfg.UnsafeInProcessUDFs,
+		Metrics:             s.cfg.Metrics,
 	}
 	s.envEngines[env] = e
 	return e, nil

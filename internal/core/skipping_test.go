@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lakeguard/internal/catalog"
+	"lakeguard/internal/storage"
+	"lakeguard/internal/telemetry"
+)
+
+// Data skipping end to end: a selective predicate over a clustered multi-file
+// table prunes files, EXPLAIN ANALYZE reports the scan/prune split, and the
+// cache counters land on the /metrics registry.
+func TestSkippingObservableViaExplainAnalyzeAndMetrics(t *testing.T) {
+	m := telemetry.NewRegistry()
+	cat := catalog.New(storage.NewStore(), nil)
+	cat.AddAdmin(admin)
+	cat.SetMetrics(m)
+	e := newEnv(t, Config{Name: "std", Catalog: cat, Metrics: m})
+	c := e.client("tok-admin")
+
+	// Each INSERT commits one data file; ids are clustered per file.
+	mustExec(t, c, "CREATE TABLE clustered (id BIGINT, v BIGINT)")
+	for f := 0; f < 6; f++ {
+		var rows []string
+		for r := 0; r < 4; r++ {
+			id := f*4 + r
+			rows = append(rows, fmt.Sprintf("(%d, %d)", id, id*7))
+		}
+		mustExec(t, c, "INSERT INTO clustered VALUES "+strings.Join(rows, ", "))
+	}
+
+	query := "SELECT SUM(v) AS s FROM clustered WHERE id >= 8 AND id < 12"
+	analyze, rows, err := c.SqlExplainAnalyze(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 1 {
+		t.Fatalf("aggregate query returned %d rows", rows)
+	}
+	if !strings.Contains(analyze, "files 1 (pruned 5)") {
+		t.Fatalf("EXPLAIN ANALYZE must report the scan/prune split:\n%s", analyze)
+	}
+
+	if got := m.Counter("scan.files.pruned").Value(); got < 5 {
+		t.Fatalf("scan.files.pruned = %d, want >= 5", got)
+	}
+	if m.Counter("scan.files.scanned").Value() == 0 {
+		t.Fatal("scan.files.scanned never counted")
+	}
+	if m.Counter("snapshot.cache.hit").Value() == 0 {
+		t.Fatal("repeated snapshot opens must hit the snapshot cache")
+	}
+	// Re-run the same query: the surviving file's decoded batch is now cached.
+	if _, err := c.Sql(query).Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Counter("batch.cache.hits").Value() == 0 {
+		t.Fatal("repeat query must hit the batch cache")
+	}
+
+	// The same counters are visible on the /metrics endpoint.
+	rec := httptest.NewRecorder()
+	m.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, name := range []string{"scan.files.pruned", "scan.files.scanned", "snapshot.cache.hit", "batch.cache.hits", "storage.get_saved"} {
+		if !strings.Contains(body, name) {
+			t.Errorf("/metrics missing %q", name)
+		}
+	}
+}
+
+// A filter that the zone maps cannot prune (predicate covers every file) must
+// still return correct results with skipping enabled — and report pruned 0.
+func TestSkippingNoOpWhenPredicateCoversAllFiles(t *testing.T) {
+	e := newEnv(t, Config{Name: "std"})
+	c := e.client("tok-admin")
+	seedSales(t, c)
+	analyze, _, err := c.SqlExplainAnalyze("SELECT COUNT(*) AS n FROM sales WHERE amount > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(analyze, "(pruned 0)") {
+		t.Fatalf("covering predicate must prune nothing:\n%s", analyze)
+	}
+	b := mustExec(t, c, "SELECT COUNT(*) AS n FROM sales WHERE amount > 0")
+	if v := b.Row(0)[0]; v.I != 6 {
+		t.Fatalf("got %d rows counted, want 6", v.I)
+	}
+}

@@ -2,6 +2,13 @@
 // store: an ordered JSON transaction log plus immutable columnar data files.
 // Commits use PutIfAbsent on the next log entry for optimistic concurrency,
 // and snapshots support time travel (VERSION AS OF n).
+//
+// Snapshots are served through an incremental cache: the log tail is
+// discovered with one credential-checked LIST (no "probe one past the end"
+// GET), the latest replay state advances by applying only new log entries,
+// and a small LRU holds time-travel versions. The cache never weakens access
+// control — every Snapshot call re-runs the caller's credential through the
+// store before any cached state is returned.
 package delta
 
 import (
@@ -9,11 +16,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"lakeguard/internal/arrowipc"
 	"lakeguard/internal/storage"
+	"lakeguard/internal/telemetry"
 	"lakeguard/internal/types"
 )
 
@@ -44,11 +55,14 @@ type SchemaField struct {
 	Comment  string `json:"comment,omitempty"`
 }
 
-// AddFile registers a data file in the table.
+// AddFile registers a data file in the table. Stats carries the file's
+// zone-map column statistics; entries committed before statistics existed
+// decode with Stats == nil and are never pruned.
 type AddFile struct {
-	Path       string `json:"path"`
-	NumRecords int64  `json:"numRecords"`
-	SizeBytes  int64  `json:"sizeBytes"`
+	Path       string     `json:"path"`
+	NumRecords int64      `json:"numRecords"`
+	SizeBytes  int64      `json:"sizeBytes"`
+	Stats      *FileStats `json:"stats,omitempty"`
 }
 
 // Remove unregisters a data file.
@@ -56,12 +70,99 @@ type Remove struct {
 	Path string `json:"path"`
 }
 
-// Log is a handle to one table's transaction log.
+// timeTravelCacheSize bounds the per-log LRU of time-travel snapshots.
+const timeTravelCacheSize = 8
+
+// Log is a handle to one table's transaction log. A Log may be shared by
+// many concurrent readers (the catalog caches one handle per table prefix):
+// the snapshot cache inside it is guarded by mu, and every Snapshot call
+// revalidates the caller's credential against the store before serving
+// cached state.
 type Log struct {
 	store   *storage.Store
 	prefix  string
 	fileSeq atomic.Int64
 	clock   func() time.Time
+
+	mu     sync.Mutex
+	latest *logState            // incremental replay state at the newest known version
+	travel map[int64]*Snapshot  // time-travel LRU, bounded by timeTravelCacheSize
+	tOrder []int64              // travel eviction order, oldest first
+
+	// snapshot-cache counters (nil until SetMetrics; nil-safe no-ops).
+	mHits     *telemetry.Counter
+	mMisses   *telemetry.Counter
+	mReplayed *telemetry.Counter
+}
+
+func newLog(store *storage.Store, prefix string) *Log {
+	return &Log{store: store, prefix: prefix, clock: time.Now}
+}
+
+// SetMetrics publishes snapshot-cache counters (snapshot.cache.hit,
+// snapshot.cache.miss, snapshot.entries.replayed) on a registry.
+func (l *Log) SetMetrics(m *telemetry.Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.mHits = m.Counter("snapshot.cache.hit")
+	l.mMisses = m.Counter("snapshot.cache.miss")
+	l.mReplayed = m.Counter("snapshot.entries.replayed")
+}
+
+// logState is the mutable replay state behind the snapshot cache. It
+// accumulates exactly what a full replay from version 0 would: the schema,
+// the live file set, and first-seen file order (so cached and uncached
+// snapshots are byte-identical, including across Overwrite commits).
+type logState struct {
+	version int64
+	schema  *types.Schema
+	live    map[string]AddFile
+	order   []string
+}
+
+func newLogState() *logState {
+	return &logState{version: -1, live: map[string]AddFile{}}
+}
+
+func (st *logState) clone() *logState {
+	cp := &logState{
+		version: st.version,
+		schema:  st.schema,
+		live:    make(map[string]AddFile, len(st.live)),
+		order:   append([]string(nil), st.order...),
+	}
+	for k, v := range st.live {
+		cp.live[k] = v
+	}
+	return cp
+}
+
+func (st *logState) apply(actions []Action) {
+	for _, a := range actions {
+		switch {
+		case a.CommitInfo != nil:
+			// provenance only; History reads these
+		case a.MetaData != nil:
+			st.schema = metaToSchema(a.MetaData)
+		case a.Add != nil:
+			if _, seen := st.live[a.Add.Path]; !seen {
+				st.order = append(st.order, a.Add.Path)
+			}
+			st.live[a.Add.Path] = *a.Add
+		case a.Remove != nil:
+			delete(st.live, a.Remove.Path)
+		}
+	}
+}
+
+func (st *logState) snapshot(prefix string) *Snapshot {
+	snap := &Snapshot{Version: st.version, Schema: st.schema, prefix: prefix}
+	for _, p := range st.order {
+		if f, ok := st.live[p]; ok {
+			snap.Files = append(snap.Files, f)
+		}
+	}
+	return snap
 }
 
 // ErrConcurrentCommit is returned when another writer won the commit race;
@@ -81,7 +182,7 @@ func Create(store *storage.Store, cred *storage.Credential, prefix string, schem
 	if err := schema.Validate(); err != nil {
 		return nil, fmt.Errorf("delta: invalid schema: %w", err)
 	}
-	l := &Log{store: store, prefix: prefix, clock: time.Now}
+	l := newLog(store, prefix)
 	actions := []Action{
 		{MetaData: schemaToMeta(schema)},
 		{CommitInfo: &CommitInfo{TimestampMicros: time.Now().UnixMicro(), Operation: "CREATE TABLE"}},
@@ -99,12 +200,26 @@ func Create(store *storage.Store, cred *storage.Credential, prefix string, schem
 	return l, nil
 }
 
-// Open attaches to an existing table, verifying commit 0 exists.
+// Open attaches to an existing table, verifying commit 0 exists. The probe
+// is a HEAD-style existence check — it no longer downloads and discards the
+// full version-0 log entry.
 func Open(store *storage.Store, cred *storage.Credential, prefix string) (*Log, error) {
-	if _, err := store.Get(cred, logPath(prefix, 0)); err != nil {
+	ok, err := store.Exists(cred, logPath(prefix, 0))
+	if err != nil {
 		return nil, fmt.Errorf("delta: no table at %s: %w", prefix, err)
 	}
-	return &Log{store: store, prefix: prefix, clock: time.Now}, nil
+	if !ok {
+		return nil, fmt.Errorf("delta: no table at %s: %w: %s", prefix, storage.ErrNotFound, logPath(prefix, 0))
+	}
+	return newLog(store, prefix), nil
+}
+
+// Attach returns a handle to the table at prefix without probing storage.
+// Callers that already know the table exists (the catalog's cached per-table
+// handles) use it to skip Open's existence check; Snapshot still verifies
+// the caller's credential on every call.
+func Attach(store *storage.Store, prefix string) *Log {
+	return newLog(store, prefix)
 }
 
 // SetClock overrides the commit timestamp source (tests).
@@ -113,51 +228,143 @@ func (l *Log) SetClock(clock func() time.Time) { l.clock = clock }
 // Prefix returns the table's storage prefix.
 func (l *Log) Prefix() string { return l.prefix }
 
-// Snapshot reconstructs table state at a version (-1 = latest).
-func (l *Log) Snapshot(cred *storage.Credential, version int64) (*Snapshot, error) {
-	snap := &Snapshot{Version: -1, prefix: l.prefix}
-	live := map[string]AddFile{}
-	var order []string
-	for v := int64(0); ; v++ {
-		if version >= 0 && v > version {
-			break
+func (l *Log) logDir() string { return l.prefix + "_delta_log/" }
+
+// parseLogVersion extracts the commit version from a log object path.
+func parseLogVersion(dir, path string) (int64, bool) {
+	name, ok := strings.CutPrefix(path, dir)
+	if !ok {
+		return 0, false
+	}
+	name, ok = strings.CutSuffix(name, ".json")
+	if !ok || strings.Contains(name, "/") {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(name, 10, 64)
+	if err != nil || v < 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// tailVersion discovers the newest committed version (-1 for an empty log)
+// with a single credential-checked LIST of the log directory, replacing the
+// old tail detection that GET-probed one entry past the end on every replay.
+func (l *Log) tailVersion(cred *storage.Credential) (int64, error) {
+	paths, err := l.store.List(cred, l.logDir())
+	if err != nil {
+		return -1, err
+	}
+	tail := int64(-1)
+	for _, p := range paths {
+		if v, ok := parseLogVersion(l.logDir(), p); ok && v > tail {
+			tail = v
 		}
+	}
+	return tail, nil
+}
+
+// replayInto applies log entries [from, to] onto st. Every entry read is one
+// storage GET; the count feeds the snapshot.entries.replayed metric.
+func (l *Log) replayInto(cred *storage.Credential, st *logState, from, to int64) error {
+	for v := from; v <= to; v++ {
 		data, err := l.store.Get(cred, logPath(l.prefix, v))
 		if err != nil {
-			if errors.Is(err, storage.ErrNotFound) {
-				break
-			}
-			return nil, err
+			return err
 		}
 		actions, err := decodeActions(data)
 		if err != nil {
-			return nil, fmt.Errorf("delta: corrupt commit %d: %w", v, err)
+			return fmt.Errorf("delta: corrupt commit %d: %w", v, err)
 		}
-		for _, a := range actions {
-			switch {
-			case a.CommitInfo != nil:
-				// provenance only; History reads these
-			case a.MetaData != nil:
-				snap.Schema = metaToSchema(a.MetaData)
-			case a.Add != nil:
-				if _, seen := live[a.Add.Path]; !seen {
-					order = append(order, a.Add.Path)
-				}
-				live[a.Add.Path] = *a.Add
-			case a.Remove != nil:
-				delete(live, a.Remove.Path)
+		st.apply(actions)
+		st.version = v
+		l.mReplayed.Inc()
+	}
+	return nil
+}
+
+func (l *Log) travelGet(version int64) (*Snapshot, bool) {
+	s, ok := l.travel[version]
+	return s, ok
+}
+
+func (l *Log) travelPut(version int64, s *Snapshot) {
+	if l.travel == nil {
+		l.travel = map[int64]*Snapshot{}
+	}
+	if _, ok := l.travel[version]; ok {
+		return
+	}
+	for len(l.travel) >= timeTravelCacheSize && len(l.tOrder) > 0 {
+		delete(l.travel, l.tOrder[0])
+		l.tOrder = l.tOrder[1:]
+	}
+	l.travel[version] = s
+	l.tOrder = append(l.tOrder, version)
+}
+
+// Snapshot reconstructs table state at a version (-1 = latest).
+//
+// The common path is cache-driven: one LIST finds the log tail, the cached
+// latest state advances by replaying only entries newer than it (zero when
+// the table hasn't changed), and time-travel versions are served from a
+// bounded LRU. The LIST runs the caller's full credential check on every
+// call, so a snapshot cached under one principal never bypasses the access
+// decision for another. GETs avoided by the cache are credited to the
+// storage.get_saved metric.
+func (l *Log) Snapshot(cred *storage.Credential, version int64) (*Snapshot, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tail, err := l.tailVersion(cred)
+	if err != nil {
+		return nil, err
+	}
+	if tail < 0 || (version >= 0 && version > tail) {
+		return nil, fmt.Errorf("%w: %d (latest %d)", ErrVersionNotFound, version, tail)
+	}
+	// DROP + re-CREATE at the same prefix rewinds the log: discard state
+	// replayed from the previous incarnation.
+	if l.latest != nil && l.latest.version > tail {
+		l.latest = nil
+		l.travel = nil
+		l.tOrder = nil
+	}
+	target := tail
+	if version >= 0 {
+		target = version
+	}
+	if version < 0 || version == tail {
+		st := l.latest
+		from := int64(0)
+		if st != nil {
+			from = st.version + 1
+			l.mHits.Inc()
+			l.store.CreditSavedGets(from)
+		} else {
+			st = newLogState()
+			l.mMisses.Inc()
+		}
+		if from <= target {
+			st = st.clone()
+			if err := l.replayInto(cred, st, from, target); err != nil {
+				return nil, err
 			}
+			l.latest = st
 		}
-		snap.Version = v
+		return st.snapshot(l.prefix), nil
 	}
-	if snap.Version < 0 || (version >= 0 && snap.Version != version) {
-		return nil, fmt.Errorf("%w: %d (latest %d)", ErrVersionNotFound, version, snap.Version)
+	if s, ok := l.travelGet(version); ok {
+		l.mHits.Inc()
+		l.store.CreditSavedGets(version + 1)
+		return s, nil
 	}
-	for _, p := range order {
-		if f, ok := live[p]; ok {
-			snap.Files = append(snap.Files, f)
-		}
+	l.mMisses.Inc()
+	st := newLogState()
+	if err := l.replayInto(cred, st, 0, version); err != nil {
+		return nil, err
 	}
+	snap := st.snapshot(l.prefix)
+	l.travelPut(version, snap)
 	return snap, nil
 }
 
@@ -203,6 +410,7 @@ func (l *Log) commit(cred *storage.Credential, batches []*types.Batch, overwrite
 			}
 			actions = append(actions, Action{Add: &AddFile{
 				Path: path, NumRecords: int64(b.NumRows()), SizeBytes: int64(len(data)),
+				Stats: ComputeStats(b),
 			}})
 		}
 		payload, err := encodeActions(actions)
@@ -230,15 +438,17 @@ type HistoryEntry struct {
 	NumFiles  int // files added in this commit
 }
 
-// History returns the commit log, newest first.
+// History returns the commit log, newest first. The tail is discovered via
+// LIST, so history replay no longer ends on a failed GET round-trip.
 func (l *Log) History(cred *storage.Credential) ([]HistoryEntry, error) {
+	tail, err := l.tailVersion(cred)
+	if err != nil {
+		return nil, err
+	}
 	var out []HistoryEntry
-	for v := int64(0); ; v++ {
+	for v := int64(0); v <= tail; v++ {
 		data, err := l.store.Get(cred, logPath(l.prefix, v))
 		if err != nil {
-			if errors.Is(err, storage.ErrNotFound) {
-				break
-			}
 			return nil, err
 		}
 		actions, err := decodeActions(data)

@@ -1,0 +1,120 @@
+package delta
+
+import (
+	"math"
+
+	"lakeguard/internal/types"
+)
+
+// maxStatStringLen caps the string/binary payloads recorded in file
+// statistics. Longer values are dropped (min/max omitted) rather than
+// truncated: truncating a max bound requires an "increment the last byte"
+// adjustment to stay an upper bound, and an unprunable column is always safe.
+const maxStatStringLen = 64
+
+// StatValue is the JSON form of one min/max bound. It mirrors the payload
+// layout of types.Value so every scalar kind round-trips through the
+// transaction log without a custom encoder per kind.
+type StatValue struct {
+	Kind uint8   `json:"kind"`
+	I    int64   `json:"i,omitempty"`
+	F    float64 `json:"f,omitempty"`
+	S    string  `json:"s,omitempty"`
+}
+
+func statValueOf(v types.Value) *StatValue {
+	return &StatValue{Kind: uint8(v.Kind), I: v.I, F: v.F, S: v.S}
+}
+
+// Value converts the bound back to an engine scalar.
+func (sv *StatValue) Value() types.Value {
+	return types.Value{Kind: types.Kind(sv.Kind), I: sv.I, F: sv.F, S: sv.S}
+}
+
+// ColStats are the zone-map statistics for one column of one data file.
+// Min/Max cover non-NULL, non-NaN values only; both may be nil (all-NULL
+// column, or string bounds over maxStatStringLen). HasNaN marks float
+// columns containing NaN — the engine's comparison semantics order NaN as
+// equal to everything, so range pruning must be disabled for such files.
+type ColStats struct {
+	Min       *StatValue `json:"min,omitempty"`
+	Max       *StatValue `json:"max,omitempty"`
+	NullCount int64      `json:"nullCount"`
+	HasNaN    bool       `json:"hasNaN,omitempty"`
+}
+
+// Bounds returns the min/max bounds as engine scalars. ok is false when the
+// column has no recorded range.
+func (cs ColStats) Bounds() (min, max types.Value, ok bool) {
+	if cs.Min == nil || cs.Max == nil {
+		return types.Value{}, types.Value{}, false
+	}
+	return cs.Min.Value(), cs.Max.Value(), true
+}
+
+// FileStats are the per-file statistics written into each AddFile log entry
+// at commit time. Legacy log entries decode with a nil *FileStats and are
+// never pruned — always read, exactly as before statistics existed.
+type FileStats struct {
+	NumRecords int64               `json:"numRecords"`
+	Columns    map[string]ColStats `json:"columns,omitempty"`
+}
+
+// Col returns the statistics for a named column.
+func (fs *FileStats) Col(name string) (ColStats, bool) {
+	if fs == nil || fs.Columns == nil {
+		return ColStats{}, false
+	}
+	cs, ok := fs.Columns[name]
+	return cs, ok
+}
+
+// ComputeStats derives per-column min/max/null-count statistics for one data
+// file's batch. Comparison uses the same types.Value.Compare ordering the
+// engine evaluates predicates with, so pruning decisions made against these
+// bounds are consistent with scan-time filtering.
+func ComputeStats(b *types.Batch) *FileStats {
+	n := b.NumRows()
+	fs := &FileStats{NumRecords: int64(n), Columns: make(map[string]ColStats, len(b.Schema.Fields))}
+	for ci, f := range b.Schema.Fields {
+		col := b.Cols[ci]
+		cs := ColStats{}
+		var min, max types.Value
+		seen := false
+		for i := 0; i < n; i++ {
+			v := col.Value(i)
+			if v.Null {
+				cs.NullCount++
+				continue
+			}
+			if v.Kind == types.KindFloat64 && math.IsNaN(v.F) {
+				cs.HasNaN = true
+				continue
+			}
+			if !seen {
+				min, max = v, v
+				seen = true
+				continue
+			}
+			if c, ok := v.Compare(min); ok && c < 0 {
+				min = v
+			}
+			if c, ok := v.Compare(max); ok && c > 0 {
+				max = v
+			}
+		}
+		if seen && statStorable(min) && statStorable(max) {
+			cs.Min, cs.Max = statValueOf(min), statValueOf(max)
+		}
+		fs.Columns[f.Name] = cs
+	}
+	return fs
+}
+
+func statStorable(v types.Value) bool {
+	switch v.Kind {
+	case types.KindString, types.KindBinary:
+		return len(v.S) <= maxStatStringLen
+	}
+	return true
+}

@@ -1,0 +1,284 @@
+package delta
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"lakeguard/internal/storage"
+	"lakeguard/internal/telemetry"
+	"lakeguard/internal/types"
+)
+
+func TestCommitWritesFileStats(t *testing.T) {
+	store, cred := testEnv(t)
+	schema := types.NewSchema(
+		types.Field{Name: "n", Kind: types.KindInt64, Nullable: true},
+		types.Field{Name: "f", Kind: types.KindFloat64, Nullable: true},
+		types.Field{Name: "s", Kind: types.KindString},
+	)
+	log, err := Create(store, cred, "tables/stats/", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb := types.NewBatchBuilder(schema, 4)
+	bb.AppendRow([]types.Value{types.Int64(7), types.Float64(1.5), types.String("bb")})
+	bb.AppendRow([]types.Value{types.Null(types.KindInt64), types.Float64(-2), types.String("aa")})
+	bb.AppendRow([]types.Value{types.Int64(-3), types.Null(types.KindFloat64), types.String("zz")})
+	bb.AppendRow([]types.Value{types.Int64(5), types.Float64(math.NaN()), types.String("mm")})
+	if _, err := log.Append(cred, []*types.Batch{bb.Build()}); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh handle decodes stats straight from the log bytes.
+	snap, err := Attach(store, "tables/stats/").Snapshot(cred, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := snap.Files[0].Stats
+	if fs == nil || fs.NumRecords != 4 {
+		t.Fatalf("stats missing or wrong rows: %+v", fs)
+	}
+	n := fs.Columns["n"]
+	min, max, ok := n.Bounds()
+	if !ok || min.I != -3 || max.I != 7 || n.NullCount != 1 || n.HasNaN {
+		t.Fatalf("int stats wrong: %+v", n)
+	}
+	f := fs.Columns["f"]
+	if !f.HasNaN || f.NullCount != 1 {
+		t.Fatalf("float stats must record NaN and NULL: %+v", f)
+	}
+	fmin, fmax, ok := f.Bounds()
+	if !ok || fmin.F != -2 || fmax.F != 1.5 {
+		t.Fatalf("float bounds must exclude NaN: min=%v max=%v ok=%v", fmin, fmax, ok)
+	}
+	s := fs.Columns["s"]
+	smin, smax, ok := s.Bounds()
+	if !ok || smin.S != "aa" || smax.S != "zz" {
+		t.Fatalf("string bounds wrong: %+v", s)
+	}
+}
+
+func TestLegacyAddFileWithoutStats(t *testing.T) {
+	store, cred := testEnv(t)
+	schema := intSchema()
+	log, err := Create(store, cred, "tables/legacy/", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Append(cred, []*types.Batch{intBatch(schema, 1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-write a pre-statistics commit: an add entry with no stats field,
+	// exactly what logs committed before this feature look like.
+	legacy := `{"add":{"path":"tables/legacy/data/000001-000001.arrow","numRecords":2,"sizeBytes":0}}` + "\n"
+	if err := store.PutIfAbsent(cred, logPath("tables/legacy/", 2), []byte(legacy)); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Attach(store, "tables/legacy/").Snapshot(cred, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Files) != 1 || snap.Files[0].Stats != nil {
+		t.Fatalf("legacy add must decode with nil stats: %+v", snap.Files)
+	}
+}
+
+func TestSnapshotCacheWarmRepeatReplaysNothing(t *testing.T) {
+	store, cred := testEnv(t)
+	schema := intSchema()
+	log, err := Create(store, cred, "tables/warm/", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := log.Append(cred, []*types.Batch{intBatch(schema, int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := telemetry.NewRegistry()
+	store.SetMetrics(m)
+	shared := Attach(store, "tables/warm/")
+	shared.SetMetrics(m)
+	replayed := m.Counter("snapshot.entries.replayed")
+	if _, err := shared.Snapshot(cred, -1); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayed.Value(); got != 4 {
+		t.Fatalf("cold replay should read 4 log entries, got %d", got)
+	}
+	getsBefore, _ := store.Stats()
+	if _, err := shared.Snapshot(cred, -1); err != nil {
+		t.Fatal(err)
+	}
+	getsAfter, _ := store.Stats()
+	if got := replayed.Value(); got != 4 {
+		t.Fatalf("warm repeat replayed %d entries, want 0 new", got-4)
+	}
+	if getsAfter != getsBefore {
+		t.Fatalf("warm repeat issued %d GETs, want 0 (tail via LIST)", getsAfter-getsBefore)
+	}
+	if m.Counter("snapshot.cache.hit").Value() == 0 {
+		t.Fatal("warm repeat must count a cache hit")
+	}
+	if m.Counter("storage.get_saved").Value() == 0 {
+		t.Fatal("warm repeat must credit saved GETs")
+	}
+}
+
+func TestSnapshotCacheIncrementalAcrossOverwrite(t *testing.T) {
+	store, cred := testEnv(t)
+	schema := intSchema()
+	log, err := Create(store, cred, "tables/ow/", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := Attach(store, "tables/ow/")
+	if _, err := log.Append(cred, []*types.Batch{intBatch(schema, 1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shared.Snapshot(cred, -1); err != nil { // warm at v1
+		t.Fatal(err)
+	}
+	if _, err := log.Append(cred, []*types.Batch{intBatch(schema, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Overwrite(cred, []*types.Batch{intBatch(schema, 9, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := shared.Snapshot(cred, -1) // advances v2..v3 incrementally
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Attach(store, "tables/ow/").Snapshot(cred, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Version != cold.Version || len(warm.Files) != len(cold.Files) {
+		t.Fatalf("cache diverged from full replay: warm=%+v cold=%+v", warm, cold)
+	}
+	for i := range warm.Files {
+		if warm.Files[i].Path != cold.Files[i].Path {
+			t.Fatalf("file order diverged at %d: %s vs %s", i, warm.Files[i].Path, cold.Files[i].Path)
+		}
+	}
+	if warm.NumRecords() != 2 {
+		t.Fatalf("overwrite must replace contents, got %d rows", warm.NumRecords())
+	}
+}
+
+func TestTimeTravelLRU(t *testing.T) {
+	store, cred := testEnv(t)
+	schema := intSchema()
+	log, err := Create(store, cred, "tables/tt/", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	versions := timeTravelCacheSize + 3
+	for i := 0; i < versions; i++ {
+		if _, err := log.Append(cred, []*types.Batch{intBatch(schema, int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := telemetry.NewRegistry()
+	shared := Attach(store, "tables/tt/")
+	shared.SetMetrics(m)
+	hit := m.Counter("snapshot.cache.hit")
+	// Fill past capacity; every version must still be served correctly.
+	for v := 1; v <= versions; v++ {
+		snap, err := shared.Snapshot(cred, int64(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Version != int64(v) || len(snap.Files) != v {
+			t.Fatalf("version %d: got v=%d files=%d", v, snap.Version, len(snap.Files))
+		}
+	}
+	before := hit.Value()
+	if _, err := shared.Snapshot(cred, int64(versions)); err != nil { // recently used: cached
+		t.Fatal(err)
+	}
+	if hit.Value() != before+1 {
+		t.Fatal("recent time-travel version should be a cache hit")
+	}
+	// The oldest version was evicted; it must still replay correctly.
+	snap, err := shared.Snapshot(cred, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != 1 || len(snap.Files) != 1 {
+		t.Fatalf("evicted version replays wrong: %+v", snap)
+	}
+}
+
+func TestWarmSnapshotCacheStillChecksCredentials(t *testing.T) {
+	store, cred := testEnv(t)
+	schema := intSchema()
+	log, err := Create(store, cred, "tables/sec/", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Append(cred, []*types.Batch{intBatch(schema, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	shared := Attach(store, "tables/sec/")
+	if _, err := shared.Snapshot(cred, -1); err != nil { // warm the cache
+		t.Fatal(err)
+	}
+	// A credential scoped to a different prefix must be rejected even though
+	// the snapshot is cached.
+	other := store.Signer().Issue("tables/other/", storage.ModeRead, time.Hour)
+	if _, err := shared.Snapshot(&other, -1); !storage.IsAccessDenied(err) {
+		t.Fatalf("wrong-prefix credential must be denied on warm cache, got %v", err)
+	}
+	// An expired credential must be rejected too.
+	expired := store.Signer().Issue("tables/sec/", storage.ModeRead, -time.Minute)
+	if _, err := shared.Snapshot(&expired, -1); !storage.IsAccessDenied(err) {
+		t.Fatalf("expired credential must be denied on warm cache, got %v", err)
+	}
+	// And no credential at all.
+	if _, err := shared.Snapshot(nil, -1); !storage.IsAccessDenied(err) {
+		t.Fatalf("nil credential must be denied on warm cache, got %v", err)
+	}
+}
+
+func TestSnapshotCacheResetsOnLogRewind(t *testing.T) {
+	store, cred := testEnv(t)
+	schema := intSchema()
+	log, err := Create(store, cred, "tables/rw/", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := log.Append(cred, []*types.Batch{intBatch(schema, int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shared := Attach(store, "tables/rw/")
+	if _, err := shared.Snapshot(cred, -1); err != nil { // cache at v3
+		t.Fatal(err)
+	}
+	// Simulate DROP + re-CREATE at the same prefix: wipe and start a new log.
+	paths, err := store.List(cred, "tables/rw/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		if err := store.Delete(cred, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log2, err := Create(store, cred, "tables/rw/", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log2.Append(cred, []*types.Batch{intBatch(schema, 42)}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := shared.Snapshot(cred, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != 1 || snap.NumRecords() != 1 {
+		t.Fatalf("stale cache served after log rewind: v=%d rows=%d", snap.Version, snap.NumRecords())
+	}
+}

@@ -5,14 +5,9 @@ import (
 	"fmt"
 	"io"
 
-	"lakeguard/internal/arrowipc"
 	"lakeguard/internal/plan"
 	"lakeguard/internal/types"
 )
-
-func decodeDataFile(data []byte) (*types.Batch, error) {
-	return arrowipc.DecodeBatch(data)
-}
 
 // aggInput is one batch with its group-key and aggregate-argument columns
 // already evaluated.

@@ -29,12 +29,15 @@ type RemoteExecutor interface {
 
 // TableProvider is the engine's only route to governed table data: resolve a
 // table, enforce privileges, vend a credential, and return the snapshot plus
-// a reader bound to that credential. catalog.Catalog satisfies it
-// structurally; exec deliberately does not import the catalog or storage
-// packages (an import boundary lakeguard-lint enforces), so the only bytes
-// the engine can read are those a vended credential covers.
+// a reader bound to that credential. The reader returns decoded batches so
+// the provider may serve them from a credential-scoped cache — every call
+// still revalidates the caller's credential before any bytes flow.
+// catalog.Catalog satisfies it structurally; exec deliberately does not
+// import the catalog or storage packages (an import boundary lakeguard-lint
+// enforces), so the only data the engine can read is what a vended
+// credential covers.
 type TableProvider interface {
-	OpenSnapshot(ctx security.RequestContext, table string, version int64) (*delta.Snapshot, func(path string) ([]byte, error), error)
+	OpenSnapshot(ctx security.RequestContext, table string, version int64) (*delta.Snapshot, func(path string) (*types.Batch, error), error)
 }
 
 // GroupChecker answers account-group membership questions (dynamic views,
@@ -62,6 +65,13 @@ type Engine struct {
 	// isolation. It exists ONLY as the pre-Lakeguard baseline for the
 	// Table 2 benchmark; never enable it in a governed deployment.
 	UnsafeInProcessUDFs bool
+	// Metrics, when non-nil, receives scan-level data-skipping counters
+	// (scan.files.scanned, scan.files.pruned).
+	Metrics *telemetry.Registry
+	// DisableSkipping turns off statistics-based file pruning (bench
+	// baselines and pruning-equivalence tests). Results are identical either
+	// way; only the number of storage reads changes.
+	DisableSkipping bool
 }
 
 // QueryContext carries the identity and session a query runs under.
@@ -299,17 +309,38 @@ func (e *Engine) buildScan(qc *QueryContext, t *plan.Scan) (operator, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Zone-map pruning: drop files whose statistics prove no row can pass
+	// the pushed filters, before any storage read. Pruning preserves file
+	// order, so the ordered exchange below produces the same output with
+	// fewer morsels.
+	files := make([]int, len(snap.Files))
+	for i := range files {
+		files[i] = i
+	}
+	if !e.DisableSkipping && len(t.PushedFilters) > 0 {
+		files = pruneFiles(t, snap.Files)
+	}
+	pruned := len(snap.Files) - len(files)
+	qc.opParent.AddFiles(len(files), pruned)
+	if span := telemetry.SpanFrom(qc.GoContext()); span != nil {
+		span.Count("files.scanned", int64(len(files)))
+		span.Count("files.pruned", int64(pruned))
+	}
+	if e.Metrics != nil {
+		e.Metrics.Counter("scan.files.scanned").Add(int64(len(files)))
+		e.Metrics.Counter("scan.files.pruned").Add(int64(pruned))
+	}
 	src := &scanSource{
-		qc: qc, scan: t, snap: snap, read: read, stats: qc.opParent,
+		qc: qc, scan: t, snap: snap, files: files, read: read, stats: qc.opParent,
 		progs: compileVecExprs(t.PushedFilters, t.Schema(), boolKinds(len(t.PushedFilters))),
 	}
-	if w := e.workers(); w > 1 && len(snap.Files) > 1 {
-		// Parallel file-granular scan: workers pull snapshot files in order
+	if w := e.workers(); w > 1 && len(files) > 1 {
+		// Parallel file-granular scan: workers pull surviving files in order
 		// through the shared credential-bound reader; the gather keeps file
 		// order, so output is identical to the serial scan.
 		next := 0
 		source := func() (int, bool, error) {
-			if next >= len(snap.Files) {
+			if next >= len(files) {
 				return 0, true, nil
 			}
 			i := next

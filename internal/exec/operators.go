@@ -54,7 +54,10 @@ type scanSource struct {
 	qc   *QueryContext
 	scan *plan.Scan
 	snap *delta.Snapshot
-	read func(path string) ([]byte, error)
+	// files are the snapshot-file indices that survived zone-map pruning,
+	// in snapshot order. Morsel i reads snap.Files[files[i]].
+	files []int
+	read  func(path string) (*types.Batch, error)
 	// progs are per-conjunct vector programs for the pushed filters (nil
 	// entries use the row interpreter).
 	progs []*eval.VecProg
@@ -71,22 +74,18 @@ func (s *scanSource) scanFile(i int) (*types.Batch, error) {
 // failed read records the injected fault site so chaos runs are attributable
 // from the trace alone.
 func (s *scanSource) scanFileCtx(ctx context.Context, i int) (*types.Batch, error) {
-	f := s.snap.Files[i]
+	f := s.snap.Files[s.files[i]]
 	_, gs := telemetry.StartSpan(ctx, "storage.get")
 	gs.SetAttr("path", f.Path)
-	data, err := s.read(f.Path)
+	b, err := s.read(f.Path)
 	if err != nil {
 		if site := faults.SiteOf(err); site != "" {
 			gs.SetAttr("fault.site", site)
 		}
 	} else {
-		gs.SetInt("bytes", int64(len(data)))
+		gs.SetInt("rows", int64(b.NumRows()))
 	}
 	gs.EndErr(err)
-	if err != nil {
-		return nil, err
-	}
-	b, err := decodeDataFile(data)
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +161,7 @@ type scanOp struct {
 }
 
 func (o *scanOp) Next() (*types.Batch, error) {
-	for o.file < len(o.src.snap.Files) {
+	for o.file < len(o.src.files) {
 		b, err := o.src.scanFile(o.file)
 		o.file++
 		if err != nil {

@@ -140,12 +140,12 @@ type countingTables struct {
 	reads atomic.Int64
 }
 
-func (c *countingTables) OpenSnapshot(ctx security.RequestContext, table string, version int64) (*delta.Snapshot, func(string) ([]byte, error), error) {
+func (c *countingTables) OpenSnapshot(ctx security.RequestContext, table string, version int64) (*delta.Snapshot, func(string) (*types.Batch, error), error) {
 	snap, read, err := c.inner.OpenSnapshot(ctx, table, version)
 	if err != nil {
 		return nil, nil, err
 	}
-	return snap, func(path string) ([]byte, error) {
+	return snap, func(path string) (*types.Batch, error) {
 		c.reads.Add(1)
 		return read(path)
 	}, nil

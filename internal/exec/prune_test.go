@@ -1,0 +1,110 @@
+package exec
+
+import (
+	"testing"
+
+	"lakeguard/internal/delta"
+	"lakeguard/internal/plan"
+	"lakeguard/internal/types"
+)
+
+func pruneScan(filters ...plan.Expr) *plan.Scan {
+	return &plan.Scan{
+		Table: "t",
+		TableSchema: types.NewSchema(
+			types.Field{Name: "n", Kind: types.KindInt64, Nullable: true},
+			types.Field{Name: "s", Kind: types.KindString},
+		),
+		PushedFilters: filters,
+	}
+}
+
+func nRef() *plan.BoundRef { return &plan.BoundRef{Index: 0, Name: "n", Kind: types.KindInt64} }
+
+func statsFile(min, max int64, nulls, rows int64) delta.AddFile {
+	b := types.NewBuilder(types.KindInt64, 2)
+	b.Append(types.Int64(min))
+	b.Append(types.Int64(max))
+	batch := types.MustBatch(types.NewSchema(types.Field{Name: "n", Kind: types.KindInt64}), []*types.Column{b.Build()})
+	fs := delta.ComputeStats(batch)
+	fs.NumRecords = rows
+	cs := fs.Columns["n"]
+	cs.NullCount = nulls
+	fs.Columns["n"] = cs
+	return delta.AddFile{Path: "f", Stats: fs}
+}
+
+func TestExprMayMatchIntervals(t *testing.T) {
+	lit := func(v int64) *plan.Literal { return plan.Lit(types.Int64(v)) }
+	file := statsFile(10, 20, 0, 2)
+	cases := []struct {
+		name string
+		e    plan.Expr
+		want bool
+	}{
+		{"eq inside", plan.NewBinary(plan.OpEq, nRef(), lit(15)), true},
+		{"eq below", plan.NewBinary(plan.OpEq, nRef(), lit(5)), false},
+		{"eq above", plan.NewBinary(plan.OpEq, nRef(), lit(25)), false},
+		{"lt at min", plan.NewBinary(plan.OpLt, nRef(), lit(10)), false},
+		{"lte at min", plan.NewBinary(plan.OpLte, nRef(), lit(10)), true},
+		{"gt at max", plan.NewBinary(plan.OpGt, nRef(), lit(20)), false},
+		{"gte at max", plan.NewBinary(plan.OpGte, nRef(), lit(20)), true},
+		{"flipped lit<col", plan.NewBinary(plan.OpLt, lit(25), nRef()), false},
+		{"flipped lit<=col", plan.NewBinary(plan.OpLte, lit(20), nRef()), true},
+		{"neq some differ", plan.NewBinary(plan.OpNeq, nRef(), lit(15)), true},
+		{"and both", plan.And(plan.NewBinary(plan.OpGte, nRef(), lit(12)), plan.NewBinary(plan.OpLte, nRef(), lit(18))), true},
+		{"and contradictory", plan.And(plan.NewBinary(plan.OpLt, nRef(), lit(10)), plan.NewBinary(plan.OpGte, nRef(), lit(12))), false},
+		{"or one side", plan.NewBinary(plan.OpOr, plan.NewBinary(plan.OpLt, nRef(), lit(5)), plan.NewBinary(plan.OpGt, nRef(), lit(15))), true},
+		{"null literal prunes", plan.NewBinary(plan.OpEq, nRef(), plan.Lit(types.Null(types.KindInt64))), false},
+		{"in hit", &plan.InList{Child: nRef(), List: []plan.Expr{plan.Lit(types.Int64(3)), plan.Lit(types.Int64(12))}}, true},
+		{"in miss", &plan.InList{Child: nRef(), List: []plan.Expr{plan.Lit(types.Int64(3)), plan.Lit(types.Int64(30))}}, false},
+		{"not in conservative", &plan.InList{Child: nRef(), List: []plan.Expr{plan.Lit(types.Int64(15))}, Negated: true}, true},
+		{"float literal widens", plan.NewBinary(plan.OpGt, nRef(), plan.Lit(types.Float64(19.5))), true},
+		{"float literal widens prune", plan.NewBinary(plan.OpGt, nRef(), plan.Lit(types.Float64(20.5))), false},
+		{"incomparable kinds keep", plan.NewBinary(plan.OpEq, nRef(), plan.Lit(types.String("x"))), true},
+		{"unknown shape keeps", plan.NewBinary(plan.OpEq, nRef(), nRef()), true},
+	}
+	for _, tc := range cases {
+		scan := pruneScan(tc.e)
+		if got := exprMayMatch(tc.e, scan, file.Stats); got != tc.want {
+			t.Errorf("%s: mayMatch=%v want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestExprMayMatchNullsAndLegacy(t *testing.T) {
+	lit := func(v int64) *plan.Literal { return plan.Lit(types.Int64(v)) }
+	eq := plan.NewBinary(plan.OpEq, nRef(), lit(15))
+	scan := pruneScan(eq)
+
+	// Legacy file without stats: always kept.
+	if got := pruneFiles(scan, []delta.AddFile{{Path: "legacy"}}); len(got) != 1 {
+		t.Fatal("stat-less legacy file must never be pruned")
+	}
+	// All-NULL column: every comparison is NULL, file prunable...
+	allNull := statsFile(0, 0, 2, 2)
+	allNull.Stats.Columns["n"] = delta.ColStats{NullCount: 2}
+	if exprMayMatch(eq, scan, allNull.Stats) {
+		t.Fatal("all-NULL column must prune comparisons")
+	}
+	// ...but IS NULL must keep it, and IS NOT NULL must prune it.
+	if !exprMayMatch(&plan.IsNull{Child: nRef()}, scan, allNull.Stats) {
+		t.Fatal("IS NULL must keep an all-NULL file")
+	}
+	if exprMayMatch(&plan.IsNull{Child: nRef(), Negated: true}, scan, allNull.Stats) {
+		t.Fatal("IS NOT NULL must prune an all-NULL file")
+	}
+	// No nulls: IS NULL prunes.
+	noNull := statsFile(10, 20, 0, 2)
+	if exprMayMatch(&plan.IsNull{Child: nRef()}, scan, noNull.Stats) {
+		t.Fatal("IS NULL must prune a file with zero nulls")
+	}
+	// HasNaN disables range pruning entirely (NaN == anything is true here).
+	nan := statsFile(10, 20, 0, 2)
+	cs := nan.Stats.Columns["n"]
+	cs.HasNaN = true
+	nan.Stats.Columns["n"] = cs
+	if !exprMayMatch(plan.NewBinary(plan.OpEq, nRef(), lit(999)), scan, nan.Stats) {
+		t.Fatal("HasNaN files must never be range-pruned")
+	}
+}

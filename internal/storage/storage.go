@@ -81,6 +81,9 @@ type Store struct {
 	mGetBytes *telemetry.Counter
 	mPutOps   *telemetry.Counter
 	mPutBytes *telemetry.Counter
+	mHeadOps  *telemetry.Counter
+	mListOps  *telemetry.Counter
+	mGetSaved *telemetry.Counter
 }
 
 // NewStore creates a store with a fresh random signing secret.
@@ -96,7 +99,8 @@ func NewStore() *Store {
 func (s *Store) SetClock(clock func() time.Time) { s.clock = clock }
 
 // SetMetrics publishes storage data-plane counters (storage.get_ops,
-// storage.get_bytes, storage.put_ops, storage.put_bytes) on a registry.
+// storage.get_bytes, storage.put_ops, storage.put_bytes, storage.head_ops,
+// storage.list_ops, storage.get_saved) on a registry.
 func (s *Store) SetMetrics(m *telemetry.Registry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -104,6 +108,9 @@ func (s *Store) SetMetrics(m *telemetry.Registry) {
 	s.mGetBytes = m.Counter("storage.get_bytes")
 	s.mPutOps = m.Counter("storage.put_ops")
 	s.mPutBytes = m.Counter("storage.put_bytes")
+	s.mHeadOps = m.Counter("storage.head_ops")
+	s.mListOps = m.Counter("storage.list_ops")
+	s.mGetSaved = m.Counter("storage.get_saved")
 }
 
 // SetFault installs a failure-injection hook consulted on every data-plane
@@ -244,6 +251,37 @@ func (s *Store) Get(cred *Credential, path string) ([]byte, error) {
 	return out, nil
 }
 
+// Exists reports whether an object is present — the HEAD-request analog: the
+// credential check is identical to Get's, no bytes are copied, and the
+// operation counts as storage.head_ops rather than a GET. Cache layers use it
+// to revalidate a credential on every cache hit, and delta.Open uses it to
+// probe for a table without downloading commit 0.
+func (s *Store) Exists(cred *Credential, path string) (bool, error) {
+	if err := s.check(cred, path, false); err != nil {
+		return false, err
+	}
+	if err := s.injectFault("head", path); err != nil {
+		return false, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.objects[path]
+	s.mHeadOps.Inc()
+	return ok, nil
+}
+
+// CreditSavedGets records GET round-trips a caller avoided through snapshot
+// caching or log-tail listing (storage.get_saved). The saving is attributed
+// here so one /metrics page shows ops paid next to ops avoided.
+func (s *Store) CreditSavedGets(n int64) {
+	if n <= 0 {
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.mGetSaved.Add(n)
+}
+
 // Delete removes an object. Deleting a missing object is not an error
 // (object stores are idempotent here).
 func (s *Store) Delete(cred *Credential, path string) error {
@@ -277,7 +315,21 @@ func (s *Store) List(cred *Credential, prefix string) ([]string, error) {
 		}
 	}
 	sort.Strings(out)
+	s.mListOps.Inc()
 	return out, nil
+}
+
+// IsAccessDenied reports whether err is a credential failure (missing,
+// forged, expired, out-of-prefix, or read-only) as opposed to a data error
+// like ErrNotFound. Cache layers use it to decide when a failed lookup must
+// be audited as a denial.
+func IsAccessDenied(err error) bool {
+	for _, target := range []error{ErrNoCredential, ErrBadSignature, ErrExpiredCredential, ErrPrefixMismatch, ErrReadOnly} {
+		if errors.Is(err, target) {
+			return true
+		}
+	}
+	return false
 }
 
 // Size returns an object's byte length without reading it.

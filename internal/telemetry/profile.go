@@ -14,11 +14,13 @@ type OpStats struct {
 	Name   string
 	Detail string
 
-	wall       atomic.Int64 // nanoseconds spent in Next()
-	rows       atomic.Int64
-	batches    atomic.Int64
-	vecBatches atomic.Int64 // batches evaluated by vectorized kernels
-	rowBatches atomic.Int64 // batches that fell back to the row interpreter
+	wall         atomic.Int64 // nanoseconds spent in Next()
+	rows         atomic.Int64
+	batches      atomic.Int64
+	vecBatches   atomic.Int64 // batches evaluated by vectorized kernels
+	rowBatches   atomic.Int64 // batches that fell back to the row interpreter
+	filesScanned atomic.Int64 // data files read by a scan
+	filesPruned  atomic.Int64 // data files skipped by zone-map statistics
 
 	mu       sync.Mutex
 	children []*OpStats
@@ -52,6 +54,32 @@ func (o *OpStats) CountEval(vectorized bool) {
 	} else {
 		o.rowBatches.Add(1)
 	}
+}
+
+// AddFiles records a scan's data-skipping outcome: files it will read vs.
+// files its statistics proved empty for the pushed filters.
+func (o *OpStats) AddFiles(scanned, pruned int) {
+	if o == nil {
+		return
+	}
+	o.filesScanned.Add(int64(scanned))
+	o.filesPruned.Add(int64(pruned))
+}
+
+// FilesScanned returns data files read.
+func (o *OpStats) FilesScanned() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.filesScanned.Load()
+}
+
+// FilesPruned returns data files skipped by statistics.
+func (o *OpStats) FilesPruned() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.filesPruned.Load()
 }
 
 // Wall returns accumulated wall time.
@@ -182,6 +210,9 @@ func renderOp(b *strings.Builder, o *OpStats, depth int) {
 	fmt.Fprintf(b, "  [wall %s, rows %d, batches %d", fmtDur(o.wall.Load()), o.Rows(), o.Batches())
 	if v, r := o.VecBatches(), o.RowFallbackBatches(); v+r > 0 {
 		fmt.Fprintf(b, ", vectorized %d/%d", v, v+r)
+	}
+	if s, pr := o.FilesScanned(), o.FilesPruned(); s+pr > 0 {
+		fmt.Fprintf(b, ", files %d (pruned %d)", s, pr)
 	}
 	b.WriteString("]\n")
 	for _, c := range o.Children() {
