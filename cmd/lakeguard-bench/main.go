@@ -192,6 +192,9 @@ func main() {
 		if *maxOverheadPct > 0 && res.OverheadPct > *maxOverheadPct {
 			return fmt.Errorf("telemetry overhead %.1f%% exceeds budget %.1f%%", res.OverheadPct, *maxOverheadPct)
 		}
+		if *maxOverheadPct > 0 && res.VerifyOverheadPct > *maxOverheadPct {
+			return fmt.Errorf("sentinel verify overhead %.1f%% exceeds budget %.1f%%", res.VerifyOverheadPct, *maxOverheadPct)
+		}
 		return nil
 	})
 

@@ -5,11 +5,14 @@
 //
 // Usage:
 //
-//	lakeguard-lint [-json] [./...]
+//	lakeguard-lint [-json] [-github] [./...]
 //
 // The package pattern is accepted for familiarity but the linter always
-// analyzes the whole module containing the working directory. Exit status is
-// 0 when clean, 1 when findings exist, 2 on operational errors.
+// analyzes the whole module containing the working directory. With -github,
+// each finding is emitted as a GitHub Actions workflow annotation
+// (::error file=...,line=...,col=...::message) so CI surfaces findings
+// inline on the offending lines. Exit status is 0 when clean, 1 when
+// findings exist, 2 on operational errors.
 package main
 
 import (
@@ -18,12 +21,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"lakeguard/internal/lint"
 )
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	github := flag.Bool("github", false, "emit findings as GitHub Actions ::error annotations")
 	flag.Parse()
 
 	root, err := findModuleRoot()
@@ -41,7 +46,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lakeguard-lint:", err)
 		os.Exit(2)
 	}
-	if *jsonOut {
+	switch {
+	case *github:
+		for _, f := range findings {
+			fmt.Println(githubAnnotation(f))
+		}
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
@@ -51,7 +61,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "lakeguard-lint:", err)
 			os.Exit(2)
 		}
-	} else {
+	default:
 		for _, f := range findings {
 			fmt.Println(f)
 		}
@@ -60,6 +70,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lakeguard-lint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// githubAnnotation renders one finding in the GitHub Actions workflow-command
+// format. Per the Actions spec, property values escape %, CR, LF, ':' and ','
+// while the free-text message escapes only %, CR, LF.
+func githubAnnotation(f lint.Finding) string {
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d::%s: %s",
+		escapeProperty(f.File), f.Line, f.Col, escapeData(f.Rule), escapeData(f.Message))
+}
+
+func escapeData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	return strings.ReplaceAll(s, "\n", "%0A")
+}
+
+func escapeProperty(s string) string {
+	s = escapeData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	return strings.ReplaceAll(s, ",", "%2C")
 }
 
 func findModuleRoot() (string, error) {

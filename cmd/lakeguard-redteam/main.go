@@ -1,0 +1,66 @@
+// Command lakeguard-redteam drills the adversarial bypass corpus: every
+// known bypass class (UDF smuggling, plan injection, label-dropping
+// rewrites, implicit flows, TOCTOU tampering) is mounted against a fresh
+// governed deployment and must be blocked by the sentinel with a
+// label-attributed SENTINEL_VERIFY denial. See internal/redteam for the
+// cases.
+//
+// Usage:
+//
+//	lakeguard-redteam [-json] [-v]
+//
+// Exit status is 0 when every case is blocked and attributed, 1 when any
+// bypass got through (or lost its attribution) — a live governance hole.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"lakeguard/internal/redteam"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit results as a JSON array")
+	verbose := flag.Bool("v", false, "print the denial text for blocked cases")
+	flag.Parse()
+
+	results := redteam.RunAll()
+	failed := 0
+	for _, r := range results {
+		if !r.Passed() {
+			failed++
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, "lakeguard-redteam:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, r := range results {
+			status := "BLOCKED"
+			if !r.Passed() {
+				status = "FAILED "
+			}
+			fmt.Printf("%s  %-28s %-15s %s\n", status, r.Name, r.Class, r.Description)
+			for _, f := range r.Failures {
+				fmt.Printf("         !! %s\n", f)
+			}
+			if *verbose && r.Error != "" {
+				fmt.Printf("         denial: %s\n", r.Error)
+			}
+		}
+	}
+
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "lakeguard-redteam: %d of %d case(s) FAILED — live bypass\n", failed, len(results))
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "lakeguard-redteam: all %d case(s) blocked and attributed\n", len(results))
+}

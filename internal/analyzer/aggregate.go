@@ -145,7 +145,7 @@ func (st *aggState) rewrite(e plan.Expr) (plan.Expr, error) {
 				return nil, err
 			}
 			if containsAggCall(arg) {
-				return nil, fmt.Errorf("analyzer: nested aggregate in %s", e.String())
+				return nil, fmt.Errorf("analyzer: nested aggregate in %s", plan.RedactedString(e))
 			}
 		}
 		kind, err := aggResultKind(call.name, arg)
@@ -173,7 +173,7 @@ func (st *aggState) rewrite(e plan.Expr) (plan.Expr, error) {
 		}
 		// A bare column that is not grouped is an error.
 		if _, isRef := e.(*plan.ColumnRef); isRef {
-			return nil, fmt.Errorf("analyzer: column %s must appear in GROUP BY or inside an aggregate function", e.String())
+			return nil, fmt.Errorf("analyzer: column %s must appear in GROUP BY or inside an aggregate function", plan.RedactedString(e))
 		}
 	} else if _, isRef := e.(*plan.ColumnRef); isRef {
 		return nil, err
@@ -184,7 +184,7 @@ func (st *aggState) rewrite(e plan.Expr) (plan.Expr, error) {
 	// only type-level resolution remains).
 	children := e.ChildExprs()
 	if len(children) == 0 {
-		return nil, fmt.Errorf("analyzer: expression %s must appear in GROUP BY or inside an aggregate function", e.String())
+		return nil, fmt.Errorf("analyzer: expression %s must appear in GROUP BY or inside an aggregate function", plan.RedactedString(e))
 	}
 	newChildren := make([]plan.Expr, len(children))
 	for i, c := range children {

@@ -100,7 +100,7 @@ func (a *Analyzer) analyzeNode(n plan.Node) (plan.Node, *scope, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		return &plan.SecureView{Name: t.Name, PolicyKinds: t.PolicyKinds, Child: child}, cs, nil
+		return &plan.SecureView{Name: t.Name, PolicyKinds: t.PolicyKinds, Labels: t.Labels, Child: child}, cs, nil
 
 	case *plan.Filter:
 		if agg, ok := t.Child.(*plan.Aggregate); ok {
@@ -140,7 +140,7 @@ func (a *Analyzer) analyzeNode(n plan.Node) (plan.Node, *scope, error) {
 				return nil, nil, err
 			}
 			if containsAggCall(r) {
-				return nil, nil, fmt.Errorf("analyzer: aggregate %s is not allowed without GROUP BY context", r.String())
+				return nil, nil, fmt.Errorf("analyzer: aggregate %s is not allowed without GROUP BY context", plan.RedactedString(r))
 			}
 			resolved[i] = r
 			outSchema.Fields[i] = types.Field{Name: plan.OutputName(r), Kind: r.Type(), Nullable: true}
@@ -239,7 +239,7 @@ func (a *Analyzer) expandStars(items []plan.Expr, sc *scope) ([]plan.Expr, error
 		}
 		cols := sc.columnsFor(star.Qualifier)
 		if len(cols) == 0 {
-			return nil, fmt.Errorf("analyzer: %s matches no columns", star.String())
+			return nil, fmt.Errorf("analyzer: %s matches no columns", star.Qualifier+".*")
 		}
 		for _, c := range cols {
 			out = append(out, &plan.BoundRef{Index: c.index, Name: c.name, Kind: c.kind})

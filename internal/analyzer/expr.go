@@ -108,7 +108,7 @@ func (a *Analyzer) resolveExpr(e plan.Expr, sc *scope) (plan.Expr, error) {
 	case *plan.AggFunc:
 		// Already-resolved aggregates only appear in contexts the aggregate
 		// analyzer constructs; reaching here means misuse.
-		return nil, fmt.Errorf("analyzer: aggregate %s is not allowed here", t.String())
+		return nil, fmt.Errorf("analyzer: aggregate %s is not allowed here", plan.RedactedString(t))
 
 	case *plan.ScalarFunc:
 		args := make([]plan.Expr, len(t.Args))

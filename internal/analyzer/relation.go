@@ -63,6 +63,7 @@ func (a *Analyzer) resolveTable(r *plan.UnresolvedRelation, meta *catalog.TableM
 	tableScope := scopeFromSchema(lastPart(meta.FullName), meta.Schema, 0)
 	var node plan.Node = scan
 	var kinds []string
+	var labels []plan.Label
 
 	if meta.RowFilterSQL != "" {
 		filterExpr, err := a.parsePolicyExpr(meta.RowFilterSQL, meta.FullName, "row filter")
@@ -78,6 +79,13 @@ func (a *Analyzer) resolveTable(r *plan.UnresolvedRelation, meta *catalog.TableM
 		}
 		node = &plan.Filter{Cond: resolved, Child: node}
 		kinds = append(kinds, "row_filter")
+		labels = append(labels, plan.Label{Kind: plan.LabelRowFilter, Securable: meta.FullName})
+		// An identity-dependent filter (CURRENT_USER, group membership)
+		// scopes rows to a tenant, not just a predicate: escaping it is a
+		// cross-tenant leak, so it carries a second, stronger obligation.
+		if identityDependent(resolved) {
+			labels = append(labels, plan.Label{Kind: plan.LabelTenantScope, Securable: meta.FullName})
+		}
 	}
 
 	if len(meta.ColumnMasks) > 0 {
@@ -98,15 +106,30 @@ func (a *Analyzer) resolveTable(r *plan.UnresolvedRelation, meta *catalog.TableM
 				return nil, nil, fmt.Errorf("analyzer: column mask on %s.%s: %w", meta.FullName, f.Name, err)
 			}
 			exprs[i] = &plan.Alias{Child: castIfNeeded(resolved, f.Kind), Name: f.Name}
+			labels = append(labels, plan.Label{
+				Kind: plan.LabelColumnMask, Securable: meta.FullName, Column: strings.ToLower(f.Name),
+			})
 		}
 		node = &plan.Project{Exprs: exprs, Child: node, OutSchema: meta.Schema}
 		kinds = append(kinds, "column_mask")
 	}
 
 	if len(kinds) > 0 {
-		node = &plan.SecureView{Name: meta.FullName, PolicyKinds: kinds, Child: node}
+		node = &plan.SecureView{Name: meta.FullName, PolicyKinds: kinds, Labels: labels, Child: node}
 	}
 	return node, tableScope, nil
+}
+
+// identityDependent reports whether a resolved policy expression references
+// the session identity (CURRENT_USER or IS_ACCOUNT_GROUP_MEMBER).
+func identityDependent(e plan.Expr) bool {
+	return plan.ExprContains(e, func(x plan.Expr) bool {
+		switch x.(type) {
+		case *plan.CurrentUser, *plan.GroupMember:
+			return true
+		}
+		return false
+	})
 }
 
 func (a *Analyzer) parsePolicyExpr(src, securable, what string) (plan.Expr, error) {

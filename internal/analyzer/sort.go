@@ -53,7 +53,7 @@ func (a *Analyzer) analyzeSort(t *plan.Sort) (plan.Node, *scope, error) {
 			continue
 		}
 		if !e.Type().Orderable() {
-			return nil, nil, fmt.Errorf("analyzer: cannot ORDER BY %s of type %s", e.String(), e.Type())
+			return nil, nil, fmt.Errorf("analyzer: cannot ORDER BY %s of type %s", plan.RedactedString(e), e.Type())
 		}
 		orders[i] = plan.SortOrder{Expr: e, Desc: o.Desc}
 	}
@@ -66,7 +66,7 @@ func (a *Analyzer) analyzeSort(t *plan.Sort) (plan.Node, *scope, error) {
 	proj, ok := child.(*plan.Project)
 	if !ok {
 		e := t.Orders[missing[0]].Expr
-		return nil, nil, fmt.Errorf("analyzer: ORDER BY %s does not resolve against the select list", e.String())
+		return nil, nil, fmt.Errorf("analyzer: ORDER BY %s does not resolve against the select list", plan.RedactedString(e))
 	}
 	innerScope := scopeFromSchema("", proj.Child.Schema(), 0)
 	extended := append([]plan.Expr{}, proj.Exprs...)
@@ -74,10 +74,10 @@ func (a *Analyzer) analyzeSort(t *plan.Sort) (plan.Node, *scope, error) {
 	for _, mi := range missing {
 		e, err := resolveWithFallback(t.Orders[mi].Expr, innerScope)
 		if err != nil {
-			return nil, nil, fmt.Errorf("analyzer: ORDER BY %s: %w", t.Orders[mi].Expr.String(), err)
+			return nil, nil, fmt.Errorf("analyzer: ORDER BY %s: %w", plan.RedactedString(t.Orders[mi].Expr), err)
 		}
 		if !e.Type().Orderable() {
-			return nil, nil, fmt.Errorf("analyzer: cannot ORDER BY %s of type %s", e.String(), e.Type())
+			return nil, nil, fmt.Errorf("analyzer: cannot ORDER BY %s of type %s", plan.RedactedString(e), e.Type())
 		}
 		hiddenIdx := len(extended)
 		name := fmt.Sprintf("__sort%d", mi)

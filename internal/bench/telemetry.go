@@ -7,9 +7,13 @@ import (
 	"strings"
 	"time"
 
+	"lakeguard/internal/analyzer"
+	"lakeguard/internal/catalog"
 	"lakeguard/internal/exec"
 	"lakeguard/internal/optimizer"
 	"lakeguard/internal/sandbox"
+	"lakeguard/internal/sentinel"
+	"lakeguard/internal/sql"
 	"lakeguard/internal/telemetry"
 )
 
@@ -57,6 +61,13 @@ type TelemetryOverheadResult struct {
 	// OpsProfiled is the number of operator nodes in the EXPLAIN ANALYZE
 	// tree of the instrumented run (sanity: instrumentation was really on).
 	OpsProfiled int `json:"ops_profiled"`
+	// VerifyMS is the per-query cost of the sentinel gate (Verify + Seal +
+	// pre-execute Check) on the governed form of the workload query.
+	VerifyMS float64 `json:"verify_ms"`
+	// VerifyOverheadPct is VerifyMS relative to the baseline execution time:
+	// what SENTINEL_VERIFY adds to every query. Shares the ≤10% acceptance
+	// bar with OverheadPct.
+	VerifyOverheadPct float64 `json:"verify_overhead_pct"`
 }
 
 // FormatJSON renders the result for BENCH_telemetry.json.
@@ -143,17 +154,82 @@ func RunTelemetryOverhead(cfg TelemetryOverheadConfig) (*TelemetryOverheadResult
 		return nil, fmt.Errorf("bench: %d spans left open after instrumented runs", open)
 	}
 
+	verifyD, err := measureVerify(w, cfg.Repetitions)
+	if err != nil {
+		return nil, err
+	}
+
 	return &TelemetryOverheadResult{
-		Rows:           cfg.Rows,
-		Files:          files,
-		Workers:        cfg.Workers,
-		Repetitions:    cfg.Repetitions,
-		Query:          ExecScalingQuery,
-		BaselineMS:     float64(baseD) / float64(time.Millisecond),
-		InstrumentedMS: float64(instD) / float64(time.Millisecond),
-		OverheadPct:    (float64(instD)/float64(baseD) - 1) * 100,
-		OpsProfiled:    countOps(lastProfile.Root()),
+		Rows:              cfg.Rows,
+		Files:             files,
+		Workers:           cfg.Workers,
+		Repetitions:       cfg.Repetitions,
+		Query:             ExecScalingQuery,
+		BaselineMS:        float64(baseD) / float64(time.Millisecond),
+		InstrumentedMS:    float64(instD) / float64(time.Millisecond),
+		OverheadPct:       (float64(instD)/float64(baseD) - 1) * 100,
+		OpsProfiled:       countOps(lastProfile.Root()),
+		VerifyMS:          float64(verifyD) / float64(time.Millisecond),
+		VerifyOverheadPct: float64(verifyD) / float64(baseD) * 100,
 	}, nil
+}
+
+// measureVerify times one full sentinel gate pass — Verify, Seal, and the
+// pre-execute Check — on the governed form of the workload query: the events
+// table is given a row filter and a column mask and read by a non-admin, so
+// the dataflow pass has real obligations to discharge. Returns the best
+// per-query gate cost over the repetitions.
+func measureVerify(w *World, reps int) (time.Duration, error) {
+	const reader = "reader@corp.com"
+	if err := w.Cat.SetRowFilter(w.Ctx(), []string{"events"}, "v >= 0", false); err != nil {
+		return 0, err
+	}
+	if err := w.Cat.SetColumnMask(w.Ctx(), []string{"events"}, "cat", "'***'", false); err != nil {
+		return 0, err
+	}
+	if err := w.Cat.Grant(w.Ctx(), catalog.PrivSelect, []string{"events"}, reader); err != nil {
+		return 0, err
+	}
+	q, err := sql.ParseQuery(ExecScalingQuery)
+	if err != nil {
+		return 0, err
+	}
+	rctx := catalog.RequestContext{User: reader, Compute: catalog.ComputeStandard, SessionID: "bench-verify"}
+	analyzed, err := analyzer.New(w.Cat, rctx).Analyze(q)
+	if err != nil {
+		return 0, err
+	}
+	optimized := optimizer.Optimize(analyzed, optimizer.DefaultOptions())
+
+	gate := func() error {
+		report := sentinel.Verify(analyzed, optimized)
+		if err := report.Err(); err != nil {
+			return fmt.Errorf("bench: governed workload plan rejected: %w", err)
+		}
+		sealed, err := sentinel.Seal(optimized, report)
+		if err != nil {
+			return err
+		}
+		return sealed.Check()
+	}
+
+	// The gate is microseconds-scale; time a fixed inner loop per repetition
+	// and keep the best per-query cost.
+	const inner = 50
+	var best time.Duration
+	for rep := 0; rep < reps; rep++ {
+		start := time.Now()
+		for i := 0; i < inner; i++ {
+			if err := gate(); err != nil {
+				return 0, err
+			}
+		}
+		per := time.Since(start) / inner
+		if rep == 0 || per < best {
+			best = per
+		}
+	}
+	return best, nil
 }
 
 func countOps(o *telemetry.OpStats) int {
@@ -175,6 +251,8 @@ func FormatTelemetryOverhead(r *TelemetryOverheadResult) string {
 	fmt.Fprintf(&sb, "instrumented = trace + root span + per-operator spans + worker/morsel spans + storage.get spans + profile atomics (%d ops profiled)\n\n", r.OpsProfiled)
 	fmt.Fprintf(&sb, "  baseline:     %8.1fms\n", r.BaselineMS)
 	fmt.Fprintf(&sb, "  instrumented: %8.1fms\n", r.InstrumentedMS)
-	fmt.Fprintf(&sb, "  overhead:     %+7.1f%%\n", r.OverheadPct)
+	fmt.Fprintf(&sb, "  overhead:     %+7.1f%%\n\n", r.OverheadPct)
+	fmt.Fprintf(&sb, "  sentinel gate (verify+seal+check, governed plan): %.3fms = %+.2f%% of baseline\n",
+		r.VerifyMS, r.VerifyOverheadPct)
 	return sb.String()
 }

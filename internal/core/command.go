@@ -472,12 +472,18 @@ func (s *Server) refreshMaterializedView(qctx context.Context, ctx catalog.Reque
 		return nil, nil, err
 	}
 	optimized := optimizer.Optimize(resolved, s.opts)
-	if _, err := s.verifyOptimized(qctx, ctx, resolved, optimized); err != nil {
+	report, err := s.verifyOptimized(qctx, ctx, resolved, optimized)
+	if err != nil {
+		return nil, nil, err
+	}
+	sealed, err := s.sealVerified(ctx, report, optimized)
+	if err != nil {
 		return nil, nil, err
 	}
 	qc := exec.NewQueryContext(s.cat, ctx)
 	qc.Context = qctx
-	batches, err := s.engine.Execute(qc, optimized)
+	qc.VerifiedPlan = sealed.Fingerprint()
+	batches, err := s.engine.Execute(qc, sealed.Plan)
 	if err != nil {
 		return nil, nil, err
 	}

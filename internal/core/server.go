@@ -14,6 +14,7 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -157,6 +158,11 @@ func NewServer(cfg Config) *Server {
 	if cfg.Supervisor.Compute == "" {
 		cfg.Supervisor.Compute = string(cfg.Compute)
 	}
+	// The server plane only ever executes sealed, sentinel-verified plans, so
+	// its sandboxes enforce that end of the contract too: a crossing without
+	// a verified-plan fingerprint is refused even if some engine path were
+	// tricked into issuing one.
+	cfg.Sandbox.RequireVerifiedPlans = true
 	mgr := cluster.NewManager(cluster.Config{
 		Name: cfg.Name, Compute: cfg.Compute, Hosts: cfg.Hosts, Sandbox: cfg.Sandbox,
 		ResourcePools: cfg.ResourcePools, Faults: cfg.Faults,
@@ -320,6 +326,7 @@ func (s *Server) engineFor(env string) (*exec.Engine, error) {
 		}
 		return nil, fmt.Errorf("core: unknown workload environment %q (available: %v)", env, available)
 	}
+	spec.RequireVerifiedPlans = true
 	mgr := cluster.NewManager(cluster.Config{
 		Name: s.cfg.Name + "-env-" + env, Compute: s.cfg.Compute,
 		Hosts: s.cfg.Hosts, Sandbox: spec, Faults: s.cfg.Faults,
@@ -350,7 +357,14 @@ func (s *Server) verifyOptimized(qctx context.Context, ctx catalog.RequestContex
 	err := report.Err()
 	if err != nil {
 		decision = audit.DecisionDeny
-		reason = err.Error()
+		// The audit event enumerates every violation, not the error's
+		// first-plus-count summary: the trail must attribute each violated
+		// invariant and governance label.
+		parts := make([]string, len(report.Violations))
+		for i, v := range report.Violations {
+			parts[i] = v.String()
+		}
+		reason = strings.Join(parts, "; ")
 	}
 	s.cat.Audit().Record(audit.Event{
 		User: ctx.User, Compute: string(ctx.Compute), SessionID: ctx.SessionID,
@@ -358,6 +372,29 @@ func (s *Server) verifyOptimized(qctx context.Context, ctx catalog.RequestContex
 		Decision: decision, Reason: reason, TraceID: ctx.TraceID,
 	})
 	return report, err
+}
+
+// sealVerified closes the time-of-check/time-of-use window between sentinel
+// verification and execution: the verified plan is deep-copied into a
+// private tree pinned to the verified fingerprint, and the seal is
+// re-checked immediately before the copy is handed to the engine. A plan
+// that drifted in that window — a hostile ExtraRule holding a reference, a
+// misbehaving cache — is refused with a SENTINEL_VERIFY deny audit event,
+// exactly like a plan that failed verification outright.
+func (s *Server) sealVerified(ctx catalog.RequestContext, report *sentinel.Report, optimized plan.Node) (*sentinel.Sealed, error) {
+	sealed, err := sentinel.Seal(optimized, report)
+	if err == nil {
+		err = sealed.Check()
+	}
+	if err != nil {
+		s.cat.Audit().Record(audit.Event{
+			User: ctx.User, Compute: string(ctx.Compute), SessionID: ctx.SessionID,
+			Action: "SENTINEL_VERIFY", Securable: "plan:" + report.Fingerprint,
+			Decision: audit.DecisionDeny, Reason: err.Error(), TraceID: ctx.TraceID,
+		})
+		return nil, err
+	}
+	return sealed, nil
 }
 
 // substituteSQL replaces SQLRelation nodes with their parsed plans.
@@ -465,7 +502,7 @@ func (s *Server) runQueryProfiled(qctx context.Context, ctx catalog.RequestConte
 		prof.OptimizeNanos = int64(d)
 	}
 	t0 = time.Now()
-	_, err = s.verifyOptimized(qctx, ctx, resolved, optimized)
+	report, err := s.verifyOptimized(qctx, ctx, resolved, optimized)
 	d = time.Since(t0)
 	s.met.hVerify.Observe(ms(d))
 	if prof != nil {
@@ -477,8 +514,15 @@ func (s *Server) runQueryProfiled(qctx context.Context, ctx catalog.RequestConte
 	qc := exec.NewQueryContext(s.cat, ctx)
 	qc.Context = qctx
 	qc.Profile = prof
+	// Execute the sealed copy, never the optimizer's tree: nothing holding a
+	// reference to the verified plan can rewrite what actually runs.
+	sealed, err := s.sealVerified(ctx, report, optimized)
+	if err != nil {
+		return nil, nil, err
+	}
+	qc.VerifiedPlan = sealed.Fingerprint()
 	t0 = time.Now()
-	batches, err := engine.Execute(qc, optimized)
+	batches, err := engine.Execute(qc, sealed.Plan)
 	d = time.Since(t0)
 	s.met.hExec.Observe(ms(d))
 	if prof != nil {

@@ -89,6 +89,12 @@ type QueryContext struct {
 	Context context.Context
 	// Profile, when non-nil, collects EXPLAIN ANALYZE operator statistics.
 	Profile *telemetry.Profile
+	// VerifiedPlan is the sentinel fingerprint of the sealed plan this query
+	// executes ("" when the caller did not verify, e.g. a direct engine
+	// test). It is stamped on every sandbox crossing so sandboxes configured
+	// with RequireVerifiedPlans can refuse argument batches that never
+	// passed SENTINEL_VERIFY.
+	VerifiedPlan string
 	// opParent is the enclosing operator's stats sink during build (the
 	// profile tree mirrors the operator tree).
 	opParent *telemetry.OpStats

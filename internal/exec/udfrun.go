@@ -251,7 +251,7 @@ func (r *exprRunner) executeOnePartition(specs []sandbox.UDFSpec, args *types.Ba
 		return nil, err
 	}
 	defer r.engine.Dispatcher.Release(r.qc.SessionID, sb)
-	result, err := sb.Execute(ctx, &sandbox.Request{Specs: specs, Args: args})
+	result, err := sb.Execute(ctx, &sandbox.Request{Specs: specs, Args: args, PlanFingerprint: r.qc.VerifiedPlan})
 	if err != nil {
 		return nil, err
 	}

@@ -18,7 +18,12 @@
 //   - span hygiene: every *telemetry.Span obtained from StartSpan/StartTrace
 //     must be ended (.End/.EndErr) or handed off (returned, stored, passed
 //     to a closer) in the function that starts it — a leaked span corrupts
-//     trace durations and the tracer's open-span accounting.
+//     trace durations and the tracer's open-span accounting;
+//   - expression redaction: verifier and analyzer messages (internal/sentinel,
+//     internal/analyzer) must not format plan expressions directly — a policy
+//     predicate rendered into an error leaks the very literals (tenant IDs,
+//     salary thresholds) the policy exists to hide. plan.RedactedString is
+//     the sanctioned form.
 //
 // The linter analyzes production code: _test.go files are excluded (tests
 // legitimately cross layers to stage fixtures). Findings are structured for
@@ -60,6 +65,7 @@ const (
 	RuleSecurityContext = "security-context"
 	RuleSelectDone      = "select-done"
 	RuleSpanEnd         = "span-end"
+	RuleExprInError     = "expr-in-error"
 	RuleTypecheck       = "typecheck"
 )
 
@@ -161,6 +167,7 @@ func (r *Runner) Run() ([]Finding, error) {
 		out = append(out, r.checkSecurityContext(p)...)
 		out = append(out, r.checkSelectDone(p)...)
 		out = append(out, r.checkSpanEnd(p)...)
+		out = append(out, r.checkExprInError(p)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].File != out[j].File {
@@ -788,6 +795,148 @@ func spanUseHandles(stack []ast.Node) bool {
 		}
 	}
 	return false
+}
+
+// --- rule: no plan expressions formatted into verifier/analyzer messages ---
+
+// exprErrPkgs are the packages whose error and message strings cross the
+// governance boundary back to untrusted callers: a plan expression rendered
+// there leaks policy predicate literals (tenant IDs, thresholds) verbatim.
+var exprErrPkgs = map[string]bool{
+	"internal/sentinel": true,
+	"internal/analyzer": true,
+}
+
+// fmtMessageFns are the fmt functions whose output becomes an error or
+// message string.
+var fmtMessageFns = map[string]bool{
+	"Errorf": true, "Sprintf": true, "Sprint": true, "Sprintln": true,
+}
+
+// planExprIface resolves the lakeguard/internal/plan.Expr interface from the
+// package's typechecked imports (nil when the package never imports plan —
+// then nothing it formats can be an Expr).
+func planExprIface(p *pkg) *types.Interface {
+	for _, imp := range p.tpkg.Imports() {
+		if !strings.HasSuffix(imp.Path(), "/internal/plan") {
+			continue
+		}
+		obj := imp.Scope().Lookup("Expr")
+		if obj == nil {
+			continue
+		}
+		if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+			return iface
+		}
+	}
+	return nil
+}
+
+// formatVerbs returns the verb letter each successive Printf argument is
+// consumed by ('*' for a dynamic width/precision argument). Flags, widths,
+// and %% are skipped.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) {
+			c := format[i]
+			if c == '%' {
+				break
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+				verbs = append(verbs, c)
+				break
+			}
+			i++
+		}
+	}
+	return verbs
+}
+
+func implementsPlanExpr(t types.Type, iface *types.Interface) bool {
+	if t == nil {
+		return false
+	}
+	if types.Implements(t, iface) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), iface)
+	}
+	return false
+}
+
+func (r *Runner) checkExprInError(p *pkg) []Finding {
+	if !exprErrPkgs[p.rel] {
+		return nil
+	}
+	iface := planExprIface(p)
+	if iface == nil {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !fmtMessageFns[sel.Sel.Name] {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.info.Uses[ident].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "fmt" {
+				return true
+			}
+			args := call.Args
+			var verbs []byte
+			if sel.Sel.Name == "Errorf" || sel.Sel.Name == "Sprintf" {
+				if len(args) < 2 {
+					return true
+				}
+				if lit, ok := args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					if format, err := strconv.Unquote(lit.Value); err == nil {
+						verbs = formatVerbs(format)
+					}
+				}
+				args = args[1:] // skip the format string
+			}
+			for i, arg := range args {
+				// %T renders only the dynamic type name — no literals leak.
+				if i < len(verbs) && verbs[i] == 'T' {
+					continue
+				}
+				// X.String() launders the expression into a plain string;
+				// catch it by looking at the receiver's type.
+				target := arg
+				if inner, ok := arg.(*ast.CallExpr); ok {
+					if isel, ok := inner.Fun.(*ast.SelectorExpr); ok && isel.Sel.Name == "String" && len(inner.Args) == 0 {
+						target = isel.X
+					}
+				}
+				if implementsPlanExpr(p.info.TypeOf(target), iface) {
+					out = append(out, r.finding(arg.Pos(), RuleExprInError,
+						"plan expression formatted into a %s message leaks policy predicate literals; use plan.RedactedString", p.rel))
+				}
+			}
+			return true
+		})
+	}
+	return out
 }
 
 func receiverTypeName(recv *ast.FieldList) string {

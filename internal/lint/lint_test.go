@@ -462,3 +462,90 @@ func endAll(spans []*telemetry.Span) {
 	})
 	wantNoRule(t, findings, RuleSpanEnd)
 }
+
+// exprInErrorPlan is a minimal stand-in for internal/plan: the Expr
+// interface, one concrete expression, and the sanctioned redactor.
+const exprInErrorPlan = `package plan
+
+// Expr is a plan expression.
+type Expr interface{ String() string }
+
+// Lit is a literal expression.
+type Lit struct{ V string }
+
+// String renders the literal (leaks V).
+func (l *Lit) String() string { return l.V }
+
+// RedactedString renders e with literal values elided.
+func RedactedString(e Expr) string { _ = e; return "<redacted>" }
+`
+
+func TestExprInErrorViolation(t *testing.T) {
+	findings := lintModule(t, map[string]string{
+		"internal/plan/expr.go": exprInErrorPlan,
+		"internal/sentinel/s.go": `package sentinel
+
+import (
+	"fmt"
+
+	"lakeguard/internal/plan"
+)
+
+// BadDirect formats the expression value itself.
+func BadDirect(e plan.Expr) error { return fmt.Errorf("predicate %v rejected", e) }
+
+// BadString launders the expression through String().
+func BadString(l *plan.Lit) string { return fmt.Sprintf("predicate %s rejected", l.String()) }
+`,
+	})
+	n := 0
+	for _, f := range findings {
+		if f.Rule == RuleExprInError {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("want 2 expr-in-error findings, got %d in %v", n, findings)
+	}
+}
+
+func TestExprInErrorAcceptsRedaction(t *testing.T) {
+	findings := lintModule(t, map[string]string{
+		"internal/plan/expr.go": exprInErrorPlan,
+		"internal/sentinel/s.go": `package sentinel
+
+import (
+	"fmt"
+
+	"lakeguard/internal/plan"
+)
+
+// GoodRedacted uses the sanctioned form.
+func GoodRedacted(e plan.Expr) error { return fmt.Errorf("predicate %s rejected", plan.RedactedString(e)) }
+
+// GoodType only names the dynamic type — no literals leak through %T.
+func GoodType(e plan.Expr) error { return fmt.Errorf("unsupported expression %T", e) }
+`,
+	})
+	wantNoRule(t, findings, RuleExprInError)
+}
+
+// TestExprInErrorScoped proves the rule only bites on the boundary packages:
+// the engine may format expressions in internal diagnostics.
+func TestExprInErrorScoped(t *testing.T) {
+	findings := lintModule(t, map[string]string{
+		"internal/plan/expr.go": exprInErrorPlan,
+		"internal/exec/e.go": `package exec
+
+import (
+	"fmt"
+
+	"lakeguard/internal/plan"
+)
+
+// Debug formats an expression outside the governance boundary.
+func Debug(e plan.Expr) string { return fmt.Sprintf("exec over %v", e) }
+`,
+	})
+	wantNoRule(t, findings, RuleExprInError)
+}

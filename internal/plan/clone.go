@@ -1,0 +1,167 @@
+package plan
+
+// Clone returns a deep copy of a plan tree. WithChildren is not enough for
+// this: leaf nodes return themselves, and expression slices are shared
+// between the copy and the original. The sentinel seals verified plans by
+// cloning them, so a later mutation of the original (or of any shared
+// sub-structure) cannot change what executes. LocalRelation batch data is
+// shared — sealing protects plan structure, not row storage, and batches are
+// immutable once built.
+func Clone(n Node) Node {
+	if n == nil {
+		return nil
+	}
+	switch t := n.(type) {
+	case *UnresolvedRelation:
+		cp := *t
+		cp.Parts = append([]string(nil), t.Parts...)
+		return &cp
+	case *Scan:
+		cp := *t
+		cp.PushedFilters = cloneExprs(t.PushedFilters)
+		cp.ProjectedCols = append([]int(nil), t.ProjectedCols...)
+		return &cp
+	case *LocalRelation:
+		cp := *t
+		return &cp
+	case *Filter:
+		return &Filter{Cond: CloneExpr(t.Cond), Child: Clone(t.Child)}
+	case *Project:
+		return &Project{Exprs: cloneExprs(t.Exprs), Child: Clone(t.Child), OutSchema: t.OutSchema}
+	case *Aggregate:
+		return &Aggregate{
+			GroupBy:   cloneExprs(t.GroupBy),
+			Aggs:      cloneExprs(t.Aggs),
+			Child:     Clone(t.Child),
+			OutSchema: t.OutSchema,
+		}
+	case *Join:
+		return &Join{Type: t.Type, Cond: CloneExpr(t.Cond), L: Clone(t.L), R: Clone(t.R)}
+	case *Sort:
+		orders := make([]SortOrder, len(t.Orders))
+		for i, o := range t.Orders {
+			orders[i] = SortOrder{Expr: CloneExpr(o.Expr), Desc: o.Desc}
+		}
+		return &Sort{Orders: orders, Child: Clone(t.Child)}
+	case *Limit:
+		return &Limit{N: t.N, Offset: t.Offset, Child: Clone(t.Child)}
+	case *Distinct:
+		return &Distinct{Child: Clone(t.Child)}
+	case *Union:
+		return &Union{L: Clone(t.L), R: Clone(t.R)}
+	case *SubqueryAlias:
+		return &SubqueryAlias{Name: t.Name, Child: Clone(t.Child)}
+	case *SecureView:
+		return &SecureView{
+			Name:        t.Name,
+			PolicyKinds: append([]string(nil), t.PolicyKinds...),
+			Labels:      append([]Label(nil), t.Labels...),
+			Child:       Clone(t.Child),
+		}
+	case *RemoteScan:
+		cp := *t
+		cp.PushedFilters = cloneExprs(t.PushedFilters)
+		cp.PushedProjection = append([]string(nil), t.PushedProjection...)
+		if t.PushedAggregate != nil {
+			cp.PushedAggregate = &RemoteAggregate{
+				GroupBy: append([]string(nil), t.PushedAggregate.GroupBy...),
+				Aggs:    append([]string(nil), t.PushedAggregate.Aggs...),
+			}
+		}
+		return &cp
+	case *SQLRelation:
+		cp := *t
+		return &cp
+	default:
+		// Unknown node (injected by a hostile rule): fall back to a
+		// child-wise copy so the clone is at least structurally detached.
+		children := n.Children()
+		if len(children) == 0 {
+			return n
+		}
+		cloned := make([]Node, len(children))
+		for i, c := range children {
+			cloned[i] = Clone(c)
+		}
+		return n.WithChildren(cloned)
+	}
+}
+
+// CloneExpr returns a deep copy of an expression tree (nil-safe).
+func CloneExpr(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch t := e.(type) {
+	case *Literal:
+		cp := *t
+		return &cp
+	case *ColumnRef:
+		cp := *t
+		return &cp
+	case *BoundRef:
+		cp := *t
+		return &cp
+	case *Star:
+		cp := *t
+		return &cp
+	case *Alias:
+		return &Alias{Child: CloneExpr(t.Child), Name: t.Name}
+	case *Binary:
+		return &Binary{Op: t.Op, L: CloneExpr(t.L), R: CloneExpr(t.R), ResultKind: t.ResultKind}
+	case *Unary:
+		return &Unary{Op: t.Op, Child: CloneExpr(t.Child), ResultKind: t.ResultKind}
+	case *IsNull:
+		return &IsNull{Child: CloneExpr(t.Child), Negated: t.Negated}
+	case *InList:
+		return &InList{Child: CloneExpr(t.Child), List: cloneExprs(t.List), Negated: t.Negated}
+	case *Like:
+		return &Like{Child: CloneExpr(t.Child), Pattern: CloneExpr(t.Pattern), Negated: t.Negated}
+	case *Case:
+		whens := make([]WhenClause, len(t.Whens))
+		for i, w := range t.Whens {
+			whens[i] = WhenClause{Cond: CloneExpr(w.Cond), Then: CloneExpr(w.Then)}
+		}
+		return &Case{Whens: whens, Else: CloneExpr(t.Else), ResultKind: t.ResultKind}
+	case *Cast:
+		return &Cast{Child: CloneExpr(t.Child), To: t.To}
+	case *FuncCall:
+		return &FuncCall{Name: t.Name, Args: cloneExprs(t.Args), Distinct: t.Distinct}
+	case *ScalarFunc:
+		return &ScalarFunc{Name: t.Name, Args: cloneExprs(t.Args), ResultKind: t.ResultKind}
+	case *AggFunc:
+		return &AggFunc{Name: t.Name, Arg: CloneExpr(t.Arg), Distinct: t.Distinct, ResultKind: t.ResultKind}
+	case *UDFCall:
+		cp := *t
+		cp.ArgNames = append([]string(nil), t.ArgNames...)
+		cp.Args = cloneExprs(t.Args)
+		return &cp
+	case *CurrentUser:
+		cp := *t
+		return &cp
+	case *GroupMember:
+		cp := *t
+		return &cp
+	default:
+		children := e.ChildExprs()
+		if len(children) == 0 {
+			return e
+		}
+		cloned := make([]Expr, len(children))
+		for i, c := range children {
+			cloned[i] = CloneExpr(c)
+		}
+		return e.WithChildExprs(cloned)
+	}
+}
+
+func cloneExprs(es []Expr) []Expr {
+	if es == nil {
+		return nil
+	}
+	out := make([]Expr, len(es))
+	for i, e := range es {
+		out[i] = CloneExpr(e)
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package plan
+
+import (
+	"sort"
+	"strings"
+)
+
+// LabelKind classifies a governance obligation attached to data flowing
+// through a plan. Labels are the currency of the sentinel's information-flow
+// pass: the analyzer seeds them from catalog policies, the verifier
+// propagates them through the optimized plan's dataflow, and a plan is only
+// executable when every label has been discharged by a surviving policy
+// operator before it reaches a sink (client rows, sandboxed UDF arguments,
+// remote pushdowns).
+type LabelKind string
+
+// Label kinds.
+const (
+	// LabelRowFilter marks rows of a governed table that must pass the
+	// table's row-filter predicate before anything may observe them.
+	LabelRowFilter LabelKind = "row_filter"
+	// LabelColumnMask marks the raw value of a masked column; it is
+	// discharged by the policy's mask expression and by nothing else.
+	LabelColumnMask LabelKind = "column_mask"
+	// LabelTenantScope marks rows governed by an identity-dependent row
+	// filter (one referencing CURRENT_USER or IS_ACCOUNT_GROUP_MEMBER):
+	// leaking them crosses a tenant boundary, not just a predicate.
+	LabelTenantScope LabelKind = "tenant_scope"
+)
+
+// Label is one governance obligation. Labels are comparable values: two
+// labels are the same obligation iff all fields match. Instance
+// distinguishes multiple occurrences of the same securable in one plan
+// (self-joins), so each occurrence tracks its own discharge state.
+type Label struct {
+	Kind      LabelKind
+	Securable string // governed object, e.g. "main.default.sales"
+	Column    string // masked column (lower-cased); "" for row obligations
+	Instance  int    // occurrence index within one plan; 0 outside a plan
+}
+
+// String renders the label for violation messages and audit events, e.g.
+// "column_mask:main.default.sales.ssn" or "row_filter:main.default.sales#1".
+// It never includes policy predicate text (labels are side-channel safe).
+func (l Label) String() string {
+	var b strings.Builder
+	b.WriteString(string(l.Kind))
+	b.WriteByte(':')
+	b.WriteString(l.Securable)
+	if l.Column != "" {
+		b.WriteByte('.')
+		b.WriteString(l.Column)
+	}
+	if l.Instance > 0 {
+		b.WriteByte('#')
+		b.WriteString(itoa(l.Instance))
+	}
+	return b.String()
+}
+
+// itoa is a minimal positive-int formatter (avoids strconv for one call
+// site's sake — kept trivial on purpose).
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// LabelSet is a set of obligations. The dataflow lattice is the powerset of
+// labels ordered by inclusion: join is union, bottom is the empty set. All
+// operations treat the zero value as the empty set and never mutate their
+// receivers — sets are shared freely across plan nodes during propagation.
+type LabelSet struct {
+	m map[Label]struct{}
+}
+
+// NewLabelSet builds a set from labels.
+func NewLabelSet(labels ...Label) LabelSet {
+	if len(labels) == 0 {
+		return LabelSet{}
+	}
+	m := make(map[Label]struct{}, len(labels))
+	for _, l := range labels {
+		m[l] = struct{}{}
+	}
+	return LabelSet{m: m}
+}
+
+// Empty reports whether the set carries no obligations.
+func (s LabelSet) Empty() bool { return len(s.m) == 0 }
+
+// Len returns the number of obligations.
+func (s LabelSet) Len() int { return len(s.m) }
+
+// Has reports membership.
+func (s LabelSet) Has(l Label) bool {
+	_, ok := s.m[l]
+	return ok
+}
+
+// Union returns the lattice join of s and t (either operand may be reused).
+func (s LabelSet) Union(t LabelSet) LabelSet {
+	if t.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return t
+	}
+	m := make(map[Label]struct{}, len(s.m)+len(t.m))
+	for l := range s.m {
+		m[l] = struct{}{}
+	}
+	for l := range t.m {
+		m[l] = struct{}{}
+	}
+	return LabelSet{m: m}
+}
+
+// Add returns s ∪ {l}.
+func (s LabelSet) Add(l Label) LabelSet {
+	if s.Has(l) {
+		return s
+	}
+	m := make(map[Label]struct{}, len(s.m)+1)
+	for x := range s.m {
+		m[x] = struct{}{}
+	}
+	m[l] = struct{}{}
+	return LabelSet{m: m}
+}
+
+// Without returns s \ {l}.
+func (s LabelSet) Without(l Label) LabelSet {
+	if !s.Has(l) {
+		return s
+	}
+	m := make(map[Label]struct{}, len(s.m)-1)
+	for x := range s.m {
+		if x != l {
+			m[x] = struct{}{}
+		}
+	}
+	return LabelSet{m: m}
+}
+
+// Filter returns the subset satisfying keep.
+func (s LabelSet) Filter(keep func(Label) bool) LabelSet {
+	if s.Empty() {
+		return s
+	}
+	var out []Label
+	for l := range s.m {
+		if keep(l) {
+			out = append(out, l)
+		}
+	}
+	return NewLabelSet(out...)
+}
+
+// Labels returns the members sorted by their string form (deterministic for
+// messages and tests).
+func (s LabelSet) Labels() []Label {
+	out := make([]Label, 0, len(s.m))
+	for l := range s.m {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// String renders the set as a sorted, comma-separated list ("∅" when empty).
+func (s LabelSet) String() string {
+	if s.Empty() {
+		return "∅"
+	}
+	parts := make([]string, 0, len(s.m))
+	for _, l := range s.Labels() {
+		parts = append(parts, l.String())
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,143 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"lakeguard/internal/types"
+)
+
+func TestLabelString(t *testing.T) {
+	cases := []struct {
+		l    Label
+		want string
+	}{
+		{Label{Kind: LabelColumnMask, Securable: "main.default.sales", Column: "seller"}, "column_mask:main.default.sales.seller"},
+		{Label{Kind: LabelRowFilter, Securable: "main.default.sales"}, "row_filter:main.default.sales"},
+		{Label{Kind: LabelRowFilter, Securable: "main.default.sales", Instance: 2}, "row_filter:main.default.sales#2"},
+		{Label{Kind: LabelTenantScope, Securable: "main.hr.people"}, "tenant_scope:main.hr.people"},
+	}
+	for _, c := range cases {
+		if got := c.l.String(); got != c.want {
+			t.Errorf("Label.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestLabelSetOps(t *testing.T) {
+	a := Label{Kind: LabelColumnMask, Securable: "t", Column: "a"}
+	b := Label{Kind: LabelRowFilter, Securable: "t"}
+	c := Label{Kind: LabelTenantScope, Securable: "u"}
+
+	var zero LabelSet
+	if !zero.Empty() || zero.Len() != 0 || zero.String() != "∅" {
+		t.Fatalf("zero LabelSet not empty: %v", zero)
+	}
+	s := NewLabelSet(a, b)
+	if s.Len() != 2 || !s.Has(a) || !s.Has(b) || s.Has(c) {
+		t.Fatalf("NewLabelSet membership wrong: %v", s)
+	}
+	u := s.Union(NewLabelSet(b, c))
+	if u.Len() != 3 {
+		t.Fatalf("Union = %v, want 3 members", u)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Union mutated receiver: %v", s)
+	}
+	w := u.Without(b)
+	if w.Len() != 2 || w.Has(b) || !u.Has(b) {
+		t.Fatalf("Without wrong or mutated receiver: %v / %v", w, u)
+	}
+	add := zero.Add(c)
+	if !add.Has(c) || add.Len() != 1 {
+		t.Fatalf("Add on zero set: %v", add)
+	}
+	masks := u.Filter(func(l Label) bool { return l.Kind == LabelColumnMask })
+	if masks.Len() != 1 || !masks.Has(a) {
+		t.Fatalf("Filter: %v", masks)
+	}
+	// Deterministic sorted rendering.
+	want := "column_mask:t.a, row_filter:t, tenant_scope:u"
+	if got := u.String(); got != want {
+		t.Errorf("Set.String() = %q, want %q", got, want)
+	}
+}
+
+func TestCloneDetachesPlan(t *testing.T) {
+	schema := types.NewSchema(
+		types.Field{Name: "amount", Kind: types.KindFloat64},
+		types.Field{Name: "region", Kind: types.KindString},
+	)
+	scan := &Scan{
+		Table:         "main.default.sales",
+		TableSchema:   schema,
+		Version:       -1,
+		PushedFilters: []Expr{Eq(&BoundRef{Index: 1, Name: "region", Kind: types.KindString}, Lit(types.String("US")))},
+	}
+	orig := &SecureView{
+		Name:        "main.default.sales",
+		PolicyKinds: []string{"row_filter"},
+		Labels:      []Label{{Kind: LabelRowFilter, Securable: "main.default.sales"}},
+		Child:       &Filter{Cond: Eq(&BoundRef{Index: 0, Name: "amount", Kind: types.KindFloat64}, Lit(types.Float64(1))), Child: scan},
+	}
+	before := Explain(orig)
+
+	cp := Clone(orig).(*SecureView)
+	// Tamper with every mutable part of the original.
+	scan.PushedFilters = nil
+	scan.Table = "tampered"
+	orig.Labels[0] = Label{Kind: LabelColumnMask, Securable: "x"}
+	orig.Child.(*Filter).Cond = Lit(types.Bool(true))
+
+	if got := Explain(cp); got != before {
+		t.Fatalf("clone changed when original was mutated:\nbefore:\n%s\nafter:\n%s", before, got)
+	}
+	if cp.Labels[0].Kind != LabelRowFilter {
+		t.Fatalf("clone shares Labels slice with original")
+	}
+}
+
+func TestCloneExprDeep(t *testing.T) {
+	udf := &UDFCall{
+		Name:     "f",
+		Owner:    "alice@corp.com",
+		Body:     "return x",
+		ArgNames: []string{"x"},
+		Args:     []Expr{&BoundRef{Index: 0, Name: "seller", Kind: types.KindString}},
+	}
+	e := &Case{
+		Whens: []WhenClause{{Cond: &IsNull{Child: udf}, Then: Lit(types.String("a"))}},
+		Else:  &InList{Child: Col("region"), List: []Expr{Lit(types.String("US"))}},
+	}
+	before := e.String()
+	cp := CloneExpr(e)
+	udf.Args[0] = Lit(types.String("swapped"))
+	e.Whens[0].Then = Lit(types.String("tampered"))
+	if cp.String() != before {
+		t.Fatalf("expr clone shares structure:\nbefore: %s\nafter:  %s", cp.String(), before)
+	}
+}
+
+func TestRedactedString(t *testing.T) {
+	e := And(
+		Eq(Col("region"), Lit(types.String("US"))),
+		&GroupMember{Group: "finance"},
+	)
+	got := RedactedString(e)
+	if strings.Contains(got, "US") || strings.Contains(got, "finance") {
+		t.Fatalf("RedactedString leaked literals: %q", got)
+	}
+	if !strings.Contains(got, "region") {
+		t.Fatalf("RedactedString dropped column name: %q", got)
+	}
+	if !strings.Contains(got, "?") {
+		t.Fatalf("RedactedString missing placeholder: %q", got)
+	}
+	// Original expression is untouched.
+	if !strings.Contains(e.String(), "US") {
+		t.Fatalf("RedactedString mutated its input: %q", e.String())
+	}
+	if RedactedString(nil) != "?" {
+		t.Fatalf("RedactedString(nil) = %q", RedactedString(nil))
+	}
+}

@@ -412,7 +412,13 @@ type SecureView struct {
 	// PolicyKinds documents which policies were injected ("row_filter",
 	// "column_mask", "view").
 	PolicyKinds []string
-	Child       Node
+	// Labels are the governance obligations the analyzer seeded for this
+	// barrier, one per policy instance (a column_mask label per masked
+	// column, a row_filter and/or tenant_scope label for the row policy).
+	// The sentinel's dataflow pass reads them from the analyzed plan — the
+	// optimized plan cannot launder an obligation away by dropping them.
+	Labels []Label
+	Child  Node
 }
 
 // Schema implements Node.
@@ -423,7 +429,7 @@ func (s *SecureView) Children() []Node { return []Node{s.Child} }
 
 // WithChildren implements Node.
 func (s *SecureView) WithChildren(ch []Node) Node {
-	return &SecureView{Name: s.Name, PolicyKinds: s.PolicyKinds, Child: ch[0]}
+	return &SecureView{Name: s.Name, PolicyKinds: s.PolicyKinds, Labels: s.Labels, Child: ch[0]}
 }
 
 // String implements Node.

@@ -1,0 +1,376 @@
+package redteam
+
+import (
+	"lakeguard/internal/analyzer"
+	"lakeguard/internal/catalog"
+	"lakeguard/internal/core"
+	"lakeguard/internal/optimizer"
+	"lakeguard/internal/plan"
+	"lakeguard/internal/sentinel"
+	"lakeguard/internal/sql"
+	"lakeguard/internal/types"
+)
+
+// The governance labels the seeded fixture carries (see Fixture.Seed).
+const (
+	rowLabel  = "row_filter:main.default.sales"
+	maskLabel = "column_mask:main.default.sales.seller"
+)
+
+const victimSQL = "SELECT amount, seller FROM sales"
+
+// standardAttack seeds a standard-compute fixture with the given sabotage
+// rules and runs the victim query through the full server pipeline.
+func standardAttack(q string, rules ...optimizer.Rule) func() (*Fixture, error) {
+	return func() (*Fixture, error) {
+		f := NewFixture(catalog.ComputeStandard, rules...)
+		if err := f.Seed(); err != nil {
+			return nil, err
+		}
+		return f, f.Query(Victim, q)
+	}
+}
+
+// salesTableSchema finds the governed table's full schema inside a plan (the
+// sabotage rules need it to forge raw scans).
+func salesTableSchema(n plan.Node) *types.Schema {
+	var s *types.Schema
+	plan.Walk(n, func(x plan.Node) bool {
+		if sc, ok := x.(*plan.Scan); ok && sc.Table == "main.default.sales" {
+			s = sc.TableSchema
+		}
+		return true
+	})
+	return s
+}
+
+// widenSeller re-adds the raw seller column to a scan's projection and
+// returns the widened scan plus seller's index in its output schema. The
+// optimizer prunes seller out of the governed scan (the literal mask never
+// references it), so an attack that wants the raw value must first widen the
+// scan back — which is by itself legal; the violation is what the attack
+// then does with the column. Returns (sc, i) unchanged when seller is
+// already scanned.
+func widenSeller(sc *plan.Scan) (*plan.Scan, int) {
+	if sc == nil {
+		return nil, -1
+	}
+	s := sc.Schema()
+	for i := 0; i < s.Len(); i++ {
+		if s.Fields[i].Name == "seller" {
+			return sc, i
+		}
+	}
+	tblIdx := -1
+	for i := 0; i < sc.TableSchema.Len(); i++ {
+		if sc.TableSchema.Fields[i].Name == "seller" {
+			tblIdx = i
+		}
+	}
+	if tblIdx < 0 || sc.ProjectedCols == nil {
+		return sc, -1
+	}
+	cp := *sc
+	cp.ProjectedCols = append(append([]int{}, sc.ProjectedCols...), tblIdx)
+	return &cp, len(cp.ProjectedCols) - 1
+}
+
+// rawSeller is a bound reference to the raw seller column at index i.
+func rawSeller(i int) *plan.BoundRef {
+	return &plan.BoundRef{Index: i, Name: "seller", Kind: types.KindString}
+}
+
+// sabotageBarrier rewrites the governed barrier's interior: it widens the
+// scan to expose raw seller and hands (projection, widened scan, seller
+// index) to the attack, which returns the replacement interior.
+func sabotageBarrier(build func(proj *plan.Project, sc *plan.Scan, idx int) plan.Node) optimizer.Rule {
+	return func(n plan.Node) plan.Node {
+		return plan.Transform(n, func(x plan.Node) plan.Node {
+			sv, ok := x.(*plan.SecureView)
+			if !ok {
+				return x
+			}
+			proj, ok := sv.Child.(*plan.Project)
+			if !ok {
+				return x
+			}
+			sc, ok := proj.Child.(*plan.Scan)
+			if !ok {
+				return x
+			}
+			wide, idx := widenSeller(sc)
+			if idx < 0 {
+				return x
+			}
+			cp := *sv
+			cp.Child = build(proj, wide, idx)
+			return &cp
+		})
+	}
+}
+
+// Corpus is the bypass corpus: one case per known attack class against the
+// plan pipeline. Every case must be blocked by the sentinel with the listed
+// invariants and, where a label applies, a label-attributed deny audit event.
+var Corpus = []Case{
+	{
+		Name:  "drop-pushed-policy-filter",
+		Class: "label-dropping",
+		Description: "A rewrite deletes the row-filter predicate the optimizer " +
+			"pushed into the governed scan, so unfiltered rows would flow out.",
+		Attack: standardAttack(victimSQL, func(n plan.Node) plan.Node {
+			return plan.Transform(n, func(x plan.Node) plan.Node {
+				if sc, ok := x.(*plan.Scan); ok && len(sc.PushedFilters) > 0 {
+					cp := *sc
+					cp.PushedFilters = nil
+					return &cp
+				}
+				return x
+			})
+		}),
+		WantInvariants: []sentinel.Invariant{sentinel.InvRowFilter, sentinel.InvLabelFlow},
+		WantLabel:      rowLabel,
+	},
+	{
+		Name:  "mask-replaced-with-identity",
+		Class: "mask-laundering",
+		Description: "A rewrite swaps the column-mask expression for the raw " +
+			"column under the same output name — the mask operator survives " +
+			"by name but masks nothing.",
+		Attack: standardAttack(victimSQL, sabotageBarrier(
+			func(proj *plan.Project, sc *plan.Scan, idx int) plan.Node {
+				exprs := append([]plan.Expr{}, proj.Exprs...)
+				for i, e := range exprs {
+					if plan.OutputName(e) == "seller" {
+						exprs[i] = plan.As(rawSeller(idx), "seller")
+					}
+				}
+				return &plan.Project{Exprs: exprs, Child: sc, OutSchema: proj.OutSchema}
+			})),
+		WantInvariants: []sentinel.Invariant{sentinel.InvColumnMask, sentinel.InvLabelFlow},
+		WantLabel:      maskLabel,
+	},
+	{
+		Name:  "alias-copy-laundering",
+		Class: "mask-laundering",
+		Description: "A rewrite keeps the mask intact but adds a second " +
+			"projection item copying the raw masked column under a fresh " +
+			"alias — every name-based check passes, the value leaks.",
+		Attack: standardAttack(victimSQL, sabotageBarrier(
+			func(proj *plan.Project, sc *plan.Scan, idx int) plan.Node {
+				exprs := append(append([]plan.Expr{}, proj.Exprs...),
+					plan.As(rawSeller(idx), "cc"))
+				fields := append(append([]types.Field{}, proj.OutSchema.Fields...),
+					types.Field{Name: "cc", Kind: types.KindString, Nullable: true})
+				return &plan.Project{Exprs: exprs, Child: sc,
+					OutSchema: &types.Schema{Fields: fields}}
+			})),
+		WantInvariants: []sentinel.Invariant{sentinel.InvLabelFlow},
+		WantLabel:      maskLabel,
+	},
+	{
+		Name:  "udf-below-mask",
+		Class: "udf-smuggling",
+		Description: "A rewrite interposes a foreign-owned UDF predicate " +
+			"between the scan and the mask projection, feeding raw masked " +
+			"values into sandboxed user code.",
+		Attack: standardAttack(victimSQL, sabotageBarrier(
+			func(proj *plan.Project, sc *plan.Scan, idx int) plan.Node {
+				udf := &plan.UDFCall{Name: "main.default.exfil", Owner: "mallory@corp.com",
+					Args: []plan.Expr{rawSeller(idx)}, ResultKind: types.KindBool}
+				return &plan.Project{Exprs: proj.Exprs, OutSchema: proj.OutSchema,
+					Child: &plan.Filter{Cond: udf, Child: sc}}
+			})),
+		WantInvariants: []sentinel.Invariant{sentinel.InvTrustDomain, sentinel.InvLabelSink},
+		WantLabel:      maskLabel,
+	},
+	{
+		Name:  "udf-into-remote-push",
+		Class: "udf-smuggling",
+		Description: "On dedicated compute, a rewrite smuggles a user-owned " +
+			"UDF into the eFGAC RemoteScan's pushed filters, which would run " +
+			"user code on the trusted serverless side.",
+		Attack: func() (*Fixture, error) {
+			f := NewFixture(catalog.ComputeStandard)
+			if err := f.Seed(); err != nil {
+				return nil, err
+			}
+			ded := f.WithDedicated(func(n plan.Node) plan.Node {
+				return plan.Transform(n, func(x plan.Node) plan.Node {
+					rs, ok := x.(*plan.RemoteScan)
+					if !ok {
+						return x
+					}
+					cp := *rs
+					cp.PushedFilters = append(append([]plan.Expr{}, rs.PushedFilters...),
+						&plan.UDFCall{Name: "main.default.exfil", Owner: "mallory@corp.com",
+							Args: []plan.Expr{plan.Col("amount")}, ResultKind: types.KindBool})
+					return &cp
+				})
+			})
+			return ded, ded.Query(Victim, victimSQL)
+		},
+		WantInvariants: []sentinel.Invariant{sentinel.InvRemotePush},
+	},
+	{
+		Name:  "inject-raw-scan",
+		Class: "plan-injection",
+		Description: "A rewrite unions the governed query with a raw scan of " +
+			"the same table outside any policy barrier.",
+		Attack: standardAttack(victimSQL, func(n plan.Node) plan.Node {
+			ts := salesTableSchema(n)
+			if ts == nil {
+				return n
+			}
+			raw := &plan.Project{
+				Exprs: []plan.Expr{
+					&plan.BoundRef{Index: 0, Name: "amount", Kind: types.KindFloat64},
+					&plan.BoundRef{Index: 2, Name: "seller", Kind: types.KindString},
+				},
+				Child: &plan.Scan{Table: "main.default.sales", TableSchema: ts},
+				OutSchema: types.NewSchema(
+					types.Field{Name: "amount", Kind: types.KindFloat64},
+					types.Field{Name: "seller", Kind: types.KindString}),
+			}
+			return &plan.Union{L: n, R: raw}
+		}),
+		WantInvariants: []sentinel.Invariant{sentinel.InvBarrier, sentinel.InvLabelSink},
+		WantLabel:      maskLabel,
+	},
+	{
+		Name:  "filter-past-mask",
+		Class: "implicit-flow",
+		Description: "A rewrite pushes a predicate over the raw masked column " +
+			"below the mask projection — the value is never projected, but " +
+			"filtering on it leaks it bit by bit.",
+		Attack: standardAttack(victimSQL, sabotageBarrier(
+			func(proj *plan.Project, sc *plan.Scan, idx int) plan.Node {
+				leak := &plan.Binary{Op: plan.OpEq,
+					L: rawSeller(idx), R: plan.Lit(types.String("ann")),
+					ResultKind: types.KindBool}
+				return &plan.Project{Exprs: proj.Exprs, OutSchema: proj.OutSchema,
+					Child: &plan.Filter{Cond: leak, Child: sc}}
+			})),
+		WantInvariants: []sentinel.Invariant{sentinel.InvLabelFlow},
+		WantLabel:      maskLabel,
+	},
+	{
+		Name:  "barrier-drop",
+		Class: "label-dropping",
+		Description: "A rewrite deletes the SecureView barrier and its policy " +
+			"operators wholesale, splicing the raw scan into the plan.",
+		Attack: standardAttack(victimSQL, func(n plan.Node) plan.Node {
+			return plan.Transform(n, func(x plan.Node) plan.Node {
+				sv, ok := x.(*plan.SecureView)
+				if !ok {
+					return x
+				}
+				ts := salesTableSchema(sv)
+				if ts == nil {
+					return x
+				}
+				return &plan.Scan{Table: "main.default.sales", TableSchema: ts}
+			})
+		}),
+		WantInvariants: []sentinel.Invariant{sentinel.InvBarrier, sentinel.InvLabelSink},
+		WantLabel:      maskLabel,
+	},
+	{
+		Name:  "observed-pushed-filter",
+		Class: "implicit-flow",
+		Description: "A rewrite appends a non-policy predicate over the raw " +
+			"masked column to the scan's pushed filters — storage-level " +
+			"observation of a value the mask should hide.",
+		Attack: standardAttack(victimSQL, func(n plan.Node) plan.Node {
+			return plan.Transform(n, func(x plan.Node) plan.Node {
+				sc, ok := x.(*plan.Scan)
+				if !ok || sc.Table != "main.default.sales" {
+					return x
+				}
+				wide, idx := widenSeller(sc)
+				if idx < 0 {
+					return x
+				}
+				cp := *wide
+				cp.PushedFilters = append(append([]plan.Expr{}, wide.PushedFilters...),
+					&plan.Binary{Op: plan.OpEq,
+						L: rawSeller(idx), R: plan.Lit(types.String("ann")),
+						ResultKind: types.KindBool})
+				return &cp
+			})
+		}),
+		WantInvariants: []sentinel.Invariant{sentinel.InvLabelFlow},
+		WantLabel:      maskLabel,
+	},
+	{
+		Name:  "barrier-rename",
+		Class: "plan-injection",
+		Description: "A rewrite renames the policy barrier so obligation " +
+			"matching would bind it to the wrong securable.",
+		Attack: standardAttack(victimSQL, func(n plan.Node) plan.Node {
+			return plan.Transform(n, func(x plan.Node) plan.Node {
+				if sv, ok := x.(*plan.SecureView); ok {
+					cp := *sv
+					cp.Name = "main.default.decoy"
+					return &cp
+				}
+				return x
+			})
+		}),
+		WantInvariants: []sentinel.Invariant{sentinel.InvBarrier},
+	},
+	{
+		Name:  "toctou-seal-tamper",
+		Class: "toctou",
+		Description: "The plan passes verification, then is mutated in the " +
+			"window between verification and execution; the seal's " +
+			"re-fingerprint check must refuse to run it.",
+		Attack: func() (*Fixture, error) {
+			f := NewFixture(catalog.ComputeStandard)
+			if err := f.Seed(); err != nil {
+				return nil, err
+			}
+			q, err := sql.ParseQuery(victimSQL)
+			if err != nil {
+				return nil, err
+			}
+			a := analyzer.New(f.Cat, catalog.RequestContext{
+				User: Victim, Compute: catalog.ComputeStandard, SessionID: "rt-toctou"})
+			resolved, err := a.Analyze(q)
+			if err != nil {
+				return nil, err
+			}
+			optimized := optimizer.Optimize(resolved, optimizer.DefaultOptions())
+			r := sentinel.Verify(resolved, optimized)
+			if err := r.Err(); err != nil {
+				return nil, err
+			}
+			sealed, err := sentinel.Seal(optimized, r)
+			if err != nil {
+				return nil, err
+			}
+			// The attack: strip the pushed policy filter from the tree that is
+			// about to execute, after verification already passed.
+			plan.Walk(sealed.Plan, func(x plan.Node) bool {
+				if sc, ok := x.(*plan.Scan); ok {
+					sc.PushedFilters = nil
+				}
+				return true
+			})
+			return nil, sealed.Check()
+		},
+		WantInvariants: []sentinel.Invariant{sentinel.InvSeal},
+	},
+}
+
+// WithDedicated builds a dedicated-compute deployment over the same catalog
+// (the eFGAC configuration), running the given sabotage rules.
+func (f *Fixture) WithDedicated(rules ...optimizer.Rule) *Fixture {
+	opts := optimizer.DefaultOptions()
+	opts.ExtraRules = rules
+	srv := core.NewServer(core.Config{
+		Name: "redteam-dedicated", Catalog: f.Cat, Compute: catalog.ComputeDedicated,
+		Optimizer: &opts, Parallelism: 1,
+	})
+	return &Fixture{Cat: f.Cat, Server: srv}
+}

@@ -1,0 +1,401 @@
+package redteam
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"lakeguard/internal/analyzer"
+	"lakeguard/internal/catalog"
+	"lakeguard/internal/optimizer"
+	"lakeguard/internal/plan"
+	"lakeguard/internal/sql"
+	"lakeguard/internal/types"
+)
+
+// This file is the plan-mutation fuzzer: a seeded generator of governed
+// schemas, policies, and victim queries, plus a menu of hostile plan
+// mutations. For every generated scenario the sentinel must accept the
+// unmutated optimized plan and reject every applicable mutant — the fuzzed
+// counterpart of the hand-written Corpus.
+
+// ColSpec is one generated table column.
+type ColSpec struct {
+	Name string
+	// SQLType is the DDL type (DOUBLE or STRING).
+	SQLType string
+}
+
+// Kind maps the DDL type to the engine kind.
+func (c ColSpec) Kind() types.Kind {
+	if c.SQLType == "DOUBLE" {
+		return types.KindFloat64
+	}
+	return types.KindString
+}
+
+// Scenario is one generated governed deployment: a table with a random
+// column roster, a tenant row filter, a literal column mask, and a victim
+// query that reads the governed columns.
+type Scenario struct {
+	Table     string // unqualified table name
+	FQN       string // fully qualified (main.default.<Table>)
+	Columns   []ColSpec
+	FilterCol string // row-filter column
+	FilterVal string
+	MaskCol   string // masked column
+	MaskLit   string
+	OutCols   []string // victim query output columns
+	Query     string   // victim SELECT
+}
+
+// GenerateScenario draws a random scenario from rng. The roster always
+// contains amount (DOUBLE), region (STRING), and seller (STRING) — the
+// policy anchors — in a shuffled order with optional extra columns, so
+// column indices vary across seeds.
+func GenerateScenario(rng *rand.Rand) *Scenario {
+	cols := []ColSpec{
+		{"amount", "DOUBLE"}, {"region", "STRING"}, {"seller", "STRING"},
+	}
+	for _, extra := range []ColSpec{{"qty", "DOUBLE"}, {"note", "STRING"}, {"score", "DOUBLE"}} {
+		if rng.Intn(2) == 1 {
+			cols = append(cols, extra)
+		}
+	}
+	rng.Shuffle(len(cols), func(i, j int) { cols[i], cols[j] = cols[j], cols[i] })
+
+	regions := []string{"US", "EU", "APAC"}
+	masks := []string{"***", "xxx", "redacted"}
+	s := &Scenario{
+		Table:     fmt.Sprintf("ft%d", rng.Intn(1_000_000)),
+		Columns:   cols,
+		FilterCol: "region",
+		FilterVal: regions[rng.Intn(len(regions))],
+		MaskCol:   "seller",
+		MaskLit:   masks[rng.Intn(len(masks))],
+	}
+	s.FQN = "main.default." + s.Table
+
+	// The victim always reads the masked column and amount; every other
+	// column joins the projection with p=1/2.
+	out := []string{"amount", s.MaskCol}
+	for _, c := range cols {
+		if c.Name != "amount" && c.Name != s.MaskCol && rng.Intn(2) == 1 {
+			out = append(out, c.Name)
+		}
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	s.OutCols = out
+	s.Query = "SELECT " + strings.Join(out, ", ") + " FROM " + s.Table
+	if rng.Intn(2) == 1 {
+		s.Query += fmt.Sprintf(" WHERE amount > %d", rng.Intn(200))
+	}
+	return s
+}
+
+// DDL returns the statements that create, populate, and govern the table,
+// including the victim's SELECT grant.
+func (s *Scenario) DDL() []string {
+	defs := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		defs[i] = c.Name + " " + c.SQLType
+	}
+	sellers := []string{"ann", "ben", "cho", "dee"}
+	regions := []string{"US", "EU", "APAC"}
+	var rows []string
+	for i := 0; i < 6; i++ {
+		vals := make([]string, len(s.Columns))
+		for j, c := range s.Columns {
+			switch c.Name {
+			case "region":
+				vals[j] = "'" + regions[i%len(regions)] + "'"
+			case "seller":
+				vals[j] = "'" + sellers[i%len(sellers)] + "'"
+			default:
+				if c.SQLType == "DOUBLE" {
+					vals[j] = fmt.Sprintf("%d", 25+i*37)
+				} else {
+					vals[j] = fmt.Sprintf("'n%d'", i)
+				}
+			}
+		}
+		rows = append(rows, "("+strings.Join(vals, ", ")+")")
+	}
+	return []string{
+		"CREATE TABLE " + s.Table + " (" + strings.Join(defs, ", ") + ")",
+		"INSERT INTO " + s.Table + " VALUES " + strings.Join(rows, ", "),
+		fmt.Sprintf("ALTER TABLE %s SET ROW FILTER '%s = ''%s'''", s.Table, s.FilterCol, s.FilterVal),
+		fmt.Sprintf("ALTER TABLE %s ALTER COLUMN %s SET MASK '''%s'''", s.Table, s.MaskCol, s.MaskLit),
+		"GRANT SELECT ON " + s.Table + " TO '" + Victim + "'",
+	}
+}
+
+// Seed applies the scenario's DDL to a fixture.
+func (s *Scenario) Seed(f *Fixture) error {
+	for _, stmt := range s.DDL() {
+		if err := f.Exec(Admin, stmt); err != nil {
+			return fmt.Errorf("redteam: scenario DDL %q: %w", stmt, err)
+		}
+	}
+	return nil
+}
+
+// Plans analyzes and optimizes the victim query against the fixture's
+// catalog, returning both trees for sentinel verification.
+func (s *Scenario) Plans(f *Fixture) (analyzed, optimized plan.Node, err error) {
+	q, err := sql.ParseQuery(s.Query)
+	if err != nil {
+		return nil, nil, err
+	}
+	a := analyzer.New(f.Cat, catalog.RequestContext{
+		User: Victim, Compute: catalog.ComputeStandard, SessionID: "rt-fuzz"})
+	analyzed, err = a.Analyze(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return analyzed, optimizer.Optimize(analyzed, optimizer.DefaultOptions()), nil
+}
+
+// Mutation is one hostile plan rewrite. Apply returns the mutated tree and
+// whether the mutation was applicable to this plan (inapplicable mutants are
+// skipped, not counted as accepts). Apply is copy-on-write: the input tree
+// is never modified.
+type Mutation struct {
+	Name string
+	// Description says what governance property the mutation breaks.
+	Description string
+	Apply       func(s *Scenario, root plan.Node) (plan.Node, bool)
+}
+
+// Mutations is the fuzzer's menu. Every applicable mutant must be rejected
+// by sentinel.Verify.
+var Mutations = []Mutation{
+	{
+		Name:        "drop-barrier",
+		Description: "remove the SecureView barrier, leaving its interior bare",
+		Apply: func(s *Scenario, root plan.Node) (plan.Node, bool) {
+			applied := false
+			out := plan.Transform(root, func(x plan.Node) plan.Node {
+				if sv, ok := x.(*plan.SecureView); ok {
+					applied = true
+					return sv.Child
+				}
+				return x
+			})
+			return out, applied
+		},
+	},
+	{
+		Name:        "drop-pushed-filters",
+		Description: "delete every conjunct pushed into the governed scan",
+		Apply: func(s *Scenario, root plan.Node) (plan.Node, bool) {
+			applied := false
+			out := plan.Transform(root, func(x plan.Node) plan.Node {
+				if sc, ok := x.(*plan.Scan); ok && sc.Table == s.FQN && len(sc.PushedFilters) > 0 {
+					applied = true
+					cp := *sc
+					cp.PushedFilters = nil
+					return &cp
+				}
+				return x
+			})
+			return out, applied
+		},
+	},
+	{
+		Name:        "alias-masked-column",
+		Description: "re-point the masked projection at the raw column",
+		Apply: func(s *Scenario, root plan.Node) (plan.Node, bool) {
+			applied := false
+			out := plan.Transform(root, func(x plan.Node) plan.Node {
+				sv, ok := x.(*plan.SecureView)
+				if !ok || applied {
+					return x
+				}
+				proj, ok := sv.Child.(*plan.Project)
+				if !ok {
+					return x
+				}
+				sc, ok := proj.Child.(*plan.Scan)
+				if !ok {
+					return x
+				}
+				wide, idx := widenColumn(sc, s.MaskCol, s.maskKind())
+				if idx < 0 || proj.OutSchema == nil {
+					return x
+				}
+				pos := fieldIndex(proj.OutSchema, s.MaskCol)
+				if pos < 0 {
+					return x
+				}
+				exprs := append([]plan.Expr{}, proj.Exprs...)
+				exprs[pos] = plan.As(
+					&plan.BoundRef{Index: idx, Name: s.MaskCol, Kind: s.maskKind()}, s.MaskCol)
+				applied = true
+				pcp := *proj
+				pcp.Exprs = exprs
+				pcp.Child = wide
+				svcp := *sv
+				svcp.Child = &pcp
+				return &svcp
+			})
+			return out, applied
+		},
+	},
+	{
+		Name:        "reorder-policy-filter",
+		Description: "hoist the row-filter conjunct above the barrier so unfiltered rows cross it",
+		Apply: func(s *Scenario, root plan.Node) (plan.Node, bool) {
+			var hoisted plan.Expr
+			out := plan.Transform(root, func(x plan.Node) plan.Node {
+				sc, ok := x.(*plan.Scan)
+				if !ok || sc.Table != s.FQN || hoisted != nil {
+					return x
+				}
+				var keep []plan.Expr
+				for _, pf := range sc.PushedFilters {
+					if hoisted == nil && exprMentions(pf, s.FilterCol) {
+						hoisted = pf
+						continue
+					}
+					keep = append(keep, pf)
+				}
+				if hoisted == nil {
+					return x
+				}
+				cp := *sc
+				cp.PushedFilters = keep
+				return &cp
+			})
+			if hoisted == nil {
+				return root, false
+			}
+			return &plan.Filter{Cond: hoisted, Child: out}, true
+		},
+	},
+	{
+		Name:        "inject-udf",
+		Description: "evaluate a user-owned UDF on governed rows below the barrier",
+		Apply: func(s *Scenario, root plan.Node) (plan.Node, bool) {
+			applied := false
+			out := plan.Transform(root, func(x plan.Node) plan.Node {
+				sv, ok := x.(*plan.SecureView)
+				if !ok || applied {
+					return x
+				}
+				proj, ok := sv.Child.(*plan.Project)
+				if !ok || proj.Child.Schema().Len() == 0 {
+					return x
+				}
+				in := proj.Child.Schema().Fields[0]
+				udf := &plan.UDFCall{
+					Name: "main.default.exfil", Owner: "mallory@corp.com",
+					Args:       []plan.Expr{&plan.BoundRef{Index: 0, Name: in.Name, Kind: in.Kind}},
+					ResultKind: types.KindBool,
+				}
+				applied = true
+				pcp := *proj
+				pcp.Child = &plan.Filter{Cond: udf, Child: proj.Child}
+				svcp := *sv
+				svcp.Child = &pcp
+				return &svcp
+			})
+			return out, applied
+		},
+	},
+	{
+		Name:        "inject-raw-scan",
+		Description: "union the governed query with an unguarded scan of the same table",
+		Apply: func(s *Scenario, root plan.Node) (plan.Node, bool) {
+			ts := tableSchemaOf(root, s.FQN)
+			rs := root.Schema()
+			if ts == nil || rs == nil {
+				return root, false
+			}
+			refs := make([]plan.Expr, rs.Len())
+			for i, f := range rs.Fields {
+				idx := fieldIndex(ts, f.Name)
+				if idx < 0 {
+					return root, false
+				}
+				refs[i] = plan.As(
+					&plan.BoundRef{Index: idx, Name: f.Name, Kind: ts.Fields[idx].Kind}, f.Name)
+			}
+			raw := &plan.Project{
+				Exprs:     refs,
+				Child:     &plan.Scan{Table: s.FQN, TableSchema: ts},
+				OutSchema: rs,
+			}
+			return &plan.Union{L: root, R: raw}, true
+		},
+	},
+}
+
+func (s *Scenario) maskKind() types.Kind {
+	for _, c := range s.Columns {
+		if c.Name == s.MaskCol {
+			return c.Kind()
+		}
+	}
+	return types.KindString
+}
+
+// widenColumn re-adds the named raw column to a scan's projection (the
+// optimizer prunes columns a literal mask never references) and returns the
+// widened scan plus the column's index in its output schema.
+func widenColumn(sc *plan.Scan, name string, kind types.Kind) (*plan.Scan, int) {
+	_ = kind
+	out := sc.Schema()
+	for i := 0; i < out.Len(); i++ {
+		if out.Fields[i].Name == name {
+			return sc, i
+		}
+	}
+	tblIdx := fieldIndex(sc.TableSchema, name)
+	if tblIdx < 0 || sc.ProjectedCols == nil {
+		return sc, -1
+	}
+	cp := *sc
+	cp.ProjectedCols = append(append([]int{}, sc.ProjectedCols...), tblIdx)
+	return &cp, len(cp.ProjectedCols) - 1
+}
+
+// tableSchemaOf finds the governed table's full stored schema inside a plan.
+func tableSchemaOf(n plan.Node, fqn string) *types.Schema {
+	var s *types.Schema
+	plan.Walk(n, func(x plan.Node) bool {
+		if sc, ok := x.(*plan.Scan); ok && sc.Table == fqn {
+			s = sc.TableSchema
+		}
+		return true
+	})
+	return s
+}
+
+func fieldIndex(s *types.Schema, name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// exprMentions reports whether the expression references the named column.
+func exprMentions(e plan.Expr, col string) bool {
+	found := false
+	plan.WalkExpr(e, func(x plan.Expr) bool {
+		switch t := x.(type) {
+		case *plan.BoundRef:
+			if t.Name == col {
+				found = true
+			}
+		case *plan.ColumnRef:
+			if t.Name == col {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,112 @@
+package redteam
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"lakeguard/internal/catalog"
+	"lakeguard/internal/sentinel"
+)
+
+const fuzzSeeds = 25
+
+// TestMutationFuzz is the plan-mutation fuzzer: for each seeded random
+// scenario the sentinel must accept the unmutated optimized plan, and every
+// applicable mutation from the menu must be rejected. An accepted mutant is
+// a verifier soundness hole.
+func TestMutationFuzz(t *testing.T) {
+	applied := map[string]int{}
+	for seed := int64(1); seed <= fuzzSeeds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := GenerateScenario(rng)
+		f := NewFixture(catalog.ComputeStandard)
+		if err := s.Seed(f); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		analyzed, optimized, err := s.Plans(f)
+		if err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, s.Query, err)
+		}
+		if err := sentinel.Verify(analyzed, optimized).Err(); err != nil {
+			t.Fatalf("seed %d (%s): unmutated plan rejected: %v", seed, s.Query, err)
+		}
+		for _, m := range Mutations {
+			// Fresh trees per mutation: no mutant may observe another's edits.
+			analyzed, optimized, err := s.Plans(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mutant, ok := m.Apply(s, optimized)
+			if !ok {
+				continue
+			}
+			applied[m.Name]++
+			report := sentinel.Verify(analyzed, mutant)
+			if report.Err() == nil {
+				t.Errorf("seed %d (%s): mutation %s ACCEPTED — verifier soundness hole",
+					seed, s.Query, m.Name)
+			}
+		}
+	}
+	// Every mutation in the menu must have actually been exercised.
+	for _, m := range Mutations {
+		if applied[m.Name] == 0 {
+			t.Errorf("mutation %s never applied across %d seeds", m.Name, fuzzSeeds)
+		}
+	}
+	t.Logf("mutants rejected per mutation: %v", applied)
+}
+
+// TestMutationsAreCopyOnWrite proves Apply never edits the input tree: the
+// unmutated plan must still verify after every mutation ran against it.
+func TestMutationsAreCopyOnWrite(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := GenerateScenario(rng)
+	f := NewFixture(catalog.ComputeStandard)
+	if err := s.Seed(f); err != nil {
+		t.Fatal(err)
+	}
+	analyzed, optimized, err := s.Plans(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range Mutations {
+		m.Apply(s, optimized)
+	}
+	if err := sentinel.Verify(analyzed, optimized).Err(); err != nil {
+		t.Fatalf("a mutation edited the shared tree in place: %v", err)
+	}
+}
+
+// TestFuzzParallelEquivalence runs each generated victim query end-to-end at
+// engine parallelism 1, 2, and 8: every level must accept the plan (no
+// sentinel denial) and return the same rows.
+func TestFuzzParallelEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := GenerateScenario(rng)
+		var want []string
+		for _, workers := range []int{1, 2, 8} {
+			f := NewFixtureP(catalog.ComputeStandard, workers)
+			if err := s.Seed(f); err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			rows, err := f.QueryRows(Victim, s.Query)
+			if err != nil {
+				t.Fatalf("seed %d workers %d (%s): %v", seed, workers, s.Query, err)
+			}
+			if n := len(f.SentinelDenials()); n != 0 {
+				t.Fatalf("seed %d workers %d: %d sentinel denials on a clean plan", seed, workers, n)
+			}
+			if workers == 1 {
+				want = rows
+				continue
+			}
+			if !reflect.DeepEqual(rows, want) {
+				t.Errorf("seed %d (%s): workers %d returned %v, workers 1 returned %v",
+					seed, s.Query, workers, rows, want)
+			}
+		}
+	}
+}

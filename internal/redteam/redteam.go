@@ -1,0 +1,228 @@
+// Package redteam is the lakeguard-redteam adversarial bypass corpus: one
+// hostile plan-rewrite (or plan/UDF smuggling attempt) per known bypass
+// class, each mounted against a real governed deployment and each required
+// to die at the sentinel gate with a SENTINEL_VERIFY deny audit event that
+// names the violated governance label.
+//
+// The corpus is executable in two ways: `go test ./internal/redteam/` runs
+// every case as a subtest (CI), and cmd/lakeguard-redteam runs the same
+// cases as a standalone drill with text or JSON reporting. A case that is
+// NOT blocked is a live governance bypass and fails both.
+package redteam
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"lakeguard/internal/audit"
+	"lakeguard/internal/catalog"
+	"lakeguard/internal/core"
+	"lakeguard/internal/optimizer"
+	"lakeguard/internal/proto"
+	"lakeguard/internal/sentinel"
+	"lakeguard/internal/sql"
+	"lakeguard/internal/storage"
+)
+
+// Identities used by every drill: admin seeds and governs, alice is the
+// victim whose query the hostile rewrite rides on.
+const (
+	Admin  = "admin@corp.com"
+	Victim = "alice@corp.com"
+)
+
+// Fixture is one fresh governed deployment under attack: a catalog with a
+// row-filtered, column-masked sales table and a cluster whose optimizer runs
+// the case's sabotage rules after the real ones — the paper's "Queen's
+// Guard" threat model, where the plan pipeline itself is hostile.
+type Fixture struct {
+	Cat    *catalog.Catalog
+	Server *core.Server
+}
+
+// NewFixture builds a deployment on the given compute type whose optimizer
+// runs the sabotage rules after the built-in ones.
+func NewFixture(compute catalog.ComputeType, rules ...optimizer.Rule) *Fixture {
+	return NewFixtureP(compute, 1, rules...)
+}
+
+// NewFixtureP is NewFixture with an explicit engine parallelism, for drills
+// that must hold at every worker count.
+func NewFixtureP(compute catalog.ComputeType, parallelism int, rules ...optimizer.Rule) *Fixture {
+	cat := catalog.New(storage.NewStore(), nil)
+	cat.AddAdmin(Admin)
+	opts := optimizer.DefaultOptions()
+	opts.ExtraRules = rules
+	srv := core.NewServer(core.Config{
+		Name: "redteam", Catalog: cat, Compute: compute,
+		Optimizer: &opts, Parallelism: parallelism,
+	})
+	return &Fixture{Cat: cat, Server: srv}
+}
+
+// Exec runs a SQL statement (DDL, DML, GRANT) as the given user.
+func (f *Fixture) Exec(user, sqlText string) error {
+	_, _, err := f.Server.Execute(context.Background(), "rt-"+user, user,
+		&proto.Plan{Command: &proto.Command{SQL: sqlText}})
+	return err
+}
+
+// Query runs a SQL query as the given user and returns the error it died
+// with (nil means rows were returned — for a corpus case, a live bypass).
+func (f *Fixture) Query(user, sqlText string) error {
+	q, err := sql.ParseQuery(sqlText)
+	if err != nil {
+		return fmt.Errorf("redteam: victim query does not parse: %w", err)
+	}
+	_, _, err = f.Server.Execute(context.Background(), "rt-"+user, user,
+		&proto.Plan{Relation: q})
+	return err
+}
+
+// QueryRows runs a query as the given user and renders the result rows as a
+// sorted slice of strings — an order-insensitive form for comparing results
+// across parallelism levels.
+func (f *Fixture) QueryRows(user, sqlText string) ([]string, error) {
+	q, err := sql.ParseQuery(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	_, batches, err := f.Server.Execute(context.Background(), "rt-"+user, user,
+		&proto.Plan{Relation: q})
+	if err != nil {
+		return nil, err
+	}
+	var rows []string
+	for _, b := range batches {
+		for i := 0; i < b.NumRows(); i++ {
+			rows = append(rows, fmt.Sprintf("%v", b.Row(i)))
+		}
+	}
+	sort.Strings(rows)
+	return rows, nil
+}
+
+// Seed creates the governed sales table: a tenant row filter on region and
+// a column mask on seller, with the victim granted SELECT. The resulting
+// governance labels are row_filter:main.default.sales and
+// column_mask:main.default.sales.seller.
+func (f *Fixture) Seed() error {
+	stmts := []string{
+		"CREATE TABLE sales (amount DOUBLE, date DATE, seller STRING, region STRING)",
+		`INSERT INTO sales VALUES
+			(100, CAST('2024-12-01' AS DATE), 'ann', 'US'),
+			(200, CAST('2024-12-01' AS DATE), 'ben', 'EU'),
+			(50,  CAST('2024-12-02' AS DATE), 'ann', 'US')`,
+		"ALTER TABLE sales SET ROW FILTER 'region = ''US'''",
+		"ALTER TABLE sales ALTER COLUMN seller SET MASK '''***'''",
+		"GRANT SELECT ON sales TO '" + Victim + "'",
+	}
+	for _, s := range stmts {
+		if err := f.Exec(Admin, s); err != nil {
+			return fmt.Errorf("redteam: seeding %q: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// SentinelDenials returns the SENTINEL_VERIFY deny events recorded so far.
+func (f *Fixture) SentinelDenials() []audit.Event {
+	return f.Cat.Audit().Events(func(ev audit.Event) bool {
+		return ev.Action == "SENTINEL_VERIFY" && ev.Decision == audit.DecisionDeny
+	})
+}
+
+// Case is one bypass attempt.
+type Case struct {
+	// Name identifies the case (kebab-case, stable across runs).
+	Name string
+	// Class is the bypass taxonomy bucket (udf-smuggling, plan-injection,
+	// label-dropping, implicit-flow, toctou).
+	Class string
+	// Description says what the attack tries to do, for drill reports.
+	Description string
+	// Attack mounts the bypass and returns (fixture, error the victim query
+	// died with). fixture may be nil for cases that do not run a server
+	// (library-level TOCTOU drills).
+	Attack func() (*Fixture, error)
+	// WantInvariants must all appear in the denial.
+	WantInvariants []sentinel.Invariant
+	// WantLabel is the governance label the denial must attribute (""
+	// for classes where no label applies, e.g. eFGAC remote pushes).
+	WantLabel string
+}
+
+// Result is the outcome of one case.
+type Result struct {
+	Name        string `json:"name"`
+	Class       string `json:"class"`
+	Description string `json:"description"`
+	// Blocked is true when the attack was denied.
+	Blocked bool `json:"blocked"`
+	// Audited is true when a SENTINEL_VERIFY deny event was recorded.
+	Audited bool `json:"audited"`
+	// LabelAttributed is true when the denial names WantLabel (vacuously
+	// true when the case declares no label).
+	LabelAttributed bool `json:"label_attributed"`
+	// Error is the denial the victim query died with ("" if none).
+	Error string `json:"error,omitempty"`
+	// Failures lists assertion failures; empty means the case passed.
+	Failures []string `json:"failures,omitempty"`
+}
+
+// Passed reports whether the case held the line: blocked, audited, and
+// label-attributed.
+func (r Result) Passed() bool { return len(r.Failures) == 0 }
+
+// Run mounts one case and checks every assertion.
+func Run(c Case) Result {
+	res := Result{Name: c.Name, Class: c.Class, Description: c.Description}
+	f, err := c.Attack()
+	if err != nil {
+		res.Blocked = true
+		res.Error = err.Error()
+	} else {
+		res.Failures = append(res.Failures, "bypass NOT blocked: victim query returned rows")
+	}
+	// The full denial text: the error the victim saw plus every deny audit
+	// reason (the error summarizes; the audit trail enumerates every
+	// violation, so label attribution is asserted there).
+	denialText := res.Error
+	if f != nil {
+		denials := f.SentinelDenials()
+		res.Audited = len(denials) > 0
+		if !res.Audited {
+			res.Failures = append(res.Failures, "no SENTINEL_VERIFY deny audit event recorded")
+		}
+		for _, ev := range denials {
+			denialText += "\n" + ev.Reason
+		}
+	} else {
+		// Library-level drill (no server plane): the denial itself is the
+		// audit surface.
+		res.Audited = res.Blocked
+	}
+	for _, inv := range c.WantInvariants {
+		if !strings.Contains(denialText, string(inv)) {
+			res.Failures = append(res.Failures,
+				fmt.Sprintf("denial does not name invariant %s", inv))
+		}
+	}
+	res.LabelAttributed = c.WantLabel == "" || strings.Contains(denialText, c.WantLabel)
+	if !res.LabelAttributed {
+		res.Failures = append(res.Failures,
+			fmt.Sprintf("denial does not attribute label %s", c.WantLabel))
+	}
+	return res
+}
+
+// RunAll drills the whole corpus.
+func RunAll() []Result {
+	out := make([]Result, 0, len(Corpus))
+	for _, c := range Corpus {
+		out = append(out, Run(c))
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package redteam
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCorpusAllBlocked drills every bypass case: each must be denied, with
+// the expected invariants in the denial and — where the case declares a
+// governance label — a SENTINEL_VERIFY deny audit event attributing it.
+// A failing subtest here is a live governance bypass.
+func TestCorpusAllBlocked(t *testing.T) {
+	if len(Corpus) < 8 {
+		t.Fatalf("corpus has %d cases, want at least 8", len(Corpus))
+	}
+	for _, c := range Corpus {
+		t.Run(c.Name, func(t *testing.T) {
+			res := Run(c)
+			for _, f := range res.Failures {
+				t.Error(f)
+			}
+			if t.Failed() {
+				t.Logf("class=%s blocked=%v audited=%v label=%v\nerror: %s",
+					res.Class, res.Blocked, res.Audited, res.LabelAttributed, res.Error)
+			}
+		})
+	}
+}
+
+// TestCorpusNamesUnique guards the corpus against copy-paste drift.
+func TestCorpusNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Corpus {
+		if seen[c.Name] {
+			t.Errorf("duplicate case name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Class == "" || c.Description == "" || c.Attack == nil || len(c.WantInvariants) == 0 {
+			t.Errorf("case %q is underspecified", c.Name)
+		}
+	}
+}
+
+// TestCleanBaselinePasses proves the corpus fixture itself is sound: with no
+// sabotage rules the victim query succeeds and returns masked, filtered rows.
+func TestCleanBaselinePasses(t *testing.T) {
+	f := NewFixture("STANDARD")
+	if err := f.Seed(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Query(Victim, victimSQL); err != nil {
+		t.Fatalf("clean victim query failed: %v", err)
+	}
+	if n := len(f.SentinelDenials()); n != 0 {
+		t.Fatalf("clean run recorded %d sentinel denials", n)
+	}
+}
+
+// TestLabelCoverage asserts the corpus exercises at least 8 label-attributed
+// denials across the four bypass classes named by the paper's threat model.
+func TestLabelCoverage(t *testing.T) {
+	labeled := 0
+	classes := map[string]bool{}
+	for _, c := range Corpus {
+		if c.WantLabel != "" {
+			labeled++
+		}
+		classes[c.Class] = true
+	}
+	if labeled < 8 {
+		t.Errorf("only %d label-attributed cases, want at least 8", labeled)
+	}
+	for _, want := range []string{"udf-smuggling", "plan-injection", "label-dropping", "toctou"} {
+		if !classes[want] {
+			t.Errorf("corpus missing bypass class %q", want)
+		}
+	}
+}
+
+// TestResultJSONStable keeps the drill report fields the CLI documents.
+func TestResultJSONStable(t *testing.T) {
+	res := Run(Corpus[0])
+	if res.Name != Corpus[0].Name || !strings.Contains(res.Class, "label-dropping") {
+		t.Fatalf("result identity drifted: %+v", res)
+	}
+}

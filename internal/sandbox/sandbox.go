@@ -74,6 +74,12 @@ type Config struct {
 	ExecTimeout time.Duration
 	// Faults is the chaos-test fault injector (nil in production).
 	Faults *faults.Injector
+	// RequireVerifiedPlans refuses any crossing whose request does not carry
+	// the sentinel fingerprint of a verified plan. The server plane sets it
+	// so that even a compromised engine path cannot feed governed argument
+	// batches to user code without having passed SENTINEL_VERIFY; direct
+	// engine tests and benches leave it false.
+	RequireVerifiedPlans bool
 }
 
 // UDFSpec describes one user function within a request. ArgCols index into
@@ -91,7 +97,17 @@ type UDFSpec struct {
 type Request struct {
 	Specs []UDFSpec
 	Args  *types.Batch
+	// PlanFingerprint is the sentinel fingerprint of the sealed, verified
+	// plan this crossing serves ("" when the caller executed an unverified
+	// plan, e.g. a direct engine test). Sandboxes created with
+	// RequireVerifiedPlans refuse crossings without it.
+	PlanFingerprint string
 }
+
+// ErrUnverifiedPlan is returned when a sandbox that requires verified plans
+// receives a crossing with no plan fingerprint: the argument batch did not
+// come from a plan that passed SENTINEL_VERIFY.
+var ErrUnverifiedPlan = errors.New("sandbox: crossing refused: request carries no verified-plan fingerprint")
 
 // ErrSandboxClosed is returned after Close.
 var ErrSandboxClosed = errors.New("sandbox: closed")
@@ -147,6 +163,9 @@ type Sandbox struct {
 	poisonReason string
 
 	execTimeout time.Duration
+
+	// requireVerified refuses crossings without a verified-plan fingerprint.
+	requireVerified bool
 
 	// crossings counts boundary round trips (bench instrumentation).
 	crossings atomic.Int64
@@ -212,12 +231,13 @@ func newContext(ctx context.Context, trustDomain string, cfg Config) (*Sandbox, 
 		}
 	}
 	s := &Sandbox{
-		ID:          fmt.Sprintf("sbx-%d", sandboxSeq.Add(1)),
-		TrustDomain: trustDomain,
-		reqCh:       make(chan []byte),
-		respCh:      make(chan sandboxResp),
-		done:        make(chan struct{}),
-		execTimeout: cfg.ExecTimeout,
+		ID:              fmt.Sprintf("sbx-%d", sandboxSeq.Add(1)),
+		TrustDomain:     trustDomain,
+		reqCh:           make(chan []byte),
+		respCh:          make(chan sandboxResp),
+		done:            make(chan struct{}),
+		execTimeout:     cfg.ExecTimeout,
+		requireVerified: cfg.RequireVerifiedPlans,
 	}
 	fuel := cfg.Fuel
 	if fuel <= 0 {
@@ -313,6 +333,9 @@ func (s *Sandbox) Execute(ctx context.Context, req *Request) (*types.Batch, erro
 }
 
 func (s *Sandbox) execute(ctx context.Context, req *Request) (*types.Batch, error) {
+	if s.requireVerified && req.PlanFingerprint == "" {
+		return nil, fmt.Errorf("%w: sandbox %s (domain %q)", ErrUnverifiedPlan, s.ID, s.TrustDomain)
+	}
 	for _, spec := range req.Specs {
 		if len(spec.ArgCols) != len(spec.ArgNames) {
 			return nil, fmt.Errorf("sandbox: spec %q has %d arg columns for %d parameters",

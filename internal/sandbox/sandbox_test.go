@@ -80,6 +80,29 @@ func TestFusedUDFsOneCrossing(t *testing.T) {
 	}
 }
 
+func TestRequireVerifiedPlans(t *testing.T) {
+	sb := New("alice", Config{RequireVerifiedPlans: true})
+	defer sb.Close()
+	_, err := sb.Execute(context.Background(), &Request{Specs: []UDFSpec{sumSpec()}, Args: argBatch(5)})
+	if !errors.Is(err, ErrUnverifiedPlan) {
+		t.Fatalf("unverified crossing should be refused, got %v", err)
+	}
+	// The refusal happens before the boundary: the sandbox stays healthy and
+	// serves a fingerprinted crossing.
+	out, err := sb.Execute(context.Background(), &Request{
+		Specs: []UDFSpec{sumSpec()}, Args: argBatch(5), PlanFingerprint: "plan-f00d",
+	})
+	if err != nil {
+		t.Fatalf("verified crossing failed: %v", err)
+	}
+	if out.NumRows() != 5 {
+		t.Fatalf("rows = %d", out.NumRows())
+	}
+	if sb.Poisoned() {
+		t.Error("refusal must not poison the sandbox")
+	}
+}
+
 func TestUserCodeErrorSurfaced(t *testing.T) {
 	sb := New("alice", Config{})
 	defer sb.Close()

@@ -1,0 +1,314 @@
+package sentinel
+
+import (
+	"strings"
+	"testing"
+
+	"lakeguard/internal/optimizer"
+	"lakeguard/internal/plan"
+	"lakeguard/internal/types"
+)
+
+// labeledSales is governedSales with the labels the analyzer now seeds:
+// a column_mask on amount and a row_filter (plus tenant_scope when asked).
+func labeledSales(tenant bool) *plan.SecureView {
+	sv := governedSales()
+	sv.Labels = []plan.Label{
+		{Kind: plan.LabelRowFilter, Securable: "main.default.sales"},
+		{Kind: plan.LabelColumnMask, Securable: "main.default.sales", Column: "amount"},
+	}
+	if tenant {
+		sv.Labels = append(sv.Labels,
+			plan.Label{Kind: plan.LabelTenantScope, Securable: "main.default.sales"})
+	}
+	return sv
+}
+
+func TestDataflowCleanPlanDischarges(t *testing.T) {
+	analyzed := userQuery(labeledSales(false))
+	optimized := optimizer.Optimize(analyzed, optimizer.DefaultOptions())
+	r := Verify(analyzed, optimized)
+	mustClean(t, r)
+	if r.Labels != 2 {
+		t.Errorf("Labels = %d, want 2", r.Labels)
+	}
+	// The barrier line must carry the discharge summary for explain output.
+	found := false
+	for n, ls := range r.Discharged {
+		if _, ok := n.(*plan.SecureView); ok && len(ls) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no discharged labels recorded on the SecureView barrier")
+	}
+	out := ExplainVerified(optimized, r)
+	if !strings.Contains(out, "discharged:") ||
+		!strings.Contains(out, "column_mask:main.default.sales.amount") {
+		t.Errorf("ExplainVerified missing discharge annotation:\n%s", out)
+	}
+	if strings.Contains(out, "US") {
+		t.Errorf("ExplainVerified leaks policy literal:\n%s", out)
+	}
+}
+
+// TestAliasCopyLaundering is the gap the dataflow pass exists to close: the
+// mask projection keeps a correct mask for "amount" but also emits the raw
+// value under a fresh name. Every name-based check passes — the mask is
+// present and nothing *called* "amount" escapes — but the label travels with
+// the value and is caught at the barrier boundary.
+func TestAliasCopyLaundering(t *testing.T) {
+	build := func(labeled bool) (plan.Node, plan.Node) {
+		sc := salesScan()
+		f := &plan.Filter{Cond: regionUS(3), Child: sc}
+		outSchema := types.NewSchema(
+			types.Field{Name: "amount", Kind: types.KindFloat64},
+			types.Field{Name: "date", Kind: types.KindString},
+			types.Field{Name: "seller", Kind: types.KindString},
+			types.Field{Name: "region", Kind: types.KindString},
+			types.Field{Name: "cc", Kind: types.KindFloat64},
+		)
+		proj := &plan.Project{
+			Exprs: []plan.Expr{
+				plan.As(amountMask(0), "amount"),
+				ref(1, "date", types.KindString),
+				ref(2, "seller", types.KindString),
+				ref(3, "region", types.KindString),
+				plan.As(ref(0, "amount", types.KindFloat64), "cc"), // raw copy
+			},
+			Child:     f,
+			OutSchema: outSchema,
+		}
+		sv := &plan.SecureView{
+			Name:        "main.default.sales",
+			PolicyKinds: []string{"row_filter", "column_mask"},
+			Child:       proj,
+		}
+		if labeled {
+			sv.Labels = []plan.Label{
+				{Kind: plan.LabelRowFilter, Securable: "main.default.sales"},
+				{Kind: plan.LabelColumnMask, Securable: "main.default.sales", Column: "amount"},
+			}
+		}
+		root := &plan.Project{
+			Exprs: []plan.Expr{ref(4, "cc", types.KindFloat64)},
+			Child: sv,
+			OutSchema: types.NewSchema(
+				types.Field{Name: "cc", Kind: types.KindFloat64}),
+		}
+		return root, root
+	}
+
+	// Without labels the structural invariants are blind to the copy.
+	analyzed, optimized := build(false)
+	mustClean(t, Verify(analyzed, optimized))
+
+	// With labels the copy is a proven leak, attributed to the mask label.
+	analyzed, optimized = build(true)
+	v := mustViolate(t, Verify(analyzed, optimized), InvLabelFlow)
+	if !strings.Contains(v.Detail, "column_mask:main.default.sales.amount") {
+		t.Errorf("violation should name the label, got %q", v.Detail)
+	}
+	if !strings.Contains(v.Detail, "cc") {
+		t.Errorf("violation should name the escaping column, got %q", v.Detail)
+	}
+}
+
+// TestUDFArgSink: a UDF that was present at analysis time (so the trust-
+// domain invariant accepts it) still may not receive a labeled argument.
+func TestUDFArgSink(t *testing.T) {
+	mkPlan := func() plan.Node {
+		sc := salesScan()
+		udf := &plan.UDFCall{
+			Name: "exfil", Owner: "mallory@corp.com", Body: "return x",
+			ArgNames:   []string{"x"},
+			Args:       []plan.Expr{ref(0, "amount", types.KindFloat64)},
+			ResultKind: types.KindBool,
+		}
+		f := &plan.Filter{Cond: udf, Child: sc}
+		pf := &plan.Filter{Cond: regionUS(3), Child: f}
+		proj := &plan.Project{
+			Exprs: []plan.Expr{
+				plan.As(amountMask(0), "amount"),
+				ref(1, "date", types.KindString),
+				ref(2, "seller", types.KindString),
+				ref(3, "region", types.KindString),
+			},
+			Child:     pf,
+			OutSchema: salesSchema(),
+		}
+		sv := &plan.SecureView{
+			Name:        "main.default.sales",
+			PolicyKinds: []string{"row_filter", "column_mask"},
+			Labels: []plan.Label{
+				{Kind: plan.LabelRowFilter, Securable: "main.default.sales"},
+				{Kind: plan.LabelColumnMask, Securable: "main.default.sales", Column: "amount"},
+			},
+			Child: proj,
+		}
+		return userQuery(sv)
+	}
+	// Identical analyzed/optimized pair: the UDF was "always there", so
+	// no-udf-below-barrier cannot object — only the label sink can.
+	r := Verify(mkPlan(), mkPlan())
+	v := mustViolate(t, r, InvLabelSink)
+	if !strings.Contains(v.Detail, "exfil") || !strings.Contains(v.Detail, "mallory@corp.com") {
+		t.Errorf("violation should name UDF and trust domain, got %q", v.Detail)
+	}
+	if !strings.Contains(v.Detail, "column_mask:main.default.sales.amount") {
+		t.Errorf("violation should name the label, got %q", v.Detail)
+	}
+}
+
+// TestRowLabelEscapesWithTenantScope: dropping the policy filter from the
+// optimized plan leaves the row_filter and tenant_scope labels undischarged.
+func TestRowLabelEscapesWithTenantScope(t *testing.T) {
+	analyzed := userQuery(labeledSales(true))
+	optimized := optimizer.Optimize(analyzed, optimizer.DefaultOptions())
+	// A hostile rewrite deletes the pushed policy predicate.
+	broken := plan.Transform(optimized, func(x plan.Node) plan.Node {
+		if sc, ok := x.(*plan.Scan); ok && len(sc.PushedFilters) > 0 {
+			return &plan.Scan{Table: sc.Table, TableSchema: sc.TableSchema,
+				Version: sc.Version, ProjectedCols: sc.ProjectedCols, RunAsUser: sc.RunAsUser}
+		}
+		return x
+	})
+	r := Verify(analyzed, broken)
+	// Both the structural row-filter invariant and the label flow fire.
+	mustViolate(t, r, InvRowFilter)
+	v := mustViolate(t, r, InvLabelFlow)
+	all := ""
+	for _, x := range r.Violations {
+		all += x.Detail + "\n"
+	}
+	if !strings.Contains(all, "tenant_scope:main.default.sales") {
+		t.Errorf("violations should include the tenant_scope label, got:\n%s", all)
+	}
+	if strings.Contains(v.Detail, "'US'") {
+		t.Errorf("violation leaks policy literal: %q", v.Detail)
+	}
+}
+
+// TestFilterObservesMaskedColumn: a non-policy predicate evaluated on the
+// raw masked value (between scan and mask projection) is an implicit flow.
+func TestFilterObservesMaskedColumn(t *testing.T) {
+	mk := func(inject bool) plan.Node {
+		sc := salesScan()
+		var node plan.Node = &plan.Filter{Cond: regionUS(3), Child: sc}
+		if inject {
+			node = &plan.Filter{Cond: &plan.Binary{Op: plan.OpGt,
+				L: ref(0, "amount", types.KindFloat64), R: plan.Lit(types.Float64(100)),
+				ResultKind: types.KindBool}, Child: node}
+		}
+		proj := &plan.Project{
+			Exprs: []plan.Expr{
+				plan.As(amountMask(0), "amount"),
+				ref(1, "date", types.KindString),
+				ref(2, "seller", types.KindString),
+				ref(3, "region", types.KindString),
+			},
+			Child:     node,
+			OutSchema: salesSchema(),
+		}
+		return userQuery(&plan.SecureView{
+			Name:        "main.default.sales",
+			PolicyKinds: []string{"row_filter", "column_mask"},
+			Labels: []plan.Label{
+				{Kind: plan.LabelRowFilter, Securable: "main.default.sales"},
+				{Kind: plan.LabelColumnMask, Securable: "main.default.sales", Column: "amount"},
+			},
+			Child: proj,
+		})
+	}
+	mustClean(t, Verify(mk(false), mk(false)))
+	r := Verify(mk(false), mk(true))
+	v := mustViolate(t, r, InvLabelFlow)
+	if !strings.Contains(v.Detail, "amount") {
+		t.Errorf("violation should name the observed column, got %q", v.Detail)
+	}
+	if strings.Contains(v.Detail, "100") {
+		t.Errorf("violation leaks predicate literal: %q", v.Detail)
+	}
+}
+
+// TestSelfJoinInstances: two occurrences of the governed table carry
+// independently tracked labels (#0 and #1); breaking one barrier flags only
+// that instance.
+func TestSelfJoinInstances(t *testing.T) {
+	analyzed := &plan.Join{
+		Type: plan.JoinInner,
+		Cond: &plan.Binary{Op: plan.OpEq,
+			L: ref(2, "seller", types.KindString), R: ref(6, "seller", types.KindString),
+			ResultKind: types.KindBool},
+		L: labeledSales(false),
+		R: labeledSales(false),
+	}
+	optimized := optimizer.Optimize(analyzed, optimizer.DefaultOptions())
+	mustClean(t, Verify(analyzed, optimized))
+}
+
+func TestSealDetectsTamper(t *testing.T) {
+	analyzed := userQuery(labeledSales(false))
+	optimized := optimizer.Optimize(analyzed, optimizer.DefaultOptions())
+	r := Verify(analyzed, optimized)
+	mustClean(t, r)
+
+	sealed, err := Seal(optimized, r)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if sealed.Fingerprint() != r.Fingerprint {
+		t.Fatalf("seal fingerprint %s != report %s", sealed.Fingerprint(), r.Fingerprint)
+	}
+	if err := sealed.Check(); err != nil {
+		t.Fatalf("Check on untouched seal: %v", err)
+	}
+
+	// Mutating the ORIGINAL plan after sealing must not affect the seal:
+	// the sealed copy is detached.
+	plan.Walk(optimized, func(n plan.Node) bool {
+		if sc, ok := n.(*plan.Scan); ok {
+			sc.PushedFilters = nil
+		}
+		return true
+	})
+	if err := sealed.Check(); err != nil {
+		t.Fatalf("Check after mutating the original: %v", err)
+	}
+
+	// Mutating the sealed tree itself (TOCTOU) is caught.
+	plan.Walk(sealed.Plan, func(n plan.Node) bool {
+		if sc, ok := n.(*plan.Scan); ok {
+			sc.PushedFilters = nil
+		}
+		return true
+	})
+	err = sealed.Check()
+	if err == nil {
+		t.Fatal("Check accepted a tampered sealed plan")
+	}
+	if !strings.Contains(err.Error(), string(InvSeal)) {
+		t.Errorf("error should name %s, got: %v", InvSeal, err)
+	}
+}
+
+// TestInjectedScanGetsLabeledSink: a raw scan of the governed table spliced
+// in outside any barrier is reported both structurally (barrier escape) and
+// as a labeled sink, so the audit event names what leaked.
+func TestInjectedScanGetsLabeledSink(t *testing.T) {
+	analyzed := userQuery(labeledSales(false))
+	optimized := optimizer.Optimize(analyzed, optimizer.DefaultOptions())
+	hostile := &plan.Union{L: optimized, R: &plan.Project{
+		Exprs: []plan.Expr{ref(0, "amount", types.KindFloat64), ref(2, "seller", types.KindString)},
+		Child: salesScan(),
+		OutSchema: types.NewSchema(
+			types.Field{Name: "amount", Kind: types.KindFloat64},
+			types.Field{Name: "seller", Kind: types.KindString}),
+	}}
+	r := Verify(analyzed, hostile)
+	mustViolate(t, r, InvBarrier)
+	v := mustViolate(t, r, InvLabelSink)
+	if !strings.Contains(v.Detail, "column_mask:main.default.sales.amount") {
+		t.Errorf("sink violation should name the label, got %q", v.Detail)
+	}
+}

@@ -1,0 +1,66 @@
+package sentinel
+
+import (
+	"fmt"
+
+	"lakeguard/internal/plan"
+)
+
+// Sealed is a verified plan pinned against time-of-check/time-of-use drift.
+// Verification proves properties of a plan *value*; execution runs a plan
+// *pointer* — and anything holding a reference to that pointer's tree (a
+// hostile ExtraRule, a misbehaving cache) can rewrite it in the window
+// between the two. Seal closes the window by deep-copying the verified plan
+// into a private tree and recording its fingerprint; Check re-fingerprints
+// immediately before execution and refuses to run a plan that no longer
+// matches what was verified.
+type Sealed struct {
+	// Plan is the private deep copy. Execute this, never the original.
+	Plan plan.Node
+	// fingerprint is the verified fingerprint the plan must still match.
+	fingerprint string
+}
+
+// Seal deep-copies the verified plan and pins it to the report's
+// fingerprint. It returns an error if the copy does not reproduce the
+// verified fingerprint — that means the plan mutated between verification
+// and sealing, and nothing trustworthy can be executed.
+func Seal(verified plan.Node, r *Report) (*Sealed, error) {
+	cp := plan.Clone(verified)
+	got := Fingerprint(cp)
+	if got != r.Fingerprint {
+		return nil, &ViolationError{
+			Fingerprint: r.Fingerprint,
+			Violations: []Violation{{
+				Invariant: InvSeal,
+				Securable: "plan",
+				Detail: fmt.Sprintf(
+					"plan changed between verification and sealing: verified %s, sealing %s",
+					r.Fingerprint, got),
+			}},
+		}
+	}
+	return &Sealed{Plan: cp, fingerprint: got}, nil
+}
+
+// Fingerprint returns the fingerprint the seal pins.
+func (s *Sealed) Fingerprint() string { return s.fingerprint }
+
+// Check re-fingerprints the sealed plan and returns a *ViolationError if it
+// no longer matches the verified fingerprint. Call it immediately before
+// handing the plan to the executor.
+func (s *Sealed) Check() error {
+	if got := Fingerprint(s.Plan); got != s.fingerprint {
+		return &ViolationError{
+			Fingerprint: s.fingerprint,
+			Violations: []Violation{{
+				Invariant: InvSeal,
+				Securable: "plan",
+				Detail: fmt.Sprintf(
+					"plan mutated after verification: verified %s, executing %s",
+					s.fingerprint, got),
+			}},
+		}
+	}
+	return nil
+}

@@ -53,6 +53,17 @@ const (
 	InvRemotePush  Invariant = "remote-pushdown-safe" // (d)
 	InvPolicyCols  Invariant = "policy-columns-bound" // (e)
 	InvBarrier     Invariant = "barrier-integrity"    // precondition
+
+	// InvLabelFlow is the information-flow invariant: every governance
+	// label seeded at a source column is discharged by its surviving policy
+	// operator before the flow leaves the policy barrier (see dataflow.go).
+	InvLabelFlow Invariant = "label-flow-discharged" // (f)
+	// InvLabelSink: no labeled value reaches an unguarded sink — the
+	// client-facing plan root or a sandboxed UDF argument.
+	InvLabelSink Invariant = "no-labeled-sink" // (g)
+	// InvSeal is the TOCTOU invariant: the plan handed to the executor is
+	// byte-identical to the plan that was verified (see seal.go).
+	InvSeal Invariant = "verified-plan-seal" // (h)
 )
 
 // Violation is one disproved invariant.
@@ -96,6 +107,11 @@ type Report struct {
 	// Cleared maps plan nodes to the invariants that held for them
 	// (EXPLAIN --explain-verified annotations).
 	Cleared map[plan.Node][]Invariant
+	// Labels counts the governance labels tracked by the dataflow pass.
+	Labels int
+	// Discharged maps plan nodes to the labels whose obligation they
+	// discharged (EXPLAIN --explain-verified annotations).
+	Discharged map[plan.Node][]string
 	// Violations lists every disproved invariant.
 	Violations []Violation
 }
@@ -114,8 +130,8 @@ func (r *Report) Err() error {
 // so `--explain-verified` shows exactly where a plan failed.
 func ExplainVerified(n plan.Node, r *Report) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "-- sentinel: plan %s: %d barrier(s), %d remote scan(s), %d violation(s)\n",
-		r.Fingerprint, r.Barriers, r.RemoteScans, len(r.Violations))
+	fmt.Fprintf(&b, "-- sentinel: plan %s: %d barrier(s), %d remote scan(s), %d label(s), %d violation(s)\n",
+		r.Fingerprint, r.Barriers, r.RemoteScans, r.Labels, len(r.Violations))
 	explainVerifiedInto(&b, n, 0, r)
 	for _, v := range r.Violations {
 		b.WriteString("-- ")
@@ -144,6 +160,9 @@ func explainVerifiedInto(b *strings.Builder, n plan.Node, depth int, r *Report) 
 		}
 		fmt.Fprintf(b, " -- verified: %s", strings.Join(parts, ", "))
 	}
+	if discharged := r.Discharged[n]; len(discharged) > 0 {
+		fmt.Fprintf(b, " -- discharged: %s", strings.Join(discharged, ", "))
+	}
 	b.WriteByte('\n')
 	if isBarrier {
 		return // redact the barrier interior, as ExplainRedacted does
@@ -166,6 +185,11 @@ func Fingerprint(n plan.Node) string {
 type obligation struct {
 	name  string
 	kinds []string
+	// labels are the governance obligations the analyzer seeded on this
+	// barrier, instance-stamped for self-join disambiguation.
+	labels []plan.Label
+	// instance numbers this barrier among same-named barriers in the plan.
+	instance int
 	// table is the governed table scanned inside the barrier ("" for view
 	// bodies, whose nested tables carry their own barriers).
 	table string
@@ -205,6 +229,7 @@ func Verify(analyzed, optimized plan.Node) *Report {
 	r := &Report{
 		Fingerprint: Fingerprint(optimized),
 		Cleared:     map[plan.Node][]Invariant{},
+		Discharged:  map[plan.Node][]string{},
 	}
 	obligations := extractObligations(analyzed)
 	barriers := collectSecureViews(optimized)
@@ -243,6 +268,10 @@ func Verify(analyzed, optimized plan.Node) *Report {
 	}
 
 	r.verifyRemoteScans(optimized)
+
+	// (f)/(g) information flow: labels seeded on the analyzed plan must be
+	// discharged in the optimized plan before reaching any sink.
+	r.verifyDataflow(obligations, optimized)
 	return r
 }
 
@@ -254,21 +283,34 @@ func (r *Report) clear(n plan.Node, inv Invariant) {
 	r.Cleared[n] = append(r.Cleared[n], inv)
 }
 
+func (r *Report) discharge(n plan.Node, l plan.Label) {
+	r.Discharged[n] = append(r.Discharged[n], l.String())
+}
+
 // extractObligations reads the policy contracts out of the analyzed plan in
 // pre-order. The analyzer builds table barriers as
 // SecureView → [Project masks] → [Filter rowFilter] → Scan.
 func extractObligations(analyzed plan.Node) []*obligation {
 	var out []*obligation
+	seen := map[string]int{}
 	plan.Walk(analyzed, func(x plan.Node) bool {
 		sv, ok := x.(*plan.SecureView)
 		if !ok {
 			return true
 		}
 		o := &obligation{
-			name:    sv.Name,
-			kinds:   sv.PolicyKinds,
-			masks:   map[string]plan.Expr{},
-			udfKeys: map[string]bool{},
+			name:     sv.Name,
+			kinds:    sv.PolicyKinds,
+			instance: seen[sv.Name],
+			masks:    map[string]plan.Expr{},
+			udfKeys:  map[string]bool{},
+		}
+		seen[sv.Name]++
+		// Stamp the analyzer's labels with this barrier's instance so each
+		// occurrence of a self-joined table tracks its own discharge.
+		for _, l := range sv.Labels {
+			l.Instance = o.instance
+			o.labels = append(o.labels, l)
 		}
 		node := sv.Child
 		if o.hasKind("column_mask") {
@@ -291,6 +333,16 @@ func extractObligations(analyzed plan.Node) []*obligation {
 		}
 		if sc, ok := node.(*plan.Scan); ok {
 			o.table = sc.Table
+		}
+		// A hostile analyzed plan can interpose extra operators between the
+		// policy operators and the scan, defeating the structured walk
+		// above. For governed-table barriers fall back to the unique scan in
+		// the subtree, so labels are still seeded on it (view barriers skip
+		// this: their nested tables carry their own barriers).
+		if o.table == "" && (o.hasKind("row_filter") || o.hasKind("column_mask")) {
+			if scans := allScans(sv.Child); len(scans) == 1 {
+				o.table = scans[0].Table
+			}
 		}
 		collectUDFKeys(sv.Child, o.udfKeys)
 		out = append(out, o)
@@ -341,7 +393,7 @@ func (r *Report) verifyBarrier(o *obligation, sv *plan.SecureView) {
 					ok = false
 					r.violate(InvRowFilter, o.name, fmt.Sprintf(
 						"policy predicate %s no longer dominates the scan (dominating conjuncts: %s)",
-						canonical(pc), canonicalList(doms)))
+						redacted(pc), redactedList(doms)))
 				}
 			}
 		}
@@ -368,7 +420,7 @@ func (r *Report) verifyBarrier(o *obligation, sv *plan.SecureView) {
 							okMask = false
 							r.violate(InvColumnMask, o.name, fmt.Sprintf(
 								"mask for column %q altered: have %s, policy requires %s",
-								col, canonical(normalize(e)), canonical(want)))
+								col, redacted(normalize(e)), redacted(want)))
 						}
 						break
 					}
@@ -392,7 +444,7 @@ func (r *Report) verifyBarrier(o *obligation, sv *plan.SecureView) {
 				if !allowed[canonical(normalize(ref))] {
 					okMask = false
 					r.violate(InvColumnMask, o.name, fmt.Sprintf(
-						"expression %s observes a masked column below the mask projection", canonical(normalize(ref))))
+						"expression %s observes a masked column below the mask projection", redacted(normalize(ref))))
 				}
 			}
 		}
@@ -473,7 +525,7 @@ func (r *Report) verifyRemoteScans(optimized plan.Node) {
 			if why := unpushable(f); why != "" {
 				okPush = false
 				r.violate(InvRemotePush, rs.Relation, fmt.Sprintf(
-					"pushed filter %s may not ship to the eFGAC executor: %s", f.String(), why))
+					"pushed filter %s may not ship to the eFGAC executor: %s", plan.RedactedString(f), why))
 			}
 		}
 		if rs.PushedAggregate != nil {
@@ -503,11 +555,11 @@ func unpushable(e plan.Expr) string {
 		case *plan.UDFCall:
 			why = fmt.Sprintf("user-owned UDF %s (trust domain %s)", t.Name, t.Owner)
 		case *plan.BoundRef:
-			why = fmt.Sprintf("ordinal-bound reference %s (remote filters must be name-resolved)", t.String())
+			why = fmt.Sprintf("ordinal-bound reference %s#%d (remote filters must be name-resolved)", t.Name, t.Index)
 		case *plan.AggFunc:
-			why = fmt.Sprintf("raw aggregate %s outside a rendered partial aggregate", t.String())
+			why = fmt.Sprintf("raw aggregate %s outside a rendered partial aggregate", plan.RedactedString(t))
 		case *plan.FuncCall:
-			why = fmt.Sprintf("unresolved function call %s", t.String())
+			why = fmt.Sprintf("unresolved function call %s", plan.RedactedString(t))
 		case *plan.Star:
 			why = "unexpanded * projection"
 		case *plan.Literal, *plan.ColumnRef, *plan.Binary, *plan.Unary, *plan.IsNull,
@@ -530,6 +582,18 @@ func collectSecureViews(n plan.Node) []*plan.SecureView {
 	plan.Walk(n, func(x plan.Node) bool {
 		if sv, ok := x.(*plan.SecureView); ok {
 			out = append(out, sv)
+		}
+		return true
+	})
+	return out
+}
+
+// allScans lists every scan in a subtree.
+func allScans(n plan.Node) []*plan.Scan {
+	var out []*plan.Scan
+	plan.Walk(n, func(x plan.Node) bool {
+		if sc, ok := x.(*plan.Scan); ok {
+			out = append(out, sc)
 		}
 		return true
 	})
@@ -684,26 +748,33 @@ func normalize(e plan.Expr) plan.Expr {
 	})
 }
 
-// canonical renders an expression with ordinals erased (BoundRef → bare
-// column name), so prune-remapped plans compare equal to their pre-prune
-// policy form.
-func canonical(e plan.Expr) string {
-	c := plan.TransformExpr(e, func(x plan.Expr) plan.Expr {
+// canonExpr erases ordinals (BoundRef → bare column name), so prune-remapped
+// plans compare equal to their pre-prune policy form.
+func canonExpr(e plan.Expr) plan.Expr {
+	return plan.TransformExpr(e, func(x plan.Expr) plan.Expr {
 		if b, ok := x.(*plan.BoundRef); ok {
 			return &plan.ColumnRef{Name: b.Name}
 		}
 		return x
 	})
-	return c.String()
 }
 
-func canonicalList(exprs []plan.Expr) string {
+// canonical is the canonical rendering used for expression equality. It is
+// never put into error messages — literals in policy predicates are a side
+// channel; messages use redacted instead.
+func canonical(e plan.Expr) string { return canonExpr(e).String() }
+
+// redacted renders an expression for violation messages: canonical shape,
+// column names kept, literal values hidden.
+func redacted(e plan.Expr) string { return plan.RedactedString(canonExpr(e)) }
+
+func redactedList(exprs []plan.Expr) string {
 	if len(exprs) == 0 {
 		return "none"
 	}
 	parts := make([]string, len(exprs))
 	for i, e := range exprs {
-		parts[i] = canonical(normalize(e))
+		parts[i] = redacted(normalize(e))
 	}
 	return strings.Join(parts, " AND ")
 }
