@@ -15,18 +15,23 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
+	"lakeguard/internal/admission"
+	"lakeguard/internal/audit"
 	"lakeguard/internal/catalog"
 	"lakeguard/internal/connect"
 	"lakeguard/internal/core"
 	"lakeguard/internal/gateway"
 	"lakeguard/internal/proto"
+	"lakeguard/internal/session"
 	"lakeguard/internal/storage"
 	"lakeguard/internal/telemetry"
 )
@@ -44,6 +49,23 @@ func (t tokenFlags) Set(v string) error {
 	return nil
 }
 
+type weightFlags map[string]int
+
+func (w weightFlags) String() string { return fmt.Sprint(map[string]int(w)) }
+
+func (w weightFlags) Set(v string) error {
+	parts := strings.SplitN(v, "=", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("weight flag must be user=weight, got %q", v)
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil || n <= 0 {
+		return fmt.Errorf("weight for %s must be a positive integer, got %q", parts[0], parts[1])
+	}
+	w[parts[0]] = n
+	return nil
+}
+
 func main() {
 	addr := flag.String("addr", ":8765", "listen address")
 	admin := flag.String("admin", "admin@corp.com", "metastore admin user")
@@ -51,8 +73,14 @@ func main() {
 	maxSessions := flag.Int("max-sessions-per-cluster", 8, "gateway scale-out threshold")
 	parallelism := flag.Int("parallelism", 0, "engine worker count per cluster (0 = LAKEGUARD_PARALLELISM or NumCPU, 1 = serial)")
 	slowQueryMs := flag.Int("slow-query-ms", 1000, "queries slower than this land in the /debug/queries slow log (0 disables)")
+	maxConcurrent := flag.Int("max-concurrent", 8, "admission: concurrent query limit across all tenants (0 disables admission control)")
+	maxQueueDepth := flag.Int("max-queue-depth", 16, "admission: per-tenant wait-queue bound; requests beyond it are shed with 429")
+	sharedSessions := flag.Bool("shared-sessions", true, "share one session store across the fleet so drains detach warm state instead of exporting it")
+	autoscaleMs := flag.Int("autoscale-ms", 2000, "fleet health sweep + autoscaler tick interval (0 disables)")
 	tokens := tokenFlags{}
 	flag.Var(tokens, "token", "token=user mapping (repeatable)")
+	weights := weightFlags{}
+	flag.Var(weights, "tenant-weight", "user=weight admission scheduling weight (repeatable, default 1)")
 	flag.Parse()
 
 	if len(tokens) == 0 {
@@ -74,12 +102,20 @@ func main() {
 	}
 	cat.SetMetrics(metrics)
 
+	// One session store for the whole fleet: cluster drains and rebalances
+	// become warm detaches (release sandboxes, keep temp views) instead of
+	// export/import round-trips.
+	var sessions *session.Store
+	if *sharedSessions {
+		sessions = session.NewStore()
+	}
+
 	gw := gateway.New(gateway.Config{
 		Provision: func(name string) *core.Server {
 			log.Printf("provisioning cluster %s", name)
 			return core.NewServer(core.Config{
 				Name: name, Catalog: cat, Compute: catalog.ComputeServerless,
-				Parallelism: *parallelism, Metrics: metrics,
+				Parallelism: *parallelism, Metrics: metrics, Sessions: sessions,
 			})
 		},
 		MaxSessionsPerCluster: *maxSessions,
@@ -90,6 +126,47 @@ func main() {
 	stopSweeper := service.StartSweeper(30*time.Second, 15*time.Minute)
 	defer stopSweeper()
 
+	auditLog := audit.NewLog()
+	auditLog.SetMetrics(metrics)
+	service.SetAudit(auditLog)
+
+	var ctrl *admission.Controller
+	if *maxConcurrent > 0 {
+		ctrl = admission.NewController(admission.Config{
+			MaxConcurrent: *maxConcurrent,
+			MaxQueueDepth: *maxQueueDepth,
+			Weights:       weights,
+			Metrics:       metrics,
+			OnShed: func(tenant, reason string, retryAfter time.Duration) {
+				log.Printf("shed %s (%s), retry after %v", tenant, reason, retryAfter)
+			},
+		})
+		service.SetAdmission(ctrl)
+	}
+
+	// Self-healing loop: every tick, drain clusters whose circuit breakers
+	// opened, then let the autoscaler react to queue depth and shed rate.
+	if *autoscaleMs > 0 {
+		scaler := gateway.NewAutoscaler(gw, gateway.AutoscaleConfig{
+			Signals: ctrl,
+			Metrics: metrics,
+		})
+		go func() {
+			for range time.Tick(time.Duration(*autoscaleMs) * time.Millisecond) {
+				drained, err := gw.CheckHealth()
+				if err != nil {
+					log.Printf("health sweep: %v", err)
+				}
+				if drained > 0 {
+					log.Printf("health sweep drained %d unhealthy cluster(s)", drained)
+				}
+				if d := scaler.Tick(); d.Action != "hold" {
+					log.Printf("autoscale %s cluster %s (%s, %d session(s) moved)", d.Action, d.Cluster, d.Reason, d.Moved)
+				}
+			}
+		}()
+	}
+
 	if *demo {
 		seedDemo(cat, *admin)
 	}
@@ -98,8 +175,15 @@ func main() {
 	mux.Handle("/", service.Handler())
 	mux.Handle("/metrics", metrics)
 	mux.Handle("/debug/queries", telemetry.DebugQueriesHandler(tracer))
+	mux.HandleFunc("/debug/admission", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			Admission admission.Stats `json:"admission"`
+			Fleet     gateway.Stats   `json:"fleet"`
+		}{ctrl.Snapshot(), gw.FleetStats()})
+	})
 
-	log.Printf("lakeguard-server listening on %s (%d token(s)), telemetry at /metrics and /debug/queries", *addr, len(tokens))
+	log.Printf("lakeguard-server listening on %s (%d token(s)), telemetry at /metrics, /debug/queries, /debug/admission", *addr, len(tokens))
 	if err := http.ListenAndServe(*addr, mux); err != nil {
 		log.Fatal(err)
 	}

@@ -34,9 +34,15 @@ func main() {
 	execute := flag.String("e", "", "execute one statement and exit")
 	explainVerified := flag.Bool("explain-verified", false, "with -e: print the sentinel-verified plan instead of executing")
 	analyzeFlag := flag.Bool("analyze", false, "with -e: execute with EXPLAIN ANALYZE profiling")
+	retries := flag.Int("retries", 3, "max retries with jittered backoff when the server sheds a query with 429")
+	timeoutMs := flag.Int("timeout-ms", 0, "per-query deadline in milliseconds sent with each request (0 = none)")
 	flag.Parse()
 
 	client := connect.Dial(*addr, *token)
+	client.SetMaxRetries(*retries)
+	if *timeoutMs > 0 {
+		client.SetTimeout(time.Duration(*timeoutMs) * time.Millisecond)
+	}
 	defer client.Close()
 
 	if *execute != "" {

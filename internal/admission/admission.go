@@ -1,0 +1,423 @@
+// Package admission is the multi-tenant admission controller in front of
+// query execution: per-tenant weighted fair queues, a global concurrency
+// limit, bounded queue depth, and deadline-aware load shedding.
+//
+// The controller sits at the Connect layer, before any sandbox slot or
+// analyzer work is spent on a request. A request that cannot be admitted
+// immediately waits in its tenant's FIFO queue; tenants are dequeued by
+// stride scheduling over configured weights, so one greedy tenant flooding
+// the gateway only ever competes for its own weighted share. A request is
+// shed — rejected with an *OverloadedError carrying a Retry-After hint —
+// when its tenant queue is full or when the request's own deadline budget
+// cannot survive the predicted queue wait (EWMA of recent service times ×
+// queue positions ahead). Shedding is O(µs): no sandbox slot, no analyzer
+// pass, no storage I/O is consumed by a rejected request.
+//
+// All entry points are nil-safe: a nil *Controller admits everything
+// immediately, so wiring admission control is optional at every layer.
+package admission
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"lakeguard/internal/faults"
+	"lakeguard/internal/telemetry"
+)
+
+// Shed reasons recorded on OverloadedError, audit records, and trace spans.
+const (
+	ReasonQueueFull = "queue-full"
+	ReasonDeadline  = "deadline"
+)
+
+// OverloadedError is returned when a request is shed. The Connect layer maps
+// it to HTTP 429 with a Retry-After header; connect.Client retries after the
+// hinted delay with jitter.
+type OverloadedError struct {
+	Tenant     string
+	Reason     string // ReasonQueueFull or ReasonDeadline
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("admission: tenant %q shed (%s), retry after %v", e.Tenant, e.Reason, e.RetryAfter.Round(time.Millisecond))
+}
+
+// Config tunes one Controller.
+type Config struct {
+	// MaxConcurrent is the global concurrent-execution limit (default 4).
+	MaxConcurrent int
+	// MaxQueueDepth bounds each tenant's wait queue (default 16); requests
+	// beyond it are shed with ReasonQueueFull.
+	MaxQueueDepth int
+	// Weights maps tenant → scheduling weight; unlisted tenants get
+	// DefaultWeight. A tenant with weight 3 is dequeued 3x as often as a
+	// tenant with weight 1 when both have waiters.
+	Weights map[string]int
+	// DefaultWeight is the weight for tenants not in Weights (default 1).
+	DefaultWeight int
+	// InitialServiceEstimate seeds the EWMA used to predict queue wait before
+	// any request has completed (default 10ms).
+	InitialServiceEstimate time.Duration
+	// Metrics receives admission.* counters/gauges/histograms (optional).
+	Metrics *telemetry.Registry
+	// Faults carries the admission.enqueue injection site (optional).
+	Faults *faults.Injector
+	// OnShed is invoked once per shed decision, outside the controller lock
+	// (optional; the Connect layer uses it for audit records).
+	OnShed func(tenant, reason string, retryAfter time.Duration)
+}
+
+// strideScale is the stride-scheduling numerator: pass += strideScale/weight
+// per dequeue, so higher-weight tenants accumulate pass more slowly and are
+// picked more often.
+const strideScale = 1 << 16
+
+type waiter struct {
+	ready chan struct{} // closed by the dispatcher when admitted
+	enq   time.Time
+}
+
+type tenantState struct {
+	name     string
+	weight   int
+	pass     float64
+	queue    []*waiter
+	inflight int64
+}
+
+// Controller admits requests subject to Config. Safe for concurrent use and
+// nil-safe (a nil controller admits everything immediately).
+type Controller struct {
+	cfg Config
+
+	mu       sync.Mutex
+	tenants  map[string]*tenantState
+	inflight int
+	queued   int
+	ewma     float64 // nanoseconds; EWMA of observed service times
+
+	queuedTotal   *telemetry.Counter
+	shedTotal     *telemetry.Counter
+	timeoutsTotal *telemetry.Counter
+	queueDepth    *telemetry.Gauge
+	waitHist      *telemetry.Histogram
+}
+
+// NewController builds a controller, applying Config defaults.
+func NewController(cfg Config) *Controller {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 4
+	}
+	if cfg.MaxQueueDepth <= 0 {
+		cfg.MaxQueueDepth = 16
+	}
+	if cfg.DefaultWeight <= 0 {
+		cfg.DefaultWeight = 1
+	}
+	if cfg.InitialServiceEstimate <= 0 {
+		cfg.InitialServiceEstimate = 10 * time.Millisecond
+	}
+	c := &Controller{
+		cfg:     cfg,
+		tenants: map[string]*tenantState{},
+		ewma:    float64(cfg.InitialServiceEstimate),
+	}
+	c.queuedTotal = cfg.Metrics.Counter("admission.queued")
+	c.shedTotal = cfg.Metrics.Counter("admission.shed")
+	c.timeoutsTotal = cfg.Metrics.Counter("admission.timeouts")
+	c.queueDepth = cfg.Metrics.Gauge("admission.queue_depth")
+	c.waitHist = cfg.Metrics.Histogram("admission.wait_ms", nil)
+	return c
+}
+
+// Ticket is one admitted request's slot. Release must be called exactly once
+// when the request finishes; Wait is the time spent queued (0 on the fast
+// path).
+type Ticket struct {
+	Wait time.Duration
+
+	c       *Controller
+	tenant  string
+	started time.Time
+	once    sync.Once
+}
+
+// QueueWait returns how long the request sat in the admission queue. Nil-safe
+// (a nil ticket — admission disabled — waited zero).
+func (t *Ticket) QueueWait() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.Wait
+}
+
+// Release frees the slot, records the observed service time into the EWMA,
+// and dispatches the next waiter (weighted). Safe on nil and idempotent.
+func (t *Ticket) Release() {
+	if t == nil || t.c == nil {
+		return
+	}
+	t.once.Do(func() { t.c.release(t) })
+}
+
+// Acquire admits a request for tenant or sheds it. On success the returned
+// Ticket must be Released when the request completes. A shed returns
+// *OverloadedError; a context expiry while queued returns ctx.Err() and is
+// counted in admission.timeouts, not admission.shed.
+func (c *Controller) Acquire(ctx context.Context, tenant string) (*Ticket, error) {
+	if c == nil {
+		return nil, nil
+	}
+	if err := c.cfg.Faults.CheckContext(ctx, faults.SiteAdmissionEnqueue); err != nil {
+		return nil, err
+	}
+	ctx, span := telemetry.StartSpan(ctx, "admission.wait")
+	span.SetAttr("tenant", tenant)
+
+	c.mu.Lock()
+	ts := c.tenant(tenant)
+
+	// Fast path: a free slot and nobody waiting — admit with zero wait.
+	if c.inflight < c.cfg.MaxConcurrent && c.queued == 0 {
+		c.inflight++
+		ts.inflight++
+		c.setInflightGauge(ts)
+		c.mu.Unlock()
+		span.SetAttr("admitted", "fast")
+		span.End()
+		return &Ticket{c: c, tenant: tenant, started: time.Now()}, nil
+	}
+
+	// Shed before enqueue: bounded queue depth per tenant.
+	if len(ts.queue) >= c.cfg.MaxQueueDepth {
+		retry := c.predictWaitLocked(len(ts.queue))
+		c.mu.Unlock()
+		return nil, c.shed(span, tenant, ReasonQueueFull, retry)
+	}
+
+	// Shed before enqueue: the request's own deadline budget must survive the
+	// predicted queue wait plus one expected service time.
+	predicted := c.predictWaitLocked(c.queued)
+	if deadline, ok := ctx.Deadline(); ok {
+		budget := time.Until(deadline)
+		if budget < predicted+time.Duration(c.ewma) {
+			c.mu.Unlock()
+			return nil, c.shed(span, tenant, ReasonDeadline, predicted)
+		}
+	}
+
+	w := &waiter{ready: make(chan struct{}), enq: time.Now()}
+	ts.queue = append(ts.queue, w)
+	c.queued++
+	c.queuedTotal.Inc()
+	c.queueDepth.Set(int64(c.queued))
+	c.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		wait := time.Since(w.enq)
+		c.waitHist.Observe(float64(wait) / float64(time.Millisecond))
+		span.SetAttr("admitted", "queued")
+		span.SetInt("wait_us", wait.Microseconds())
+		span.End()
+		return &Ticket{Wait: wait, c: c, tenant: tenant, started: time.Now()}, nil
+	case <-ctx.Done():
+		// Raced against dispatch: if the slot was granted anyway, release it.
+		if c.unqueue(ts, w) {
+			c.timeoutsTotal.Inc()
+			span.EndErr(ctx.Err())
+			return nil, ctx.Err()
+		}
+		<-w.ready
+		t := &Ticket{Wait: time.Since(w.enq), c: c, tenant: tenant, started: time.Now()}
+		t.Release()
+		c.timeoutsTotal.Inc()
+		span.EndErr(ctx.Err())
+		return nil, ctx.Err()
+	}
+}
+
+// shed finalizes one shed decision (metrics, span, callback) and returns the
+// error the caller should surface.
+func (c *Controller) shed(span *telemetry.Span, tenant, reason string, retryAfter time.Duration) error {
+	if retryAfter < time.Millisecond {
+		retryAfter = time.Millisecond
+	}
+	c.shedTotal.Inc()
+	err := &OverloadedError{Tenant: tenant, Reason: reason, RetryAfter: retryAfter}
+	span.SetAttr("shed", reason)
+	span.EndErr(err)
+	if c.cfg.OnShed != nil {
+		c.cfg.OnShed(tenant, reason, retryAfter)
+	}
+	return err
+}
+
+// predictWaitLocked estimates the queue wait for a request with ahead
+// requests in front of it, from the service-time EWMA and the concurrency
+// limit. Callers hold c.mu.
+func (c *Controller) predictWaitLocked(ahead int) time.Duration {
+	rounds := (ahead + c.cfg.MaxConcurrent) / c.cfg.MaxConcurrent
+	return time.Duration(float64(rounds) * c.ewma)
+}
+
+// tenant returns (creating if needed) tenant state. Callers hold c.mu. A new
+// tenant starts at the minimum pass of active tenants so it is not unfairly
+// favored or starved.
+func (c *Controller) tenant(name string) *tenantState {
+	ts, ok := c.tenants[name]
+	if !ok {
+		w := c.cfg.DefaultWeight
+		if cw, ok := c.cfg.Weights[name]; ok && cw > 0 {
+			w = cw
+		}
+		minPass := 0.0
+		first := true
+		for _, other := range c.tenants {
+			if len(other.queue) == 0 && other.inflight == 0 {
+				continue
+			}
+			if first || other.pass < minPass {
+				minPass, first = other.pass, false
+			}
+		}
+		ts = &tenantState{name: name, weight: w, pass: minPass}
+		c.tenants[name] = ts
+	}
+	return ts
+}
+
+// unqueue removes w from its tenant queue; false means w was already
+// dispatched. Used on context expiry while waiting.
+func (c *Controller) unqueue(ts *tenantState, w *waiter) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, q := range ts.queue {
+		if q == w {
+			ts.queue = append(ts.queue[:i], ts.queue[i+1:]...)
+			c.queued--
+			c.queueDepth.Set(int64(c.queued))
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Controller) release(t *Ticket) {
+	service := time.Since(t.started)
+	c.mu.Lock()
+	c.ewma = 0.7*c.ewma + 0.3*float64(service)
+	c.inflight--
+	if ts, ok := c.tenants[t.tenant]; ok {
+		ts.inflight--
+		c.setInflightGauge(ts)
+	}
+	c.dispatchLocked()
+	c.mu.Unlock()
+}
+
+// dispatchLocked grants free slots to waiters by stride scheduling: the
+// waiting tenant with the lowest pass value wins and its pass advances by
+// strideScale/weight. Ties break by tenant name for determinism.
+func (c *Controller) dispatchLocked() {
+	for c.inflight < c.cfg.MaxConcurrent && c.queued > 0 {
+		var pick *tenantState
+		for _, ts := range c.tenants {
+			if len(ts.queue) == 0 {
+				continue
+			}
+			if pick == nil || ts.pass < pick.pass || (ts.pass == pick.pass && ts.name < pick.name) {
+				pick = ts
+			}
+		}
+		if pick == nil {
+			return
+		}
+		w := pick.queue[0]
+		pick.queue = pick.queue[1:]
+		pick.pass += strideScale / float64(pick.weight)
+		c.queued--
+		c.queueDepth.Set(int64(c.queued))
+		c.inflight++
+		pick.inflight++
+		c.setInflightGauge(pick)
+		close(w.ready)
+	}
+}
+
+func (c *Controller) setInflightGauge(ts *tenantState) {
+	c.cfg.Metrics.Gauge("admission.inflight." + ts.name).Set(ts.inflight)
+}
+
+// QueueDepth returns the number of requests currently waiting (autoscaler
+// load signal).
+func (c *Controller) QueueDepth() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.queued
+}
+
+// Inflight returns the number of admitted, unreleased requests.
+func (c *Controller) Inflight() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inflight
+}
+
+// Sheds returns the total shed decisions so far (autoscaler load signal).
+func (c *Controller) Sheds() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.shedTotal.Value()
+}
+
+// Stats is a point-in-time controller snapshot for debug endpoints.
+type Stats struct {
+	Inflight   int           `json:"inflight"`
+	Queued     int           `json:"queued"`
+	Sheds      int64         `json:"sheds"`
+	Timeouts   int64         `json:"timeouts"`
+	ServiceEst time.Duration `json:"service_estimate"`
+	Tenants    []TenantStats `json:"tenants"`
+}
+
+// TenantStats is one tenant's live admission state.
+type TenantStats struct {
+	Name     string `json:"name"`
+	Weight   int    `json:"weight"`
+	Inflight int64  `json:"inflight"`
+	Queued   int    `json:"queued"`
+}
+
+// Snapshot returns current controller state (tenants sorted by name).
+func (c *Controller) Snapshot() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Inflight:   c.inflight,
+		Queued:     c.queued,
+		Sheds:      c.shedTotal.Value(),
+		Timeouts:   c.timeoutsTotal.Value(),
+		ServiceEst: time.Duration(c.ewma),
+	}
+	for _, ts := range c.tenants {
+		st.Tenants = append(st.Tenants, TenantStats{Name: ts.name, Weight: ts.weight, Inflight: ts.inflight, Queued: len(ts.queue)})
+	}
+	sort.Slice(st.Tenants, func(i, j int) bool { return st.Tenants[i].Name < st.Tenants[j].Name })
+	return st
+}

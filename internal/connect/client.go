@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -28,16 +29,24 @@ type Client struct {
 	sessionID   string
 	workloadEnv string
 	timeout     time.Duration
+	maxRetries  int
+	sleep       func(time.Duration)
 	http        *http.Client
 }
 
-// Dial creates a client with a fresh session id.
+// Dial creates a client with a fresh session id. The client keeps a pool of
+// idle connections sized for concurrent in-session queries (the stdlib
+// default of 2 idle connections per host churns TCP under parallel load).
 func Dial(baseURL, token string) *Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = 64
 	return &Client{
-		baseURL:   baseURL,
-		token:     token,
-		sessionID: fmt.Sprintf("sess-%d", clientSeq.Add(1)),
-		http:      &http.Client{},
+		baseURL:    baseURL,
+		token:      token,
+		sessionID:  fmt.Sprintf("sess-%d", clientSeq.Add(1)),
+		maxRetries: 3,
+		sleep:      time.Sleep,
+		http:       &http.Client{Transport: tr},
 	}
 }
 
@@ -60,6 +69,15 @@ func (c *Client) SetWorkloadEnv(env string) { c.workloadEnv = env }
 // backend into sandbox crossings and eFGAC submissions (0 = no deadline).
 func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
 
+// SetMaxRetries bounds how many times an execution is retried after the
+// server sheds it with 429 Too Many Requests (0 = fail fast, default 3).
+func (c *Client) SetMaxRetries(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.maxRetries = n
+}
+
 func (c *Client) newRequest(method, path string, body []byte) (*http.Request, error) {
 	req, err := http.NewRequest(method, c.baseURL+path, bytes.NewReader(body))
 	if err != nil {
@@ -73,20 +91,62 @@ func (c *Client) newRequest(method, path string, body []byte) (*http.Request, er
 	return req, nil
 }
 
+// OverloadedError reports that the server shed the request under multi-tenant
+// admission control (HTTP 429). RetryAfter is the server's backoff hint.
+type OverloadedError struct {
+	RetryAfter time.Duration
+	Msg        string
+}
+
+func (e *OverloadedError) Error() string { return e.Msg }
+
 func decodeHTTPError(resp *http.Response) error {
 	var payload struct {
 		Error string `json:"error"`
 	}
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	msg := fmt.Sprintf("connect: HTTP %d", resp.StatusCode)
 	if json.Unmarshal(data, &payload) == nil && payload.Error != "" {
-		return errors.New(payload.Error)
+		msg = payload.Error
 	}
-	return fmt.Errorf("connect: HTTP %d", resp.StatusCode)
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return &OverloadedError{RetryAfter: retryAfterHint(resp), Msg: msg}
+	}
+	return errors.New(msg)
+}
+
+// retryAfterHint reads the shed backoff hint, preferring the millisecond
+// header over the seconds-granularity standard one.
+func retryAfterHint(resp *http.Response) time.Duration {
+	if v := resp.Header.Get(RetryAfterMillisHeader); v != "" {
+		if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms > 0 {
+			return time.Duration(ms) * time.Millisecond
+		}
+	}
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.ParseInt(v, 10, 64); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 100 * time.Millisecond
+}
+
+// backoffFor turns a server Retry-After hint into a jittered sleep for the
+// given retry attempt (0-based): exponential growth capped at 2s, with the
+// upper half randomized so synchronized clients do not re-stampede.
+func backoffFor(hint time.Duration, attempt int) time.Duration {
+	d := hint << uint(attempt)
+	if max := 2 * time.Second; d > max || d <= 0 {
+		d = 2 * time.Second
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
 // ExecutePlan sends a root plan and collects the streamed result. If the
 // stream is interrupted mid-read, the client reattaches to the operation and
-// resumes from the last received batch.
+// resumes from the last received batch. A request shed by admission control
+// (429) is retried with jittered exponential backoff up to SetMaxRetries
+// times, honoring the server's Retry-After hint.
 func (c *Client) ExecutePlan(pl *proto.Plan) (*types.Batch, error) {
 	if pl.WorkloadEnv == "" {
 		pl.WorkloadEnv = c.workloadEnv
@@ -95,6 +155,17 @@ func (c *Client) ExecutePlan(pl *proto.Plan) (*types.Batch, error) {
 	if err != nil {
 		return nil, err
 	}
+	for attempt := 0; ; attempt++ {
+		batch, err := c.executePlanOnce(body)
+		var oe *OverloadedError
+		if err == nil || !errors.As(err, &oe) || attempt >= c.maxRetries {
+			return batch, err
+		}
+		c.sleep(backoffFor(oe.RetryAfter, attempt))
+	}
+}
+
+func (c *Client) executePlanOnce(body []byte) (*types.Batch, error) {
 	req, err := c.newRequest(http.MethodPost, "/v1/execute", body)
 	if err != nil {
 		return nil, err

@@ -12,7 +12,9 @@ import (
 	"sync"
 	"time"
 
+	"lakeguard/internal/admission"
 	"lakeguard/internal/arrowipc"
+	"lakeguard/internal/audit"
 	"lakeguard/internal/plan"
 	"lakeguard/internal/proto"
 	"lakeguard/internal/telemetry"
@@ -95,6 +97,11 @@ type Service struct {
 	// tracer, when set, mints one trace per /v1/execute query; the trace ID
 	// is echoed to the client in the X-Trace-Id response header.
 	tracer *telemetry.Tracer
+	// admit, when set, gates /v1/execute and /v1/executeAnalyze behind the
+	// multi-tenant admission controller (nil admits everything).
+	admit *admission.Controller
+	// auditLog, when set, records one ADMISSION_SHED event per shed request.
+	auditLog *audit.Log
 
 	mu         sync.Mutex
 	operations map[string]*operation
@@ -117,6 +124,56 @@ func (s *Service) SetClock(clock func() time.Time) { s.clock = clock }
 // SetTracer enables per-query distributed tracing: each /v1/execute and
 // /v1/executeAnalyze request becomes one trace rooted at the service entry.
 func (s *Service) SetTracer(t *telemetry.Tracer) { s.tracer = t }
+
+// SetAdmission gates query execution behind a multi-tenant admission
+// controller: shed requests are rejected with 429 + Retry-After before any
+// backend work — no plan decode, no sandbox slot, no storage I/O.
+func (s *Service) SetAdmission(c *admission.Controller) { s.admit = c }
+
+// SetAudit records admission shed decisions (one ADMISSION_SHED event each)
+// on the given audit log.
+func (s *Service) SetAudit(log *audit.Log) { s.auditLog = log }
+
+// RetryAfterMillisHeader carries the shed Retry-After hint at millisecond
+// precision alongside the standard seconds-granularity Retry-After header.
+const RetryAfterMillisHeader = "X-Retry-After-Millis"
+
+// admitRequest runs the admission controller for one request. On a shed it
+// writes the 429 response (Retry-After + X-Retry-After-Millis) and audits the
+// decision exactly once; on a queue timeout or injected admission fault it
+// writes 503. The caller must stop when err != nil and Release the returned
+// ticket when done otherwise.
+func (s *Service) admitRequest(ctx context.Context, w http.ResponseWriter, sessionID, user string) (*admission.Ticket, error) {
+	ticket, err := s.admit.Acquire(ctx, user)
+	if err == nil {
+		return ticket, nil
+	}
+	var oe *admission.OverloadedError
+	if errors.As(err, &oe) {
+		if s.auditLog != nil {
+			s.auditLog.Record(audit.Event{
+				User: user, SessionID: sessionID, Action: "ADMISSION_SHED",
+				Securable: "gateway", Decision: audit.DecisionDeny,
+				Reason:  fmt.Sprintf("%s (retry after %v)", oe.Reason, oe.RetryAfter),
+				TraceID: telemetry.TraceIDFrom(ctx),
+			})
+		}
+		secs := int64(oe.RetryAfter+time.Second-1) / int64(time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		ms := oe.RetryAfter.Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		w.Header().Set(RetryAfterMillisHeader, strconv.FormatInt(ms, 10))
+		writeError(w, http.StatusTooManyRequests, err)
+		return nil, err
+	}
+	writeError(w, http.StatusServiceUnavailable, err)
+	return nil, err
+}
 
 // Handler returns the HTTP handler implementing the protocol.
 func (s *Service) Handler() http.Handler {
@@ -169,13 +226,31 @@ func (s *Service) handleExecute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.touchSession(sessionID)
+	ctx, cancel := requestContext(r)
+	defer cancel()
+	ctx, root := s.startTrace(ctx, w, sessionID, user)
+
+	// Admission runs before the body is even read: a shed request costs
+	// microseconds and never touches the plan decoder or a sandbox slot.
+	ticket, err := s.admitRequest(ctx, w, sessionID, user)
+	if err != nil {
+		root.EndErr(err)
+		return
+	}
+	defer ticket.Release()
+	if qw := ticket.QueueWait(); qw > 0 {
+		ctx = telemetry.ContextWithQueueWait(ctx, qw)
+	}
+
 	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
 	if err != nil {
+		root.EndErr(err)
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	pl, err := proto.DecodeRootPlan(body)
 	if err != nil {
+		root.EndErr(err)
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -191,9 +266,6 @@ func (s *Service) handleExecute(w http.ResponseWriter, r *http.Request) {
 	s.operations[op.id] = op
 	s.mu.Unlock()
 
-	ctx, cancel := requestContext(r)
-	defer cancel()
-	ctx, root := s.startTrace(ctx, w, sessionID, user)
 	schema, batches, err := s.backend.Execute(ctx, sessionID, user, pl)
 	root.EndErr(err)
 	s.mu.Lock()
@@ -241,19 +313,30 @@ func (s *Service) handleExecuteAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.touchSession(sessionID)
+	ctx, cancel := requestContext(r)
+	defer cancel()
+	ctx, root := s.startTrace(ctx, w, sessionID, user)
+	ticket, err := s.admitRequest(ctx, w, sessionID, user)
+	if err != nil {
+		root.EndErr(err)
+		return
+	}
+	defer ticket.Release()
+	if qw := ticket.QueueWait(); qw > 0 {
+		ctx = telemetry.ContextWithQueueWait(ctx, qw)
+	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
 	if err != nil {
+		root.EndErr(err)
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	pl, err := proto.DecodeRootPlan(body)
 	if err != nil {
+		root.EndErr(err)
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	ctx, cancel := requestContext(r)
-	defer cancel()
-	ctx, root := s.startTrace(ctx, w, sessionID, user)
 	batch, analyze, err := ae.ExecuteAnalyze(ctx, sessionID, user, pl)
 	root.EndErr(err)
 	if err != nil {

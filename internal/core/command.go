@@ -11,13 +11,14 @@ import (
 	"lakeguard/internal/optimizer"
 	"lakeguard/internal/plan"
 	"lakeguard/internal/proto"
+	"lakeguard/internal/session"
 	"lakeguard/internal/sql"
 	"lakeguard/internal/types"
 	"lakeguard/internal/udf"
 )
 
 // executeCommand dispatches a side-effecting execution root.
-func (s *Server) executeCommand(qctx context.Context, ctx catalog.RequestContext, st *sessionState, cmd *proto.Command) (*types.Schema, *types.Batch, error) {
+func (s *Server) executeCommand(qctx context.Context, ctx catalog.RequestContext, st *session.State, cmd *proto.Command) (*types.Schema, *types.Batch, error) {
 	switch {
 	case cmd.SQL != "":
 		return s.executeSQL(qctx, ctx, st, cmd.SQL)
@@ -32,7 +33,7 @@ func (s *Server) executeCommand(qctx context.Context, ctx catalog.RequestContext
 			return nil, nil, fmt.Errorf("core: temp view %q: %w", cmd.CreateTempView.Name, err)
 		}
 		s.mu.Lock()
-		st.tempViews[lower(cmd.CreateTempView.Name)] = node
+		st.TempViews[lower(cmd.CreateTempView.Name)] = node
 		s.mu.Unlock()
 		schema, b := okBatch("temp view " + cmd.CreateTempView.Name + " created")
 		return schema, b, nil
@@ -43,7 +44,7 @@ func (s *Server) executeCommand(qctx context.Context, ctx catalog.RequestContext
 			return nil, nil, fmt.Errorf("core: function %q: %w", rf.Name, err)
 		}
 		s.mu.Lock()
-		st.tempFuncs[lower(rf.Name)] = analyzer.TempFunc{
+		st.TempFuncs[lower(rf.Name)] = analyzer.TempFunc{
 			Params: rf.Params, Returns: rf.Returns, Body: rf.Body, Owner: ctx.User,
 			Resources: rf.Resources,
 		}
@@ -68,7 +69,7 @@ func lower(s string) string {
 }
 
 // executeSQL parses and dispatches one SQL statement.
-func (s *Server) executeSQL(qctx context.Context, ctx catalog.RequestContext, st *sessionState, text string) (*types.Schema, *types.Batch, error) {
+func (s *Server) executeSQL(qctx context.Context, ctx catalog.RequestContext, st *session.State, text string) (*types.Schema, *types.Batch, error) {
 	stmt, err := sql.Parse(text)
 	if err != nil {
 		return nil, nil, err
@@ -116,7 +117,7 @@ func concatBatches(schema *types.Schema, batches []*types.Batch) (*types.Batch, 
 }
 
 // executeDDL dispatches parsed DDL/DML commands to the catalog.
-func (s *Server) executeDDL(qctx context.Context, ctx catalog.RequestContext, st *sessionState, cmd plan.Command) (*types.Schema, *types.Batch, error) {
+func (s *Server) executeDDL(qctx context.Context, ctx catalog.RequestContext, st *session.State, cmd plan.Command) (*types.Schema, *types.Batch, error) {
 	ok := func(msg string) (*types.Schema, *types.Batch, error) {
 		schema, b := okBatch(msg)
 		return schema, b, nil
@@ -292,7 +293,7 @@ func appendAnnotation(comment, note string) string {
 }
 
 // executeCTAS creates a table from a query result.
-func (s *Server) executeCTAS(qctx context.Context, ctx catalog.RequestContext, st *sessionState, c *plan.CreateTableAs) (*types.Schema, *types.Batch, error) {
+func (s *Server) executeCTAS(qctx context.Context, ctx catalog.RequestContext, st *session.State, c *plan.CreateTableAs) (*types.Schema, *types.Batch, error) {
 	if c.IfNotExists {
 		if _, err := s.cat.ResolveTable(ctx, c.Name); err == nil {
 			schema, b := okBatch("table already exists; CTAS skipped")
@@ -328,7 +329,7 @@ func (s *Server) executeCTAS(qctx context.Context, ctx catalog.RequestContext, s
 }
 
 // executeDelete rewrites the table without the matching rows.
-func (s *Server) executeDelete(qctx context.Context, ctx catalog.RequestContext, st *sessionState, c *plan.DeleteFrom) (*types.Schema, *types.Batch, error) {
+func (s *Server) executeDelete(qctx context.Context, ctx catalog.RequestContext, st *session.State, c *plan.DeleteFrom) (*types.Schema, *types.Batch, error) {
 	meta, err := s.cat.ResolveTable(ctx, c.Table)
 	if err != nil {
 		return nil, nil, err
@@ -386,7 +387,7 @@ func (s *Server) executeDelete(qctx context.Context, ctx catalog.RequestContext,
 }
 
 // executeInsert appends a query result or literal rows into a table.
-func (s *Server) executeInsert(qctx context.Context, ctx catalog.RequestContext, st *sessionState, table []string, input plan.Node, rows [][]types.Value) (*types.Schema, *types.Batch, error) {
+func (s *Server) executeInsert(qctx context.Context, ctx catalog.RequestContext, st *session.State, table []string, input plan.Node, rows [][]types.Value) (*types.Schema, *types.Batch, error) {
 	meta, err := s.cat.ResolveTable(ctx, table)
 	if err != nil {
 		return nil, nil, err

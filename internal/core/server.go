@@ -30,6 +30,7 @@ import (
 	"lakeguard/internal/proto"
 	"lakeguard/internal/sandbox"
 	"lakeguard/internal/sentinel"
+	"lakeguard/internal/session"
 	"lakeguard/internal/sql"
 	"lakeguard/internal/telemetry"
 	"lakeguard/internal/types"
@@ -88,13 +89,11 @@ type Config struct {
 	// Metrics, when non-nil, receives query latency histograms, row/error
 	// counters, and (threaded into the supervisor) sandbox fleet metrics.
 	Metrics *telemetry.Registry
-}
-
-// sessionState is the server-side state of one Connect session.
-type sessionState struct {
-	user      string
-	tempViews map[string]plan.Node
-	tempFuncs map[string]analyzer.TempFunc
+	// Sessions is the session store. Nil creates a private store; a
+	// serverless fleet may hand every cluster the same store, making session
+	// state shareable and migration a cluster-local rebind (see
+	// Gateway.Drain).
+	Sessions *session.Store
 }
 
 // Server is one Lakeguard cluster.
@@ -108,8 +107,10 @@ type Server struct {
 
 	met serverMetrics
 
-	mu       sync.Mutex
-	sessions map[string]*sessionState
+	// sessions is the (possibly fleet-shared) session store.
+	sessions *session.Store
+
+	mu sync.Mutex
 	// envEngines are lazily built per Workload Environment.
 	envEngines map[string]*exec.Engine
 	// pinnedUser enforces single-identity semantics on Dedicated clusters
@@ -172,13 +173,16 @@ func NewServer(cfg Config) *Server {
 	if cfg.Optimizer != nil {
 		opts = *cfg.Optimizer
 	}
+	if cfg.Sessions == nil {
+		cfg.Sessions = session.NewStore()
+	}
 	s := &Server{
 		cfg:        cfg,
 		cat:        cfg.Catalog,
 		clusterMgr: mgr,
 		dispatcher: dispatcher,
 		opts:       opts,
-		sessions:   map[string]*sessionState{},
+		sessions:   cfg.Sessions,
 		envEngines: map[string]*exec.Engine{},
 	}
 	s.engine = &exec.Engine{
@@ -236,43 +240,43 @@ func (s *Server) ClusterManager() *cluster.Manager { return s.clusterMgr }
 // Compute returns the server's compute type.
 func (s *Server) Compute() catalog.ComputeType { return s.cfg.Compute }
 
-// ActiveSessions reports how many sessions hold state on this server.
+// ActiveSessions reports how many sessions hold state in this server's
+// session store (fleet-wide when the store is shared).
 func (s *Server) ActiveSessions() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.sessions)
+	return s.sessions.Len()
 }
+
+// SessionStore exposes the server's session store, so a gateway can detect
+// clusters sharing state and migrate sessions by rebinding instead of
+// export/import.
+func (s *Server) SessionStore() *session.Store { return s.sessions }
 
 // session returns (creating if needed) the state for a session, enforcing
 // the compute type's identity rules.
-func (s *Server) session(sessionID, user string) (*sessionState, error) {
+func (s *Server) session(sessionID, user string) (*session.State, error) {
+	return s.sessions.Attach(sessionID, user, s.admitUser)
+}
+
+// admitUser is the compute-type identity gate applied before a new session is
+// created (the session store calls it under its lock, so check-and-create is
+// atomic).
+func (s *Server) admitUser(user string) error {
+	if s.cfg.Compute != catalog.ComputeDedicated {
+		return nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if st, ok := s.sessions[sessionID]; ok {
-		if st.user != user {
-			return nil, fmt.Errorf("core: session %q belongs to %q", sessionID, st.user)
+	switch {
+	case s.cfg.GroupScope != "":
+		if !s.cat.IsGroupMember(user, s.cfg.GroupScope) {
+			return fmt.Errorf("core: user %q is not a member of this dedicated cluster's group %q", user, s.cfg.GroupScope)
 		}
-		return st, nil
+	case s.pinnedUser == "":
+		s.pinnedUser = user
+	case s.pinnedUser != user:
+		return fmt.Errorf("%w (cluster pinned to %q)", ErrDedicatedSharing, s.pinnedUser)
 	}
-	if s.cfg.Compute == catalog.ComputeDedicated {
-		switch {
-		case s.cfg.GroupScope != "":
-			if !s.cat.IsGroupMember(user, s.cfg.GroupScope) {
-				return nil, fmt.Errorf("core: user %q is not a member of this dedicated cluster's group %q", user, s.cfg.GroupScope)
-			}
-		case s.pinnedUser == "":
-			s.pinnedUser = user
-		case s.pinnedUser != user:
-			return nil, fmt.Errorf("%w (cluster pinned to %q)", ErrDedicatedSharing, s.pinnedUser)
-		}
-	}
-	st := &sessionState{
-		user:      user,
-		tempViews: map[string]plan.Node{},
-		tempFuncs: map[string]analyzer.TempFunc{},
-	}
-	s.sessions[sessionID] = st
-	return st, nil
+	return nil
 }
 
 // requestContext builds the catalog context for a session, applying
@@ -298,10 +302,10 @@ func (s *Server) dedicatedGroupScope() string {
 }
 
 // newAnalyzer builds an analyzer bound to a session's temp state.
-func (s *Server) newAnalyzer(ctx catalog.RequestContext, st *sessionState) *analyzer.Analyzer {
+func (s *Server) newAnalyzer(ctx catalog.RequestContext, st *session.State) *analyzer.Analyzer {
 	a := analyzer.New(s.cat, ctx)
-	a.TempViews = st.tempViews
-	a.TempFuncs = st.tempFuncs
+	a.TempViews = st.TempViews
+	a.TempFuncs = st.TempFuncs
 	return a
 }
 
@@ -462,12 +466,12 @@ func (s *Server) execute(qctx context.Context, sessionID, user string, pl *proto
 
 // runQuery analyzes, optimizes, and executes a relation in the default
 // environment.
-func (s *Server) runQuery(qctx context.Context, ctx catalog.RequestContext, st *sessionState, rel plan.Node) (*types.Schema, []*types.Batch, error) {
+func (s *Server) runQuery(qctx context.Context, ctx catalog.RequestContext, st *session.State, rel plan.Node) (*types.Schema, []*types.Batch, error) {
 	return s.runQueryEnv(qctx, ctx, st, rel, "")
 }
 
 // runQueryEnv is runQuery pinned to a Workload Environment.
-func (s *Server) runQueryEnv(qctx context.Context, ctx catalog.RequestContext, st *sessionState, rel plan.Node, env string) (*types.Schema, []*types.Batch, error) {
+func (s *Server) runQueryEnv(qctx context.Context, ctx catalog.RequestContext, st *session.State, rel plan.Node, env string) (*types.Schema, []*types.Batch, error) {
 	return s.runQueryProfiled(qctx, ctx, st, rel, env, nil)
 }
 
@@ -475,7 +479,7 @@ func (s *Server) runQueryEnv(qctx context.Context, ctx catalog.RequestContext, s
 // optimize, verify, execute) runs under its own span, feeds the per-phase
 // latency histograms, and — when prof is non-nil — stamps the EXPLAIN
 // ANALYZE profile.
-func (s *Server) runQueryProfiled(qctx context.Context, ctx catalog.RequestContext, st *sessionState, rel plan.Node, env string, prof *telemetry.Profile) (*types.Schema, []*types.Batch, error) {
+func (s *Server) runQueryProfiled(qctx context.Context, ctx catalog.RequestContext, st *session.State, rel plan.Node, env string, prof *telemetry.Profile) (*types.Schema, []*types.Batch, error) {
 	engine, err := s.engineFor(env)
 	if err != nil {
 		return nil, nil, err
@@ -571,6 +575,7 @@ func (s *Server) executeAnalyze(qctx context.Context, sessionID, user string, pl
 	}
 	ctx := s.requestContext(qctx, sessionID, user)
 	prof := telemetry.NewProfile()
+	prof.QueueWaitNanos = int64(telemetry.QueueWaitFrom(qctx))
 	start := time.Now()
 	schema, batches, err := s.runQueryProfiled(qctx, ctx, st, pl.Relation, pl.WorkloadEnv, prof)
 	prof.TotalNanos = int64(time.Since(start))
@@ -632,10 +637,20 @@ func (s *Server) AnalyzeVerified(sessionID, user string, rel plan.Node) (*types.
 	return resolved.Schema(), sentinel.ExplainVerified(optimized, report), nil
 }
 
-// CloseSession implements connect.Backend.
+// CloseSession implements connect.Backend: the session's state is removed
+// from the store and its cluster-local resources are released.
 func (s *Server) CloseSession(sessionID string) {
+	s.sessions.Remove(sessionID)
+	s.DetachSession(sessionID)
+}
+
+// DetachSession releases the cluster-local resources of a session — warm
+// sandboxes in every engine's dispatcher — without touching the session
+// store. A gateway migrating a session between clusters that share a store
+// detaches it from the old cluster instead of closing it, so the state the
+// new cluster already sees is never destroyed.
+func (s *Server) DetachSession(sessionID string) {
 	s.mu.Lock()
-	delete(s.sessions, sessionID)
 	envs := make([]*exec.Engine, 0, len(s.envEngines))
 	for _, e := range s.envEngines {
 		envs = append(envs, e)
@@ -650,57 +665,24 @@ func (s *Server) CloseSession(sessionID string) {
 // ExportSession snapshots a session's replayable state for migration to
 // another backend (paper §6.2: seamless session migration).
 func (s *Server) ExportSession(sessionID string) (*SessionSnapshot, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.sessions[sessionID]
-	if !ok {
-		return nil, false
-	}
-	snap := &SessionSnapshot{User: st.user}
-	for name, node := range st.tempViews {
-		snap.TempViews = append(snap.TempViews, TempViewSnapshot{Name: name, Plan: node})
-	}
-	for name, fn := range st.tempFuncs {
-		snap.TempFuncs = append(snap.TempFuncs, TempFuncSnapshot{Name: name, Func: fn})
-	}
-	return snap, true
+	return s.sessions.Export(sessionID)
 }
 
-// ImportSession installs a migrated session's state.
+// ImportSession installs a migrated session's state, subject to the same
+// compute-type identity rules as a fresh attach.
 func (s *Server) ImportSession(sessionID string, snap *SessionSnapshot) error {
-	st, err := s.session(sessionID, snap.User)
-	if err != nil {
-		return err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, tv := range snap.TempViews {
-		st.tempViews[tv.Name] = tv.Plan
-	}
-	for _, tf := range snap.TempFuncs {
-		st.tempFuncs[tf.Name] = tf.Func
-	}
-	return nil
+	return s.sessions.Import(sessionID, snap, s.admitUser)
 }
 
-// SessionSnapshot is the replayable state of one session.
-type SessionSnapshot struct {
-	User      string
-	TempViews []TempViewSnapshot
-	TempFuncs []TempFuncSnapshot
-}
+// SessionSnapshot is the replayable state of one session (see
+// session.Snapshot).
+type SessionSnapshot = session.Snapshot
 
 // TempViewSnapshot is one temp view's definition.
-type TempViewSnapshot struct {
-	Name string
-	Plan plan.Node
-}
+type TempViewSnapshot = session.TempViewSnapshot
 
 // TempFuncSnapshot is one ephemeral UDF's definition.
-type TempFuncSnapshot struct {
-	Name string
-	Func analyzer.TempFunc
-}
+type TempFuncSnapshot = session.TempFuncSnapshot
 
 var _ connect.Backend = (*Server)(nil)
 var _ connect.VerifiedExplainer = (*Server)(nil)

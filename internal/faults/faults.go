@@ -35,6 +35,8 @@ const (
 	SiteSandboxColdStart = "sandbox.coldstart"
 	SiteClusterProvision = "cluster.provision"
 	SiteEFGACRemote      = "efgac.remote"
+	SiteGatewayRoute     = "gateway.route"
+	SiteAdmissionEnqueue = "admission.enqueue"
 )
 
 // Kind classifies what an injected fault does at its site.

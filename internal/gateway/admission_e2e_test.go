@@ -1,0 +1,93 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"lakeguard/internal/admission"
+	"lakeguard/internal/audit"
+	"lakeguard/internal/catalog"
+	"lakeguard/internal/connect"
+	"lakeguard/internal/core"
+	"lakeguard/internal/storage"
+	"lakeguard/internal/telemetry"
+)
+
+// A shed request is rejected at the Connect front door: it never reaches the
+// core engine, so queries.total and queries.errors on the fleet's shared
+// metrics registry do not move, no session is provisioned for it, and the
+// shed is audited exactly once.
+func TestShedNeverReachesCore(t *testing.T) {
+	cat := catalog.New(storage.NewStore(), nil)
+	cat.AddAdmin(admin)
+	met := telemetry.NewRegistry()
+	aud := audit.NewLog()
+	g := New(Config{
+		Provision: func(name string) *core.Server {
+			return core.NewServer(core.Config{
+				Name: name, Catalog: cat, Compute: catalog.ComputeServerless,
+				Metrics: met,
+			})
+		},
+		MaxSessionsPerCluster: 8,
+		Metrics:               met,
+	})
+	ctrl := admission.NewController(admission.Config{MaxConcurrent: 1, Metrics: met})
+	svc := connect.NewService(g, connect.TokenMap{"tok": admin})
+	svc.SetAdmission(ctrl)
+	svc.SetAudit(aud)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+
+	// One successful query provisions the fleet and moves queries.total.
+	c := connect.Dial(ts.URL, "tok")
+	if _, err := c.Sql("SELECT 1").Collect(); err != nil {
+		t.Fatal(err)
+	}
+	baseTotal := met.Counter("queries.total").Value()
+	baseSessions := g.FleetStats().Sessions
+
+	// Saturate the only slot, then send a request whose 1ms budget cannot
+	// survive the ~10ms predicted wait.
+	busy, err := ctrl.Acquire(context.Background(), "occupier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shedC := connect.Dial(ts.URL, "tok")
+	shedC.SetTimeout(time.Millisecond)
+	shedC.SetMaxRetries(0)
+	_, err = shedC.Sql("SELECT 1").Collect()
+	var oe *connect.OverloadedError
+	if !errors.As(err, &oe) {
+		t.Fatalf("err = %v, want *connect.OverloadedError", err)
+	}
+	busy.Release()
+
+	if v := met.Counter("queries.errors").Value(); v != 0 {
+		t.Errorf("queries.errors = %d, want 0 (shed is not a query error)", v)
+	}
+	if v := met.Counter("queries.total").Value(); v != baseTotal {
+		t.Errorf("queries.total moved %d -> %d on a shed request", baseTotal, v)
+	}
+	if got := g.FleetStats().Sessions; got != baseSessions {
+		t.Errorf("sessions = %d, want %d (shed must not provision)", got, baseSessions)
+	}
+	if n := aud.Count(func(e audit.Event) bool { return e.Action == "ADMISSION_SHED" }); n != 1 {
+		t.Errorf("ADMISSION_SHED audit count = %d, want exactly 1", n)
+	}
+	if v := met.Counter("admission.shed").Value(); v != 1 {
+		t.Errorf("admission.shed = %d, want 1", v)
+	}
+
+	// The shed client recovers once it stops asking for the impossible.
+	shedC.SetTimeout(0)
+	if _, err := shedC.Sql("SELECT 1").Collect(); err != nil {
+		t.Fatalf("post-shed query: %v", err)
+	}
+	if v := met.Counter("queries.errors").Value(); v != 0 {
+		t.Errorf("queries.errors = %d after recovery, want 0", v)
+	}
+}

@@ -1,0 +1,181 @@
+package gateway
+
+import (
+	"lakeguard/internal/telemetry"
+)
+
+// LoadSignals is the admission-side load feed the autoscaler reads each
+// tick. *admission.Controller implements it; tests use fakes.
+type LoadSignals interface {
+	// QueueDepth is the number of requests currently waiting for admission.
+	QueueDepth() int
+	// Sheds is the monotonic count of shed requests.
+	Sheds() int64
+}
+
+// AutoscaleConfig tunes the fleet autoscaler.
+type AutoscaleConfig struct {
+	// Signals feeds queue depth and shed counts (required for queue/shed
+	// triggers; nil limits the autoscaler to per-cluster-load triggers).
+	Signals LoadSignals
+	// GrowQueueDepth triggers growth when admission queue depth is at least
+	// this (default 8).
+	GrowQueueDepth int
+	// GrowLoadFraction triggers growth when fleet session load exceeds this
+	// fraction of total capacity (default 0.9).
+	GrowLoadFraction float64
+	// ShrinkLoadFraction allows shrink when fleet session load is below this
+	// fraction of the capacity the fleet would have after shrinking
+	// (default 0.5).
+	ShrinkLoadFraction float64
+	// UpAfter is how many consecutive overloaded ticks precede a grow
+	// (default 2) — hysteresis against transient spikes.
+	UpAfter int
+	// DownAfter is how many consecutive underloaded ticks precede a shrink
+	// (default 6) — scale-in is deliberately slower than scale-out.
+	DownAfter int
+	// Cooldown is how many ticks after any scaling action both streaks are
+	// ignored (default 3), so the fleet observes the effect of one action
+	// before taking another.
+	Cooldown int
+	// MinClusters floors the fleet (default 1).
+	MinClusters int
+	// Metrics, when non-nil, exports autoscale.grows / autoscale.shrinks.
+	Metrics *telemetry.Registry
+}
+
+// Decision is one Tick's outcome.
+type Decision struct {
+	Action string // "hold", "grow", or "shrink"
+	// Cluster is the cluster added or removed ("" on hold).
+	Cluster string
+	// Moved is how many sessions migrated as part of the action.
+	Moved int
+	// Reason explains the trigger ("queue-depth", "sheds", "load", "idle",
+	// "streak", "cooldown").
+	Reason string
+}
+
+// Autoscaler grows and shrinks a Gateway fleet off admission-layer load
+// signals with hysteresis: growth needs UpAfter consecutive overloaded
+// ticks, shrink needs DownAfter consecutive underloaded ticks, and every
+// action is followed by a cooldown during which the fleet only observes.
+// Drive it by calling Tick on a timer (the server does) or directly (tests,
+// benches). Not safe for concurrent Ticks.
+type Autoscaler struct {
+	cfg AutoscaleConfig
+	g   *Gateway
+
+	upStreak   int
+	downStreak int
+	cooldown   int
+	lastSheds  int64
+
+	cGrows   *telemetry.Counter
+	cShrinks *telemetry.Counter
+}
+
+// NewAutoscaler builds an autoscaler for g, applying config defaults.
+func NewAutoscaler(g *Gateway, cfg AutoscaleConfig) *Autoscaler {
+	if cfg.GrowQueueDepth <= 0 {
+		cfg.GrowQueueDepth = 8
+	}
+	if cfg.GrowLoadFraction <= 0 {
+		cfg.GrowLoadFraction = 0.9
+	}
+	if cfg.ShrinkLoadFraction <= 0 {
+		cfg.ShrinkLoadFraction = 0.5
+	}
+	if cfg.UpAfter <= 0 {
+		cfg.UpAfter = 2
+	}
+	if cfg.DownAfter <= 0 {
+		cfg.DownAfter = 6
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 3
+	}
+	if cfg.MinClusters <= 0 {
+		cfg.MinClusters = 1
+	}
+	return &Autoscaler{
+		cfg:      cfg,
+		g:        g,
+		cGrows:   cfg.Metrics.Counter("autoscale.grows"),
+		cShrinks: cfg.Metrics.Counter("autoscale.shrinks"),
+	}
+}
+
+// Tick observes the load signals once and possibly scales the fleet.
+func (a *Autoscaler) Tick() Decision {
+	st := a.g.FleetStats()
+	capacity := st.Clusters * a.g.cfg.MaxSessionsPerCluster
+	load := float64(st.Sessions) / float64(capacity)
+
+	overloaded, growReason := false, ""
+	if a.cfg.Signals != nil {
+		if depth := a.cfg.Signals.QueueDepth(); depth >= a.cfg.GrowQueueDepth {
+			overloaded, growReason = true, "queue-depth"
+		}
+		sheds := a.cfg.Signals.Sheds()
+		if sheds > a.lastSheds {
+			overloaded, growReason = true, "sheds"
+		}
+		a.lastSheds = sheds
+	}
+	if !overloaded && load >= a.cfg.GrowLoadFraction {
+		overloaded, growReason = true, "load"
+	}
+
+	// Underloaded if, after removing one cluster, the remaining capacity
+	// would still keep load below the shrink watermark.
+	underloaded := false
+	if st.Clusters > a.cfg.MinClusters && !overloaded {
+		shrunkCap := (st.Clusters - 1) * a.g.cfg.MaxSessionsPerCluster
+		if shrunkCap > 0 && float64(st.Sessions)/float64(shrunkCap) < a.cfg.ShrinkLoadFraction {
+			underloaded = true
+		}
+	}
+
+	if a.cooldown > 0 {
+		a.cooldown--
+		a.upStreak, a.downStreak = 0, 0
+		return Decision{Action: "hold", Reason: "cooldown"}
+	}
+
+	if overloaded {
+		a.downStreak = 0
+		a.upStreak++
+		if a.upStreak >= a.cfg.UpAfter {
+			name, moved, err := a.g.Grow()
+			if err != nil {
+				a.upStreak = 0
+				return Decision{Action: "hold", Reason: "streak"}
+			}
+			a.upStreak = 0
+			a.cooldown = a.cfg.Cooldown
+			a.cGrows.Inc()
+			return Decision{Action: "grow", Cluster: name, Moved: moved, Reason: growReason}
+		}
+		return Decision{Action: "hold", Reason: "streak"}
+	}
+
+	if underloaded {
+		a.upStreak = 0
+		a.downStreak++
+		if a.downStreak >= a.cfg.DownAfter {
+			name, moved, err := a.g.ShrinkOne()
+			a.downStreak = 0
+			if err != nil || name == "" {
+				return Decision{Action: "hold", Reason: "streak"}
+			}
+			a.cooldown = a.cfg.Cooldown
+			a.cShrinks.Inc()
+			return Decision{Action: "shrink", Cluster: name, Moved: moved, Reason: "idle"}
+		}
+		return Decision{Action: "hold", Reason: "streak"}
+	}
+
+	a.upStreak, a.downStreak = 0, 0
+	return Decision{Action: "hold", Reason: ""}
+}

@@ -1,0 +1,106 @@
+package gateway
+
+import (
+	"testing"
+
+	"lakeguard/internal/connect"
+)
+
+type fakeSignals struct {
+	depth int
+	sheds int64
+}
+
+func (f *fakeSignals) QueueDepth() int { return f.depth }
+func (f *fakeSignals) Sheds() int64    { return f.sheds }
+
+func TestAutoscalerHysteresis(t *testing.T) {
+	g, _, ts := newFleet(t, 4, 0)
+	c := connect.Dial(ts.URL, "tok")
+	if _, err := c.Sql("SELECT 1").Collect(); err != nil {
+		t.Fatal(err)
+	}
+
+	sig := &fakeSignals{}
+	a := NewAutoscaler(g, AutoscaleConfig{
+		Signals:        sig,
+		GrowQueueDepth: 4,
+		UpAfter:        2,
+		DownAfter:      3,
+		Cooldown:       2,
+	})
+
+	// One overloaded tick is not enough (hysteresis).
+	sig.depth = 10
+	if d := a.Tick(); d.Action != "hold" {
+		t.Fatalf("tick 1 = %+v, want hold (streak)", d)
+	}
+	// Second consecutive overloaded tick grows the fleet.
+	d := a.Tick()
+	if d.Action != "grow" || d.Reason != "queue-depth" {
+		t.Fatalf("tick 2 = %+v, want grow(queue-depth)", d)
+	}
+	if g.FleetStats().Clusters != 2 {
+		t.Fatalf("clusters = %d, want 2", g.FleetStats().Clusters)
+	}
+
+	// Cooldown: even sustained overload cannot grow again immediately.
+	for i := 0; i < 2; i++ {
+		if d := a.Tick(); d.Action != "hold" || d.Reason != "cooldown" {
+			t.Fatalf("cooldown tick %d = %+v", i, d)
+		}
+	}
+
+	// Load subsides: shrink only after DownAfter consecutive idle ticks.
+	sig.depth = 0
+	for i := 0; i < 2; i++ {
+		if d := a.Tick(); d.Action != "hold" {
+			t.Fatalf("idle tick %d = %+v, want hold", i, d)
+		}
+	}
+	d = a.Tick()
+	if d.Action != "shrink" {
+		t.Fatalf("idle tick 3 = %+v, want shrink", d)
+	}
+	if got := g.FleetStats().Clusters; got != 1 {
+		t.Fatalf("clusters after shrink = %d, want 1", got)
+	}
+	// The surviving session kept working through scale-in.
+	if _, err := c.Sql("SELECT 1").Collect(); err != nil {
+		t.Fatalf("query after shrink: %v", err)
+	}
+}
+
+func TestAutoscalerShedSignalTriggersGrowth(t *testing.T) {
+	g, _, ts := newFleet(t, 4, 0)
+	cl := connect.Dial(ts.URL, "tok")
+	if _, err := cl.Sql("SELECT 1").Collect(); err != nil {
+		t.Fatal(err)
+	}
+	sig := &fakeSignals{}
+	a := NewAutoscaler(g, AutoscaleConfig{Signals: sig, UpAfter: 1, Cooldown: 1})
+
+	// A rising shed count alone (queue empty) marks the fleet overloaded.
+	sig.sheds = 5
+	if d := a.Tick(); d.Action != "grow" || d.Reason != "sheds" {
+		t.Fatalf("tick = %+v, want grow(sheds)", d)
+	}
+	// Flat shed count does not re-trigger after cooldown.
+	a.Tick() // cooldown
+	if d := a.Tick(); d.Action == "grow" {
+		t.Fatalf("flat shed count grew the fleet: %+v", d)
+	}
+}
+
+func TestAutoscalerRespectsMinClusters(t *testing.T) {
+	g, _, _ := newFleet(t, 4, 0)
+	a := NewAutoscaler(g, AutoscaleConfig{Signals: &fakeSignals{}, DownAfter: 1})
+	for i := 0; i < 5; i++ {
+		if d := a.Tick(); d.Action == "shrink" {
+			t.Fatalf("shrank a single-cluster fleet: %+v", d)
+		}
+	}
+	if g.FleetStats().Clusters != 1 {
+		t.Fatalf("clusters = %d, want 1", g.FleetStats().Clusters)
+	}
+}

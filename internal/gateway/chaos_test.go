@@ -1,0 +1,277 @@
+package gateway
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"lakeguard/internal/catalog"
+	"lakeguard/internal/connect"
+	"lakeguard/internal/core"
+	"lakeguard/internal/faults"
+	"lakeguard/internal/sandbox"
+	"lakeguard/internal/session"
+	"lakeguard/internal/storage"
+	"lakeguard/internal/types"
+)
+
+// seedSales creates and populates the demo table chaos queries run over.
+func seedSales(t *testing.T, c *connect.Client) {
+	t.Helper()
+	for _, stmt := range []string{
+		"CREATE TABLE sales (amount DOUBLE, seller STRING)",
+		"INSERT INTO sales VALUES (100, 'ann'), (200, 'ben'), (50, 'ann'), (75, 'cat'), (300, 'ben'), (25, 'dan')",
+	} {
+		if _, err := c.ExecSQL(stmt); err != nil {
+			t.Fatalf("%s: %v", stmt, err)
+		}
+	}
+}
+
+// TestDrainRespectsClusterCap is the regression test for drain re-routing:
+// with the rest of the fleet already at MaxSessionsPerCluster, draining a
+// cluster must spread its sessions by provisioning, never pile them onto the
+// first non-drained cluster past the cap.
+func TestDrainRespectsClusterCap(t *testing.T) {
+	g, _, ts := newFleet(t, 2, 0)
+	for i := 0; i < 6; i++ {
+		c := connect.Dial(ts.URL, "tok")
+		if _, err := c.Sql("SELECT 1 AS one").Collect(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := g.FleetStats()
+	if before.Clusters != 3 || before.Sessions != 6 {
+		t.Fatalf("setup fleet = %+v", before)
+	}
+	migrated, err := g.Drain(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if migrated != 2 {
+		t.Fatalf("migrated = %d, want 2", migrated)
+	}
+	after := g.FleetStats()
+	if after.Sessions != 6 {
+		t.Fatalf("lost sessions: %+v", after)
+	}
+	for name, n := range after.PerCluster {
+		if n > 2 {
+			t.Errorf("cluster %s holds %d sessions, cap is 2 (drain ignored the cap)", name, n)
+		}
+	}
+}
+
+// TestGrowRebalancesIncrementally checks the consistent-hashing contract at
+// the fleet level: growing the fleet moves only sessions whose ring owner is
+// the new cluster, and every moved session keeps its state.
+func TestGrowRebalancesIncrementally(t *testing.T) {
+	g, _, ts := newFleet(t, 64, 0)
+	clients := make([]*connect.Client, 12)
+	for i := range clients {
+		clients[i] = connect.Dial(ts.URL, "tok")
+		if err := clients[i].Sql(fmt.Sprintf("SELECT %d AS mine", i)).CreateTempView("mine"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := g.FleetStats()
+	if before.Clusters != 1 {
+		t.Fatalf("want single cluster before grow, got %+v", before)
+	}
+	name, moved, err := g.Grow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name == "" {
+		t.Fatal("no cluster added")
+	}
+	after := g.FleetStats()
+	if after.Sessions != 12 {
+		t.Fatalf("lost sessions: %+v", after)
+	}
+	if moved == 0 || moved == 12 {
+		t.Fatalf("moved %d of 12 sessions; incremental rebalance should move ~half here", moved)
+	}
+	if after.Rebalances != int64(moved) {
+		t.Fatalf("Rebalances = %d, want %d", after.Rebalances, moved)
+	}
+	// No client-visible state loss: every session still sees its temp view
+	// with its original value.
+	for i, c := range clients {
+		b, err := c.Table("mine").Collect()
+		if err != nil {
+			t.Fatalf("client %d lost state after rebalance: %v", i, err)
+		}
+		if b.NumRows() != 1 || b.Cols[0].Int64(0) != int64(i) {
+			t.Fatalf("client %d sees wrong state after rebalance:\n%s", i, b.String())
+		}
+	}
+}
+
+func TestRouteFaultSite(t *testing.T) {
+	cat := catalog.New(storage.NewStore(), nil)
+	cat.AddAdmin(admin)
+	inj := faults.New(1).Add(faults.Rule{Site: faults.SiteGatewayRoute, Kind: faults.KindError, Times: 1})
+	g := New(Config{
+		Provision: func(name string) *core.Server {
+			return core.NewServer(core.Config{Name: name, Catalog: cat, Compute: catalog.ComputeServerless})
+		},
+		Faults: inj,
+	})
+	ts := httptest.NewServer(connect.NewService(g, connect.TokenMap{"tok": admin}).Handler())
+	defer ts.Close()
+
+	c := connect.Dial(ts.URL, "tok")
+	if _, err := c.Sql("SELECT 1").Collect(); err == nil {
+		t.Fatal("expected injected routing error")
+	}
+	if inj.Fired(faults.SiteGatewayRoute) != 1 {
+		t.Fatalf("route fault fired %d times, want 1", inj.Fired(faults.SiteGatewayRoute))
+	}
+	// The fault was transient: the same client works on the next attempt.
+	if _, err := c.Sql("SELECT 1").Collect(); err != nil {
+		t.Fatalf("post-fault query: %v", err)
+	}
+}
+
+// TestAutoDrainCrashedCluster extends TestDrainMigratesSessions into the
+// chaos suite: a cluster whose sandboxes crash-loop trips its circuit
+// breaker, the health sweep auto-drains it, and every session resumes on a
+// healthy cluster with no client-visible state loss — byte-identical query
+// results at parallelism 1, 2, and 8.
+func TestAutoDrainCrashedCluster(t *testing.T) {
+	var baseline string
+	for _, parallelism := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("parallelism-%d", parallelism), func(t *testing.T) {
+			cat := catalog.New(storage.NewStore(), nil)
+			cat.AddAdmin(admin)
+			// Only the first cluster is faulty: its interpreter crashes every
+			// crossing, tripping the breaker immediately (threshold 1).
+			injectors := map[string]*faults.Injector{
+				"serverless-0": faults.New(1).Add(faults.Rule{Site: faults.SiteSandboxInterpret, Kind: faults.KindCrash}),
+			}
+			g := New(Config{
+				Provision: func(name string) *core.Server {
+					return core.NewServer(core.Config{
+						Name: name, Catalog: cat, Compute: catalog.ComputeServerless,
+						Parallelism: parallelism,
+						Faults:      injectors[name],
+						Supervisor:  sandbox.SupervisorConfig{CircuitThreshold: 1, CircuitCooldown: time.Hour},
+					})
+				},
+				MaxSessionsPerCluster: 4,
+			})
+			ts := httptest.NewServer(connect.NewService(g, connect.TokenMap{"tok": admin}).Handler())
+			defer ts.Close()
+
+			c := connect.Dial(ts.URL, "tok")
+			seedSales(t, c)
+			if err := c.RegisterFunction("wobbly",
+				[]types.Field{{Name: "usd", Kind: types.KindFloat64}},
+				types.KindFloat64, "return usd * 2"); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Sql("SELECT amount FROM sales").CreateTempView("mine"); err != nil {
+				t.Fatal(err)
+			}
+
+			const query = "SELECT wobbly(amount) AS w FROM sales"
+			if _, err := c.Sql(query).Collect(); err == nil {
+				t.Fatal("expected sandbox crash on the faulty cluster")
+			}
+
+			drained, err := g.CheckHealth()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if drained != 1 {
+				t.Fatalf("auto-drained %d clusters, want 1", drained)
+			}
+			st := g.FleetStats()
+			if st.Sessions != 1 {
+				t.Fatalf("lost sessions: %+v", st)
+			}
+			if st.AutoDrains != 1 {
+				t.Fatalf("AutoDrains = %d, want 1", st.AutoDrains)
+			}
+			if _, ok := st.PerCluster["serverless-0"]; ok {
+				t.Fatal("crashed cluster still in fleet")
+			}
+
+			// The session resumed on a healthy cluster: the ephemeral UDF and
+			// temp view both survived, and the query now succeeds.
+			b, err := c.Sql(query).Collect()
+			if err != nil {
+				t.Fatalf("query after auto-drain: %v", err)
+			}
+			if b.NumRows() != 6 {
+				t.Fatalf("rows = %d, want 6:\n%s", b.NumRows(), b.String())
+			}
+			if _, err := c.Table("mine").Collect(); err != nil {
+				t.Fatalf("temp view lost in migration: %v", err)
+			}
+			// Byte-identical across parallelism levels.
+			if baseline == "" {
+				baseline = b.String()
+			} else if b.String() != baseline {
+				t.Fatalf("results differ at parallelism %d:\n%s\nvs baseline:\n%s", parallelism, b.String(), baseline)
+			}
+		})
+	}
+}
+
+// TestSharedStoreDrainDetaches: when every cluster shares one session store,
+// draining migrates sessions by rebinding cluster-local resources — state
+// never moves, and it survives verbatim.
+func TestSharedStoreDrainDetaches(t *testing.T) {
+	cat := catalog.New(storage.NewStore(), nil)
+	cat.AddAdmin(admin)
+	shared := session.NewStore()
+	g := New(Config{
+		Provision: func(name string) *core.Server {
+			return core.NewServer(core.Config{
+				Name: name, Catalog: cat, Compute: catalog.ComputeServerless, Sessions: shared,
+			})
+		},
+		MaxSessionsPerCluster: 1,
+	})
+	ts := httptest.NewServer(connect.NewService(g, connect.TokenMap{"tok": admin}).Handler())
+	defer ts.Close()
+
+	c1 := connect.Dial(ts.URL, "tok")
+	if err := c1.Sql("SELECT 41 AS a").CreateTempView("v1"); err != nil {
+		t.Fatal(err)
+	}
+	c2 := connect.Dial(ts.URL, "tok")
+	if err := c2.Sql("SELECT 42 AS a").CreateTempView("v2"); err != nil {
+		t.Fatal(err)
+	}
+	if g.FleetStats().Clusters != 2 {
+		t.Fatalf("fleet = %+v", g.FleetStats())
+	}
+	migrated, err := g.Drain(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if migrated != 1 {
+		t.Fatalf("migrated = %d, want 1", migrated)
+	}
+	for i, pair := range []struct {
+		c    *connect.Client
+		view string
+		want int64
+	}{{c1, "v1", 41}, {c2, "v2", 42}} {
+		b, err := pair.c.Table(pair.view).Collect()
+		if err != nil {
+			t.Fatalf("client %d lost state: %v", i, err)
+		}
+		if b.Cols[0].Int64(0) != pair.want {
+			t.Fatalf("client %d sees %d, want %d", i, b.Cols[0].Int64(0), pair.want)
+		}
+	}
+	// One shared store, two sessions — nothing was copied or dropped.
+	if shared.Len() != 2 {
+		t.Fatalf("shared store sessions = %d, want 2", shared.Len())
+	}
+}

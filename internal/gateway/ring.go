@@ -1,0 +1,104 @@
+package gateway
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ringVnodes is the virtual-node count per cluster. More vnodes smooth the
+// key distribution; 128 keeps lookup O(log(128·clusters)) while bounding the
+// per-cluster share spread to a few percent at realistic fleet sizes.
+const ringVnodes = 128
+
+// ring is a consistent-hash ring over cluster names with virtual nodes.
+// Lookup walks clockwise from the key's hash; the bounded-load variant skips
+// members the caller reports as full, so a hot cluster sheds new keys to its
+// clockwise successors instead of melting. Not safe for concurrent use — the
+// gateway guards it with its own mutex.
+type ring struct {
+	hashes  []uint64          // sorted vnode positions
+	members map[uint64]string // vnode position -> cluster name
+}
+
+func newRing() *ring {
+	return &ring{members: map[uint64]string{}}
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	// FNV alone clusters on short, similar keys (vnode labels differ only in
+	// a suffix digit); a splitmix64 finalizer spreads the low-entropy bits
+	// across the whole word.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add inserts a member's virtual nodes. Adding an existing member is a no-op.
+func (r *ring) Add(name string) {
+	for i := 0; i < ringVnodes; i++ {
+		pos := ringHash(name + "#" + strconv.Itoa(i))
+		if _, ok := r.members[pos]; ok {
+			continue
+		}
+		r.members[pos] = name
+		r.hashes = append(r.hashes, pos)
+	}
+	sort.Slice(r.hashes, func(i, j int) bool { return r.hashes[i] < r.hashes[j] })
+}
+
+// Remove deletes a member's virtual nodes.
+func (r *ring) Remove(name string) {
+	kept := r.hashes[:0]
+	for _, pos := range r.hashes {
+		if r.members[pos] == name {
+			delete(r.members, pos)
+			continue
+		}
+		kept = append(kept, pos)
+	}
+	r.hashes = kept
+}
+
+// Len returns the number of distinct members (by vnode count).
+func (r *ring) Len() int {
+	return len(r.hashes) / ringVnodes
+}
+
+// Owner returns the key's unconstrained ring owner ("" when empty). This is
+// the member a key homes to when nothing is full — the rebalancer migrates a
+// session only when its Owner changed.
+func (r *ring) Owner(key string) string {
+	name, _ := r.Lookup(key, nil)
+	return name
+}
+
+// Lookup returns the first member clockwise from the key's hash for which
+// full returns false (nil full accepts every member). The second result is
+// false when the ring is empty or every member is full.
+func (r *ring) Lookup(key string, full func(name string) bool) (string, bool) {
+	if len(r.hashes) == 0 {
+		return "", false
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	seen := map[string]bool{}
+	for i := 0; i < len(r.hashes); i++ {
+		pos := r.hashes[(start+i)%len(r.hashes)]
+		name := r.members[pos]
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		if full == nil || !full(name) {
+			return name, true
+		}
+	}
+	return "", false
+}

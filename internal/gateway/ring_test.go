@@ -1,0 +1,89 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDistribution(t *testing.T) {
+	r := newRing()
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("c%d", i))
+	}
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		name, ok := r.Lookup(fmt.Sprintf("session-%d", i), nil)
+		if !ok {
+			t.Fatal("lookup failed on non-empty ring")
+		}
+		counts[name]++
+	}
+	for name, n := range counts {
+		frac := float64(n) / keys
+		if frac < 0.10 || frac > 0.45 {
+			t.Errorf("member %s owns %.1f%% of keys (want roughly balanced)", name, 100*frac)
+		}
+	}
+}
+
+// TestRingMinimalDisruption is the consistent-hashing property: adding one
+// member to an N-member ring reassigns roughly 1/(N+1) of keys and never
+// moves a key between two pre-existing members.
+func TestRingMinimalDisruption(t *testing.T) {
+	r := newRing()
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("c%d", i))
+	}
+	const keys = 2000
+	before := map[string]string{}
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("session-%d", i)
+		before[k], _ = r.Lookup(k, nil)
+	}
+	r.Add("c4")
+	moved := 0
+	for k, owner := range before {
+		now, _ := r.Lookup(k, nil)
+		if now == owner {
+			continue
+		}
+		if now != "c4" {
+			t.Fatalf("key %s moved between pre-existing members %s -> %s", k, owner, now)
+		}
+		moved++
+	}
+	frac := float64(moved) / keys
+	if frac < 0.05 || frac > 0.40 {
+		t.Errorf("adding 5th member moved %.1f%% of keys (want ~20%%)", 100*frac)
+	}
+}
+
+func TestRingBoundedLoadSkipsFullMembers(t *testing.T) {
+	r := newRing()
+	r.Add("a")
+	r.Add("b")
+	name, ok := r.Lookup("some-key", func(n string) bool { return n == "a" })
+	if !ok || name != "b" {
+		t.Fatalf("lookup = %q,%v; want b (a is full)", name, ok)
+	}
+	if _, ok := r.Lookup("some-key", func(string) bool { return true }); ok {
+		t.Fatal("lookup succeeded with every member full")
+	}
+}
+
+func TestRingRemove(t *testing.T) {
+	r := newRing()
+	r.Add("a")
+	r.Add("b")
+	r.Remove("a")
+	if r.Len() != 1 {
+		t.Fatalf("len = %d, want 1", r.Len())
+	}
+	for i := 0; i < 100; i++ {
+		name, ok := r.Lookup(fmt.Sprintf("k%d", i), nil)
+		if !ok || name != "b" {
+			t.Fatalf("key k%d -> %q,%v after removing a", i, name, ok)
+		}
+	}
+}

@@ -98,7 +98,7 @@ var ctxExempt = map[string]map[string]bool{
 	},
 	"Server": {
 		"Catalog": true, "Dispatcher": true, "ClusterManager": true,
-		"Compute": true, "ActiveSessions": true,
+		"Compute": true, "ActiveSessions": true, "SessionStore": true,
 	},
 }
 

@@ -391,6 +391,21 @@ func (d *Dispatcher) audit(e audit.Event) {
 	d.sup.Audit.Record(e)
 }
 
+// OpenBreakers counts trust domains whose circuit breaker is currently open.
+// A non-zero count marks the cluster unhealthy: the gateway's health sweep
+// auto-drains clusters whose dispatcher reports open breakers.
+func (d *Dispatcher) OpenBreakers() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, b := range d.breakers {
+		if b.open {
+			n++
+		}
+	}
+	return n
+}
+
 // BreakerState reports a trust domain's crash streak and whether its breaker
 // is open (diagnostics).
 func (d *Dispatcher) BreakerState(trustDomain string) (consecutive int, open bool) {

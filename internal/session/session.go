@@ -1,0 +1,151 @@
+// Package session is the shareable session store behind the Lakeguard
+// servers: the replayable server-side state of every Connect session (temp
+// views, ephemeral UDFs, owning user) keyed by session ID. A store may be
+// private to one cluster (the default) or shared by a whole serverless fleet,
+// in which case session migration between clusters degenerates to rebinding
+// cluster-local resources — the state itself never moves.
+//
+// The store owns only the admission bookkeeping (which user a session belongs
+// to); compute-type identity rules (dedicated-cluster pinning, group scoping)
+// stay with the server, which supplies them as an admit callback.
+package session
+
+import (
+	"fmt"
+	"sync"
+
+	"lakeguard/internal/analyzer"
+	"lakeguard/internal/plan"
+)
+
+// State is one Connect session's replayable server-side state. The maps are
+// handed by reference to the analyzer; like the per-server maps this package
+// replaced, they are mutated only by that session's own (serialized) commands.
+type State struct {
+	User      string
+	TempViews map[string]plan.Node
+	TempFuncs map[string]analyzer.TempFunc
+}
+
+// Snapshot is the portable form of one session's state, used to migrate a
+// session between backends that do not share a store (paper §6.2: seamless
+// session migration).
+type Snapshot struct {
+	User      string
+	TempViews []TempViewSnapshot
+	TempFuncs []TempFuncSnapshot
+}
+
+// TempViewSnapshot is one temp view's definition.
+type TempViewSnapshot struct {
+	Name string
+	Plan plan.Node
+}
+
+// TempFuncSnapshot is one ephemeral UDF's definition.
+type TempFuncSnapshot struct {
+	Name string
+	Func analyzer.TempFunc
+}
+
+// Store maps session IDs to their state. All methods are safe for concurrent
+// use; the admit callback passed to Attach/Import runs under the store lock,
+// so identity checks and session creation are atomic even when the store is
+// shared across clusters.
+type Store struct {
+	mu       sync.Mutex
+	sessions map[string]*State
+}
+
+// NewStore creates an empty session store.
+func NewStore() *Store {
+	return &Store{sessions: map[string]*State{}}
+}
+
+// Attach returns the session's state, creating it if needed. An existing
+// session must belong to user; a new one is admitted by the callback first
+// (nil admit accepts everyone), so a server can enforce dedicated-cluster
+// pinning or group membership before any state exists.
+func (s *Store) Attach(id, user string, admit func(user string) error) (*State, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.sessions[id]; ok {
+		if st.User != user {
+			return nil, fmt.Errorf("session: session %q belongs to %q", id, st.User)
+		}
+		return st, nil
+	}
+	if admit != nil {
+		if err := admit(user); err != nil {
+			return nil, err
+		}
+	}
+	st := &State{
+		User:      user,
+		TempViews: map[string]plan.Node{},
+		TempFuncs: map[string]analyzer.TempFunc{},
+	}
+	s.sessions[id] = st
+	return st, nil
+}
+
+// Get returns the session's state without creating it.
+func (s *Store) Get(id string) (*State, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.sessions[id]
+	return st, ok
+}
+
+// Remove deletes a session's state.
+func (s *Store) Remove(id string) {
+	s.mu.Lock()
+	delete(s.sessions, id)
+	s.mu.Unlock()
+}
+
+// Len reports how many sessions hold state in the store.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Export snapshots a session for migration to a backend with a different
+// store. The snapshot copies the map entries, so the live session keeps
+// running while the copy travels.
+func (s *Store) Export(id string) (*Snapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.sessions[id]
+	if !ok {
+		return nil, false
+	}
+	snap := &Snapshot{User: st.User}
+	for name, node := range st.TempViews {
+		snap.TempViews = append(snap.TempViews, TempViewSnapshot{Name: name, Plan: node})
+	}
+	for name, fn := range st.TempFuncs {
+		snap.TempFuncs = append(snap.TempFuncs, TempFuncSnapshot{Name: name, Func: fn})
+	}
+	return snap, true
+}
+
+// Import installs a migrated session's snapshot, creating the session if
+// needed (subject to admit) and merging the snapshot's entries. Importing
+// into the store the snapshot came from is an idempotent merge.
+func (s *Store) Import(id string, snap *Snapshot, admit func(user string) error) error {
+	st, err := s.Attach(id, snap.User, admit)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, tv := range snap.TempViews {
+		st.TempViews[tv.Name] = tv.Plan
+	}
+	for _, tf := range snap.TempFuncs {
+		st.TempFuncs[tf.Name] = tf.Func
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package session
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"lakeguard/internal/plan"
+)
+
+func TestAttachCreatesAndChecksOwnership(t *testing.T) {
+	s := NewStore()
+	st, err := s.Attach("alice/s1", "alice", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.TempViews["v"] = &plan.SQLRelation{Query: "SELECT 1"}
+
+	// Re-attach by the owner returns the same state.
+	again, err := s.Attach("alice/s1", "alice", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != st {
+		t.Fatal("re-attach returned a different state")
+	}
+	// A different user cannot claim the session.
+	if _, err := s.Attach("alice/s1", "bob", nil); err == nil || !strings.Contains(err.Error(), "belongs to") {
+		t.Fatalf("ownership check err = %v", err)
+	}
+}
+
+func TestAttachAdmitGate(t *testing.T) {
+	s := NewStore()
+	gate := errors.New("not allowed here")
+	if _, err := s.Attach("bob/s1", "bob", func(string) error { return gate }); !errors.Is(err, gate) {
+		t.Fatalf("admit gate err = %v", err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("rejected attach left state behind: %d", s.Len())
+	}
+	// The admit callback only guards creation, not re-attachment.
+	if _, err := s.Attach("bob/s1", "bob", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Attach("bob/s1", "bob", func(string) error { return gate }); err != nil {
+		t.Fatalf("re-attach hit the admit gate: %v", err)
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	src, dst := NewStore(), NewStore()
+	st, err := src.Attach("alice/s1", "alice", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.TempViews["v"] = &plan.SQLRelation{Query: "SELECT 42"}
+
+	snap, ok := src.Export("alice/s1")
+	if !ok || snap.User != "alice" || len(snap.TempViews) != 1 {
+		t.Fatalf("export = %+v, %v", snap, ok)
+	}
+	if err := dst.Import("alice/s1", snap, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := dst.Get("alice/s1")
+	if !ok || got.User != "alice" {
+		t.Fatalf("imported state = %+v, %v", got, ok)
+	}
+	if _, ok := got.TempViews["v"]; !ok {
+		t.Fatal("temp view lost in migration")
+	}
+}
+
+func TestConcurrentAttach(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Attach("alice/s1", "alice", nil); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 1 {
+		t.Fatalf("sessions = %d, want 1", s.Len())
+	}
+}

@@ -137,6 +137,10 @@ func (o *OpStats) Children() []*OpStats {
 // Profile is one query's EXPLAIN ANALYZE payload: per-phase latencies plus
 // a tree of OpStats mirroring the physical operator tree. Nil-safe.
 type Profile struct {
+	// QueueWaitNanos is time the request spent in the admission queue before
+	// any execution phase began (stamped from the request context, where the
+	// Connect layer recorded it via ContextWithQueueWait).
+	QueueWaitNanos int64
 	// Phase wall times, stamped sequentially by the query driver.
 	AnalyzeNanos  int64
 	OptimizeNanos int64
@@ -194,6 +198,9 @@ func (p *Profile) Render() string {
 	fmt.Fprintf(&b, "EXPLAIN ANALYZE (total %s: analyze %s, optimize %s, verify %s, exec %s)\n",
 		fmtDur(p.TotalNanos), fmtDur(p.AnalyzeNanos), fmtDur(p.OptimizeNanos),
 		fmtDur(p.VerifyNanos), fmtDur(p.ExecNanos))
+	if p.QueueWaitNanos > 0 {
+		fmt.Fprintf(&b, "queue wait %s (admission)\n", fmtDur(p.QueueWaitNanos))
+	}
 	renderOp(&b, p.Root(), 0)
 	return b.String()
 }

@@ -476,6 +476,26 @@ func newTraceID() string {
 	return hex.EncodeToString(b[:])
 }
 
+type queueWaitKey struct{}
+
+// ContextWithQueueWait stamps the admission queue wait onto the request
+// context, so the query driver can copy it into the EXPLAIN ANALYZE profile.
+func ContextWithQueueWait(ctx context.Context, d time.Duration) context.Context {
+	if d <= 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, queueWaitKey{}, d)
+}
+
+// QueueWaitFrom returns the admission queue wait recorded on ctx (0 if none).
+func QueueWaitFrom(ctx context.Context) time.Duration {
+	if ctx == nil {
+		return 0
+	}
+	d, _ := ctx.Value(queueWaitKey{}).(time.Duration)
+	return d
+}
+
 type spanCtxKey struct{}
 
 // ContextWithSpan returns a context carrying s as the current span.
