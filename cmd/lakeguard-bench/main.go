@@ -21,7 +21,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: table1, table2, coldstart, membrane, efgac-modes, exec, skipping, telemetry, tenancy, all")
+		"which experiment to run: table1, table2, coldstart, membrane, efgac-modes, exec, skipping, join, telemetry, tenancy, all")
 	quick := flag.Bool("quick", false, "reduced problem sizes for a fast smoke run")
 	jsonOut := flag.String("json", "", "also write machine-readable results to this file (exec experiment → BENCH_exec.json)")
 	maxOverheadPct := flag.Float64("max-overhead-pct", 0,
@@ -153,6 +153,38 @@ func main() {
 		}
 		if res.WarmRepeat.LogEntriesReplayed != 0 {
 			return fmt.Errorf("warm repeat replayed %d log entries (want 0)", res.WarmRepeat.LogEntriesReplayed)
+		}
+		if *jsonOut != "" {
+			data, err := res.FormatJSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return nil
+	})
+
+	wrap("join", func() error {
+		cfg := bench.DefaultJoinConfig()
+		if *quick {
+			cfg = bench.JoinConfig{Rows: 150_000, RowsPerFile: 4096, BuildRows: 300, SpillBytes: 1 << 19, Repetitions: 2}
+		}
+		res, err := bench.RunJoin(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatJoin(res))
+		if res.ProbeSpeedup < 3 {
+			return fmt.Errorf("vectorized probe only %.1fx over row probe (want >= 3x)", res.ProbeSpeedup)
+		}
+		if res.GetReduction < 3 {
+			return fmt.Errorf("runtime filter reduced probe GETs only %.1fx (want >= 3x)", res.GetReduction)
+		}
+		if !res.SpillIdentical {
+			return fmt.Errorf("spilled run did not reproduce the in-memory result")
 		}
 		if *jsonOut != "" {
 			data, err := res.FormatJSON()

@@ -72,6 +72,7 @@ func main() {
 	demo := flag.Bool("demo", false, "seed demo data (sales table with a row filter)")
 	maxSessions := flag.Int("max-sessions-per-cluster", 8, "gateway scale-out threshold")
 	parallelism := flag.Int("parallelism", 0, "engine worker count per cluster (0 = LAKEGUARD_PARALLELISM or NumCPU, 1 = serial)")
+	spillBytes := flag.Int64("spill-bytes", 0, "join/aggregation hash-table budget before spilling to temp storage (0 = LAKEGUARD_SPILL_BYTES or 256 MiB, negative disables)")
 	slowQueryMs := flag.Int("slow-query-ms", 1000, "queries slower than this land in the /debug/queries slow log (0 disables)")
 	maxConcurrent := flag.Int("max-concurrent", 8, "admission: concurrent query limit across all tenants (0 disables admission control)")
 	maxQueueDepth := flag.Int("max-queue-depth", 16, "admission: per-tenant wait-queue bound; requests beyond it are shed with 429")
@@ -115,7 +116,8 @@ func main() {
 			log.Printf("provisioning cluster %s", name)
 			return core.NewServer(core.Config{
 				Name: name, Catalog: cat, Compute: catalog.ComputeServerless,
-				Parallelism: *parallelism, Metrics: metrics, Sessions: sessions,
+				Parallelism: *parallelism, SpillBytes: *spillBytes,
+				Metrics: metrics, Sessions: sessions,
 			})
 		},
 		MaxSessionsPerCluster: *maxSessions,

@@ -78,6 +78,11 @@ type Config struct {
 	// gather. 0 reads LAKEGUARD_PARALLELISM, defaulting to runtime.NumCPU();
 	// 1 forces serial execution.
 	Parallelism int
+	// SpillBytes is the per-operator hash-table budget for joins and grouped
+	// aggregation: past it the operator spills partitions to temp storage and
+	// grace-hash merges them. 0 reads LAKEGUARD_SPILL_BYTES, defaulting to
+	// 256 MiB; negative disables spilling.
+	SpillBytes int64
 	// Faults is the chaos-test fault injector threaded into the cluster,
 	// sandboxes, and the eFGAC client. Nil falls back to the FAULTS
 	// environment variable (also nil when unset).
@@ -156,6 +161,7 @@ func NewServer(cfg Config) *Server {
 		cfg.Supervisor.Metrics = cfg.Metrics
 	}
 	cfg.Parallelism = resolveParallelism(cfg.Parallelism)
+	cfg.SpillBytes = resolveSpillBytes(cfg.SpillBytes)
 	if cfg.Supervisor.Compute == "" {
 		cfg.Supervisor.Compute = string(cfg.Compute)
 	}
@@ -191,6 +197,7 @@ func NewServer(cfg Config) *Server {
 		Remote:              cfg.Remote,
 		FuseUDFs:            opts.FuseUDFs,
 		Parallelism:         cfg.Parallelism,
+		SpillBytes:          cfg.SpillBytes,
 		UnsafeInProcessUDFs: cfg.UnsafeInProcessUDFs,
 		Metrics:             cfg.Metrics,
 	}
@@ -226,6 +233,23 @@ func resolveParallelism(explicit int) int {
 		return n
 	}
 	return runtime.NumCPU()
+}
+
+// resolveSpillBytes resolves the hash-table spill budget: an explicit config
+// value wins (negative = never spill), then LAKEGUARD_SPILL_BYTES, then the
+// engine default (256 MiB). A malformed value fails loudly.
+func resolveSpillBytes(explicit int64) int64 {
+	if explicit != 0 {
+		return explicit
+	}
+	if v := os.Getenv("LAKEGUARD_SPILL_BYTES"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n == 0 {
+			panic(fmt.Sprintf("core: malformed LAKEGUARD_SPILL_BYTES %q: want a non-zero integer (negative disables spilling)", v))
+		}
+		return n
+	}
+	return 0
 }
 
 // Catalog returns the governance catalog.
@@ -341,6 +365,7 @@ func (s *Server) engineFor(env string) (*exec.Engine, error) {
 		Remote:              s.cfg.Remote,
 		FuseUDFs:            s.opts.FuseUDFs,
 		Parallelism:         s.cfg.Parallelism,
+		SpillBytes:          s.cfg.SpillBytes,
 		UnsafeInProcessUDFs: s.cfg.UnsafeInProcessUDFs,
 		Metrics:             s.cfg.Metrics,
 	}

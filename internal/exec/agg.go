@@ -69,6 +69,11 @@ func (e *Engine) newAggOp(qc *QueryContext, node *plan.Aggregate, child operator
 	if w := e.workers(); w > 1 && !exprsHaveUDF(node.GroupBy) && !exprsHaveUDF(argExprs) {
 		op.parallel = w
 	}
+	if !e.DisableVecExec {
+		// Vectorized path; the row-at-a-time aggOp stays as the reference
+		// implementation the equivalence harness compares against.
+		return newVecAggOp(op), nil
+	}
 	return op, nil
 }
 

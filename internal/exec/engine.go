@@ -72,6 +72,31 @@ type Engine struct {
 	// baselines and pruning-equivalence tests). Results are identical either
 	// way; only the number of storage reads changes.
 	DisableSkipping bool
+	// SpillBytes bounds the in-memory footprint of each join build table and
+	// aggregation group table; past it the operator partitions to temp files
+	// and recurses (results stay byte-identical). 0 means a 256 MiB default;
+	// negative disables spilling entirely.
+	SpillBytes int64
+	// DisableVecExec forces the row-at-a-time join and aggregation operators
+	// (vec-vs-row equivalence harnesses and bench baselines). Results are
+	// identical either way.
+	DisableVecExec bool
+	// DisableRuntimeFilters stops hash joins from pushing build-side
+	// bloom/min-max filters into probe scans (bench baselines). Results are
+	// identical either way; only rows and files touched change.
+	DisableRuntimeFilters bool
+}
+
+// spillLimit resolves SpillBytes to an effective per-operator budget.
+func (e *Engine) spillLimit() int64 {
+	switch {
+	case e.SpillBytes < 0:
+		return 1 << 62 // effectively unbounded
+	case e.SpillBytes == 0:
+		return defaultSpillBytes
+	default:
+		return e.SpillBytes
+	}
 }
 
 // QueryContext carries the identity and session a query runs under.
@@ -98,6 +123,9 @@ type QueryContext struct {
 	// opParent is the enclosing operator's stats sink during build (the
 	// profile tree mirrors the operator tree).
 	opParent *telemetry.OpStats
+	// rf is the per-execution runtime-filter registry: scans register here
+	// during build, hash joins look their probe side up to install filters.
+	rf *rfRegistry
 }
 
 // GoContext returns the query's Go context, never nil.
@@ -143,7 +171,12 @@ func (e *Engine) workers() int {
 // query context's deadline is honored between batches, so a cancelled query
 // stops pulling instead of running to completion.
 func (e *Engine) Execute(qc *QueryContext, p plan.Node) ([]*types.Batch, error) {
-	op, err := e.build(qc, p)
+	// Each execution gets a fresh runtime-filter registry on a copied context
+	// so the caller's QueryContext is never mutated and registries never leak
+	// across executions of the same context.
+	root := *qc
+	root.rf = newRFRegistry()
+	op, err := e.build(&root, p)
 	if err != nil {
 		return nil, err
 	}
@@ -338,49 +371,86 @@ func (e *Engine) buildScan(qc *QueryContext, t *plan.Scan) (operator, error) {
 	}
 	src := &scanSource{
 		qc: qc, scan: t, snap: snap, files: files, read: read, stats: qc.opParent,
-		progs: compileVecExprs(t.PushedFilters, t.Schema(), boolKinds(len(t.PushedFilters))),
+		metrics: e.Metrics,
+		progs:   compileVecExprs(t.PushedFilters, t.Schema(), boolKinds(len(t.PushedFilters))),
 	}
+	// Register the scan so a hash join built above it can install runtime
+	// filters onto src before the first file is read.
+	qc.rf.register(t, src)
 	if w := e.workers(); w > 1 && len(files) > 1 {
 		// Parallel file-granular scan: workers pull surviving files in order
 		// through the shared credential-bound reader; the gather keeps file
-		// order, so output is identical to the serial scan.
-		next := 0
-		source := func() (int, bool, error) {
-			if next >= len(files) {
-				return 0, true, nil
-			}
-			i := next
-			next++
-			return i, false, nil
-		}
-		// Each worker gets its own span (child of this scan's span); storage
-		// reads nest under it. newExchange calls makeWorker sequentially
-		// before any worker runs, so appending to wspans needs no lock.
-		pctx := qc.GoContext()
-		var wspans []*telemetry.Span
-		ex, err := newExchange(pctx, w, source,
-			func() (func(context.Context, int) (*types.Batch, error), error) {
-				wctx, ws := telemetry.StartSpan(pctx, "exec.worker")
-				ws.SetInt("worker", int64(len(wspans)))
-				if ws != nil {
-					wspans = append(wspans, ws)
+		// order, so output is identical to the serial scan. The exchange is
+		// started lazily at the first Next so a join's build phase finishes —
+		// and its runtime filters install — before any worker touches storage.
+		return &lazyOp{start: func() (operator, error) {
+			next := 0
+			source := func() (int, bool, error) {
+				if next >= len(files) {
+					return 0, true, nil
 				}
-				return func(_ context.Context, i int) (*types.Batch, error) {
-					b, err := src.scanFileCtx(wctx, i)
-					ws.Count("morsels", 1)
-					if err != nil {
-						ws.Fail(err)
+				i := next
+				next++
+				return i, false, nil
+			}
+			// Each worker gets its own span (child of this scan's span); storage
+			// reads nest under it. newExchange calls makeWorker sequentially
+			// before any worker runs, so appending to wspans needs no lock.
+			pctx := qc.GoContext()
+			var wspans []*telemetry.Span
+			ex, err := newExchange(pctx, w, source,
+				func() (func(context.Context, int) (*types.Batch, error), error) {
+					wctx, ws := telemetry.StartSpan(pctx, "exec.worker")
+					ws.SetInt("worker", int64(len(wspans)))
+					if ws != nil {
+						wspans = append(wspans, ws)
 					}
-					return b, err
-				}, nil
-			}, skipEmptyBatch)
-		if err != nil {
-			endSpans(wspans)
-			return nil, err
-		}
-		return &parallelScanOp{ex: ex, wspans: wspans}, nil
+					return func(_ context.Context, i int) (*types.Batch, error) {
+						b, err := src.scanFileCtx(wctx, i)
+						ws.Count("morsels", 1)
+						if err != nil {
+							ws.Fail(err)
+						}
+						return b, err
+					}, nil
+				}, skipEmptyBatch)
+			if err != nil {
+				endSpans(wspans)
+				return nil, err
+			}
+			return &parallelScanOp{ex: ex, wspans: wspans}, nil
+		}}, nil
 	}
 	return &scanOp{src: src}, nil
+}
+
+// lazyOp defers building its inner operator until the first Next. Parallel
+// scans use it so their worker pool doesn't start reading files at plan-build
+// time — before upstream joins had a chance to install runtime filters.
+type lazyOp struct {
+	start func() (operator, error)
+	op    operator
+	err   error
+}
+
+func (o *lazyOp) Next() (*types.Batch, error) {
+	if o.err != nil {
+		return nil, o.err
+	}
+	if o.op == nil {
+		o.op, o.err = o.start()
+		if o.err != nil {
+			return nil, o.err
+		}
+	}
+	return o.op.Next()
+}
+
+func (o *lazyOp) Close() error {
+	if o.op == nil {
+		return nil
+	}
+	return o.op.Close()
 }
 
 func boolKinds(n int) []types.Kind {

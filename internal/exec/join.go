@@ -31,6 +31,17 @@ func (e *Engine) buildJoin(qc *QueryContext, t *plan.Join) (operator, error) {
 	}
 	leftLen := t.L.Schema().Len()
 	leftKeys, rightKeys, residual := extractEquiKeys(t.Cond, leftLen)
+	if len(leftKeys) > 0 && !e.DisableVecExec {
+		op, err := e.newVecJoinOp(qc, t, l, r, leftKeys, rightKeys, residual)
+		if err != nil {
+			l.Close()
+			r.Close()
+			return nil, err
+		}
+		return op, nil
+	}
+	// Row-at-a-time path: nested-loop joins (no equi keys) and the reference
+	// implementation the vec-vs-row equivalence harness compares against.
 	return &joinOp{
 		qc: qc, node: t, left: l, right: r,
 		leftLen: leftLen, rightLen: t.R.Schema().Len(),
@@ -116,7 +127,6 @@ type joinOp struct {
 	hash      map[uint64][]int // key hash -> right row indices
 	rightUsed []bool           // for RIGHT/FULL outer
 	done      bool
-	pending   []*types.Batch
 }
 
 // rightPart is the materialized form of one right-side batch: its rows plus
@@ -283,11 +293,6 @@ func (o *joinOp) Next() (*types.Batch, error) {
 		if err := o.buildRight(); err != nil {
 			return nil, err
 		}
-	}
-	if len(o.pending) > 0 {
-		b := o.pending[0]
-		o.pending = o.pending[1:]
-		return b, nil
 	}
 	if o.done {
 		return nil, io.EOF

@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 	"sort"
+	"sync/atomic"
 
 	"lakeguard/internal/delta"
 	"lakeguard/internal/eval"
@@ -63,6 +64,34 @@ type scanSource struct {
 	progs []*eval.VecProg
 	// stats is the owning scan operator's profile sink (nil = unprofiled).
 	stats *telemetry.OpStats
+	// metrics is the engine's registry (nil = unmetered).
+	metrics *telemetry.Registry
+	// rfs holds runtime filters installed by a downstream hash join after its
+	// build side materialized. Atomic because install happens on the join's
+	// goroutine while parallel scan workers may already be spinning up.
+	rfs atomic.Pointer[[]*scanRF]
+}
+
+// installRF publishes a runtime filter; subsequent file reads consult it.
+func (s *scanSource) installRF(rf *scanRF) {
+	for {
+		old := s.rfs.Load()
+		var next []*scanRF
+		if old != nil {
+			next = append(next, *old...)
+		}
+		next = append(next, rf)
+		if s.rfs.CompareAndSwap(old, &next) {
+			return
+		}
+	}
+}
+
+func (s *scanSource) runtimeFilters() []*scanRF {
+	if p := s.rfs.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 func (s *scanSource) scanFile(i int) (*types.Batch, error) {
@@ -75,6 +104,19 @@ func (s *scanSource) scanFile(i int) (*types.Batch, error) {
 // from the trace alone.
 func (s *scanSource) scanFileCtx(ctx context.Context, i int) (*types.Batch, error) {
 	f := s.snap.Files[s.files[i]]
+	// Runtime filters first: if a join's build-side bounds prove this file
+	// empty from its statistics alone, skip the storage GET entirely. This
+	// composes with build-time zone-map pruning — those files never made it
+	// into s.files; these are pruned by bounds only known at run time.
+	for _, rf := range s.runtimeFilters() {
+		if rf.filePrunable(s.scan, f.Stats) {
+			s.stats.AddRuntimeFilePruned(1)
+			if s.metrics != nil {
+				s.metrics.Counter("scan.files.rf_pruned").Add(1)
+			}
+			return types.NewBatchBuilder(s.scan.Schema(), 0).Build(), nil
+		}
+	}
 	_, gs := telemetry.StartSpan(ctx, "storage.get")
 	gs.SetAttr("path", f.Path)
 	b, err := s.read(f.Path)
@@ -102,7 +144,8 @@ func (s *scanSource) applyScanOps(b *types.Batch) (*types.Batch, error) {
 		}
 		b = types.MustBatch(s.scan.Schema(), cols)
 	}
-	if len(s.scan.PushedFilters) == 0 {
+	rfs := s.runtimeFilters()
+	if len(s.scan.PushedFilters) == 0 && len(rfs) == 0 {
 		return b, nil
 	}
 	// Conjuncts refine a selection vector in their original order; each runs
@@ -150,6 +193,25 @@ func (s *scanSource) applyScanOps(b *types.Batch) (*types.Batch, error) {
 		if len(sel) == 0 {
 			break
 		}
+	}
+	// Runtime filters refine the same selection after the pushed filters: the
+	// drop is an optimization (those rows cannot join), so it is attributed to
+	// the owning join's profile, not the scan's row counts.
+	for _, rf := range rfs {
+		if sel != nil && len(sel) == 0 {
+			break
+		}
+		var dropped int
+		sel, dropped = rf.filterRows(b, sel, n)
+		if dropped > 0 {
+			rf.joinStats.AddRuntimeFiltered(dropped)
+			if rf.metrics != nil {
+				rf.metrics.Counter("join.rf.rows_filtered").Add(int64(dropped))
+			}
+		}
+	}
+	if sel == nil {
+		return b, nil
 	}
 	return b.Gather(sel), nil
 }

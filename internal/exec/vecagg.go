@@ -1,0 +1,642 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+
+	"lakeguard/internal/eval"
+	"lakeguard/internal/plan"
+	"lakeguard/internal/types"
+)
+
+// vecAggOp is the vectorized grouped-aggregation operator. It replaces the
+// row path's per-row key boxing, maphash call and bucket-list walk with a
+// columnar pipeline: group keys are hashed a column at a time
+// (eval.HashColumns), rows are assigned group ids through an open-addressing
+// table keyed on the full 64-bit hash, and accumulation runs as typed
+// COUNT/SUM/MIN/MAX/AVG kernels over group-indexed state arrays.
+//
+// Semantics mirror aggOp exactly: groups form by Value.Equal over key rows
+// in first-occurrence order, NULL arguments are skipped (except COUNT(*)),
+// float sums accumulate in stream order so results stay byte-identical to
+// the row path at any parallelism, and DISTINCT falls back to the row path's
+// seen-map per group. aggOp remains the reference implementation the
+// equivalence harness compares against.
+//
+// When the group state outgrows Engine.SpillBytes the table freezes: rows
+// matching existing groups keep accumulating in memory, rows with unseen
+// keys spill (keys + args + __rid) to hash partitions that are aggregated
+// recursively. Frozen-table groups all first occur before any spilled key,
+// and partition outputs carry their group's first-occurrence rid, so
+// emitting memory groups first and rid-merging partition outputs reproduces
+// the in-memory emission order exactly.
+type vecAggOp struct {
+	*aggOp
+	spillLimit int64
+
+	started    bool
+	pull       func() (*types.Batch, error)
+	spillFiles []*spillFile
+}
+
+func newVecAggOp(row *aggOp) *vecAggOp {
+	return &vecAggOp{aggOp: row, spillLimit: row.engine.spillLimit()}
+}
+
+func (o *vecAggOp) Close() error {
+	for _, sf := range o.spillFiles {
+		sf.cleanup()
+	}
+	return o.child.Close()
+}
+
+func (o *vecAggOp) trackSpill(sf *spillFile) { o.spillFiles = append(o.spillFiles, sf) }
+
+func (o *vecAggOp) Next() (*types.Batch, error) {
+	if !o.started {
+		o.started = true
+		if err := o.run(); err != nil {
+			return nil, err
+		}
+	}
+	return o.pull()
+}
+
+// run consumes the whole input and leaves a pull function over the finalized
+// group batches.
+func (o *vecAggOp) run() error {
+	in, cleanup, err := o.inputStream()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	var rid int64
+	pull := func() (*aggInput, []int64, error) {
+		b, err := in()
+		if err != nil {
+			return nil, nil, err
+		}
+		rids := make([]int64, b.n)
+		for i := range rids {
+			rids[i] = rid
+			rid++
+		}
+		return b, rids, nil
+	}
+
+	t := o.newTable()
+	parts, err := o.consume(t, pull, 0, true)
+	if err != nil {
+		return err
+	}
+
+	// Global aggregation over empty input still yields one row (COUNT(*)=0).
+	if len(t.keys) == 0 && parts == nil && len(o.node.GroupBy) == 0 {
+		t.keys = append(t.keys, nil)
+		t.firstRid = append(t.firstRid, 0)
+		for _, a := range t.accs {
+			a.grow(1)
+		}
+	}
+
+	mem := o.groupsBatch(t, false)
+	if parts == nil {
+		done := false
+		o.pull = func() (*types.Batch, error) {
+			if done || mem.NumRows() == 0 {
+				return nil, io.EOF
+			}
+			done = true
+			return mem, nil
+		}
+		return nil
+	}
+
+	// Spilled: aggregate every partition recursively, then emit memory groups
+	// followed by the rid-merge of all partition outputs.
+	var outs []func() (*types.Batch, error)
+	for _, sf := range parts.parts {
+		if sf == nil {
+			continue
+		}
+		if err := o.aggPartition(sf, 1, &outs); err != nil {
+			return err
+		}
+	}
+	var spillBytes int64
+	for _, sf := range o.spillFiles {
+		spillBytes += sf.bytes
+	}
+	o.qc.opParent.AddSpill(len(o.spillFiles), spillBytes)
+	if m := o.engine.Metrics; m != nil {
+		m.Counter("exec.spill.partitions").Add(int64(len(o.spillFiles)))
+		m.Counter("exec.spill.bytes").Add(spillBytes)
+	}
+	merge, err := newRidMerge(o.node.Schema(), outs)
+	if err != nil {
+		return err
+	}
+	emittedMem := false
+	o.pull = func() (*types.Batch, error) {
+		if !emittedMem {
+			emittedMem = true
+			if mem.NumRows() > 0 {
+				return mem, nil
+			}
+		}
+		return merge.Next()
+	}
+	return nil
+}
+
+// consume feeds evaluated inputs into t. When canSpill and the group state
+// outgrows the budget, the table freezes and unseen keys scatter into the
+// returned partitions (keys + args + __rid), hashed at the given spill level.
+func (o *vecAggOp) consume(t *vecAggTable, pull func() (*aggInput, []int64, error), level int, canSpill bool) (*spillPartitions, error) {
+	var parts *spillPartitions
+	for {
+		in, rids, err := pull()
+		if err == io.EOF {
+			return parts, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		hashes := eval.HashColumns(in.keyCols, in.n, nil)
+		gids, spillSel := t.assign(hashes, in.keyCols, rids)
+		for _, a := range t.accs {
+			a.grow(len(t.keys))
+		}
+		for ai, a := range t.accs {
+			a.accumulate(gids, in.argCols[ai], in.n)
+		}
+		if len(spillSel) > 0 {
+			sb := spillInputBatch(parts.schema, in, rids, spillSel)
+			sh := make([]uint64, len(spillSel))
+			for i, r := range spillSel {
+				sh[i] = hashes[r]
+			}
+			if err := parts.scatter(sb, sh); err != nil {
+				return nil, err
+			}
+		}
+		if canSpill && !t.frozen && t.bytes > o.spillLimit {
+			t.frozen = true
+			parts = newSpillPartitions(aggSpillSchema(in), level, o.trackSpill)
+		}
+	}
+}
+
+// aggPartition aggregates one spilled partition, appending rid-carrying
+// output pulls to outs. Oversized partitions freeze again and recurse one
+// level deeper; at maxSpillLevel the table grows unbounded (correctness over
+// memory).
+func (o *vecAggOp) aggPartition(sf *spillFile, level int, outs *[]func() (*types.Batch, error)) error {
+	rd, err := sf.reader()
+	if err != nil {
+		return err
+	}
+	nk, na := len(o.node.GroupBy), len(o.aggs)
+	pull := func() (*aggInput, []int64, error) {
+		b, err := rd()
+		if err != nil {
+			return nil, nil, err
+		}
+		return &aggInput{
+			n:       b.NumRows(),
+			keyCols: b.Cols[:nk],
+			argCols: b.Cols[nk : nk+na],
+		}, b.Cols[nk+na].Int64s(), nil
+	}
+
+	t := o.newTable()
+	parts, err := o.consume(t, pull, level, level < maxSpillLevel)
+	if err != nil {
+		return err
+	}
+	sf.cleanup()
+
+	if len(t.keys) > 0 {
+		mem := o.groupsBatch(t, true)
+		done := false
+		*outs = append(*outs, func() (*types.Batch, error) {
+			if done {
+				return nil, io.EOF
+			}
+			done = true
+			return mem, nil
+		})
+	}
+	if parts != nil {
+		for _, sub := range parts.parts {
+			if sub == nil {
+				continue
+			}
+			if err := o.aggPartition(sub, level+1, outs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// groupsBatch finalizes every group of t in creation order — which is
+// first-occurrence order, so withRid output is ascending in __rid.
+func (o *vecAggOp) groupsBatch(t *vecAggTable, withRid bool) *types.Batch {
+	schema := o.node.Schema()
+	if withRid {
+		schema = schemaWithRID(o.node.Schema())
+	}
+	nk := len(o.node.GroupBy)
+	bb := types.NewBatchBuilder(schema, len(t.keys))
+	for g := range t.keys {
+		for k := 0; k < nk; k++ {
+			bb.Column(k).Append(t.keys[g][k])
+		}
+		for ai, a := range t.accs {
+			bb.Column(nk + ai).Append(a.result(g))
+		}
+		if withRid {
+			bb.Column(nk + len(t.accs)).AppendInt64(t.firstRid[g])
+		}
+	}
+	return bb.Build()
+}
+
+// aggSpillSchema describes a spilled aggregation row: evaluated key columns,
+// argument columns, then the global row id.
+func aggSpillSchema(in *aggInput) *types.Schema {
+	fields := make([]types.Field, 0, len(in.keyCols)+len(in.argCols)+1)
+	for k, c := range in.keyCols {
+		fields = append(fields, types.Field{Name: fmt.Sprintf("k%d", k), Kind: c.Kind()})
+	}
+	for a, c := range in.argCols {
+		fields = append(fields, types.Field{Name: fmt.Sprintf("a%d", a), Kind: c.Kind()})
+	}
+	fields = append(fields, types.Field{Name: "__rid", Kind: types.KindInt64})
+	return types.NewSchema(fields...)
+}
+
+// spillInputBatch gathers the sel rows of in (keys, args, rids) as a batch
+// over the spill schema.
+func spillInputBatch(schema *types.Schema, in *aggInput, rids []int64, sel []int) *types.Batch {
+	cols := make([]*types.Column, 0, len(in.keyCols)+len(in.argCols)+1)
+	for _, c := range in.keyCols {
+		cols = append(cols, c.Gather(sel))
+	}
+	for _, c := range in.argCols {
+		cols = append(cols, c.Gather(sel))
+	}
+	out := make([]int64, len(sel))
+	for i, r := range sel {
+		out[i] = rids[r]
+	}
+	cols = append(cols, types.NewInt64Column(types.KindInt64, out, nil))
+	return &types.Batch{Schema: schema, Cols: cols}
+}
+
+// vecAggTable maps group-key rows to dense group ids via open addressing on
+// the columnar key hash. Keys are boxed once per group (not per row); slot
+// probes compare the full 64-bit hash before touching key values.
+type vecAggTable struct {
+	mask     uint64
+	slots    []int32 // group id, -1 = empty
+	hashes   []uint64
+	keys     [][]types.Value
+	firstRid []int64
+	accs     []*vecAcc
+	frozen   bool
+	bytes    int64 // rough state-size estimate, drives spilling
+}
+
+func (o *vecAggOp) newTable() *vecAggTable {
+	t := &vecAggTable{mask: 63, slots: make([]int32, 64)}
+	for i := range t.slots {
+		t.slots[i] = -1
+	}
+	t.accs = make([]*vecAcc, len(o.aggs))
+	for i, af := range o.aggs {
+		t.accs[i] = newVecAcc(af)
+	}
+	return t
+}
+
+// assign resolves each row to a group id, creating groups in first-occurrence
+// order. On a frozen table, rows with unseen keys get gid -1 and their
+// indexes are returned for spilling.
+func (t *vecAggTable) assign(hashes []uint64, keyCols []*types.Column, rids []int64) (gids []int32, spillSel []int) {
+	n := len(hashes)
+	gids = make([]int32, n)
+	for i := 0; i < n; i++ {
+		g := t.findOrAdd(hashes[i], keyCols, i, rids[i])
+		if g < 0 {
+			spillSel = append(spillSel, i)
+		}
+		gids[i] = g
+	}
+	return gids, spillSel
+}
+
+func (t *vecAggTable) findOrAdd(h uint64, keyCols []*types.Column, row int, rid int64) int32 {
+	s := h & t.mask
+	for {
+		g := t.slots[s]
+		if g < 0 {
+			break
+		}
+		if t.hashes[g] == h && keyEqualAt(t.keys[g], keyCols, row) {
+			return g
+		}
+		s = (s + 1) & t.mask
+	}
+	if t.frozen {
+		return -1
+	}
+	if (len(t.keys)+1)*4 > len(t.slots)*3 {
+		t.grow()
+		s = h & t.mask
+		for t.slots[s] >= 0 {
+			s = (s + 1) & t.mask
+		}
+	}
+	gid := int32(len(t.keys))
+	t.slots[s] = gid
+	key := make([]types.Value, len(keyCols))
+	var kb int64 = 48
+	for k, c := range keyCols {
+		key[k] = c.Value(row)
+		kb += 48 + int64(len(key[k].S))
+	}
+	t.keys = append(t.keys, key)
+	t.hashes = append(t.hashes, h)
+	t.firstRid = append(t.firstRid, rid)
+	t.bytes += kb + int64(64*len(t.accs))
+	return gid
+}
+
+func (t *vecAggTable) grow() {
+	nb := len(t.slots) * 2
+	slots := make([]int32, nb)
+	for i := range slots {
+		slots[i] = -1
+	}
+	mask := uint64(nb - 1)
+	for gid, h := range t.hashes {
+		s := h & mask
+		for slots[s] >= 0 {
+			s = (s + 1) & mask
+		}
+		slots[s] = int32(gid)
+	}
+	t.slots, t.mask = slots, mask
+}
+
+func keyEqualAt(key []types.Value, cols []*types.Column, row int) bool {
+	for k, c := range cols {
+		if !key[k].Equal(c.Value(row)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Accumulator op codes; avg shares sum's accumulation.
+const (
+	accCount = iota
+	accSum
+	accMin
+	accMax
+)
+
+// vecAcc accumulates one aggregate across all groups as typed state arrays
+// indexed by group id. bulk kernels handle Int64/Float64 argument columns
+// without boxing; everything else (and DISTINCT) goes through one(), which
+// replicates aggOp.accumulate value-for-value.
+type vecAcc struct {
+	af      *plan.AggFunc
+	op      int
+	count   []int64
+	sumI    []int64
+	sumF    []float64
+	vals    []types.Value
+	nonNull []bool
+	seen    []map[uint64][]types.Value
+}
+
+func newVecAcc(af *plan.AggFunc) *vecAcc {
+	a := &vecAcc{af: af}
+	switch af.Name {
+	case "sum", "avg":
+		a.op = accSum
+	case "min":
+		a.op = accMin
+	case "max":
+		a.op = accMax
+	default:
+		a.op = accCount
+	}
+	return a
+}
+
+func (a *vecAcc) grow(n int) {
+	for len(a.count) < n {
+		a.count = append(a.count, 0)
+		a.nonNull = append(a.nonNull, false)
+		switch a.op {
+		case accSum:
+			a.sumI = append(a.sumI, 0)
+			a.sumF = append(a.sumF, 0)
+		case accMin, accMax:
+			a.vals = append(a.vals, types.Value{})
+		}
+		if a.af.Distinct {
+			a.seen = append(a.seen, nil)
+		}
+	}
+}
+
+// one accumulates a single non-NULL, distinct-checked value into group g,
+// mirroring the switch in aggOp.accumulate.
+func (a *vecAcc) one(g int32, v types.Value) {
+	a.nonNull[g] = true
+	switch a.op {
+	case accCount:
+		a.count[g]++
+	case accSum:
+		a.count[g]++
+		if v.Kind == types.KindInt64 {
+			a.sumI[g] += v.I
+		}
+		a.sumF[g] += v.AsFloat64()
+	case accMin:
+		if a.count[g] == 0 {
+			a.vals[g] = v
+		} else if cmp, ok := v.Compare(a.vals[g]); ok && cmp < 0 {
+			a.vals[g] = v
+		}
+		a.count[g]++
+	case accMax:
+		if a.count[g] == 0 {
+			a.vals[g] = v
+		} else if cmp, ok := v.Compare(a.vals[g]); ok && cmp > 0 {
+			a.vals[g] = v
+		}
+		a.count[g]++
+	}
+}
+
+// accumulate feeds one argument column. gids entries of -1 (spilled rows)
+// are skipped. NULLs are skipped throughout: COUNT(*) arguments are the
+// literal 1 and never NULL, so this matches the row path's Arg!=nil guard.
+func (a *vecAcc) accumulate(gids []int32, col *types.Column, n int) {
+	if a.af.Distinct {
+		a.distinct(gids, col, n)
+		return
+	}
+	nulls := col.NullMask()
+	switch {
+	case a.op == accCount:
+		for i := 0; i < n; i++ {
+			g := gids[i]
+			if g < 0 || (nulls != nil && nulls[i]) {
+				continue
+			}
+			a.nonNull[g] = true
+			a.count[g]++
+		}
+	case a.op == accSum && col.Kind() == types.KindInt64:
+		vs := col.Int64s()
+		for i := 0; i < n; i++ {
+			g := gids[i]
+			if g < 0 || (nulls != nil && nulls[i]) {
+				continue
+			}
+			a.nonNull[g] = true
+			a.count[g]++
+			a.sumI[g] += vs[i]
+			a.sumF[g] += float64(vs[i])
+		}
+	case a.op == accSum && col.Kind() == types.KindFloat64:
+		vs := col.Float64s()
+		for i := 0; i < n; i++ {
+			g := gids[i]
+			if g < 0 || (nulls != nil && nulls[i]) {
+				continue
+			}
+			a.nonNull[g] = true
+			a.count[g]++
+			a.sumF[g] += vs[i]
+		}
+	case (a.op == accMin || a.op == accMax) && col.Kind() == types.KindInt64:
+		vs := col.Int64s()
+		for i := 0; i < n; i++ {
+			g := gids[i]
+			if g < 0 || (nulls != nil && nulls[i]) {
+				continue
+			}
+			if a.count[g] > 0 && a.vals[g].Kind == types.KindInt64 {
+				if a.op == accMin && vs[i] < a.vals[g].I {
+					a.vals[g] = types.Int64(vs[i])
+				} else if a.op == accMax && vs[i] > a.vals[g].I {
+					a.vals[g] = types.Int64(vs[i])
+				}
+				a.nonNull[g] = true
+				a.count[g]++
+				continue
+			}
+			a.one(g, col.Value(i))
+		}
+	case (a.op == accMin || a.op == accMax) && col.Kind() == types.KindFloat64:
+		// Plain < and > reproduce Compare's cmpFloat for same-kind floats:
+		// comparisons involving NaN are false, so NaN never displaces a
+		// stored extreme and is never displaced once stored.
+		vs := col.Float64s()
+		for i := 0; i < n; i++ {
+			g := gids[i]
+			if g < 0 || (nulls != nil && nulls[i]) {
+				continue
+			}
+			if a.count[g] > 0 && a.vals[g].Kind == types.KindFloat64 {
+				if a.op == accMin && vs[i] < a.vals[g].F {
+					a.vals[g] = types.Float64(vs[i])
+				} else if a.op == accMax && vs[i] > a.vals[g].F {
+					a.vals[g] = types.Float64(vs[i])
+				}
+				a.nonNull[g] = true
+				a.count[g]++
+				continue
+			}
+			a.one(g, col.Value(i))
+		}
+	default:
+		for i := 0; i < n; i++ {
+			g := gids[i]
+			if g < 0 || (nulls != nil && nulls[i]) {
+				continue
+			}
+			a.one(g, col.Value(i))
+		}
+	}
+}
+
+// distinct is the DISTINCT slow path: per-group seen maps keyed on
+// Value.Hash, exactly as the row path tracks them.
+func (a *vecAcc) distinct(gids []int32, col *types.Column, n int) {
+	nulls := col.NullMask()
+	for i := 0; i < n; i++ {
+		g := gids[i]
+		if g < 0 || (nulls != nil && nulls[i]) {
+			continue
+		}
+		v := col.Value(i)
+		if a.seen[g] == nil {
+			a.seen[g] = map[uint64][]types.Value{}
+		}
+		h := v.Hash()
+		dup := false
+		for _, prev := range a.seen[g][h] {
+			if prev.Equal(v) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		a.seen[g][h] = append(a.seen[g][h], v)
+		a.one(g, v)
+	}
+}
+
+// result finalizes group g, mirroring aggOp.finalize.
+func (a *vecAcc) result(g int) types.Value {
+	switch a.af.Name {
+	case "count":
+		return types.Int64(a.count[g])
+	case "sum":
+		if !a.nonNull[g] {
+			return types.Null(a.af.ResultKind)
+		}
+		if a.af.ResultKind == types.KindInt64 {
+			return types.Int64(a.sumI[g])
+		}
+		return types.Float64(a.sumF[g])
+	case "avg":
+		if a.count[g] == 0 {
+			return types.Null(types.KindFloat64)
+		}
+		return types.Float64(a.sumF[g] / float64(a.count[g]))
+	case "min":
+		if !a.nonNull[g] {
+			return types.Null(a.af.ResultKind)
+		}
+		return a.vals[g]
+	case "max":
+		if !a.nonNull[g] {
+			return types.Null(a.af.ResultKind)
+		}
+		return a.vals[g]
+	}
+	return types.Null(a.af.ResultKind)
+}

@@ -1,0 +1,173 @@
+package exec
+
+import (
+	"testing"
+
+	"lakeguard/internal/optimizer"
+	"lakeguard/internal/types"
+)
+
+// seedEdgeTable creates a small table full of hash-kernel edge cases: NULL
+// join/group keys, integral floats (which share a hash class with equal
+// BIGINTs), booleans (which share a hash class with 0/1 BIGINTs but never
+// compare equal to them — a guaranteed hash collision the verify kernels
+// must reject), and duplicated keys.
+func seedEdgeTable(t testing.TB, w *world) {
+	t.Helper()
+	schema := types.NewSchema(
+		types.Field{Name: "bi", Kind: types.KindInt64, Nullable: true},
+		types.Field{Name: "fl", Kind: types.KindFloat64, Nullable: true},
+		types.Field{Name: "bo", Kind: types.KindBool},
+		types.Field{Name: "st", Kind: types.KindString, Nullable: true},
+	)
+	if err := w.cat.CreateTable(adminCtx(), []string{"edges"}, schema, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	bb := types.NewBatchBuilder(schema, 16)
+	rows := [][]types.Value{
+		{types.Int64(0), types.Float64(0), types.Bool(false), types.String("a")},
+		{types.Int64(1), types.Float64(1), types.Bool(true), types.String("b")},
+		{types.Int64(1), types.Float64(1.5), types.Bool(true), types.String("b")},
+		{types.Int64(2), types.Float64(2), types.Bool(false), types.String("")},
+		{types.Null(types.KindInt64), types.Float64(3), types.Bool(true), types.String("c")},
+		{types.Int64(3), types.Null(types.KindFloat64), types.Bool(false), types.Null(types.KindString)},
+		{types.Int64(-7), types.Float64(-7), types.Bool(true), types.String("d")},
+		{types.Int64(1), types.Float64(2.25), types.Bool(false), types.String("a")},
+		{types.Null(types.KindInt64), types.Null(types.KindFloat64), types.Bool(true), types.Null(types.KindString)},
+		{types.Int64(1000), types.Float64(1000), types.Bool(false), types.String("e")},
+	}
+	for _, r := range rows {
+		bb.AppendRow(r)
+	}
+	if _, err := w.cat.AppendToTable(adminCtx(), []string{"edges"}, []*types.Batch{bb.Build()}); err != nil {
+		t.Fatal(err)
+	}
+	// An empty table for empty-build-side joins.
+	eschema := types.NewSchema(
+		types.Field{Name: "k", Kind: types.KindInt64},
+		types.Field{Name: "w", Kind: types.KindString},
+	)
+	if err := w.cat.CreateTable(adminCtx(), []string{"nothing"}, eschema, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// vecEquivQueries is the corpus for the vec-vs-row harness: every join type
+// (including RIGHT/FULL, which generateQueries skips), NULL keys, cross-kind
+// numeric keys, hash-class collisions, empty build sides, residual
+// conditions, and aggregations from two groups up to enough to force group
+// tables to grow and (under a tiny budget) spill.
+var vecEquivQueries = []string{
+	// Joins over the multi-file events table — big enough to spill.
+	"SELECT e.id, e.v, f.id FROM events e JOIN events f ON e.v = f.id WHERE e.id < 400",
+	"SELECT e.id, q.quota FROM events e LEFT JOIN quotas q ON e.cat = q.seller WHERE e.id % 53 = 0",
+	"SELECT e.id, f.v FROM events e RIGHT JOIN events f ON e.id = f.v WHERE f.id < 200",
+	"SELECT e.id, f.id FROM events e FULL JOIN events f ON e.id = f.v WHERE e.id < 150 OR e.id IS NULL",
+	"SELECT e.id FROM events e LEFT SEMI JOIN events f ON e.id = f.v",
+	"SELECT e.id FROM events e LEFT ANTI JOIN events f ON e.id = f.v WHERE e.id < 500",
+	"SELECT e.id, f.id FROM events e JOIN events f ON e.id = f.id AND e.v < f.score WHERE e.id < 300",
+	// Multi-key join with a nullable key component.
+	"SELECT e.id, f.id FROM events e JOIN events f ON e.v = f.v AND e.cat = f.cat WHERE e.id < 120 AND f.id < 240",
+	// Edge-case keys: NULLs never match; integral floats equal BIGINTs
+	// cross-kind; booleans hash-collide with 0/1 but never match.
+	"SELECT a.bi, b.fl FROM edges a JOIN edges b ON a.bi = b.fl",
+	"SELECT a.st, b.st FROM edges a LEFT JOIN edges b ON a.st = b.st",
+	"SELECT a.bi, b.bi FROM edges a FULL JOIN edges b ON a.bi = b.bi",
+	"SELECT a.bi FROM edges a LEFT ANTI JOIN edges b ON a.bi = b.fl",
+	"SELECT a.bi, b.bo FROM edges a JOIN edges b ON a.bi = b.bo",
+	// Empty build side: inner join emits nothing (and the runtime filter
+	// prunes the whole probe side); outer joins must still pad correctly.
+	"SELECT e.id, n.w FROM events e JOIN nothing n ON e.id = n.k",
+	"SELECT e.id, n.w FROM events e LEFT JOIN nothing n ON e.id = n.k WHERE e.id < 40",
+	"SELECT n.k, e.id FROM nothing n RIGHT JOIN events e ON n.k = e.id WHERE e.id < 40",
+	"SELECT e.id FROM events e LEFT SEMI JOIN nothing n ON e.id = n.k",
+	"SELECT e.id FROM events e LEFT ANTI JOIN nothing n ON e.id = n.k WHERE e.id < 40",
+	// Aggregations: few groups, many groups (forces table growth + spill
+	// under a tiny budget), NULL keys, float keys, DISTINCT, empty input.
+	"SELECT cat, COUNT(*) AS n, SUM(v) AS sv, AVG(score) AS a FROM events GROUP BY cat",
+	"SELECT v, COUNT(*) AS n FROM events GROUP BY v",
+	"SELECT id % 350 AS g, SUM(score) AS s, MIN(v) AS lo, MAX(v) AS hi FROM events GROUP BY id % 350",
+	"SELECT score, COUNT(*) AS n FROM events WHERE id < 300 GROUP BY score",
+	"SELECT bi, COUNT(*) AS n, SUM(fl) AS s FROM edges GROUP BY bi",
+	"SELECT fl, MIN(bi) AS lo, MAX(st) AS hi FROM edges GROUP BY fl",
+	"SELECT st, COUNT(DISTINCT bi) AS db, SUM(DISTINCT fl) AS df FROM edges GROUP BY st",
+	"SELECT COUNT(*) AS n, SUM(v) AS s, MIN(score) AS lo FROM events WHERE id < 0",
+	"SELECT k, COUNT(*) AS n FROM nothing GROUP BY k",
+	"SELECT COUNT(*) AS n FROM nothing",
+	"SELECT cat, v % 5 AS m, COUNT(*) AS n, AVG(v) AS av FROM events GROUP BY cat, v % 5",
+	// Join feeding an aggregation: both vectorized operators stacked.
+	"SELECT e.cat, COUNT(*) AS n, SUM(f.v) AS s FROM events e JOIN events f ON e.id = f.v GROUP BY e.cat",
+}
+
+// TestVecRowEquivalence is the vectorized-execution property test: for every
+// corpus query, the vectorized join/aggregation operators must return
+// row-for-row IDENTICAL output (same rows, same order) as the row-at-a-time
+// reference path — at parallelism 1, 2 and 8, and again with SpillBytes=1 so
+// every hash table immediately overflows and takes the spill path.
+func TestVecRowEquivalence(t *testing.T) {
+	w := newWorld(t)
+	qschema := types.NewSchema(
+		types.Field{Name: "seller", Kind: types.KindString},
+		types.Field{Name: "quota", Kind: types.KindFloat64},
+	)
+	if err := w.cat.CreateTable(adminCtx(), []string{"quotas"}, qschema, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	bb := types.NewBatchBuilder(qschema, 3)
+	bb.AppendRow([]types.Value{types.String("ann"), types.Float64(120)})
+	bb.AppendRow([]types.Value{types.String("ben"), types.Float64(400)})
+	bb.AppendRow([]types.Value{types.String("zoe"), types.Float64(10)})
+	if _, err := w.cat.AppendToTable(adminCtx(), []string{"quotas"}, []*types.Batch{bb.Build()}); err != nil {
+		t.Fatal(err)
+	}
+	seedEventsTable(t, w, 16, 64)
+	seedEdgeTable(t, w)
+
+	queries := append(generateQueries(60, 23), vecEquivQueries...)
+
+	type config struct {
+		name       string
+		vec        bool
+		workers    int
+		spillBytes int64
+	}
+	configs := []config{
+		{name: "vec", vec: true, workers: 1},
+		{name: "vec-w2", vec: true, workers: 2},
+		{name: "vec-w8", vec: true, workers: 8},
+		{name: "vec-spill", vec: true, workers: 1, spillBytes: 1},
+		{name: "vec-spill-w2", vec: true, workers: 2, spillBytes: 1},
+		{name: "vec-spill-w8", vec: true, workers: 8, spillBytes: 1},
+	}
+	defer func() {
+		w.engine.DisableVecExec = false
+		w.engine.Parallelism = 0
+		w.engine.SpillBytes = 0
+	}()
+	run := func(q string, vec bool, workers int, spillBytes int64) (string, error) {
+		w.engine.DisableVecExec = !vec
+		w.engine.Parallelism = workers
+		w.engine.SpillBytes = spillBytes
+		b, err := w.runWithOptions(q, optimizer.DefaultOptions())
+		if err != nil {
+			return "", err
+		}
+		return orderedRows(b), nil
+	}
+	for _, q := range queries {
+		ref, refErr := run(q, false, 1, 0)
+		for _, c := range configs {
+			got, err := run(q, c.vec, c.workers, c.spillBytes)
+			if (refErr == nil) != (err == nil) {
+				t.Fatalf("error divergence for %q [%s]: row=%v vec=%v", q, c.name, refErr, err)
+			}
+			if refErr != nil {
+				continue
+			}
+			if got != ref {
+				t.Fatalf("ordered-result divergence for %q [%s]:\nrow reference:\n%s\nvectorized:\n%s",
+					q, c.name, ref, got)
+			}
+		}
+	}
+}

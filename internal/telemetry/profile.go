@@ -21,6 +21,11 @@ type OpStats struct {
 	rowBatches   atomic.Int64 // batches that fell back to the row interpreter
 	filesScanned atomic.Int64 // data files read by a scan
 	filesPruned  atomic.Int64 // data files skipped by zone-map statistics
+	rfFiles      atomic.Int64 // data files skipped by a join's runtime filter
+	probeRows    atomic.Int64 // rows a hash join probed against its build table
+	rfRows       atomic.Int64 // probe-side rows dropped by a runtime filter
+	spillParts   atomic.Int64 // hash-table spill partitions written
+	spillBytes   atomic.Int64 // bytes written to spill storage
 
 	mu       sync.Mutex
 	children []*OpStats
@@ -64,6 +69,44 @@ func (o *OpStats) AddFiles(scanned, pruned int) {
 	}
 	o.filesScanned.Add(int64(scanned))
 	o.filesPruned.Add(int64(pruned))
+}
+
+// AddRuntimeFilePruned moves n files from "scanned" to "skipped by runtime
+// filter": the files were admitted by build-time zone-map pruning (so they
+// were counted scanned) but a join's build-side filter later proved them
+// empty before any storage GET.
+func (o *OpStats) AddRuntimeFilePruned(n int) {
+	if o == nil {
+		return
+	}
+	o.filesScanned.Add(int64(-n))
+	o.rfFiles.Add(int64(n))
+}
+
+// AddProbe records rows a hash join probed against its build table.
+func (o *OpStats) AddProbe(rows int) {
+	if o == nil {
+		return
+	}
+	o.probeRows.Add(int64(rows))
+}
+
+// AddRuntimeFiltered records probe-side rows dropped by a runtime filter
+// before reaching the join.
+func (o *OpStats) AddRuntimeFiltered(rows int) {
+	if o == nil {
+		return
+	}
+	o.rfRows.Add(int64(rows))
+}
+
+// AddSpill records hash-table spill volume: partitions written and bytes.
+func (o *OpStats) AddSpill(partitions int, bytes int64) {
+	if o == nil {
+		return
+	}
+	o.spillParts.Add(int64(partitions))
+	o.spillBytes.Add(bytes)
 }
 
 // FilesScanned returns data files read.
@@ -120,6 +163,46 @@ func (o *OpStats) RowFallbackBatches() int64 {
 		return 0
 	}
 	return o.rowBatches.Load()
+}
+
+// RuntimeFilePruned returns data files skipped by a runtime filter.
+func (o *OpStats) RuntimeFilePruned() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.rfFiles.Load()
+}
+
+// ProbeRows returns rows probed against a join's build table.
+func (o *OpStats) ProbeRows() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.probeRows.Load()
+}
+
+// RuntimeFilteredRows returns probe-side rows dropped by a runtime filter.
+func (o *OpStats) RuntimeFilteredRows() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.rfRows.Load()
+}
+
+// SpillPartitions returns hash-table spill partitions written.
+func (o *OpStats) SpillPartitions() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.spillParts.Load()
+}
+
+// SpillBytes returns bytes written to spill storage.
+func (o *OpStats) SpillBytes() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.spillBytes.Load()
 }
 
 // Children returns the operator's input operators.
@@ -218,8 +301,23 @@ func renderOp(b *strings.Builder, o *OpStats, depth int) {
 	if v, r := o.VecBatches(), o.RowFallbackBatches(); v+r > 0 {
 		fmt.Fprintf(b, ", vectorized %d/%d", v, v+r)
 	}
-	if s, pr := o.FilesScanned(), o.FilesPruned(); s+pr > 0 {
-		fmt.Fprintf(b, ", files %d (pruned %d)", s, pr)
+	if s, pr, rf := o.FilesScanned(), o.FilesPruned(), o.RuntimeFilePruned(); s+pr+rf > 0 {
+		fmt.Fprintf(b, ", files %d (pruned %d", s, pr)
+		if rf > 0 {
+			fmt.Fprintf(b, ", runtime filter %d", rf)
+		}
+		b.WriteString(")")
+	}
+	if p := o.ProbeRows(); p > 0 {
+		fmt.Fprintf(b, ", probe rows %d", p)
+		if rf := o.RuntimeFilteredRows(); rf > 0 {
+			fmt.Fprintf(b, " (filtered %d by runtime filter)", rf)
+		}
+	} else if rf := o.RuntimeFilteredRows(); rf > 0 {
+		fmt.Fprintf(b, ", rows filtered %d by runtime filter", rf)
+	}
+	if sp, sb := o.SpillPartitions(), o.SpillBytes(); sp > 0 || sb > 0 {
+		fmt.Fprintf(b, ", spill %d partitions / %d bytes", sp, sb)
 	}
 	b.WriteString("]\n")
 	for _, c := range o.Children() {

@@ -122,6 +122,72 @@ func (c *Column) Gather(indices []int) *Column {
 	return out
 }
 
+// GatherPad is Gather with outer-join padding: an index of -1 produces a
+// NULL row instead of reading the payload. It works on columns of any
+// length, including empty ones (all indices -1), which is how join tails
+// synthesize an all-NULL side without materializing source rows.
+func (c *Column) GatherPad(indices []int) *Column {
+	out := &Column{kind: c.kind, n: len(indices)}
+	needNulls := c.nulls != nil
+	if !needNulls {
+		for _, i := range indices {
+			if i < 0 {
+				needNulls = true
+				break
+			}
+		}
+	}
+	if needNulls {
+		out.nulls = make([]bool, len(indices))
+	}
+	switch c.kind {
+	case KindBool, KindInt64, KindDate, KindTimestamp:
+		out.ints = make([]int64, len(indices))
+		for j, i := range indices {
+			if i < 0 {
+				out.nulls[j] = true
+				continue
+			}
+			out.ints[j] = c.ints[i]
+			if c.nulls != nil {
+				out.nulls[j] = c.nulls[i]
+			}
+		}
+	case KindFloat64:
+		out.flts = make([]float64, len(indices))
+		for j, i := range indices {
+			if i < 0 {
+				out.nulls[j] = true
+				continue
+			}
+			out.flts[j] = c.flts[i]
+			if c.nulls != nil {
+				out.nulls[j] = c.nulls[i]
+			}
+		}
+	case KindString, KindBinary:
+		out.strs = make([]string, len(indices))
+		for j, i := range indices {
+			if i < 0 {
+				out.nulls[j] = true
+				continue
+			}
+			out.strs[j] = c.strs[i]
+			if c.nulls != nil {
+				out.nulls[j] = c.nulls[i]
+			}
+		}
+	default:
+		for j := range indices {
+			if out.nulls == nil {
+				out.nulls = make([]bool, len(indices))
+			}
+			out.nulls[j] = true
+		}
+	}
+	return out
+}
+
 // Slice returns a copy of rows [from, to) via bulk payload copies.
 func (c *Column) Slice(from, to int) *Column {
 	out := &Column{kind: c.kind, n: to - from}
