@@ -33,6 +33,7 @@ import (
 	"lakeguard/internal/proto"
 	"lakeguard/internal/session"
 	"lakeguard/internal/storage"
+	"lakeguard/internal/systemtables"
 	"lakeguard/internal/telemetry"
 )
 
@@ -78,6 +79,10 @@ func main() {
 	maxQueueDepth := flag.Int("max-queue-depth", 16, "admission: per-tenant wait-queue bound; requests beyond it are shed with 429")
 	sharedSessions := flag.Bool("shared-sessions", true, "share one session store across the fleet so drains detach warm state instead of exporting it")
 	autoscaleMs := flag.Int("autoscale-ms", 2000, "fleet health sweep + autoscaler tick interval (0 disables)")
+	dataDir := flag.String("data-dir", "", "persist object storage under this directory so tables — including the system tables — survive restarts (empty = in-memory)")
+	systemTables := flag.Bool("system-tables", true, "spool audit events, query history, and per-tenant usage into the governed system catalog")
+	systemFlushMs := flag.Int("system-flush-ms", 2000, "system-table spooler flush interval")
+	systemRetention := flag.Duration("system-retention", 30*24*time.Hour, "truncate system-table partitions older than this (0 keeps forever)")
 	tokens := tokenFlags{}
 	flag.Var(tokens, "token", "token=user mapping (repeatable)")
 	weights := weightFlags{}
@@ -90,7 +95,19 @@ func main() {
 	}
 
 	store := storage.NewStore()
-	cat := catalog.New(store, nil)
+	if *dataDir != "" {
+		var err error
+		store, err = storage.NewPersistentStore(*dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("object storage persisted under %s", *dataDir)
+	}
+	// One audit log for the whole deployment: the catalog records
+	// authorization decisions into it, the connect layer records admission
+	// sheds, and the system-table spooler drains it durably.
+	auditLog := audit.NewLog()
+	cat := catalog.New(store, auditLog)
 	cat.AddAdmin(*admin)
 
 	// Telemetry: one registry and tracer for the whole deployment. The
@@ -102,6 +119,25 @@ func main() {
 		tracer.SetSlowThreshold(time.Duration(*slowQueryMs) * time.Millisecond)
 	}
 	cat.SetMetrics(metrics)
+
+	// The spooler drains the audit ring, completed-query profiles, and
+	// per-tenant usage into governed Delta tables under the system catalog.
+	// With -data-dir they survive restarts. It must exist before the gateway
+	// provisions its first cluster, which captures it into the server config.
+	var spooler *systemtables.Spooler
+	if *systemTables {
+		sp, err := systemtables.New(systemtables.Config{
+			Catalog: cat, Audit: auditLog, Metrics: metrics,
+			FlushInterval: time.Duration(*systemFlushMs) * time.Millisecond,
+			Retention:     *systemRetention,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		spooler = sp
+		spooler.Start()
+		log.Printf("system tables enabled: system.audit.events, system.query.history, system.billing.usage (flush %dms, retention %v)", *systemFlushMs, *systemRetention)
+	}
 
 	// One session store for the whole fleet: cluster drains and rebalances
 	// become warm detaches (release sandboxes, keep temp views) instead of
@@ -117,7 +153,7 @@ func main() {
 			return core.NewServer(core.Config{
 				Name: name, Catalog: cat, Compute: catalog.ComputeServerless,
 				Parallelism: *parallelism, SpillBytes: *spillBytes,
-				Metrics: metrics, Sessions: sessions,
+				Metrics: metrics, Sessions: sessions, SystemTables: spooler,
 			})
 		},
 		MaxSessionsPerCluster: *maxSessions,
@@ -128,8 +164,6 @@ func main() {
 	stopSweeper := service.StartSweeper(30*time.Second, 15*time.Minute)
 	defer stopSweeper()
 
-	auditLog := audit.NewLog()
-	auditLog.SetMetrics(metrics)
 	service.SetAudit(auditLog)
 
 	var ctrl *admission.Controller
@@ -140,6 +174,7 @@ func main() {
 			Weights:       weights,
 			Metrics:       metrics,
 			OnShed: func(tenant, reason string, retryAfter time.Duration) {
+				spooler.RecordShed(tenant)
 				log.Printf("shed %s (%s), retry after %v", tenant, reason, retryAfter)
 			},
 		})

@@ -10,7 +10,13 @@
 //	\explain <query>   show the (policy-redacted) plan
 //	\explainv <query>  show the plan with sentinel verification annotations
 //	\analyze <query>   execute with EXPLAIN ANALYZE profiling
+//	\audit [n]         last n audit events from system.audit.events (default 20)
+//	\history [n]       last n queries from system.query.history (default 20)
 //	\q                 quit
+//
+// \audit and \history compile to plain governed SELECTs over the system
+// tables, so the built-in row filters apply: each caller sees their own
+// rows; metastore admins see everything.
 //
 // With -e, the -explain-verified flag prints the optimized plan annotated
 // with the static security invariant that cleared each policy operator,
@@ -22,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -67,7 +74,7 @@ func main() {
 	}
 
 	fmt.Printf("lakeguard-sql connected to %s (session %s)\n", *addr, client.SessionID())
-	fmt.Println(`enter SQL terminated by ';', \explain <query>, \explainv <query>, \analyze <query>, or \q to quit`)
+	fmt.Println(`enter SQL terminated by ';', \explain <query>, \explainv <query>, \analyze <query>, \audit [n], \history [n], or \q to quit`)
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -94,6 +101,12 @@ func main() {
 			case strings.HasPrefix(trimmed, `\analyze `):
 				analyze(client, strings.TrimPrefix(trimmed, `\analyze `))
 				continue
+			case trimmed == `\audit`, strings.HasPrefix(trimmed, `\audit `):
+				runStatement(client, auditQuery(metaLimit(trimmed, `\audit`)))
+				continue
+			case trimmed == `\history`, strings.HasPrefix(trimmed, `\history `):
+				runStatement(client, historyQuery(metaLimit(trimmed, `\history`)))
+				continue
 			}
 		}
 		buf.WriteString(line)
@@ -107,6 +120,32 @@ func main() {
 			prompt = "  -> "
 		}
 	}
+}
+
+// metaLimit parses the optional row-count argument of \audit / \history.
+func metaLimit(trimmed, cmd string) int {
+	arg := strings.TrimSpace(strings.TrimPrefix(trimmed, cmd))
+	if arg == "" {
+		return 20
+	}
+	n, err := strconv.Atoi(arg)
+	if err != nil || n <= 0 {
+		fmt.Fprintf(os.Stderr, "ignoring bad limit %q; using 20\n", arg)
+		return 20
+	}
+	return n
+}
+
+// auditQuery and historyQuery are ordinary governed SELECTs: the server's
+// built-in system-table row filters decide which rows this token may see.
+func auditQuery(n int) string {
+	return fmt.Sprintf(
+		"SELECT event_time, tenant, action, securable, decision, reason FROM system.audit.events ORDER BY event_time DESC LIMIT %d", n)
+}
+
+func historyQuery(n int) string {
+	return fmt.Sprintf(
+		"SELECT end_time, tenant, status, total_ms, rows_out, sql_text FROM system.query.history ORDER BY end_time DESC LIMIT %d", n)
 }
 
 func runStatement(client *connect.Client, stmt string) bool {

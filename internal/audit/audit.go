@@ -56,8 +56,13 @@ type Log struct {
 	start   int
 	cap     int
 	dropped int64
-	metric  *telemetry.Counter
-	clock   func() time.Time
+	// seq counts every event ever recorded (monotonic, never reset). The
+	// oldest retained event therefore has sequence seq-len(events), which is
+	// what lets EventsSince report exactly how many events a slow consumer
+	// lost to ring overwrites instead of silently skipping them.
+	seq    int64
+	metric *telemetry.Counter
+	clock  func() time.Time
 }
 
 // NewLog creates an empty audit log bounded at DefaultCapacity.
@@ -112,6 +117,7 @@ func (l *Log) Record(e Event) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	e.Time = l.clock()
+	l.seq++
 	if l.cap == 0 || len(l.events) < l.cap {
 		l.events = append(l.events, e)
 		return
@@ -120,6 +126,40 @@ func (l *Log) Record(e Event) {
 	l.start = (l.start + 1) % l.cap
 	l.dropped++
 	l.metric.Inc()
+}
+
+// Seq returns the total number of events ever recorded. The next event gets
+// sequence Seq()+1; EventsSince(Seq()) returns nothing until then.
+func (l *Log) Seq() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.seq
+}
+
+// EventsSince returns every retained event recorded after cursor position
+// `from` (a value previously returned as next, or 0 for "from the
+// beginning"), the new cursor position, and how many events in (from, next]
+// were overwritten before they could be read. A consumer that drains with
+// EventsSince and persists before advancing its cursor can prove it never
+// both lost an event to the ring and failed to notice: lost is exact, not
+// a global counter shared with other consumers.
+func (l *Log) EventsSince(from int64) (events []Event, next int64, lost int64) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	next = l.seq
+	if from >= next {
+		return nil, next, 0
+	}
+	firstRetained := l.seq - int64(len(l.events))
+	if from < firstRetained {
+		lost = firstRetained - from
+		from = firstRetained
+	}
+	all := l.snapshotLocked()
+	// all[i] has sequence firstRetained+1+i; skip to the first event after from.
+	skip := from - firstRetained
+	events = all[skip:]
+	return events, next, lost
 }
 
 // snapshotLocked returns retained events oldest-first. Callers hold l.mu.

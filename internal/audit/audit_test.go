@@ -126,6 +126,89 @@ func TestRingShrinkAndUnlimited(t *testing.T) {
 	}
 }
 
+func TestEventsSinceCursor(t *testing.T) {
+	l := NewLog()
+	for i := 0; i < 3; i++ {
+		l.Record(Event{Securable: string(rune('a' + i))})
+	}
+	events, next, lost := l.EventsSince(0)
+	if len(events) != 3 || lost != 0 || next != 3 {
+		t.Fatalf("EventsSince(0) = %d events, next=%d, lost=%d", len(events), next, lost)
+	}
+	if events[0].Securable != "a" || events[2].Securable != "c" {
+		t.Fatalf("wrong order: %v", events)
+	}
+	// Nothing new: the cursor is stable and nothing is returned.
+	events, next2, lost := l.EventsSince(next)
+	if len(events) != 0 || lost != 0 || next2 != next {
+		t.Fatalf("idle EventsSince = %d events, next=%d, lost=%d", len(events), next2, lost)
+	}
+	// Incremental drain picks up exactly the new events.
+	l.Record(Event{Securable: "d"})
+	events, next, lost = l.EventsSince(next)
+	if len(events) != 1 || events[0].Securable != "d" || lost != 0 {
+		t.Fatalf("incremental = %v (lost=%d)", events, lost)
+	}
+	if next != l.Seq() {
+		t.Fatalf("next=%d, Seq()=%d", next, l.Seq())
+	}
+}
+
+func TestEventsSinceReportsOverwrittenEvents(t *testing.T) {
+	l := NewLog()
+	l.SetCapacity(4)
+	for i := 0; i < 3; i++ {
+		l.Record(Event{Securable: string(rune('a' + i))})
+	}
+	_, cursor, _ := l.EventsSince(0)
+	// Ring wraps: 7 more events into capacity 4 overwrite everything the
+	// cursor had not consumed plus three of the new ones.
+	for i := 0; i < 7; i++ {
+		l.Record(Event{Securable: string(rune('d' + i))})
+	}
+	events, next, lost := l.EventsSince(cursor)
+	// Sequences 4..10 are after the cursor; only 7..10 survive in the ring.
+	if lost != 3 {
+		t.Fatalf("lost = %d, want 3", lost)
+	}
+	if len(events) != 4 || events[0].Securable != "g" || events[3].Securable != "j" {
+		t.Fatalf("retained after gap: %v", events)
+	}
+	if next != 10 {
+		t.Fatalf("next = %d, want 10", next)
+	}
+	// Accounting is exact: consumed + lost covers every sequence number.
+	if int64(len(events))+lost != next-cursor {
+		t.Fatalf("events(%d) + lost(%d) != next-cursor(%d)", len(events), lost, next-cursor)
+	}
+}
+
+func TestEventsSinceNoSilentLossAcrossWrap(t *testing.T) {
+	// Property check: under any interleaving of records and drains, the sum
+	// of drained events plus reported losses equals the number recorded.
+	l := NewLog()
+	l.SetCapacity(8)
+	var cursor, drained, lost int64
+	recorded := int64(0)
+	for round := 0; round < 50; round++ {
+		burst := (round % 13) + 1 // sometimes exceeds capacity
+		for i := 0; i < burst; i++ {
+			l.Record(Event{})
+			recorded++
+		}
+		events, next, lostNow := l.EventsSince(cursor)
+		drained += int64(len(events))
+		lost += lostNow
+		cursor = next
+	}
+	if drained+lost != recorded {
+		t.Fatalf("drained(%d) + lost(%d) != recorded(%d): silent loss", drained, lost, recorded)
+	}
+	if lost == 0 {
+		t.Fatal("test never overflowed the ring; increase burst sizes")
+	}
+}
+
 func TestDroppedMetric(t *testing.T) {
 	l := NewLog()
 	l.SetCapacity(1)

@@ -14,6 +14,7 @@ import (
 	"lakeguard/internal/sandbox"
 	"lakeguard/internal/sentinel"
 	"lakeguard/internal/sql"
+	"lakeguard/internal/systemtables"
 	"lakeguard/internal/telemetry"
 )
 
@@ -68,6 +69,14 @@ type TelemetryOverheadResult struct {
 	// what SENTINEL_VERIFY adds to every query. Shares the ≤10% acceptance
 	// bar with OverheadPct.
 	VerifyOverheadPct float64 `json:"verify_overhead_pct"`
+	// SpooledQueries confirms the instrumented series really fed the
+	// system-table spooler and every record landed in system.query.history.
+	SpooledQueries int64 `json:"spooled_queries"`
+	// P50MS/P90MS/P99MS are instrumented per-query latency percentiles,
+	// interpolated from the same Histogram type that backs /metrics.
+	P50MS float64 `json:"p50_ms"`
+	P90MS float64 `json:"p90_ms"`
+	P99MS float64 `json:"p99_ms"`
 }
 
 // FormatJSON renders the result for BENCH_telemetry.json.
@@ -135,9 +144,23 @@ func RunTelemetryOverhead(cfg TelemetryOverheadConfig) (*TelemetryOverheadResult
 		return nil, err
 	}
 
+	// The instrumented series also feeds the system-table spooler per rep —
+	// the exact hot-path cost a production query pays (building the record
+	// and the non-blocking enqueue) — so spooling shares the ≤10% gate. The
+	// background flush is intentionally not started: its cost is amortized
+	// off the query path, and a deterministic Flush below proves the records
+	// actually landed in system.query.history.
+	reg := telemetry.NewRegistry()
+	spool, err := systemtables.New(systemtables.Config{Catalog: w.Cat, Metrics: reg})
+	if err != nil {
+		return nil, err
+	}
+	latencies := reg.Histogram("bench.query_ms", nil)
+
 	tracer := telemetry.NewTracer()
 	var lastProfile *telemetry.Profile
 	instD, err := best(func() error {
+		repStart := time.Now()
 		ctx, root := tracer.StartTrace(context.Background(), "query")
 		qc := exec.NewQueryContext(w.Cat, w.Ctx())
 		qc.Context = ctx
@@ -145,6 +168,14 @@ func RunTelemetryOverhead(cfg TelemetryOverheadConfig) (*TelemetryOverheadResult
 		lastProfile = qc.Profile
 		err := runOnce(qc)
 		root.EndErr(err)
+		tot := qc.Profile.Totals()
+		spool.RecordQuery(systemtables.QueryRecord{
+			Tenant: Admin, SessionID: "bench", SQLText: ExecScalingQuery,
+			Status: "OK", TotalNanos: int64(time.Since(repStart)),
+			RowsOut: tot.RowsOut, FilesScanned: tot.FilesScanned,
+			FilesPruned: tot.FilesPruned, BytesRead: tot.ReadBytes,
+		})
+		latencies.Observe(float64(time.Since(repStart)) / float64(time.Millisecond))
 		return err
 	})
 	if err != nil {
@@ -153,6 +184,19 @@ func RunTelemetryOverhead(cfg TelemetryOverheadConfig) (*TelemetryOverheadResult
 	if open := tracer.OpenSpans(); open != 0 {
 		return nil, fmt.Errorf("bench: %d spans left open after instrumented runs", open)
 	}
+	if err := spool.Flush(); err != nil {
+		return nil, err
+	}
+	spooled, err := w.Cat.SystemTableCount(systemtables.HistoryTableParts)
+	if err != nil {
+		return nil, err
+	}
+	if spooled != int64(cfg.Repetitions) {
+		return nil, fmt.Errorf("bench: spooled %d query records, want %d", spooled, cfg.Repetitions)
+	}
+	p50, _ := latencies.Quantile(0.50)
+	p90, _ := latencies.Quantile(0.90)
+	p99, _ := latencies.Quantile(0.99)
 
 	verifyD, err := measureVerify(w, cfg.Repetitions)
 	if err != nil {
@@ -171,6 +215,10 @@ func RunTelemetryOverhead(cfg TelemetryOverheadConfig) (*TelemetryOverheadResult
 		OpsProfiled:       countOps(lastProfile.Root()),
 		VerifyMS:          float64(verifyD) / float64(time.Millisecond),
 		VerifyOverheadPct: float64(verifyD) / float64(baseD) * 100,
+		SpooledQueries:    spooled,
+		P50MS:             p50,
+		P90MS:             p90,
+		P99MS:             p99,
 	}, nil
 }
 
@@ -248,11 +296,13 @@ func FormatTelemetryOverhead(r *TelemetryOverheadResult) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Telemetry overhead: exec workload bare vs fully instrumented (%d rows, %d files, %d workers)\n",
 		r.Rows, r.Files, r.Workers)
-	fmt.Fprintf(&sb, "instrumented = trace + root span + per-operator spans + worker/morsel spans + storage.get spans + profile atomics (%d ops profiled)\n\n", r.OpsProfiled)
+	fmt.Fprintf(&sb, "instrumented = trace + root span + per-operator spans + worker/morsel spans + storage.get spans + profile atomics + system-table spooler enqueue (%d ops profiled)\n\n", r.OpsProfiled)
 	fmt.Fprintf(&sb, "  baseline:     %8.1fms\n", r.BaselineMS)
 	fmt.Fprintf(&sb, "  instrumented: %8.1fms\n", r.InstrumentedMS)
 	fmt.Fprintf(&sb, "  overhead:     %+7.1f%%\n\n", r.OverheadPct)
 	fmt.Fprintf(&sb, "  sentinel gate (verify+seal+check, governed plan): %.3fms = %+.2f%% of baseline\n",
 		r.VerifyMS, r.VerifyOverheadPct)
+	fmt.Fprintf(&sb, "  system tables: %d query record(s) spooled into system.query.history\n", r.SpooledQueries)
+	fmt.Fprintf(&sb, "  instrumented latency percentiles: p50 %.1fms  p90 %.1fms  p99 %.1fms\n", r.P50MS, r.P90MS, r.P99MS)
 	return sb.String()
 }

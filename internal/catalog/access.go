@@ -60,9 +60,11 @@ type FunctionMeta struct {
 }
 
 // hasPrivilege checks the effective privilege of a caller on a securable:
-// admin, owner, direct user grant, or group grant; ALL implies everything.
+// admin, owner, direct user grant, group grant, or a grant to the "public"
+// pseudo-principal (every authenticated identity); ALL implies everything.
 // With a GroupScope, the caller's permissions are down-scoped to exactly the
-// named group's grants — admin and ownership shortcuts do not apply.
+// named group's grants — admin and ownership shortcuts do not apply, but
+// public grants do: they name everyone, which includes any group.
 // Caller must hold at least a read lock.
 func (c *Catalog) hasPrivilege(ctx RequestContext, priv Privilege, full string, owner string) bool {
 	byPriv := c.grants[full]
@@ -72,7 +74,7 @@ func (c *Catalog) hasPrivilege(ctx RequestContext, priv Privilege, full string, 
 		}
 		scope := strings.ToLower(ctx.GroupScope)
 		for _, p := range []Privilege{priv, PrivAll} {
-			if byPriv[p] != nil && (byPriv[p][scope] || byPriv[p][ctx.GroupScope]) {
+			if byPriv[p] != nil && (byPriv[p][scope] || byPriv[p][ctx.GroupScope] || byPriv[p][PublicPrincipal]) {
 				return true
 			}
 		}
@@ -90,7 +92,7 @@ func (c *Catalog) hasPrivilege(ctx RequestContext, priv Privilege, full string, 
 		if principals == nil {
 			continue
 		}
-		if principals[user] {
+		if principals[user] || principals[PublicPrincipal] {
 			return true
 		}
 		for g, members := range c.groups {
@@ -213,6 +215,12 @@ func (c *Catalog) VendCredential(ctx RequestContext, parts []string, mode storag
 	priv := PrivSelect
 	if mode == storage.ModeReadWrite {
 		priv = PrivModify
+		// System tables are engine-written only: even admins (who pass every
+		// privilege check) must not forge audit or billing rows through DML.
+		if strings.HasPrefix(full, SystemCatalog+".") && ctx.User != SystemUser {
+			c.record(ctx, "VEND_CREDENTIAL", full, audit.DecisionDeny, "system tables are engine-written")
+			return nil, fmt.Errorf("%w: %s is an engine-written system table", ErrPermission, full)
+		}
 	}
 	if !c.hasPrivilege(ctx, priv, full, t.owner) {
 		c.record(ctx, "VEND_CREDENTIAL", full, audit.DecisionDeny, "missing "+string(priv))

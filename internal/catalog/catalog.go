@@ -227,11 +227,19 @@ func (c *Catalog) invalidateTable(prefix string) {
 // Store returns the object store (engine side only).
 func (c *Catalog) Store() *storage.Store { return c.store }
 
-// AddAdmin marks a user as a metastore admin.
+// AddAdmin marks a user as a metastore admin and enrolls them in the
+// built-in AdminsGroup, so policies written in SQL (the system tables' "admins
+// see all rows" row filter) track admin membership automatically.
 func (c *Catalog) AddAdmin(user string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.admins[user] = true
+	g := c.groups[AdminsGroup]
+	if g == nil {
+		g = map[string]bool{}
+		c.groups[AdminsGroup] = g
+	}
+	g[user] = true
 }
 
 // CreateGroup creates an account group.

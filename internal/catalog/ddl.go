@@ -11,6 +11,17 @@ import (
 	"lakeguard/internal/types"
 )
 
+// checkReserved rejects user-facing DDL inside the reserved "system"
+// catalog: its schemas, tables, and policies are engine-managed (see
+// system.go), and letting anyone — admins included — redefine them would let
+// a tenant rewrite the row filter guarding everyone else's audit rows.
+func checkReserved(ctx RequestContext, cat string) error {
+	if cat == SystemCatalog && ctx.User != SystemUser {
+		return fmt.Errorf("%w: catalog %q is reserved for engine-managed system tables", ErrPermission, SystemCatalog)
+	}
+	return nil
+}
+
 // CreateSchema creates a namespace. Any authenticated user may create
 // schemas in this simplified model; the creator becomes owner of objects
 // they create inside it.
@@ -23,6 +34,9 @@ func (c *Catalog) CreateSchema(ctx RequestContext, parts []string, ifNotExists b
 		cat, sch = strings.ToLower(parts[0]), strings.ToLower(parts[1])
 	default:
 		return fmt.Errorf("%w: schema name %v", ErrInvalidName, parts)
+	}
+	if err := checkReserved(ctx, cat); err != nil {
+		return err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -46,6 +60,9 @@ func (c *Catalog) CreateSchema(ctx RequestContext, parts []string, ifNotExists b
 func (c *Catalog) CreateTable(ctx RequestContext, parts []string, schema *types.Schema, ifNotExists bool, comment string) error {
 	cat, sch, name, err := normalize(parts)
 	if err != nil {
+		return err
+	}
+	if err := checkReserved(ctx, cat); err != nil {
 		return err
 	}
 	full := cat + "." + sch + "." + name
@@ -81,6 +98,9 @@ func (c *Catalog) CreateTable(ctx RequestContext, parts []string, schema *types.
 func (c *Catalog) CreateView(ctx RequestContext, parts []string, query string, materialized, orReplace bool, viewSchema *types.Schema, comment string) error {
 	cat, sch, name, err := normalize(parts)
 	if err != nil {
+		return err
+	}
+	if err := checkReserved(ctx, cat); err != nil {
 		return err
 	}
 	full := cat + "." + sch + "." + name
@@ -140,6 +160,9 @@ func (c *Catalog) CreateFunctionResources(ctx RequestContext, parts []string, pa
 	if err != nil {
 		return err
 	}
+	if err := checkReserved(ctx, cat); err != nil {
+		return err
+	}
 	full := cat + "." + sch + "." + name
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -168,6 +191,9 @@ func (c *Catalog) CreateFunctionResources(ctx RequestContext, parts []string, pa
 func (c *Catalog) Drop(ctx RequestContext, parts []string, ifExists bool) error {
 	cat, sch, name, err := normalize(parts)
 	if err != nil {
+		return err
+	}
+	if err := checkReserved(ctx, cat); err != nil {
 		return err
 	}
 	full := cat + "." + sch + "." + name
@@ -215,6 +241,9 @@ func (c *Catalog) SetRowFilter(ctx RequestContext, parts []string, filterSQL str
 	if err != nil {
 		return err
 	}
+	if err := checkReserved(ctx, cat); err != nil {
+		return err
+	}
 	full := cat + "." + sch + "." + name
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -243,6 +272,9 @@ func (c *Catalog) SetRowFilter(ctx RequestContext, parts []string, filterSQL str
 func (c *Catalog) SetColumnMask(ctx RequestContext, parts []string, column, maskSQL string, drop bool) error {
 	cat, sch, name, err := normalize(parts)
 	if err != nil {
+		return err
+	}
+	if err := checkReserved(ctx, cat); err != nil {
 		return err
 	}
 	full := cat + "." + sch + "." + name
@@ -314,6 +346,9 @@ func (c *Catalog) Revoke(ctx RequestContext, priv Privilege, parts []string, pri
 func (c *Catalog) checkGrantAuthority(ctx RequestContext, parts []string, action string) (string, error) {
 	cat, sch, name, err := normalize(parts)
 	if err != nil {
+		return "", err
+	}
+	if err := checkReserved(ctx, cat); err != nil {
 		return "", err
 	}
 	full := cat + "." + sch + "." + name

@@ -1,0 +1,201 @@
+package catalog
+
+// This file implements the reserved "system" catalog holding the platform's
+// own observability exhaust (audit events, query history, per-tenant usage)
+// as governed Delta tables. The spooler in internal/systemtables is the only
+// writer; every read goes through the same ResolveTable/OpenSnapshot path as
+// customer data, so the built-in row filters and column masks — and the
+// sentinel passes that verify them — apply to telemetry exactly as they do
+// to any other table.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lakeguard/internal/audit"
+	"lakeguard/internal/delta"
+	"lakeguard/internal/storage"
+	"lakeguard/internal/types"
+)
+
+// Reserved identities for the system-table machinery.
+const (
+	// SystemCatalog is the reserved top-level catalog name.
+	SystemCatalog = "system"
+	// SystemUser owns every system table; only the engine acts as it.
+	SystemUser = "system"
+	// PublicPrincipal is the pseudo-principal matching every identity in
+	// grants. Granting SELECT on a system table to public is safe because
+	// the row filter still scopes what each caller can see.
+	PublicPrincipal = "public"
+	// AdminsGroup is the built-in group AddAdmin maintains; system-table row
+	// filters reference it so admins see all tenants' rows.
+	AdminsGroup = "metastore_admins"
+)
+
+// SystemTableSpec declares one engine-managed system table.
+type SystemTableSpec struct {
+	Parts     []string // e.g. {"system", "audit", "events"}
+	Schema    *types.Schema
+	RowFilter string            // built-in row filter SQL ("" = none)
+	ColMasks  map[string]string // column -> mask SQL
+	Comment   string
+}
+
+// EnsureSystemTable idempotently registers a system table: it creates the
+// reserved catalog/schema entries, creates the backing Delta table (or
+// attaches to one that survived a restart in persistent storage — this is
+// what makes spooled history durable), applies the built-in policies, and
+// grants SELECT to public. Policies are always (re)applied from the spec, so
+// a stale or tampered in-memory policy cannot outlive a restart.
+func (c *Catalog) EnsureSystemTable(spec SystemTableSpec) error {
+	cat, sch, name, err := normalize(spec.Parts)
+	if err != nil {
+		return err
+	}
+	if cat != SystemCatalog {
+		return fmt.Errorf("%w: system table %v must live in catalog %q", ErrInvalidName, spec.Parts, SystemCatalog)
+	}
+	full := cat + "." + sch + "." + name
+	prefix := fmt.Sprintf("tables/%s/%s/%s/", cat, sch, name)
+
+	// Backing storage first (no catalog lock held across storage I/O):
+	// attach if the delta log already exists, create commit 0 otherwise.
+	cred := c.signer.Issue(prefix, storage.ModeReadWrite, time.Minute)
+	if _, err := delta.Open(c.store, &cred, prefix); err != nil {
+		if _, err := delta.Create(c.store, &cred, prefix, spec.Schema); err != nil {
+			return fmt.Errorf("catalog: create system table %s: %w", full, err)
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	so, err := c.schemaFor(cat, sch, true)
+	if err != nil {
+		return err
+	}
+	t := so.tables[name]
+	if t == nil {
+		t = &table{
+			fullName: full, objType: TypeTable, owner: SystemUser,
+			prefix: prefix, colMasks: map[string]string{},
+		}
+		so.tables[name] = t
+	}
+	t.schema = spec.Schema.Clone()
+	t.comment = spec.Comment
+	t.rowFilter = spec.RowFilter
+	t.colMasks = copyMasksInit(spec.ColMasks)
+	byPriv := c.grants[full]
+	if byPriv == nil {
+		byPriv = map[Privilege]map[string]bool{}
+		c.grants[full] = byPriv
+	}
+	if byPriv[PrivSelect] == nil {
+		byPriv[PrivSelect] = map[string]bool{}
+	}
+	byPriv[PrivSelect][PublicPrincipal] = true
+	c.record(RequestContext{User: SystemUser, Compute: ComputeServerless},
+		"ENSURE SYSTEM TABLE", full, audit.DecisionAllow, "")
+	return nil
+}
+
+func copyMasksInit(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// AppendSystemTable commits batches into a system table as the engine. It
+// bypasses credential vending (the signer is used directly, scoped to the
+// table's prefix) and deliberately records no audit event: every flush of
+// system.audit.events would otherwise mint a new audit event, an unbounded
+// self-amplifying trickle. The write is refused for anything outside the
+// reserved catalog or not owned by the system user.
+func (c *Catalog) AppendSystemTable(parts []string, batches []*types.Batch) (int64, error) {
+	t, full, err := c.systemTable(parts)
+	if err != nil {
+		return 0, err
+	}
+	cred := c.signer.Issue(t.prefix, storage.ModeReadWrite, time.Minute)
+	v, err := c.logFor(t.prefix).Append(&cred, batches)
+	if err != nil {
+		return 0, fmt.Errorf("catalog: append %s: %w", full, err)
+	}
+	return v, nil
+}
+
+// SystemTableCount returns the live row count of a system table from its
+// snapshot metadata (no data GETs) — the spooler's lag gauge and tests use
+// it without paying a scan.
+func (c *Catalog) SystemTableCount(parts []string) (int64, error) {
+	t, _, err := c.systemTable(parts)
+	if err != nil {
+		return 0, err
+	}
+	cred := c.signer.Issue(t.prefix, storage.ModeRead, time.Minute)
+	snap, err := c.logFor(t.prefix).Snapshot(&cred, -1)
+	if err != nil {
+		return 0, err
+	}
+	return snap.NumRecords(), nil
+}
+
+// TruncateSystemTableBefore removes whole data files of a system table whose
+// newest value in timeColumn is older than cutoff — file-granular retention
+// driven by the same per-file statistics zone-map pruning uses. Files
+// without recorded bounds for the column are kept (retention never guesses).
+// Returns the number of files removed.
+func (c *Catalog) TruncateSystemTableBefore(parts []string, timeColumn string, cutoff time.Time) (int, error) {
+	t, full, err := c.systemTable(parts)
+	if err != nil {
+		return 0, err
+	}
+	cred := c.signer.Issue(t.prefix, storage.ModeReadWrite, time.Minute)
+	log := c.logFor(t.prefix)
+	snap, err := log.Snapshot(&cred, -1)
+	if err != nil {
+		return 0, err
+	}
+	cutoffMicros := cutoff.UnixMicro()
+	var expired []string
+	for _, f := range snap.Files {
+		cs, ok := f.Stats.Col(timeColumn)
+		if !ok {
+			continue
+		}
+		_, max, ok := cs.Bounds()
+		if !ok || max.Kind != types.KindTimestamp {
+			continue
+		}
+		if max.I < cutoffMicros {
+			expired = append(expired, f.Path)
+		}
+	}
+	if len(expired) == 0 {
+		return 0, nil
+	}
+	if _, err := log.RemoveFiles(&cred, expired, "RETENTION"); err != nil {
+		return 0, fmt.Errorf("catalog: retention on %s: %w", full, err)
+	}
+	c.batches.invalidatePrefix(t.prefix)
+	return len(expired), nil
+}
+
+// systemTable looks up a table and verifies it is an engine-owned system
+// table.
+func (c *Catalog) systemTable(parts []string) (*table, string, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, full, err := c.lookupTable(parts)
+	if err != nil {
+		return nil, full, err
+	}
+	if !strings.HasPrefix(full, SystemCatalog+".") || t.owner != SystemUser {
+		return nil, full, fmt.Errorf("%w: %s is not a system table", ErrPermission, full)
+	}
+	return t, full, nil
+}

@@ -1,0 +1,198 @@
+package catalog
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"lakeguard/internal/storage"
+	"lakeguard/internal/types"
+)
+
+func sysEventSchema() *types.Schema {
+	return types.NewSchema(
+		types.Field{Name: "event_time", Kind: types.KindTimestamp, Nullable: true},
+		types.Field{Name: "tenant", Kind: types.KindString, Nullable: true},
+	)
+}
+
+func sysSpec() SystemTableSpec {
+	return SystemTableSpec{
+		Parts:     []string{SystemCatalog, "audit", "events"},
+		Schema:    sysEventSchema(),
+		RowFilter: "tenant = CURRENT_USER()",
+		Comment:   "test system table",
+	}
+}
+
+func sysRow(micros int64, tenant string) []types.Value {
+	return []types.Value{types.Timestamp(micros), types.String(tenant)}
+}
+
+func sysBatch(rows ...[]types.Value) *types.Batch {
+	bb := types.NewBatchBuilder(sysEventSchema(), len(rows))
+	for _, r := range rows {
+		bb.AppendRow(r)
+	}
+	return bb.Build()
+}
+
+func TestEnsureSystemTableIdempotentAndGoverned(t *testing.T) {
+	c := newTestCatalog(t)
+	if err := c.EnsureSystemTable(sysSpec()); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent across "restarts" of the same catalog.
+	if err := c.EnsureSystemTable(sysSpec()); err != nil {
+		t.Fatalf("re-ensure: %v", err)
+	}
+	// Any user can resolve it (public SELECT grant) and sees the row filter.
+	meta, err := c.ResolveTable(userCtx(alice, ComputeServerless), []string{"system", "audit", "events"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Owner != SystemUser || !meta.HasPolicies || meta.RowFilterSQL == "" {
+		t.Fatalf("meta = %+v: system table must be policy-protected", meta)
+	}
+	// Policies are re-applied from the spec even if tampered in memory.
+	spec := sysSpec()
+	spec.RowFilter = "tenant = CURRENT_USER() OR FALSE"
+	if err := c.EnsureSystemTable(spec); err != nil {
+		t.Fatal(err)
+	}
+	meta, err = c.ResolveTable(userCtx(alice, ComputeServerless), []string{"system", "audit", "events"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.RowFilterSQL != spec.RowFilter {
+		t.Fatalf("row filter not re-applied: %q", meta.RowFilterSQL)
+	}
+}
+
+func TestEnsureSystemTableRejectsOtherCatalogs(t *testing.T) {
+	c := newTestCatalog(t)
+	spec := sysSpec()
+	spec.Parts = []string{"main", "default", "events"}
+	if err := c.EnsureSystemTable(spec); err == nil {
+		t.Fatal("EnsureSystemTable outside the system catalog must fail")
+	}
+}
+
+func TestReservedCatalogBlocksDDL(t *testing.T) {
+	c := newTestCatalog(t)
+	if err := c.EnsureSystemTable(sysSpec()); err != nil {
+		t.Fatal(err)
+	}
+	parts := []string{"system", "audit", "events"}
+	// Even an admin cannot mutate system objects through user-facing DDL:
+	// dropping the table, stripping the row filter, or planting a mask.
+	if err := c.Drop(adminCtx(), parts, false); !errors.Is(err, ErrPermission) {
+		t.Fatalf("drop: err = %v, want ErrPermission", err)
+	}
+	if err := c.SetRowFilter(adminCtx(), parts, "", true); !errors.Is(err, ErrPermission) {
+		t.Fatalf("drop row filter: err = %v, want ErrPermission", err)
+	}
+	if err := c.SetColumnMask(adminCtx(), parts, "tenant", "'x'", false); !errors.Is(err, ErrPermission) {
+		t.Fatalf("set mask: err = %v, want ErrPermission", err)
+	}
+	if err := c.CreateTable(adminCtx(), []string{"system", "audit", "fake"}, sysEventSchema(), false, ""); !errors.Is(err, ErrPermission) {
+		t.Fatalf("create in system: err = %v, want ErrPermission", err)
+	}
+	if err := c.CreateSchema(adminCtx(), []string{"system", "mine"}, false); !errors.Is(err, ErrPermission) {
+		t.Fatalf("create schema in system: err = %v, want ErrPermission", err)
+	}
+	if err := c.Grant(adminCtx(), PrivModify, parts, alice); !errors.Is(err, ErrPermission) {
+		t.Fatalf("grant on system: err = %v, want ErrPermission", err)
+	}
+}
+
+func TestSystemTableWriteCredentialDenied(t *testing.T) {
+	c := newTestCatalog(t)
+	if err := c.EnsureSystemTable(sysSpec()); err != nil {
+		t.Fatal(err)
+	}
+	parts := []string{"system", "audit", "events"}
+	// Reads vend fine (public SELECT + row filter enforced above storage)…
+	if _, err := c.VendCredential(userCtx(alice, ComputeServerless), parts, storage.ModeRead); err != nil {
+		t.Fatalf("read vend: %v", err)
+	}
+	// …but nobody, not even an admin, gets a write credential: the spooler
+	// (acting as SystemUser through AppendSystemTable) is the only writer.
+	if _, err := c.VendCredential(adminCtx(), parts, storage.ModeReadWrite); !errors.Is(err, ErrPermission) {
+		t.Fatalf("admin write vend: err = %v, want ErrPermission", err)
+	}
+	if _, err := c.VendCredential(userCtx(alice, ComputeServerless), parts, storage.ModeReadWrite); !errors.Is(err, ErrPermission) {
+		t.Fatalf("user write vend: err = %v, want ErrPermission", err)
+	}
+}
+
+func TestAppendSystemTableAndCount(t *testing.T) {
+	c := newTestCatalog(t)
+	if err := c.EnsureSystemTable(sysSpec()); err != nil {
+		t.Fatal(err)
+	}
+	parts := []string{"system", "audit", "events"}
+	if _, err := c.AppendSystemTable(parts, []*types.Batch{sysBatch(sysRow(1, "a"), sysRow(2, "b"))}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AppendSystemTable(parts, []*types.Batch{sysBatch(sysRow(3, "a"))}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.SystemTableCount(parts)
+	if err != nil || n != 3 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+	// AppendSystemTable refuses non-system tables even when they exist.
+	createSales(t, c)
+	bb := types.NewBatchBuilder(salesSchema(), 0)
+	if _, err := c.AppendSystemTable([]string{"sales"}, []*types.Batch{bb.Build()}); !errors.Is(err, ErrPermission) {
+		t.Fatalf("append to user table: err = %v, want ErrPermission", err)
+	}
+}
+
+func TestTruncateSystemTableBefore(t *testing.T) {
+	c := newTestCatalog(t)
+	if err := c.EnsureSystemTable(sysSpec()); err != nil {
+		t.Fatal(err)
+	}
+	parts := []string{"system", "audit", "events"}
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	// One file per append: old, old, recent.
+	for _, age := range []time.Duration{-48 * time.Hour, -36 * time.Hour, -1 * time.Hour} {
+		micros := base.Add(age).UnixMicro()
+		if _, err := c.AppendSystemTable(parts, []*types.Batch{sysBatch(sysRow(micros, "t"))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := c.TruncateSystemTableBefore(parts, "event_time", base.Add(-24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Fatalf("removed = %d files, want 2", removed)
+	}
+	n, err := c.SystemTableCount(parts)
+	if err != nil || n != 1 {
+		t.Fatalf("count after retention = %d, %v", n, err)
+	}
+	// A second sweep with the same cutoff is a no-op.
+	removed, err = c.TruncateSystemTableBefore(parts, "event_time", base.Add(-24*time.Hour))
+	if err != nil || removed != 0 {
+		t.Fatalf("idempotent sweep removed %d, %v", removed, err)
+	}
+	// Unknown time column: nothing removed (retention never guesses).
+	removed, err = c.TruncateSystemTableBefore(parts, "no_such_col", base)
+	if err != nil || removed != 0 {
+		t.Fatalf("unknown column sweep removed %d, %v", removed, err)
+	}
+}
+
+func TestAddAdminJoinsAdminsGroup(t *testing.T) {
+	c := newTestCatalog(t)
+	if !c.IsGroupMember(admin, AdminsGroup) {
+		t.Fatalf("AddAdmin must enroll %s in %s for system-table row filters", admin, AdminsGroup)
+	}
+	if c.IsGroupMember(alice, AdminsGroup) {
+		t.Fatal("non-admin must not be in the admins group")
+	}
+}

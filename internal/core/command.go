@@ -70,6 +70,7 @@ func lower(s string) string {
 
 // executeSQL parses and dispatches one SQL statement.
 func (s *Server) executeSQL(qctx context.Context, ctx catalog.RequestContext, st *session.State, text string) (*types.Schema, *types.Batch, error) {
+	qctx = withSQLText(qctx, text)
 	stmt, err := sql.Parse(text)
 	if err != nil {
 		return nil, nil, err

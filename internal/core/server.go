@@ -32,6 +32,7 @@ import (
 	"lakeguard/internal/sentinel"
 	"lakeguard/internal/session"
 	"lakeguard/internal/sql"
+	"lakeguard/internal/systemtables"
 	"lakeguard/internal/telemetry"
 	"lakeguard/internal/types"
 )
@@ -99,6 +100,13 @@ type Config struct {
 	// state shareable and migration a cluster-local rebind (see
 	// Gateway.Drain).
 	Sessions *session.Store
+	// SystemTables, when non-nil, receives a QueryRecord for every completed
+	// query (success or error) for durable spooling into
+	// system.query.history and the per-tenant usage rollup. Setting it also
+	// turns on operator profiling for every query, so the spooled rows carry
+	// rows/files-pruned/bytes-read — the cost rides inside the CI-enforced
+	// telemetry overhead budget.
+	SystemTables *systemtables.Spooler
 }
 
 // Server is one Lakeguard cluster.
@@ -503,8 +511,91 @@ func (s *Server) runQueryEnv(qctx context.Context, ctx catalog.RequestContext, s
 // runQueryProfiled is the instrumented query driver: each phase (analyze,
 // optimize, verify, execute) runs under its own span, feeds the per-phase
 // latency histograms, and — when prof is non-nil — stamps the EXPLAIN
-// ANALYZE profile.
+// ANALYZE profile. When the server spools system tables, every query gets a
+// profile (so the history row carries operator totals) and a QueryRecord is
+// emitted on completion, success or error alike.
 func (s *Server) runQueryProfiled(qctx context.Context, ctx catalog.RequestContext, st *session.State, rel plan.Node, env string, prof *telemetry.Profile) (*types.Schema, []*types.Batch, error) {
+	spool := s.cfg.SystemTables
+	if spool == nil {
+		return s.runQueryPhases(qctx, ctx, st, rel, env, prof)
+	}
+	if prof == nil {
+		prof = telemetry.NewProfile()
+		prof.QueueWaitNanos = int64(telemetry.QueueWaitFrom(qctx))
+	}
+	sqlText := sqlTextOf(qctx, rel)
+	start := time.Now()
+	schema, batches, err := s.runQueryPhases(qctx, ctx, st, rel, env, prof)
+	if prof.TotalNanos == 0 {
+		prof.TotalNanos = int64(time.Since(start))
+	}
+	spool.RecordQuery(queryRecord(ctx, sqlText, prof, err))
+	return schema, batches, err
+}
+
+// sqlTextKey carries the raw statement text from the SQL command entry
+// point down to the history spooler.
+type sqlTextKey struct{}
+
+// withSQLText annotates a query context with the statement being executed.
+func withSQLText(qctx context.Context, text string) context.Context {
+	return context.WithValue(qctx, sqlTextKey{}, text)
+}
+
+// sqlTextOf extracts the original statement for the query-history row: the
+// annotated command text when the query entered as SQL, else the first
+// SQL-bearing relation in the submitted tree. Plans submitted as raw
+// relation trees spool a placeholder rather than a policy-leaking render.
+func sqlTextOf(qctx context.Context, rel plan.Node) string {
+	if text, ok := qctx.Value(sqlTextKey{}).(string); ok && text != "" {
+		return text
+	}
+	var text string
+	plan.Walk(rel, func(n plan.Node) bool {
+		if sr, ok := n.(*plan.SQLRelation); ok {
+			text = sr.Query
+			return false
+		}
+		return true
+	})
+	if text != "" {
+		return text
+	}
+	return "<relation plan>"
+}
+
+// queryRecord derives the spooled history row from a completed query.
+func queryRecord(ctx catalog.RequestContext, sqlText string, prof *telemetry.Profile, err error) systemtables.QueryRecord {
+	totals := prof.Totals()
+	rec := systemtables.QueryRecord{
+		Time:           time.Now(),
+		Tenant:         ctx.User,
+		SessionID:      ctx.SessionID,
+		TraceID:        ctx.TraceID,
+		SQLText:        sqlText,
+		Status:         "OK",
+		QueueWaitNanos: prof.QueueWaitNanos,
+		AnalyzeNanos:   prof.AnalyzeNanos,
+		OptimizeNanos:  prof.OptimizeNanos,
+		VerifyNanos:    prof.VerifyNanos,
+		ExecNanos:      prof.ExecNanos,
+		TotalNanos:     prof.TotalNanos,
+		RowsOut:        totals.RowsOut,
+		FilesScanned:   totals.FilesScanned,
+		FilesPruned:    totals.FilesPruned,
+		BytesRead:      totals.ReadBytes,
+		SpillBytes:     totals.SpillBytes,
+	}
+	if err != nil {
+		rec.Status = "ERROR"
+		rec.Error = err.Error()
+	}
+	return rec
+}
+
+// runQueryPhases runs the analyze → optimize → verify → seal → execute
+// pipeline.
+func (s *Server) runQueryPhases(qctx context.Context, ctx catalog.RequestContext, st *session.State, rel plan.Node, env string, prof *telemetry.Profile) (*types.Schema, []*types.Batch, error) {
 	engine, err := s.engineFor(env)
 	if err != nil {
 		return nil, nil, err

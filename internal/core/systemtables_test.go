@@ -1,0 +1,237 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"lakeguard/internal/audit"
+	"lakeguard/internal/catalog"
+	"lakeguard/internal/optimizer"
+	"lakeguard/internal/plan"
+	"lakeguard/internal/sentinel"
+	"lakeguard/internal/storage"
+	"lakeguard/internal/systemtables"
+)
+
+// systemEnv builds a deployment whose server spools query history and whose
+// catalog spools its audit ring into the governed system tables.
+func systemEnv(t *testing.T, store *storage.Store) (*env, *systemtables.Spooler) {
+	t.Helper()
+	auditLog := audit.NewLog()
+	cat := catalog.New(store, auditLog)
+	cat.AddAdmin(admin)
+	spool, err := systemtables.New(systemtables.Config{Catalog: cat, Audit: auditLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEnv(t, Config{Name: "sys", Catalog: cat, SystemTables: spool})
+	return e, spool
+}
+
+// TestSystemTablesCrossTenantIsolation is the negative test the row filter
+// exists for: tenant B's governed scan of the system tables returns zero of
+// tenant A's rows, while an admin sees every tenant.
+func TestSystemTablesCrossTenantIsolation(t *testing.T) {
+	e, spool := systemEnv(t, storage.NewStore())
+	adminC := e.client("tok-admin")
+	seedSales(t, adminC)
+	mustExec(t, adminC, "GRANT SELECT ON sales TO 'alice@corp.com'")
+
+	// Alice's activity lands in the audit ring and the history queue…
+	aliceC := e.client("tok-alice")
+	mustExec(t, aliceC, "SELECT amount FROM sales WHERE amount > 60")
+	if err := spool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// …and bob, reading through the engine with no special grants (system
+	// tables are SELECTable by public), sees none of it.
+	bobC := e.client("tok-bob")
+	b := mustExec(t, bobC, "SELECT tenant FROM system.audit.events")
+	for i := 0; i < b.NumRows(); i++ {
+		if got := b.Cols[0].StringAt(i); got != bob {
+			t.Fatalf("bob's scan of system.audit.events leaked tenant %q", got)
+		}
+	}
+	h := mustExec(t, bobC, "SELECT tenant, sql_text FROM system.query.history")
+	for i := 0; i < h.NumRows(); i++ {
+		if got := h.Cols[0].StringAt(i); got != bob {
+			t.Fatalf("bob's scan of system.query.history leaked tenant %q", got)
+		}
+		if txt := h.Cols[1].StringAt(i); strings.Contains(txt, "FROM sales") {
+			t.Fatalf("bob read another tenant's SQL text: %q", txt)
+		}
+	}
+
+	// After another flush, bob's own reads (above) have spooled: he sees
+	// rows — all his own.
+	if err := spool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	b = mustExec(t, bobC, "SELECT tenant FROM system.audit.events")
+	if b.NumRows() == 0 {
+		t.Fatal("bob sees none of his own audit events")
+	}
+	for i := 0; i < b.NumRows(); i++ {
+		if got := b.Cols[0].StringAt(i); got != bob {
+			t.Fatalf("bob's scan leaked tenant %q", got)
+		}
+	}
+
+	// The admin's governed read spans tenants (group-widened row filter).
+	ab := mustExec(t, adminC, "SELECT tenant, COUNT(*) AS n FROM system.audit.events GROUP BY tenant")
+	tenants := map[string]bool{}
+	for i := 0; i < ab.NumRows(); i++ {
+		tenants[ab.Cols[0].StringAt(i)] = true
+	}
+	if !tenants[alice] || !tenants[bob] {
+		t.Fatalf("admin view missing tenants: %v", tenants)
+	}
+	hist := mustExec(t, adminC, "SELECT sql_text FROM system.query.history WHERE tenant = 'alice@corp.com'")
+	if hist.NumRows() == 0 {
+		t.Fatal("admin cannot see alice's history")
+	}
+	if txt := hist.Cols[0].StringAt(0); !strings.Contains(txt, "FROM sales") {
+		t.Fatalf("admin should read alice's SQL text unredacted, got %q", txt)
+	}
+}
+
+// TestSentinelRejectsStrippedSystemTableFilter proves the system tables sit
+// behind the same label-flow gate as customer data: an optimizer "rule" that
+// drops the tenant row filter from the system-table scan cannot reach
+// execution.
+func TestSentinelRejectsStrippedSystemTableFilter(t *testing.T) {
+	auditLog := audit.NewLog()
+	cat := catalog.New(storage.NewStore(), auditLog)
+	cat.AddAdmin(admin)
+	if err := systemtables.Bootstrap(cat); err != nil {
+		t.Fatal(err)
+	}
+	opts := optimizer.DefaultOptions()
+	opts.ExtraRules = []optimizer.Rule{func(n plan.Node) plan.Node {
+		return plan.Transform(n, func(x plan.Node) plan.Node {
+			if sc, ok := x.(*plan.Scan); ok && len(sc.PushedFilters) > 0 {
+				cp := *sc
+				cp.PushedFilters = nil
+				return &cp
+			}
+			return x
+		})
+	}}
+	e := newEnv(t, Config{Name: "hostile", Catalog: cat, Optimizer: &opts})
+
+	_, err := e.client("tok-bob").Sql("SELECT tenant FROM system.audit.events").Collect()
+	wantViolation(t, err, sentinel.InvRowFilter)
+
+	evs := sentinelEvents(e)
+	if len(evs) == 0 || evs[len(evs)-1].Decision != audit.DecisionDeny {
+		t.Fatal("hostile system-table plan not audited as a sentinel deny")
+	}
+}
+
+// TestSystemTablesSurviveRestart is the durability acceptance test: spooled
+// history outlives the process because the system tables commit through the
+// delta log into persistent storage, and Bootstrap re-attaches on boot.
+func TestSystemTablesSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	store, err := storage.NewPersistentStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, spool := systemEnv(t, store)
+	adminC := e.client("tok-admin")
+	seedSales(t, adminC)
+	mustExec(t, adminC, "SELECT region, SUM(amount) AS total FROM sales GROUP BY region")
+	mustExec(t, adminC, "SELECT COUNT(*) AS n FROM sales")
+	if err := spool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	histBefore := mustExec(t, adminC, "SELECT COUNT(*) AS n FROM system.query.history").Cols[0].Int64(0)
+	auditBefore := mustExec(t, adminC, "SELECT COUNT(*) AS n FROM system.audit.events").Cols[0].Int64(0)
+	if histBefore < 2 || auditBefore == 0 {
+		t.Fatalf("pre-restart counts: history=%d audit=%d", histBefore, auditBefore)
+	}
+
+	// "Kill" the server: everything in memory is gone — catalog metadata,
+	// audit ring, credentials. Only the bytes under dir survive.
+	store2, err := storage.NewPersistentStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := systemEnv(t, store2)
+	adminC2 := e2.client("tok-admin")
+	histAfter := mustExec(t, adminC2, "SELECT COUNT(*) AS n FROM system.query.history").Cols[0].Int64(0)
+	auditAfter := mustExec(t, adminC2, "SELECT COUNT(*) AS n FROM system.audit.events").Cols[0].Int64(0)
+	if histAfter != histBefore {
+		t.Fatalf("history rows after restart = %d, want %d", histAfter, histBefore)
+	}
+	if auditAfter != auditBefore {
+		t.Fatalf("audit rows after restart = %d, want %d", auditAfter, auditBefore)
+	}
+	// The reborn deployment keeps appending to the same tables.
+	sp2 := e2.server.cfg.SystemTables
+	mustExec(t, adminC2, "SELECT 1 AS one")
+	if err := sp2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	histNow := mustExec(t, adminC2, "SELECT COUNT(*) AS n FROM system.query.history").Cols[0].Int64(0)
+	if histNow <= histAfter {
+		t.Fatalf("post-restart spooling not appending: %d -> %d", histAfter, histNow)
+	}
+}
+
+// TestQueryHistoryRecordsProfiles checks the read side of the profile
+// plumbing: phase latencies and data-skipping counters captured per query
+// are queryable — and errors are recorded with status ERROR.
+func TestQueryHistoryRecordsProfiles(t *testing.T) {
+	e, spool := systemEnv(t, storage.NewStore())
+	adminC := e.client("tok-admin")
+	seedSales(t, adminC)
+	mustExec(t, adminC, "SELECT COUNT(*) AS n FROM sales WHERE amount > 60")
+	if _, err := adminC.ExecSQL("SELECT nope FROM sales"); err == nil {
+		t.Fatal("bad query succeeded")
+	}
+	if err := spool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	b := mustExec(t, adminC,
+		"SELECT status, total_ms, rows_out, sql_text FROM system.query.history ORDER BY end_time")
+	var okSeen, errSeen bool
+	for i := 0; i < b.NumRows(); i++ {
+		switch b.Cols[0].StringAt(i) {
+		case "OK":
+			okSeen = true
+			if b.Cols[1].Float64(i) <= 0 {
+				t.Fatalf("OK row with non-positive total_ms: %v", b.Cols[1].Float64(i))
+			}
+		case "ERROR":
+			errSeen = true
+			if !strings.Contains(b.Cols[3].StringAt(i), "nope") {
+				t.Fatalf("error row lost its SQL text: %q", b.Cols[3].StringAt(i))
+			}
+		}
+	}
+	if !okSeen || !errSeen {
+		t.Fatalf("history missing rows: ok=%v err=%v\n%s", okSeen, errSeen, b.String())
+	}
+	// Usage rollup exists for the admin tenant after the final flush.
+	time.Sleep(time.Millisecond) // ensure window bookkeeping sees distinct instants
+	if err := spool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	u := mustExec(t, adminC, "SELECT tenant, queries, errors FROM system.billing.usage")
+	if u.NumRows() == 0 {
+		t.Fatal("no usage rollup rows")
+	}
+	var total, errs int64
+	for i := 0; i < u.NumRows(); i++ {
+		if u.Cols[0].StringAt(i) == admin {
+			total += u.Cols[1].Int64(i)
+			errs += u.Cols[2].Int64(i)
+		}
+	}
+	if total < 2 || errs < 1 {
+		t.Fatalf("usage rollup wrong: queries=%d errors=%d\n%s", total, errs, u.String())
+	}
+}

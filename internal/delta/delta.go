@@ -430,6 +430,54 @@ func (l *Log) commit(cred *storage.Credential, batches []*types.Batch, overwrite
 	return 0, ErrConcurrentCommit
 }
 
+// RemoveFiles commits Remove actions unregistering the given data files
+// (retention truncation). Paths not live in the snapshot at commit time are
+// skipped; if nothing remains to remove, no commit is written and the
+// current version is returned. After the commit lands the data objects are
+// deleted from storage — a crash in between leaves unreferenced garbage,
+// never a dangling log reference.
+func (l *Log) RemoveFiles(cred *storage.Credential, paths []string, operation string) (int64, error) {
+	want := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		want[p] = true
+	}
+	const maxRetries = 16
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		snap, err := l.Snapshot(cred, -1)
+		if err != nil {
+			return 0, err
+		}
+		actions := []Action{{CommitInfo: &CommitInfo{TimestampMicros: l.clock().UnixMicro(), Operation: operation}}}
+		var removed []string
+		for _, f := range snap.Files {
+			if want[f.Path] {
+				actions = append(actions, Action{Remove: &Remove{Path: f.Path}})
+				removed = append(removed, f.Path)
+			}
+		}
+		if len(removed) == 0 {
+			return snap.Version, nil
+		}
+		payload, err := encodeActions(actions)
+		if err != nil {
+			return 0, err
+		}
+		next := snap.Version + 1
+		err = l.store.PutIfAbsent(cred, logPath(l.prefix, next), payload)
+		if err == nil {
+			for _, p := range removed {
+				_ = l.store.Delete(cred, p) // best-effort garbage collection
+			}
+			return next, nil
+		}
+		if !errors.Is(err, storage.ErrAlreadyExists) {
+			return 0, err
+		}
+		// Lost the race: re-read and retry.
+	}
+	return 0, ErrConcurrentCommit
+}
+
 // HistoryEntry describes one commit for DESCRIBE HISTORY.
 type HistoryEntry struct {
 	Version   int64

@@ -1,0 +1,87 @@
+package delta
+
+import (
+	"strings"
+	"testing"
+
+	"lakeguard/internal/types"
+)
+
+func TestRemoveFiles(t *testing.T) {
+	store, cred := testEnv(t)
+	schema := intSchema()
+	log, err := Create(store, cred, "tables/rm/", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three appends → three data files.
+	for i := int64(0); i < 3; i++ {
+		if _, err := log.Append(cred, []*types.Batch{intBatch(schema, i*10, i*10+1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := log.Snapshot(cred, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Files) != 3 {
+		t.Fatalf("files = %d, want 3", len(snap.Files))
+	}
+	victim := snap.Files[0].Path
+
+	v, err := log.RemoveFiles(cred, []string{victim}, "RETENTION")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != snap.Version+1 {
+		t.Fatalf("remove committed v=%d, want %d", v, snap.Version+1)
+	}
+	after, err := log.Snapshot(cred, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Files) != 2 || after.NumRecords() != 4 {
+		t.Fatalf("after remove: files=%d rows=%d, want 2 files / 4 rows", len(after.Files), after.NumRecords())
+	}
+	for _, f := range after.Files {
+		if f.Path == victim {
+			t.Fatal("removed file still referenced by snapshot")
+		}
+	}
+	// The data object itself is garbage-collected from storage.
+	if _, err := store.Get(cred, victim); err == nil {
+		t.Fatal("removed data object still readable")
+	}
+	// Rows in surviving files are still readable.
+	all, err := after.ReadAll(store, cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.NumRows() != 4 {
+		t.Fatalf("readable rows = %d, want 4", all.NumRows())
+	}
+
+	// Removing paths that are not live is a no-op: no new commit.
+	v2, err := log.RemoveFiles(cred, []string{victim, "tables/rm/data/nonexistent.arrow"}, "RETENTION")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != after.Version {
+		t.Fatalf("no-op remove committed v=%d, want current %d", v2, after.Version)
+	}
+
+	// History records the retention operation.
+	hist, err := log.History(cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, h := range hist {
+		if strings.Contains(h.Operation, "RETENTION") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("RETENTION commit missing from history: %+v", hist)
+	}
+}

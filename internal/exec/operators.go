@@ -126,6 +126,7 @@ func (s *scanSource) scanFileCtx(ctx context.Context, i int) (*types.Batch, erro
 		}
 	} else {
 		gs.SetInt("rows", int64(b.NumRows()))
+		s.stats.AddReadBytes(f.SizeBytes)
 	}
 	gs.EndErr(err)
 	if err != nil {

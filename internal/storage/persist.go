@@ -1,0 +1,84 @@
+package storage
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// NewPersistentStore creates a store that mirrors every object to files
+// under dir and reloads them on construction, so delta logs and data files
+// survive a process restart. The layout is deliberately flat: each object
+// path is stored as one file whose name is the URL-path-escaped object path
+// ('/' becomes %2F), which makes the mapping bijective, keeps arbitrary
+// object paths from escaping dir, and lets reload be a single ReadDir.
+// Access control is unchanged — the HMAC secret is fresh per process, so
+// credentials never outlive the server that vended them even though the
+// bytes they guarded do.
+func NewPersistentStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create data dir: %w", err)
+	}
+	s := NewStore()
+	s.dir = dir
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: read data dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			// A crash between WriteFile and Rename left a partial write;
+			// the object was never acknowledged, so discard it.
+			_ = os.Remove(filepath.Join(dir, e.Name()))
+			continue
+		}
+		objPath, err := url.PathUnescape(e.Name())
+		if err != nil {
+			continue // not one of ours
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("storage: reload %s: %w", e.Name(), err)
+		}
+		s.objects[objPath] = data
+	}
+	return s, nil
+}
+
+// diskPath maps an object path to its backing file (empty dir = in-memory
+// only).
+func (s *Store) diskPath(objPath string) string {
+	return filepath.Join(s.dir, url.PathEscape(objPath))
+}
+
+// persistPut mirrors one object to disk via a temp-file rename so a crash
+// mid-write never leaves a truncated object to reload. Called with s.mu
+// held, before the in-memory map is updated: if the disk write fails the
+// Put fails and memory stays consistent with disk.
+func (s *Store) persistPut(objPath string, data []byte) error {
+	if s.dir == "" {
+		return nil
+	}
+	dst := s.diskPath(objPath)
+	tmp := dst + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("storage: persist %s: %w", objPath, err)
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		return fmt.Errorf("storage: persist %s: %w", objPath, err)
+	}
+	return nil
+}
+
+// persistDelete removes the backing file. Called with s.mu held.
+func (s *Store) persistDelete(objPath string) {
+	if s.dir == "" {
+		return
+	}
+	_ = os.Remove(s.diskPath(objPath))
+}

@@ -1,0 +1,99 @@
+package storage
+
+import (
+	"net/url"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestPersistentStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewPersistentStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred := s1.Signer().Issue("tables/", ModeReadWrite, time.Minute)
+	if err := s1.Put(&cred, "tables/t/_delta_log/00000000000000000000.json", []byte(`{"v":0}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.PutIfAbsent(&cred, "tables/t/data/file1.arrow", []byte("rows")); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a brand-new store over the same directory (fresh HMAC
+	// secret — old credentials must not work, old bytes must).
+	s2, err := NewPersistentStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Get(&cred, "tables/t/data/file1.arrow"); !IsAccessDenied(err) {
+		t.Fatalf("stale credential after restart: err = %v, want access denied", err)
+	}
+	cred2 := s2.Signer().Issue("tables/", ModeRead, time.Minute)
+	got, err := s2.Get(&cred2, "tables/t/data/file1.arrow")
+	if err != nil || string(got) != "rows" {
+		t.Fatalf("reload data = %q, %v", got, err)
+	}
+	log, err := s2.Get(&cred2, "tables/t/_delta_log/00000000000000000000.json")
+	if err != nil || string(log) != `{"v":0}` {
+		t.Fatalf("reload log = %q, %v", log, err)
+	}
+}
+
+func TestPersistentStoreDeleteRemovesBackingFile(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewPersistentStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred := s.Signer().Issue("", ModeReadWrite, time.Minute)
+	if err := s.Put(&cred, "a/b/obj", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	onDisk := filepath.Join(dir, url.PathEscape("a/b/obj"))
+	if _, err := os.Stat(onDisk); err != nil {
+		t.Fatalf("backing file missing after put: %v", err)
+	}
+	if err := s.Delete(&cred, "a/b/obj"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(onDisk); !os.IsNotExist(err) {
+		t.Fatalf("backing file survives delete: %v", err)
+	}
+	s2, err := NewPersistentStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred2 := s2.Signer().Issue("", ModeRead, time.Minute)
+	if _, err := s2.Get(&cred2, "a/b/obj"); err == nil {
+		t.Fatal("deleted object reappeared after restart")
+	}
+}
+
+func TestPersistentStoreIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	// A leftover temp file (crash mid-persist) and an unescapable name must
+	// not break reload.
+	if err := os.WriteFile(filepath.Join(dir, "obj.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad%zz"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewPersistentStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred := s.Signer().Issue("", ModeReadWrite, time.Minute)
+	if _, err := s.Get(&cred, "obj.tmp"); err == nil {
+		t.Fatal("partial .tmp write reloaded as an object")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "obj.tmp")); !os.IsNotExist(err) {
+		t.Fatal("stale .tmp file not cleaned up on reload")
+	}
+	if err := s.Put(&cred, "ok", []byte("fine")); err != nil {
+		t.Fatal(err)
+	}
+}

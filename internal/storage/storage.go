@@ -65,11 +65,13 @@ var (
 	ErrNotFound          = errors.New("storage: object not found")
 )
 
-// Store is an in-memory object store.
+// Store is an in-memory object store, optionally mirrored to a directory on
+// disk (NewPersistentStore) so objects survive restarts.
 type Store struct {
 	mu      sync.RWMutex
 	objects map[string][]byte
 	secret  []byte
+	dir     string // non-empty: write-through persistence root
 	clock   func() time.Time
 	fault   func(op, path string) error
 	// stats: atomic because Get takes only a read lock and parallel scan
@@ -196,6 +198,9 @@ func (s *Store) Put(cred *Credential, path string, data []byte) error {
 	copy(cp, data)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.persistPut(path, cp); err != nil {
+		return err
+	}
 	s.objects[path] = cp
 	s.putCount.Add(1)
 	s.mPutOps.Inc()
@@ -221,6 +226,9 @@ func (s *Store) PutIfAbsent(cred *Credential, path string, data []byte) error {
 	defer s.mu.Unlock()
 	if _, ok := s.objects[path]; ok {
 		return fmt.Errorf("%w: %s", ErrAlreadyExists, path)
+	}
+	if err := s.persistPut(path, cp); err != nil {
+		return err
 	}
 	s.objects[path] = cp
 	s.putCount.Add(1)
@@ -294,6 +302,7 @@ func (s *Store) Delete(cred *Credential, path string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.objects, path)
+	s.persistDelete(path)
 	return nil
 }
 

@@ -1,0 +1,170 @@
+// Package systemtables turns the engine's observability exhaust into
+// governed lakehouse state: an asynchronous, bounded-backpressure spooler
+// drains audit events, completed-query profiles, and per-tenant usage
+// rollups into Delta tables under the reserved "system" catalog —
+// system.audit.events, system.query.history, system.billing.usage — where
+// they survive restarts, carry file statistics, and are queryable through
+// the same FGAC-enforced SQL path as customer data. Built-in row filters
+// scope every read to the caller's own tenant (admins see all), and a
+// column mask redacts other tenants' SQL text; the sentinel's label-flow
+// verifier checks those policies like any other table's.
+package systemtables
+
+import (
+	"time"
+
+	"lakeguard/internal/catalog"
+	"lakeguard/internal/types"
+)
+
+// Fully qualified names of the system tables.
+var (
+	AuditTableParts   = []string{"system", "audit", "events"}
+	HistoryTableParts = []string{"system", "query", "history"}
+	UsageTableParts   = []string{"system", "billing", "usage"}
+)
+
+// TenantRowFilter is the built-in row filter on every system table: a
+// caller sees only rows attributed to their own identity unless they are in
+// the metastore-admins group. Because it references CURRENT_USER(), the
+// analyzer labels the injected filter tenant-scoped and the sentinel's
+// label-flow pass verifies no plan reaches execution without it.
+const TenantRowFilter = "tenant = CURRENT_USER() OR IS_ACCOUNT_GROUP_MEMBER('" + catalog.AdminsGroup + "')"
+
+// SQLTextMask redacts query text across tenant boundaries even for rows an
+// admin-widened filter exposes: only the row's own tenant (or an admin)
+// reads the statement as written.
+const SQLTextMask = "CASE WHEN tenant = CURRENT_USER() OR IS_ACCOUNT_GROUP_MEMBER('" + catalog.AdminsGroup + "') THEN sql_text ELSE '<redacted>' END"
+
+func auditSchema() *types.Schema {
+	return types.NewSchema(
+		types.Field{Name: "event_time", Kind: types.KindTimestamp, Nullable: true},
+		types.Field{Name: "tenant", Kind: types.KindString, Nullable: true},
+		types.Field{Name: "compute", Kind: types.KindString, Nullable: true},
+		types.Field{Name: "session_id", Kind: types.KindString, Nullable: true},
+		types.Field{Name: "action", Kind: types.KindString, Nullable: true},
+		types.Field{Name: "securable", Kind: types.KindString, Nullable: true},
+		types.Field{Name: "decision", Kind: types.KindString, Nullable: true},
+		types.Field{Name: "reason", Kind: types.KindString, Nullable: true},
+		types.Field{Name: "trace_id", Kind: types.KindString, Nullable: true},
+	)
+}
+
+func historySchema() *types.Schema {
+	return types.NewSchema(
+		types.Field{Name: "end_time", Kind: types.KindTimestamp, Nullable: true},
+		types.Field{Name: "tenant", Kind: types.KindString, Nullable: true},
+		types.Field{Name: "session_id", Kind: types.KindString, Nullable: true},
+		types.Field{Name: "trace_id", Kind: types.KindString, Nullable: true},
+		types.Field{Name: "sql_text", Kind: types.KindString, Nullable: true},
+		types.Field{Name: "status", Kind: types.KindString, Nullable: true},
+		types.Field{Name: "error", Kind: types.KindString, Nullable: true},
+		types.Field{Name: "queue_wait_ms", Kind: types.KindFloat64, Nullable: true},
+		types.Field{Name: "analyze_ms", Kind: types.KindFloat64, Nullable: true},
+		types.Field{Name: "optimize_ms", Kind: types.KindFloat64, Nullable: true},
+		types.Field{Name: "verify_ms", Kind: types.KindFloat64, Nullable: true},
+		types.Field{Name: "exec_ms", Kind: types.KindFloat64, Nullable: true},
+		types.Field{Name: "total_ms", Kind: types.KindFloat64, Nullable: true},
+		types.Field{Name: "rows_out", Kind: types.KindInt64, Nullable: true},
+		types.Field{Name: "files_scanned", Kind: types.KindInt64, Nullable: true},
+		types.Field{Name: "files_pruned", Kind: types.KindInt64, Nullable: true},
+		types.Field{Name: "bytes_read", Kind: types.KindInt64, Nullable: true},
+		types.Field{Name: "spill_bytes", Kind: types.KindInt64, Nullable: true},
+	)
+}
+
+func usageSchema() *types.Schema {
+	return types.NewSchema(
+		types.Field{Name: "window_start", Kind: types.KindTimestamp, Nullable: true},
+		types.Field{Name: "tenant", Kind: types.KindString, Nullable: true},
+		types.Field{Name: "queries", Kind: types.KindInt64, Nullable: true},
+		types.Field{Name: "errors", Kind: types.KindInt64, Nullable: true},
+		types.Field{Name: "rows_out", Kind: types.KindInt64, Nullable: true},
+		types.Field{Name: "bytes_get", Kind: types.KindInt64, Nullable: true},
+		types.Field{Name: "sheds", Kind: types.KindInt64, Nullable: true},
+		types.Field{Name: "queue_wait_ms", Kind: types.KindFloat64, Nullable: true},
+	)
+}
+
+// specs declares the three system tables the spooler maintains.
+func specs() []catalog.SystemTableSpec {
+	return []catalog.SystemTableSpec{
+		{
+			Parts: AuditTableParts, Schema: auditSchema(),
+			RowFilter: TenantRowFilter,
+			Comment:   "every authorization decision and credential vend, durably spooled from the audit ring",
+		},
+		{
+			Parts: HistoryTableParts, Schema: historySchema(),
+			RowFilter: TenantRowFilter,
+			ColMasks:  map[string]string{"sql_text": SQLTextMask},
+			Comment:   "completed-query profiles: phase latencies, data-skipping outcomes, spill and bytes read",
+		},
+		{
+			Parts: UsageTableParts, Schema: usageSchema(),
+			RowFilter: TenantRowFilter,
+			Comment:   "per-tenant usage rollups: queries, rows, bytes fetched, admission sheds per window",
+		},
+	}
+}
+
+// Bootstrap idempotently registers the system tables (creating or attaching
+// to their Delta logs) on a catalog. Safe to call on every startup.
+func Bootstrap(cat *catalog.Catalog) error {
+	for _, spec := range specs() {
+		if err := cat.EnsureSystemTable(spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// QueryRecord is one completed query's contribution to system.query.history
+// and the usage rollup. Time is the query's end time.
+type QueryRecord struct {
+	Time      time.Time
+	Tenant    string
+	SessionID string
+	TraceID   string
+	SQLText   string
+	Status    string // "OK" or "ERROR"
+	Error     string
+
+	QueueWaitNanos int64
+	AnalyzeNanos   int64
+	OptimizeNanos  int64
+	VerifyNanos    int64
+	ExecNanos      int64
+	TotalNanos     int64
+
+	RowsOut      int64
+	FilesScanned int64
+	FilesPruned  int64
+	BytesRead    int64
+	SpillBytes   int64
+}
+
+func nanosToMS(n int64) float64 { return float64(n) / 1e6 }
+
+func (r QueryRecord) row() []types.Value {
+	return []types.Value{
+		types.Timestamp(r.Time.UnixMicro()),
+		types.String(r.Tenant),
+		types.String(r.SessionID),
+		types.String(r.TraceID),
+		types.String(r.SQLText),
+		types.String(r.Status),
+		types.String(r.Error),
+		types.Float64(nanosToMS(r.QueueWaitNanos)),
+		types.Float64(nanosToMS(r.AnalyzeNanos)),
+		types.Float64(nanosToMS(r.OptimizeNanos)),
+		types.Float64(nanosToMS(r.VerifyNanos)),
+		types.Float64(nanosToMS(r.ExecNanos)),
+		types.Float64(nanosToMS(r.TotalNanos)),
+		types.Int64(r.RowsOut),
+		types.Int64(r.FilesScanned),
+		types.Int64(r.FilesPruned),
+		types.Int64(r.BytesRead),
+		types.Int64(r.SpillBytes),
+	}
+}

@@ -1,0 +1,449 @@
+package systemtables
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lakeguard/internal/audit"
+	"lakeguard/internal/catalog"
+	"lakeguard/internal/telemetry"
+	"lakeguard/internal/types"
+)
+
+// Config configures a Spooler.
+type Config struct {
+	// Catalog owns the system tables and the append path into them.
+	Catalog *catalog.Catalog
+	// Audit is the ring the spooler drains via its cursor API. Nil disables
+	// audit spooling (query history and usage still work).
+	Audit *audit.Log
+	// Metrics receives the spooler's health instruments (nil-safe).
+	Metrics *telemetry.Registry
+	// FlushInterval is the background flush cadence (default 2s).
+	FlushInterval time.Duration
+	// MaxBatch caps rows per committed data file (default 4096).
+	MaxBatch int
+	// QueueDepth bounds the query-record queue; RecordQuery never blocks a
+	// query — beyond this depth records are dropped and counted (default
+	// 4096).
+	QueueDepth int
+	// Retention truncates system-table files wholly older than this age
+	// (0 = keep forever).
+	Retention time.Duration
+	// UsageWindow is the billing rollup granularity (default 1m).
+	UsageWindow time.Duration
+	// Clock overrides the time source (tests).
+	Clock func() time.Time
+}
+
+// usageAgg accumulates one tenant's activity inside one rollup window.
+type usageAgg struct {
+	queries, errors, rowsOut, bytesGet, sheds int64
+	queueWaitNanos                            int64
+}
+
+// Spooler asynchronously drains observability exhaust into the system
+// tables. All Record* methods are cheap and non-blocking: queries enqueue
+// onto a bounded channel (overflow is dropped and counted, never stalls the
+// query path), usage aggregates under a short critical section, and audit
+// events stay in the ring until the flush loop consumes them through the
+// cursor API — which detects, rather than silently skips, events the ring
+// overwrote before they could be spooled.
+type Spooler struct {
+	cfg   Config
+	cat   *catalog.Catalog
+	audit *audit.Log
+	clock func() time.Time
+
+	queries chan QueryRecord
+
+	mu     sync.Mutex
+	usage  map[int64]map[string]*usageAgg // window-start micros -> tenant
+	cursor int64                          // audit ring cursor; advanced only after a durable commit
+
+	flushMu    sync.Mutex // serializes concurrent Flush calls
+	flushTicks int
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+
+	mSpooled     *telemetry.Counter
+	mDropped     *telemetry.Counter
+	mAuditLost   *telemetry.Counter
+	mFlushErrors *telemetry.Counter
+	mRetention   *telemetry.Counter
+	mFlushMS     *telemetry.Histogram
+	mLag         *telemetry.Gauge
+}
+
+// retentionEveryTicks spaces retention sweeps: one per this many flush
+// ticks, so truncation scans don't ride every flush.
+const retentionEveryTicks = 15
+
+// New creates a spooler and bootstraps the system tables on the catalog
+// (idempotent: after a restart it attaches to the surviving Delta logs).
+func New(cfg Config) (*Spooler, error) {
+	if cfg.Catalog == nil {
+		return nil, fmt.Errorf("systemtables: Config.Catalog is required")
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 2 * time.Second
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 4096
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4096
+	}
+	if cfg.UsageWindow <= 0 {
+		cfg.UsageWindow = time.Minute
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if err := Bootstrap(cfg.Catalog); err != nil {
+		return nil, err
+	}
+	s := &Spooler{
+		cfg:     cfg,
+		cat:     cfg.Catalog,
+		audit:   cfg.Audit,
+		clock:   cfg.Clock,
+		queries: make(chan QueryRecord, cfg.QueueDepth),
+		usage:   map[int64]map[string]*usageAgg{},
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+
+		mSpooled:     cfg.Metrics.Counter("systemtables.spooled"),
+		mDropped:     cfg.Metrics.Counter("systemtables.dropped"),
+		mAuditLost:   cfg.Metrics.Counter("systemtables.audit_lost"),
+		mFlushErrors: cfg.Metrics.Counter("systemtables.flush_errors"),
+		mRetention:   cfg.Metrics.Counter("systemtables.retention_files_removed"),
+		mFlushMS:     cfg.Metrics.Histogram("systemtables.flush_ms", nil),
+		mLag:         cfg.Metrics.Gauge("systemtables.lag"),
+	}
+	return s, nil
+}
+
+// Start launches the background flush loop. Stop flushes once more and
+// waits for the loop to exit.
+func (s *Spooler) Start() {
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(s.cfg.FlushInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				_ = s.flush(false)
+				s.flushMu.Lock()
+				s.flushTicks++
+				sweep := s.cfg.Retention > 0 && s.flushTicks%retentionEveryTicks == 0
+				s.flushMu.Unlock()
+				if sweep {
+					_, _ = s.SweepRetention()
+				}
+			}
+		}
+	}()
+}
+
+// Stop terminates the flush loop and performs a final flush (including the
+// current usage window) so a clean shutdown spools everything it has seen.
+func (s *Spooler) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+	_ = s.flush(true)
+}
+
+// RecordQuery enqueues a completed query for spooling. Never blocks: when
+// the queue is full the record is dropped and counted — observability must
+// not become the engine's backpressure.
+func (s *Spooler) RecordQuery(rec QueryRecord) {
+	if s == nil {
+		return
+	}
+	if rec.Time.IsZero() {
+		rec.Time = s.clock()
+	}
+	select {
+	case s.queries <- rec:
+	default:
+		s.mDropped.Inc()
+	}
+}
+
+// RecordShed attributes one admission shed to a tenant's current usage
+// window (sheds never produce a QueryRecord — they are refused before
+// planning).
+func (s *Spooler) RecordShed(tenant string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.usageFor(s.clock(), tenant).sheds++
+	s.mu.Unlock()
+}
+
+// usageFor returns the aggregate cell for (window(t), tenant). Caller holds
+// s.mu.
+func (s *Spooler) usageFor(t time.Time, tenant string) *usageAgg {
+	w := t.Truncate(s.cfg.UsageWindow).UnixMicro()
+	byTenant := s.usage[w]
+	if byTenant == nil {
+		byTenant = map[string]*usageAgg{}
+		s.usage[w] = byTenant
+	}
+	a := byTenant[tenant]
+	if a == nil {
+		a = &usageAgg{}
+		byTenant[tenant] = a
+	}
+	return a
+}
+
+// Flush synchronously drains everything pending — audit ring, query queue,
+// and all usage windows including the current one. Tests and shutdown use
+// it; the background loop flushes closed windows only.
+func (s *Spooler) Flush() error { return s.flush(true) }
+
+func (s *Spooler) flush(final bool) error {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	start := time.Now()
+	var firstErr error
+	keep := func(err error) {
+		if err != nil {
+			s.mFlushErrors.Inc()
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	keep(s.flushAudit())
+	keep(s.flushQueries())
+	keep(s.flushUsage(final))
+	s.mFlushMS.Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
+	s.updateLag()
+	return firstErr
+}
+
+// updateLag publishes how many observations exist but are not yet durable:
+// un-spooled audit events plus queued query records.
+func (s *Spooler) updateLag() {
+	var lag int64
+	if s.audit != nil {
+		s.mu.Lock()
+		cursor := s.cursor
+		s.mu.Unlock()
+		lag += s.audit.Seq() - cursor
+	}
+	lag += int64(len(s.queries))
+	s.mLag.Set(lag)
+}
+
+// flushAudit drains the audit ring from the cursor. The cursor only
+// advances after the batch has durably committed, so a flush-site storage
+// fault leaves the events in the ring for the next attempt; if the ring
+// overwrites them first, EventsSince reports exactly how many were lost and
+// the gap is recorded *in the audit table itself* as an AUDIT_GAP row — an
+// event can be lost, but never silently.
+func (s *Spooler) flushAudit() error {
+	if s.audit == nil {
+		return nil
+	}
+	for {
+		s.mu.Lock()
+		cursor := s.cursor
+		s.mu.Unlock()
+		events, next, lost := s.audit.EventsSince(cursor)
+		if len(events) == 0 && lost == 0 {
+			return nil
+		}
+		bb := types.NewBatchBuilder(auditSchema(), len(events)+1)
+		if lost > 0 {
+			bb.AppendRow([]types.Value{
+				types.Timestamp(s.clock().UnixMicro()),
+				types.String(catalog.SystemUser),
+				types.String(""), types.String(""),
+				types.String("AUDIT_GAP"),
+				types.String(catalog.FullName(AuditTableParts)),
+				types.String("GAP"),
+				types.String(fmt.Sprintf("%d audit event(s) overwritten before spooling", lost)),
+				types.String(""),
+			})
+		}
+		n := len(events)
+		if n > s.cfg.MaxBatch {
+			n = s.cfg.MaxBatch
+			// Recompute the cursor for the prefix we actually spool.
+			next = next - int64(len(events)-n)
+		}
+		for _, e := range events[:n] {
+			bb.AppendRow([]types.Value{
+				types.Timestamp(e.Time.UnixMicro()),
+				types.String(e.User),
+				types.String(e.Compute),
+				types.String(e.SessionID),
+				types.String(e.Action),
+				types.String(e.Securable),
+				types.String(string(e.Decision)),
+				types.String(e.Reason),
+				types.String(e.TraceID),
+			})
+		}
+		rows := bb.Len()
+		if _, err := s.cat.AppendSystemTable(AuditTableParts, []*types.Batch{bb.Build()}); err != nil {
+			return fmt.Errorf("systemtables: spool audit: %w", err)
+		}
+		s.mu.Lock()
+		s.cursor = next
+		s.mu.Unlock()
+		// Losses are counted exactly once, at the same point the cursor
+		// advances past them: a failed append leaves both untouched, so a
+		// retried flush re-reports the same gap without double counting.
+		s.mAuditLost.Add(lost)
+		s.mSpooled.Add(int64(rows))
+		if n == len(events) {
+			return nil
+		}
+	}
+}
+
+// flushQueries drains the bounded query queue into query.history.
+func (s *Spooler) flushQueries() error {
+	for {
+		bb := types.NewBatchBuilder(historySchema(), s.cfg.MaxBatch)
+		var recs []QueryRecord
+	drain:
+		for bb.Len() < s.cfg.MaxBatch {
+			select {
+			case rec := <-s.queries:
+				bb.AppendRow(rec.row())
+				recs = append(recs, rec)
+			default:
+				break drain
+			}
+		}
+		if bb.Len() == 0 {
+			return nil
+		}
+		rows := bb.Len()
+		if _, err := s.cat.AppendSystemTable(HistoryTableParts, []*types.Batch{bb.Build()}); err != nil {
+			// Requeue what fits so a transient storage fault doesn't lose
+			// records; overflow is counted dropped like any backpressure.
+			for _, rec := range recs {
+				select {
+				case s.queries <- rec:
+				default:
+					s.mDropped.Inc()
+				}
+			}
+			return fmt.Errorf("systemtables: spool history: %w", err)
+		}
+		s.mSpooled.Add(int64(rows))
+		// Usage rollup derives from the records that actually spooled.
+		s.mu.Lock()
+		for _, rec := range recs {
+			a := s.usageFor(rec.Time, rec.Tenant)
+			a.queries++
+			if rec.Status != "OK" {
+				a.errors++
+			}
+			a.rowsOut += rec.RowsOut
+			a.bytesGet += rec.BytesRead
+			a.queueWaitNanos += rec.QueueWaitNanos
+		}
+		s.mu.Unlock()
+		if rows < s.cfg.MaxBatch {
+			return nil
+		}
+	}
+}
+
+// flushUsage commits closed rollup windows (all windows when final).
+func (s *Spooler) flushUsage(final bool) error {
+	now := s.clock()
+	currentWindow := now.Truncate(s.cfg.UsageWindow).UnixMicro()
+	s.mu.Lock()
+	type row struct {
+		window int64
+		tenant string
+		agg    usageAgg
+	}
+	var rows []row
+	for w, byTenant := range s.usage {
+		if !final && w >= currentWindow {
+			continue
+		}
+		for tenant, a := range byTenant {
+			rows = append(rows, row{w, tenant, *a})
+		}
+		delete(s.usage, w)
+	}
+	s.mu.Unlock()
+	if len(rows) == 0 {
+		return nil
+	}
+	bb := types.NewBatchBuilder(usageSchema(), len(rows))
+	for _, r := range rows {
+		bb.AppendRow([]types.Value{
+			types.Timestamp(r.window),
+			types.String(r.tenant),
+			types.Int64(r.agg.queries),
+			types.Int64(r.agg.errors),
+			types.Int64(r.agg.rowsOut),
+			types.Int64(r.agg.bytesGet),
+			types.Int64(r.agg.sheds),
+			types.Float64(nanosToMS(r.agg.queueWaitNanos)),
+		})
+	}
+	if _, err := s.cat.AppendSystemTable(UsageTableParts, []*types.Batch{bb.Build()}); err != nil {
+		// Re-merge so the aggregates survive a transient fault.
+		s.mu.Lock()
+		for _, r := range rows {
+			a := s.usageFor(time.UnixMicro(r.window), r.tenant)
+			a.queries += r.agg.queries
+			a.errors += r.agg.errors
+			a.rowsOut += r.agg.rowsOut
+			a.bytesGet += r.agg.bytesGet
+			a.sheds += r.agg.sheds
+			a.queueWaitNanos += r.agg.queueWaitNanos
+		}
+		s.mu.Unlock()
+		return fmt.Errorf("systemtables: spool usage: %w", err)
+	}
+	s.mSpooled.Add(int64(len(rows)))
+	return nil
+}
+
+// SweepRetention removes system-table data files wholly older than the
+// configured retention, using each table's per-file statistics. Returns the
+// number of files truncated.
+func (s *Spooler) SweepRetention() (int, error) {
+	if s.cfg.Retention <= 0 {
+		return 0, nil
+	}
+	cutoff := s.clock().Add(-s.cfg.Retention)
+	total := 0
+	for _, t := range []struct {
+		parts   []string
+		timeCol string
+	}{
+		{AuditTableParts, "event_time"},
+		{HistoryTableParts, "end_time"},
+		{UsageTableParts, "window_start"},
+	} {
+		n, err := s.cat.TruncateSystemTableBefore(t.parts, t.timeCol, cutoff)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	s.mRetention.Add(int64(total))
+	return total, nil
+}

@@ -1,0 +1,284 @@
+package systemtables
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lakeguard/internal/audit"
+	"lakeguard/internal/catalog"
+	"lakeguard/internal/storage"
+	"lakeguard/internal/telemetry"
+)
+
+type env struct {
+	store *storage.Store
+	cat   *catalog.Catalog
+	log   *audit.Log
+	reg   *telemetry.Registry
+	now   time.Time
+	mu    sync.Mutex
+}
+
+func (e *env) clock() time.Time {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.now
+}
+
+func (e *env) advance(d time.Duration) {
+	e.mu.Lock()
+	e.now = e.now.Add(d)
+	e.mu.Unlock()
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	e := &env{
+		store: storage.NewStore(),
+		log:   audit.NewLog(),
+		reg:   telemetry.NewRegistry(),
+		now:   time.Date(2026, 2, 1, 12, 0, 0, 0, time.UTC),
+	}
+	e.log.SetClock(e.clock)
+	e.cat = catalog.New(e.store, e.log)
+	return e
+}
+
+func newSpooler(t *testing.T, e *env, cfg Config) *Spooler {
+	t.Helper()
+	cfg.Catalog = e.cat
+	cfg.Audit = e.log
+	cfg.Metrics = e.reg
+	cfg.Clock = e.clock
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func count(t *testing.T, e *env, parts []string) int64 {
+	t.Helper()
+	n, err := e.cat.SystemTableCount(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestSpoolerDrainsAuditAndQueries(t *testing.T) {
+	e := newEnv(t)
+	s := newSpooler(t, e, Config{})
+	// The catalog itself generated ENSURE SYSTEM TABLE audit events during
+	// Bootstrap; they spool too.
+	baseline := e.log.Seq()
+	if baseline == 0 {
+		t.Fatal("bootstrap produced no audit events")
+	}
+	e.log.Record(audit.Event{User: "alice@corp.com", Action: "SELECT", Securable: "main.default.t", Decision: audit.DecisionAllow})
+	e.log.Record(audit.Event{User: "bob@corp.com", Action: "SELECT", Securable: "main.default.t", Decision: audit.DecisionDeny, Reason: "no grant"})
+	s.RecordQuery(QueryRecord{Time: e.clock(), Tenant: "alice@corp.com", SQLText: "SELECT 1", Status: "OK", RowsOut: 1})
+	s.RecordQuery(QueryRecord{Time: e.clock(), Tenant: "bob@corp.com", SQLText: "SELECT 2", Status: "ERROR", Error: "boom"})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(t, e, AuditTableParts); got != baseline+2 {
+		t.Fatalf("audit rows = %d, want %d", got, baseline+2)
+	}
+	if got := count(t, e, HistoryTableParts); got != 2 {
+		t.Fatalf("history rows = %d, want 2", got)
+	}
+	// Two tenants in one window → two usage rows.
+	if got := count(t, e, UsageTableParts); got != 2 {
+		t.Fatalf("usage rows = %d, want 2", got)
+	}
+	// Flushing again with nothing new writes nothing.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(t, e, AuditTableParts); got != baseline+2 {
+		t.Fatalf("idle flush appended audit rows: %d", got)
+	}
+	if lag := e.reg.Gauge("systemtables.lag").Value(); lag != 0 {
+		t.Fatalf("lag after full drain = %d", lag)
+	}
+}
+
+// TestSpoolerChaosNoSilentAuditLoss is the adversarial cursor test: storage
+// faults at the flush site while the ring keeps wrapping. Whatever happens,
+// every recorded event is either durably in the table or counted in the
+// audit-lost metric and surfaced as an AUDIT_GAP row — never silently gone.
+func TestSpoolerChaosNoSilentAuditLoss(t *testing.T) {
+	e := newEnv(t)
+	s := newSpooler(t, e, Config{})
+	if err := s.Flush(); err != nil { // drain bootstrap events first
+		t.Fatal(err)
+	}
+	spooledBefore := count(t, e, AuditTableParts)
+	e.log.SetCapacity(8)
+
+	// Storage down for the audit table: flushes fail, the cursor must not
+	// advance past events that never landed.
+	var faults int
+	e.store.SetFault(func(op, path string) error {
+		if op == "put" && strings.Contains(path, "tables/system/audit/") {
+			faults++
+			return errors.New("injected: storage unavailable")
+		}
+		return nil
+	})
+	const recorded = 30
+	for i := 0; i < recorded; i++ {
+		e.log.Record(audit.Event{User: "u", Action: "SELECT", Decision: audit.DecisionAllow})
+		if i%5 == 4 {
+			if err := s.Flush(); err == nil {
+				t.Fatal("flush succeeded while storage is down")
+			}
+		}
+	}
+	if faults == 0 {
+		t.Fatal("fault hook never fired")
+	}
+	e.store.SetFault(nil)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	lost := e.reg.Counter("systemtables.audit_lost").Value()
+	if lost == 0 {
+		t.Fatal("ring never overflowed; shrink the capacity or record more")
+	}
+	rows := count(t, e, AuditTableParts) - spooledBefore
+	// rows = survived events + exactly one AUDIT_GAP marker from the
+	// single successful flush.
+	survived := rows - 1
+	if survived+lost != recorded {
+		t.Fatalf("survived(%d) + lost(%d) != recorded(%d): an event vanished silently", survived, lost, recorded)
+	}
+	if errs := e.reg.Counter("systemtables.flush_errors").Value(); errs == 0 {
+		t.Fatal("flush errors not counted")
+	}
+}
+
+func TestSpoolerQueryQueueOverflowCountsDrops(t *testing.T) {
+	e := newEnv(t)
+	s := newSpooler(t, e, Config{QueueDepth: 2})
+	for i := 0; i < 5; i++ {
+		s.RecordQuery(QueryRecord{Time: e.clock(), Tenant: "t", Status: "OK"})
+	}
+	if got := e.reg.Counter("systemtables.dropped").Value(); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(t, e, HistoryTableParts); got != 2 {
+		t.Fatalf("history rows = %d, want 2", got)
+	}
+}
+
+func TestSpoolerHistoryRequeueOnFault(t *testing.T) {
+	e := newEnv(t)
+	s := newSpooler(t, e, Config{})
+	e.store.SetFault(func(op, path string) error {
+		if op == "put" && strings.Contains(path, "tables/system/query/") {
+			return errors.New("injected")
+		}
+		return nil
+	})
+	s.RecordQuery(QueryRecord{Time: e.clock(), Tenant: "t", Status: "OK"})
+	if err := s.Flush(); err == nil {
+		t.Fatal("flush must fail while history storage is down")
+	}
+	e.store.SetFault(nil)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(t, e, HistoryTableParts); got != 1 {
+		t.Fatalf("history rows = %d, want 1 (record lost across fault)", got)
+	}
+}
+
+func TestSpoolerUsageWindows(t *testing.T) {
+	e := newEnv(t)
+	s := newSpooler(t, e, Config{UsageWindow: time.Minute})
+	s.RecordQuery(QueryRecord{Time: e.clock(), Tenant: "a", Status: "OK", RowsOut: 5})
+	s.RecordQuery(QueryRecord{Time: e.clock(), Tenant: "a", Status: "ERROR"})
+	s.RecordShed("a")
+	// Background flushes only commit closed windows: with the window still
+	// open, usage stays pending (history commits immediately).
+	if err := s.flush(false); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(t, e, UsageTableParts); got != 0 {
+		t.Fatalf("open window committed: %d rows", got)
+	}
+	e.advance(2 * time.Minute)
+	if err := s.flush(false); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(t, e, UsageTableParts); got != 1 {
+		t.Fatalf("closed window rows = %d, want 1", got)
+	}
+	// Next window for the same tenant is a separate row.
+	s.RecordQuery(QueryRecord{Time: e.clock(), Tenant: "a", Status: "OK"})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(t, e, UsageTableParts); got != 2 {
+		t.Fatalf("usage rows = %d, want 2", got)
+	}
+}
+
+func TestSpoolerRetention(t *testing.T) {
+	e := newEnv(t)
+	s := newSpooler(t, e, Config{Retention: 24 * time.Hour})
+	s.RecordQuery(QueryRecord{Time: e.clock(), Tenant: "old", Status: "OK"})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(t, e, HistoryTableParts); got != 1 {
+		t.Fatalf("history rows = %d", got)
+	}
+	e.advance(48 * time.Hour)
+	s.RecordQuery(QueryRecord{Time: e.clock(), Tenant: "new", Status: "OK"})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := s.SweepRetention()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("retention removed nothing")
+	}
+	if got := count(t, e, HistoryTableParts); got != 1 {
+		t.Fatalf("history rows after retention = %d, want 1 (the recent one)", got)
+	}
+	if got := e.reg.Counter("systemtables.retention_files_removed").Value(); got == 0 {
+		t.Fatal("retention metric not incremented")
+	}
+}
+
+func TestSpoolerStartStop(t *testing.T) {
+	e := newEnv(t)
+	s := newSpooler(t, e, Config{FlushInterval: 10 * time.Millisecond})
+	s.Start()
+	s.RecordQuery(QueryRecord{Time: e.clock(), Tenant: "t", Status: "OK"})
+	s.Stop() // final flush drains everything, including the open usage window
+	if got := count(t, e, HistoryTableParts); got != 1 {
+		t.Fatalf("history rows after stop = %d, want 1", got)
+	}
+	if got := count(t, e, UsageTableParts); got != 1 {
+		t.Fatalf("usage rows after stop = %d, want 1", got)
+	}
+}
+
+func TestSpoolerNilSafety(t *testing.T) {
+	var s *Spooler
+	s.RecordQuery(QueryRecord{})
+	s.RecordShed("t")
+}

@@ -124,6 +124,61 @@ func (h *Histogram) BucketCount(i int) int64 {
 	return h.counts[i].Load()
 }
 
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear interpolation
+// within the bucket that contains the target rank, the standard
+// fixed-bucket estimate. Observations in the +Inf bucket clamp to the last
+// finite bound (the estimate cannot exceed what the buckets can resolve).
+// Returns 0 with ok=false when the histogram is empty or nil.
+func (h *Histogram) Quantile(q float64) (float64, bool) {
+	if h == nil {
+		return 0, false
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0, false
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.bounds) {
+				// +Inf bucket: no upper bound to interpolate toward.
+				if len(h.bounds) == 0 {
+					return 0, false
+				}
+				return h.bounds[len(h.bounds)-1], true
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac, true
+		}
+		cum += n
+	}
+	if len(h.bounds) == 0 {
+		return 0, false
+	}
+	return h.bounds[len(h.bounds)-1], true
+}
+
 type histBucket struct {
 	LE    any   `json:"le"` // float bound, or "+Inf" for the overflow bucket
 	Count int64 `json:"count"`
@@ -133,6 +188,9 @@ type histJSON struct {
 	Buckets []histBucket `json:"buckets"`
 	Sum     float64      `json:"sum"`
 	Count   int64        `json:"count"`
+	P50     float64      `json:"p50,omitempty"`
+	P90     float64      `json:"p90,omitempty"`
+	P99     float64      `json:"p99,omitempty"`
 }
 
 func (h *Histogram) snapshot() histJSON {
@@ -143,6 +201,15 @@ func (h *Histogram) snapshot() histJSON {
 			le = h.bounds[i]
 		}
 		out.Buckets = append(out.Buckets, histBucket{LE: le, Count: h.counts[i].Load()})
+	}
+	if p, ok := h.Quantile(0.50); ok {
+		out.P50 = p
+	}
+	if p, ok := h.Quantile(0.90); ok {
+		out.P90 = p
+	}
+	if p, ok := h.Quantile(0.99); ok {
+		out.P99 = p
 	}
 	return out
 }
@@ -258,8 +325,16 @@ func (r *Registry) snapshot() registryJSON {
 	return out
 }
 
-// ServeHTTP serves the registry as a JSON document (the /metrics endpoint).
-func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+// ServeHTTP serves the registry at /metrics. JSON is the default; a client
+// whose Accept header asks for the Prometheus text exposition format
+// (text/plain, or the openmetrics media type a Prometheus scraper sends)
+// gets that instead — same instruments, scrape-ready rendering.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req != nil && acceptsPrometheus(req.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write([]byte(r.RenderPrometheus()))
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if r == nil {
 		w.Write([]byte("{}\n"))

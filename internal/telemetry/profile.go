@@ -26,6 +26,7 @@ type OpStats struct {
 	rfRows       atomic.Int64 // probe-side rows dropped by a runtime filter
 	spillParts   atomic.Int64 // hash-table spill partitions written
 	spillBytes   atomic.Int64 // bytes written to spill storage
+	readBytes    atomic.Int64 // bytes fetched from storage by a scan
 
 	mu       sync.Mutex
 	children []*OpStats
@@ -98,6 +99,23 @@ func (o *OpStats) AddRuntimeFiltered(rows int) {
 		return
 	}
 	o.rfRows.Add(int64(rows))
+}
+
+// AddReadBytes records bytes a scan fetched from storage (the per-tenant
+// bytes-GET attribution the billing rollup charges).
+func (o *OpStats) AddReadBytes(n int64) {
+	if o == nil {
+		return
+	}
+	o.readBytes.Add(n)
+}
+
+// ReadBytes returns bytes fetched from storage.
+func (o *OpStats) ReadBytes() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.readBytes.Load()
 }
 
 // AddSpill records hash-table spill volume: partitions written and bytes.
@@ -266,6 +284,39 @@ func (p *Profile) Root() *OpStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.root
+}
+
+// ProfileTotals are the tree-wide aggregates a completed query contributes
+// to the query-history and billing system tables.
+type ProfileTotals struct {
+	RowsOut      int64 // rows emitted by the root operator
+	FilesScanned int64
+	FilesPruned  int64 // zone-map plus runtime-filter pruning
+	ReadBytes    int64
+	SpillBytes   int64
+}
+
+// Totals walks the operator tree and sums the counters that outlive the
+// query. Nil-safe: an unprofiled query reports zeros.
+func (p *Profile) Totals() ProfileTotals {
+	var t ProfileTotals
+	root := p.Root()
+	if root == nil {
+		return t
+	}
+	t.RowsOut = root.Rows()
+	var walk func(o *OpStats)
+	walk = func(o *OpStats) {
+		t.FilesScanned += o.FilesScanned()
+		t.FilesPruned += o.FilesPruned() + o.RuntimeFilePruned()
+		t.ReadBytes += o.ReadBytes()
+		t.SpillBytes += o.SpillBytes()
+		for _, c := range o.Children() {
+			walk(c)
+		}
+	}
+	walk(root)
+	return t
 }
 
 func fmtDur(nanos int64) string {

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// acceptsPrometheus reports whether an Accept header prefers the Prometheus
+// text exposition format over JSON. Prometheus scrapers send either
+// text/plain;version=0.0.4 or the openmetrics media type; a plain
+// "text/plain" also selects text. JSON stays the default for browsers and
+// tools that accept */* or application/json.
+func acceptsPrometheus(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		switch strings.ToLower(mt) {
+		case "application/json", "*/*":
+			return false
+		case "text/plain", "application/openmetrics-text":
+			return true
+		}
+	}
+	return false
+}
+
+// promName sanitizes a registry metric name into a valid Prometheus metric
+// name: dots and other non-[a-zA-Z0-9_:] runes become underscores, and a
+// leading digit gets a leading underscore.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else if r >= '0' && r <= '9' { // leading digit
+			b.WriteByte('_')
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// RenderPrometheus renders every instrument in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative _bucket{le="..."} series plus _sum and _count.
+// Names are emitted in sorted order so scrapes are diffable.
+func (r *Registry) RenderPrometheus() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.RLock()
+	counters := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, name := range sortedKeys(counters) {
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", pn, pn, counters[name])
+	}
+	for _, name := range sortedKeys(gauges) {
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", pn, pn, gauges[name])
+	}
+	hnames := make([]string, 0, len(hists))
+	for name := range hists {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := hists[name]
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", pn)
+		var cum int64
+		for i := range h.counts {
+			cum += h.counts[i].Load()
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = promFloat(h.bounds[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", pn, le, cum)
+		}
+		fmt.Fprintf(&b, "%s_sum %s\n", pn, promFloat(h.Sum()))
+		fmt.Fprintf(&b, "%s_count %d\n", pn, h.Count())
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

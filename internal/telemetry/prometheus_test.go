@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 30})
+	if _, ok := h.Quantile(0.5); ok {
+		t.Fatal("empty histogram must report ok=false")
+	}
+	// 10 observations uniformly in (0,10]: the bucket holds all of them, so
+	// the median interpolates to the middle of [0,10].
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	p50, ok := h.Quantile(0.5)
+	if !ok || p50 != 5 {
+		t.Fatalf("p50 = %v (ok=%v), want 5", p50, ok)
+	}
+	// Add 10 in (10,20]: p50 = 10 (boundary), p75 interpolates into bucket 2.
+	for i := 0; i < 10; i++ {
+		h.Observe(15)
+	}
+	p50, _ = h.Quantile(0.5)
+	if p50 != 10 {
+		t.Fatalf("p50 after second bucket = %v, want 10", p50)
+	}
+	p75, _ := h.Quantile(0.75)
+	if p75 != 15 {
+		t.Fatalf("p75 = %v, want 15", p75)
+	}
+	// +Inf observations clamp to the last finite bound.
+	for i := 0; i < 100; i++ {
+		h.Observe(1e9)
+	}
+	p99, _ := h.Quantile(0.99)
+	if p99 != 30 {
+		t.Fatalf("p99 with +Inf mass = %v, want clamp to 30", p99)
+	}
+	// Out-of-range q clamps instead of panicking.
+	if v, ok := h.Quantile(2); !ok || v != 30 {
+		t.Fatalf("Quantile(2) = %v (ok=%v)", v, ok)
+	}
+	var nilH *Histogram
+	if _, ok := nilH.Quantile(0.5); ok {
+		t.Fatal("nil histogram must report ok=false")
+	}
+}
+
+func TestHistogramQuantilesInJSONSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q.ms", []float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5)
+	}
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("default content type = %q", ct)
+	}
+	var doc struct {
+		Histograms map[string]struct {
+			P50 float64 `json:"p50"`
+			P90 float64 `json:"p90"`
+			P99 float64 `json:"p99"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	hs, ok := doc.Histograms["q.ms"]
+	if !ok {
+		t.Fatalf("histogram missing from snapshot: %s", rec.Body.String())
+	}
+	// All mass in (1,2]: every percentile interpolates inside that bucket.
+	for _, p := range []float64{hs.P50, hs.P90, hs.P99} {
+		if p <= 1 || p > 2 {
+			t.Fatalf("percentile %v outside (1,2]: %+v", p, hs)
+		}
+	}
+	if hs.P50 > hs.P90 || hs.P90 > hs.P99 {
+		t.Fatalf("percentiles not monotonic: %+v", hs)
+	}
+	if math.Abs(hs.P50-1.5) > 1e-9 {
+		t.Fatalf("p50 = %v, want 1.5", hs.P50)
+	}
+}
+
+func TestAcceptsPrometheus(t *testing.T) {
+	cases := []struct {
+		accept string
+		want   bool
+	}{
+		{"", false},
+		{"application/json", false},
+		{"*/*", false},
+		{"text/html,application/xhtml+xml,*/*;q=0.8", false},
+		{"text/plain", true},
+		{"text/plain;version=0.0.4;q=0.5", true},
+		{"application/openmetrics-text;version=1.0.0", true},
+		// First match wins across comma-separated alternatives.
+		{"application/json, text/plain", false},
+		{"text/plain, application/json", true},
+	}
+	for _, c := range cases {
+		if got := acceptsPrometheus(c.accept); got != c.want {
+			t.Errorf("acceptsPrometheus(%q) = %v, want %v", c.accept, got, c.want)
+		}
+	}
+}
+
+func TestRenderPrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("queries.total").Add(7)
+	r.Gauge("sessions.active").Set(3)
+	h := r.Histogram("exec.ms", []float64{1, 10})
+	h.Observe(0.5) // bucket le=1
+	h.Observe(5)   // bucket le=10
+	h.Observe(100) // +Inf bucket
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "text/plain;version=0.0.4")
+	r.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE queries_total counter",
+		"queries_total 7",
+		"# TYPE sessions_active gauge",
+		"sessions_active 3",
+		"# TYPE exec_ms histogram",
+		`exec_ms_bucket{le="1"} 1`,
+		`exec_ms_bucket{le="10"} 2`,
+		`exec_ms_bucket{le="+Inf"} 3`,
+		"exec_ms_sum 105.5",
+		"exec_ms_count 3",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"systemtables.flush_ms": "systemtables_flush_ms",
+		"a-b.c":                 "a_b_c",
+		"0leading":              "_0leading",
+		"ok_name:x":             "ok_name:x",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
