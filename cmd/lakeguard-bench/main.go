@@ -21,7 +21,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: table1, table2, coldstart, membrane, efgac-modes, exec, skipping, join, telemetry, tenancy, all")
+		"which experiment to run: table1, table2, coldstart, membrane, efgac-modes, exec, skipping, join, telemetry, churn, tenancy, all")
 	quick := flag.Bool("quick", false, "reduced problem sizes for a fast smoke run")
 	jsonOut := flag.String("json", "", "also write machine-readable results to this file (exec experiment → BENCH_exec.json)")
 	maxOverheadPct := flag.Float64("max-overhead-pct", 0,
@@ -226,6 +226,35 @@ func main() {
 		}
 		if *maxOverheadPct > 0 && res.VerifyOverheadPct > *maxOverheadPct {
 			return fmt.Errorf("sentinel verify overhead %.1f%% exceeds budget %.1f%%", res.VerifyOverheadPct, *maxOverheadPct)
+		}
+		return nil
+	})
+
+	wrap("churn", func() error {
+		cfg := bench.DefaultChurnConfig()
+		if *quick {
+			cfg.Commits = 200
+			cfg.Duration = 400 * time.Millisecond
+			cfg.MinSpeedup = 3
+			cfg.Rows = 8_192
+			cfg.RowsPerFile = 512
+		}
+		res, err := bench.RunChurn(cfg)
+		if res != nil {
+			fmt.Println(bench.FormatChurn(res))
+		}
+		if err != nil {
+			return err
+		}
+		if *jsonOut != "" {
+			data, err := res.FormatJSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
 		}
 		return nil
 	})

@@ -83,6 +83,7 @@ func main() {
 	systemTables := flag.Bool("system-tables", true, "spool audit events, query history, and per-tenant usage into the governed system catalog")
 	systemFlushMs := flag.Int("system-flush-ms", 2000, "system-table spooler flush interval")
 	systemRetention := flag.Duration("system-retention", 30*24*time.Hour, "truncate system-table partitions older than this (0 keeps forever)")
+	checkpointInterval := flag.Int("checkpoint-interval", 0, "write a delta-log checkpoint every N commits so cold snapshots replay O(N) entries (0 = engine default, negative disables)")
 	tokens := tokenFlags{}
 	flag.Var(tokens, "token", "token=user mapping (repeatable)")
 	weights := weightFlags{}
@@ -109,6 +110,13 @@ func main() {
 	auditLog := audit.NewLog()
 	cat := catalog.New(store, auditLog)
 	cat.AddAdmin(*admin)
+	if *checkpointInterval != 0 {
+		n := *checkpointInterval
+		if n < 0 {
+			n = 0 // 0 disables checkpoint writing at the log layer
+		}
+		cat.SetCheckpointInterval(n)
+	}
 
 	// Telemetry: one registry and tracer for the whole deployment. The
 	// registry feeds /metrics; the tracer mints one trace per query and

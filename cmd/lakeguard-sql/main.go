@@ -18,6 +18,15 @@
 // tables, so the built-in row filters apply: each caller sees their own
 // rows; metastore admins see everything.
 //
+// DML and maintenance statements ride the deletion-vector machinery:
+//
+//	DELETE FROM t [WHERE p]              mask rows via deletion vectors (no file rewrite)
+//	UPDATE t SET c = e, ... [WHERE p]    mask old rows + append updated copies
+//	MERGE INTO t USING s ON c            upsert: WHEN MATCHED THEN UPDATE SET/DELETE,
+//	                                     WHEN NOT MATCHED THEN INSERT VALUES (...)
+//	OPTIMIZE t [TARGET SIZE n]           bin-pack small files, rewrite DV-dense files
+//	VACUUM t                             delete tombstoned and orphaned storage objects
+//
 // With -e, the -explain-verified flag prints the optimized plan annotated
 // with the static security invariant that cleared each policy operator,
 // instead of executing the statement.

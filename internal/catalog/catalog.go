@@ -143,6 +143,10 @@ type Catalog struct {
 	logMu   sync.Mutex
 	logs    map[string]*delta.Log
 	metrics *telemetry.Registry // guarded by logMu; wired onto new handles
+	// Checkpoint cadence applied to every log handle (SetCheckpointInterval);
+	// ckptSet distinguishes "never configured" from an explicit 0 (disabled).
+	ckptInterval int
+	ckptSet      bool
 
 	// batches caches decoded data-file batches across queries and users;
 	// lookups are credential-checked (see batchcache.go).
@@ -208,6 +212,9 @@ func (c *Catalog) logFor(prefix string) *delta.Log {
 		l = delta.Attach(c.store, prefix)
 		if c.metrics != nil {
 			l.SetMetrics(c.metrics)
+		}
+		if c.ckptSet {
+			l.SetCheckpointInterval(c.ckptInterval)
 		}
 		c.logs[prefix] = l
 	}

@@ -222,6 +222,18 @@ func (s *Server) executeDDL(qctx context.Context, ctx catalog.RequestContext, st
 	case *plan.DeleteFrom:
 		return s.executeDelete(qctx, ctx, st, c)
 
+	case *plan.Update:
+		return s.executeUpdate(qctx, ctx, st, c)
+
+	case *plan.MergeInto:
+		return s.executeMerge(qctx, ctx, st, c)
+
+	case *plan.OptimizeTable:
+		return s.executeOptimize(ctx, c)
+
+	case *plan.VacuumTable:
+		return s.executeVacuum(ctx, c)
+
 	case *plan.ShowTables:
 		names := s.cat.ListTables(ctx)
 		sort.Strings(names)
@@ -327,64 +339,6 @@ func (s *Server) executeCTAS(qctx context.Context, ctx catalog.RequestContext, s
 	}
 	outSchema, b := okBatch(fmt.Sprintf("table created with %d rows", n))
 	return outSchema, b, nil
-}
-
-// executeDelete rewrites the table without the matching rows.
-func (s *Server) executeDelete(qctx context.Context, ctx catalog.RequestContext, st *session.State, c *plan.DeleteFrom) (*types.Schema, *types.Batch, error) {
-	meta, err := s.cat.ResolveTable(ctx, c.Table)
-	if err != nil {
-		return nil, nil, err
-	}
-	// DML on a policy-protected table would rewrite it through a
-	// policy-filtered read and silently drop the rows the policy hides, so
-	// it is refused outright (drop the policy, delete, re-attach).
-	if meta.HasPolicies {
-		return nil, nil, fmt.Errorf("core: DELETE is not supported on %s while row filters or column masks are attached", meta.FullName)
-	}
-	keep := plan.Node(&plan.UnresolvedRelation{Parts: c.Table, AsOfVersion: -1})
-	var deleted int64
-	if c.Where != nil {
-		keepCond := &plan.Unary{Op: plan.OpNot, Child: c.Where}
-		// NULL predicate rows are kept (SQL DELETE semantics: delete only
-		// rows where the predicate is TRUE).
-		keep = &plan.Filter{
-			Cond: &plan.Binary{Op: plan.OpOr,
-				L: keepCond, R: &plan.IsNull{Child: c.Where}, ResultKind: types.KindBool},
-			Child: keep,
-		}
-	} else {
-		// DELETE without WHERE removes everything.
-		keep = &plan.Filter{Cond: plan.Lit(types.Bool(false)), Child: keep}
-	}
-	schemaBefore, before, err := s.runQuery(qctx, ctx, st, &plan.UnresolvedRelation{Parts: c.Table, AsOfVersion: -1})
-	if err != nil {
-		return nil, nil, err
-	}
-	_ = schemaBefore
-	var total int64
-	for _, b := range before {
-		total += int64(b.NumRows())
-	}
-	_, kept, err := s.runQuery(qctx, ctx, st, keep)
-	if err != nil {
-		return nil, nil, err
-	}
-	var keptRows int64
-	coerced := make([]*types.Batch, 0, len(kept))
-	for _, b := range kept {
-		cb, err := coerceBatch(b, meta.Schema)
-		if err != nil {
-			return nil, nil, err
-		}
-		coerced = append(coerced, cb)
-		keptRows += int64(b.NumRows())
-	}
-	deleted = total - keptRows
-	if _, err := s.cat.OverwriteTable(ctx, c.Table, coerced); err != nil {
-		return nil, nil, err
-	}
-	schema, b := okBatch(fmt.Sprintf("deleted %d rows", deleted))
-	return schema, b, nil
 }
 
 // executeInsert appends a query result or literal rows into a table.

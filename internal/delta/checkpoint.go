@@ -1,0 +1,171 @@
+package delta
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lakeguard/internal/storage"
+)
+
+// This file implements log checkpoints: every checkpointInterval commits the
+// committer materializes the full replay state (schema, live files with
+// statistics and deletion vectors, removed-file tombstones) as one JSON
+// object next to the log, plus a small _last_checkpoint pointer. A cold
+// snapshot then costs one checkpoint GET plus a replay of the entries behind
+// it, instead of a replay from genesis; time travel seeds from the nearest
+// checkpoint at or below the requested version. Checkpoints are pure
+// acceleration: a log without them (or with a corrupt one) still replays
+// from version 0, and replaying through a checkpointed range produces a
+// byte-identical snapshot because the checkpoint records the same first-seen
+// file order replay would accumulate.
+
+// checkpointData is the JSON checkpoint object.
+type checkpointData struct {
+	Version int64     `json:"version"`
+	Meta    *MetaData `json:"metaData"`
+	// Adds lists the live files in first-seen order (replay order), each
+	// carrying its statistics and deletion vector.
+	Adds []AddFile `json:"adds"`
+	// Tombstones lists removed-but-not-vacuumed data files, sorted.
+	Tombstones []string `json:"tombstones,omitempty"`
+}
+
+// lastCheckpoint is the _last_checkpoint pointer object.
+type lastCheckpoint struct {
+	Version int64 `json:"version"`
+}
+
+func checkpointPath(prefix string, version int64) string {
+	return fmt.Sprintf("%s_delta_log/%020d.checkpoint.json", prefix, version)
+}
+
+func lastCheckpointPath(prefix string) string {
+	return prefix + "_delta_log/_last_checkpoint"
+}
+
+// parseCheckpointVersion extracts the version from a checkpoint object path.
+func parseCheckpointVersion(dir, path string) (int64, bool) {
+	name, ok := strings.CutPrefix(path, dir)
+	if !ok {
+		return 0, false
+	}
+	name, ok = strings.CutSuffix(name, ".checkpoint.json")
+	if !ok || strings.Contains(name, "/") {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(name, 10, 64)
+	if err != nil || v < 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// noteCheckpoint records a discovered checkpoint version. Caller holds l.mu.
+func (l *Log) noteCheckpoint(v int64) {
+	i := sort.Search(len(l.ckpts), func(i int) bool { return l.ckpts[i] >= v })
+	if i < len(l.ckpts) && l.ckpts[i] == v {
+		return
+	}
+	l.ckpts = append(l.ckpts, 0)
+	copy(l.ckpts[i+1:], l.ckpts[i:])
+	l.ckpts[i] = v
+}
+
+// nearestCheckpoint returns the newest known checkpoint version at or below
+// maxVersion. Caller holds l.mu.
+func (l *Log) nearestCheckpoint(maxVersion int64) (int64, bool) {
+	i := sort.Search(len(l.ckpts), func(i int) bool { return l.ckpts[i] > maxVersion })
+	if i == 0 {
+		return 0, false
+	}
+	return l.ckpts[i-1], true
+}
+
+// readCheckpoint loads the checkpoint at version cv into a fresh logState.
+func (l *Log) readCheckpoint(cred *storage.Credential, cv int64) (*logState, error) {
+	data, err := l.store.Get(cred, checkpointPath(l.prefix, cv))
+	if err != nil {
+		return nil, err
+	}
+	var cp checkpointData
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("delta: corrupt checkpoint %d: %w", cv, err)
+	}
+	st := newLogState()
+	st.version = cp.Version
+	if cp.Meta != nil {
+		st.schema = metaToSchema(cp.Meta)
+	}
+	for _, f := range cp.Adds {
+		st.order = append(st.order, f.Path)
+		st.live[f.Path] = f
+	}
+	for _, p := range cp.Tombstones {
+		st.tombstones[p] = true
+	}
+	return st, nil
+}
+
+// checkpointFromState materializes st as a checkpoint object. The published
+// logState is immutable (the cache replaces it wholesale), so reading it
+// outside l.mu is safe once the pointer is captured.
+func checkpointFromState(st *logState) *checkpointData {
+	cp := &checkpointData{Version: st.version}
+	if st.schema != nil {
+		cp.Meta = schemaToMeta(st.schema)
+	}
+	for _, p := range st.order {
+		if f, ok := st.live[p]; ok {
+			cp.Adds = append(cp.Adds, f)
+		}
+	}
+	for p := range st.tombstones {
+		cp.Tombstones = append(cp.Tombstones, p)
+	}
+	sort.Strings(cp.Tombstones)
+	return cp
+}
+
+// maybeCheckpoint writes a checkpoint after a successful commit at version
+// committed when the version crosses the checkpoint interval. The write is
+// best-effort and idempotent (plain Put — concurrent committers racing to
+// the same boundary write identical state), and failure never fails the
+// commit: the log alone is authoritative.
+func (l *Log) maybeCheckpoint(cred *storage.Credential, committed int64) {
+	iv := l.interval.Load()
+	if iv <= 0 || committed <= 0 || committed%iv != 0 {
+		return
+	}
+	// Advance the cached state through the just-committed entry, then
+	// capture it. Concurrent commits may have advanced further; the
+	// checkpoint is simply written at whatever boundary-or-later version
+	// the state reached.
+	if _, err := l.Snapshot(cred, -1); err != nil {
+		return
+	}
+	l.mu.Lock()
+	st := l.latest
+	l.mu.Unlock()
+	if st == nil || st.version < committed {
+		return
+	}
+	cp := checkpointFromState(st)
+	data, err := json.Marshal(cp)
+	if err != nil {
+		return
+	}
+	if err := l.store.Put(cred, checkpointPath(l.prefix, cp.Version), data); err != nil {
+		return
+	}
+	ptr, err := json.Marshal(lastCheckpoint{Version: cp.Version})
+	if err == nil {
+		_ = l.store.Put(cred, lastCheckpointPath(l.prefix), ptr)
+	}
+	l.mCkptWrites.Inc()
+	l.mu.Lock()
+	l.noteCheckpoint(cp.Version)
+	l.mu.Unlock()
+}

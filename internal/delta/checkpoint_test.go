@@ -1,0 +1,398 @@
+package delta
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"lakeguard/internal/telemetry"
+	"lakeguard/internal/types"
+)
+
+// TestCheckpointWrittenAtInterval asserts the committer materializes a
+// checkpoint object plus the _last_checkpoint pointer exactly on interval
+// boundaries, and never between them.
+func TestCheckpointWrittenAtInterval(t *testing.T) {
+	store, cred := testEnv(t)
+	schema := intSchema()
+	log, err := Create(store, cred, "tables/ckpt/", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := telemetry.NewRegistry()
+	log.SetMetrics(m)
+	log.SetCheckpointInterval(4)
+	for i := int64(1); i <= 9; i++ {
+		if _, err := log.Append(cred, []*types.Batch{intBatch(schema, i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range []int64{4, 8} {
+		if _, err := store.Get(cred, checkpointPath("tables/ckpt/", v)); err != nil {
+			t.Errorf("checkpoint at version %d missing: %v", v, err)
+		}
+	}
+	for _, v := range []int64{1, 2, 3, 5, 6, 7, 9} {
+		if _, err := store.Get(cred, checkpointPath("tables/ckpt/", v)); err == nil {
+			t.Errorf("unexpected checkpoint at non-boundary version %d", v)
+		}
+	}
+	if _, err := store.Get(cred, lastCheckpointPath("tables/ckpt/")); err != nil {
+		t.Errorf("_last_checkpoint pointer missing: %v", err)
+	}
+	if got := m.Counter("delta.checkpoint.writes").Value(); got != 2 {
+		t.Errorf("delta.checkpoint.writes = %d, want 2", got)
+	}
+}
+
+// TestColdReplayFromCheckpoint opens a fresh handle on a checkpointed log
+// and asserts replay cost is O(interval): one checkpoint GET plus the tail
+// entries behind it, with the saved work visible on the metrics registry.
+func TestColdReplayFromCheckpoint(t *testing.T) {
+	store, cred := testEnv(t)
+	schema := intSchema()
+	log, err := Create(store, cred, "tables/cold/", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.SetCheckpointInterval(4)
+	const commits = 10
+	for i := int64(1); i <= commits; i++ {
+		if _, err := log.Append(cred, []*types.Batch{intBatch(schema, i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Cold attach: a brand-new handle with no cached state.
+	fresh := Attach(store, "tables/cold/")
+	m := telemetry.NewRegistry()
+	fresh.SetMetrics(m)
+	snap, err := fresh.Snapshot(cred, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != commits || snap.NumRecords() != commits {
+		t.Fatalf("cold snapshot v=%d rows=%d, want v=%d rows=%d", snap.Version, snap.NumRecords(), commits, commits)
+	}
+	// Checkpoint at 8; entries 9 and 10 replay behind it.
+	if got := m.Counter("snapshot.entries.replayed").Value(); got != 2 {
+		t.Errorf("cold replay touched %d entries, want 2 (seeded from checkpoint 8)", got)
+	}
+	if got := m.Counter("snapshot.replay.from_checkpoint").Value(); got != 1 {
+		t.Errorf("snapshot.replay.from_checkpoint = %d, want 1", got)
+	}
+	if got := m.Counter("delta.checkpoint.hits").Value(); got != 1 {
+		t.Errorf("delta.checkpoint.hits = %d, want 1", got)
+	}
+	// Checkpoint-seeded replay must be content-identical to the writer's
+	// incrementally-accumulated state.
+	fullSnap, err := log.Snapshot(cred, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := snap.ReadAll(store, cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fullSnap.ReadAll(store, cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRows() != b.NumRows() {
+		t.Fatalf("checkpoint-seeded read %d rows, incremental read %d", a.NumRows(), b.NumRows())
+	}
+	for i := 0; i < a.NumRows(); i++ {
+		if a.Cols[0].Int64(i) != b.Cols[0].Int64(i) {
+			t.Fatalf("row %d differs: %d vs %d", i, a.Cols[0].Int64(i), b.Cols[0].Int64(i))
+		}
+	}
+}
+
+// TestTimeTravelAcrossCheckpointBoundary travels to versions on both sides
+// of a checkpoint: above it the replay seeds from the checkpoint, below it
+// the replay falls back to genesis — both reconstruct exact row sets.
+func TestTimeTravelAcrossCheckpointBoundary(t *testing.T) {
+	store, cred := testEnv(t)
+	schema := intSchema()
+	log, err := Create(store, cred, "tables/ttc/", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.SetCheckpointInterval(4)
+	for i := int64(1); i <= 10; i++ {
+		if _, err := log.Append(cred, []*types.Batch{intBatch(schema, i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh := Attach(store, "tables/ttc/")
+	m := telemetry.NewRegistry()
+	fresh.SetMetrics(m)
+
+	// Version 6 sits between checkpoints 4 and 8: seed at 4, replay 5..6.
+	snap6, err := fresh.Snapshot(cred, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap6.Version != 6 || snap6.NumRecords() != 6 {
+		t.Fatalf("v6 snapshot v=%d rows=%d", snap6.Version, snap6.NumRecords())
+	}
+	if got := m.Counter("snapshot.entries.replayed").Value(); got != 2 {
+		t.Errorf("time travel to 6 replayed %d entries, want 2", got)
+	}
+	if got := m.Counter("snapshot.replay.from_checkpoint").Value(); got != 1 {
+		t.Errorf("snapshot.replay.from_checkpoint = %d, want 1", got)
+	}
+
+	// Version 3 predates the first checkpoint: genesis replay of 0..3.
+	snap3, err := fresh.Snapshot(cred, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap3.NumRecords() != 3 {
+		t.Fatalf("v3 rows = %d, want 3", snap3.NumRecords())
+	}
+	b, err := snap3.ReadAll(store, cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if b.Cols[0].Int64(i) != int64(i+1) {
+			t.Fatalf("v3 row %d = %d, want %d", i, b.Cols[0].Int64(i), i+1)
+		}
+	}
+}
+
+// TestLegacyLogWithoutCheckpoints pins the fallback: a log written with
+// checkpointing disabled has no checkpoint objects and a cold snapshot
+// replays from genesis, correctly.
+func TestLegacyLogWithoutCheckpoints(t *testing.T) {
+	store, cred := testEnv(t)
+	schema := intSchema()
+	log, err := Create(store, cred, "tables/legacy/", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.SetCheckpointInterval(0)
+	for i := int64(1); i <= 6; i++ {
+		if _, err := log.Append(cred, []*types.Batch{intBatch(schema, i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths, err := store.List(cred, "tables/legacy/_delta_log/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		if strings.Contains(p, "checkpoint") {
+			t.Fatalf("checkpoint object %s written with interval 0", p)
+		}
+	}
+	fresh := Attach(store, "tables/legacy/")
+	m := telemetry.NewRegistry()
+	fresh.SetMetrics(m)
+	snap, err := fresh.Snapshot(cred, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumRecords() != 6 {
+		t.Fatalf("legacy cold snapshot rows = %d, want 6", snap.NumRecords())
+	}
+	if got := m.Counter("snapshot.entries.replayed").Value(); got != 7 {
+		t.Errorf("legacy cold replay touched %d entries, want 7 (genesis replay)", got)
+	}
+	if got := m.Counter("snapshot.replay.from_checkpoint").Value(); got != 0 {
+		t.Errorf("snapshot.replay.from_checkpoint = %d, want 0", got)
+	}
+}
+
+// TestCheckpointPreservesDeletionVectors round-trips a deletion vector
+// through a checkpoint: the cold reader must see the mask, not the
+// pre-delete file.
+func TestCheckpointPreservesDeletionVectors(t *testing.T) {
+	store, cred := testEnv(t)
+	schema := intSchema()
+	log, err := Create(store, cred, "tables/ckptdv/", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.SetCheckpointInterval(2)
+	if _, err := log.Append(cred, []*types.Batch{intBatch(schema, 1, 2, 3, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := log.Snapshot(cred, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := snap.Files[0].Path
+	// Version 2 sets the DV and lands exactly on the checkpoint boundary.
+	if _, err := log.Mutate(cred, Mutation{
+		Operation: "DELETE",
+		SetDVs:    map[string]*DeletionVector{path: {Rows: []int64{1, 3}}},
+		Expect:    []FileExpectation{{Path: path, DVCardinality: 0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Get(cred, checkpointPath("tables/ckptdv/", 2)); err != nil {
+		t.Fatalf("checkpoint at DV commit missing: %v", err)
+	}
+	fresh := Attach(store, "tables/ckptdv/")
+	m := telemetry.NewRegistry()
+	fresh.SetMetrics(m)
+	cold, err := fresh.Snapshot(cred, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Counter("snapshot.replay.from_checkpoint").Value(); got != 1 {
+		t.Fatalf("cold snapshot not seeded from checkpoint (from_checkpoint=%d)", got)
+	}
+	if got := cold.Files[0].DV.Cardinality(); got != 2 {
+		t.Fatalf("DV lost through checkpoint: cardinality %d, want 2", got)
+	}
+	if cold.NumRecords() != 2 {
+		t.Fatalf("live records after checkpointed DV = %d, want 2", cold.NumRecords())
+	}
+}
+
+// TestMutateExpectConflict pins the optimistic-concurrency contract: a
+// mutation whose observed DV cardinality is stale fails with
+// ErrConcurrentCommit instead of silently resurrecting or double-deleting.
+func TestMutateExpectConflict(t *testing.T) {
+	store, cred := testEnv(t)
+	schema := intSchema()
+	log, err := Create(store, cred, "tables/conflict/", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Append(cred, []*types.Batch{intBatch(schema, 1, 2, 3, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := log.Snapshot(cred, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := snap.Files[0].Path
+
+	// Writer A commits a DV computed against cardinality 0.
+	if _, err := log.Mutate(cred, Mutation{
+		Operation: "DELETE",
+		SetDVs:    map[string]*DeletionVector{path: {Rows: []int64{0}}},
+		Expect:    []FileExpectation{{Path: path, DVCardinality: 0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Writer B computed against the same pre-A snapshot; its expectation is
+	// now stale and the commit must be refused.
+	_, err = log.Mutate(cred, Mutation{
+		Operation: "DELETE",
+		SetDVs:    map[string]*DeletionVector{path: {Rows: []int64{2}}},
+		Expect:    []FileExpectation{{Path: path, DVCardinality: 0}},
+	})
+	if !errors.Is(err, ErrConcurrentCommit) {
+		t.Fatalf("stale expectation err = %v, want ErrConcurrentCommit", err)
+	}
+	// Removal of the file under an expectation conflicts the same way.
+	_, err = log.Mutate(cred, Mutation{
+		Operation:   "OPTIMIZE",
+		RemovePaths: []string{path},
+		Expect:      []FileExpectation{{Path: path, DVCardinality: 0}},
+	})
+	if !errors.Is(err, ErrConcurrentCommit) {
+		t.Fatalf("remove with stale expectation err = %v, want ErrConcurrentCommit", err)
+	}
+	// Recomputing against the current snapshot succeeds.
+	cur, err := log.Snapshot(cred, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Mutate(cred, Mutation{
+		Operation: "DELETE",
+		SetDVs:    map[string]*DeletionVector{path: cur.Files[0].DV.Union([]int64{2})},
+		Expect:    []FileExpectation{{Path: path, DVCardinality: cur.Files[0].DV.Cardinality()}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	final, _ := log.Snapshot(cred, -1)
+	if final.NumRecords() != 2 {
+		t.Fatalf("after converged deletes rows = %d, want 2", final.NumRecords())
+	}
+}
+
+// TestVacuumSweepsTombstonesAndOrphans pins VACUUM's safety contract: it
+// deletes tombstoned objects and version-gated orphans, leaves live files
+// and future-versioned objects alone, and clears the tombstones in a
+// VACUUM commit.
+func TestVacuumSweepsTombstonesAndOrphans(t *testing.T) {
+	store, cred := testEnv(t)
+	schema := intSchema()
+	log, err := Create(store, cred, "tables/vac/", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Append(cred, []*types.Batch{intBatch(schema, 1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Append(cred, []*types.Batch{intBatch(schema, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := log.Snapshot(cred, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := snap.Files[0].Path
+	kept := snap.Files[1].Path
+	if _, err := log.Mutate(cred, Mutation{
+		Operation:   "OPTIMIZE",
+		RemovePaths: []string{removed},
+		Expect:      []FileExpectation{{Path: removed, DVCardinality: 0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// An orphan from a failed commit attempt (version below the snapshot)
+	// and a possible in-flight writer's object (version above it).
+	orphan := dataPath("tables/vac/", 2, 99)
+	inflight := dataPath("tables/vac/", 999, 0)
+	if err := store.Put(cred, orphan, []byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(cred, inflight, []byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := log.Vacuum(cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TombstonesDeleted != 1 || res.OrphansDeleted != 1 {
+		t.Fatalf("vacuum deleted tombstones=%d orphans=%d, want 1/1", res.TombstonesDeleted, res.OrphansDeleted)
+	}
+	if _, err := store.Get(cred, removed); err == nil {
+		t.Error("tombstoned object survived VACUUM")
+	}
+	if _, err := store.Get(cred, orphan); err == nil {
+		t.Error("orphaned object survived VACUUM")
+	}
+	if _, err := store.Get(cred, inflight); err != nil {
+		t.Error("VACUUM deleted an object that may belong to an in-flight commit")
+	}
+	if _, err := store.Get(cred, kept); err != nil {
+		t.Errorf("live object deleted by VACUUM: %v", err)
+	}
+	after, err := log.Snapshot(cred, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Tombstones) != 0 {
+		t.Errorf("tombstones not cleared by VACUUM commit: %v", after.Tombstones)
+	}
+	if after.NumRecords() != 1 {
+		t.Errorf("rows after vacuum = %d, want 1", after.NumRecords())
+	}
+	// Idempotent: a second sweep finds nothing and commits nothing.
+	res2, err := log.Vacuum(cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.TombstonesDeleted != 0 || res2.OrphansDeleted != 0 || res2.Version != after.Version {
+		t.Errorf("second vacuum = %+v, want no-op at version %d", res2, after.Version)
+	}
+}

@@ -4,11 +4,15 @@
 // and snapshots support time travel (VERSION AS OF n).
 //
 // Snapshots are served through an incremental cache: the log tail is
-// discovered with one credential-checked LIST (no "probe one past the end"
-// GET), the latest replay state advances by applying only new log entries,
-// and a small LRU holds time-travel versions. The cache never weakens access
-// control — every Snapshot call re-runs the caller's credential through the
-// store before any cached state is returned.
+// discovered with one credential-checked LIST (seeded from the cached
+// version, so its cost is O(new entries) — see tailVersionLocked), the
+// latest replay state advances by applying only new log entries, and a small
+// LRU holds time-travel versions. Cold replay is bounded by checkpoints
+// (checkpoint.go): every checkpointInterval commits the full replay state is
+// materialized, so a fresh handle reads one checkpoint plus the log tail
+// instead of replaying from genesis. The cache never weakens access control —
+// every Snapshot call re-runs the caller's credential through the store
+// before any cached state is returned.
 package delta
 
 import (
@@ -16,6 +20,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -33,6 +38,8 @@ type Action struct {
 	MetaData   *MetaData   `json:"metaData,omitempty"`
 	Add        *AddFile    `json:"add,omitempty"`
 	Remove     *Remove     `json:"remove,omitempty"`
+	SetDV      *SetDV      `json:"setDV,omitempty"`
+	Vacuum     *VacuumInfo `json:"vacuum,omitempty"`
 	CommitInfo *CommitInfo `json:"commitInfo,omitempty"`
 }
 
@@ -57,21 +64,49 @@ type SchemaField struct {
 
 // AddFile registers a data file in the table. Stats carries the file's
 // zone-map column statistics; entries committed before statistics existed
-// decode with Stats == nil and are never pruned.
+// decode with Stats == nil and are never pruned. DV is the file's current
+// deletion vector (nil = no rows deleted); after a deletion the recorded
+// Stats are a conservative superset of the surviving rows' bounds, which
+// keeps zone-map pruning sound (it may under-prune, never wrong).
 type AddFile struct {
-	Path       string     `json:"path"`
-	NumRecords int64      `json:"numRecords"`
-	SizeBytes  int64      `json:"sizeBytes"`
-	Stats      *FileStats `json:"stats,omitempty"`
+	Path       string          `json:"path"`
+	NumRecords int64           `json:"numRecords"`
+	SizeBytes  int64           `json:"sizeBytes"`
+	Stats      *FileStats      `json:"stats,omitempty"`
+	DV         *DeletionVector `json:"dv,omitempty"`
 }
+
+// LiveRecords returns the file's row count minus deleted rows.
+func (f *AddFile) LiveRecords() int64 { return f.NumRecords - f.DV.Cardinality() }
 
 // Remove unregisters a data file.
 type Remove struct {
 	Path string `json:"path"`
 }
 
+// SetDV replaces the deletion vector of a live data file. The DV is a full
+// replacement (not a delta), so applying the action is idempotent and the
+// file's logical content at any version is determined by that version alone.
+type SetDV struct {
+	Path string          `json:"path"`
+	DV   *DeletionVector `json:"dv"`
+}
+
+// VacuumInfo clears removed-file tombstones after their data objects were
+// physically deleted, so the tombstone list carried by checkpoints stays
+// bounded.
+type VacuumInfo struct {
+	Paths []string `json:"paths"`
+}
+
 // timeTravelCacheSize bounds the per-log LRU of time-travel snapshots.
 const timeTravelCacheSize = 8
+
+// DefaultCheckpointInterval is how many commits elapse between checkpoint
+// materializations. Small enough that high-churn tables (the system-table
+// spooler appends a tiny file per flush) keep cold replay short; large
+// enough that checkpoint writes stay a rounding error next to commits.
+const DefaultCheckpointInterval = 32
 
 // Log is a handle to one table's transaction log. A Log may be shared by
 // many concurrent readers (the catalog caches one handle per table prefix):
@@ -79,60 +114,84 @@ const timeTravelCacheSize = 8
 // revalidates the caller's credential against the store before serving
 // cached state.
 type Log struct {
-	store   *storage.Store
-	prefix  string
-	fileSeq atomic.Int64
-	clock   func() time.Time
+	store    *storage.Store
+	prefix   string
+	fileSeq  atomic.Int64
+	interval atomic.Int64 // checkpoint interval; <= 0 disables checkpoints
+	clock    func() time.Time
 
 	mu     sync.Mutex
-	latest *logState            // incremental replay state at the newest known version
-	travel map[int64]*Snapshot  // time-travel LRU, bounded by timeTravelCacheSize
-	tOrder []int64              // travel eviction order, oldest first
+	latest *logState           // incremental replay state at the newest known version
+	travel map[int64]*Snapshot // time-travel LRU, bounded by timeTravelCacheSize
+	tOrder []int64             // travel eviction order, oldest first
+	ckpts  []int64             // known checkpoint versions, sorted ascending
 
 	// snapshot-cache counters (nil until SetMetrics; nil-safe no-ops).
-	mHits     *telemetry.Counter
-	mMisses   *telemetry.Counter
-	mReplayed *telemetry.Counter
+	mHits       *telemetry.Counter
+	mMisses     *telemetry.Counter
+	mReplayed   *telemetry.Counter
+	mCkptWrites *telemetry.Counter
+	mCkptHits   *telemetry.Counter
+	mFromCkpt   *telemetry.Counter
+	mRetries    *telemetry.Counter
 }
 
 func newLog(store *storage.Store, prefix string) *Log {
-	return &Log{store: store, prefix: prefix, clock: time.Now}
+	l := &Log{store: store, prefix: prefix, clock: time.Now}
+	l.interval.Store(DefaultCheckpointInterval)
+	return l
 }
 
-// SetMetrics publishes snapshot-cache counters (snapshot.cache.hit,
-// snapshot.cache.miss, snapshot.entries.replayed) on a registry.
+// SetMetrics publishes snapshot-cache and commit counters
+// (snapshot.cache.hit, snapshot.cache.miss, snapshot.entries.replayed,
+// snapshot.replay.from_checkpoint, delta.checkpoint.writes,
+// delta.checkpoint.hits, delta.commit.retries) on a registry.
 func (l *Log) SetMetrics(m *telemetry.Registry) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.mHits = m.Counter("snapshot.cache.hit")
 	l.mMisses = m.Counter("snapshot.cache.miss")
 	l.mReplayed = m.Counter("snapshot.entries.replayed")
+	l.mCkptWrites = m.Counter("delta.checkpoint.writes")
+	l.mCkptHits = m.Counter("delta.checkpoint.hits")
+	l.mFromCkpt = m.Counter("snapshot.replay.from_checkpoint")
+	l.mRetries = m.Counter("delta.commit.retries")
 }
+
+// SetCheckpointInterval overrides how many commits elapse between checkpoint
+// writes; n <= 0 disables checkpointing (legacy log behavior).
+func (l *Log) SetCheckpointInterval(n int) { l.interval.Store(int64(n)) }
 
 // logState is the mutable replay state behind the snapshot cache. It
 // accumulates exactly what a full replay from version 0 would: the schema,
-// the live file set, and first-seen file order (so cached and uncached
-// snapshots are byte-identical, including across Overwrite commits).
+// the live file set, first-seen file order (so cached and uncached snapshots
+// are byte-identical, including across Overwrite commits), and the removed
+// but not yet vacuumed file tombstones.
 type logState struct {
-	version int64
-	schema  *types.Schema
-	live    map[string]AddFile
-	order   []string
+	version    int64
+	schema     *types.Schema
+	live       map[string]AddFile
+	order      []string
+	tombstones map[string]bool
 }
 
 func newLogState() *logState {
-	return &logState{version: -1, live: map[string]AddFile{}}
+	return &logState{version: -1, live: map[string]AddFile{}, tombstones: map[string]bool{}}
 }
 
 func (st *logState) clone() *logState {
 	cp := &logState{
-		version: st.version,
-		schema:  st.schema,
-		live:    make(map[string]AddFile, len(st.live)),
-		order:   append([]string(nil), st.order...),
+		version:    st.version,
+		schema:     st.schema,
+		live:       make(map[string]AddFile, len(st.live)),
+		order:      append([]string(nil), st.order...),
+		tombstones: make(map[string]bool, len(st.tombstones)),
 	}
 	for k, v := range st.live {
 		cp.live[k] = v
+	}
+	for k := range st.tombstones {
+		cp.tombstones[k] = true
 	}
 	return cp
 }
@@ -151,6 +210,16 @@ func (st *logState) apply(actions []Action) {
 			st.live[a.Add.Path] = *a.Add
 		case a.Remove != nil:
 			delete(st.live, a.Remove.Path)
+			st.tombstones[a.Remove.Path] = true
+		case a.SetDV != nil:
+			if f, ok := st.live[a.SetDV.Path]; ok {
+				f.DV = a.SetDV.DV
+				st.live[a.SetDV.Path] = f
+			}
+		case a.Vacuum != nil:
+			for _, p := range a.Vacuum.Paths {
+				delete(st.tombstones, p)
+			}
 		}
 	}
 }
@@ -162,6 +231,10 @@ func (st *logState) snapshot(prefix string) *Snapshot {
 			snap.Files = append(snap.Files, f)
 		}
 	}
+	for p := range st.tombstones {
+		snap.Tombstones = append(snap.Tombstones, p)
+	}
+	sort.Strings(snap.Tombstones)
 	return snap
 }
 
@@ -174,6 +247,33 @@ var ErrVersionNotFound = errors.New("delta: version not found")
 
 func logPath(prefix string, version int64) string {
 	return fmt.Sprintf("%s_delta_log/%020d.json", prefix, version)
+}
+
+func dataPath(prefix string, version, seq int64) string {
+	return fmt.Sprintf("%sdata/%06d-%06d.arrow", prefix, version, seq)
+}
+
+// dataFileVersion extracts the commit version embedded in a data file name
+// ("<prefix>data/%06d-%06d.arrow"). VACUUM uses it to decide whether an
+// unreferenced object can belong to an in-flight commit.
+func dataFileVersion(prefix, path string) (int64, bool) {
+	name, ok := strings.CutPrefix(path, prefix+"data/")
+	if !ok {
+		return 0, false
+	}
+	name, ok = strings.CutSuffix(name, ".arrow")
+	if !ok || strings.Contains(name, "/") {
+		return 0, false
+	}
+	verStr, _, ok := strings.Cut(name, "-")
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(verStr, 10, 64)
+	if err != nil || v < 0 {
+		return 0, false
+	}
+	return v, true
 }
 
 // Create initializes a new table at prefix with the given schema, writing
@@ -231,6 +331,8 @@ func (l *Log) Prefix() string { return l.prefix }
 func (l *Log) logDir() string { return l.prefix + "_delta_log/" }
 
 // parseLogVersion extracts the commit version from a log object path.
+// Checkpoint files ("....checkpoint.json") and the _last_checkpoint pointer
+// fail the numeric parse and are ignored here.
 func parseLogVersion(dir, path string) (int64, bool) {
 	name, ok := strings.CutPrefix(path, dir)
 	if !ok {
@@ -247,18 +349,50 @@ func parseLogVersion(dir, path string) (int64, bool) {
 	return v, true
 }
 
-// tailVersion discovers the newest committed version (-1 for an empty log)
-// with a single credential-checked LIST of the log directory, replacing the
-// old tail detection that GET-probed one entry past the end on every replay.
-func (l *Log) tailVersion(cred *storage.Credential) (int64, error) {
-	paths, err := l.store.List(cred, l.logDir())
+// tailVersionLocked discovers the newest committed version (-1 for an empty
+// log) with a single credential-checked LIST of the log directory. When the
+// handle already holds replay state, the LIST is seeded to start after the
+// cached version, so its cost is O(entries newer than the cache) instead of
+// O(table age); the store credits the skipped objects to storage.list_saved.
+// Checkpoint files discovered by either listing are remembered for
+// time-travel seeding. Caller must hold l.mu.
+func (l *Log) tailVersionLocked(cred *storage.Credential) (int64, error) {
+	dir := l.logDir()
+	seed := int64(-1)
+	if l.latest != nil {
+		seed = l.latest.version
+	}
+	var paths []string
+	var err error
+	if seed >= 0 {
+		paths, err = l.store.ListAfter(cred, dir, logPath(l.prefix, seed))
+	} else {
+		paths, err = l.store.List(cred, dir)
+	}
 	if err != nil {
 		return -1, err
 	}
-	tail := int64(-1)
+	tail := seed
 	for _, p := range paths {
-		if v, ok := parseLogVersion(l.logDir(), p); ok && v > tail {
+		if v, ok := parseLogVersion(dir, p); ok && v > tail {
 			tail = v
+		}
+		if v, ok := parseCheckpointVersion(dir, p); ok {
+			l.noteCheckpoint(v)
+		}
+	}
+	if seed >= 0 && len(paths) == 0 {
+		// Nothing after the seed. Either the table is unchanged or the log
+		// was rewound under us (DROP + re-CREATE at the same prefix) and the
+		// seeded listing skipped the new, lower-numbered entries. One HEAD
+		// on the seed entry distinguishes the two.
+		ok, err := l.store.Exists(cred, logPath(l.prefix, seed))
+		if err != nil {
+			return -1, err
+		}
+		if !ok {
+			l.latest, l.travel, l.tOrder, l.ckpts = nil, nil, nil, nil
+			return l.tailVersionLocked(cred)
 		}
 	}
 	return tail, nil
@@ -305,17 +439,24 @@ func (l *Log) travelPut(version int64, s *Snapshot) {
 
 // Snapshot reconstructs table state at a version (-1 = latest).
 //
-// The common path is cache-driven: one LIST finds the log tail, the cached
-// latest state advances by replaying only entries newer than it (zero when
-// the table hasn't changed), and time-travel versions are served from a
-// bounded LRU. The LIST runs the caller's full credential check on every
-// call, so a snapshot cached under one principal never bypasses the access
-// decision for another. GETs avoided by the cache are credited to the
+// The common path is cache-driven: one seeded LIST finds the log tail, the
+// cached latest state advances by replaying only entries newer than it (zero
+// when the table hasn't changed), and time-travel versions are served from a
+// bounded LRU. A cold handle (no cached state) seeds its replay from the
+// newest checkpoint at or below the target version, so cold cost is one
+// checkpoint GET plus the log tail rather than a genesis replay. The LIST
+// runs the caller's full credential check on every call, so a snapshot
+// cached under one principal never bypasses the access decision for another.
+// GETs avoided by the cache or a checkpoint are credited to the
 // storage.get_saved metric.
 func (l *Log) Snapshot(cred *storage.Credential, version int64) (*Snapshot, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	tail, err := l.tailVersion(cred)
+	return l.snapshotLocked(cred, version)
+}
+
+func (l *Log) snapshotLocked(cred *storage.Credential, version int64) (*Snapshot, error) {
+	tail, err := l.tailVersionLocked(cred)
 	if err != nil {
 		return nil, err
 	}
@@ -328,6 +469,7 @@ func (l *Log) Snapshot(cred *storage.Credential, version int64) (*Snapshot, erro
 		l.latest = nil
 		l.travel = nil
 		l.tOrder = nil
+		l.ckpts = nil
 	}
 	target := tail
 	if version >= 0 {
@@ -341,7 +483,8 @@ func (l *Log) Snapshot(cred *storage.Credential, version int64) (*Snapshot, erro
 			l.mHits.Inc()
 			l.store.CreditSavedGets(from)
 		} else {
-			st = newLogState()
+			st = l.seedState(cred, target)
+			from = st.version + 1
 			l.mMisses.Inc()
 		}
 		if from <= target {
@@ -359,13 +502,34 @@ func (l *Log) Snapshot(cred *storage.Credential, version int64) (*Snapshot, erro
 		return s, nil
 	}
 	l.mMisses.Inc()
-	st := newLogState()
-	if err := l.replayInto(cred, st, 0, version); err != nil {
+	st := l.seedState(cred, version)
+	if err := l.replayInto(cred, st, st.version+1, version); err != nil {
 		return nil, err
 	}
 	snap := st.snapshot(l.prefix)
 	l.travelPut(version, snap)
 	return snap, nil
+}
+
+// seedState returns the replay starting point for a cold reconstruction of
+// maxVersion: the state loaded from the newest known checkpoint at or below
+// it, or an empty genesis state when no usable checkpoint exists. A corrupt
+// or missing checkpoint silently degrades to genesis replay — checkpoints
+// are an optimization, never required for correctness.
+func (l *Log) seedState(cred *storage.Credential, maxVersion int64) *logState {
+	cv, ok := l.nearestCheckpoint(maxVersion)
+	if !ok {
+		return newLogState()
+	}
+	st, err := l.readCheckpoint(cred, cv)
+	if err != nil {
+		return newLogState()
+	}
+	l.mCkptHits.Inc()
+	l.mFromCkpt.Inc()
+	// One checkpoint GET replaced replaying entries 0..cv.
+	l.store.CreditSavedGets(cv)
+	return st
 }
 
 // Append commits new data files containing the given batches.
@@ -374,9 +538,41 @@ func (l *Log) Append(cred *storage.Credential, batches []*types.Batch) (int64, e
 }
 
 // Overwrite replaces the table's entire contents with the given batches
-// (used by materialized-view refresh and INSERT OVERWRITE semantics).
+// (used by materialized-view refresh and INSERT OVERWRITE semantics). The
+// replaced data files are tombstoned, not deleted — time travel still reads
+// them until VACUUM sweeps.
 func (l *Log) Overwrite(cred *storage.Credential, batches []*types.Batch) (int64, error) {
 	return l.commit(cred, batches, true, "OVERWRITE")
+}
+
+// writeDataFiles encodes batches into data objects for a commit targeting
+// version and returns their Add actions. Files written by a commit attempt
+// that later loses its race are re-written by the retry and become orphans;
+// VACUUM collects them (their embedded version is at or below the winning
+// tail, so the sweep can prove they are not in-flight).
+func (l *Log) writeDataFiles(cred *storage.Credential, version int64, schema *types.Schema, batches []*types.Batch) ([]Action, error) {
+	var actions []Action
+	for _, b := range batches {
+		if b.NumRows() == 0 {
+			continue
+		}
+		if !b.Schema.Equal(schema) {
+			return nil, fmt.Errorf("delta: batch schema %s does not match table schema %s", b.Schema, schema)
+		}
+		data, err := arrowipc.EncodeBatch(b)
+		if err != nil {
+			return nil, err
+		}
+		path := dataPath(l.prefix, version, l.fileSeq.Add(1))
+		if err := l.store.Put(cred, path, data); err != nil {
+			return nil, err
+		}
+		actions = append(actions, Action{Add: &AddFile{
+			Path: path, NumRecords: int64(b.NumRows()), SizeBytes: int64(len(data)),
+			Stats: ComputeStats(b),
+		}})
+	}
+	return actions, nil
 }
 
 func (l *Log) commit(cred *storage.Credential, batches []*types.Batch, overwrite bool, operation string) (int64, error) {
@@ -393,26 +589,11 @@ func (l *Log) commit(cred *storage.Credential, batches []*types.Batch, overwrite
 				actions = append(actions, Action{Remove: &Remove{Path: f.Path}})
 			}
 		}
-		for _, b := range batches {
-			if b.NumRows() == 0 {
-				continue
-			}
-			if !b.Schema.Equal(snap.Schema) {
-				return 0, fmt.Errorf("delta: batch schema %s does not match table schema %s", b.Schema, snap.Schema)
-			}
-			data, err := arrowipc.EncodeBatch(b)
-			if err != nil {
-				return 0, err
-			}
-			path := fmt.Sprintf("%sdata/%06d-%06d.arrow", l.prefix, snap.Version+1, l.fileSeq.Add(1))
-			if err := l.store.Put(cred, path, data); err != nil {
-				return 0, err
-			}
-			actions = append(actions, Action{Add: &AddFile{
-				Path: path, NumRecords: int64(b.NumRows()), SizeBytes: int64(len(data)),
-				Stats: ComputeStats(b),
-			}})
+		adds, err := l.writeDataFiles(cred, snap.Version+1, snap.Schema, batches)
+		if err != nil {
+			return 0, err
 		}
+		actions = append(actions, adds...)
 		payload, err := encodeActions(actions)
 		if err != nil {
 			return 0, err
@@ -420,12 +601,14 @@ func (l *Log) commit(cred *storage.Credential, batches []*types.Batch, overwrite
 		next := snap.Version + 1
 		err = l.store.PutIfAbsent(cred, logPath(l.prefix, next), payload)
 		if err == nil {
+			l.maybeCheckpoint(cred, next)
 			return next, nil
 		}
 		if !errors.Is(err, storage.ErrAlreadyExists) {
 			return 0, err
 		}
 		// Lost the race: re-read and retry.
+		l.mRetries.Inc()
 	}
 	return 0, ErrConcurrentCommit
 }
@@ -468,12 +651,14 @@ func (l *Log) RemoveFiles(cred *storage.Credential, paths []string, operation st
 			for _, p := range removed {
 				_ = l.store.Delete(cred, p) // best-effort garbage collection
 			}
+			l.maybeCheckpoint(cred, next)
 			return next, nil
 		}
 		if !errors.Is(err, storage.ErrAlreadyExists) {
 			return 0, err
 		}
 		// Lost the race: re-read and retry.
+		l.mRetries.Inc()
 	}
 	return 0, ErrConcurrentCommit
 }
@@ -487,9 +672,12 @@ type HistoryEntry struct {
 }
 
 // History returns the commit log, newest first. The tail is discovered via
-// LIST, so history replay no longer ends on a failed GET round-trip.
+// the same seeded LIST Snapshot uses, so repeated history calls on a warm
+// handle cost O(new entries) listing work.
 func (l *Log) History(cred *storage.Credential) ([]HistoryEntry, error) {
-	tail, err := l.tailVersion(cred)
+	l.mu.Lock()
+	tail, err := l.tailVersionLocked(cred)
+	l.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -527,20 +715,25 @@ type Snapshot struct {
 	Version int64
 	Schema  *types.Schema
 	Files   []AddFile
-	prefix  string
+	// Tombstones lists data files removed at or before this version whose
+	// objects have not been vacuumed yet (sorted). VACUUM deletes them.
+	Tombstones []string
+	prefix     string
 }
 
-// NumRecords returns the total row count across live files.
+// NumRecords returns the total live row count across files: physical rows
+// minus rows masked by deletion vectors.
 func (s *Snapshot) NumRecords() int64 {
 	var n int64
 	for _, f := range s.Files {
-		n += f.NumRecords
+		n += f.LiveRecords()
 	}
 	return n
 }
 
-// Read streams the snapshot's data files as batches through fn. Returning a
-// non-nil error from fn stops the scan.
+// Read streams the snapshot's data files as batches through fn, with rows
+// masked by each file's deletion vector already removed. Returning a non-nil
+// error from fn stops the scan.
 func (s *Snapshot) Read(store *storage.Store, cred *storage.Credential, fn func(*types.Batch) error) error {
 	for _, f := range s.Files {
 		data, err := store.Get(cred, f.Path)
@@ -550,6 +743,9 @@ func (s *Snapshot) Read(store *storage.Store, cred *storage.Credential, fn func(
 		b, err := arrowipc.DecodeBatch(data)
 		if err != nil {
 			return fmt.Errorf("delta: decoding %s: %w", f.Path, err)
+		}
+		if f.DV.Cardinality() > 0 {
+			b = b.Gather(f.DV.KeepIndexes(b.NumRows()))
 		}
 		if err := fn(b); err != nil {
 			return err

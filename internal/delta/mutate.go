@@ -1,0 +1,217 @@
+package delta
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"lakeguard/internal/storage"
+	"lakeguard/internal/types"
+)
+
+// This file implements the generalized mutation commit used by DV-based DML
+// (DELETE/UPDATE/MERGE) and OPTIMIZE compaction, plus the VACUUM sweep for
+// unreferenced data objects.
+//
+// Isolation argument: a Mutation is computed from one snapshot and carries
+// an expectation (per-file deletion-vector cardinality) for every file the
+// computation depended on. The commit validates the expectations against a
+// fresh snapshot inside the CAS loop: a lost PutIfAbsent race is retried
+// internally only while the expectations still hold; any divergence (file
+// removed, DV changed) surfaces as ErrConcurrentCommit so the caller
+// recomputes from current state. Two concurrent DELETEs therefore converge
+// to the union of their matches, and a compaction that raced a DELETE can
+// never resurrect the deleted rows by swapping in a pre-delete copy.
+
+// FileExpectation pins the deletion-vector cardinality a mutation observed
+// for one file when it computed its changes.
+type FileExpectation struct {
+	Path          string
+	DVCardinality int64
+}
+
+// Mutation is one atomic change set against a table: deletion-vector
+// replacements, file removals, and new files, committed together in a
+// single log entry.
+type Mutation struct {
+	// Operation names the commit for DESCRIBE HISTORY ("DELETE", "UPDATE",
+	// "MERGE", "OPTIMIZE", ...).
+	Operation string
+	// SetDVs replaces the deletion vector of each named live file.
+	SetDVs map[string]*DeletionVector
+	// RemovePaths unregisters live files (atomic swap half of compaction).
+	// Their data objects are tombstoned for VACUUM, not deleted — time
+	// travel and in-flight readers still reference them.
+	RemovePaths []string
+	// AddBatches become new data files in the same commit.
+	AddBatches []*types.Batch
+	// Expect lists every file the mutation's computation read, with the DV
+	// cardinality observed; the commit fails with ErrConcurrentCommit if any
+	// has changed.
+	Expect []FileExpectation
+}
+
+// Mutate commits a mutation. It returns the committed version, or the
+// current version unchanged when the mutation is empty. ErrConcurrentCommit
+// means an expectation no longer holds and the caller must recompute.
+func (l *Log) Mutate(cred *storage.Credential, m Mutation) (int64, error) {
+	const maxRetries = 16
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		snap, err := l.Snapshot(cred, -1)
+		if err != nil {
+			return 0, err
+		}
+		live := make(map[string]AddFile, len(snap.Files))
+		for _, f := range snap.Files {
+			live[f.Path] = f
+		}
+		for _, e := range m.Expect {
+			f, ok := live[e.Path]
+			if !ok {
+				return 0, fmt.Errorf("%w: %s no longer live", ErrConcurrentCommit, e.Path)
+			}
+			if f.DV.Cardinality() != e.DVCardinality {
+				return 0, fmt.Errorf("%w: deletion vector of %s changed", ErrConcurrentCommit, e.Path)
+			}
+		}
+		actions := []Action{{CommitInfo: &CommitInfo{TimestampMicros: l.clock().UnixMicro(), Operation: m.Operation}}}
+		dvPaths := make([]string, 0, len(m.SetDVs))
+		for p := range m.SetDVs {
+			dvPaths = append(dvPaths, p)
+		}
+		sort.Strings(dvPaths)
+		for _, p := range dvPaths {
+			if _, ok := live[p]; !ok {
+				return 0, fmt.Errorf("%w: %s no longer live", ErrConcurrentCommit, p)
+			}
+			actions = append(actions, Action{SetDV: &SetDV{Path: p, DV: m.SetDVs[p]}})
+		}
+		for _, p := range m.RemovePaths {
+			if _, ok := live[p]; !ok {
+				return 0, fmt.Errorf("%w: %s no longer live", ErrConcurrentCommit, p)
+			}
+			actions = append(actions, Action{Remove: &Remove{Path: p}})
+		}
+		adds, err := l.writeDataFiles(cred, snap.Version+1, snap.Schema, m.AddBatches)
+		if err != nil {
+			return 0, err
+		}
+		actions = append(actions, adds...)
+		if len(actions) == 1 {
+			return snap.Version, nil // nothing to do
+		}
+		payload, err := encodeActions(actions)
+		if err != nil {
+			return 0, err
+		}
+		next := snap.Version + 1
+		err = l.store.PutIfAbsent(cred, logPath(l.prefix, next), payload)
+		if err == nil {
+			l.maybeCheckpoint(cred, next)
+			return next, nil
+		}
+		if !errors.Is(err, storage.ErrAlreadyExists) {
+			return 0, err
+		}
+		// Lost the CAS race; expectations are revalidated on the next pass.
+		l.mRetries.Inc()
+	}
+	return 0, ErrConcurrentCommit
+}
+
+// VacuumResult reports what a sweep deleted.
+type VacuumResult struct {
+	// TombstonesDeleted counts removed-file tombstones whose objects were
+	// deleted (or found already gone) and cleared from the log state.
+	TombstonesDeleted int
+	// OrphansDeleted counts data objects referenced by no log entry —
+	// leftovers of failed commit attempts — that were deleted.
+	OrphansDeleted int
+	// Version is the log version after the sweep (a VACUUM commit is written
+	// when anything was cleaned).
+	Version int64
+}
+
+// Vacuum deletes unreferenced data objects under the table prefix: the
+// tombstones of removed files (Overwrite, OPTIMIZE, retention) and orphans
+// from failed commit attempts. An orphan is only deleted when the commit
+// version embedded in its name is at or below the swept snapshot's version —
+// a file named for a future version may belong to an in-flight commit (and a
+// losing commit attempt rewrites its data files on retry, so deleting a
+// stale attempt's files is safe). After the sweep a VACUUM commit clears the
+// tombstones from the log state so checkpoints stay bounded.
+//
+// Time travel to versions that referenced the swept files stops working —
+// that is the documented VACUUM trade-off, identical to Delta Lake's.
+func (l *Log) Vacuum(cred *storage.Credential) (VacuumResult, error) {
+	var res VacuumResult
+	snap, err := l.Snapshot(cred, -1)
+	if err != nil {
+		return res, err
+	}
+	res.Version = snap.Version
+	live := make(map[string]bool, len(snap.Files))
+	for _, f := range snap.Files {
+		live[f.Path] = true
+	}
+	tomb := make(map[string]bool, len(snap.Tombstones))
+	for _, p := range snap.Tombstones {
+		tomb[p] = true
+	}
+	paths, err := l.store.List(cred, l.prefix+"data/")
+	if err != nil {
+		return res, err
+	}
+	for _, p := range paths {
+		switch {
+		case live[p]:
+		case tomb[p]:
+			if err := l.store.Delete(cred, p); err != nil {
+				return res, err
+			}
+		default:
+			if v, ok := dataFileVersion(l.prefix, p); ok && v <= snap.Version {
+				if err := l.store.Delete(cred, p); err != nil {
+					return res, err
+				}
+				res.OrphansDeleted++
+			}
+		}
+	}
+	res.TombstonesDeleted = len(snap.Tombstones)
+	if res.TombstonesDeleted == 0 && res.OrphansDeleted == 0 {
+		return res, nil
+	}
+	// Record the sweep and clear the swept tombstones. CAS-retried like any
+	// commit; the Vacuum action names explicit paths, so tombstones added
+	// concurrently survive untouched.
+	const maxRetries = 16
+	actions := []Action{
+		{CommitInfo: &CommitInfo{TimestampMicros: l.clock().UnixMicro(), Operation: "VACUUM"}},
+	}
+	if res.TombstonesDeleted > 0 {
+		actions = append(actions, Action{Vacuum: &VacuumInfo{Paths: snap.Tombstones}})
+	}
+	payload, err := encodeActions(actions)
+	if err != nil {
+		return res, err
+	}
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		cur, err := l.Snapshot(cred, -1)
+		if err != nil {
+			return res, err
+		}
+		next := cur.Version + 1
+		err = l.store.PutIfAbsent(cred, logPath(l.prefix, next), payload)
+		if err == nil {
+			res.Version = next
+			l.maybeCheckpoint(cred, next)
+			return res, nil
+		}
+		if !errors.Is(err, storage.ErrAlreadyExists) {
+			return res, err
+		}
+		l.mRetries.Inc()
+	}
+	return res, ErrConcurrentCommit
+}

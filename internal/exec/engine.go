@@ -359,6 +359,22 @@ func (e *Engine) buildScan(qc *QueryContext, t *plan.Scan) (operator, error) {
 	if !e.DisableSkipping && len(t.PushedFilters) > 0 {
 		files = pruneFiles(t, snap.Files)
 	}
+	// Deletion-vector file pruning: a file whose DV covers every row is
+	// logically empty — skip it before any storage GET, exactly like a
+	// zone-map prune. Partial DVs are masked per-row after the read.
+	dvPruned := 0
+	live := files[:0]
+	for _, i := range files {
+		if f := snap.Files[i]; f.DV.Covers(f.NumRecords) {
+			dvPruned++
+			continue
+		}
+		live = append(live, i)
+	}
+	files = live
+	if dvPruned > 0 && e.Metrics != nil {
+		e.Metrics.Counter("scan.files.dv_pruned").Add(int64(dvPruned))
+	}
 	pruned := len(snap.Files) - len(files)
 	qc.opParent.AddFiles(len(files), pruned)
 	if span := telemetry.SpanFrom(qc.GoContext()); span != nil {

@@ -132,6 +132,19 @@ func (s *scanSource) scanFileCtx(ctx context.Context, i int) (*types.Batch, erro
 	if err != nil {
 		return nil, err
 	}
+	// Deletion-vector masking runs on the raw file batch, before projection
+	// or filters: DV ordinals refer to the file's physical row order. Every
+	// downstream operator — and the serial/parallel equivalence guarantee —
+	// sees only surviving rows.
+	if f.DV.Cardinality() > 0 {
+		keep := f.DV.KeepIndexes(b.NumRows())
+		masked := b.NumRows() - len(keep)
+		b = b.Gather(keep)
+		s.stats.AddDVMasked(masked)
+		if s.metrics != nil {
+			s.metrics.Counter("scan.rows.dv_masked").Add(int64(masked))
+		}
+	}
 	return s.applyScanOps(b)
 }
 

@@ -3,6 +3,7 @@ package exec
 import (
 	"lakeguard/internal/delta"
 	"lakeguard/internal/plan"
+	"lakeguard/internal/types"
 )
 
 // pruneFiles evaluates the scan's pushed filter conjuncts against each file's
@@ -12,6 +13,15 @@ import (
 // skipped only when the statistics prove no row can satisfy every conjunct,
 // under the engine's own comparison semantics (NULL-strict comparisons, NaN
 // ordering equal to everything, numeric widening via types.Value.Compare).
+// PruneFilesForPredicate returns the indices of files that may contain rows
+// matching pred (a resolved predicate over the full table schema), using the
+// same conservative zone-map logic scans use. The DML planner calls it so a
+// selective DELETE/UPDATE never GETs files whose statistics prove no match.
+func PruneFilesForPredicate(schema *types.Schema, pred plan.Expr, files []delta.AddFile) []int {
+	scan := &plan.Scan{TableSchema: schema, PushedFilters: []plan.Expr{pred}}
+	return pruneFiles(scan, files)
+}
+
 func pruneFiles(scan *plan.Scan, files []delta.AddFile) []int {
 	keep := make([]int, 0, len(files))
 	for i, f := range files {

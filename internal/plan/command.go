@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"strconv"
 	"strings"
 
 	"lakeguard/internal/types"
@@ -238,6 +239,116 @@ func (c *DeleteFrom) String() string {
 	}
 	return s
 }
+
+// Assignment is one `column = expr` clause of an UPDATE or MERGE SET list.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// String renders the assignment for EXPLAIN/audit output.
+func (a Assignment) String() string { return a.Column + " = " + a.Value.String() }
+
+func assignmentsString(set []Assignment) string {
+	parts := make([]string, len(set))
+	for i, a := range set {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Update rewrites matching rows in place: deletion vectors mask the old row
+// versions and an appended batch carries the updated copies, so no existing
+// data file is rewritten.
+type Update struct {
+	Table []string
+	Set   []Assignment
+	Where Expr
+}
+
+// CommandName implements Command.
+func (c *Update) CommandName() string { return "UPDATE" }
+
+// String implements Command.
+func (c *Update) String() string {
+	s := "Update " + strings.Join(c.Table, ".") + " SET " + assignmentsString(c.Set)
+	if c.Where != nil {
+		s += " WHERE " + c.Where.String()
+	}
+	return s
+}
+
+// MergeInto upserts the rows of Source into Table keyed by the On condition.
+// Matched target rows are updated (MatchedSet) or deleted (MatchedDelete) on
+// the deletion-vector machinery; unmatched source rows are inserted through
+// InsertValues when present.
+type MergeInto struct {
+	Table       []string
+	TableAlias  string // optional alias for the target in On/Set expressions
+	Source      Node
+	SourceAlias string // optional alias for the source
+	On          Expr
+	// Exactly one of MatchedSet / MatchedDelete is set when a WHEN MATCHED
+	// clause was given.
+	MatchedSet    []Assignment
+	MatchedDelete bool
+	// InsertValues holds the WHEN NOT MATCHED THEN INSERT VALUES exprs over
+	// the source columns; nil when the clause is absent.
+	InsertValues []Expr
+}
+
+// CommandName implements Command.
+func (c *MergeInto) CommandName() string { return "MERGE" }
+
+// String implements Command.
+func (c *MergeInto) String() string {
+	s := "MergeInto " + strings.Join(c.Table, ".") + " ON " + c.On.String()
+	switch {
+	case c.MatchedDelete:
+		s += " WHEN MATCHED DELETE"
+	case len(c.MatchedSet) > 0:
+		s += " WHEN MATCHED UPDATE SET " + assignmentsString(c.MatchedSet)
+	}
+	if c.InsertValues != nil {
+		s += " WHEN NOT MATCHED INSERT"
+	}
+	return s
+}
+
+// OptimizeTable bin-packs small data files and rewrites deletion-vector-dense
+// files through an atomic swap commit.
+type OptimizeTable struct {
+	Table       []string
+	TargetBytes int64 // 0 = engine default target file size
+}
+
+// CommandName implements Command.
+func (c *OptimizeTable) CommandName() string { return "OPTIMIZE" }
+
+// String implements Command.
+func (c *OptimizeTable) String() string {
+	s := "Optimize " + strings.Join(c.Table, ".")
+	if c.TargetBytes > 0 {
+		s += fmtInt(" TARGET SIZE ", c.TargetBytes)
+	}
+	return s
+}
+
+func fmtInt(prefix string, n int64) string {
+	return prefix + strconv.FormatInt(n, 10)
+}
+
+// VacuumTable deletes storage objects no live snapshot references:
+// tombstoned data files and orphans from failed commit attempts.
+type VacuumTable struct {
+	Table []string
+}
+
+// CommandName implements Command.
+func (c *VacuumTable) CommandName() string { return "VACUUM" }
+
+// String implements Command.
+func (c *VacuumTable) String() string { return "Vacuum " + strings.Join(c.Table, ".") }
 
 // ShowTables lists the tables and views the caller can read.
 type ShowTables struct{}

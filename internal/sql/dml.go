@@ -1,0 +1,226 @@
+package sql
+
+import (
+	"lakeguard/internal/plan"
+)
+
+// parseUpdate parses UPDATE t SET col = expr [, col = expr]* [WHERE pred].
+func (p *parser) parseUpdate() (*Statement, error) {
+	if err := p.expect("UPDATE"); err != nil {
+		return nil, err
+	}
+	name, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("SET"); err != nil {
+		return nil, err
+	}
+	set, err := p.parseAssignments()
+	if err != nil {
+		return nil, err
+	}
+	var where plan.Expr
+	if p.accept("WHERE") {
+		where, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Statement{Cmd: &plan.Update{Table: name, Set: set, Where: where}}, nil
+}
+
+// parseAssignments parses col = expr (, col = expr)*.
+func (p *parser) parseAssignments() ([]plan.Assignment, error) {
+	var set []plan.Assignment
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		set = append(set, plan.Assignment{Column: col, Value: val})
+		if !p.accept(",") {
+			return set, nil
+		}
+	}
+}
+
+// parseOptionalAlias consumes [AS] ident when present. stop lists keywords
+// that end the aliased clause and must not be eaten as a bare alias.
+func (p *parser) parseOptionalAlias(stop ...string) (string, error) {
+	if p.accept("AS") {
+		return p.ident()
+	}
+	if p.cur.Kind == TokIdent {
+		for _, s := range stop {
+			if p.peekKeyword(s) {
+				return "", nil
+			}
+		}
+		return p.ident()
+	}
+	return "", nil
+}
+
+// parseMerge parses
+//
+//	MERGE INTO t [AS a] USING (<query> | name) [AS b] ON cond
+//	  [WHEN MATCHED THEN (UPDATE SET col = expr, ... | DELETE)]
+//	  [WHEN NOT MATCHED THEN INSERT VALUES (expr, ...)]
+//
+// requiring at least one WHEN clause.
+func (p *parser) parseMerge() (*Statement, error) {
+	if err := p.expect("MERGE"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	m := &plan.MergeInto{Table: name}
+	if m.TableAlias, err = p.parseOptionalAlias("USING"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("USING"); err != nil {
+		return nil, err
+	}
+	if p.cur.Kind == TokOp && p.cur.Text == "(" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseQueryExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		m.Source = sub
+	} else {
+		parts, err := p.qualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		m.Source = plan.NewUnresolvedRelation(parts...)
+	}
+	if m.SourceAlias, err = p.parseOptionalAlias("ON"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("ON"); err != nil {
+		return nil, err
+	}
+	if m.On, err = p.parseExpr(); err != nil {
+		return nil, err
+	}
+	sawClause := false
+	for p.peekKeyword("WHEN") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.accept("NOT") {
+			if err := p.expect("MATCHED"); err != nil {
+				return nil, err
+			}
+			if err := p.expect("THEN"); err != nil {
+				return nil, err
+			}
+			if err := p.expect("INSERT"); err != nil {
+				return nil, err
+			}
+			if err := p.expect("VALUES"); err != nil {
+				return nil, err
+			}
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				m.InsertValues = append(m.InsertValues, e)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			sawClause = true
+			continue
+		}
+		if err := p.expect("MATCHED"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("THEN"); err != nil {
+			return nil, err
+		}
+		if m.MatchedDelete || len(m.MatchedSet) > 0 {
+			return nil, p.errorf("MERGE supports one WHEN MATCHED clause")
+		}
+		switch {
+		case p.accept("DELETE"):
+			m.MatchedDelete = true
+		case p.accept("UPDATE"):
+			if err := p.expect("SET"); err != nil {
+				return nil, err
+			}
+			if m.MatchedSet, err = p.parseAssignments(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errorf("expected UPDATE or DELETE after WHEN MATCHED THEN, found %q", p.cur.Text)
+		}
+		sawClause = true
+	}
+	if !sawClause {
+		return nil, p.errorf("MERGE requires at least one WHEN clause")
+	}
+	return &Statement{Cmd: m}, nil
+}
+
+// parseOptimize parses OPTIMIZE t [TARGET SIZE n].
+func (p *parser) parseOptimize() (*Statement, error) {
+	if err := p.expect("OPTIMIZE"); err != nil {
+		return nil, err
+	}
+	name, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	cmd := &plan.OptimizeTable{Table: name}
+	if p.accept("TARGET") {
+		if err := p.expect("SIZE"); err != nil {
+			return nil, err
+		}
+		if cmd.TargetBytes, err = p.parseIntLiteral(); err != nil {
+			return nil, err
+		}
+		if cmd.TargetBytes <= 0 {
+			return nil, p.errorf("OPTIMIZE TARGET SIZE must be positive")
+		}
+	}
+	return &Statement{Cmd: cmd}, nil
+}
+
+// parseVacuum parses VACUUM t.
+func (p *parser) parseVacuum() (*Statement, error) {
+	if err := p.expect("VACUUM"); err != nil {
+		return nil, err
+	}
+	name, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	return &Statement{Cmd: &plan.VacuumTable{Table: name}}, nil
+}

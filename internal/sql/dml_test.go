@@ -56,3 +56,78 @@ func TestParseShowAndDescribe(t *testing.T) {
 		t.Error("expected error")
 	}
 }
+
+func TestParseUpdate(t *testing.T) {
+	st := mustParse(t, "UPDATE main.s.t SET a = a + 1, b = 'x' WHERE id > 3")
+	u := st.Cmd.(*plan.Update)
+	if len(u.Table) != 3 || len(u.Set) != 2 || u.Where == nil {
+		t.Fatalf("update = %+v", u)
+	}
+	if u.Set[0].Column != "a" || u.Set[1].Column != "b" {
+		t.Errorf("assignments = %+v", u.Set)
+	}
+	st2 := mustParse(t, "UPDATE t SET a = 0")
+	if st2.Cmd.(*plan.Update).Where != nil {
+		t.Error("bare update should have nil predicate")
+	}
+	for _, bad := range []string{"UPDATE t", "UPDATE t SET", "UPDATE t SET a", "UPDATE t WHERE x = 1"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("%q should fail to parse", bad)
+		}
+	}
+}
+
+func TestParseMergeInto(t *testing.T) {
+	st := mustParse(t, `MERGE INTO sales AS t USING staging AS s ON t.id = s.id
+		WHEN MATCHED THEN UPDATE SET amount = s.amount
+		WHEN NOT MATCHED THEN INSERT VALUES (s.id, s.amount)`)
+	m := st.Cmd.(*plan.MergeInto)
+	if m.TableAlias != "t" || m.SourceAlias != "s" || m.On == nil {
+		t.Fatalf("merge = %+v", m)
+	}
+	if len(m.MatchedSet) != 1 || m.MatchedDelete || len(m.InsertValues) != 2 {
+		t.Fatalf("merge clauses = %+v", m)
+	}
+
+	// DELETE clause, subquery source, no aliases.
+	st2 := mustParse(t, `MERGE INTO sales USING (SELECT id FROM gone) ON sales.id = id
+		WHEN MATCHED THEN DELETE`)
+	m2 := st2.Cmd.(*plan.MergeInto)
+	if !m2.MatchedDelete || m2.MatchedSet != nil || m2.InsertValues != nil {
+		t.Fatalf("merge-delete = %+v", m2)
+	}
+
+	for _, bad := range []string{
+		"MERGE INTO t USING s ON t.id = s.id", // no WHEN clause
+		"MERGE INTO t USING s WHEN MATCHED THEN DELETE",
+		"MERGE t USING s ON t.id = s.id WHEN MATCHED THEN DELETE",
+		`MERGE INTO t USING s ON t.id = s.id
+			WHEN MATCHED THEN DELETE
+			WHEN MATCHED THEN UPDATE SET a = 1`, // two matched clauses
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("%q should fail to parse", bad)
+		}
+	}
+}
+
+func TestParseOptimizeAndVacuum(t *testing.T) {
+	o := mustParse(t, "OPTIMIZE main.s.t").Cmd.(*plan.OptimizeTable)
+	if len(o.Table) != 3 || o.TargetBytes != 0 {
+		t.Fatalf("optimize = %+v", o)
+	}
+	o2 := mustParse(t, "OPTIMIZE t TARGET SIZE 65536").Cmd.(*plan.OptimizeTable)
+	if o2.TargetBytes != 65536 {
+		t.Fatalf("optimize target = %+v", o2)
+	}
+	if _, err := Parse("OPTIMIZE t TARGET SIZE 0"); err == nil {
+		t.Error("zero target size should fail")
+	}
+	v := mustParse(t, "VACUUM main.s.t").Cmd.(*plan.VacuumTable)
+	if len(v.Table) != 3 {
+		t.Fatalf("vacuum = %+v", v)
+	}
+	if _, err := Parse("VACUUM"); err == nil {
+		t.Error("vacuum without table should fail")
+	}
+}

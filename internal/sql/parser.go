@@ -183,6 +183,14 @@ func (p *parser) parseStatement() (*Statement, error) {
 		return p.parseRefresh()
 	case p.peekKeyword("DELETE"):
 		return p.parseDelete()
+	case p.peekKeyword("UPDATE"):
+		return p.parseUpdate()
+	case p.peekKeyword("MERGE"):
+		return p.parseMerge()
+	case p.peekKeyword("OPTIMIZE"):
+		return p.parseOptimize()
+	case p.peekKeyword("VACUUM"):
+		return p.parseVacuum()
 	case p.peekKeyword("SHOW"):
 		return p.parseShow()
 	case p.peekKeyword("DESCRIBE"), p.peekKeyword("DESC"):

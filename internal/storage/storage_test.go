@@ -4,6 +4,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"lakeguard/internal/telemetry"
 )
 
 func TestPutGetRoundTrip(t *testing.T) {
@@ -147,5 +149,50 @@ func TestDataIsolatedFromCallerMutation(t *testing.T) {
 	got2, _ := s.Get(&cred, "p/x")
 	if string(got2) != "abc" {
 		t.Error("store aliased caller buffer on Get")
+	}
+}
+
+func TestListAfterSeededListing(t *testing.T) {
+	s := NewStore()
+	m := telemetry.NewRegistry()
+	s.SetMetrics(m)
+	cred := s.Signer().Issue("tables/t/", ModeReadWrite, time.Minute)
+	paths := []string{
+		"tables/t/log/00001.json",
+		"tables/t/log/00002.json",
+		"tables/t/log/00003.json",
+		"tables/t/log/00004.json",
+	}
+	for _, p := range paths {
+		if err := s.Put(&cred, p, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := s.ListAfter(&cred, "tables/t/log/", "tables/t/log/00002.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != paths[2] || out[1] != paths[3] {
+		t.Fatalf("ListAfter = %v, want the two entries after the marker", out)
+	}
+	// The two keys at or before the marker were skipped, and the skip is
+	// accounted on storage.list_saved.
+	if got := m.Counter("storage.list_saved").Value(); got != 2 {
+		t.Errorf("storage.list_saved = %d, want 2", got)
+	}
+	// A marker past the tail returns nothing and credits everything.
+	out, err = s.ListAfter(&cred, "tables/t/log/", "tables/t/log/99999.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("ListAfter past tail = %v, want empty", out)
+	}
+	if got := m.Counter("storage.list_saved").Value(); got != 6 {
+		t.Errorf("storage.list_saved = %d, want 6 after full skip", got)
+	}
+	// Same credential checks as List: out-of-prefix listing is refused.
+	if _, err := s.ListAfter(&cred, "tables/other/", ""); !errors.Is(err, ErrPrefixMismatch) {
+		t.Errorf("out-of-prefix ListAfter err = %v, want ErrPrefixMismatch", err)
 	}
 }

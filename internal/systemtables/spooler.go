@@ -74,6 +74,7 @@ type Spooler struct {
 	mAuditLost   *telemetry.Counter
 	mFlushErrors *telemetry.Counter
 	mRetention   *telemetry.Counter
+	mMaintained  *telemetry.Counter
 	mFlushMS     *telemetry.Histogram
 	mLag         *telemetry.Gauge
 }
@@ -121,6 +122,7 @@ func New(cfg Config) (*Spooler, error) {
 		mAuditLost:   cfg.Metrics.Counter("systemtables.audit_lost"),
 		mFlushErrors: cfg.Metrics.Counter("systemtables.flush_errors"),
 		mRetention:   cfg.Metrics.Counter("systemtables.retention_files_removed"),
+		mMaintained:  cfg.Metrics.Counter("systemtables.maintenance_files_compacted"),
 		mFlushMS:     cfg.Metrics.Histogram("systemtables.flush_ms", nil),
 		mLag:         cfg.Metrics.Gauge("systemtables.lag"),
 	}
@@ -142,10 +144,11 @@ func (s *Spooler) Start() {
 				_ = s.flush(false)
 				s.flushMu.Lock()
 				s.flushTicks++
-				sweep := s.cfg.Retention > 0 && s.flushTicks%retentionEveryTicks == 0
+				maintain := s.flushTicks%retentionEveryTicks == 0
 				s.flushMu.Unlock()
-				if sweep {
+				if maintain {
 					_, _ = s.SweepRetention()
+					_ = s.Maintain()
 				}
 			}
 		}
@@ -446,4 +449,26 @@ func (s *Spooler) SweepRetention() (int, error) {
 	}
 	s.mRetention.Add(int64(total))
 	return total, nil
+}
+
+// Maintain compacts and vacuums the system tables. The spooler's small
+// frequent flushes make these the highest-churn tables in the deployment:
+// without background OPTIMIZE every flush is one more small file for every
+// audit/history/usage scan, and without VACUUM retention-tombstoned files
+// accumulate as dead storage. Runs on the retention cadence; errors are
+// counted, not fatal (maintenance must never take down observability).
+func (s *Spooler) Maintain() error {
+	var firstErr error
+	for _, parts := range [][]string{AuditTableParts, HistoryTableParts, UsageTableParts} {
+		stats, _, err := s.cat.MaintainSystemTable(parts)
+		if err != nil {
+			s.mFlushErrors.Inc()
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		s.mMaintained.Add(int64(stats.FilesIn))
+	}
+	return firstErr
 }

@@ -282,3 +282,50 @@ func TestSpoolerNilSafety(t *testing.T) {
 	s.RecordQuery(QueryRecord{})
 	s.RecordShed("t")
 }
+
+// TestSpoolerMaintainCompactsSystemTables exercises the background
+// maintenance pass: many tiny flush-written files get bin-packed, the work
+// is counted, and an engine-attributed MAINTENANCE audit event is recorded.
+func TestSpoolerMaintainCompactsSystemTables(t *testing.T) {
+	e := newEnv(t)
+	s := newSpooler(t, e, Config{})
+	// Each flush appends one tiny file per touched table.
+	for i := 0; i < 4; i++ {
+		e.log.Record(audit.Event{User: "alice@corp.com", Action: "SELECT", Securable: "main.default.t", Decision: audit.DecisionAllow})
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		e.advance(time.Second)
+	}
+	before := count(t, e, AuditTableParts)
+	if err := s.Maintain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(t, e, AuditTableParts); got != before {
+		t.Fatalf("maintenance changed audit row count: %d -> %d", before, got)
+	}
+	if got := e.reg.Counter("systemtables.maintenance_files_compacted").Value(); got < 2 {
+		t.Fatalf("maintenance_files_compacted = %d, want >= 2", got)
+	}
+	// The maintenance pass is itself audited, attributed to the engine.
+	maint := func() []audit.Event {
+		return e.log.Events(func(ev audit.Event) bool {
+			return ev.Action == "MAINTENANCE" && strings.Contains(ev.Securable, "system.audit.events")
+		})
+	}
+	evs := maint()
+	if len(evs) == 0 {
+		t.Fatal("no MAINTENANCE audit event recorded")
+	}
+	if evs[0].User != catalog.SystemUser {
+		t.Errorf("MAINTENANCE attributed to %q, want engine user", evs[0].User)
+	}
+	// A second pass over the already-compacted tables is a no-op and does
+	// not spam the audit log.
+	if err := s.Maintain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(maint()); got != len(evs) {
+		t.Errorf("no-op maintenance recorded %d extra MAINTENANCE event(s)", got-len(evs))
+	}
+}

@@ -27,6 +27,7 @@ type OpStats struct {
 	spillParts   atomic.Int64 // hash-table spill partitions written
 	spillBytes   atomic.Int64 // bytes written to spill storage
 	readBytes    atomic.Int64 // bytes fetched from storage by a scan
+	dvMaskedRows atomic.Int64 // rows removed by deletion vectors after read
 
 	mu       sync.Mutex
 	children []*OpStats
@@ -116,6 +117,23 @@ func (o *OpStats) ReadBytes() int64 {
 		return 0
 	}
 	return o.readBytes.Load()
+}
+
+// AddDVMasked records rows a scan dropped because the file's deletion
+// vector marked them deleted.
+func (o *OpStats) AddDVMasked(rows int) {
+	if o == nil {
+		return
+	}
+	o.dvMaskedRows.Add(int64(rows))
+}
+
+// DVMaskedRows returns rows dropped by deletion vectors.
+func (o *OpStats) DVMaskedRows() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.dvMaskedRows.Load()
 }
 
 // AddSpill records hash-table spill volume: partitions written and bytes.
@@ -356,6 +374,9 @@ func renderOp(b *strings.Builder, o *OpStats, depth int) {
 		fmt.Fprintf(b, ", files %d (pruned %d", s, pr)
 		if rf > 0 {
 			fmt.Fprintf(b, ", runtime filter %d", rf)
+		}
+		if dv := o.DVMaskedRows(); dv > 0 {
+			fmt.Fprintf(b, ", dv-masked %d rows", dv)
 		}
 		b.WriteString(")")
 	}
